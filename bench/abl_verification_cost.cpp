@@ -1,0 +1,58 @@
+// Ablation: what does verification actually cost?
+//
+// Wall-clock throughput of the full shuffle exchange with (a) no
+// verification, (b) spot verification, (c) full verification, under both
+// crypto backends — quantifying the price of the paper's security mechanism
+// and justifying the harness's spot-verification default.
+#include <chrono>
+
+#include "bench_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace accountnet;
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_header("abl_verification_cost",
+                      "ablation — verification overhead on shuffle throughput",
+                      args.full);
+
+  struct Mode {
+    const char* label;
+    double verify_fraction;
+    bool real_crypto;
+  };
+  const std::vector<Mode> modes = {
+      {"fast crypto, no verify", 0.0, false},
+      {"fast crypto, 5% spot verify", 0.05, false},
+      {"fast crypto, full verify", 1.0, false},
+      {"real crypto, no verify", 0.0, true},
+      {"real crypto, full verify", 1.0, true},
+  };
+  const std::size_t v = args.full ? 500 : 200;
+  const std::size_t rounds = args.full ? 60 : 40;
+
+  Table t({"mode", "shuffles", "wall ms", "us/shuffle", "verified", "failures"});
+  for (const auto& mode : modes) {
+    auto config = bench::paper_config(v, 5, 2, args.seed);
+    config.verify_fraction = mode.verify_fraction;
+    config.use_real_crypto = mode.real_crypto;
+    harness::NetworkSim sim(config);
+    const auto start = std::chrono::steady_clock::now();
+    sim.run(rounds, nullptr);
+    const auto end = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    const auto& s = sim.stats();
+    t.add_row({mode.label, std::to_string(s.shuffles_completed),
+               Table::num(wall_ms, 1),
+               Table::num(wall_ms * 1000.0 / static_cast<double>(s.shuffles_completed), 1),
+               std::to_string(s.shuffles_verified),
+               std::to_string(s.verification_failures)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n|V| = %zu, %zu analysis rounds\n%s", v, rounds, t.to_string().c_str());
+  std::printf("\nTakeaway: full verification multiplies per-shuffle cost (dominated\n"
+              "by VRF re-derivation and history reconstruction) but stays well\n"
+              "within a 10 s shuffle period even with real Ed25519+ECVRF.\n");
+  return 0;
+}

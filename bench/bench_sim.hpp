@@ -1,0 +1,36 @@
+// Simulation plumbing shared by the measurement benches: standard paper
+// configurations (Table I) and steady-state runs.
+#pragma once
+
+#include "accountnet/harness/network_sim.hpp"
+#include "bench_common.hpp"
+
+namespace accountnet::bench {
+
+/// Table I defaults: shuffle period ~10 s, L = ceil(f/2), 125 nodes/VM lane.
+inline harness::ExperimentConfig paper_config(std::size_t v, std::size_t f,
+                                              std::size_t d, std::uint64_t seed = 1) {
+  harness::ExperimentConfig c;
+  c.network_size = v;
+  c.f = f;
+  c.l = (f + 1) / 2;
+  c.d = d;
+  c.seed = seed;
+  c.verify_fraction = 0.02;  // spot-verify; correctness is covered by tests
+  c.history_limit = 96;
+  return c;
+}
+
+/// Rounds needed to reach full size (the launch schedule finishes around
+/// round 70-75 for lane_size=125, as in Fig. 11) plus settle time.
+inline std::size_t steady_rounds(const harness::ExperimentConfig& c,
+                                 std::size_t settle_rounds = 40) {
+  const std::size_t lanes = (c.network_size + c.lane_size - 1) / c.lane_size;
+  const double per_lane = static_cast<double>((c.network_size + lanes - 1) / lanes);
+  const double launch_seconds =
+      per_lane * sim::to_seconds(c.launch_spacing_max) / 2.0 * 1.15;
+  const double analysis_s = sim::to_seconds(c.analysis_period);
+  return static_cast<std::size_t>(launch_seconds / analysis_s) + settle_rounds;
+}
+
+}  // namespace accountnet::bench

@@ -1,0 +1,39 @@
+// Fig. 9: expected neighborhood size |N^d| (Algorithm 4) for combinations of
+// |V|, f, and d, with the perfect-f-ary-tree maxima as reference lines.
+#include "accountnet/analysis/bounds.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace accountnet;
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_header("fig09_expected_neighborhood",
+                      "Fig. 9 — expected neighborhood size vs |V| for f, d", args.full);
+
+  const std::vector<std::size_t> fs = {2, 3, 5};
+  const std::vector<std::size_t> ds = {1, 2, 3};
+  const std::vector<std::size_t> sizes = {10,   20,   50,   100,  200,  500,
+                                          1000, 2000, 5000, 10000};
+
+  for (const auto f : fs) {
+    Table t({"|V|", "d=1", "d=2", "d=3", "max d=1", "max d=2", "max d=3"});
+    for (const auto v : sizes) {
+      std::vector<std::string> row = {std::to_string(v)};
+      for (const auto d : ds) {
+        row.push_back(Table::num(analysis::expected_neighborhood_size(v, f, d)));
+      }
+      for (const auto d : ds) {
+        row.push_back(Table::num(analysis::max_neighborhood_size(f, d)));
+      }
+      t.add_row(row);
+    }
+    std::printf("\nf = %zu\n%s", f, t.to_string().c_str());
+  }
+
+  // The paper's spot values for orientation.
+  std::printf("\nPaper spot checks:\n");
+  std::printf("  Example 2 (|V|=10, f=2, d=2): %.2f (paper: 4.76)\n",
+              analysis::expected_neighborhood_size(10, 2, 2));
+  std::printf("  Sec. V-B (|V|=1000, f=5, d=2): %.2f (paper: ~30)\n",
+              analysis::expected_neighborhood_size(1000, 5, 2));
+  return 0;
+}

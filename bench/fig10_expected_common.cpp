@@ -1,0 +1,36 @@
+// Fig. 10: expected number of common nodes between two neighborhoods of the
+// same size λ (Lemma 1), as a function of λ and |V|.
+#include "accountnet/analysis/bounds.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace accountnet;
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_header("fig10_expected_common",
+                      "Fig. 10 — expected common nodes vs lambda and |V|", args.full);
+
+  const std::vector<std::size_t> sizes = {100, 200, 500, 1000, 2000, 5000, 10000};
+  const std::vector<double> lambdas = {10, 20, 30, 50, 100, 200, 500};
+
+  Table t([&] {
+    std::vector<std::string> headers = {"lambda \\ |V|"};
+    for (const auto v : sizes) headers.push_back(std::to_string(v));
+    return headers;
+  }());
+  for (const double lambda : lambdas) {
+    std::vector<std::string> row = {Table::num(lambda, 0)};
+    for (const auto v : sizes) {
+      if (lambda >= static_cast<double>(v)) {
+        row.push_back("-");
+      } else {
+        row.push_back(Table::num(analysis::expected_common_nodes(v, lambda, lambda)));
+      }
+    }
+    t.add_row(row);
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  std::printf("\nPaper spot check: lambda=30, |V|=1000 -> %.2f (paper: ~0.9)\n",
+              analysis::expected_common_nodes(1000, 30, 30));
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fig. 11: network size, number of malicious nodes (p_m = 0.1), and shuffle
+// rate over analysis rounds, for several network sizes.
+#include "bench_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace accountnet;
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_header("fig11_network_growth",
+                      "Fig. 11 — network size, malicious nodes, shuffle rate",
+                      args.full);
+
+  const std::vector<std::size_t> sizes =
+      args.full ? std::vector<std::size_t>{500, 1000, 5000, 10000}
+                : std::vector<std::size_t>{500, 1000, 5000};
+
+  for (const auto v : sizes) {
+    auto config = bench::paper_config(v, 5, 2, args.seed);
+    config.pm = 0.10;
+    harness::NetworkSim sim(config);
+    Table t({"round", "network size", "malicious", "shuffles/sec"});
+    const std::size_t rounds = bench::steady_rounds(config, 20);
+    sim.run(rounds, [&](std::size_t round) {
+      const auto delta = sim.take_shuffle_delta();
+      if (round % 10 == 0 || round == rounds) {
+        t.add_row({std::to_string(round), std::to_string(sim.alive_count()),
+                   std::to_string(sim.malicious_alive_count()),
+                   Table::num(static_cast<double>(delta) /
+                              sim::to_seconds(config.analysis_period))});
+      }
+    });
+    std::printf("\n|V| = %zu (expect full size ~round 70-75, rate ~0.1|V|/s)\n%s", v,
+                t.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 12: average neighborhood size over analysis rounds for the four
+// network configurations (f, d) ∈ {5,10} x {2,3} and several |V|.
+#include "accountnet/analysis/bounds.hpp"
+#include "bench_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace accountnet;
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_header("fig12_neighborhood_size",
+                      "Fig. 12 — avg neighborhood size over rounds per (f, d)",
+                      args.full);
+
+  const std::vector<std::size_t> sizes =
+      args.full ? std::vector<std::size_t>{500, 1000, 5000, 10000}
+                : std::vector<std::size_t>{500, 1000};
+  struct Cfg {
+    std::size_t f, d;
+  };
+  const std::vector<Cfg> cfgs = {{5, 2}, {5, 3}, {10, 2}, {10, 3}};
+
+  for (const auto& cfg : cfgs) {
+    std::printf("\n(f, d) = (%zu, %zu); analysis |N^d|:", cfg.f, cfg.d);
+    for (const auto v : sizes) {
+      std::printf(" |V|=%zu -> %.2f;", v,
+                  analysis::expected_neighborhood_size(v, cfg.f, cfg.d));
+    }
+    std::printf("\n");
+    Table t([&] {
+      std::vector<std::string> headers = {"round"};
+      for (const auto v : sizes) headers.push_back("|V|=" + std::to_string(v));
+      return headers;
+    }());
+
+    std::vector<std::unique_ptr<harness::NetworkSim>> sims;
+    for (const auto v : sizes) {
+      sims.push_back(std::make_unique<harness::NetworkSim>(
+          bench::paper_config(v, cfg.f, cfg.d, args.seed)));
+    }
+    std::size_t rounds = 0;
+    for (const auto v : sizes) {
+      rounds = std::max(rounds,
+                        bench::steady_rounds(bench::paper_config(v, cfg.f, cfg.d), 30));
+    }
+    for (std::size_t round = 0; round <= rounds; round += 15) {
+      std::vector<std::string> row = {std::to_string(round)};
+      for (std::size_t i = 0; i < sims.size(); ++i) {
+        sims[i]->run(round == 0 ? 0 : 15, nullptr);  // lockstep advance
+        Rng rng(args.seed + round + i);
+        row.push_back(Table::num(sims[i]->sample_avg_neighborhood(cfg.d, 150, rng)));
+      }
+      t.add_row(row);
+      std::printf(".");
+      std::fflush(stdout);
+    }
+    std::printf("\n%s", t.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 15: distribution of the probability that a witness CANDIDATE is
+// malicious after common-neighbor exclusion (f = 10, d = 3, snapshot at
+// steady state), across network sizes. Also reports the no-exclusion
+// ablation: exclusion widens the variance (the paper's observation) but is
+// what prevents double-odds pollution attacks.
+#include "bench_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace accountnet;
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_header("fig15_candidate_malicious",
+                      "Fig. 15 — P(witness candidate malicious), f=10, d=3", args.full);
+
+  const std::vector<std::size_t> sizes =
+      args.full ? std::vector<std::size_t>{500, 1000, 5000, 10000}
+                : std::vector<std::size_t>{500, 1000, 2000};
+
+  Table t({"|V|", "excl: mean", "excl: sd", "excl: p95", "no-excl: mean",
+           "no-excl: sd", "pairs"});
+  for (const auto v : sizes) {
+    auto config = bench::paper_config(v, 10, 3, args.seed);
+    config.pm = 0.10;
+    harness::NetworkSim sim(config);
+    // The paper snapshots at the 200th analysis round.
+    sim.run(std::max(bench::steady_rounds(config, 40),
+                     args.full ? std::size_t{200} : std::size_t{0}),
+            nullptr);
+    Rng rng(args.seed + v);
+    const std::size_t pairs = 300;
+    const auto excl =
+        sim.sample_candidate_malicious_fraction(3, 8, pairs, rng, /*exclude=*/true);
+    Rng rng2(args.seed + v);
+    const auto noexcl =
+        sim.sample_candidate_malicious_fraction(3, 8, pairs, rng2, /*exclude=*/false);
+    t.add_row({std::to_string(v), Table::num(excl.mean(), 4),
+               Table::num(excl.stddev(), 4), Table::num(excl.percentile(95), 4),
+               Table::num(noexcl.mean(), 4), Table::num(noexcl.stddev(), 4),
+               std::to_string(excl.count())});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n%s", t.to_string().c_str());
+  std::printf("\nExpectation: means stay ~0.10; the exclusion column's variance is\n"
+              "largest for small |V| (neighborhoods mostly overlap -> few candidates),\n"
+              "matching the paper's |V|=500 caveat.\n");
+  return 0;
+}

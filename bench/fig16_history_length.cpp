@@ -1,0 +1,46 @@
+// Fig. 16: distribution of the effective peerset-update-history length nodes
+// ship when proving their peersets, per (f, L) — larger f lengthens, larger
+// L shortens (peers churn out of the set faster).
+#include <cmath>
+
+#include "bench_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace accountnet;
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_header("fig16_history_length",
+                      "Fig. 16 — effective shuffle history length distribution",
+                      args.full);
+
+  const std::size_t v = args.full ? 5000 : 1000;
+  struct Cfg {
+    std::size_t f, l;
+  };
+  // The paper's panels (a)-(e): (5,3), (7,4), (10,5) and the L sweep on f=10.
+  const std::vector<Cfg> cfgs = {{5, 3}, {7, 4}, {10, 5}, {10, 7}, {10, 3}};
+
+  std::printf("|V| = %zu. Geometric intuition: P(peer survives m rounds) =\n"
+              "((f-L)/f)^m, so higher L -> shorter proofs.\n\n", v);
+  Table t({"f", "L", "mean", "p50", "p95", "p99", "max", "n",
+           "P(stay 4 rounds)"});
+  for (const auto& cfg : cfgs) {
+    auto config = bench::paper_config(v, cfg.f, 2, args.seed);
+    config.l = cfg.l;
+    harness::NetworkSim sim(config);
+    sim.run(bench::steady_rounds(config, 20), nullptr);
+    (void)sim.take_history_length_samples();  // discard warm-up samples
+    sim.run(20, nullptr);                     // measure at steady state
+    const auto samples = sim.take_history_length_samples();
+    const double survive =
+        std::pow(static_cast<double>(cfg.f - cfg.l) / static_cast<double>(cfg.f), 4.0);
+    t.add_row({std::to_string(cfg.f), std::to_string(cfg.l),
+               Table::num(samples.mean()), Table::num(samples.median(), 0),
+               Table::num(samples.percentile(95), 0),
+               Table::num(samples.percentile(99), 0), Table::num(samples.max(), 0),
+               std::to_string(samples.count()), Table::num(survive, 4)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n%s", t.to_string().c_str());
+  return 0;
+}

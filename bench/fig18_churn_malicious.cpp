@@ -1,0 +1,47 @@
+// Fig. 18: P(neighbor malicious) and P(witness candidate malicious) while
+// 10% of the nodes churn out — the paper reports no statistically
+// significant impact; both distributions should match Figs. 14/15.
+#include "bench_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace accountnet;
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_header("fig18_churn_malicious",
+                      "Fig. 18 — malicious-probability distributions under churn",
+                      args.full);
+
+  const std::size_t v = args.full ? 10000 : 2000;
+  const std::vector<std::size_t> ds = {2, 3};
+
+  for (const auto d : ds) {
+    auto config = bench::paper_config(v, 10, d, args.seed);
+    config.pm = 0.10;
+    const std::size_t steady = bench::steady_rounds(config, 30);
+    harness::NetworkSim sim(config);
+    sim.schedule_churn(v / 10,
+                       static_cast<sim::TimePoint>(steady) * config.analysis_period,
+                       sim::seconds(300));
+
+    Table out({"phase", "neighbor mean", "neighbor sd", "candidate mean",
+               "candidate sd"});
+    auto snapshot = [&](const std::string& phase, std::uint64_t salt) {
+      Rng rng(args.seed + salt);
+      const auto nb = sim.sample_neighbor_malicious_fraction(d, 400, rng);
+      const auto cand = sim.sample_candidate_malicious_fraction(d, 8, 200, rng);
+      out.add_row({phase, Table::num(nb.mean(), 4), Table::num(nb.stddev(), 4),
+                   Table::num(cand.mean(), 4), Table::num(cand.stddev(), 4)});
+    };
+
+    sim.run(steady, nullptr);
+    snapshot("before churn", 1);
+    sim.run(40, nullptr);  // during/after the churn window
+    snapshot("during churn", 2);
+    sim.run(60, nullptr);
+    snapshot("after healing", 3);
+    std::printf("(f=10, d=%zu), |V| = %zu -> %zu\n%s\n", d, v, v - v / 10,
+                out.to_string().c_str());
+  }
+  std::printf("Expectation: means stay ~0.10 throughout (churn does not bias the\n"
+              "malicious-node exposure), matching the paper's conclusion.\n");
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Fig. 20: latency of the cloud-based object-detection application over
+// AccountNet (the Sec. VI-B case study).
+//
+//   (a) round-trip time WITHOUT the ML inference stage,
+//   (b) end-to-end latency including inference (809 +- 191 ms),
+// for direct delivery (no witnesses) and witness groups of several sizes,
+// each with and without the majority-delivery optimization.
+//
+// The network is the event-driven core::Node stack over the 20 ms simulated
+// fabric; latencies are virtual-time measurements, so the choice of crypto
+// backend cannot affect them (FastCrypto keeps wall-clock short).
+#include "accountnet/mlsim/detector.hpp"
+#include "accountnet/pubsub/pubsub.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace accountnet;
+
+struct CaseStudyNet {
+  explicit CaseStudyNet(std::size_t n, std::uint64_t seed)
+      : net(sim, sim::netem_latency(), seed) {
+    core::Node::Config config;
+    config.protocol.max_peerset = 5;
+    config.protocol.shuffle_length = 3;
+    config.shuffle_period = sim::seconds(10);
+    config.depth = 3;
+    config.witness_count = 4;
+    for (std::size_t i = 0; i < n; ++i) {
+      Bytes node_seed(32);
+      Rng rng(seed * 1000 + i);
+      for (auto& b : node_seed) b = static_cast<std::uint8_t>(rng.next_u64());
+      nodes.push_back(std::make_unique<core::Node>(net, "v" + std::to_string(1000 + i),
+                                                   *provider, node_seed, config,
+                                                   rng.next_u64()));
+    }
+    nodes[0]->start_as_seed();
+    for (std::size_t i = 1; i < n; ++i) {
+      sim.schedule(sim::milliseconds(static_cast<std::int64_t>(20 * i)),
+                   [this, i] { nodes[i]->start_join(nodes[i - 1]->id().addr); });
+    }
+    sim.run_until(sim.now() + sim::seconds(120));  // settle the overlay
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<crypto::CryptoProvider> provider = crypto::make_fast_crypto();
+  sim::SimNetwork net;
+  std::vector<std::unique_ptr<core::Node>> nodes;
+};
+
+/// One measurement sweep: vehicle publishes frames, service runs (optional)
+/// inference, replies; returns per-trial latencies in milliseconds.
+Samples measure(CaseStudyNet& cs, core::Node& vehicle, core::Node& service,
+                mlsim::ObjectDetectionService* ml, std::size_t witness_count,
+                bool majority_opt, int trials, std::uint64_t topic_salt) {
+  vehicle.set_witness_policy(witness_count, majority_opt);
+  service.set_witness_policy(witness_count, majority_opt);
+
+  pubsub::TopicDirectory directory;
+  pubsub::PubSubNode veh(vehicle, directory);
+  pubsub::PubSubNode svc(service, directory);
+  const std::string scene = "scene_image_" + std::to_string(topic_salt);
+  const std::string detected = "detected_objects_" + std::to_string(topic_salt);
+
+  svc.subscribe(scene, [&](const std::string&, const Bytes& img, const core::PeerId&) {
+    const sim::Duration inference = ml ? ml->sample_latency() : 0;
+    cs.sim.schedule(inference, [&svc, detected, img] {
+      mlsim::ObjectDetectionService detector;  // deterministic mapping
+      svc.publish(detected, detector.detect(img).encode());
+    });
+  });
+
+  Samples latencies;
+  sim::TimePoint sent_at = 0;
+  bool outstanding = false;
+  int completed = 0;
+  veh.subscribe(detected,
+                [&](const std::string&, const Bytes&, const core::PeerId&) {
+                  if (!outstanding) return;
+                  outstanding = false;
+                  latencies.add(sim::to_milliseconds(cs.sim.now() - sent_at));
+                  ++completed;
+                });
+
+  const Bytes frame = mlsim::synthetic_scene_image(2010, 1125, topic_salt);
+  // Warm-up publish to establish both channels (excluded from the stats).
+  veh.publish(scene, frame);
+  cs.sim.run_until(cs.sim.now() + sim::seconds(20));
+  latencies = Samples{};
+  completed = 0;
+
+  for (int t = 0; t < trials; ++t) {
+    sent_at = cs.sim.now();
+    outstanding = true;
+    veh.publish(scene, frame);
+    cs.sim.run_until(cs.sim.now() + sim::seconds(4));
+  }
+  (void)completed;
+  return latencies;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_header("fig20_ml_latency",
+                      "Fig. 20 — cloud object-detection latency over AccountNet",
+                      args.full);
+
+  const std::size_t n = args.full ? 1000 : 300;
+  const int trials = args.full ? 150 : 60;
+  std::printf("|V| = %zu, link delay ~20 ms/hop, ML inference 809 +- 191 ms\n", n);
+  std::printf("building and settling the overlay...\n");
+  CaseStudyNet cs(n, args.seed);
+
+  core::Node& vehicle = *cs.nodes[2];
+  core::Node& service = *cs.nodes[n / 2];
+
+  struct Row {
+    const char* label;
+    std::size_t w;
+    bool opt;
+  };
+  const std::vector<Row> rows = {
+      {"direct (no witnesses)", 0, false}, {"|W|=2", 2, false}, {"|W|=2 with opt.", 2, true},
+      {"|W|=4", 4, false},                 {"|W|=4 with opt.", 4, true},
+      {"|W|=8", 8, false},                 {"|W|=8 with opt.", 8, true},
+  };
+
+  // Direct baseline: two raw hops each way, no relay.
+  auto direct = [&](bool with_ml) {
+    mlsim::ObjectDetectionService ml({}, args.seed);
+    Samples s;
+    for (int t = 0; t < trials; ++t) {
+      double ms = sim::to_milliseconds(cs.net.sample_delay() + cs.net.sample_delay());
+      if (with_ml) ms += sim::to_milliseconds(ml.sample_latency());
+      s.add(ms);
+    }
+    return s;
+  };
+
+  for (const bool with_ml : {false, true}) {
+    std::printf("\n--- Fig. 20(%c): %s ---\n", with_ml ? 'b' : 'a',
+                with_ml ? "end-to-end including ML inference"
+                        : "round trip without ML inference");
+    Table t({"configuration", "mean ms", "sd", "p50", "p95", "trials"});
+    std::uint64_t salt = (with_ml ? 100 : 0);
+    for (const auto& row : rows) {
+      Samples s;
+      if (row.w == 0) {
+        s = direct(with_ml);
+      } else {
+        mlsim::ObjectDetectionService ml({}, args.seed + salt);
+        s = measure(cs, vehicle, service, with_ml ? &ml : nullptr, row.w, row.opt,
+                    trials, ++salt);
+      }
+      t.add_row({row.label, Table::num(s.mean(), 1), Table::num(s.stddev(), 1),
+                 Table::num(s.median(), 1), Table::num(s.percentile(95), 1),
+                 std::to_string(s.count())});
+      std::printf(".");
+      std::fflush(stdout);
+    }
+    std::printf("\n%s", t.to_string().c_str());
+  }
+  std::printf(
+      "\nShape checks vs the paper: latency grows with |W| (relay through\n"
+      "witnesses, slowest-copy wait); 'with opt.' recovers most of the\n"
+      "overhead; the ML stage's ~809 ms variance masks much of the relay\n"
+      "overhead in (b).\n");
+  return 0;
+}

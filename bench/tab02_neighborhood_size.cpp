@@ -1,0 +1,60 @@
+// Table II: average neighborhood size — Algorithm 4 analysis vs measurement
+// on a steady-state network, for (f=10, d=3) and (f=5, d=2) across |V|.
+#include "accountnet/analysis/bounds.hpp"
+#include "bench_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace accountnet;
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_header("tab02_neighborhood_size",
+                      "Table II — avg neighborhood size, analysis vs measurement",
+                      args.full);
+
+  const std::vector<std::size_t> sizes =
+      args.full ? std::vector<std::size_t>{500, 1000, 5000, 10000}
+                : std::vector<std::size_t>{500, 1000, 5000};
+  struct Cfg {
+    std::size_t f, d;
+  };
+  const std::vector<Cfg> cfgs = {{10, 3}, {5, 2}};
+
+  Table t({"|V|", "f", "d", "Analysis", "Measurement", "Paper(analysis)",
+           "Paper(measured)"});
+  auto paper = [](std::size_t v, std::size_t f) -> std::pair<const char*, const char*> {
+    if (f == 10) {
+      switch (v) {
+        case 500: return {"446.25", "439.19"};
+        case 1000: return {"671.97", "663.42"};
+        case 5000: return {"996.29", "991.79"};
+        case 10000: return {"1051.10", "1048.37"};
+      }
+    } else {
+      switch (v) {
+        case 500: return {"29.26", "29.35"};
+        case 1000: return {"29.63", "29.67"};
+        case 5000: return {"29.93", "29.91"};
+        case 10000: return {"29.96", "29.95"};
+      }
+    }
+    return {"-", "-"};
+  };
+
+  for (const auto& cfg : cfgs) {
+    for (const auto v : sizes) {
+      auto config = bench::paper_config(v, cfg.f, cfg.d, args.seed);
+      harness::NetworkSim sim(config);
+      sim.run(bench::steady_rounds(config), nullptr);
+      Rng rng(args.seed + v);
+      const double measured =
+          sim.sample_avg_neighborhood(cfg.d, std::min<std::size_t>(v, 400), rng);
+      const double analytic = analysis::expected_neighborhood_size(v, cfg.f, cfg.d);
+      const auto [pa, pm] = paper(v, cfg.f);
+      t.add_row({std::to_string(v), std::to_string(cfg.f), std::to_string(cfg.d),
+                 Table::num(analytic), Table::num(measured), pa, pm});
+      std::printf(".");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n%s", t.to_string().c_str());
+  return 0;
+}

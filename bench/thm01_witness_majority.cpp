@@ -1,0 +1,92 @@
+// Theorem 1 experimental validation ("which we also validate
+// experimentally", Sec. I): sweep p_m across the analytic threshold on a
+// real shuffled overlay and measure the fraction of witness groups that end
+// up with a strict benign majority.
+#include <cmath>
+
+#include "accountnet/analysis/bounds.hpp"
+#include "bench_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace accountnet;
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_header("thm01_witness_majority",
+                      "Theorem 1 — benign-majority rate vs p_m on a live overlay",
+                      args.full);
+
+  const std::size_t v = args.full ? 2000 : 800;
+  const std::size_t f = 5, d = 2;
+  const std::size_t w = 9;
+  const double analytic_nbh = analysis::expected_neighborhood_size(v, f, d);
+  const double threshold = analysis::pm_bound_average(v, analytic_nbh);
+  std::printf("|V|=%zu, (f,d)=(%zu,%zu), |W|=%zu; Theorem 1 threshold p_m < %.3f\n\n",
+              v, f, d, w, threshold);
+
+  const std::vector<double> pms = {0.05, 0.15, 0.25, 0.35, 0.45, 0.49, 0.55};
+  Table t({"p_m", "vs threshold", "benign-majority rate", "pairs"});
+  for (const double pm : pms) {
+    auto config = bench::paper_config(v, f, d, args.seed);
+    config.pm = pm;
+    harness::NetworkSim sim(config);
+    sim.run(bench::steady_rounds(config, 30), nullptr);
+
+    // Sample pairs, form witness plans, and simulate the verifiable draw by
+    // sampling quota candidates uniformly (the VRF is uniform by design).
+    Rng rng(args.seed + static_cast<std::uint64_t>(pm * 1000));
+    std::vector<std::size_t> alive;
+    for (std::size_t i = 0; i < sim.size(); ++i) {
+      if (sim.is_alive(i) && sim.is_joined(i)) alive.push_back(i);
+    }
+    int benign_major = 0, pairs = 0;
+    const int target_pairs = args.full ? 400 : 250;
+    for (int s = 0; s < target_pairs; ++s) {
+      const std::size_t a = alive[rng.uniform(alive.size())];
+      std::size_t b = a;
+      while (b == a) b = alive[rng.uniform(alive.size())];
+      const auto na = sim.neighborhood_indices(a, d);
+      const auto nb = sim.neighborhood_indices(b, d);
+      if (na.empty() || nb.empty()) continue;
+      // Exclude common + endpoints, α-split, uniform draws.
+      std::vector<std::size_t> common;
+      std::set_intersection(na.begin(), na.end(), nb.begin(), nb.end(),
+                            std::back_inserter(common));
+      auto candidates = [&](const std::vector<std::size_t>& n) {
+        std::vector<std::size_t> c;
+        std::set_difference(n.begin(), n.end(), common.begin(), common.end(),
+                            std::back_inserter(c));
+        std::erase(c, a);
+        std::erase(c, b);
+        return c;
+      };
+      const auto ca = candidates(na);
+      const auto cb = candidates(nb);
+      const double alpha_a =
+          static_cast<double>(na.size()) / static_cast<double>(na.size() + nb.size());
+      std::size_t quota_a = std::min(
+          static_cast<std::size_t>(std::llround(alpha_a * static_cast<double>(w))),
+          ca.size());
+      std::size_t quota_b = std::min(w - quota_a, cb.size());
+      if (quota_a + quota_b == 0) continue;
+      std::size_t malicious = 0;
+      for (const auto& [cands, quota] :
+           {std::pair{&ca, quota_a}, {&cb, quota_b}}) {
+        if (quota == 0 || cands->empty()) continue;
+        for (const std::size_t idx : rng.sample_indices(cands->size(), quota)) {
+          if (sim.is_malicious((*cands)[idx])) ++malicious;
+        }
+      }
+      ++pairs;
+      if (2 * malicious < quota_a + quota_b) ++benign_major;
+    }
+    const double rate = pairs ? static_cast<double>(benign_major) / pairs : 0.0;
+    t.add_row({Table::num(pm, 2), pm < threshold ? "below" : "ABOVE",
+               Table::num(rate, 3), std::to_string(pairs)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n%s", t.to_string().c_str());
+  std::printf("\nExpectation: the rate stays near 1 well below the threshold and\n"
+              "collapses through 0.5 as p_m crosses it — Theorem 1, measured on\n"
+              "an actually-shuffled network rather than the hypergeometric model.\n");
+  return 0;
+}

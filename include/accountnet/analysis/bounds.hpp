@@ -1,0 +1,57 @@
+// The paper's combinatorial analysis (Sec. V): expected neighborhood size
+// (Algorithm 4), expected common nodes between two neighborhoods (Lemma 1),
+// the collusion-tolerance bounds (Lemma 2, Theorem 1), and the
+// parameter-selection recipe of Sec. V-B / VI-B.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace accountnet::analysis {
+
+/// |N^d|* = (f^{d+1} - f) / (f - 1): the perfect f-ary-tree upper bound.
+double max_neighborhood_size(std::size_t f, std::size_t d);
+
+/// Algorithm 4: expected |N^d| for a uniform-random overlay of |V| nodes
+/// with peerset size f and depth limit d. Uses the paper's fractional-n
+/// hypergeometric expansion (Example 2 reproduces exactly).
+double expected_neighborhood_size(std::size_t network_size, std::size_t f,
+                                  std::size_t d);
+
+/// Lemma 1: E[|N_i^d ∩ N_j^d|] = λ_i λ_j / (|V| - 1).
+double expected_common_nodes(std::size_t network_size, double lambda_i, double lambda_j);
+
+/// Lemma 2 (Eq. 4): the p_m threshold below which a witness group drawn
+/// between neighborhoods of sizes λ_i, λ_j sharing y nodes has a benign
+/// majority in expectation (worst case: all common nodes benign).
+double pm_bound_pair(double lambda_i, double lambda_j, double common_y);
+
+/// Theorem 1 (Eq. 5): the average-network threshold
+/// p_m < (|V| - 1 - E[|N^d|]) / (2 (|V| - 1)).
+double pm_bound_average(std::size_t network_size, double expected_nbh);
+
+/// Example 3's inversion: the largest average neighborhood admissible for a
+/// given p_m: E[|N^d|] < (|V| - 1)(1 - 2 p_m).
+double max_neighborhood_for_pm(std::size_t network_size, double pm);
+
+/// One (f, d) candidate with its analysis numbers and feasibility verdicts.
+struct ParameterChoice {
+  std::size_t f = 0;
+  std::size_t d = 0;
+  double expected_nbh = 0.0;
+  double expected_common = 0.0;
+  double pm_threshold = 0.0;      ///< Theorem 1 threshold for this (f, d).
+  bool tolerates_following = false;   ///< case (i): colluders follow protocol
+  bool tolerates_separate = false;    ///< case (ii): colluders form own overlay
+};
+
+/// Sec. V-B / VI-B recipe: evaluates candidate (f, d) pairs against both
+/// adversary strategies for the given |V| and p_m.
+/// * case (i) needs p_m < Theorem-1 threshold (neighborhoods not too big);
+/// * case (ii) needs E[|N^d|] > p_m |V| with `churn_margin` slack
+///   (neighborhoods big enough to outnumber the separated coalition).
+std::vector<ParameterChoice> evaluate_parameters(
+    std::size_t network_size, double pm, const std::vector<std::size_t>& fs,
+    const std::vector<std::size_t>& ds, double churn_margin = 0.05);
+
+}  // namespace accountnet::analysis

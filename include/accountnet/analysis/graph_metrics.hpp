@@ -1,0 +1,34 @@
+// Overlay graph metrics used by the Appendix-A evaluation (Fig. 22) and by
+// the harness snapshots: diameter and average clustering coefficient over the
+// directed peer graph, plus degree summaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace accountnet::analysis {
+
+/// Directed overlay snapshot: adjacency[i] = sorted out-neighbors of node i.
+using Adjacency = std::vector<std::vector<std::size_t>>;
+
+struct GraphMetrics {
+  double diameter = 0.0;              ///< max finite BFS eccentricity (see below)
+  double avg_clustering = 0.0;        ///< Watts-Strogatz average, directed form
+  double avg_out_degree = 0.0;
+  std::size_t unreachable_pairs = 0;  ///< pairs with no directed path (sampled)
+};
+
+/// Computes metrics. Diameter uses BFS from every node when
+/// |V| <= exact_threshold, else from `sample_sources` random sources (an
+/// under-estimate, standard practice for large graphs); clustering uses the
+/// directed definition  C_i = |{(u,v) ∈ E : u,v ∈ N(i), u != v}| / (k(k-1)).
+GraphMetrics compute_graph_metrics(const Adjacency& adjacency,
+                                   std::size_t exact_threshold = 2000,
+                                   std::size_t sample_sources = 64,
+                                   std::uint64_t seed = 42);
+
+/// BFS distances from `source`; SIZE_MAX marks unreachable nodes.
+std::vector<std::size_t> bfs_distances(const Adjacency& adjacency, std::size_t source);
+
+}  // namespace accountnet::analysis

@@ -1,0 +1,84 @@
+// Offline audit machinery (Sec. IV-A "Peerset verification", Sec. V
+// neighborhood verification).
+//
+// Beyond the inline checks every shuffle performs, AccountNet lets any node
+// audit others after the fact:
+//
+//   * cross-entry audit: for an entry ω_{j,r} claiming a shuffle with v_k at
+//     v_k's round r', fetch ω_{k,r'} and check the mirror-image relations
+//     (what j removed toward k appears on k's in-side and vice versa, up to
+//     refills and capacity drops);
+//   * history-window invariants: counterpart ∈ N̂_j[r] for initiated
+//     shuffles and out ⊆ N̂_j[r] — the two invariants listed in the paper;
+//   * neighborhood audit: verify a claimed N_j^d by walking the overlay from
+//     v_j and checking each hop's peerset against its history (full
+//     traversal, or a cheaper random-walk spot check).
+#pragma once
+
+#include "accountnet/core/history.hpp"
+#include "accountnet/core/neighborhood.hpp"
+#include "accountnet/util/rng.hpp"
+
+namespace accountnet::core {
+
+/// Checks the mirror relation between two shuffle entries that claim to
+/// describe the same exchange: `mine` from the audited node, `theirs` from
+/// its counterpart. Capacity drops and refills make the relation a pair of
+/// subset constraints rather than equalities.
+VerifyResult audit_entry_pair(const HistoryEntry& mine, const PeerId& me,
+                              const HistoryEntry& theirs, const PeerId& them);
+
+/// Per-entry invariants over a history window reconstructed from `suffix`
+/// (the paper's two bullets): for each shuffle entry, the counterpart lay in
+/// the reconstructed peerset when the owner initiated, and out ⊆ N̂[r].
+VerifyResult audit_history_invariants(const std::vector<HistoryEntry>& suffix,
+                                      const PeerId& owner);
+
+/// Supplies another node's history entry by round (e.g. backed by the
+/// old-entry lookup RPC, or direct state access in simulations).
+class EntryOracle {
+ public:
+  virtual ~EntryOracle() = default;
+  virtual std::optional<HistoryEntry> entry_of(const PeerId& node, Round round) const = 0;
+};
+
+class FnEntryOracle final : public EntryOracle {
+ public:
+  using Fn = std::function<std::optional<HistoryEntry>(const PeerId&, Round)>;
+  explicit FnEntryOracle(Fn fn) : fn_(std::move(fn)) {}
+  std::optional<HistoryEntry> entry_of(const PeerId& node, Round round) const override {
+    return fn_(node, round);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Full cross-entry audit of a history suffix: every shuffle entry is
+/// checked against the counterpart's mirrored entry fetched from the oracle.
+/// Counterparts that cannot be reached are skipped (they may have left);
+/// `checked` reports how many pairs were actually audited.
+struct CrossAuditResult {
+  VerifyResult verdict = VerifyResult::pass();
+  std::size_t checked = 0;
+  std::size_t unreachable = 0;
+};
+CrossAuditResult cross_audit_history(const std::vector<HistoryEntry>& suffix,
+                                     const PeerId& owner, const EntryOracle& oracle);
+
+/// Verifies a claimed depth-d neighborhood by re-walking the overlay from
+/// `root` through the peerset oracle. `claimed` must equal the BFS result.
+VerifyResult audit_neighborhood_full(const PeersetOracle& oracle, const PeerId& root,
+                                     std::size_t depth,
+                                     const std::vector<PeerId>& claimed);
+
+/// Cheaper spot check (the paper's "random walking"): take `walks` random
+/// walks of length <= depth from the root; every node touched must be in the
+/// claimed set. Catches under-claiming; over-claimed ghost nodes are caught
+/// probabilistically by membership walks from claimed nodes backwards.
+VerifyResult audit_neighborhood_spot(const PeersetOracle& oracle, const PeerId& root,
+                                     std::size_t depth,
+                                     const std::vector<PeerId>& claimed,
+                                     std::size_t walks, Rng& rng);
+
+}  // namespace accountnet::core

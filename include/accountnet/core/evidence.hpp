@@ -1,0 +1,91 @@
+// Evidence capture and dispute resolution (Sec. III / Sec. V).
+//
+// Witnesses relay data 1-hop between producer and consumer and log a signed
+// digest of each relayed message. A third-party resolver later collects the
+// witness testimonies for a (channel, sequence) pair and decides by simple
+// majority whose claim — producer's or consumer's — matches what the network
+// actually carried. This is exactly the capability Sec. II-C shows bare
+// digital signatures cannot provide.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "accountnet/core/types.hpp"
+#include "accountnet/crypto/sha256.hpp"
+
+namespace accountnet::core {
+
+using DataDigest = crypto::Sha256::Digest;
+
+/// Content digest used throughout the evidence layer.
+DataDigest digest_of(BytesView payload);
+
+/// Signing payload for a witness testimony.
+Bytes evidence_payload(std::uint64_t channel_id, std::uint64_t sequence,
+                       const DataDigest& digest);
+
+/// One witness's signed record of one relayed message.
+struct Testimony {
+  PeerId witness;
+  std::uint64_t channel_id = 0;
+  std::uint64_t sequence = 0;
+  DataDigest digest{};
+  Bytes signature;  ///< witness signature over evidence_payload(...)
+};
+
+/// Verifies a testimony's signature.
+bool verify_testimony(const Testimony& t, const crypto::CryptoProvider& provider);
+
+/// Per-witness evidence store.
+class EvidenceLog {
+ public:
+  explicit EvidenceLog(PeerId owner) : owner_(std::move(owner)) {}
+
+  /// Records a relayed payload and returns the signed testimony.
+  Testimony record(const crypto::Signer& signer, std::uint64_t channel_id,
+                   std::uint64_t sequence, BytesView payload);
+
+  std::optional<Testimony> lookup(std::uint64_t channel_id, std::uint64_t sequence) const;
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  PeerId owner_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Testimony> records_;
+};
+
+/// A party's claim about what was sent/received.
+struct Claim {
+  PeerId party;
+  std::optional<DataDigest> digest;  ///< nullopt = "no such transfer happened"
+};
+
+enum class Verdict {
+  kClaimsAgree,          ///< No dispute: both parties match the evidence.
+  kProducerDishonest,    ///< Majority evidence matches the consumer.
+  kConsumerDishonest,    ///< Majority evidence matches the producer.
+  kBothDishonest,        ///< Majority evidence matches neither claim.
+  kInconclusive,         ///< No digest reaches a strict majority.
+};
+
+struct Resolution {
+  Verdict verdict = Verdict::kInconclusive;
+  std::optional<DataDigest> majority_digest;
+  std::size_t majority_count = 0;
+  std::size_t valid_testimonies = 0;
+  std::size_t invalid_testimonies = 0;  ///< bad signatures / wrong channel-seq
+};
+
+/// Third-party resolution: majority vote over verified testimonies.
+/// Testimonies with bad signatures or mismatched (channel, seq) are ignored
+/// (counted as invalid). A strict majority of the *witness group size*
+/// (`group_size`) is required so silent witnesses cannot be hidden.
+Resolution resolve_dispute(std::uint64_t channel_id, std::uint64_t sequence,
+                           const Claim& producer_claim, const Claim& consumer_claim,
+                           const std::vector<Testimony>& testimonies,
+                           std::size_t group_size,
+                           const crypto::CryptoProvider& provider);
+
+}  // namespace accountnet::core

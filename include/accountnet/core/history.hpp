@@ -1,0 +1,114 @@
+// Peerset Update History (Sec. IV-A).
+//
+// Every change to a node's peerset is recorded as an entry
+//   ω_{i,r} = (v_j, σ_j(nonce), nonce, out, in, fill)
+// and the ordered list Ω_i is handed to counterparts, who *reconstruct* the
+// claimed peerset by replaying the deltas:
+//   N̂[r] = (N̂[r-1] − out) ∪ in ∪ fill,  N̂[a-1] = ∅.
+//
+// The out/in/fill fields record the deltas actually applied, so replaying a
+// suffix that covers the last insertion of every current peer reconstructs
+// the peerset exactly; minimal_suffix_length() computes how much history a
+// node must ship (the quantity Fig. 16 measures).
+//
+// Signatures are domain-separated by entry kind:
+//   join    — bootstrap signs   "an.join"    ‖ joiner address   (entry stamp)
+//   shuffle — counterpart signs "an.shuffle" ‖ its round number
+//   leave   — reporter signs    "an.leave"   ‖ its round ‖ leaver address
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accountnet/core/peerset.hpp"
+#include "accountnet/core/types.hpp"
+#include "accountnet/wire/codec.hpp"
+
+namespace accountnet::core {
+
+enum class EntryKind : std::uint8_t {
+  kJoin = 1,
+  kShuffle = 2,
+  kLeave = 3,
+};
+
+struct HistoryEntry {
+  EntryKind kind = EntryKind::kShuffle;
+  Round self_round = 0;       ///< The owner's round when the entry was made.
+  PeerId counterpart;         ///< Shuffle partner / bootstrap / leave reporter.
+  Round nonce = 0;            ///< Counterpart round (shuffle/leave); 0 for join.
+  Bytes signature;            ///< Counterpart's signature over the nonce payload.
+  bool initiated = false;     ///< True if the owner initiated the shuffle.
+  std::vector<PeerId> out;    ///< Peers removed at this round.
+  std::vector<PeerId> in;     ///< Peers added (learned from the counterpart).
+  std::vector<PeerId> fill;   ///< Refills drawn back from the outgoing set.
+
+  friend bool operator==(const HistoryEntry&, const HistoryEntry&) = default;
+};
+
+/// Signing payload builders (domain-separated; see file comment).
+Bytes join_stamp_payload(const std::string& joiner_addr);
+Bytes shuffle_nonce_payload(Round counterpart_round);
+Bytes leave_payload(Round reporter_round, const std::string& leaver_addr);
+
+/// Wire encoding.
+void encode_peer(wire::Writer& w, const PeerId& p);
+PeerId decode_peer(wire::Reader& r);
+void encode_entry(wire::Writer& w, const HistoryEntry& e);
+HistoryEntry decode_entry(wire::Reader& r);
+
+/// Outcome of a verification step; `reason` names the first failed check.
+struct VerifyResult {
+  bool ok = true;
+  std::string reason;
+
+  static VerifyResult pass() { return {}; }
+  static VerifyResult fail(std::string why) { return {false, std::move(why)}; }
+  explicit operator bool() const { return ok; }
+};
+
+class UpdateHistory {
+ public:
+  void append(HistoryEntry entry);
+
+  const std::vector<HistoryEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const HistoryEntry& back() const;
+
+  /// Replays entries (oldest first) from an empty set.
+  static Peerset reconstruct(const std::vector<HistoryEntry>& suffix);
+
+  /// Smallest k such that replaying the last k entries reconstructs
+  /// `current` exactly; returns size()+1 if even the full history falls
+  /// short (possible after trim()).
+  std::size_t minimal_suffix_length(const Peerset& current) const;
+
+  /// The last `k` entries, oldest first.
+  std::vector<HistoryEntry> suffix(std::size_t k) const;
+
+  /// The suffix a node ships when asked to prove `current` (minimal, or the
+  /// whole retained history if the minimal suffix was trimmed away).
+  std::vector<HistoryEntry> proof_suffix(const Peerset& current) const;
+
+  /// Bounds retained length; drops oldest entries beyond `max_entries`.
+  void trim(std::size_t max_entries);
+
+  /// Total entries ever appended (survives trimming).
+  std::uint64_t total_appended() const { return total_appended_; }
+
+ private:
+  std::vector<HistoryEntry> entries_;
+  std::uint64_t total_appended_ = 0;
+};
+
+/// Structural + cryptographic checks on a history suffix claimed by `owner`:
+/// rounds strictly ascending, join entries only at the owner's round 0,
+/// counterpart signatures valid for each entry kind, and the reconstruction
+/// equal to `claimed`. This is the Verify(Ω_j, N_j, ...) step of Algorithm 1.
+VerifyResult verify_history_suffix(const std::vector<HistoryEntry>& suffix,
+                                   const PeerId& owner, const Peerset& claimed,
+                                   const crypto::CryptoProvider& provider);
+
+}  // namespace accountnet::core

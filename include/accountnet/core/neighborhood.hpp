@@ -1,0 +1,48 @@
+// Depth-bounded neighborhood discovery (Sec. V).
+//
+// N_i^d = all nodes within directed distance d of v_i in the overlay graph.
+// Discovery is a breadth-first expansion over peersets; the PeersetOracle
+// abstracts where peersets come from (direct state access in simulations,
+// radius-limited query flooding in the event-driven node).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "accountnet/core/peerset.hpp"
+#include "accountnet/core/types.hpp"
+
+namespace accountnet::core {
+
+/// Supplies the peerset of a node, or nullopt if unreachable/unknown.
+class PeersetOracle {
+ public:
+  virtual ~PeersetOracle() = default;
+  virtual std::optional<Peerset> peerset_of(const PeerId& node) const = 0;
+};
+
+/// Adapter over a lambda (handy for tests and the harness).
+class FnPeersetOracle final : public PeersetOracle {
+ public:
+  using Fn = std::function<std::optional<Peerset>(const PeerId&)>;
+  explicit FnPeersetOracle(Fn fn) : fn_(std::move(fn)) {}
+  std::optional<Peerset> peerset_of(const PeerId& node) const override { return fn_(node); }
+
+ private:
+  Fn fn_;
+};
+
+/// BFS to depth `d` from `root`; the result excludes the root itself and is
+/// sorted. Unreachable nodes' peersets are treated as empty (their own entry
+/// still appears if someone points at them).
+std::vector<PeerId> neighborhood(const PeersetOracle& oracle, const PeerId& root,
+                                 std::size_t depth);
+
+/// Sorted intersection/difference helpers used by witness planning.
+std::vector<PeerId> sorted_intersection(const std::vector<PeerId>& a,
+                                        const std::vector<PeerId>& b);
+std::vector<PeerId> sorted_difference(const std::vector<PeerId>& a,
+                                      const std::vector<PeerId>& b);
+
+}  // namespace accountnet::core

@@ -1,0 +1,313 @@
+// Event-driven AccountNet participant.
+//
+// Wires the protocol engines (shuffle, witness, evidence) to the simulated
+// message fabric: periodic verifiable shuffling, bootstrap join, ungraceful
+// leave detection with signed leave reports, radius-limited neighborhood
+// flooding, witness-group channel establishment, and 1-hop witnessed data
+// relay with the majority-delivery optimization of Sec. VI-B.
+//
+// Malicious behaviour is modelled through the Behavior knobs rather than by
+// forging cryptography (which verification would reject anyway — that is the
+// point of the protocol); the knobs realize the two rational strategies the
+// analysis identifies: follow-the-protocol-but-lie-as-witness, or
+// refuse-and-separate.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "accountnet/core/evidence.hpp"
+#include "accountnet/core/neighborhood.hpp"
+#include "accountnet/core/shuffle.hpp"
+#include "accountnet/core/witness.hpp"
+#include "accountnet/sim/network.hpp"
+#include "accountnet/util/rng.hpp"
+
+namespace accountnet::core {
+
+/// Message type tags on the wire.
+enum class MsgType : std::uint32_t {
+  kJoinRequest = 1,
+  kJoinReply = 2,
+  kRoundQuery = 3,
+  kRoundReply = 4,
+  kShuffleOffer = 5,
+  kShuffleResponse = 6,
+  kShuffleReject = 7,
+  kPing = 8,
+  kPong = 9,
+  kLeaveNotice = 10,
+  kNeighborhoodQuery = 11,
+  kNeighborhoodReply = 12,
+  kChannelRequest = 13,
+  kChannelAccept = 14,
+  kChannelFinalize = 15,
+  kWitnessInvite = 16,
+  kWitnessAck = 17,
+  kDataRelay = 18,
+  kDataForward = 19,
+  kTestimonyQuery = 20,
+  kTestimonyReply = 21,
+  kEntryQuery = 22,
+  kEntryReply = 23,
+};
+
+class Node {
+ public:
+  struct Config {
+    NodeConfig protocol;                     ///< f, L, history limit.
+    sim::Duration shuffle_period = sim::seconds(10);
+    double shuffle_jitter_frac = 0.2;        ///< +- fraction of the period.
+    std::size_t depth = 2;                   ///< d — neighborhood radius.
+    std::size_t witness_count = 4;           ///< |W|.
+    bool majority_opt = false;               ///< deliver at |W|/2+1 identical.
+    sim::Duration rpc_timeout = sim::seconds(2);
+    sim::Duration neighborhood_wait = sim::milliseconds(400);
+    int failures_before_leave_check = 2;
+  };
+
+  /// Behaviour knobs for modelling malicious/misbehaving nodes.
+  struct Behavior {
+    bool refuse_shuffles = false;   ///< never respond to shuffle traffic
+    bool drop_relays = false;       ///< witness: silently drop relayed data
+    bool corrupt_relays = false;    ///< witness: alter payloads when relaying
+    bool lie_in_testimony = false;  ///< witness: log/report a fake digest
+  };
+
+  struct Stats {
+    std::uint64_t shuffles_initiated = 0;
+    std::uint64_t shuffles_completed = 0;    ///< as initiator
+    std::uint64_t shuffles_responded = 0;
+    std::uint64_t shuffles_rejected = 0;     ///< offers we rejected
+    std::uint64_t shuffle_failures = 0;      ///< aborted initiations
+    std::uint64_t verification_failures = 0;
+    std::uint64_t history_suffix_bytes = 0;  ///< cumulative proof sizes sent
+    std::uint64_t leaves_reported = 0;
+    std::uint64_t relays_forwarded = 0;
+  };
+
+  using DeliveryCallback = std::function<void(
+      std::uint64_t channel_id, std::uint64_t sequence, const Bytes& payload,
+      const PeerId& producer)>;
+  using ChannelReadyCallback = std::function<void(std::uint64_t channel_id, bool ok)>;
+
+  Node(sim::SimNetwork& net, const std::string& addr,
+       const crypto::CryptoProvider& provider, BytesView seed32, Config config,
+       std::uint64_t rng_seed);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Starts as a network seed (no bootstrap) and begins the shuffle timer.
+  void start_as_seed();
+
+  /// Joins through `bootstrap_addr` (Sec. IV-A) and begins the shuffle timer.
+  void start_join(const std::string& bootstrap_addr);
+
+  /// Ungraceful leave: detaches from the fabric; peers discover via timeouts.
+  void stop();
+
+  /// Graceful leave (Sec. IV-A): self-reports the departure to all current
+  /// peers (signed leave notice) and then detaches. Peers still ping-confirm
+  /// before recording, so a forged "X left" notice cannot evict a live node.
+  void stop_gracefully();
+
+  bool running() const { return running_; }
+  bool joined() const { return joined_; }
+  const PeerId& id() const { return state_.self(); }
+  const NodeState& state() const { return state_; }
+  const Stats& stats() const { return stats_; }
+  const EvidenceLog& evidence() const { return evidence_; }
+  Behavior& behavior() { return behavior_; }
+
+  /// Opens a witnessed data channel to `consumer_addr`; `on_ready` fires when
+  /// the witness group is agreed and invited (or on failure).
+  void open_channel(const std::string& consumer_addr, ChannelReadyCallback on_ready);
+
+  /// Sends a payload over an established channel (producer side).
+  void send_data(std::uint64_t channel_id, Bytes payload);
+
+  /// Consumer-side delivery hook.
+  void set_delivery_callback(DeliveryCallback cb) { on_delivery_ = std::move(cb); }
+
+  /// Adjusts the witness policy for channels opened AFTER this call
+  /// (established channels keep their group). Used by the latency benches to
+  /// sweep |W| and the majority-delivery optimization on a live network.
+  void set_witness_policy(std::size_t witness_count, bool majority_opt) {
+    config_.witness_count = witness_count;
+    config_.majority_opt = majority_opt;
+  }
+
+  /// The witness group of an established channel (either side).
+  const std::vector<PeerId>* channel_witnesses(std::uint64_t channel_id) const;
+
+  /// Ids of the channels this node produces on, in creation order.
+  std::vector<std::uint64_t> producer_channel_ids() const;
+
+  /// Asks a witness for its signed testimony about (channel, seq); the
+  /// callback receives nullopt if the witness has no record (or on timeout).
+  using TestimonyCallback = std::function<void(std::optional<Testimony>)>;
+  void request_testimony(const std::string& witness_addr, std::uint64_t channel_id,
+                         std::uint64_t sequence, TestimonyCallback cb);
+
+  /// Old-entry lookup service (Sec. IV-A): asks a node for its history entry
+  /// at `round`; used for tracing the origin of a peer and for the
+  /// cross-entry audit.
+  using EntryCallback = std::function<void(std::optional<HistoryEntry>)>;
+  void request_history_entry(const std::string& peer_addr, Round round,
+                             EntryCallback cb);
+
+ private:
+  struct PendingShuffle {
+    PeerId partner;
+    PartnerChoice choice;
+    Round round_at_start = 0;  ///< the round the partner draw was made at
+    ShuffleOffer offer;
+    bool offer_sent = false;
+    std::uint64_t epoch = 0;
+  };
+
+  struct ProducerChannel {
+    std::uint64_t id = 0;
+    PeerId consumer;
+    std::vector<PeerId> my_neighborhood;
+    Round my_round = 0;
+    std::vector<PeerId> witnesses;
+    std::size_t acks = 0;
+    bool ready = false;
+    std::uint64_t next_seq = 1;
+    ChannelReadyCallback on_ready;
+  };
+
+  struct ConsumerChannel {
+    std::uint64_t id = 0;
+    PeerId producer;
+    Round producer_round = 0;
+    std::vector<PeerId> producer_neighborhood;
+    std::vector<PeerId> my_neighborhood;
+    Round my_round = 0;
+    std::vector<PeerId> witnesses;
+    bool ready = false;
+    // Per-sequence digest tallies for delivery decisions.
+    struct Tally {
+      std::map<Bytes, std::pair<std::size_t, Bytes>> digests;  // digest -> (count, payload)
+      std::size_t total = 0;
+      bool delivered = false;
+    };
+    std::map<std::uint64_t, Tally> pending;
+  };
+
+  struct RelayDuty {
+    PeerId producer;
+    PeerId consumer;
+  };
+
+  struct NeighborhoodProbe {
+    std::uint64_t query_id = 0;
+    std::set<PeerId> found;
+    std::function<void(std::vector<PeerId>)> done;
+  };
+
+  void handle(const sim::NetMessage& msg);
+  void send(const std::string& to, MsgType type, Bytes payload);
+
+  // Shuffling.
+  void schedule_next_shuffle();
+  void begin_shuffle();
+  void abort_shuffle(bool partner_suspect);
+  void on_round_query(const sim::NetMessage& msg);
+  void on_round_reply(const sim::NetMessage& msg);
+  void on_shuffle_offer(const sim::NetMessage& msg);
+  void on_shuffle_response(const sim::NetMessage& msg);
+  void on_shuffle_reject(const sim::NetMessage& msg);
+
+  // Join.
+  void on_join_request(const sim::NetMessage& msg);
+  void on_join_reply(const sim::NetMessage& msg);
+
+  // Leave detection.
+  void purge_reported_leavers();
+  void suspect_peer(const PeerId& peer);
+  void on_leave_notice(const sim::NetMessage& msg);
+  void on_ping(const sim::NetMessage& msg);
+  void on_pong(const sim::NetMessage& msg);
+
+  // Neighborhood flooding.
+  void discover_neighborhood(std::function<void(std::vector<PeerId>)> done);
+  void on_neighborhood_query(const sim::NetMessage& msg);
+  void on_neighborhood_reply(const sim::NetMessage& msg);
+
+  // Channels.
+  void on_channel_request(const sim::NetMessage& msg);
+  void on_channel_accept(const sim::NetMessage& msg);
+  void on_channel_finalize(const sim::NetMessage& msg);
+  void on_witness_invite(const sim::NetMessage& msg);
+  void on_witness_ack(const sim::NetMessage& msg);
+  void on_data_relay(const sim::NetMessage& msg);
+  void on_data_forward(const sim::NetMessage& msg);
+  void maybe_deliver(ConsumerChannel& ch, std::uint64_t seq);
+
+  // Evidence / history query service.
+  void on_testimony_query(const sim::NetMessage& msg);
+  void on_testimony_reply(const sim::NetMessage& msg);
+  void on_entry_query(const sim::NetMessage& msg);
+  void on_entry_reply(const sim::NetMessage& msg);
+
+  sim::SimNetwork& net_;
+  const crypto::CryptoProvider& provider_;
+  NodeState state_;
+  Config config_;
+  Behavior behavior_;
+  Rng rng_;
+  Stats stats_;
+  EvidenceLog evidence_;
+
+  bool running_ = false;
+  bool joined_ = false;
+
+  // Shuffle state.
+  std::optional<PendingShuffle> pending_;
+  std::uint64_t shuffle_epoch_ = 0;  ///< invalidates stale timeout events
+  std::unordered_map<std::string, int> partner_failures_;
+  std::unordered_map<std::string, Round> last_seen_initiator_round_;
+  std::unordered_set<std::string> reported_leavers_;
+
+  /// In-flight liveness probe: ours (suspect) or triggered by a LeaveNotice,
+  /// in which case the received report is applied on timeout.
+  struct PingProbe {
+    PeerId target;
+    bool from_notice = false;
+    PeerId reporter;
+    Round reporter_round = 0;
+    Bytes report_sig;
+  };
+  std::unordered_map<std::string, PingProbe> ping_probes_;
+
+  // Neighborhood state.
+  std::uint64_t next_query_id_ = 1;
+  std::unordered_set<std::uint64_t> seen_queries_;
+  std::optional<NeighborhoodProbe> probe_;
+  /// Discovery requests arriving while a probe is in flight wait here.
+  std::vector<std::function<void(std::vector<PeerId>)>> probe_queue_;
+
+  // Channel state.
+  std::uint64_t next_channel_id_ = 1;
+  std::map<std::uint64_t, ProducerChannel> producer_channels_;
+  std::map<std::uint64_t, ConsumerChannel> consumer_channels_;
+  std::map<std::uint64_t, RelayDuty> relay_duties_;
+  DeliveryCallback on_delivery_;
+
+  // Outstanding evidence / history queries keyed by a request id.
+  std::uint64_t next_request_id_ = 1;
+  std::map<std::uint64_t, TestimonyCallback> testimony_waiters_;
+  std::map<std::uint64_t, EntryCallback> entry_waiters_;
+
+  /// Guards timer callbacks against a destroyed node (events may outlive us).
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace accountnet::core

@@ -1,0 +1,69 @@
+// Protocol-visible state of one AccountNet participant: peerset, round
+// counter, update history and signing identity. The shuffle/witness engines
+// operate on this state; transport concerns live elsewhere (core/node.hpp for
+// the event-driven actor, harness/ for the synchronous simulation driver).
+#pragma once
+
+#include <memory>
+
+#include "accountnet/core/history.hpp"
+#include "accountnet/core/peerset.hpp"
+#include "accountnet/core/types.hpp"
+
+namespace accountnet::core {
+
+struct NodeConfig {
+  std::size_t max_peerset = 10;    ///< f — maximum peerset size.
+  std::size_t shuffle_length = 5;  ///< L — peers exchanged per shuffle.
+  std::size_t history_limit = 512; ///< Retained history entries (0 = unlimited).
+};
+
+class NodeState {
+ public:
+  NodeState(PeerId self, std::unique_ptr<crypto::Signer> signer, NodeConfig config);
+
+  const PeerId& self() const { return self_; }
+  Round round() const { return round_; }
+  const Peerset& peerset() const { return peerset_; }
+  const UpdateHistory& history() const { return history_; }
+  const NodeConfig& config() const { return config_; }
+  const crypto::Signer& signer() const { return *signer_; }
+
+  /// Signature over the node's current round (σ_i(r_i)), handed to shuffle
+  /// counterparts as the forgery-preventing nonce acknowledgement.
+  Bytes sign_current_round() const;
+
+  /// Seeds the very first node(s) of a network: empty peerset, round 0,
+  /// no join entry (there is no bootstrap to stamp them).
+  void init_as_seed();
+
+  /// Applies a bootstrap join (Sec. IV-A "Network join"): the sampled
+  /// initial peerset plus the bootstrap's entry stamp become ω_{i,0}.
+  void apply_join(const PeerId& bootstrap, Bytes entry_stamp,
+                  std::vector<PeerId> initial_peers);
+
+  /// Records a peer-leave report (ours or relayed) and drops the peer.
+  /// `reporter`/`reporter_round`/`signature` identify who vouches for the
+  /// leave; the entry is added regardless of current membership (Sec. IV-A).
+  void apply_leave_report(const PeerId& reporter, Round reporter_round,
+                          Bytes signature, const PeerId& leaver);
+
+  /// Creates this node's own leave report for `leaver` (reporter = self).
+  /// Returns the (reporter_round, signature) pair peers need to record it.
+  std::pair<Round, Bytes> make_leave_report(const PeerId& leaver) const;
+
+  /// Low-level mutators used by the shuffle engine.
+  void commit_shuffle(HistoryEntry entry, Peerset next_peerset);
+  /// Burns a round without a peerset change (failed/aborted shuffle).
+  void skip_round() { ++round_; }
+
+ private:
+  PeerId self_;
+  std::unique_ptr<crypto::Signer> signer_;
+  NodeConfig config_;
+  Round round_ = 0;
+  Peerset peerset_;
+  UpdateHistory history_;
+};
+
+}  // namespace accountnet::core

@@ -1,0 +1,44 @@
+// The peerset N_i: a bounded, ordered set of peers.
+//
+// Kept sorted (by PeerId ordering) so that Algorithm 2's index-based random
+// selection is well-defined and identical on the prover and verifier sides.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "accountnet/core/types.hpp"
+
+namespace accountnet::core {
+
+class Peerset {
+ public:
+  Peerset() = default;
+  /// Builds from arbitrary-order peers; deduplicates.
+  explicit Peerset(std::vector<PeerId> peers);
+
+  /// Inserts; returns false if already present.
+  bool insert(const PeerId& peer);
+  /// Removes; returns false if absent.
+  bool erase(const PeerId& peer);
+  bool contains(const PeerId& peer) const;
+
+  std::size_t size() const { return peers_.size(); }
+  bool empty() const { return peers_.empty(); }
+  const PeerId& at(std::size_t index) const;
+
+  const std::vector<PeerId>& sorted() const { return peers_; }
+
+  /// Set difference: *this minus `other`'s elements.
+  Peerset minus(const std::vector<PeerId>& other) const;
+  /// In-place union (bounded only by the caller).
+  void insert_all(const std::vector<PeerId>& peers);
+
+  friend bool operator==(const Peerset&, const Peerset&) = default;
+
+ private:
+  std::vector<PeerId> peers_;  // sorted, unique
+};
+
+}  // namespace accountnet::core

@@ -1,0 +1,55 @@
+// Third-party dispute resolution over the network.
+//
+// The resolver is any network participant (it needs no privileged position):
+// given the two parties' claims and the witness group of the disputed
+// channel, it queries every witness for its signed testimony and applies the
+// simple-majority rule of Sec. V. Witnesses that left or stonewall simply
+// fail to contribute — and because the majority threshold is over the GROUP
+// size, silence can never manufacture a verdict.
+#pragma once
+
+#include "accountnet/core/node.hpp"
+
+namespace accountnet::core {
+
+class DisputeResolver {
+ public:
+  struct Request {
+    std::uint64_t channel_id = 0;
+    std::uint64_t sequence = 0;
+    std::vector<PeerId> witnesses;  ///< the channel's agreed witness group
+    Claim producer_claim;
+    Claim consumer_claim;
+  };
+
+  struct Outcome {
+    Resolution resolution;
+    std::size_t responded = 0;  ///< witnesses that answered at all
+    std::vector<Testimony> testimonies;
+  };
+
+  using DoneCallback = std::function<void(Outcome)>;
+
+  /// `node` provides the resolver's network identity and query plumbing.
+  explicit DisputeResolver(Node& node, const crypto::CryptoProvider& provider)
+      : node_(node), provider_(provider) {}
+
+  /// Collects testimonies from all witnesses, then resolves. The callback
+  /// fires once every witness has answered or timed out.
+  void resolve(Request request, DoneCallback done);
+
+ private:
+  struct Pending {
+    Request request;
+    DoneCallback done;
+    std::size_t outstanding = 0;
+    std::vector<Testimony> testimonies;
+    std::size_t responded = 0;
+  };
+
+  Node& node_;
+  const crypto::CryptoProvider& provider_;
+  std::vector<std::shared_ptr<Pending>> in_flight_;
+};
+
+}  // namespace accountnet::core

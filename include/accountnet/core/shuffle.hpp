@@ -1,0 +1,100 @@
+// Verifiable peer shuffling (Sec. IV-A, Algorithms 1-3).
+//
+// The exchange is split into pure functions over NodeState so the same code
+// drives both the event-driven node (core/node.hpp) and the synchronous
+// simulation harness:
+//
+//   initiator                                 responder
+//   ---------                                 ---------
+//   begin_shuffle()      --round query-->
+//                        <--round reply--     round + σ_j(r_j)
+//   make_offer()         --ShuffleOffer-->    verify_offer()
+//                                             make_response()  (commits)
+//   verify_response()    <--ShuffleResponse--
+//   apply_offer_outcome() (commits)
+//
+// Partner selection, the initiator sample A, and the responder sample B are
+// all VRF draws whose proofs travel with the messages; each side re-derives
+// the other's draws from the proofs (select.hpp) and reconstructs the
+// other's claimed peerset from its history suffix (history.hpp) before
+// committing anything.
+#pragma once
+
+#include <optional>
+
+#include "accountnet/core/node_state.hpp"
+#include "accountnet/core/select.hpp"
+
+namespace accountnet::core {
+
+/// Draw domains (bound into every VRF alpha).
+inline constexpr std::string_view kPartnerDomain = "an.partner";
+inline constexpr std::string_view kSampleDomain = "an.sample";
+
+struct ShuffleOffer {
+  PeerId initiator;
+  Round initiator_round = 0;         ///< r_i
+  Bytes initiator_round_sig;         ///< σ_i(r_i)
+  Round responder_round = 0;         ///< r_j — the nonce the responder handed out
+  std::vector<PeerId> sample;        ///< A (L-1 peers; v_i travels implicitly)
+  std::vector<Bytes> partner_proofs; ///< VRF attempts selecting the responder
+  std::vector<Bytes> sample_proofs;  ///< VRF attempts drawing A
+  std::vector<PeerId> claimed_peerset;     ///< N_i[r_i]
+  std::vector<HistoryEntry> history_suffix;  ///< proves claimed_peerset
+
+  Bytes encode() const;
+  static ShuffleOffer decode(BytesView data);
+};
+
+struct ShuffleResponse {
+  PeerId responder;
+  Round responder_round = 0;  ///< r_j
+  Bytes responder_round_sig;  ///< σ_j(r_j)
+  std::vector<PeerId> sample; ///< B (L peers)
+  std::vector<Bytes> sample_proofs;
+  std::vector<PeerId> claimed_peerset;       ///< N_j[r_j]
+  std::vector<HistoryEntry> history_suffix;  ///< proves claimed_peerset
+
+  Bytes encode() const;
+  static ShuffleResponse decode(BytesView data);
+};
+
+/// Step 1 (initiator): VRF-select the shuffle partner from the current
+/// peerset. nullopt if the peerset is empty (nothing to shuffle).
+struct PartnerChoice {
+  PeerId partner;
+  std::vector<Bytes> proofs;
+};
+std::optional<PartnerChoice> choose_partner(const NodeState& state);
+
+/// Step 2 (initiator): build the offer after learning (r_j, σ_j(r_j)).
+ShuffleOffer make_offer(const NodeState& state, const PartnerChoice& partner,
+                        Round responder_round);
+
+/// Step 3 (responder): full verification of an incoming offer.
+/// `expected_round` is the round number this node handed to the initiator.
+VerifyResult verify_offer(const ShuffleOffer& offer, const NodeState& state,
+                          Round expected_round, const crypto::CryptoProvider& provider);
+
+/// Step 4 (responder): draw B, COMMIT the responder-side update (Algorithm 3)
+/// and return the response to send back.
+ShuffleResponse make_response_and_commit(NodeState& state, const ShuffleOffer& offer);
+
+/// Step 5 (initiator): verify the response against the offer we sent.
+VerifyResult verify_response(const ShuffleResponse& response, const NodeState& state,
+                             const ShuffleOffer& sent_offer,
+                             const crypto::CryptoProvider& provider);
+
+/// Step 6 (initiator): commit the initiator-side update (Algorithm 3).
+void apply_offer_outcome(NodeState& state, const ShuffleOffer& sent_offer,
+                         const ShuffleResponse& response);
+
+/// Algorithm 3 core, shared by both sides: removes `removed`, adds `received`
+/// (capacity- and self-aware), refills from `removed` if space remains, and
+/// returns the committed history entry. Exposed for tests.
+HistoryEntry apply_update(NodeState& state, const PeerId& counterpart,
+                          Round counterpart_round, Bytes counterpart_sig,
+                          bool initiated, const std::vector<PeerId>& removed,
+                          const std::vector<PeerId>& received);
+
+}  // namespace accountnet::core

@@ -1,0 +1,46 @@
+// Core identity types for AccountNet.
+//
+// A network participant is identified by its address (the paper's addr_i —
+// think IP:port) bound to an identity public key. Sec. II-D assumes a Sybil
+// mitigation exists; here the binding addr <-> key is taken as given and
+// every signature/VRF check uses the key carried in the PeerId.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "accountnet/crypto/provider.hpp"
+#include "accountnet/util/bytes.hpp"
+
+namespace accountnet::core {
+
+/// Protocol round counter (per node).
+using Round = std::uint64_t;
+
+struct PeerId {
+  std::string addr;               ///< Unique network address.
+  crypto::PublicKeyBytes key{};   ///< Identity public key.
+
+  /// Ordering is by address: this defines the "sorted list of peers" that
+  /// Algorithm 2 (Select) indexes into, so all nodes agree on it.
+  friend std::strong_ordering operator<=>(const PeerId& a, const PeerId& b) {
+    if (const auto c = a.addr <=> b.addr; c != 0) return c;
+    return a.key <=> b.key;
+  }
+  friend bool operator==(const PeerId&, const PeerId&) = default;
+};
+
+struct PeerIdHash {
+  std::size_t operator()(const PeerId& p) const {
+    std::size_t h = std::hash<std::string>{}(p.addr);
+    // Fold in the first key bytes; addr is already unique, this hardens the
+    // hash against adversarial addr collisions in containers.
+    std::size_t k = 0;
+    for (int i = 0; i < 8; ++i) k = (k << 8) | p.key[static_cast<std::size_t>(i)];
+    return h ^ (k + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  }
+};
+
+}  // namespace accountnet::core

@@ -1,0 +1,29 @@
+// Ed25519 signatures per RFC 8032, built on fe25519/ge25519/sc25519.
+//
+// Keys are 32-byte seeds; public keys the usual 32-byte compressed points;
+// signatures the 64-byte R||S form. Validated against the RFC 8032 test
+// vectors in tests/crypto.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "accountnet/util/bytes.hpp"
+
+namespace accountnet::crypto {
+
+struct Ed25519KeyPair {
+  std::array<std::uint8_t, 32> seed;        ///< Private seed (keep secret).
+  std::array<std::uint8_t, 32> public_key;  ///< Compressed point A = s*B.
+};
+
+/// Derives the public key from a 32-byte seed.
+Ed25519KeyPair ed25519_keypair_from_seed(BytesView seed32);
+
+/// Produces the 64-byte signature R||S.
+std::array<std::uint8_t, 64> ed25519_sign(const Ed25519KeyPair& kp, BytesView msg);
+
+/// Verifies a signature; strict about canonical S (< L).
+bool ed25519_verify(BytesView public_key32, BytesView msg, BytesView signature64);
+
+}  // namespace accountnet::crypto

@@ -1,0 +1,57 @@
+// Group operations on edwards25519 (twisted Edwards curve, a = -1,
+// d = -121665/121666), extended coordinates (X : Y : Z : T), T = XY/Z.
+//
+// Provides compression/decompression per RFC 8032 §5.1.3 and variable-base
+// scalar multiplication; enough for Ed25519 and ECVRF.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "accountnet/crypto/fe25519.hpp"
+#include "accountnet/util/bytes.hpp"
+
+namespace accountnet::crypto {
+
+class Ge25519 {
+ public:
+  /// Neutral element (0, 1).
+  static Ge25519 identity();
+
+  /// The standard base point B (y = 4/5, x positive... RFC 8032 sign rules).
+  static const Ge25519& base_point();
+
+  /// Decompresses a 32-byte encoding; nullopt if not a curve point.
+  static std::optional<Ge25519> from_bytes(BytesView b32);
+
+  /// Canonical 32-byte compressed encoding.
+  std::array<std::uint8_t, 32> to_bytes() const;
+
+  Ge25519 add(const Ge25519& rhs) const;
+  Ge25519 dbl() const;
+  Ge25519 negate() const;
+  Ge25519 sub(const Ge25519& rhs) const { return add(rhs.negate()); }
+
+  /// scalar * P; `scalar_le` is a 32-byte little-endian integer (interpreted
+  /// mod the group structure implicitly; callers pass reduced scalars).
+  Ge25519 scalar_mul(const std::array<std::uint8_t, 32>& scalar_le) const;
+
+  /// 8 * P (clears the cofactor).
+  Ge25519 mul_by_cofactor() const;
+
+  bool is_identity() const;
+  bool operator==(const Ge25519& rhs) const;
+
+ private:
+  Ge25519(Fe25519 x, Fe25519 y, Fe25519 z, Fe25519 t) : x_(x), y_(y), z_(z), t_(t) {}
+
+  Fe25519 x_;
+  Fe25519 y_;
+  Fe25519 z_;
+  Fe25519 t_;
+};
+
+/// scalar * B for the standard base point.
+Ge25519 ge_scalar_mul_base(const std::array<std::uint8_t, 32>& scalar_le);
+
+}  // namespace accountnet::crypto

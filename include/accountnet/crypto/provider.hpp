@@ -1,0 +1,71 @@
+// Pluggable crypto backend for AccountNet.
+//
+// The protocol code is written against this interface so the same logic runs
+// with two instantiations:
+//
+//   * RealCryptoProvider — Ed25519 signatures + RFC 9381 ECVRF. Used by
+//     protocol-correctness tests, the latency case study (Fig. 20), and any
+//     deployment-shaped example.
+//   * FastCryptoProvider — keyed-SHA-256 stand-ins with the same interface
+//     shape and deterministic, uniformly-distributed VRF outputs. It offers
+//     ZERO security (anyone can forge), but the large-scale simulation
+//     benches only measure graph statistics that depend on the *randomness
+//     structure* of shuffling, not on unforgeability; malicious behaviour is
+//     modelled explicitly in the harness instead of through forgery attempts.
+//
+// Both backends are deterministic functions of the node seed, which keeps
+// every experiment reproducible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "accountnet/util/bytes.hpp"
+
+namespace accountnet::crypto {
+
+using PublicKeyBytes = std::array<std::uint8_t, 32>;
+
+/// Per-node secret-key operations.
+class Signer {
+ public:
+  virtual ~Signer() = default;
+
+  virtual const PublicKeyBytes& public_key() const = 0;
+
+  /// Signature over msg (opaque bytes; size depends on the backend).
+  virtual Bytes sign(BytesView msg) const = 0;
+
+  /// VRF proof for input alpha.
+  virtual Bytes vrf_prove(BytesView alpha) const = 0;
+
+  /// VRF output (beta) for alpha; equals the hash verified from the proof.
+  virtual std::array<std::uint8_t, 64> vrf_output(BytesView alpha) const = 0;
+};
+
+/// Public-key operations plus signer construction.
+class CryptoProvider {
+ public:
+  virtual ~CryptoProvider() = default;
+
+  /// Deterministically derives a signer from a 32-byte seed.
+  virtual std::unique_ptr<Signer> make_signer(BytesView seed32) const = 0;
+
+  virtual bool verify(const PublicKeyBytes& pk, BytesView msg, BytesView sig) const = 0;
+
+  /// Verifies a VRF proof; returns beta on success.
+  virtual std::optional<std::array<std::uint8_t, 64>> vrf_verify(
+      const PublicKeyBytes& pk, BytesView alpha, BytesView proof) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Ed25519 + ECVRF backend.
+std::unique_ptr<CryptoProvider> make_real_crypto();
+
+/// Keyed-hash simulation backend (no security; see file comment).
+std::unique_ptr<CryptoProvider> make_fast_crypto();
+
+}  // namespace accountnet::crypto

@@ -1,0 +1,36 @@
+// FIPS 180-4 SHA-256. Streaming and one-shot interfaces.
+//
+// Used by the FastCrypto simulation backend (keyed hashing) and by tests; the
+// Ed25519/VRF path uses SHA-512 per RFC 8032 / RFC 9381.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "accountnet/util/bytes.hpp"
+
+namespace accountnet::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  void update(BytesView data);
+  Digest finish();  ///< Finalizes; the object must not be reused afterwards.
+
+  static Digest hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace accountnet::crypto

@@ -1,0 +1,35 @@
+// FIPS 180-4 SHA-512. Streaming and one-shot interfaces.
+//
+// This is the hash RFC 8032 (Ed25519) and RFC 9381 (ECVRF) specify.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "accountnet/util/bytes.hpp"
+
+namespace accountnet::crypto {
+
+class Sha512 {
+ public:
+  static constexpr std::size_t kDigestSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha512();
+
+  void update(BytesView data);
+  Digest finish();  ///< Finalizes; the object must not be reused afterwards.
+
+  static Digest hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint64_t, 8> state_;
+  std::array<std::uint8_t, 128> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace accountnet::crypto

@@ -1,0 +1,169 @@
+// Scalable experiment harness.
+//
+// Drives thousands of NodeState instances through the verified shuffle
+// engine with virtual-time scheduling but *synchronous* message exchange —
+// an initiator's offer, the responder's verification and response, and the
+// final commit all happen at the shuffle event. This reproduces the paper's
+// EC2 deployment dynamics (staggered launches, ~10 s shuffle periods with
+// jitter, analysis snapshots every 10 s, ungraceful churn) at |V| = 10 000
+// on one machine. The event-driven core::Node is used where real message
+// latency matters (the Fig. 20 case study); this harness is used where the
+// measured quantities are graph statistics.
+//
+// Verification economy: every exchanged shuffle can be fully verified, but
+// at 10k nodes that dominates runtime, so `verify_fraction` verifies a
+// random subset (tests use 1.0). A verification failure among honest nodes
+// is a bug and is surfaced in the stats.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "accountnet/analysis/graph_metrics.hpp"
+#include "accountnet/core/shuffle.hpp"
+#include "accountnet/sim/simulator.hpp"
+#include "accountnet/util/rng.hpp"
+#include "accountnet/util/stats.hpp"
+
+namespace accountnet::harness {
+
+/// How flagged-malicious nodes behave (Sec. IV-B's two rational strategies).
+enum class MaliciousMode {
+  kFollowProtocol,  ///< shuffle honestly; lie only as witnesses (case i)
+  kSeparateOverlay, ///< refuse benign contact; own overlay (case ii)
+};
+
+struct ExperimentConfig {
+  std::size_t network_size = 1000;   ///< |V|
+  std::size_t f = 5;                 ///< max peerset size
+  std::size_t l = 3;                 ///< shuffle length L (paper: ceil(f/2))
+  std::size_t d = 2;                 ///< neighborhood depth limit
+  double pm = 0.0;                   ///< malicious probability
+  MaliciousMode malicious_mode = MaliciousMode::kFollowProtocol;
+
+  sim::Duration shuffle_period = sim::seconds(10);
+  double shuffle_jitter_frac = 0.25;
+  sim::Duration analysis_period = sim::seconds(10);
+
+  /// Launch model: `lane_size` nodes per emulated VM, consecutive launches
+  /// within a lane separated by uniform [0, launch_spacing_max].
+  std::size_t lane_size = 125;
+  sim::Duration launch_spacing_max = sim::seconds(10);
+
+  std::size_t history_limit = 96;    ///< retained history entries per node
+  double verify_fraction = 0.05;     ///< fraction of shuffles fully verified
+  bool track_coverage = false;       ///< per-node distinct-peers-seen bitsets
+  bool track_shuffle_pairs = false;  ///< Fig. 5 heatmap (small |V| only)
+  bool use_real_crypto = false;      ///< Ed25519+ECVRF instead of FastCrypto
+  std::uint64_t seed = 1;
+};
+
+struct HarnessStats {
+  std::uint64_t shuffles_attempted = 0;
+  std::uint64_t shuffles_completed = 0;
+  std::uint64_t shuffles_verified = 0;
+  std::uint64_t verification_failures = 0;  ///< MUST stay 0 with honest nodes
+  std::uint64_t dead_partner_hits = 0;
+  std::uint64_t refused_cross_group = 0;    ///< kSeparateOverlay refusals
+  std::uint64_t leave_reports = 0;
+};
+
+class NetworkSim {
+ public:
+  explicit NetworkSim(ExperimentConfig config);
+  ~NetworkSim();
+
+  /// Advances the simulation by `rounds` analysis periods, invoking
+  /// `on_analysis(absolute_round)` after each. The very first call also
+  /// fires `on_analysis(0)` at t = 0. Subsequent calls continue where the
+  /// previous one stopped, so long experiments can interleave measurement.
+  void run(std::size_t rounds, const std::function<void(std::size_t)>& on_analysis);
+
+  std::size_t rounds_completed() const { return rounds_completed_; }
+
+  /// Churn: schedules `count` random alive nodes to leave (ungracefully)
+  /// at uniformly random times within [start, start+window].
+  void schedule_churn(std::size_t count, sim::TimePoint start, sim::Duration window);
+
+  // --- Introspection (valid inside the analysis callback) -----------------
+
+  std::size_t size() const { return nodes_.size(); }
+  std::size_t alive_count() const { return alive_count_; }
+  std::size_t joined_count() const { return joined_count_; }
+  std::size_t malicious_alive_count() const;
+  const HarnessStats& stats() const { return stats_; }
+  sim::TimePoint now() const;
+
+  bool is_alive(std::size_t idx) const;
+  bool is_malicious(std::size_t idx) const;
+  bool is_joined(std::size_t idx) const;
+  const core::NodeState& node_state(std::size_t idx) const;
+
+  /// Directed adjacency over ALL node indices (dead nodes have no edges).
+  analysis::Adjacency snapshot_adjacency() const;
+
+  /// Depth-d neighborhood of node idx over the live overlay (indices).
+  std::vector<std::size_t> neighborhood_indices(std::size_t idx, std::size_t depth) const;
+
+  /// Sampled mean neighborhood size over alive+joined nodes.
+  double sample_avg_neighborhood(std::size_t depth, std::size_t samples, Rng& rng) const;
+
+  /// Sampled mean |N_i^d ∩ N_j^d| over random alive pairs.
+  double sample_avg_common(std::size_t depth, std::size_t pair_samples, Rng& rng) const;
+
+  /// P(neighbor malicious) for sampled nodes (Fig. 14): one value per node.
+  Samples sample_neighbor_malicious_fraction(std::size_t depth, std::size_t samples,
+                                             Rng& rng) const;
+
+  /// P(witness candidate malicious) for sampled pairs (Fig. 15): the
+  /// α-weighted malicious fraction among candidates after exclusion. When
+  /// `exclude_common` is false, reports the no-exclusion ablation.
+  Samples sample_candidate_malicious_fraction(std::size_t depth,
+                                              std::size_t witness_count,
+                                              std::size_t pair_samples, Rng& rng,
+                                              bool exclude_common = true) const;
+
+  /// Effective history suffix lengths accumulated since the last call.
+  Samples take_history_length_samples();
+
+  /// Shuffles completed since the last call (for rate plots).
+  std::uint64_t take_shuffle_delta();
+
+  /// Coverage counts (distinct peers ever seen) per alive node.
+  Samples coverage_counts() const;
+
+  /// Fig. 5: whether nodes i and j ever shuffled together.
+  bool ever_shuffled(std::size_t i, std::size_t j) const;
+
+ private:
+  struct HarnessNode;
+
+  void launch_node(std::size_t idx);
+  void schedule_shuffle(std::size_t idx);
+  void do_shuffle(std::size_t idx);
+  void handle_dead_partner(std::size_t idx, std::size_t partner_idx);
+  void record_leave(HarnessNode& reporter_node, const core::PeerId& leaver);
+  void purge_zombies(HarnessNode& node);
+  void update_coverage(HarnessNode& node);
+  std::size_t index_of(const core::PeerId& peer) const;
+
+  ExperimentConfig config_;
+  std::unique_ptr<crypto::CryptoProvider> provider_;
+  sim::Simulator sim_;
+  Rng rng_;
+  std::vector<std::unique_ptr<HarnessNode>> nodes_;
+  std::unordered_map<std::string, std::size_t> addr_to_index_;
+  std::size_t alive_count_ = 0;
+  std::size_t joined_count_ = 0;
+  std::size_t rounds_completed_ = 0;
+  bool run_started_ = false;
+  HarnessStats stats_;
+  Samples history_samples_;
+  std::uint64_t shuffle_delta_ = 0;
+  std::vector<std::vector<std::uint8_t>> shuffle_pairs_;  // optional heatmap
+};
+
+}  // namespace accountnet::harness

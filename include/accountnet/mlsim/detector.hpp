@@ -1,0 +1,64 @@
+// Synthetic stand-in for the cloud object-detection service of Sec. VI-B
+// (the paper used Amazon Rekognition on a fixed 2010x1125 scene image).
+//
+// What matters for the Fig. 20 reproduction is the latency distribution of
+// the inference stage — about 809 ms mean with a 191 ms standard deviation —
+// and a deterministic input -> result mapping so witnesses and resolvers can
+// compare digests. Detection content is pseudo-random but a pure function of
+// the image bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accountnet/sim/simulator.hpp"
+#include "accountnet/util/bytes.hpp"
+#include "accountnet/util/rng.hpp"
+
+namespace accountnet::mlsim {
+
+struct Detection {
+  std::string label;
+  double confidence = 0.0;  ///< [0, 1]
+  double x = 0.0, y = 0.0, w = 0.0, h = 0.0;  ///< normalized box
+};
+
+struct DetectionResult {
+  std::vector<Detection> objects;
+
+  Bytes encode() const;
+  static DetectionResult decode(BytesView bytes);
+};
+
+struct DetectorConfig {
+  sim::Duration latency_mean = sim::milliseconds(809);
+  sim::Duration latency_stddev = sim::milliseconds(191);
+  sim::Duration latency_min = sim::milliseconds(100);
+  std::size_t max_objects = 8;
+};
+
+class ObjectDetectionService {
+ public:
+  using Config = DetectorConfig;
+
+  explicit ObjectDetectionService(Config config = {}, std::uint64_t seed = 7);
+
+  /// Deterministic detections for the given image bytes.
+  DetectionResult detect(BytesView image) const;
+
+  /// One sampled inference latency (the paper's 809 +- 191 ms).
+  sim::Duration sample_latency();
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  Rng latency_rng_;
+};
+
+/// Deterministic synthetic camera frame of roughly the byte size a
+/// JPEG-compressed `width` x `height` scene would have.
+Bytes synthetic_scene_image(std::size_t width, std::size_t height, std::uint64_t seed);
+
+}  // namespace accountnet::mlsim

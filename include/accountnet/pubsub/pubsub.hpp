@@ -1,0 +1,88 @@
+// Broker-less publish/subscribe over AccountNet witnessed channels
+// (Sec. VI-B). Publishers open a witnessed data channel to each subscriber
+// of a topic and send topic-tagged envelopes through the witness relays; no
+// broker ever sees or routes the data.
+//
+// Subscriber discovery is out of band in the paper ("the addresses of data
+// sources are publicly known", Sec. II-D); TopicDirectory stands in for that
+// out-of-band mechanism — it only maps topic names to addresses and carries
+// no payload.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accountnet/core/node.hpp"
+
+namespace accountnet::pubsub {
+
+/// Out-of-band topic registry (no data flows through it).
+class TopicDirectory {
+ public:
+  void announce(const std::string& topic, const std::string& subscriber_addr);
+  void retract(const std::string& topic, const std::string& subscriber_addr);
+  std::vector<std::string> subscribers(const std::string& topic) const;
+
+ private:
+  std::map<std::string, std::vector<std::string>> topics_;
+};
+
+/// Topic-tagged payload envelope.
+struct Envelope {
+  std::string topic;
+  Bytes data;
+
+  Bytes encode() const;
+  static Envelope decode(BytesView bytes);
+};
+
+class PubSubNode {
+ public:
+  using MessageHandler = std::function<void(const std::string& topic, const Bytes& data,
+                                            const core::PeerId& publisher)>;
+
+  /// Borrows the protocol node and the shared directory. Installs itself as
+  /// the node's delivery callback.
+  PubSubNode(core::Node& node, TopicDirectory& directory);
+
+  /// Subscribes to a topic: announces in the directory and dispatches
+  /// incoming envelopes for that topic to `handler`.
+  void subscribe(const std::string& topic, MessageHandler handler);
+
+  /// Publishes to every current subscriber of the topic, opening (and
+  /// caching) a witnessed channel per subscriber. Payloads published before
+  /// a channel is ready are queued and flushed on readiness.
+  void publish(const std::string& topic, Bytes data);
+
+  const core::Node& node() const { return node_; }
+
+  struct Stats {
+    std::uint64_t published = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t queued = 0;
+    std::uint64_t channel_failures = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Link {
+    std::uint64_t channel_id = 0;
+    bool ready = false;
+    bool failed = false;
+    std::vector<Bytes> backlog;
+  };
+
+  void ensure_link(const std::string& subscriber_addr);
+  void on_delivery(std::uint64_t channel, std::uint64_t seq, const Bytes& payload,
+                   const core::PeerId& producer);
+
+  core::Node& node_;
+  TopicDirectory& directory_;
+  std::map<std::string, MessageHandler> handlers_;
+  std::map<std::string, Link> links_;  // subscriber addr -> channel
+  Stats stats_;
+};
+
+}  // namespace accountnet::pubsub

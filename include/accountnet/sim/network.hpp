@@ -1,0 +1,87 @@
+// Simulated message fabric between named endpoints.
+//
+// Models the paper's NetEM setup: each transmitted message experiences a
+// sampled one-way delay (default 20 ms plus jitter, matching the paper's
+// "at least about 40 ms round trip"). Delivery is reliable and ordered per
+// the TCP assumption in Sec. II-D; messages to departed endpoints are
+// silently dropped, which is how ungraceful leave manifests to peers.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "accountnet/sim/simulator.hpp"
+#include "accountnet/util/bytes.hpp"
+#include "accountnet/util/rng.hpp"
+
+namespace accountnet::sim {
+
+/// One-way latency distribution for a hop.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  virtual Duration sample(Rng& rng) = 0;
+};
+
+/// Constant delay.
+std::unique_ptr<LatencyModel> fixed_latency(Duration d);
+/// Uniform in [lo, hi].
+std::unique_ptr<LatencyModel> uniform_latency(Duration lo, Duration hi);
+/// Normal(mean, stddev) clamped to >= min (default 0).
+std::unique_ptr<LatencyModel> normal_latency(Duration mean, Duration stddev,
+                                             Duration min = 0);
+/// The paper's NetEM substitute: 20 ms base + small uniform jitter.
+std::unique_ptr<LatencyModel> netem_latency();
+
+struct NetMessage {
+  std::string from;
+  std::string to;
+  std::uint32_t type = 0;
+  Bytes payload;
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;  ///< destination not registered
+  std::uint64_t bytes_sent = 0;
+};
+
+/// Endpoint registry + latency-delayed delivery.
+class SimNetwork {
+ public:
+  using Handler = std::function<void(const NetMessage&)>;
+
+  /// The network borrows the simulator and owns the latency model.
+  SimNetwork(Simulator& simulator, std::unique_ptr<LatencyModel> latency,
+             std::uint64_t rng_seed);
+
+  /// Registers a message handler for `address`; replaces any previous one.
+  void attach(const std::string& address, Handler handler);
+
+  /// Removes the endpoint; in-flight messages to it are dropped on arrival.
+  void detach(const std::string& address);
+
+  bool is_attached(const std::string& address) const;
+
+  /// Schedules delivery after a sampled delay. Unknown destinations count as
+  /// drops at delivery time (the sender cannot tell — like a silent peer).
+  void send(NetMessage msg);
+
+  /// Samples the one-way delay without sending (for latency accounting).
+  Duration sample_delay();
+
+  const NetworkStats& stats() const { return stats_; }
+  Simulator& simulator() { return sim_; }
+
+ private:
+  Simulator& sim_;
+  std::unique_ptr<LatencyModel> latency_;
+  Rng rng_;
+  std::unordered_map<std::string, Handler> endpoints_;
+  NetworkStats stats_;
+};
+
+}  // namespace accountnet::sim

@@ -1,0 +1,49 @@
+// Byte-buffer primitives shared by every AccountNet module.
+//
+// All protocol material (keys, signatures, VRF proofs, wire messages) is
+// carried as `Bytes`. Helpers here are deliberately small: hex codecs for
+// logging/tests and constant-free concatenation for building signing inputs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace accountnet {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Renders `data` as lowercase hex.
+std::string to_hex(BytesView data);
+
+/// Parses lowercase/uppercase hex; throws std::invalid_argument on bad input.
+Bytes from_hex(std::string_view hex);
+
+/// Copies a string's bytes (no terminator) into a fresh buffer.
+Bytes bytes_of(std::string_view s);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Appends a 64-bit value little-endian.
+void append_u64le(Bytes& dst, std::uint64_t v);
+
+/// Concatenates any number of byte views.
+template <typename... Views>
+Bytes concat(const Views&... views) {
+  Bytes out;
+  std::size_t total = 0;
+  ((total += std::size(views)), ...);
+  out.reserve(total);
+  (out.insert(out.end(), std::begin(views), std::end(views)), ...);
+  return out;
+}
+
+/// Constant-time equality for secret-dependent comparisons.
+bool ct_equal(BytesView a, BytesView b);
+
+}  // namespace accountnet

@@ -1,0 +1,33 @@
+// Precondition/invariant checking.
+//
+// AN_ENSURE throws (it guards against caller misuse and protocol-state
+// corruption that tests must be able to observe); it is never compiled out.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace accountnet {
+
+class EnsureError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void ensure_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  throw EnsureError(std::string("AN_ENSURE failed: ") + expr + " at " + file + ":" +
+                    std::to_string(line) + (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace accountnet
+
+#define AN_ENSURE(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) ::accountnet::ensure_fail(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define AN_ENSURE_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) ::accountnet::ensure_fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

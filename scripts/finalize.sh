@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Final artifact generation: rebuild with the latest tests/benches, rerun the
+# full test suite into test_output.txt, and append the Theorem-1 bench (added
+# after the main sweep) to bench_output.txt.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja >/dev/null
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt | tail -3
+./build/bench/thm01_witness_majority 2>&1 | tee -a bench_output.txt | tail -15
+echo "FINALIZE_OK"

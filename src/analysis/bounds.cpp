@@ -1,0 +1,110 @@
+#include "accountnet/analysis/bounds.hpp"
+
+#include <cmath>
+
+#include "accountnet/util/ensure.hpp"
+
+namespace accountnet::analysis {
+
+namespace {
+
+/// Generalized binomial C(x, k) for real x >= 0 and small integer k:
+/// x (x-1) ... (x-k+1) / k!. Negative intermediate factors (x < k-1) mean
+/// "not enough items to choose from"; the paper's algorithm treats these
+/// probabilities as zero, which clamping achieves.
+double gen_binomial(double x, std::size_t k) {
+  double num = 1.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double factor = x - static_cast<double>(i);
+    if (factor <= 0.0) return 0.0;
+    num *= factor;
+  }
+  double denom = 1.0;
+  for (std::size_t i = 2; i <= k; ++i) denom *= static_cast<double>(i);
+  return num / denom;
+}
+
+}  // namespace
+
+double max_neighborhood_size(std::size_t f, std::size_t d) {
+  AN_ENSURE_MSG(f >= 2, "f must be >= 2 for the f-ary bound");
+  const double fd = std::pow(static_cast<double>(f), static_cast<double>(d) + 1.0);
+  return (fd - static_cast<double>(f)) / (static_cast<double>(f) - 1.0);
+}
+
+double expected_neighborhood_size(std::size_t network_size, std::size_t f,
+                                  std::size_t d) {
+  AN_ENSURE_MSG(network_size >= 2, "need at least two nodes");
+  AN_ENSURE_MSG(f >= 1 && d >= 1, "need f >= 1 and d >= 1");
+  const double v = static_cast<double>(network_size);
+  const double fd = static_cast<double>(f);
+
+  // #iter = (f^d - 1)/(f - 1): internal nodes of a perfect f-ary tree.
+  const std::size_t iters =
+      f == 1 ? d
+             : static_cast<std::size_t>(
+                   std::llround((std::pow(fd, static_cast<double>(d)) - 1.0) / (fd - 1.0)));
+
+  double n = 1.0;
+  const double denom = gen_binomial(v - 1.0, f);
+  for (std::size_t it = 0; it < iters; ++it) {
+    if (n >= v) break;  // neighborhood saturated the network
+    double delta = 0.0;
+    for (std::size_t k = 0; k <= f; ++k) {
+      const double p =
+          gen_binomial(n - 1.0, k) * gen_binomial(v - n, f - k) / denom;
+      delta += static_cast<double>(f - k) * p;
+    }
+    n += delta;
+  }
+  return std::min(n, v) - 1.0;
+}
+
+double expected_common_nodes(std::size_t network_size, double lambda_i,
+                             double lambda_j) {
+  AN_ENSURE_MSG(network_size >= 2, "need at least two nodes");
+  return lambda_i * lambda_j / (static_cast<double>(network_size) - 1.0);
+}
+
+double pm_bound_pair(double lambda_i, double lambda_j, double common_y) {
+  AN_ENSURE_MSG(lambda_i > common_y && lambda_j > common_y,
+                "common nodes cannot exhaust a neighborhood");
+  const double denom = 2.0 * (lambda_i * lambda_i / (lambda_i - common_y) +
+                              lambda_j * lambda_j / (lambda_j - common_y));
+  return (lambda_i + lambda_j) / denom;
+}
+
+double pm_bound_average(std::size_t network_size, double expected_nbh) {
+  const double v1 = static_cast<double>(network_size) - 1.0;
+  return (v1 - expected_nbh) / (2.0 * v1);
+}
+
+double max_neighborhood_for_pm(std::size_t network_size, double pm) {
+  return (static_cast<double>(network_size) - 1.0) * (1.0 - 2.0 * pm);
+}
+
+std::vector<ParameterChoice> evaluate_parameters(std::size_t network_size, double pm,
+                                                 const std::vector<std::size_t>& fs,
+                                                 const std::vector<std::size_t>& ds,
+                                                 double churn_margin) {
+  std::vector<ParameterChoice> out;
+  for (const auto f : fs) {
+    for (const auto d : ds) {
+      ParameterChoice c;
+      c.f = f;
+      c.d = d;
+      c.expected_nbh = expected_neighborhood_size(network_size, f, d);
+      c.expected_common = expected_common_nodes(network_size, c.expected_nbh, c.expected_nbh);
+      c.pm_threshold = pm_bound_average(network_size, c.expected_nbh);
+      c.tolerates_following = pm < c.pm_threshold;
+      // Case (ii): the benign side's neighborhood (shrunk by a churn margin)
+      // must outnumber the separated coalition of p_m |V| nodes.
+      const double shrunk = c.expected_nbh * (1.0 - churn_margin);
+      c.tolerates_separate = shrunk > pm * static_cast<double>(network_size);
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace accountnet::analysis

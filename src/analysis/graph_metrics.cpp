@@ -1,0 +1,87 @@
+#include "accountnet/analysis/graph_metrics.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <queue>
+
+#include "accountnet/util/rng.hpp"
+
+namespace accountnet::analysis {
+
+std::vector<std::size_t> bfs_distances(const Adjacency& adjacency, std::size_t source) {
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(adjacency.size(), kInf);
+  std::queue<std::size_t> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const std::size_t u = q.front();
+    q.pop();
+    for (const std::size_t v : adjacency[u]) {
+      if (dist[v] == kInf) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+GraphMetrics compute_graph_metrics(const Adjacency& adjacency,
+                                   std::size_t exact_threshold,
+                                   std::size_t sample_sources, std::uint64_t seed) {
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+  GraphMetrics m;
+  const std::size_t n = adjacency.size();
+  if (n == 0) return m;
+
+  // Degree + clustering.
+  double clustering_sum = 0.0;
+  std::size_t clustering_nodes = 0;
+  std::uint64_t degree_sum = 0;
+  auto has_edge = [&](std::size_t u, std::size_t v) {
+    return std::binary_search(adjacency[u].begin(), adjacency[u].end(), v);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    degree_sum += adjacency[i].size();
+    const auto& peers = adjacency[i];
+    const std::size_t k = peers.size();
+    if (k < 2) continue;
+    std::size_t links = 0;
+    for (const std::size_t u : peers) {
+      for (const std::size_t v : peers) {
+        if (u != v && has_edge(u, v)) ++links;
+      }
+    }
+    clustering_sum += static_cast<double>(links) / static_cast<double>(k * (k - 1));
+    ++clustering_nodes;
+  }
+  m.avg_out_degree = static_cast<double>(degree_sum) / static_cast<double>(n);
+  m.avg_clustering = clustering_nodes ? clustering_sum / static_cast<double>(clustering_nodes) : 0.0;
+
+  // Diameter: exact for small graphs, sampled sources otherwise.
+  std::vector<std::size_t> sources;
+  if (n <= exact_threshold) {
+    sources.resize(n);
+    for (std::size_t i = 0; i < n; ++i) sources[i] = i;
+  } else {
+    Rng rng(seed);
+    sources = rng.sample_indices(n, std::min(sample_sources, n));
+  }
+  std::size_t diameter = 0;
+  for (const std::size_t s : sources) {
+    const auto dist = bfs_distances(adjacency, s);
+    for (const std::size_t d : dist) {
+      if (d == kInf) {
+        ++m.unreachable_pairs;
+      } else {
+        diameter = std::max(diameter, d);
+      }
+    }
+  }
+  m.diameter = static_cast<double>(diameter);
+  return m;
+}
+
+}  // namespace accountnet::analysis

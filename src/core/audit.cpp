@@ -1,0 +1,157 @@
+#include "accountnet/core/audit.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace accountnet::core {
+
+namespace {
+
+bool contains(const std::vector<PeerId>& v, const PeerId& p) {
+  return std::find(v.begin(), v.end(), p) != v.end();
+}
+
+}  // namespace
+
+VerifyResult audit_entry_pair(const HistoryEntry& mine, const PeerId& me,
+                              const HistoryEntry& theirs, const PeerId& them) {
+  if (mine.kind != EntryKind::kShuffle || theirs.kind != EntryKind::kShuffle) {
+    return VerifyResult::fail("cross audit applies to shuffle entries");
+  }
+  if (!(mine.counterpart == them) || !(theirs.counterpart == me)) {
+    return VerifyResult::fail("entries do not reference each other");
+  }
+  // The nonces must cross-reference the rounds: my entry's nonce is their
+  // round and vice versa.
+  if (mine.nonce != theirs.self_round || theirs.nonce != mine.self_round) {
+    return VerifyResult::fail("round nonces do not cross-match");
+  }
+  // Exactly one side initiated.
+  if (mine.initiated == theirs.initiated) {
+    return VerifyResult::fail("initiator flag inconsistent across the pair");
+  }
+  // What I added must have been offered by them: their out-set, themselves
+  // (the initiator inserts itself on the responder's side), or one of my own
+  // refills (which by construction live in MY out-set, not in `in`).
+  for (const auto& p : mine.in) {
+    if (!contains(theirs.out, p) && !(p == them)) {
+      return VerifyResult::fail("in-peer " + p.addr + " was never offered");
+    }
+  }
+  for (const auto& p : theirs.in) {
+    if (!contains(mine.out, p) && !(p == me)) {
+      return VerifyResult::fail("counterpart in-peer " + p.addr + " was never offered");
+    }
+  }
+  // Refills come back from the node's own outgoing set.
+  for (const auto& p : mine.fill) {
+    if (!contains(mine.out, p)) {
+      return VerifyResult::fail("refill " + p.addr + " not drawn from the out-set");
+    }
+  }
+  for (const auto& p : theirs.fill) {
+    if (!contains(theirs.out, p)) {
+      return VerifyResult::fail("counterpart refill " + p.addr +
+                                " not drawn from the out-set");
+    }
+  }
+  return VerifyResult::pass();
+}
+
+VerifyResult audit_history_invariants(const std::vector<HistoryEntry>& suffix,
+                                      const PeerId& owner) {
+  // Absence-based invariants ("out ⊆ N̂[r]", "counterpart ∈ N̂[r]") are only
+  // decidable when the window starts at the node's first entry: a partial
+  // suffix legitimately removes peers introduced before the window. For
+  // partial windows we still check the window-independent invariants.
+  const bool complete = !suffix.empty() && suffix.front().self_round == 0;
+
+  Peerset reconstructed;
+  for (const auto& e : suffix) {
+    if (e.kind == EntryKind::kShuffle) {
+      if (e.counterpart == owner) return VerifyResult::fail("self-shuffle entry");
+      for (const auto& p : e.fill) {
+        if (!contains(e.out, p)) {
+          return VerifyResult::fail("refill " + p.addr + " not drawn from the out-set");
+        }
+      }
+      if (complete) {
+        // Invariant: the counterpart was a known peer when the owner
+        // initiated (responders meet unknown initiators legitimately).
+        if (e.initiated && !reconstructed.contains(e.counterpart)) {
+          return VerifyResult::fail("initiated shuffle with a non-peer at round " +
+                                    std::to_string(e.self_round));
+        }
+        // Invariant: out ⊆ N̂[r].
+        for (const auto& p : e.out) {
+          if (!reconstructed.contains(p)) {
+            return VerifyResult::fail("removed non-member " + p.addr + " at round " +
+                                      std::to_string(e.self_round));
+          }
+        }
+      }
+    }
+    for (const auto& p : e.out) reconstructed.erase(p);
+    reconstructed.insert_all(e.in);
+    reconstructed.insert_all(e.fill);
+  }
+  return VerifyResult::pass();
+}
+
+CrossAuditResult cross_audit_history(const std::vector<HistoryEntry>& suffix,
+                                     const PeerId& owner, const EntryOracle& oracle) {
+  CrossAuditResult out;
+  for (const auto& e : suffix) {
+    if (e.kind != EntryKind::kShuffle) continue;
+    const auto mirror = oracle.entry_of(e.counterpart, e.nonce);
+    if (!mirror) {
+      ++out.unreachable;
+      continue;
+    }
+    ++out.checked;
+    if (const auto v = audit_entry_pair(e, owner, *mirror, e.counterpart); !v) {
+      out.verdict = v;
+      return out;
+    }
+  }
+  return out;
+}
+
+VerifyResult audit_neighborhood_full(const PeersetOracle& oracle, const PeerId& root,
+                                     std::size_t depth,
+                                     const std::vector<PeerId>& claimed) {
+  const auto actual = neighborhood(oracle, root, depth);
+  if (actual == claimed) return VerifyResult::pass();
+  // Diagnose the direction of the lie for a useful reason string.
+  const auto ghosts = sorted_difference(claimed, actual);
+  if (!ghosts.empty()) {
+    return VerifyResult::fail("claimed neighborhood contains unreachable node " +
+                              ghosts.front().addr);
+  }
+  const auto hidden = sorted_difference(actual, claimed);
+  return VerifyResult::fail("claimed neighborhood hides reachable node " +
+                            (hidden.empty() ? "?" : hidden.front().addr));
+}
+
+VerifyResult audit_neighborhood_spot(const PeersetOracle& oracle, const PeerId& root,
+                                     std::size_t depth,
+                                     const std::vector<PeerId>& claimed,
+                                     std::size_t walks, Rng& rng) {
+  std::set<PeerId> claimed_set(claimed.begin(), claimed.end());
+  for (std::size_t w = 0; w < walks; ++w) {
+    PeerId cursor = root;
+    for (std::size_t step = 0; step < depth; ++step) {
+      const auto ps = oracle.peerset_of(cursor);
+      if (!ps || ps->empty()) break;
+      cursor = ps->at(static_cast<std::size_t>(rng.uniform(ps->size())));
+      if (cursor == root) continue;  // walked back home
+      if (!claimed_set.contains(cursor)) {
+        return VerifyResult::fail("random walk reached undeclared node " + cursor.addr +
+                                  " (claimed neighborhood under-reports)");
+      }
+    }
+  }
+  return VerifyResult::pass();
+}
+
+}  // namespace accountnet::core

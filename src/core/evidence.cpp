@@ -1,0 +1,106 @@
+#include "accountnet/core/evidence.hpp"
+
+#include <algorithm>
+
+#include "accountnet/wire/codec.hpp"
+
+namespace accountnet::core {
+
+DataDigest digest_of(BytesView payload) {
+  return crypto::Sha256::hash(payload);
+}
+
+Bytes evidence_payload(std::uint64_t channel_id, std::uint64_t sequence,
+                       const DataDigest& digest) {
+  wire::Writer w;
+  w.str("an.evidence");
+  w.u64(channel_id);
+  w.u64(sequence);
+  w.raw(BytesView(digest.data(), digest.size()));
+  return std::move(w).take();
+}
+
+bool verify_testimony(const Testimony& t, const crypto::CryptoProvider& provider) {
+  return provider.verify(t.witness.key,
+                         evidence_payload(t.channel_id, t.sequence, t.digest),
+                         t.signature);
+}
+
+Testimony EvidenceLog::record(const crypto::Signer& signer, std::uint64_t channel_id,
+                              std::uint64_t sequence, BytesView payload) {
+  Testimony t;
+  t.witness = owner_;
+  t.channel_id = channel_id;
+  t.sequence = sequence;
+  t.digest = digest_of(payload);
+  t.signature = signer.sign(evidence_payload(channel_id, sequence, t.digest));
+  records_[{channel_id, sequence}] = t;
+  return t;
+}
+
+std::optional<Testimony> EvidenceLog::lookup(std::uint64_t channel_id,
+                                             std::uint64_t sequence) const {
+  const auto it = records_.find({channel_id, sequence});
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+Resolution resolve_dispute(std::uint64_t channel_id, std::uint64_t sequence,
+                           const Claim& producer_claim, const Claim& consumer_claim,
+                           const std::vector<Testimony>& testimonies,
+                           std::size_t group_size,
+                           const crypto::CryptoProvider& provider) {
+  Resolution res;
+
+  // Tally verified testimonies for this (channel, seq).
+  std::vector<std::pair<DataDigest, std::size_t>> tally;
+  for (const auto& t : testimonies) {
+    if (t.channel_id != channel_id || t.sequence != sequence ||
+        !verify_testimony(t, provider)) {
+      ++res.invalid_testimonies;
+      continue;
+    }
+    ++res.valid_testimonies;
+    auto it = std::find_if(tally.begin(), tally.end(),
+                           [&](const auto& e) { return e.first == t.digest; });
+    if (it == tally.end()) {
+      tally.emplace_back(t.digest, 1);
+    } else {
+      ++it->second;
+    }
+  }
+
+  // Strict majority of the full witness group, so withheld testimonies count
+  // against, not for, a colluding side.
+  const std::size_t threshold = group_size / 2 + 1;
+  for (const auto& [digest, count] : tally) {
+    if (count >= threshold) {
+      res.majority_digest = digest;
+      res.majority_count = count;
+      break;
+    }
+  }
+
+  if (!res.majority_digest) {
+    res.verdict = Verdict::kInconclusive;
+    return res;
+  }
+
+  const bool producer_matches =
+      producer_claim.digest.has_value() && *producer_claim.digest == *res.majority_digest;
+  const bool consumer_matches =
+      consumer_claim.digest.has_value() && *consumer_claim.digest == *res.majority_digest;
+
+  if (producer_matches && consumer_matches) {
+    res.verdict = Verdict::kClaimsAgree;
+  } else if (producer_matches) {
+    res.verdict = Verdict::kConsumerDishonest;
+  } else if (consumer_matches) {
+    res.verdict = Verdict::kProducerDishonest;
+  } else {
+    res.verdict = Verdict::kBothDishonest;
+  }
+  return res;
+}
+
+}  // namespace accountnet::core

@@ -1,0 +1,220 @@
+#include "accountnet/core/history.hpp"
+
+#include <algorithm>
+
+#include "accountnet/util/ensure.hpp"
+
+namespace accountnet::core {
+
+Bytes join_stamp_payload(const std::string& joiner_addr) {
+  wire::Writer w;
+  w.str("an.join");
+  w.str(joiner_addr);
+  return std::move(w).take();
+}
+
+Bytes shuffle_nonce_payload(Round counterpart_round) {
+  wire::Writer w;
+  w.str("an.shuffle");
+  w.u64(counterpart_round);
+  return std::move(w).take();
+}
+
+Bytes leave_payload(Round reporter_round, const std::string& leaver_addr) {
+  wire::Writer w;
+  w.str("an.leave");
+  w.u64(reporter_round);
+  w.str(leaver_addr);
+  return std::move(w).take();
+}
+
+void encode_peer(wire::Writer& w, const PeerId& p) {
+  w.str(p.addr);
+  w.raw(BytesView(p.key.data(), p.key.size()));
+}
+
+PeerId decode_peer(wire::Reader& r) {
+  PeerId p;
+  p.addr = r.str();
+  const Bytes key = r.raw(32);
+  std::copy(key.begin(), key.end(), p.key.begin());
+  return p;
+}
+
+namespace {
+
+void encode_peer_list(wire::Writer& w, const std::vector<PeerId>& peers) {
+  w.varint(peers.size());
+  for (const auto& p : peers) encode_peer(w, p);
+}
+
+std::vector<PeerId> decode_peer_list(wire::Reader& r) {
+  const auto n = r.varint();
+  if (n > 100000) throw wire::DecodeError("peer list implausibly long");
+  std::vector<PeerId> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(decode_peer(r));
+  return out;
+}
+
+}  // namespace
+
+void encode_entry(wire::Writer& w, const HistoryEntry& e) {
+  w.u8(static_cast<std::uint8_t>(e.kind));
+  w.u64(e.self_round);
+  encode_peer(w, e.counterpart);
+  w.u64(e.nonce);
+  w.bytes(e.signature);
+  w.u8(e.initiated ? 1 : 0);
+  encode_peer_list(w, e.out);
+  encode_peer_list(w, e.in);
+  encode_peer_list(w, e.fill);
+}
+
+HistoryEntry decode_entry(wire::Reader& r) {
+  HistoryEntry e;
+  const auto kind = r.u8();
+  if (kind < 1 || kind > 3) throw wire::DecodeError("bad entry kind");
+  e.kind = static_cast<EntryKind>(kind);
+  e.self_round = r.u64();
+  e.counterpart = decode_peer(r);
+  e.nonce = r.u64();
+  e.signature = r.bytes();
+  e.initiated = r.u8() != 0;
+  e.out = decode_peer_list(r);
+  e.in = decode_peer_list(r);
+  e.fill = decode_peer_list(r);
+  return e;
+}
+
+void UpdateHistory::append(HistoryEntry entry) {
+  if (!entries_.empty()) {
+    AN_ENSURE_MSG(entry.self_round > entries_.back().self_round,
+                  "history rounds must be strictly ascending");
+  }
+  entries_.push_back(std::move(entry));
+  ++total_appended_;
+}
+
+const HistoryEntry& UpdateHistory::back() const {
+  AN_ENSURE_MSG(!entries_.empty(), "history is empty");
+  return entries_.back();
+}
+
+Peerset UpdateHistory::reconstruct(const std::vector<HistoryEntry>& suffix) {
+  Peerset n;
+  for (const auto& e : suffix) {
+    for (const auto& p : e.out) n.erase(p);
+    n.insert_all(e.in);
+    n.insert_all(e.fill);
+  }
+  return n;
+}
+
+std::size_t UpdateHistory::minimal_suffix_length(const Peerset& current) const {
+  // A suffix reconstructs `current` exactly iff it covers the most recent
+  // (re)insertion of every current peer; scan backwards tracking coverage.
+  if (current.empty()) return 0;
+  std::size_t covered = 0;
+  std::vector<bool> seen(current.size(), false);
+  auto mark = [&](const PeerId& p) {
+    const auto& sorted = current.sorted();
+    const auto it = std::lower_bound(sorted.begin(), sorted.end(), p);
+    if (it != sorted.end() && *it == p) {
+      const auto idx = static_cast<std::size_t>(it - sorted.begin());
+      if (!seen[idx]) {
+        seen[idx] = true;
+        ++covered;
+      }
+    }
+  };
+  for (std::size_t k = 0; k < entries_.size(); ++k) {
+    const auto& e = entries_[entries_.size() - 1 - k];
+    for (const auto& p : e.in) mark(p);
+    for (const auto& p : e.fill) mark(p);
+    if (covered == current.size()) {
+      // Candidate length k+1; confirm by replay (removals could interleave).
+      const auto candidate = suffix(k + 1);
+      if (reconstruct(candidate) == current) return k + 1;
+    }
+  }
+  if (reconstruct(entries_) == current) return entries_.size();
+  return entries_.size() + 1;
+}
+
+std::vector<HistoryEntry> UpdateHistory::suffix(std::size_t k) const {
+  k = std::min(k, entries_.size());
+  return std::vector<HistoryEntry>(entries_.end() - static_cast<std::ptrdiff_t>(k),
+                                   entries_.end());
+}
+
+std::vector<HistoryEntry> UpdateHistory::proof_suffix(const Peerset& current) const {
+  const std::size_t k = minimal_suffix_length(current);
+  return suffix(std::min(k, entries_.size()));
+}
+
+void UpdateHistory::trim(std::size_t max_entries) {
+  if (entries_.size() > max_entries) {
+    entries_.erase(entries_.begin(),
+                   entries_.begin() + static_cast<std::ptrdiff_t>(entries_.size() - max_entries));
+  }
+}
+
+VerifyResult verify_history_suffix(const std::vector<HistoryEntry>& suffix,
+                                   const PeerId& owner, const Peerset& claimed,
+                                   const crypto::CryptoProvider& provider) {
+  Round prev_round = 0;
+  bool first = true;
+  for (const auto& e : suffix) {
+    if (!first && e.self_round <= prev_round) {
+      return VerifyResult::fail("history rounds not strictly ascending");
+    }
+    prev_round = e.self_round;
+    first = false;
+
+    switch (e.kind) {
+      case EntryKind::kJoin: {
+        if (e.self_round != 0) return VerifyResult::fail("join entry after round 0");
+        const Bytes payload = join_stamp_payload(owner.addr);
+        if (!provider.verify(e.counterpart.key, payload, e.signature)) {
+          return VerifyResult::fail("invalid bootstrap entry stamp");
+        }
+        if (!e.out.empty()) return VerifyResult::fail("join entry must not remove peers");
+        break;
+      }
+      case EntryKind::kShuffle: {
+        const Bytes payload = shuffle_nonce_payload(e.nonce);
+        if (!provider.verify(e.counterpart.key, payload, e.signature)) {
+          return VerifyResult::fail("invalid shuffle counterpart signature");
+        }
+        if (e.counterpart == owner) return VerifyResult::fail("self-shuffle entry");
+        break;
+      }
+      case EntryKind::kLeave: {
+        if (e.out.size() != 1 || !e.in.empty() || !e.fill.empty()) {
+          return VerifyResult::fail("malformed leave entry");
+        }
+        const Bytes payload = leave_payload(e.nonce, e.out.front().addr);
+        if (!provider.verify(e.counterpart.key, payload, e.signature)) {
+          return VerifyResult::fail("invalid leave-report signature");
+        }
+        break;
+      }
+    }
+
+    // A node never holds itself in its peerset.
+    for (const auto& p : e.in) {
+      if (p == owner) return VerifyResult::fail("history inserts owner into own peerset");
+    }
+    for (const auto& p : e.fill) {
+      if (p == owner) return VerifyResult::fail("history fills owner into own peerset");
+    }
+  }
+
+  if (!(UpdateHistory::reconstruct(suffix) == claimed)) {
+    return VerifyResult::fail("reconstructed peerset does not match claim");
+  }
+  return VerifyResult::pass();
+}
+
+}  // namespace accountnet::core

@@ -1,0 +1,47 @@
+#include "accountnet/core/neighborhood.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace accountnet::core {
+
+std::vector<PeerId> neighborhood(const PeersetOracle& oracle, const PeerId& root,
+                                 std::size_t depth) {
+  std::unordered_set<PeerId, PeerIdHash> visited;
+  visited.insert(root);
+  std::vector<PeerId> frontier = {root};
+  std::vector<PeerId> result;
+
+  for (std::size_t level = 0; level < depth && !frontier.empty(); ++level) {
+    std::vector<PeerId> next;
+    for (const auto& node : frontier) {
+      const auto ps = oracle.peerset_of(node);
+      if (!ps) continue;
+      for (const auto& peer : ps->sorted()) {
+        if (visited.insert(peer).second) {
+          result.push_back(peer);
+          next.push_back(peer);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<PeerId> sorted_intersection(const std::vector<PeerId>& a,
+                                        const std::vector<PeerId>& b) {
+  std::vector<PeerId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+std::vector<PeerId> sorted_difference(const std::vector<PeerId>& a,
+                                      const std::vector<PeerId>& b) {
+  std::vector<PeerId> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace accountnet::core

@@ -1,0 +1,971 @@
+#include "accountnet/core/node.hpp"
+
+#include <algorithm>
+
+#include "accountnet/util/ensure.hpp"
+#include "accountnet/wire/codec.hpp"
+
+namespace accountnet::core {
+
+namespace {
+
+void encode_peer_list(wire::Writer& w, const std::vector<PeerId>& peers) {
+  w.varint(peers.size());
+  for (const auto& p : peers) encode_peer(w, p);
+}
+
+std::vector<PeerId> decode_peer_list(wire::Reader& r) {
+  const auto n = r.varint();
+  if (n > 100000) throw wire::DecodeError("peer list implausibly long");
+  std::vector<PeerId> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(decode_peer(r));
+  return out;
+}
+
+void encode_bytes_list(wire::Writer& w, const std::vector<Bytes>& list) {
+  w.varint(list.size());
+  for (const auto& b : list) w.bytes(b);
+}
+
+std::vector<Bytes> decode_bytes_list(wire::Reader& r) {
+  const auto n = r.varint();
+  if (n > 100000) throw wire::DecodeError("bytes list implausibly long");
+  std::vector<Bytes> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(r.bytes());
+  return out;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Node::Node(sim::SimNetwork& net, const std::string& addr,
+           const crypto::CryptoProvider& provider, BytesView seed32, Config config,
+           std::uint64_t rng_seed)
+    : net_(net),
+      provider_(provider),
+      state_(PeerId{addr, provider.make_signer(seed32)->public_key()},
+             provider.make_signer(seed32), config.protocol),
+      config_(config),
+      rng_(rng_seed),
+      evidence_(PeerId{addr, provider.make_signer(seed32)->public_key()}) {}
+
+Node::~Node() {
+  *alive_ = false;
+}
+
+void Node::send(const std::string& to, MsgType type, Bytes payload) {
+  net_.send({state_.self().addr, to, static_cast<std::uint32_t>(type),
+             std::move(payload)});
+}
+
+void Node::start_as_seed() {
+  AN_ENSURE_MSG(!running_, "node already started");
+  running_ = true;
+  joined_ = true;
+  state_.init_as_seed();
+  net_.attach(state_.self().addr, [this](const sim::NetMessage& m) { handle(m); });
+  schedule_next_shuffle();
+}
+
+void Node::start_join(const std::string& bootstrap_addr) {
+  AN_ENSURE_MSG(!running_, "node already started");
+  running_ = true;
+  net_.attach(state_.self().addr, [this](const sim::NetMessage& m) { handle(m); });
+  wire::Writer w;
+  encode_peer(w, state_.self());
+  send(bootstrap_addr, MsgType::kJoinRequest, std::move(w).take());
+  // Retry join if the bootstrap never answers.
+  auto alive = alive_;
+  net_.simulator().schedule(config_.rpc_timeout * 4, [this, alive, bootstrap_addr] {
+    if (!*alive || joined_ || !running_) return;
+    wire::Writer retry;
+    encode_peer(retry, state_.self());
+    send(bootstrap_addr, MsgType::kJoinRequest, std::move(retry).take());
+  });
+}
+
+void Node::stop() {
+  if (!running_) return;
+  running_ = false;
+  net_.detach(state_.self().addr);
+}
+
+void Node::stop_gracefully() {
+  if (!running_) return;
+  // Announce our own departure; recipients ping-verify (we will be gone by
+  // the time the ping lands) and then record the leave.
+  const auto [round, sig] = state_.make_leave_report(state_.self());
+  wire::Writer w;
+  encode_peer(w, state_.self());   // leaver = self
+  encode_peer(w, state_.self());   // reporter = self
+  w.u64(round);
+  w.bytes(sig);
+  const Bytes payload = std::move(w).take();
+  for (const auto& p : state_.peerset().sorted()) {
+    send(p.addr, MsgType::kLeaveNotice, payload);
+  }
+  stop();
+}
+
+void Node::handle(const sim::NetMessage& msg) {
+  if (!running_) return;
+  try {
+    switch (static_cast<MsgType>(msg.type)) {
+      case MsgType::kJoinRequest: on_join_request(msg); break;
+      case MsgType::kJoinReply: on_join_reply(msg); break;
+      case MsgType::kRoundQuery: on_round_query(msg); break;
+      case MsgType::kRoundReply: on_round_reply(msg); break;
+      case MsgType::kShuffleOffer: on_shuffle_offer(msg); break;
+      case MsgType::kShuffleResponse: on_shuffle_response(msg); break;
+      case MsgType::kShuffleReject: on_shuffle_reject(msg); break;
+      case MsgType::kPing: on_ping(msg); break;
+      case MsgType::kPong: on_pong(msg); break;
+      case MsgType::kLeaveNotice: on_leave_notice(msg); break;
+      case MsgType::kNeighborhoodQuery: on_neighborhood_query(msg); break;
+      case MsgType::kNeighborhoodReply: on_neighborhood_reply(msg); break;
+      case MsgType::kChannelRequest: on_channel_request(msg); break;
+      case MsgType::kChannelAccept: on_channel_accept(msg); break;
+      case MsgType::kChannelFinalize: on_channel_finalize(msg); break;
+      case MsgType::kWitnessInvite: on_witness_invite(msg); break;
+      case MsgType::kWitnessAck: on_witness_ack(msg); break;
+      case MsgType::kDataRelay: on_data_relay(msg); break;
+      case MsgType::kDataForward: on_data_forward(msg); break;
+      case MsgType::kTestimonyQuery: on_testimony_query(msg); break;
+      case MsgType::kTestimonyReply: on_testimony_reply(msg); break;
+      case MsgType::kEntryQuery: on_entry_query(msg); break;
+      case MsgType::kEntryReply: on_entry_reply(msg); break;
+    }
+  } catch (const wire::DecodeError&) {
+    // Malformed traffic from a buggy/malicious peer: drop it.
+    ++stats_.verification_failures;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Join.
+// ---------------------------------------------------------------------------
+
+void Node::on_join_request(const sim::NetMessage& msg) {
+  wire::Reader r(msg.payload);
+  const PeerId joiner = decode_peer(r);
+  r.expect_done();
+  if (joiner.addr != msg.from) return;
+
+  // Entry stamp σ_bn(addr_i) plus a neighbor list the joiner samples from.
+  const Bytes stamp = state_.signer().sign(join_stamp_payload(joiner.addr));
+  std::vector<PeerId> neighbors = state_.peerset().sorted();
+  neighbors.push_back(state_.self());
+
+  wire::Writer w;
+  encode_peer(w, state_.self());
+  w.bytes(stamp);
+  encode_peer_list(w, neighbors);
+  send(msg.from, MsgType::kJoinReply, std::move(w).take());
+}
+
+void Node::on_join_reply(const sim::NetMessage& msg) {
+  if (joined_) return;
+  wire::Reader r(msg.payload);
+  const PeerId bootstrap = decode_peer(r);
+  const Bytes stamp = r.bytes();
+  const std::vector<PeerId> neighbors = decode_peer_list(r);
+  r.expect_done();
+  if (bootstrap.addr != msg.from) return;
+  if (!provider_.verify(bootstrap.key, join_stamp_payload(state_.self().addr), stamp)) {
+    ++stats_.verification_failures;
+    return;
+  }
+
+  // Verifiable initial sample: up to f nodes, VRF-seeded by the entry stamp
+  // (the joiner cannot predict it before contacting the bootstrap).
+  Peerset candidates(neighbors);
+  candidates.erase(state_.self());
+  const Draw draw = draw_sample(state_.signer(), candidates, config_.protocol.max_peerset,
+                                "an.join.sample", stamp);
+  state_.apply_join(bootstrap, stamp, draw.sample);
+  joined_ = true;
+  schedule_next_shuffle();
+}
+
+// ---------------------------------------------------------------------------
+// Shuffling.
+// ---------------------------------------------------------------------------
+
+void Node::schedule_next_shuffle() {
+  const auto period = static_cast<double>(config_.shuffle_period);
+  const double jitter = (rng_.uniform01() * 2.0 - 1.0) * config_.shuffle_jitter_frac;
+  const auto delay = static_cast<sim::Duration>(period * (1.0 + jitter));
+  auto alive = alive_;
+  net_.simulator().schedule(std::max<sim::Duration>(delay, 1), [this, alive] {
+    if (!*alive || !running_) return;
+    begin_shuffle();
+    schedule_next_shuffle();
+  });
+}
+
+void Node::begin_shuffle() {
+  if (!joined_ || pending_.has_value() || behavior_.refuse_shuffles) return;
+  const auto choice = choose_partner(state_);
+  if (!choice) return;  // empty peerset
+  ++stats_.shuffles_initiated;
+  PendingShuffle p;
+  p.partner = choice->partner;
+  p.choice = *choice;
+  p.round_at_start = state_.round();
+  p.epoch = ++shuffle_epoch_;
+  pending_ = std::move(p);
+
+  wire::Writer w;
+  encode_peer(w, state_.self());
+  send(choice->partner.addr, MsgType::kRoundQuery, std::move(w).take());
+
+  const auto epoch = pending_->epoch;
+  auto alive = alive_;
+  net_.simulator().schedule(config_.rpc_timeout, [this, alive, epoch] {
+    if (!*alive || !running_) return;
+    if (pending_ && pending_->epoch == epoch) abort_shuffle(/*partner_suspect=*/true);
+  });
+}
+
+void Node::abort_shuffle(bool partner_suspect) {
+  if (!pending_) return;
+  ++stats_.shuffle_failures;
+  const PeerId partner = pending_->partner;
+  pending_.reset();
+  ++shuffle_epoch_;
+  // Burn the round so the next initiation draws a fresh partner.
+  state_.skip_round();
+  if (partner_suspect) {
+    const int fails = ++partner_failures_[partner.addr];
+    if (fails >= config_.failures_before_leave_check) {
+      partner_failures_.erase(partner.addr);
+      suspect_peer(partner);
+    }
+  }
+}
+
+void Node::on_round_query(const sim::NetMessage& msg) {
+  if (!joined_ || behavior_.refuse_shuffles) return;
+  wire::Reader r(msg.payload);
+  const PeerId initiator = decode_peer(r);
+  r.expect_done();
+  if (initiator.addr != msg.from) return;
+  wire::Writer w;
+  encode_peer(w, state_.self());
+  w.u64(state_.round());
+  send(msg.from, MsgType::kRoundReply, std::move(w).take());
+}
+
+void Node::on_round_reply(const sim::NetMessage& msg) {
+  if (!pending_ || pending_->offer_sent || msg.from != pending_->partner.addr) return;
+  wire::Reader r(msg.payload);
+  const PeerId responder = decode_peer(r);
+  const Round responder_round = r.u64();
+  r.expect_done();
+  if (!(responder == pending_->partner)) return;
+  if (state_.round() != pending_->round_at_start) {
+    // A leave report advanced our round since the partner draw; the proofs
+    // no longer match the round we would offer. Quietly retry next period.
+    pending_.reset();
+    ++shuffle_epoch_;
+    return;
+  }
+
+  pending_->offer = make_offer(state_, pending_->choice, responder_round);
+  pending_->offer_sent = true;
+  const Bytes payload = pending_->offer.encode();
+  stats_.history_suffix_bytes += payload.size();
+  send(msg.from, MsgType::kShuffleOffer, payload);
+}
+
+void Node::on_shuffle_offer(const sim::NetMessage& msg) {
+  auto reject = [&](std::uint8_t code) {
+    wire::Writer w;
+    w.u8(code);  // 1 = busy, 2 = verification failed
+    send(msg.from, MsgType::kShuffleReject, std::move(w).take());
+  };
+  if (!joined_ || behavior_.refuse_shuffles) return;
+  if (pending_.has_value()) {
+    reject(1);
+    return;
+  }
+  const ShuffleOffer offer = ShuffleOffer::decode(msg.payload);
+  if (offer.initiator.addr != msg.from) return;
+
+  // Benign race: our round advanced after we handed out the nonce (we
+  // shuffled or recorded a leave in between). Not a protocol violation.
+  if (offer.responder_round != state_.round()) {
+    reject(1);
+    return;
+  }
+
+  // Replay defense: an initiator's offered round must move forward.
+  const auto it = last_seen_initiator_round_.find(offer.initiator.addr);
+  if (it != last_seen_initiator_round_.end() && offer.initiator_round <= it->second) {
+    ++stats_.shuffles_rejected;
+    reject(2);
+    return;
+  }
+
+  if (const auto v = verify_offer(offer, state_, state_.round(), provider_); !v) {
+    ++stats_.shuffles_rejected;
+    ++stats_.verification_failures;
+    reject(2);
+    return;
+  }
+  last_seen_initiator_round_[offer.initiator.addr] = offer.initiator_round;
+  partner_failures_.erase(offer.initiator.addr);
+
+  const ShuffleResponse resp = make_response_and_commit(state_, offer);
+  purge_reported_leavers();
+  ++stats_.shuffles_responded;
+  const Bytes payload = resp.encode();
+  stats_.history_suffix_bytes += payload.size();
+  send(msg.from, MsgType::kShuffleResponse, payload);
+}
+
+void Node::on_shuffle_response(const sim::NetMessage& msg) {
+  if (!pending_ || !pending_->offer_sent || msg.from != pending_->partner.addr) return;
+  const ShuffleResponse resp = ShuffleResponse::decode(msg.payload);
+  if (const auto v = verify_response(resp, state_, pending_->offer, provider_); !v) {
+    ++stats_.verification_failures;
+    abort_shuffle(/*partner_suspect=*/true);
+    return;
+  }
+  apply_offer_outcome(state_, pending_->offer, resp);
+  purge_reported_leavers();
+  ++stats_.shuffles_completed;
+  partner_failures_.erase(msg.from);
+  pending_.reset();
+  ++shuffle_epoch_;
+}
+
+void Node::on_shuffle_reject(const sim::NetMessage& msg) {
+  if (!pending_ || msg.from != pending_->partner.addr) return;
+  wire::Reader r(msg.payload);
+  const std::uint8_t code = r.u8();
+  abort_shuffle(/*partner_suspect=*/code == 2);
+}
+
+// ---------------------------------------------------------------------------
+// Leave detection.
+// ---------------------------------------------------------------------------
+
+void Node::purge_reported_leavers() {
+  // Shuffling can re-introduce a peer we already know to be gone (other
+  // nodes still circulate it until they notice). Re-record the leave so our
+  // reconstruction stays exact and the zombie peer is dropped again.
+  std::vector<PeerId> zombies;
+  for (const auto& p : state_.peerset().sorted()) {
+    if (reported_leavers_.contains(p.addr)) zombies.push_back(p);
+  }
+  for (const auto& z : zombies) {
+    const auto [round, sig] = state_.make_leave_report(z);
+    state_.apply_leave_report(state_.self(), round, sig, z);
+  }
+}
+
+void Node::suspect_peer(const PeerId& peer) {
+  if (reported_leavers_.contains(peer.addr) || ping_probes_.contains(peer.addr)) return;
+  PingProbe probe;
+  probe.target = peer;
+  ping_probes_[peer.addr] = std::move(probe);
+  send(peer.addr, MsgType::kPing, {});
+
+  auto alive = alive_;
+  const std::string addr = peer.addr;
+  net_.simulator().schedule(config_.rpc_timeout, [this, alive, addr] {
+    if (!*alive || !running_) return;
+    const auto it = ping_probes_.find(addr);
+    if (it == ping_probes_.end()) return;  // pong arrived
+    const PingProbe probe = it->second;
+    ping_probes_.erase(it);
+    reported_leavers_.insert(addr);
+    if (probe.from_notice) {
+      // Confirmed someone else's report: record it as received.
+      state_.apply_leave_report(probe.reporter, probe.reporter_round, probe.report_sig,
+                                probe.target);
+      return;
+    }
+    // We are the reporter: log, then inform our peers (Sec. IV-A, Leaving).
+    ++stats_.leaves_reported;
+    const auto [round, sig] = state_.make_leave_report(probe.target);
+    wire::Writer w;
+    encode_peer(w, probe.target);
+    encode_peer(w, state_.self());
+    w.u64(round);
+    w.bytes(sig);
+    const Bytes payload = std::move(w).take();
+    for (const auto& p : state_.peerset().sorted()) {
+      if (!(p == probe.target)) send(p.addr, MsgType::kLeaveNotice, payload);
+    }
+    state_.apply_leave_report(state_.self(), round, sig, probe.target);
+  });
+}
+
+void Node::on_leave_notice(const sim::NetMessage& msg) {
+  wire::Reader r(msg.payload);
+  const PeerId leaver = decode_peer(r);
+  const PeerId reporter = decode_peer(r);
+  const Round reporter_round = r.u64();
+  const Bytes sig = r.bytes();
+  r.expect_done();
+  if (leaver == state_.self()) return;
+  if (reported_leavers_.contains(leaver.addr) || ping_probes_.contains(leaver.addr)) return;
+  if (!provider_.verify(reporter.key, leave_payload(reporter_round, leaver.addr), sig)) {
+    ++stats_.verification_failures;
+    return;
+  }
+  // Independent liveness check before trusting the report.
+  PingProbe probe;
+  probe.target = leaver;
+  probe.from_notice = true;
+  probe.reporter = reporter;
+  probe.reporter_round = reporter_round;
+  probe.report_sig = sig;
+  ping_probes_[leaver.addr] = std::move(probe);
+  send(leaver.addr, MsgType::kPing, {});
+
+  auto alive = alive_;
+  const std::string addr = leaver.addr;
+  net_.simulator().schedule(config_.rpc_timeout, [this, alive, addr] {
+    if (!*alive || !running_) return;
+    const auto it = ping_probes_.find(addr);
+    if (it == ping_probes_.end()) return;
+    const PingProbe probe = it->second;
+    ping_probes_.erase(it);
+    reported_leavers_.insert(addr);
+    state_.apply_leave_report(probe.reporter, probe.reporter_round, probe.report_sig,
+                              probe.target);
+  });
+}
+
+void Node::on_ping(const sim::NetMessage& msg) {
+  send(msg.from, MsgType::kPong, {});
+}
+
+void Node::on_pong(const sim::NetMessage& msg) {
+  ping_probes_.erase(msg.from);
+  partner_failures_.erase(msg.from);
+}
+
+// ---------------------------------------------------------------------------
+// Neighborhood flooding.
+// ---------------------------------------------------------------------------
+
+void Node::discover_neighborhood(std::function<void(std::vector<PeerId>)> done) {
+  if (probe_.has_value()) {
+    // One flood at a time; queue the request and reuse the machinery.
+    probe_queue_.push_back(std::move(done));
+    return;
+  }
+  NeighborhoodProbe probe;
+  probe.query_id = (fnv1a(state_.self().addr) << 16) | next_query_id_++;
+  probe.done = std::move(done);
+  probe_ = std::move(probe);
+  seen_queries_.insert(probe_->query_id);
+
+  wire::Writer w;
+  w.u64(probe_->query_id);
+  encode_peer(w, state_.self());
+  w.varint(config_.depth);
+  const Bytes payload = std::move(w).take();
+  for (const auto& p : state_.peerset().sorted()) {
+    send(p.addr, MsgType::kNeighborhoodQuery, payload);
+  }
+
+  auto alive = alive_;
+  const auto wait =
+      config_.neighborhood_wait * static_cast<sim::Duration>(std::max<std::size_t>(config_.depth, 1));
+  net_.simulator().schedule(wait, [this, alive] {
+    if (!*alive || !running_ || !probe_) return;
+    std::vector<PeerId> found(probe_->found.begin(), probe_->found.end());
+    auto done = std::move(probe_->done);
+    probe_.reset();
+    done(std::move(found));
+    if (!probe_queue_.empty()) {
+      auto next = std::move(probe_queue_.front());
+      probe_queue_.erase(probe_queue_.begin());
+      discover_neighborhood(std::move(next));
+    }
+  });
+}
+
+void Node::on_neighborhood_query(const sim::NetMessage& msg) {
+  wire::Reader r(msg.payload);
+  const std::uint64_t query_id = r.u64();
+  const PeerId origin = decode_peer(r);
+  const std::uint64_t ttl = r.varint();
+  r.expect_done();
+  if (origin == state_.self()) return;
+  if (!seen_queries_.insert(query_id).second) return;  // already served
+
+  wire::Writer reply;
+  reply.u64(query_id);
+  encode_peer(reply, state_.self());
+  send(origin.addr, MsgType::kNeighborhoodReply, std::move(reply).take());
+
+  if (ttl > 1) {
+    wire::Writer fwd;
+    fwd.u64(query_id);
+    encode_peer(fwd, origin);
+    fwd.varint(ttl - 1);
+    const Bytes payload = std::move(fwd).take();
+    for (const auto& p : state_.peerset().sorted()) {
+      if (p.addr != msg.from && !(p == origin)) {
+        send(p.addr, MsgType::kNeighborhoodQuery, payload);
+      }
+    }
+  }
+}
+
+void Node::on_neighborhood_reply(const sim::NetMessage& msg) {
+  if (!probe_) return;
+  wire::Reader r(msg.payload);
+  const std::uint64_t query_id = r.u64();
+  const PeerId responder = decode_peer(r);
+  r.expect_done();
+  if (query_id != probe_->query_id) return;
+  if (responder.addr != msg.from || responder == state_.self()) return;
+  probe_->found.insert(responder);
+}
+
+// ---------------------------------------------------------------------------
+// Channels (witness formation + witnessed relay).
+// ---------------------------------------------------------------------------
+
+void Node::open_channel(const std::string& consumer_addr, ChannelReadyCallback on_ready) {
+  AN_ENSURE_MSG(joined_, "open_channel before join completes");
+  const std::uint64_t id = (fnv1a(state_.self().addr) << 20) | next_channel_id_++;
+  ProducerChannel ch;
+  ch.id = id;
+  ch.consumer.addr = consumer_addr;
+  ch.on_ready = std::move(on_ready);
+  producer_channels_[id] = std::move(ch);
+
+  // Setup deadline: discovery + exchange + invites must complete within a
+  // bounded window or the channel fails (e.g. a witness died mid-setup).
+  auto alive = alive_;
+  net_.simulator().schedule(
+      config_.neighborhood_wait * 4 + config_.rpc_timeout * 4, [this, alive, id] {
+        if (!*alive || !running_) return;
+        const auto it = producer_channels_.find(id);
+        if (it == producer_channels_.end() || it->second.ready) return;
+        auto cb = std::move(it->second.on_ready);
+        producer_channels_.erase(it);
+        if (cb) cb(id, false);
+      });
+
+  discover_neighborhood([this, id, consumer_addr](std::vector<PeerId> found) {
+    auto it = producer_channels_.find(id);
+    if (it == producer_channels_.end()) return;
+    it->second.my_neighborhood = std::move(found);
+    it->second.my_round = state_.round();
+    wire::Writer w;
+    w.u64(id);
+    encode_peer(w, state_.self());
+    w.u64(it->second.my_round);
+    encode_peer_list(w, it->second.my_neighborhood);
+    send(consumer_addr, MsgType::kChannelRequest, std::move(w).take());
+  });
+}
+
+void Node::on_channel_request(const sim::NetMessage& msg) {
+  wire::Reader r(msg.payload);
+  const std::uint64_t id = r.u64();
+  const PeerId producer = decode_peer(r);
+  const Round producer_round = r.u64();
+  std::vector<PeerId> producer_nbh = decode_peer_list(r);
+  r.expect_done();
+  if (producer.addr != msg.from || !joined_) return;
+
+  ConsumerChannel ch;
+  ch.id = id;
+  ch.producer = producer;
+  ch.producer_round = producer_round;
+  ch.producer_neighborhood = std::move(producer_nbh);
+  consumer_channels_[id] = std::move(ch);
+
+  discover_neighborhood([this, id, producer](std::vector<PeerId> mine) {
+    auto it = consumer_channels_.find(id);
+    if (it == consumer_channels_.end()) return;
+    ConsumerChannel& ch = it->second;
+    ch.my_neighborhood = std::move(mine);
+    ch.my_round = state_.round();
+    const auto plan = plan_witness_group(ch.producer_neighborhood, ch.my_neighborhood,
+                                         producer, state_.self(), config_.witness_count);
+    const Bytes nonce =
+        channel_nonce(producer, ch.producer_round, state_.self(), ch.my_round);
+    const Draw draw = draw_witnesses(state_.signer(), plan.candidates_consumer,
+                                     plan.quota_consumer, nonce);
+    ch.witnesses = draw.sample;  // producer half is merged at finalize
+    wire::Writer w;
+    w.u64(id);
+    encode_peer(w, state_.self());
+    w.u64(ch.my_round);
+    encode_peer_list(w, ch.my_neighborhood);
+    encode_peer_list(w, draw.sample);
+    encode_bytes_list(w, draw.proofs);
+    send(producer.addr, MsgType::kChannelAccept, std::move(w).take());
+  });
+}
+
+void Node::on_channel_accept(const sim::NetMessage& msg) {
+  wire::Reader r(msg.payload);
+  const std::uint64_t id = r.u64();
+  const PeerId consumer = decode_peer(r);
+  const Round consumer_round = r.u64();
+  const std::vector<PeerId> consumer_nbh = decode_peer_list(r);
+  const std::vector<PeerId> consumer_draw = decode_peer_list(r);
+  const std::vector<Bytes> consumer_proofs = decode_bytes_list(r);
+  r.expect_done();
+
+  const auto it = producer_channels_.find(id);
+  if (it == producer_channels_.end() || consumer.addr != msg.from) return;
+  ProducerChannel& ch = it->second;
+  ch.consumer = consumer;
+
+  const auto plan = plan_witness_group(ch.my_neighborhood, consumer_nbh, state_.self(),
+                                       consumer, config_.witness_count);
+  const Bytes nonce = channel_nonce(state_.self(), ch.my_round, consumer, consumer_round);
+  if (const auto v = verify_witnesses(provider_, consumer.key, plan.candidates_consumer,
+                                      plan.quota_consumer, nonce, consumer_proofs,
+                                      consumer_draw);
+      !v) {
+    ++stats_.verification_failures;
+    if (ch.on_ready) ch.on_ready(id, false);
+    producer_channels_.erase(it);
+    return;
+  }
+  const Draw my_draw = draw_witnesses(state_.signer(), plan.candidates_producer,
+                                      plan.quota_producer, nonce);
+  ch.witnesses = merge_witnesses(my_draw.sample, consumer_draw);
+
+  // Tell the consumer our half of the draw (it re-verifies symmetrically).
+  wire::Writer w;
+  w.u64(id);
+  encode_peer_list(w, my_draw.sample);
+  encode_bytes_list(w, my_draw.proofs);
+  encode_peer_list(w, ch.my_neighborhood);
+  w.u64(ch.my_round);
+  send(consumer.addr, MsgType::kChannelFinalize, std::move(w).take());
+
+  // Invite every witness.
+  wire::Writer inv;
+  inv.u64(id);
+  encode_peer(inv, state_.self());
+  encode_peer(inv, consumer);
+  const Bytes invite = std::move(inv).take();
+  for (const auto& w_id : ch.witnesses) {
+    send(w_id.addr, MsgType::kWitnessInvite, invite);
+  }
+  if (ch.witnesses.empty() && ch.on_ready) {
+    ch.on_ready(id, false);
+    producer_channels_.erase(it);
+  }
+}
+
+void Node::on_channel_finalize(const sim::NetMessage& msg) {
+  wire::Reader r(msg.payload);
+  const std::uint64_t id = r.u64();
+  const std::vector<PeerId> producer_draw = decode_peer_list(r);
+  const std::vector<Bytes> producer_proofs = decode_bytes_list(r);
+  const std::vector<PeerId> producer_nbh = decode_peer_list(r);
+  const Round producer_round = r.u64();
+  r.expect_done();
+
+  const auto it = consumer_channels_.find(id);
+  if (it == consumer_channels_.end() || it->second.producer.addr != msg.from) return;
+  ConsumerChannel& ch = it->second;
+
+  // The producer's neighborhood must match what it sent at request time
+  // (otherwise it could shop for a candidate set after seeing our draw).
+  if (producer_nbh != ch.producer_neighborhood || producer_round != ch.producer_round) {
+    ++stats_.verification_failures;
+    consumer_channels_.erase(it);
+    return;
+  }
+  const auto plan = plan_witness_group(ch.producer_neighborhood, ch.my_neighborhood,
+                                       ch.producer, state_.self(), config_.witness_count);
+  const Bytes nonce =
+      channel_nonce(ch.producer, ch.producer_round, state_.self(), ch.my_round);
+  if (const auto v = verify_witnesses(provider_, ch.producer.key, plan.candidates_producer,
+                                      plan.quota_producer, nonce, producer_proofs,
+                                      producer_draw);
+      !v) {
+    ++stats_.verification_failures;
+    consumer_channels_.erase(it);
+    return;
+  }
+  ch.witnesses = merge_witnesses(producer_draw, ch.witnesses);
+  ch.ready = true;
+}
+
+void Node::on_witness_invite(const sim::NetMessage& msg) {
+  wire::Reader r(msg.payload);
+  const std::uint64_t id = r.u64();
+  const PeerId producer = decode_peer(r);
+  const PeerId consumer = decode_peer(r);
+  r.expect_done();
+  if (producer.addr != msg.from) return;
+  relay_duties_[id] = RelayDuty{producer, consumer};
+  wire::Writer w;
+  w.u64(id);
+  send(msg.from, MsgType::kWitnessAck, std::move(w).take());
+}
+
+void Node::on_witness_ack(const sim::NetMessage& msg) {
+  wire::Reader r(msg.payload);
+  const std::uint64_t id = r.u64();
+  r.expect_done();
+  const auto it = producer_channels_.find(id);
+  if (it == producer_channels_.end()) return;
+  ProducerChannel& ch = it->second;
+  if (ch.ready) return;
+  ++ch.acks;
+  if (ch.acks >= ch.witnesses.size()) {
+    ch.ready = true;
+    if (ch.on_ready) ch.on_ready(id, true);
+  }
+}
+
+void Node::send_data(std::uint64_t channel_id, Bytes payload) {
+  const auto it = producer_channels_.find(channel_id);
+  AN_ENSURE_MSG(it != producer_channels_.end(), "unknown channel");
+  AN_ENSURE_MSG(it->second.ready, "channel not ready");
+  ProducerChannel& ch = it->second;
+  const std::uint64_t seq = ch.next_seq++;
+  wire::Writer w;
+  w.u64(channel_id);
+  w.u64(seq);
+  w.bytes(payload);
+  const Bytes msg = std::move(w).take();
+  for (const auto& witness : ch.witnesses) {
+    send(witness.addr, MsgType::kDataRelay, msg);
+  }
+}
+
+void Node::on_data_relay(const sim::NetMessage& msg) {
+  wire::Reader r(msg.payload);
+  const std::uint64_t id = r.u64();
+  const std::uint64_t seq = r.u64();
+  Bytes payload = r.bytes();
+  r.expect_done();
+  const auto it = relay_duties_.find(id);
+  if (it == relay_duties_.end() || it->second.producer.addr != msg.from) return;
+
+  // Witness duty: log evidence, then relay 1 hop to the consumer.
+  Bytes logged = payload;
+  if (behavior_.lie_in_testimony) {
+    logged = bytes_of("fabricated-evidence");
+  }
+  evidence_.record(state_.signer(), id, seq, logged);
+
+  if (behavior_.drop_relays) return;
+  if (behavior_.corrupt_relays) {
+    payload = bytes_of("corrupted-payload");
+  }
+  ++stats_.relays_forwarded;
+  wire::Writer w;
+  w.u64(id);
+  w.u64(seq);
+  w.bytes(payload);
+  send(it->second.consumer.addr, MsgType::kDataForward, std::move(w).take());
+}
+
+void Node::on_data_forward(const sim::NetMessage& msg) {
+  wire::Reader r(msg.payload);
+  const std::uint64_t id = r.u64();
+  const std::uint64_t seq = r.u64();
+  const Bytes payload = r.bytes();
+  r.expect_done();
+  const auto it = consumer_channels_.find(id);
+  if (it == consumer_channels_.end()) return;
+  ConsumerChannel& ch = it->second;
+  // Only accept forwards from the channel's witnesses.
+  const bool from_witness =
+      std::any_of(ch.witnesses.begin(), ch.witnesses.end(),
+                  [&](const PeerId& w) { return w.addr == msg.from; });
+  if (!from_witness) return;
+
+  auto& tally = ch.pending[seq];
+  if (tally.delivered) return;
+  const auto digest = digest_of(payload);
+  const Bytes key(digest.begin(), digest.end());
+  auto& slot = tally.digests[key];
+  if (slot.first == 0) slot.second = payload;
+  ++slot.first;
+  ++tally.total;
+  maybe_deliver(ch, seq);
+}
+
+void Node::maybe_deliver(ConsumerChannel& ch, std::uint64_t seq) {
+  auto& tally = ch.pending[seq];
+  if (tally.delivered) return;
+  const std::size_t group = ch.witnesses.size();
+  const std::size_t majority = group / 2 + 1;
+
+  const auto best = std::max_element(
+      tally.digests.begin(), tally.digests.end(),
+      [](const auto& a, const auto& b) { return a.second.first < b.second.first; });
+  if (best == tally.digests.end()) return;
+
+  const bool deliver_now = config_.majority_opt ? best->second.first >= majority
+                                                : tally.total >= group;
+  if (!deliver_now) return;
+  tally.delivered = true;
+  if (on_delivery_) {
+    on_delivery_(ch.id, seq, best->second.second, ch.producer);
+  }
+}
+
+std::vector<std::uint64_t> Node::producer_channel_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(producer_channels_.size());
+  for (const auto& [id, ch] : producer_channels_) ids.push_back(id);
+  return ids;
+}
+
+// ---------------------------------------------------------------------------
+// Evidence & history query service (third-party resolver support and the
+// Sec. IV-A old-entry lookup).
+// ---------------------------------------------------------------------------
+
+void Node::request_testimony(const std::string& witness_addr, std::uint64_t channel_id,
+                             std::uint64_t sequence, TestimonyCallback cb) {
+  const std::uint64_t request = next_request_id_++;
+  testimony_waiters_[request] = std::move(cb);
+  wire::Writer w;
+  w.u64(request);
+  w.u64(channel_id);
+  w.u64(sequence);
+  send(witness_addr, MsgType::kTestimonyQuery, std::move(w).take());
+  auto alive = alive_;
+  net_.simulator().schedule(config_.rpc_timeout, [this, alive, request] {
+    if (!*alive) return;
+    const auto it = testimony_waiters_.find(request);
+    if (it == testimony_waiters_.end()) return;  // answered
+    auto waiter = std::move(it->second);
+    testimony_waiters_.erase(it);
+    waiter(std::nullopt);
+  });
+}
+
+void Node::on_testimony_query(const sim::NetMessage& msg) {
+  wire::Reader r(msg.payload);
+  const std::uint64_t request = r.u64();
+  const std::uint64_t channel_id = r.u64();
+  const std::uint64_t sequence = r.u64();
+  r.expect_done();
+  wire::Writer w;
+  w.u64(request);
+  const auto t = evidence_.lookup(channel_id, sequence);
+  // A lying witness presents its (fabricated) log faithfully — the lie
+  // happened at record time; the query service itself is honest bookkeeping.
+  w.u8(t.has_value() ? 1 : 0);
+  if (t) {
+    encode_peer(w, t->witness);
+    w.u64(t->channel_id);
+    w.u64(t->sequence);
+    w.raw(BytesView(t->digest.data(), t->digest.size()));
+    w.bytes(t->signature);
+  }
+  send(msg.from, MsgType::kTestimonyReply, std::move(w).take());
+}
+
+void Node::on_testimony_reply(const sim::NetMessage& msg) {
+  wire::Reader r(msg.payload);
+  const std::uint64_t request = r.u64();
+  const bool has = r.u8() != 0;
+  std::optional<Testimony> t;
+  if (has) {
+    Testimony parsed;
+    parsed.witness = decode_peer(r);
+    parsed.channel_id = r.u64();
+    parsed.sequence = r.u64();
+    const Bytes digest = r.raw(parsed.digest.size());
+    std::copy(digest.begin(), digest.end(), parsed.digest.begin());
+    parsed.signature = r.bytes();
+    t = std::move(parsed);
+  }
+  r.expect_done();
+  const auto it = testimony_waiters_.find(request);
+  if (it == testimony_waiters_.end()) return;  // timed out already
+  auto waiter = std::move(it->second);
+  testimony_waiters_.erase(it);
+  waiter(std::move(t));
+}
+
+void Node::request_history_entry(const std::string& peer_addr, Round round,
+                                 EntryCallback cb) {
+  const std::uint64_t request = next_request_id_++;
+  entry_waiters_[request] = std::move(cb);
+  wire::Writer w;
+  w.u64(request);
+  w.u64(round);
+  send(peer_addr, MsgType::kEntryQuery, std::move(w).take());
+  auto alive = alive_;
+  net_.simulator().schedule(config_.rpc_timeout, [this, alive, request] {
+    if (!*alive) return;
+    const auto it = entry_waiters_.find(request);
+    if (it == entry_waiters_.end()) return;
+    auto waiter = std::move(it->second);
+    entry_waiters_.erase(it);
+    waiter(std::nullopt);
+  });
+}
+
+void Node::on_entry_query(const sim::NetMessage& msg) {
+  wire::Reader r(msg.payload);
+  const std::uint64_t request = r.u64();
+  const Round round = r.u64();
+  r.expect_done();
+  wire::Writer w;
+  w.u64(request);
+  const HistoryEntry* found = nullptr;
+  for (const auto& e : state_.history().entries()) {
+    if (e.self_round == round) {
+      found = &e;
+      break;
+    }
+  }
+  w.u8(found != nullptr ? 1 : 0);
+  if (found != nullptr) encode_entry(w, *found);
+  send(msg.from, MsgType::kEntryReply, std::move(w).take());
+}
+
+void Node::on_entry_reply(const sim::NetMessage& msg) {
+  wire::Reader r(msg.payload);
+  const std::uint64_t request = r.u64();
+  const bool has = r.u8() != 0;
+  std::optional<HistoryEntry> entry;
+  if (has) entry = decode_entry(r);
+  r.expect_done();
+  const auto it = entry_waiters_.find(request);
+  if (it == entry_waiters_.end()) return;
+  auto waiter = std::move(it->second);
+  entry_waiters_.erase(it);
+  waiter(std::move(entry));
+}
+
+const std::vector<PeerId>* Node::channel_witnesses(std::uint64_t channel_id) const {
+  if (const auto it = producer_channels_.find(channel_id); it != producer_channels_.end()) {
+    return &it->second.witnesses;
+  }
+  if (const auto it = consumer_channels_.find(channel_id); it != consumer_channels_.end()) {
+    return &it->second.witnesses;
+  }
+  return nullptr;
+}
+
+}  // namespace accountnet::core

@@ -1,0 +1,73 @@
+#include "accountnet/core/node_state.hpp"
+
+#include "accountnet/util/ensure.hpp"
+
+namespace accountnet::core {
+
+NodeState::NodeState(PeerId self, std::unique_ptr<crypto::Signer> signer,
+                     NodeConfig config)
+    : self_(std::move(self)), signer_(std::move(signer)), config_(config) {
+  AN_ENSURE(signer_ != nullptr);
+  AN_ENSURE_MSG(config_.shuffle_length >= 1, "L must be >= 1");
+  AN_ENSURE_MSG(config_.max_peerset >= config_.shuffle_length,
+                "f must be >= L (cannot exchange more peers than the set holds)");
+  AN_ENSURE_MSG(self_.key == signer_->public_key(), "PeerId key must match signer");
+}
+
+Bytes NodeState::sign_current_round() const {
+  return signer_->sign(shuffle_nonce_payload(round_));
+}
+
+void NodeState::init_as_seed() {
+  AN_ENSURE_MSG(round_ == 0 && history_.empty(), "init_as_seed on a used node");
+}
+
+void NodeState::apply_join(const PeerId& bootstrap, Bytes entry_stamp,
+                           std::vector<PeerId> initial_peers) {
+  AN_ENSURE_MSG(round_ == 0 && history_.empty(), "join on a used node");
+  HistoryEntry e;
+  e.kind = EntryKind::kJoin;
+  e.self_round = 0;
+  e.counterpart = bootstrap;
+  e.nonce = 0;
+  e.signature = std::move(entry_stamp);
+  Peerset initial;
+  for (auto& p : initial_peers) {
+    if (p == self_) continue;
+    if (initial.size() >= config_.max_peerset) break;
+    if (initial.insert(p)) e.in.push_back(p);
+  }
+  history_.append(std::move(e));
+  peerset_ = std::move(initial);
+  round_ = 1;
+}
+
+void NodeState::apply_leave_report(const PeerId& reporter, Round reporter_round,
+                                   Bytes signature, const PeerId& leaver) {
+  HistoryEntry e;
+  e.kind = EntryKind::kLeave;
+  e.self_round = round_;
+  e.counterpart = reporter;
+  e.nonce = reporter_round;
+  e.signature = std::move(signature);
+  e.out.push_back(leaver);
+  history_.append(std::move(e));
+  if (config_.history_limit > 0) history_.trim(config_.history_limit);
+  peerset_.erase(leaver);
+  ++round_;
+}
+
+std::pair<Round, Bytes> NodeState::make_leave_report(const PeerId& leaver) const {
+  return {round_, signer_->sign(leave_payload(round_, leaver.addr))};
+}
+
+void NodeState::commit_shuffle(HistoryEntry entry, Peerset next_peerset) {
+  AN_ENSURE_MSG(entry.self_round == round_, "shuffle entry round mismatch");
+  AN_ENSURE_MSG(next_peerset.size() <= config_.max_peerset, "peerset overflow");
+  history_.append(std::move(entry));
+  if (config_.history_limit > 0) history_.trim(config_.history_limit);
+  peerset_ = std::move(next_peerset);
+  ++round_;
+}
+
+}  // namespace accountnet::core

@@ -1,0 +1,47 @@
+#include "accountnet/core/peerset.hpp"
+
+#include <algorithm>
+
+#include "accountnet/util/ensure.hpp"
+
+namespace accountnet::core {
+
+Peerset::Peerset(std::vector<PeerId> peers) : peers_(std::move(peers)) {
+  std::sort(peers_.begin(), peers_.end());
+  peers_.erase(std::unique(peers_.begin(), peers_.end()), peers_.end());
+}
+
+bool Peerset::insert(const PeerId& peer) {
+  const auto it = std::lower_bound(peers_.begin(), peers_.end(), peer);
+  if (it != peers_.end() && *it == peer) return false;
+  peers_.insert(it, peer);
+  return true;
+}
+
+bool Peerset::erase(const PeerId& peer) {
+  const auto it = std::lower_bound(peers_.begin(), peers_.end(), peer);
+  if (it == peers_.end() || !(*it == peer)) return false;
+  peers_.erase(it);
+  return true;
+}
+
+bool Peerset::contains(const PeerId& peer) const {
+  return std::binary_search(peers_.begin(), peers_.end(), peer);
+}
+
+const PeerId& Peerset::at(std::size_t index) const {
+  AN_ENSURE_MSG(index < peers_.size(), "Peerset::at out of range");
+  return peers_[index];
+}
+
+Peerset Peerset::minus(const std::vector<PeerId>& other) const {
+  Peerset out = *this;
+  for (const auto& p : other) out.erase(p);
+  return out;
+}
+
+void Peerset::insert_all(const std::vector<PeerId>& peers) {
+  for (const auto& p : peers) insert(p);
+}
+
+}  // namespace accountnet::core

@@ -1,0 +1,51 @@
+#include "accountnet/core/resolver.hpp"
+
+#include <algorithm>
+
+#include "accountnet/util/ensure.hpp"
+
+namespace accountnet::core {
+
+void DisputeResolver::resolve(Request request, DoneCallback done) {
+  AN_ENSURE_MSG(done != nullptr, "resolver needs a completion callback");
+  auto pending = std::make_shared<Pending>();
+  pending->request = std::move(request);
+  pending->done = std::move(done);
+  pending->outstanding = pending->request.witnesses.size();
+  in_flight_.push_back(pending);
+
+  auto finish_if_done = [this, pending] {
+    if (pending->outstanding != 0) return;
+    Outcome outcome;
+    outcome.responded = pending->responded;
+    outcome.testimonies = pending->testimonies;
+    outcome.resolution = resolve_dispute(
+        pending->request.channel_id, pending->request.sequence,
+        pending->request.producer_claim, pending->request.consumer_claim,
+        pending->testimonies, pending->request.witnesses.size(), provider_);
+    std::erase(in_flight_, pending);
+    pending->done(std::move(outcome));
+  };
+
+  if (pending->outstanding == 0) {
+    finish_if_done();
+    return;
+  }
+  for (const auto& witness : pending->request.witnesses) {
+    node_.request_testimony(
+        witness.addr, pending->request.channel_id, pending->request.sequence,
+        [pending, finish_if_done, witness](std::optional<Testimony> t) {
+          --pending->outstanding;
+          if (t) {
+            ++pending->responded;
+            // Bind the testimony to the witness we actually asked: a witness
+            // cannot impersonate another (signature check happens later, but
+            // the identity must be the queried one).
+            if (t->witness == witness) pending->testimonies.push_back(*t);
+          }
+          finish_if_done();
+        });
+  }
+}
+
+}  // namespace accountnet::core

@@ -1,0 +1,305 @@
+#include "accountnet/core/shuffle.hpp"
+
+#include <algorithm>
+
+#include "accountnet/util/ensure.hpp"
+#include "accountnet/wire/codec.hpp"
+
+namespace accountnet::core {
+
+namespace {
+
+void encode_peer_list(wire::Writer& w, const std::vector<PeerId>& peers) {
+  w.varint(peers.size());
+  for (const auto& p : peers) encode_peer(w, p);
+}
+
+std::vector<PeerId> decode_peer_list(wire::Reader& r) {
+  const auto n = r.varint();
+  if (n > 100000) throw wire::DecodeError("peer list implausibly long");
+  std::vector<PeerId> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(decode_peer(r));
+  return out;
+}
+
+void encode_bytes_list(wire::Writer& w, const std::vector<Bytes>& list) {
+  w.varint(list.size());
+  for (const auto& b : list) w.bytes(b);
+}
+
+std::vector<Bytes> decode_bytes_list(wire::Reader& r) {
+  const auto n = r.varint();
+  if (n > 100000) throw wire::DecodeError("bytes list implausibly long");
+  std::vector<Bytes> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(r.bytes());
+  return out;
+}
+
+void encode_entries(wire::Writer& w, const std::vector<HistoryEntry>& entries) {
+  w.varint(entries.size());
+  for (const auto& e : entries) encode_entry(w, e);
+}
+
+std::vector<HistoryEntry> decode_entries(wire::Reader& r) {
+  const auto n = r.varint();
+  if (n > 100000) throw wire::DecodeError("history suffix implausibly long");
+  std::vector<HistoryEntry> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(decode_entry(r));
+  return out;
+}
+
+}  // namespace
+
+Bytes ShuffleOffer::encode() const {
+  wire::Writer w;
+  encode_peer(w, initiator);
+  w.u64(initiator_round);
+  w.bytes(initiator_round_sig);
+  w.u64(responder_round);
+  encode_peer_list(w, sample);
+  encode_bytes_list(w, partner_proofs);
+  encode_bytes_list(w, sample_proofs);
+  encode_peer_list(w, claimed_peerset);
+  encode_entries(w, history_suffix);
+  return std::move(w).take();
+}
+
+ShuffleOffer ShuffleOffer::decode(BytesView data) {
+  wire::Reader r(data);
+  ShuffleOffer o;
+  o.initiator = decode_peer(r);
+  o.initiator_round = r.u64();
+  o.initiator_round_sig = r.bytes();
+  o.responder_round = r.u64();
+  o.sample = decode_peer_list(r);
+  o.partner_proofs = decode_bytes_list(r);
+  o.sample_proofs = decode_bytes_list(r);
+  o.claimed_peerset = decode_peer_list(r);
+  o.history_suffix = decode_entries(r);
+  r.expect_done();
+  return o;
+}
+
+Bytes ShuffleResponse::encode() const {
+  wire::Writer w;
+  encode_peer(w, responder);
+  w.u64(responder_round);
+  w.bytes(responder_round_sig);
+  encode_peer_list(w, sample);
+  encode_bytes_list(w, sample_proofs);
+  encode_peer_list(w, claimed_peerset);
+  encode_entries(w, history_suffix);
+  return std::move(w).take();
+}
+
+ShuffleResponse ShuffleResponse::decode(BytesView data) {
+  wire::Reader r(data);
+  ShuffleResponse resp;
+  resp.responder = decode_peer(r);
+  resp.responder_round = r.u64();
+  resp.responder_round_sig = r.bytes();
+  resp.sample = decode_peer_list(r);
+  resp.sample_proofs = decode_bytes_list(r);
+  resp.claimed_peerset = decode_peer_list(r);
+  resp.history_suffix = decode_entries(r);
+  r.expect_done();
+  return resp;
+}
+
+std::optional<PartnerChoice> choose_partner(const NodeState& state) {
+  if (state.peerset().empty()) return std::nullopt;
+  const Bytes nonce = round_nonce(state.round());
+  const auto draw = draw_one(state.signer(), state.peerset(), kPartnerDomain, nonce);
+  if (!draw) return std::nullopt;
+  return PartnerChoice{draw->sample.front(), draw->proofs};
+}
+
+ShuffleOffer make_offer(const NodeState& state, const PartnerChoice& partner,
+                        Round responder_round) {
+  ShuffleOffer offer;
+  offer.initiator = state.self();
+  offer.initiator_round = state.round();
+  offer.initiator_round_sig = state.sign_current_round();
+  offer.responder_round = responder_round;
+
+  const Peerset candidates = state.peerset().minus({partner.partner});
+  const std::size_t want = state.config().shuffle_length - 1;  // L-1; v_i added implicitly
+  const Draw draw = draw_sample(state.signer(), candidates, want, kSampleDomain,
+                                round_nonce(responder_round));
+  offer.sample = draw.sample;
+  offer.sample_proofs = draw.proofs;
+  offer.partner_proofs = partner.proofs;
+  offer.claimed_peerset = state.peerset().sorted();
+  offer.history_suffix = state.history().proof_suffix(state.peerset());
+  return offer;
+}
+
+VerifyResult verify_offer(const ShuffleOffer& offer, const NodeState& state,
+                          Round expected_round, const crypto::CryptoProvider& provider) {
+  if (offer.responder_round != expected_round) {
+    return VerifyResult::fail("offer echoes a stale round nonce");
+  }
+  if (offer.initiator == state.self()) {
+    return VerifyResult::fail("node cannot shuffle with itself");
+  }
+  // σ_i(r_i): the acknowledgement we will embed in our history entry.
+  if (!provider.verify(offer.initiator.key, shuffle_nonce_payload(offer.initiator_round),
+                       offer.initiator_round_sig)) {
+    return VerifyResult::fail("invalid initiator round signature");
+  }
+  // Reconstruct and check the initiator's claimed peerset.
+  const Peerset claimed(offer.claimed_peerset);
+  if (claimed.size() != offer.claimed_peerset.size()) {
+    return VerifyResult::fail("claimed peerset contains duplicates");
+  }
+  if (claimed.size() > 100000) return VerifyResult::fail("claimed peerset too large");
+  if (const auto h = verify_history_suffix(offer.history_suffix, offer.initiator, claimed,
+                                           provider);
+      !h) {
+    return h;
+  }
+  // Rounds may be burned without entries (aborted shuffles), so the suffix
+  // need not end exactly at r_i - 1, but it can never reach r_i.
+  if (!offer.history_suffix.empty() &&
+      offer.history_suffix.back().self_round >= offer.initiator_round) {
+    return VerifyResult::fail("history suffix extends past the offered round");
+  }
+  // We must be the VRF-dictated partner for the initiator's current round.
+  if (!claimed.contains(state.self())) {
+    return VerifyResult::fail("responder not in initiator peerset");
+  }
+  if (const auto p = verify_one(provider, offer.initiator.key, claimed, kPartnerDomain,
+                                round_nonce(offer.initiator_round), offer.partner_proofs,
+                                state.self());
+      !p) {
+    return VerifyResult::fail("partner selection not dictated by VRF: " + p.reason);
+  }
+  // The sample A must be the VRF draw over N_i - {v_j} seeded by OUR round.
+  const Peerset candidates = claimed.minus({state.self()});
+  const std::size_t want = state.config().shuffle_length - 1;
+  if (const auto s = verify_sample(provider, offer.initiator.key, candidates, want,
+                                   kSampleDomain, round_nonce(offer.responder_round),
+                                   offer.sample_proofs, offer.sample);
+      !s) {
+    return VerifyResult::fail("offer sample not dictated by VRF: " + s.reason);
+  }
+  return VerifyResult::pass();
+}
+
+HistoryEntry apply_update(NodeState& state, const PeerId& counterpart,
+                          Round counterpart_round, Bytes counterpart_sig,
+                          bool initiated, const std::vector<PeerId>& removed,
+                          const std::vector<PeerId>& received) {
+  Peerset next = state.peerset().minus(removed);
+
+  HistoryEntry e;
+  e.kind = EntryKind::kShuffle;
+  e.self_round = state.round();
+  e.counterpart = counterpart;
+  e.nonce = counterpart_round;
+  e.signature = std::move(counterpart_sig);
+  e.initiated = initiated;
+
+  // `out` records what was actually removed (always = removed for honest
+  // callers since samples are subsets of the peerset).
+  for (const auto& p : removed) {
+    if (state.peerset().contains(p)) e.out.push_back(p);
+  }
+
+  // Add received peers (in draw order) up to capacity, skipping self/dupes.
+  for (const auto& p : received) {
+    if (p == state.self()) continue;
+    if (next.size() >= state.config().max_peerset) break;
+    if (next.insert(p)) e.in.push_back(p);
+  }
+
+  // Refill from the outgoing set (sorted => deterministic and verifiable).
+  if (next.size() < state.config().max_peerset) {
+    std::vector<PeerId> refill_candidates = e.out;
+    std::sort(refill_candidates.begin(), refill_candidates.end());
+    for (const auto& p : refill_candidates) {
+      if (next.size() >= state.config().max_peerset) break;
+      if (next.insert(p)) e.fill.push_back(p);
+    }
+  }
+
+  HistoryEntry committed = e;
+  state.commit_shuffle(std::move(e), std::move(next));
+  return committed;
+}
+
+ShuffleResponse make_response_and_commit(NodeState& state, const ShuffleOffer& offer) {
+  ShuffleResponse resp;
+  resp.responder = state.self();
+  resp.responder_round = state.round();
+  resp.responder_round_sig = state.sign_current_round();
+  resp.claimed_peerset = state.peerset().sorted();
+  resp.history_suffix = state.history().proof_suffix(state.peerset());
+
+  // B: L peers drawn from N_j - {v_i}, seeded by the initiator's round.
+  const Peerset candidates = state.peerset().minus({offer.initiator});
+  const Draw draw = draw_sample(state.signer(), candidates, state.config().shuffle_length,
+                                kSampleDomain, round_nonce(offer.initiator_round));
+  resp.sample = draw.sample;
+  resp.sample_proofs = draw.proofs;
+
+  // Commit the responder-side update: remove B, add A ∪ {v_i}.
+  std::vector<PeerId> received = offer.sample;
+  received.push_back(offer.initiator);
+  apply_update(state, offer.initiator, offer.initiator_round, offer.initiator_round_sig,
+               /*initiated=*/false, resp.sample, received);
+  return resp;
+}
+
+VerifyResult verify_response(const ShuffleResponse& response, const NodeState& state,
+                             const ShuffleOffer& sent_offer,
+                             const crypto::CryptoProvider& provider) {
+  if (response.responder_round != sent_offer.responder_round) {
+    return VerifyResult::fail("responder round changed mid-shuffle");
+  }
+  if (response.responder == state.self()) {
+    return VerifyResult::fail("node cannot shuffle with itself");
+  }
+  if (!provider.verify(response.responder.key,
+                       shuffle_nonce_payload(response.responder_round),
+                       response.responder_round_sig)) {
+    return VerifyResult::fail("invalid responder round signature");
+  }
+  const Peerset claimed(response.claimed_peerset);
+  if (claimed.size() != response.claimed_peerset.size()) {
+    return VerifyResult::fail("claimed peerset contains duplicates");
+  }
+  if (const auto h = verify_history_suffix(response.history_suffix, response.responder,
+                                           claimed, provider);
+      !h) {
+    return h;
+  }
+  if (!response.history_suffix.empty() &&
+      response.history_suffix.back().self_round >= response.responder_round) {
+    return VerifyResult::fail("history suffix extends past the responder round");
+  }
+  const Peerset candidates = claimed.minus({state.self()});
+  if (const auto s = verify_sample(provider, response.responder.key, candidates,
+                                   state.config().shuffle_length, kSampleDomain,
+                                   round_nonce(sent_offer.initiator_round),
+                                   response.sample_proofs, response.sample);
+      !s) {
+    return VerifyResult::fail("response sample not dictated by VRF: " + s.reason);
+  }
+  return VerifyResult::pass();
+}
+
+void apply_offer_outcome(NodeState& state, const ShuffleOffer& sent_offer,
+                         const ShuffleResponse& response) {
+  // Initiator removes A ∪ {v_j} and adds B.
+  std::vector<PeerId> removed = sent_offer.sample;
+  removed.push_back(response.responder);
+  apply_update(state, response.responder, response.responder_round,
+               response.responder_round_sig, /*initiated=*/true, removed,
+               response.sample);
+}
+
+}  // namespace accountnet::core

@@ -1,0 +1,218 @@
+#include "accountnet/crypto/fe25519.hpp"
+
+#include <cstring>
+
+#include "accountnet/util/ensure.hpp"
+
+namespace accountnet::crypto {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+constexpr u64 kMask51 = (u64{1} << 51) - 1;
+
+}  // namespace
+
+Fe25519 Fe25519::one() {
+  return from_u64(1);
+}
+
+Fe25519 Fe25519::from_u64(std::uint64_t v) {
+  Fe25519 r;
+  r.limbs_[0] = v & kMask51;
+  r.limbs_[1] = v >> 51;
+  return r;
+}
+
+Fe25519 Fe25519::from_bytes(BytesView b32) {
+  AN_ENSURE_MSG(b32.size() == 32, "Fe25519::from_bytes needs 32 bytes");
+  auto load64 = [&](std::size_t off) {
+    u64 v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | b32[off + static_cast<std::size_t>(i)];
+    return v;
+  };
+  const u64 q0 = load64(0);
+  const u64 q1 = load64(8);
+  const u64 q2 = load64(16);
+  const u64 q3 = load64(24);
+  Fe25519 r;
+  r.limbs_[0] = q0 & kMask51;
+  r.limbs_[1] = ((q0 >> 51) | (q1 << 13)) & kMask51;
+  r.limbs_[2] = ((q1 >> 38) | (q2 << 26)) & kMask51;
+  r.limbs_[3] = ((q2 >> 25) | (q3 << 39)) & kMask51;
+  r.limbs_[4] = (q3 >> 12) & kMask51;  // drops the sign/top bit
+  return r;
+}
+
+void Fe25519::carry() {
+  u64 c;
+  c = limbs_[0] >> 51; limbs_[0] &= kMask51; limbs_[1] += c;
+  c = limbs_[1] >> 51; limbs_[1] &= kMask51; limbs_[2] += c;
+  c = limbs_[2] >> 51; limbs_[2] &= kMask51; limbs_[3] += c;
+  c = limbs_[3] >> 51; limbs_[3] &= kMask51; limbs_[4] += c;
+  c = limbs_[4] >> 51; limbs_[4] &= kMask51; limbs_[0] += 19 * c;
+  c = limbs_[0] >> 51; limbs_[0] &= kMask51; limbs_[1] += c;
+}
+
+std::array<std::uint8_t, 32> Fe25519::to_bytes() const {
+  Fe25519 t = *this;
+  t.carry();
+  t.carry();
+  // Freeze to the canonical representative: compute q = floor((v + 19) / p)
+  // (0 or 1) by propagating (t + 19) through the limbs, then add 19*q and mask.
+  u64 q = (t.limbs_[0] + 19) >> 51;
+  q = (t.limbs_[1] + q) >> 51;
+  q = (t.limbs_[2] + q) >> 51;
+  q = (t.limbs_[3] + q) >> 51;
+  q = (t.limbs_[4] + q) >> 51;
+  t.limbs_[0] += 19 * q;
+  u64 c;
+  c = t.limbs_[0] >> 51; t.limbs_[0] &= kMask51; t.limbs_[1] += c;
+  c = t.limbs_[1] >> 51; t.limbs_[1] &= kMask51; t.limbs_[2] += c;
+  c = t.limbs_[2] >> 51; t.limbs_[2] &= kMask51; t.limbs_[3] += c;
+  c = t.limbs_[3] >> 51; t.limbs_[3] &= kMask51; t.limbs_[4] += c;
+  t.limbs_[4] &= kMask51;
+
+  std::array<std::uint8_t, 32> out{};
+  const u64 q0 = t.limbs_[0] | (t.limbs_[1] << 51);
+  const u64 q1 = (t.limbs_[1] >> 13) | (t.limbs_[2] << 38);
+  const u64 q2 = (t.limbs_[2] >> 26) | (t.limbs_[3] << 25);
+  const u64 q3 = (t.limbs_[3] >> 39) | (t.limbs_[4] << 12);
+  auto store64 = [&](std::size_t off, u64 v) {
+    for (int i = 0; i < 8; ++i) out[off + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  store64(0, q0);
+  store64(8, q1);
+  store64(16, q2);
+  store64(24, q3);
+  return out;
+}
+
+Fe25519 Fe25519::operator+(const Fe25519& rhs) const {
+  Fe25519 r;
+  for (int i = 0; i < 5; ++i) r.limbs_[i] = limbs_[i] + rhs.limbs_[i];
+  r.carry();
+  return r;
+}
+
+Fe25519 Fe25519::operator-(const Fe25519& rhs) const {
+  // Add 2p (limb-wise) before subtracting so limbs never underflow.
+  static constexpr u64 kTwoP0 = 0xfffffffffffdaULL;   // 2*(2^51 - 19)
+  static constexpr u64 kTwoPi = 0xffffffffffffeULL;   // 2*(2^51 - 1)
+  Fe25519 r;
+  r.limbs_[0] = limbs_[0] + kTwoP0 - rhs.limbs_[0];
+  for (int i = 1; i < 5; ++i) r.limbs_[i] = limbs_[i] + kTwoPi - rhs.limbs_[i];
+  r.carry();
+  return r;
+}
+
+Fe25519 Fe25519::negate() const {
+  return zero() - *this;
+}
+
+Fe25519 Fe25519::operator*(const Fe25519& rhs) const {
+  const u64 f0 = limbs_[0], f1 = limbs_[1], f2 = limbs_[2], f3 = limbs_[3], f4 = limbs_[4];
+  const u64 g0 = rhs.limbs_[0], g1 = rhs.limbs_[1], g2 = rhs.limbs_[2], g3 = rhs.limbs_[3],
+            g4 = rhs.limbs_[4];
+  const u64 g1_19 = 19 * g1, g2_19 = 19 * g2, g3_19 = 19 * g3, g4_19 = 19 * g4;
+
+  u128 r0 = (u128)f0 * g0 + (u128)f1 * g4_19 + (u128)f2 * g3_19 + (u128)f3 * g2_19 + (u128)f4 * g1_19;
+  u128 r1 = (u128)f0 * g1 + (u128)f1 * g0 + (u128)f2 * g4_19 + (u128)f3 * g3_19 + (u128)f4 * g2_19;
+  u128 r2 = (u128)f0 * g2 + (u128)f1 * g1 + (u128)f2 * g0 + (u128)f3 * g4_19 + (u128)f4 * g3_19;
+  u128 r3 = (u128)f0 * g3 + (u128)f1 * g2 + (u128)f2 * g1 + (u128)f3 * g0 + (u128)f4 * g4_19;
+  u128 r4 = (u128)f0 * g4 + (u128)f1 * g3 + (u128)f2 * g2 + (u128)f3 * g1 + (u128)f4 * g0;
+
+  Fe25519 out;
+  u128 c;
+  c = r0 >> 51; r0 &= kMask51; r1 += c;
+  c = r1 >> 51; r1 &= kMask51; r2 += c;
+  c = r2 >> 51; r2 &= kMask51; r3 += c;
+  c = r3 >> 51; r3 &= kMask51; r4 += c;
+  c = r4 >> 51; r4 &= kMask51; r0 += 19 * c;
+  c = r0 >> 51; r0 &= kMask51; r1 += c;
+  out.limbs_[0] = static_cast<u64>(r0);
+  out.limbs_[1] = static_cast<u64>(r1);
+  out.limbs_[2] = static_cast<u64>(r2);
+  out.limbs_[3] = static_cast<u64>(r3);
+  out.limbs_[4] = static_cast<u64>(r4);
+  return out;
+}
+
+Fe25519 Fe25519::square() const {
+  return *this * *this;
+}
+
+Fe25519 Fe25519::pow(const std::uint8_t exponent_le[32]) const {
+  // Square-and-multiply, MSB first. Not constant-time; this library is a
+  // research artifact, not a hardened crypto implementation.
+  Fe25519 acc = one();
+  bool started = false;
+  for (int byte = 31; byte >= 0; --byte) {
+    for (int bit = 7; bit >= 0; --bit) {
+      if (started) acc = acc.square();
+      if ((exponent_le[byte] >> bit) & 1) {
+        if (started) {
+          acc = acc * *this;
+        } else {
+          acc = *this;
+          started = true;
+        }
+      }
+    }
+  }
+  return started ? acc : one();
+}
+
+Fe25519 Fe25519::invert() const {
+  // p - 2 = 2^255 - 21, little-endian bytes.
+  static constexpr std::uint8_t kPm2[32] = {
+      0xeb, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f};
+  return pow(kPm2);
+}
+
+Fe25519 Fe25519::pow22523() const {
+  // (p - 5) / 8 = 2^252 - 3, little-endian bytes.
+  static constexpr std::uint8_t kP58[32] = {
+      0xfd, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f};
+  return pow(kP58);
+}
+
+bool Fe25519::is_zero() const {
+  const auto b = to_bytes();
+  std::uint8_t acc = 0;
+  for (auto x : b) acc |= x;
+  return acc == 0;
+}
+
+bool Fe25519::is_negative() const {
+  return (to_bytes()[0] & 1) != 0;
+}
+
+bool Fe25519::operator==(const Fe25519& rhs) const {
+  return to_bytes() == rhs.to_bytes();
+}
+
+const Fe25519& fe_sqrt_m1() {
+  static const Fe25519 v = Fe25519::from_bytes(
+      from_hex("b0a00e4a271beec478e42fad0618432fa7d7fb3d99004d2b0bdfc14f8024832b"));
+  return v;
+}
+
+const Fe25519& fe_edwards_d() {
+  static const Fe25519 v = Fe25519::from_bytes(
+      from_hex("a3785913ca4deb75abd841414d0a700098e879777940c78c73fe6f2bee6c0352"));
+  return v;
+}
+
+const Fe25519& fe_edwards_2d() {
+  static const Fe25519 v = fe_edwards_d() + fe_edwards_d();
+  return v;
+}
+
+}  // namespace accountnet::crypto

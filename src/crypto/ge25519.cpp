@@ -1,0 +1,137 @@
+#include "accountnet/crypto/ge25519.hpp"
+
+#include "accountnet/util/ensure.hpp"
+
+namespace accountnet::crypto {
+
+Ge25519 Ge25519::identity() {
+  return Ge25519(Fe25519::zero(), Fe25519::one(), Fe25519::one(), Fe25519::zero());
+}
+
+const Ge25519& Ge25519::base_point() {
+  // RFC 8032: B has y = 4/5 (mod p) and positive x.
+  static const Ge25519 b = [] {
+    auto pt = Ge25519::from_bytes(
+        from_hex("5866666666666666666666666666666666666666666666666666666666666666"));
+    AN_ENSURE_MSG(pt.has_value(), "base point decompression failed");
+    return *pt;
+  }();
+  return b;
+}
+
+std::optional<Ge25519> Ge25519::from_bytes(BytesView b32) {
+  if (b32.size() != 32) return std::nullopt;
+  const bool sign = (b32[31] & 0x80) != 0;
+  const Fe25519 y = Fe25519::from_bytes(b32);  // masks the sign bit
+
+  // Recover x from x^2 = (y^2 - 1) / (d y^2 + 1).
+  const Fe25519 y2 = y.square();
+  const Fe25519 u = y2 - Fe25519::one();
+  const Fe25519 v = fe_edwards_d() * y2 + Fe25519::one();
+
+  // Candidate root: x = u v^3 (u v^7)^((p-5)/8).
+  const Fe25519 v3 = v.square() * v;
+  const Fe25519 v7 = v3.square() * v;
+  Fe25519 x = u * v3 * (u * v7).pow22523();
+
+  const Fe25519 vxx = v * x.square();
+  if (!(vxx == u)) {
+    if (vxx == u.negate()) {
+      x = x * fe_sqrt_m1();
+    } else {
+      return std::nullopt;  // not a square: not on the curve
+    }
+  }
+  if (x.is_zero() && sign) return std::nullopt;  // -0 is not canonical
+  if (x.is_negative() != sign) x = x.negate();
+
+  return Ge25519(x, y, Fe25519::one(), x * y);
+}
+
+std::array<std::uint8_t, 32> Ge25519::to_bytes() const {
+  const Fe25519 zinv = z_.invert();
+  const Fe25519 x = x_ * zinv;
+  const Fe25519 y = y_ * zinv;
+  auto out = y.to_bytes();
+  if (x.is_negative()) out[31] |= 0x80;
+  return out;
+}
+
+Ge25519 Ge25519::add(const Ge25519& rhs) const {
+  // EFD "add-2008-hwcd-3" for a = -1.
+  const Fe25519 a = (y_ - x_) * (rhs.y_ - rhs.x_);
+  const Fe25519 b = (y_ + x_) * (rhs.y_ + rhs.x_);
+  const Fe25519 c = t_ * fe_edwards_2d() * rhs.t_;
+  const Fe25519 d = (z_ + z_) * rhs.z_;
+  const Fe25519 e = b - a;
+  const Fe25519 f = d - c;
+  const Fe25519 g = d + c;
+  const Fe25519 h = b + a;
+  return Ge25519(e * f, g * h, f * g, e * h);
+}
+
+Ge25519 Ge25519::dbl() const {
+  // EFD "dbl-2008-hwcd" for a = -1.
+  const Fe25519 a = x_.square();
+  const Fe25519 b = y_.square();
+  const Fe25519 c = z_.square() + z_.square();
+  const Fe25519 d = a.negate();
+  const Fe25519 e = (x_ + y_).square() - a - b;
+  const Fe25519 g = d + b;
+  const Fe25519 f = g - c;
+  const Fe25519 h = d - b;
+  return Ge25519(e * f, g * h, f * g, e * h);
+}
+
+Ge25519 Ge25519::negate() const {
+  return Ge25519(x_.negate(), y_, z_, t_.negate());
+}
+
+Ge25519 Ge25519::scalar_mul(const std::array<std::uint8_t, 32>& scalar_le) const {
+  // 4-bit fixed window, MSB-first. Not constant-time (research artifact).
+  std::array<Ge25519, 16> table{
+      identity(), identity(), identity(), identity(), identity(), identity(),
+      identity(), identity(), identity(), identity(), identity(), identity(),
+      identity(), identity(), identity(), identity()};
+  table[1] = *this;
+  for (int i = 2; i < 16; ++i) table[static_cast<std::size_t>(i)] = table[static_cast<std::size_t>(i - 1)].add(*this);
+
+  Ge25519 acc = identity();
+  bool started = false;
+  for (int byte = 31; byte >= 0; --byte) {
+    for (int half = 1; half >= 0; --half) {
+      const std::uint8_t nibble =
+          half ? (scalar_le[static_cast<std::size_t>(byte)] >> 4) : (scalar_le[static_cast<std::size_t>(byte)] & 0x0f);
+      if (started) {
+        acc = acc.dbl().dbl().dbl().dbl();
+      }
+      if (nibble != 0) {
+        acc = started ? acc.add(table[nibble]) : table[nibble];
+        started = true;
+      } else if (!started) {
+        continue;  // skip leading zeros entirely
+      }
+    }
+  }
+  return started ? acc : identity();
+}
+
+Ge25519 Ge25519::mul_by_cofactor() const {
+  return dbl().dbl().dbl();
+}
+
+bool Ge25519::is_identity() const {
+  // (0 : Z : Z) encodes the identity.
+  return x_.is_zero() && y_ == z_;
+}
+
+bool Ge25519::operator==(const Ge25519& rhs) const {
+  // Projective equality: X1 Z2 == X2 Z1 and Y1 Z2 == Y2 Z1.
+  return (x_ * rhs.z_ == rhs.x_ * z_) && (y_ * rhs.z_ == rhs.y_ * z_);
+}
+
+Ge25519 ge_scalar_mul_base(const std::array<std::uint8_t, 32>& scalar_le) {
+  return Ge25519::base_point().scalar_mul(scalar_le);
+}
+
+}  // namespace accountnet::crypto

@@ -1,0 +1,143 @@
+#include "accountnet/crypto/provider.hpp"
+
+#include <cstring>
+
+#include "accountnet/crypto/ed25519.hpp"
+#include "accountnet/crypto/sha256.hpp"
+#include "accountnet/crypto/sha512.hpp"
+#include "accountnet/crypto/vrf.hpp"
+#include "accountnet/util/ensure.hpp"
+
+namespace accountnet::crypto {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Real backend: Ed25519 + ECVRF.
+// ---------------------------------------------------------------------------
+
+class RealSigner final : public Signer {
+ public:
+  explicit RealSigner(BytesView seed32) : kp_(ed25519_keypair_from_seed(seed32)) {}
+
+  const PublicKeyBytes& public_key() const override { return kp_.public_key; }
+
+  Bytes sign(BytesView msg) const override {
+    const auto sig = ed25519_sign(kp_, msg);
+    return Bytes(sig.begin(), sig.end());
+  }
+
+  Bytes vrf_prove(BytesView alpha) const override {
+    const auto proof = crypto::vrf_prove(kp_, alpha);
+    return Bytes(proof.begin(), proof.end());
+  }
+
+  std::array<std::uint8_t, 64> vrf_output(BytesView alpha) const override {
+    const auto proof = crypto::vrf_prove(kp_, alpha);
+    return vrf_proof_to_hash(proof);
+  }
+
+ private:
+  Ed25519KeyPair kp_;
+};
+
+class RealCryptoProvider final : public CryptoProvider {
+ public:
+  std::unique_ptr<Signer> make_signer(BytesView seed32) const override {
+    return std::make_unique<RealSigner>(seed32);
+  }
+
+  bool verify(const PublicKeyBytes& pk, BytesView msg, BytesView sig) const override {
+    return ed25519_verify(pk, msg, sig);
+  }
+
+  std::optional<std::array<std::uint8_t, 64>> vrf_verify(const PublicKeyBytes& pk,
+                                                         BytesView alpha,
+                                                         BytesView proof) const override {
+    return crypto::vrf_verify(pk, alpha, proof);
+  }
+
+  const char* name() const override { return "real(ed25519+ecvrf)"; }
+};
+
+// ---------------------------------------------------------------------------
+// Fast backend: publicly-computable keyed hashes. Anyone can recompute both
+// the "signature" and the "VRF" from the public key, so verification always
+// succeeds for honestly-formed values and fails for tampered ones — the shape
+// the protocol logic needs — while forgery resistance is explicitly absent.
+// ---------------------------------------------------------------------------
+
+PublicKeyBytes fast_public_key(BytesView seed32) {
+  const Bytes material = concat(bytes_of("fastpk"), seed32);
+  const auto digest = Sha256::hash(material);
+  PublicKeyBytes pk;
+  std::memcpy(pk.data(), digest.data(), 32);
+  return pk;
+}
+
+Bytes fast_sign(const PublicKeyBytes& pk, BytesView msg) {
+  const Bytes material = concat(bytes_of("fastsig"), pk, msg);
+  const auto digest = Sha256::hash(material);
+  return Bytes(digest.begin(), digest.end());
+}
+
+std::array<std::uint8_t, 64> fast_vrf_output(const PublicKeyBytes& pk, BytesView alpha) {
+  const Bytes material = concat(bytes_of("fastvrf"), pk, alpha);
+  return Sha512::hash(material);
+}
+
+class FastSigner final : public Signer {
+ public:
+  explicit FastSigner(BytesView seed32) : pk_(fast_public_key(seed32)) {}
+
+  const PublicKeyBytes& public_key() const override { return pk_; }
+
+  Bytes sign(BytesView msg) const override { return fast_sign(pk_, msg); }
+
+  Bytes vrf_prove(BytesView alpha) const override {
+    // The "proof" is the output itself; verification recomputes it.
+    const auto out = fast_vrf_output(pk_, alpha);
+    return Bytes(out.begin(), out.end());
+  }
+
+  std::array<std::uint8_t, 64> vrf_output(BytesView alpha) const override {
+    return fast_vrf_output(pk_, alpha);
+  }
+
+ private:
+  PublicKeyBytes pk_;
+};
+
+class FastCryptoProvider final : public CryptoProvider {
+ public:
+  std::unique_ptr<Signer> make_signer(BytesView seed32) const override {
+    return std::make_unique<FastSigner>(seed32);
+  }
+
+  bool verify(const PublicKeyBytes& pk, BytesView msg, BytesView sig) const override {
+    const Bytes expected = fast_sign(pk, msg);
+    return ct_equal(expected, sig);
+  }
+
+  std::optional<std::array<std::uint8_t, 64>> vrf_verify(const PublicKeyBytes& pk,
+                                                         BytesView alpha,
+                                                         BytesView proof) const override {
+    const auto expected = fast_vrf_output(pk, alpha);
+    if (!ct_equal(BytesView(expected.data(), expected.size()), proof)) return std::nullopt;
+    return expected;
+  }
+
+  const char* name() const override { return "fast(keyed-sha2)"; }
+};
+
+}  // namespace
+
+std::unique_ptr<CryptoProvider> make_real_crypto() {
+  return std::make_unique<RealCryptoProvider>();
+}
+
+std::unique_ptr<CryptoProvider> make_fast_crypto() {
+  return std::make_unique<FastCryptoProvider>();
+}
+
+}  // namespace accountnet::crypto

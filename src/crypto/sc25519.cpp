@@ -1,0 +1,200 @@
+#include "accountnet/crypto/sc25519.hpp"
+
+#include <cstring>
+
+#include "accountnet/util/ensure.hpp"
+
+namespace accountnet::crypto {
+
+namespace {
+
+// 512-bit little-endian integer as 16 x 32-bit limbs; wide enough for a
+// 256x256-bit product plus headroom.
+struct U512 {
+  std::array<std::uint32_t, 16> w{};
+};
+
+// L in 32-bit limbs (little-endian).
+// L = 0x1000000000000000000000000000000014def9dea2f79cd65812631a5cf5d3ed
+constexpr std::array<std::uint32_t, 16> kOrder = {
+    0x5cf5d3edu, 0x5812631au, 0xa2f79cd6u, 0x14def9deu,
+    0x00000000u, 0x00000000u, 0x00000000u, 0x10000000u,
+    0, 0, 0, 0, 0, 0, 0, 0};
+
+int compare(const U512& a, const U512& b) {
+  for (int i = 15; i >= 0; --i) {
+    if (a.w[static_cast<std::size_t>(i)] != b.w[static_cast<std::size_t>(i)]) {
+      return a.w[static_cast<std::size_t>(i)] < b.w[static_cast<std::size_t>(i)] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+void sub_in_place(U512& a, const U512& b) {
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::uint64_t lhs = a.w[i];
+    const std::uint64_t rhs = static_cast<std::uint64_t>(b.w[i]) + borrow;
+    a.w[i] = static_cast<std::uint32_t>(lhs - rhs);
+    borrow = lhs < rhs ? 1 : 0;
+  }
+}
+
+void shl1(U512& a) {
+  std::uint32_t carry = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::uint32_t next = a.w[i] >> 31;
+    a.w[i] = (a.w[i] << 1) | carry;
+    carry = next;
+  }
+}
+
+int bit_length(const U512& a) {
+  for (int i = 15; i >= 0; --i) {
+    const std::uint32_t v = a.w[static_cast<std::size_t>(i)];
+    if (v != 0) {
+      int bits = 0;
+      std::uint32_t t = v;
+      while (t != 0) {
+        ++bits;
+        t >>= 1;
+      }
+      return i * 32 + bits;
+    }
+  }
+  return 0;
+}
+
+// a mod L via shift-subtract long division.
+U512 mod_order(const U512& a) {
+  U512 order512;
+  order512.w = kOrder;
+  const int len = bit_length(a);
+  const int order_len = 253;
+  if (len < order_len) return a;
+
+  // Align L with the top bit of a, then walk down subtracting.
+  int shift = len - order_len;
+  U512 m = order512;
+  for (int i = 0; i < shift; ++i) shl1(m);
+  U512 r = a;
+  for (int i = shift; i >= 0; --i) {
+    if (compare(r, m) >= 0) sub_in_place(r, m);
+    if (i > 0) {
+      // m >>= 1
+      std::uint32_t carry = 0;
+      for (int j = 15; j >= 0; --j) {
+        const std::uint32_t next = m.w[static_cast<std::size_t>(j)] & 1;
+        m.w[static_cast<std::size_t>(j)] = (m.w[static_cast<std::size_t>(j)] >> 1) | (carry << 31);
+        carry = next;
+      }
+    }
+  }
+  return r;
+}
+
+U512 load_le(BytesView bytes) {
+  AN_ENSURE_MSG(bytes.size() <= 64, "Scalar::reduce input too long");
+  U512 out;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    out.w[i / 4] |= static_cast<std::uint32_t>(bytes[i]) << (8 * (i % 4));
+  }
+  return out;
+}
+
+U512 mul_wide(const U512& a, const U512& b) {
+  // Schoolbook multiply of the low 8 limbs of each (256 x 256 -> 512).
+  U512 out;
+  std::uint64_t acc_carry[17] = {0};
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      const std::uint64_t cur = static_cast<std::uint64_t>(a.w[i]) * b.w[j] +
+                                acc_carry[i + j] + carry;
+      acc_carry[i + j] = cur & 0xffffffffULL;
+      carry = cur >> 32;
+    }
+    acc_carry[i + 8] += carry;
+  }
+  // Normalize the accumulator (entries can exceed 32 bits via the += above).
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::uint64_t cur = acc_carry[i] + carry;
+    out.w[i] = static_cast<std::uint32_t>(cur & 0xffffffffULL);
+    carry = cur >> 32;
+  }
+  return out;
+}
+
+U512 add_wide(const U512& a, const U512& b) {
+  U512 out;
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::uint64_t cur = static_cast<std::uint64_t>(a.w[i]) + b.w[i] + carry;
+    out.w[i] = static_cast<std::uint32_t>(cur & 0xffffffffULL);
+    carry = cur >> 32;
+  }
+  return out;
+}
+
+std::array<std::uint8_t, 32> store_le32(const U512& a) {
+  std::array<std::uint8_t, 32> out{};
+  for (std::size_t i = 0; i < 32; ++i) {
+    out[i] = static_cast<std::uint8_t>(a.w[i / 4] >> (8 * (i % 4)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Scalar Scalar::reduce(BytesView le_bytes) {
+  Scalar s;
+  s.bytes_ = store_le32(mod_order(load_le(le_bytes)));
+  return s;
+}
+
+bool Scalar::from_canonical(BytesView b32, Scalar& out) {
+  if (b32.size() != 32) return false;
+  U512 v = load_le(b32);
+  U512 order;
+  order.w = kOrder;
+  if (compare(v, order) >= 0) return false;
+  out.bytes_ = store_le32(v);
+  return true;
+}
+
+Scalar Scalar::from_u64(std::uint64_t v) {
+  Scalar s;
+  for (int i = 0; i < 8; ++i) s.bytes_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+  return s;
+}
+
+Scalar Scalar::add(const Scalar& rhs) const {
+  const U512 sum = add_wide(load_le(bytes_), load_le(rhs.bytes_));
+  Scalar s;
+  s.bytes_ = store_le32(mod_order(sum));
+  return s;
+}
+
+Scalar Scalar::mul(const Scalar& rhs) const {
+  const U512 prod = mul_wide(load_le(bytes_), load_le(rhs.bytes_));
+  Scalar s;
+  s.bytes_ = store_le32(mod_order(prod));
+  return s;
+}
+
+Scalar Scalar::muladd(const Scalar& a, const Scalar& b, const Scalar& c) {
+  const U512 prod = mul_wide(load_le(a.bytes_), load_le(b.bytes_));
+  const U512 sum = add_wide(prod, load_le(c.bytes_));
+  Scalar s;
+  s.bytes_ = store_le32(mod_order(sum));
+  return s;
+}
+
+bool Scalar::is_zero() const {
+  std::uint8_t acc = 0;
+  for (auto b : bytes_) acc |= b;
+  return acc == 0;
+}
+
+}  // namespace accountnet::crypto

@@ -1,0 +1,509 @@
+#include "accountnet/harness/network_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "accountnet/core/neighborhood.hpp"
+#include "accountnet/core/witness.hpp"
+#include "accountnet/util/ensure.hpp"
+
+namespace accountnet::harness {
+
+namespace {
+
+std::string addr_of(std::size_t idx) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "n%06zu", idx);
+  return buf;
+}
+
+}  // namespace
+
+struct NetworkSim::HarnessNode {
+  std::size_t index = 0;
+  bool malicious = false;
+  bool alive = false;
+  bool joined = false;
+  sim::TimePoint launch_at = 0;
+  std::unique_ptr<core::NodeState> state;
+  Rng rng{0};
+  std::unordered_set<std::string> reported_leavers;
+  // Coverage bitset (distinct peers ever held), built lazily.
+  std::vector<std::uint64_t> coverage_bits;
+  std::size_t coverage_count = 0;
+};
+
+NetworkSim::NetworkSim(ExperimentConfig config)
+    : config_(std::move(config)),
+      provider_(config_.use_real_crypto ? crypto::make_real_crypto()
+                                        : crypto::make_fast_crypto()),
+      rng_(config_.seed) {
+  AN_ENSURE(config_.network_size >= 2);
+  AN_ENSURE(config_.f >= config_.l && config_.l >= 1);
+
+  core::NodeConfig node_config;
+  node_config.max_peerset = config_.f;
+  node_config.shuffle_length = config_.l;
+  node_config.history_limit = config_.history_limit;
+
+  nodes_.reserve(config_.network_size);
+  const std::size_t lanes =
+      (config_.network_size + config_.lane_size - 1) / config_.lane_size;
+  std::vector<sim::TimePoint> lane_clock(lanes, 0);
+
+  for (std::size_t i = 0; i < config_.network_size; ++i) {
+    auto hn = std::make_unique<HarnessNode>();
+    hn->index = i;
+    hn->malicious = rng_.chance(config_.pm);
+    hn->rng = rng_.fork();
+
+    Bytes seed(32);
+    for (auto& b : seed) b = static_cast<std::uint8_t>(rng_.next_u64());
+    auto signer = provider_->make_signer(seed);
+    core::PeerId id{addr_of(i), signer->public_key()};
+    hn->state = std::make_unique<core::NodeState>(id, provider_->make_signer(seed),
+                                                  node_config);
+
+    const std::size_t lane = i % lanes;
+    lane_clock[lane] += hn->rng.uniform_range(0, config_.launch_spacing_max);
+    hn->launch_at = lane_clock[lane];
+
+    addr_to_index_[id.addr] = i;
+    nodes_.push_back(std::move(hn));
+  }
+  if (config_.track_shuffle_pairs) {
+    AN_ENSURE_MSG(config_.network_size <= 2048, "heatmap tracking is for small nets");
+    shuffle_pairs_.assign(config_.network_size,
+                          std::vector<std::uint8_t>(config_.network_size, 0));
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    sim_.schedule_at(nodes_[i]->launch_at, [this, i] { launch_node(i); });
+  }
+}
+
+NetworkSim::~NetworkSim() = default;
+
+sim::TimePoint NetworkSim::now() const { return sim_.now(); }
+
+void NetworkSim::launch_node(std::size_t idx) {
+  HarnessNode& hn = *nodes_[idx];
+  hn.alive = true;
+  ++alive_count_;
+
+  // Bootstrap through a random already-joined node of the compatible group
+  // (in separate-overlay mode the coalitions never mix, Sec. IV-B).
+  std::vector<std::size_t> candidates;
+  for (const auto& other : nodes_) {
+    if (!other->alive || !other->joined || other->index == idx) continue;
+    if (config_.malicious_mode == MaliciousMode::kSeparateOverlay &&
+        other->malicious != hn.malicious) {
+      continue;
+    }
+    candidates.push_back(other->index);
+  }
+
+  if (candidates.empty()) {
+    hn.state->init_as_seed();
+    hn.joined = true;
+  } else {
+    const std::size_t bn_idx = candidates[hn.rng.uniform(candidates.size())];
+    HarnessNode& bn = *nodes_[bn_idx];
+    // Bootstrap provides itself plus its depth-d neighborhood (Sec. IV-A).
+    std::vector<core::PeerId> offer = {bn.state->self()};
+    for (const std::size_t n : neighborhood_indices(bn_idx, config_.d)) {
+      offer.push_back(nodes_[n]->state->self());
+    }
+    const Bytes stamp =
+        bn.state->signer().sign(core::join_stamp_payload(hn.state->self().addr));
+    const core::Draw draw =
+        core::draw_sample(hn.state->signer(), core::Peerset(offer), config_.f,
+                          "an.join.sample", stamp);
+    hn.state->apply_join(bn.state->self(), stamp, draw.sample);
+    hn.joined = true;
+  }
+  ++joined_count_;
+  update_coverage(hn);
+  schedule_shuffle(idx);
+}
+
+void NetworkSim::schedule_shuffle(std::size_t idx) {
+  HarnessNode& hn = *nodes_[idx];
+  const double jitter = (hn.rng.uniform01() * 2.0 - 1.0) * config_.shuffle_jitter_frac;
+  const auto delay = static_cast<sim::Duration>(
+      static_cast<double>(config_.shuffle_period) * (1.0 + jitter));
+  sim_.schedule(std::max<sim::Duration>(delay, 1), [this, idx] {
+    if (nodes_[idx]->alive) {
+      do_shuffle(idx);
+      schedule_shuffle(idx);
+    }
+  });
+}
+
+std::size_t NetworkSim::index_of(const core::PeerId& peer) const {
+  const auto it = addr_to_index_.find(peer.addr);
+  AN_ENSURE_MSG(it != addr_to_index_.end(), "unknown peer address");
+  return it->second;
+}
+
+void NetworkSim::do_shuffle(std::size_t idx) {
+  HarnessNode& hn = *nodes_[idx];
+  if (!hn.joined || hn.state->peerset().empty()) return;
+  ++stats_.shuffles_attempted;
+
+  const auto choice = core::choose_partner(*hn.state);
+  if (!choice) {
+    hn.state->skip_round();
+    return;
+  }
+  const std::size_t pidx = index_of(choice->partner);
+  HarnessNode& partner = *nodes_[pidx];
+
+  if (!partner.alive) {
+    ++stats_.dead_partner_hits;
+    handle_dead_partner(idx, pidx);
+    return;
+  }
+  if (config_.malicious_mode == MaliciousMode::kSeparateOverlay &&
+      partner.malicious != hn.malicious) {
+    // Cross-coalition contact is refused; the initiator burns the round.
+    ++stats_.refused_cross_group;
+    hn.state->skip_round();
+    return;
+  }
+
+  const core::Round rj = partner.state->round();
+  const auto offer = core::make_offer(*hn.state, *choice, rj);
+  history_samples_.add(static_cast<double>(offer.history_suffix.size()));
+
+  const bool verify = rng_.chance(config_.verify_fraction);
+  if (verify) {
+    ++stats_.shuffles_verified;
+    if (const auto v = core::verify_offer(offer, *partner.state, rj, *provider_); !v) {
+      ++stats_.verification_failures;
+      hn.state->skip_round();
+      return;
+    }
+  }
+  const auto response = core::make_response_and_commit(*partner.state, offer);
+  if (verify) {
+    if (const auto v = core::verify_response(response, *hn.state, offer, *provider_); !v) {
+      ++stats_.verification_failures;
+      hn.state->skip_round();
+      return;
+    }
+  }
+  core::apply_offer_outcome(*hn.state, offer, response);
+  ++stats_.shuffles_completed;
+  ++shuffle_delta_;
+
+  purge_zombies(hn);
+  purge_zombies(partner);
+  update_coverage(hn);
+  update_coverage(partner);
+  if (config_.track_shuffle_pairs) {
+    shuffle_pairs_[idx][pidx] = 1;
+    shuffle_pairs_[pidx][idx] = 1;
+  }
+}
+
+void NetworkSim::handle_dead_partner(std::size_t idx, std::size_t partner_idx) {
+  HarnessNode& hn = *nodes_[idx];
+  const core::PeerId leaver = nodes_[partner_idx]->state->self();
+  hn.state->skip_round();
+  record_leave(hn, leaver);
+  // Inform the reporter's peers; each confirms liveness (the dead node
+  // cannot answer a ping) and records the report.
+  const auto peers = hn.state->peerset().sorted();
+  for (const auto& p : peers) {
+    const std::size_t pi = index_of(p);
+    HarnessNode& peer = *nodes_[pi];
+    if (!peer.alive || peer.reported_leavers.contains(leaver.addr)) continue;
+    const auto [round, sig] = hn.state->make_leave_report(leaver);
+    peer.state->apply_leave_report(hn.state->self(), round, sig, leaver);
+    peer.reported_leavers.insert(leaver.addr);
+  }
+}
+
+void NetworkSim::record_leave(HarnessNode& reporter_node, const core::PeerId& leaver) {
+  if (reporter_node.reported_leavers.contains(leaver.addr)) {
+    // Already recorded once; just drop it again if it crept back.
+    if (reporter_node.state->peerset().contains(leaver)) {
+      const auto [round, sig] = reporter_node.state->make_leave_report(leaver);
+      reporter_node.state->apply_leave_report(reporter_node.state->self(), round, sig,
+                                              leaver);
+    }
+    return;
+  }
+  ++stats_.leave_reports;
+  reporter_node.reported_leavers.insert(leaver.addr);
+  const auto [round, sig] = reporter_node.state->make_leave_report(leaver);
+  reporter_node.state->apply_leave_report(reporter_node.state->self(), round, sig, leaver);
+}
+
+void NetworkSim::purge_zombies(HarnessNode& node) {
+  if (node.reported_leavers.empty()) return;
+  std::vector<core::PeerId> zombies;
+  for (const auto& p : node.state->peerset().sorted()) {
+    if (node.reported_leavers.contains(p.addr)) zombies.push_back(p);
+  }
+  for (const auto& z : zombies) {
+    const auto [round, sig] = node.state->make_leave_report(z);
+    node.state->apply_leave_report(node.state->self(), round, sig, z);
+  }
+}
+
+void NetworkSim::update_coverage(HarnessNode& node) {
+  if (!config_.track_coverage) return;
+  if (node.coverage_bits.empty()) {
+    node.coverage_bits.assign((nodes_.size() + 63) / 64, 0);
+  }
+  for (const auto& p : node.state->peerset().sorted()) {
+    const std::size_t i = index_of(p);
+    auto& word = node.coverage_bits[i / 64];
+    const std::uint64_t bit = std::uint64_t{1} << (i % 64);
+    if (!(word & bit)) {
+      word |= bit;
+      ++node.coverage_count;
+    }
+  }
+}
+
+void NetworkSim::run(std::size_t rounds,
+                     const std::function<void(std::size_t)>& on_analysis) {
+  if (!run_started_) {
+    run_started_ = true;
+    sim_.run_until(0);
+    if (on_analysis) on_analysis(0);
+  }
+  for (std::size_t i = 0; i < rounds; ++i) {
+    ++rounds_completed_;
+    sim_.run_until(static_cast<sim::TimePoint>(rounds_completed_) *
+                   config_.analysis_period);
+    if (on_analysis) on_analysis(rounds_completed_);
+  }
+}
+
+void NetworkSim::schedule_churn(std::size_t count, sim::TimePoint start,
+                                sim::Duration window) {
+  // Choose victims among nodes that will have launched by `start`.
+  std::vector<std::size_t> pool;
+  for (const auto& n : nodes_) {
+    if (n->launch_at < start) pool.push_back(n->index);
+  }
+  AN_ENSURE_MSG(pool.size() >= count, "not enough nodes for churn");
+  rng_.shuffle(pool);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t victim = pool[k];
+    const auto when = start + (window > 0 ? rng_.uniform_range(0, window) : 0);
+    sim_.schedule_at(when, [this, victim] {
+      HarnessNode& hn = *nodes_[victim];
+      if (!hn.alive) return;
+      hn.alive = false;
+      --alive_count_;
+      if (hn.joined) --joined_count_;
+    });
+  }
+}
+
+std::size_t NetworkSim::malicious_alive_count() const {
+  std::size_t c = 0;
+  for (const auto& n : nodes_) {
+    if (n->alive && n->malicious) ++c;
+  }
+  return c;
+}
+
+bool NetworkSim::is_alive(std::size_t idx) const { return nodes_[idx]->alive; }
+bool NetworkSim::is_malicious(std::size_t idx) const { return nodes_[idx]->malicious; }
+bool NetworkSim::is_joined(std::size_t idx) const { return nodes_[idx]->joined; }
+
+const core::NodeState& NetworkSim::node_state(std::size_t idx) const {
+  return *nodes_[idx]->state;
+}
+
+analysis::Adjacency NetworkSim::snapshot_adjacency() const {
+  analysis::Adjacency adj(nodes_.size());
+  for (const auto& n : nodes_) {
+    if (!n->alive || !n->joined) continue;
+    auto& row = adj[n->index];
+    for (const auto& p : n->state->peerset().sorted()) {
+      row.push_back(index_of(p));
+    }
+    std::sort(row.begin(), row.end());
+  }
+  return adj;
+}
+
+std::vector<std::size_t> NetworkSim::neighborhood_indices(std::size_t idx,
+                                                          std::size_t depth) const {
+  // BFS over live peersets; dead nodes still count as neighbors if referenced
+  // (their peersets no longer expand), matching what a query flood would see.
+  std::vector<std::size_t> result;
+  std::unordered_set<std::size_t> visited = {idx};
+  std::vector<std::size_t> frontier = {idx};
+  for (std::size_t level = 0; level < depth && !frontier.empty(); ++level) {
+    std::vector<std::size_t> next;
+    for (const std::size_t u : frontier) {
+      const HarnessNode& un = *nodes_[u];
+      if (!un.alive || !un.joined) continue;
+      for (const auto& p : un.state->peerset().sorted()) {
+        const std::size_t v = index_of(p);
+        if (!nodes_[v]->alive) continue;  // ping test fails during discovery
+        if (visited.insert(v).second) {
+          result.push_back(v);
+          next.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+double NetworkSim::sample_avg_neighborhood(std::size_t depth, std::size_t samples,
+                                           Rng& rng) const {
+  std::vector<std::size_t> alive;
+  for (const auto& n : nodes_) {
+    if (n->alive && n->joined) alive.push_back(n->index);
+  }
+  if (alive.empty()) return 0.0;
+  RunningStats stats;
+  const std::size_t count = std::min(samples, alive.size());
+  for (const std::size_t i : rng.sample_indices(alive.size(), count)) {
+    stats.add(static_cast<double>(neighborhood_indices(alive[i], depth).size()));
+  }
+  return stats.mean();
+}
+
+double NetworkSim::sample_avg_common(std::size_t depth, std::size_t pair_samples,
+                                     Rng& rng) const {
+  std::vector<std::size_t> alive;
+  for (const auto& n : nodes_) {
+    if (n->alive && n->joined) alive.push_back(n->index);
+  }
+  if (alive.size() < 2) return 0.0;
+  RunningStats stats;
+  for (std::size_t s = 0; s < pair_samples; ++s) {
+    const std::size_t a = alive[rng.uniform(alive.size())];
+    std::size_t b = a;
+    while (b == a) b = alive[rng.uniform(alive.size())];
+    const auto na = neighborhood_indices(a, depth);
+    const auto nb = neighborhood_indices(b, depth);
+    std::vector<std::size_t> common;
+    std::set_intersection(na.begin(), na.end(), nb.begin(), nb.end(),
+                          std::back_inserter(common));
+    stats.add(static_cast<double>(common.size()));
+  }
+  return stats.mean();
+}
+
+Samples NetworkSim::sample_neighbor_malicious_fraction(std::size_t depth,
+                                                       std::size_t samples,
+                                                       Rng& rng) const {
+  std::vector<std::size_t> alive;
+  for (const auto& n : nodes_) {
+    if (n->alive && n->joined && !n->malicious) alive.push_back(n->index);
+  }
+  Samples out;
+  if (alive.empty()) return out;
+  const std::size_t count = std::min(samples, alive.size());
+  for (const std::size_t i : rng.sample_indices(alive.size(), count)) {
+    const auto nbh = neighborhood_indices(alive[i], depth);
+    if (nbh.empty()) continue;
+    std::size_t bad = 0;
+    for (const std::size_t v : nbh) {
+      if (nodes_[v]->malicious) ++bad;
+    }
+    out.add(static_cast<double>(bad) / static_cast<double>(nbh.size()));
+  }
+  return out;
+}
+
+Samples NetworkSim::sample_candidate_malicious_fraction(std::size_t depth,
+                                                        std::size_t witness_count,
+                                                        std::size_t pair_samples,
+                                                        Rng& rng,
+                                                        bool exclude_common) const {
+  std::vector<std::size_t> alive;
+  for (const auto& n : nodes_) {
+    if (n->alive && n->joined) alive.push_back(n->index);
+  }
+  Samples out;
+  if (alive.size() < 2) return out;
+  for (std::size_t s = 0; s < pair_samples; ++s) {
+    const std::size_t a = alive[rng.uniform(alive.size())];
+    std::size_t b = a;
+    while (b == a) b = alive[rng.uniform(alive.size())];
+
+    auto to_peers = [&](const std::vector<std::size_t>& idxs) {
+      std::vector<core::PeerId> peers;
+      peers.reserve(idxs.size());
+      for (const std::size_t i : idxs) peers.push_back(nodes_[i]->state->self());
+      return peers;  // sorted because addresses sort with indices
+    };
+    std::vector<std::size_t> na = neighborhood_indices(a, depth);
+    std::vector<std::size_t> nb = neighborhood_indices(b, depth);
+    if (na.empty() && nb.empty()) continue;
+
+    if (!exclude_common) {
+      // Ablation: no common-node exclusion — candidates are the raw sets.
+      std::size_t bad = 0, total = 0;
+      for (const auto* set : {&na, &nb}) {
+        for (const std::size_t v : *set) {
+          ++total;
+          if (nodes_[v]->malicious) ++bad;
+        }
+      }
+      if (total > 0) out.add(static_cast<double>(bad) / static_cast<double>(total));
+      continue;
+    }
+
+    const auto plan = core::plan_witness_group(to_peers(na), to_peers(nb),
+                                               nodes_[a]->state->self(),
+                                               nodes_[b]->state->self(), witness_count);
+    auto frac_bad = [&](const std::vector<core::PeerId>& cands) {
+      if (cands.empty()) return 0.0;
+      std::size_t bad = 0;
+      for (const auto& p : cands) {
+        if (nodes_[index_of(p)]->malicious) ++bad;
+      }
+      return static_cast<double>(bad) / static_cast<double>(cands.size());
+    };
+    const double denom = static_cast<double>(plan.quota_producer + plan.quota_consumer);
+    if (denom == 0) continue;
+    const double p = (static_cast<double>(plan.quota_producer) * frac_bad(plan.candidates_producer) +
+                      static_cast<double>(plan.quota_consumer) * frac_bad(plan.candidates_consumer)) /
+                     denom;
+    out.add(p);
+  }
+  return out;
+}
+
+Samples NetworkSim::take_history_length_samples() {
+  Samples out = std::move(history_samples_);
+  history_samples_ = Samples{};
+  return out;
+}
+
+std::uint64_t NetworkSim::take_shuffle_delta() {
+  const std::uint64_t d = shuffle_delta_;
+  shuffle_delta_ = 0;
+  return d;
+}
+
+Samples NetworkSim::coverage_counts() const {
+  AN_ENSURE_MSG(config_.track_coverage, "coverage tracking disabled");
+  Samples out;
+  for (const auto& n : nodes_) {
+    if (n->alive && n->joined) out.add(static_cast<double>(n->coverage_count));
+  }
+  return out;
+}
+
+bool NetworkSim::ever_shuffled(std::size_t i, std::size_t j) const {
+  AN_ENSURE_MSG(config_.track_shuffle_pairs, "pair tracking disabled");
+  return shuffle_pairs_[i][j] != 0;
+}
+
+}  // namespace accountnet::harness

@@ -1,0 +1,92 @@
+#include "accountnet/mlsim/detector.hpp"
+
+#include <algorithm>
+
+#include "accountnet/crypto/sha256.hpp"
+#include "accountnet/wire/codec.hpp"
+
+namespace accountnet::mlsim {
+
+namespace {
+
+const char* kLabels[] = {"car",        "pedestrian", "bicycle", "truck",
+                         "traffic_sign", "bus",      "dog",     "cone"};
+constexpr std::size_t kLabelCount = sizeof(kLabels) / sizeof(kLabels[0]);
+
+}  // namespace
+
+Bytes DetectionResult::encode() const {
+  wire::Writer w;
+  w.varint(objects.size());
+  for (const auto& o : objects) {
+    w.str(o.label);
+    // Fixed-point (1e-4) keeps the encoding byte-exact across platforms.
+    w.u32(static_cast<std::uint32_t>(o.confidence * 10000.0 + 0.5));
+    w.u32(static_cast<std::uint32_t>(o.x * 10000.0 + 0.5));
+    w.u32(static_cast<std::uint32_t>(o.y * 10000.0 + 0.5));
+    w.u32(static_cast<std::uint32_t>(o.w * 10000.0 + 0.5));
+    w.u32(static_cast<std::uint32_t>(o.h * 10000.0 + 0.5));
+  }
+  return std::move(w).take();
+}
+
+DetectionResult DetectionResult::decode(BytesView bytes) {
+  wire::Reader r(bytes);
+  DetectionResult out;
+  const auto n = r.varint();
+  if (n > 1000) throw wire::DecodeError("implausible detection count");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Detection d;
+    d.label = r.str();
+    d.confidence = static_cast<double>(r.u32()) / 10000.0;
+    d.x = static_cast<double>(r.u32()) / 10000.0;
+    d.y = static_cast<double>(r.u32()) / 10000.0;
+    d.w = static_cast<double>(r.u32()) / 10000.0;
+    d.h = static_cast<double>(r.u32()) / 10000.0;
+    out.objects.push_back(std::move(d));
+  }
+  r.expect_done();
+  return out;
+}
+
+ObjectDetectionService::ObjectDetectionService(Config config, std::uint64_t seed)
+    : config_(config), latency_rng_(seed) {}
+
+DetectionResult ObjectDetectionService::detect(BytesView image) const {
+  // Derive everything from the image digest: same image -> same result.
+  const auto digest = crypto::Sha256::hash(image);
+  std::uint64_t state = 0;
+  for (int i = 0; i < 8; ++i) state = (state << 8) | digest[static_cast<std::size_t>(i)];
+  Rng rng(state);
+
+  DetectionResult result;
+  const std::size_t count = 1 + static_cast<std::size_t>(rng.uniform(config_.max_objects));
+  for (std::size_t i = 0; i < count; ++i) {
+    Detection d;
+    d.label = kLabels[rng.uniform(kLabelCount)];
+    d.confidence = 0.5 + rng.uniform01() * 0.5;
+    d.w = 0.02 + rng.uniform01() * 0.3;
+    d.h = 0.02 + rng.uniform01() * 0.3;
+    d.x = rng.uniform01() * (1.0 - d.w);
+    d.y = rng.uniform01() * (1.0 - d.h);
+    result.objects.push_back(std::move(d));
+  }
+  return result;
+}
+
+sim::Duration ObjectDetectionService::sample_latency() {
+  const double v = latency_rng_.normal(static_cast<double>(config_.latency_mean),
+                                       static_cast<double>(config_.latency_stddev));
+  return std::max(config_.latency_min, static_cast<sim::Duration>(v));
+}
+
+Bytes synthetic_scene_image(std::size_t width, std::size_t height, std::uint64_t seed) {
+  // ~0.15 byte/pixel approximates JPEG compression of a road scene.
+  const std::size_t size = std::max<std::size_t>(64, width * height * 3 / 20);
+  Bytes image(size);
+  Rng rng(seed ^ (width * 2654435761ULL) ^ height);
+  for (auto& b : image) b = static_cast<std::uint8_t>(rng.next_u64());
+  return image;
+}
+
+}  // namespace accountnet::mlsim

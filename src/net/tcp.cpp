@@ -1,0 +1,152 @@
+#include "accountnet/net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace accountnet::net {
+
+namespace {
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::write(fd, data + written, len - written);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, data + got, len - got);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EOF or error
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void put_u32le(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32le(const std::uint8_t* in) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | in[i];
+  return v;
+}
+
+}  // namespace
+
+MessageSocket::~MessageSocket() {
+  close();
+}
+
+MessageSocket::MessageSocket(MessageSocket&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+MessageSocket& MessageSocket::operator=(MessageSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void MessageSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool MessageSocket::send(std::uint32_t type, BytesView payload) {
+  if (fd_ < 0 || payload.size() > kMaxFrameSize) return false;
+  std::uint8_t header[8];
+  put_u32le(header, static_cast<std::uint32_t>(payload.size()));
+  put_u32le(header + 4, type);
+  if (!write_all(fd_, header, sizeof(header))) return false;
+  return payload.empty() || write_all(fd_, payload.data(), payload.size());
+}
+
+std::optional<MessageSocket::Frame> MessageSocket::receive() {
+  if (fd_ < 0) return std::nullopt;
+  std::uint8_t header[8];
+  if (!read_all(fd_, header, sizeof(header))) return std::nullopt;
+  const std::uint32_t len = get_u32le(header);
+  if (len > kMaxFrameSize) {
+    close();  // protocol violation from the peer
+    return std::nullopt;
+  }
+  Frame frame;
+  frame.type = get_u32le(header + 4);
+  frame.payload.resize(len);
+  if (len > 0 && !read_all(fd_, frame.payload.data(), len)) return std::nullopt;
+  return frame;
+}
+
+Acceptor::Acceptor(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return;
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, 8) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+}
+
+Acceptor::~Acceptor() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::optional<MessageSocket> Acceptor::accept_one() {
+  if (fd_ < 0) return std::nullopt;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return std::nullopt;
+  const int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return MessageSocket(client);
+}
+
+std::optional<MessageSocket> connect_to(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return MessageSocket(fd);
+}
+
+}  // namespace accountnet::net

@@ -1,0 +1,107 @@
+#include "accountnet/pubsub/pubsub.hpp"
+
+#include <algorithm>
+
+#include "accountnet/wire/codec.hpp"
+
+namespace accountnet::pubsub {
+
+void TopicDirectory::announce(const std::string& topic, const std::string& addr) {
+  auto& subs = topics_[topic];
+  if (std::find(subs.begin(), subs.end(), addr) == subs.end()) {
+    subs.push_back(addr);
+  }
+}
+
+void TopicDirectory::retract(const std::string& topic, const std::string& addr) {
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return;
+  std::erase(it->second, addr);
+}
+
+std::vector<std::string> TopicDirectory::subscribers(const std::string& topic) const {
+  const auto it = topics_.find(topic);
+  return it == topics_.end() ? std::vector<std::string>{} : it->second;
+}
+
+Bytes Envelope::encode() const {
+  wire::Writer w;
+  w.str(topic);
+  w.bytes(data);
+  return std::move(w).take();
+}
+
+Envelope Envelope::decode(BytesView bytes) {
+  wire::Reader r(bytes);
+  Envelope e;
+  e.topic = r.str();
+  e.data = r.bytes();
+  r.expect_done();
+  return e;
+}
+
+PubSubNode::PubSubNode(core::Node& node, TopicDirectory& directory)
+    : node_(node), directory_(directory) {
+  node_.set_delivery_callback(
+      [this](std::uint64_t ch, std::uint64_t seq, const Bytes& payload,
+             const core::PeerId& producer) { on_delivery(ch, seq, payload, producer); });
+}
+
+void PubSubNode::subscribe(const std::string& topic, MessageHandler handler) {
+  handlers_[topic] = std::move(handler);
+  directory_.announce(topic, node_.id().addr);
+}
+
+void PubSubNode::ensure_link(const std::string& subscriber_addr) {
+  if (links_.contains(subscriber_addr)) return;
+  links_[subscriber_addr] = Link{};
+  node_.open_channel(subscriber_addr, [this, subscriber_addr](std::uint64_t id, bool ok) {
+    auto& link = links_[subscriber_addr];
+    link.channel_id = id;
+    if (!ok) {
+      link.failed = true;
+      ++stats_.channel_failures;
+      link.backlog.clear();
+      return;
+    }
+    link.ready = true;
+    for (auto& payload : link.backlog) {
+      node_.send_data(id, std::move(payload));
+    }
+    link.backlog.clear();
+  });
+}
+
+void PubSubNode::publish(const std::string& topic, Bytes data) {
+  ++stats_.published;
+  const Envelope envelope{topic, std::move(data)};
+  const Bytes encoded = envelope.encode();
+  for (const auto& sub : directory_.subscribers(topic)) {
+    if (sub == node_.id().addr) continue;  // no self-delivery loop
+    ensure_link(sub);
+    auto& link = links_[sub];
+    if (link.failed) continue;
+    if (link.ready) {
+      node_.send_data(link.channel_id, encoded);
+    } else {
+      ++stats_.queued;
+      link.backlog.push_back(encoded);
+    }
+  }
+}
+
+void PubSubNode::on_delivery(std::uint64_t /*channel*/, std::uint64_t /*seq*/,
+                             const Bytes& payload, const core::PeerId& producer) {
+  Envelope envelope;
+  try {
+    envelope = Envelope::decode(payload);
+  } catch (const wire::DecodeError&) {
+    return;  // corrupted by a (minority of) malicious witnesses
+  }
+  const auto it = handlers_.find(envelope.topic);
+  if (it == handlers_.end()) return;
+  ++stats_.delivered;
+  it->second(envelope.topic, envelope.data, producer);
+}
+
+}  // namespace accountnet::pubsub

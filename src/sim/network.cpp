@@ -1,0 +1,104 @@
+#include "accountnet/sim/network.hpp"
+
+#include <algorithm>
+
+#include "accountnet/util/ensure.hpp"
+
+namespace accountnet::sim {
+
+namespace {
+
+class FixedLatency final : public LatencyModel {
+ public:
+  explicit FixedLatency(Duration d) : d_(d) {}
+  Duration sample(Rng&) override { return d_; }
+
+ private:
+  Duration d_;
+};
+
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(Duration lo, Duration hi) : lo_(lo), hi_(hi) {
+    AN_ENSURE(lo >= 0 && hi >= lo);
+  }
+  Duration sample(Rng& rng) override { return rng.uniform_range(lo_, hi_); }
+
+ private:
+  Duration lo_;
+  Duration hi_;
+};
+
+class NormalLatency final : public LatencyModel {
+ public:
+  NormalLatency(Duration mean, Duration stddev, Duration min)
+      : mean_(mean), stddev_(stddev), min_(min) {}
+  Duration sample(Rng& rng) override {
+    const double v = rng.normal(static_cast<double>(mean_), static_cast<double>(stddev_));
+    return std::max(min_, static_cast<Duration>(v));
+  }
+
+ private:
+  Duration mean_;
+  Duration stddev_;
+  Duration min_;
+};
+
+}  // namespace
+
+std::unique_ptr<LatencyModel> fixed_latency(Duration d) {
+  return std::make_unique<FixedLatency>(d);
+}
+
+std::unique_ptr<LatencyModel> uniform_latency(Duration lo, Duration hi) {
+  return std::make_unique<UniformLatency>(lo, hi);
+}
+
+std::unique_ptr<LatencyModel> normal_latency(Duration mean, Duration stddev, Duration min) {
+  return std::make_unique<NormalLatency>(mean, stddev, min);
+}
+
+std::unique_ptr<LatencyModel> netem_latency() {
+  // 20 ms one-way delay with +-2 ms jitter, per the paper's NetEM setup.
+  return std::make_unique<UniformLatency>(milliseconds(18), milliseconds(22));
+}
+
+SimNetwork::SimNetwork(Simulator& simulator, std::unique_ptr<LatencyModel> latency,
+                       std::uint64_t rng_seed)
+    : sim_(simulator), latency_(std::move(latency)), rng_(rng_seed) {
+  AN_ENSURE(latency_ != nullptr);
+}
+
+void SimNetwork::attach(const std::string& address, Handler handler) {
+  AN_ENSURE_MSG(handler != nullptr, "endpoint handler must be callable");
+  endpoints_[address] = std::move(handler);
+}
+
+void SimNetwork::detach(const std::string& address) {
+  endpoints_.erase(address);
+}
+
+bool SimNetwork::is_attached(const std::string& address) const {
+  return endpoints_.contains(address);
+}
+
+void SimNetwork::send(NetMessage msg) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += msg.payload.size();
+  const Duration delay = latency_->sample(rng_);
+  sim_.schedule(delay, [this, m = std::move(msg)]() {
+    const auto it = endpoints_.find(m.to);
+    if (it == endpoints_.end()) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ++stats_.messages_delivered;
+    it->second(m);
+  });
+}
+
+Duration SimNetwork::sample_delay() {
+  return latency_->sample(rng_);
+}
+
+}  // namespace accountnet::sim

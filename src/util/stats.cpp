@@ -1,0 +1,136 @@
+#include "accountnet/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace accountnet {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const {
+  return std::sqrt(variance());
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(data_.begin(), data_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  if (data_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : data_) s += x;
+  return s / static_cast<double>(data_.size());
+}
+
+double Samples::stddev() const {
+  if (data_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : data_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(data_.size() - 1));
+}
+
+double Samples::min() const {
+  ensure_sorted();
+  return data_.empty() ? 0.0 : data_.front();
+}
+
+double Samples::max() const {
+  ensure_sorted();
+  return data_.empty() ? 0.0 : data_.back();
+}
+
+double Samples::percentile(double p) const {
+  if (data_.empty()) return 0.0;
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of range");
+  ensure_sorted();
+  const double rank = p / 100.0 * static_cast<double>(data_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, data_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return data_[lo] * (1.0 - frac) + data_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
+  if (buckets == 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram: need hi > lo and buckets > 0");
+  }
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;  // float edge case
+    ++counts_[idx];
+  }
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bars = counts_[i] * bar_width / peak;
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << "[" << bucket_lo(i) << ", " << bucket_hi(i) << ") ";
+    for (std::size_t b = 0; b < bars; ++b) os << '#';
+    os << ' ' << counts_[i] << '\n';
+  }
+  if (underflow_ > 0) os << "underflow: " << underflow_ << '\n';
+  if (overflow_ > 0) os << "overflow: " << overflow_ << '\n';
+  return os.str();
+}
+
+}  // namespace accountnet

@@ -1,0 +1,212 @@
+// Validates the analysis module against the paper's own worked numbers
+// (Example 2, Example 3, Table II analysis column, Sec. VI-B) and against
+// Monte-Carlo simulation of random overlays.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "accountnet/analysis/bounds.hpp"
+#include "accountnet/util/ensure.hpp"
+#include "accountnet/util/rng.hpp"
+
+namespace accountnet::analysis {
+namespace {
+
+TEST(Bounds, MaxNeighborhoodFormula) {
+  // |N^d|* = sum_{k=1..d} f^k.
+  EXPECT_DOUBLE_EQ(max_neighborhood_size(2, 2), 6.0);    // 2 + 4
+  EXPECT_DOUBLE_EQ(max_neighborhood_size(5, 2), 30.0);   // 5 + 25
+  EXPECT_DOUBLE_EQ(max_neighborhood_size(5, 3), 155.0);  // 5 + 25 + 125
+  EXPECT_DOUBLE_EQ(max_neighborhood_size(10, 3), 1110.0);
+  EXPECT_DOUBLE_EQ(max_neighborhood_size(3, 3), 39.0);
+}
+
+TEST(Bounds, PaperExample2Exact) {
+  // |V|=10, f=2, d=2 -> expected neighborhood size 4.76 (Fig. 8 walkthrough).
+  EXPECT_NEAR(expected_neighborhood_size(10, 2, 2), 4.76, 0.01);
+}
+
+TEST(Bounds, PaperTable2AnalysisColumn) {
+  // Table II "Analysis" values.
+  EXPECT_NEAR(expected_neighborhood_size(500, 10, 3), 446.25, 1.0);
+  EXPECT_NEAR(expected_neighborhood_size(1000, 10, 3), 671.97, 1.0);
+  EXPECT_NEAR(expected_neighborhood_size(5000, 10, 3), 996.29, 1.5);
+  EXPECT_NEAR(expected_neighborhood_size(10000, 10, 3), 1051.10, 1.5);
+  EXPECT_NEAR(expected_neighborhood_size(500, 5, 2), 29.26, 0.05);
+  EXPECT_NEAR(expected_neighborhood_size(1000, 5, 2), 29.63, 0.05);
+  EXPECT_NEAR(expected_neighborhood_size(5000, 5, 2), 29.93, 0.05);
+  EXPECT_NEAR(expected_neighborhood_size(10000, 5, 2), 29.96, 0.05);
+}
+
+TEST(Bounds, PaperSection5BNumbers) {
+  // "for (|V|, f, d) = (1000, 5, 2) the expected neighborhood size is about
+  //  30, ... expected to share about 0.9 nodes".
+  const double nbh = expected_neighborhood_size(1000, 5, 2);
+  EXPECT_NEAR(nbh, 29.63, 0.05);
+  EXPECT_NEAR(expected_common_nodes(1000, nbh, nbh), 0.88, 0.03);
+  // Example 3: |V|=100, (f,d)=(5,2) -> 26.46; (5,3) -> 79.13.
+  EXPECT_NEAR(expected_neighborhood_size(100, 5, 2), 26.46, 0.05);
+  EXPECT_NEAR(expected_neighborhood_size(100, 5, 3), 79.13, 0.25);
+}
+
+TEST(Bounds, Table3AnalysisColumn) {
+  // Table III's "Analysis" column is Lemma 1 evaluated with the measured
+  // neighborhood sizes of Table II (the paper's analysis/measurement pairs
+  // line up only under that reading); tolerances cover the paper's own
+  // snapshot noise.
+  auto common = [](std::size_t v, double measured_nbh) {
+    return expected_common_nodes(v, measured_nbh, measured_nbh);
+  };
+  EXPECT_NEAR(common(500, 439.19), 387.98, 2.0);
+  EXPECT_NEAR(common(1000, 663.42), 440.01, 1.5);
+  EXPECT_NEAR(common(5000, 991.79), 196.85, 0.5);
+  EXPECT_NEAR(common(10000, 1048.37), 109.84, 0.5);
+  EXPECT_NEAR(common(500, 29.35), 1.80, 0.1);
+  EXPECT_NEAR(common(1000, 29.67), 0.90, 0.05);
+  EXPECT_NEAR(common(5000, 29.91), 0.18, 0.01);
+  EXPECT_NEAR(common(10000, 29.95), 0.09, 0.01);
+}
+
+TEST(Bounds, ConvergesToMaxForLargeNetworks) {
+  for (std::size_t f : {3u, 5u}) {
+    for (std::size_t d : {2u, 3u}) {
+      const double expected = expected_neighborhood_size(1000000, f, d);
+      EXPECT_NEAR(expected, max_neighborhood_size(f, d), 0.05) << f << "," << d;
+    }
+  }
+}
+
+TEST(Bounds, MonotoneInNetworkSize) {
+  double prev = 0.0;
+  for (std::size_t v : {100u, 200u, 500u, 1000u, 5000u}) {
+    const double cur = expected_neighborhood_size(v, 10, 3);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Bounds, MonteCarloValidatesAlgorithm4) {
+  // Build random f-regular-out overlays and measure depth-d neighborhoods.
+  const std::size_t v = 200, f = 4, d = 2;
+  Rng rng(99);
+  double total = 0.0;
+  int samples = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::vector<std::size_t>> adj(v);
+    for (std::size_t i = 0; i < v; ++i) {
+      std::set<std::size_t> peers;
+      while (peers.size() < f) {
+        const auto p = static_cast<std::size_t>(rng.uniform(v));
+        if (p != i) peers.insert(p);
+      }
+      adj[i].assign(peers.begin(), peers.end());
+    }
+    for (std::size_t start = 0; start < v; start += 17) {
+      // BFS to depth d.
+      std::set<std::size_t> seen = {start};
+      std::vector<std::size_t> frontier = {start};
+      for (std::size_t level = 0; level < d; ++level) {
+        std::vector<std::size_t> next;
+        for (auto u : frontier) {
+          for (auto w : adj[u]) {
+            if (seen.insert(w).second) next.push_back(w);
+          }
+        }
+        frontier = std::move(next);
+      }
+      total += static_cast<double>(seen.size() - 1);
+      ++samples;
+    }
+  }
+  const double measured = total / samples;
+  const double analytic = expected_neighborhood_size(v, f, d);
+  EXPECT_NEAR(measured, analytic, analytic * 0.03);
+}
+
+TEST(Bounds, MonteCarloValidatesLemma1) {
+  // Draw pairs of random λ-subsets of |V|-1 nodes and count overlaps.
+  const std::size_t v = 500;
+  const std::size_t lambda = 40;
+  Rng rng(123);
+  double total = 0.0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    const auto a = rng.sample_indices(v - 1, lambda);
+    const auto b = rng.sample_indices(v - 1, lambda);
+    const std::set<std::size_t> sa(a.begin(), a.end());
+    std::size_t y = 0;
+    for (auto x : b) {
+      if (sa.contains(x)) ++y;
+    }
+    total += static_cast<double>(y);
+  }
+  const double measured = total / trials;
+  const double analytic = expected_common_nodes(v, lambda, lambda);
+  EXPECT_NEAR(measured, analytic, 0.1);
+}
+
+TEST(Bounds, Lemma2SymmetricCase) {
+  // With λ_i = λ_j = λ and y = 0: p_m < 1/2.
+  EXPECT_NEAR(pm_bound_pair(30, 30, 0), 0.5, 1e-12);
+  // Larger overlap lowers the threshold.
+  EXPECT_LT(pm_bound_pair(30, 30, 20), pm_bound_pair(30, 30, 5));
+  EXPECT_LT(pm_bound_pair(30, 30, 5), 0.5);
+}
+
+TEST(Bounds, Lemma2RejectsExhaustedNeighborhood) {
+  EXPECT_THROW(pm_bound_pair(10, 30, 10), EnsureError);
+}
+
+TEST(Bounds, Theorem1MatchesLemma2OnAverageNetwork) {
+  // Theorem 1 = Lemma 2 with λ_i = λ_j = E[N] and y = E[N]^2/(|V|-1).
+  const std::size_t v = 1000;
+  const double nbh = expected_neighborhood_size(v, 5, 2);
+  const double y = expected_common_nodes(v, nbh, nbh);
+  EXPECT_NEAR(pm_bound_pair(nbh, nbh, y), pm_bound_average(v, nbh), 1e-9);
+}
+
+TEST(Bounds, Theorem1LimitIsHalf) {
+  // For |V| -> inf with fixed neighborhood, the threshold approaches 1/2.
+  EXPECT_NEAR(pm_bound_average(100000000, 30.0), 0.5, 1e-4);
+}
+
+TEST(Bounds, PaperExample3Threshold) {
+  // |V|=100, p_m=25% -> admissible E[|N^d|] < 49.5.
+  EXPECT_DOUBLE_EQ(max_neighborhood_for_pm(100, 0.25), 49.5);
+  // (5,2) feasible: 26.46 < 49.5; (5,3) infeasible: 79.13 > 49.5.
+  EXPECT_LT(expected_neighborhood_size(100, 5, 2), 49.5);
+  EXPECT_GT(expected_neighborhood_size(100, 5, 3), 49.5);
+}
+
+TEST(Bounds, Section6BParameterRecipe) {
+  // |V|=1000, p_m=10%: the paper concludes (10,3) and (5,3) work against a
+  // separate overlay while (5,2) and (10,2) do not (too small or marginal).
+  const auto choices = evaluate_parameters(1000, 0.10, {5, 10}, {2, 3});
+  auto find = [&](std::size_t f, std::size_t d) -> const ParameterChoice& {
+    for (const auto& c : choices) {
+      if (c.f == f && c.d == d) return c;
+    }
+    throw std::logic_error("missing");
+  };
+  // Case (i): neighborhoods must stay below 799.2 — all four qualify
+  // (the paper lists (5,2),(5,3),(10,2),(10,3) as satisfying Eq. 5).
+  EXPECT_TRUE(find(5, 2).tolerates_following);
+  EXPECT_TRUE(find(5, 3).tolerates_following);
+  EXPECT_TRUE(find(10, 2).tolerates_following);
+  EXPECT_TRUE(find(10, 3).tolerates_following);
+  // Case (ii): need E[|N^d|] comfortably above 100.
+  EXPECT_FALSE(find(5, 2).tolerates_separate);   // ~29.6
+  EXPECT_TRUE(find(5, 3).tolerates_separate);    // ~143
+  EXPECT_TRUE(find(10, 3).tolerates_separate);   // ~672
+  // (10,2): ~105, inside the 5% churn margin -> rejected as the paper warns.
+  EXPECT_FALSE(find(10, 2).tolerates_separate);
+}
+
+TEST(Bounds, Section6BFollowingCaseBound) {
+  // "any (f, d) pairs that make the average neighborhood size not larger
+  //  than 799.2 can be used" (|V|=1000, p_m=10%).
+  EXPECT_NEAR(max_neighborhood_for_pm(1000, 0.10), 799.2, 0.001);
+}
+
+}  // namespace
+}  // namespace accountnet::analysis

@@ -1,0 +1,109 @@
+#include "accountnet/analysis/graph_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "accountnet/util/rng.hpp"
+
+namespace accountnet::analysis {
+namespace {
+
+TEST(GraphMetrics, EmptyGraph) {
+  const auto m = compute_graph_metrics({});
+  EXPECT_EQ(m.diameter, 0.0);
+  EXPECT_EQ(m.avg_clustering, 0.0);
+}
+
+TEST(GraphMetrics, BfsDistancesOnPath) {
+  // 0 -> 1 -> 2 -> 3
+  const Adjacency adj = {{1}, {2}, {3}, {}};
+  const auto dist = bfs_distances(adj, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[3], 3u);
+  const auto from3 = bfs_distances(adj, 3);
+  EXPECT_EQ(from3[0], std::numeric_limits<std::size_t>::max());
+}
+
+TEST(GraphMetrics, DiameterOfRing) {
+  // Directed ring of 6: diameter 5.
+  Adjacency adj(6);
+  for (std::size_t i = 0; i < 6; ++i) adj[i] = {(i + 1) % 6};
+  const auto m = compute_graph_metrics(adj);
+  EXPECT_EQ(m.diameter, 5.0);
+  EXPECT_EQ(m.unreachable_pairs, 0u);
+  EXPECT_EQ(m.avg_clustering, 0.0);  // out-degree 1 -> no triangles counted
+}
+
+TEST(GraphMetrics, CliqueClusteringIsOne) {
+  // Complete directed graph on 4 nodes.
+  Adjacency adj(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i != j) adj[i].push_back(j);
+    }
+  }
+  const auto m = compute_graph_metrics(adj);
+  EXPECT_DOUBLE_EQ(m.avg_clustering, 1.0);
+  EXPECT_EQ(m.diameter, 1.0);
+  EXPECT_DOUBLE_EQ(m.avg_out_degree, 3.0);
+}
+
+TEST(GraphMetrics, StarHasZeroClustering) {
+  // Hub 0 points to leaves, leaves point back to hub.
+  Adjacency adj(5);
+  for (std::size_t i = 1; i < 5; ++i) {
+    adj[0].push_back(i);
+    adj[i] = {0};
+  }
+  const auto m = compute_graph_metrics(adj);
+  EXPECT_DOUBLE_EQ(m.avg_clustering, 0.0);
+  EXPECT_EQ(m.diameter, 2.0);  // leaf -> hub -> leaf
+}
+
+TEST(GraphMetrics, UnreachablePairsCounted) {
+  const Adjacency adj = {{1}, {0}, {}};  // node 2 isolated from 0/1
+  const auto m = compute_graph_metrics(adj);
+  EXPECT_GT(m.unreachable_pairs, 0u);
+}
+
+TEST(GraphMetrics, SampledDiameterUnderestimatesAtMost) {
+  // A random overlay large enough to trigger sampling (threshold forced low).
+  Rng rng(7);
+  const std::size_t n = 300;
+  Adjacency adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::set<std::size_t> peers;
+    while (peers.size() < 5) {
+      const auto p = static_cast<std::size_t>(rng.uniform(n));
+      if (p != i) peers.insert(p);
+    }
+    adj[i].assign(peers.begin(), peers.end());
+  }
+  const auto exact = compute_graph_metrics(adj, /*exact_threshold=*/1000);
+  const auto sampled = compute_graph_metrics(adj, /*exact_threshold=*/10,
+                                             /*sample_sources=*/32);
+  EXPECT_LE(sampled.diameter, exact.diameter);
+  EXPECT_GE(sampled.diameter, exact.diameter - 1.0);
+}
+
+TEST(GraphMetrics, RandomOverlayHasSmallDiameterAndLowClustering) {
+  // The Appendix-A expectation for a well-shuffled network.
+  Rng rng(11);
+  const std::size_t n = 500;
+  Adjacency adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::set<std::size_t> peers;
+    while (peers.size() < 5) {
+      const auto p = static_cast<std::size_t>(rng.uniform(n));
+      if (p != i) peers.insert(p);
+    }
+    adj[i].assign(peers.begin(), peers.end());
+  }
+  const auto m = compute_graph_metrics(adj);
+  EXPECT_LE(m.diameter, 7.0);
+  EXPECT_LT(m.avg_clustering, 0.05);
+}
+
+}  // namespace
+}  // namespace accountnet::analysis

@@ -1,0 +1,120 @@
+// Monte-Carlo validation of Lemma 2 / Theorem 1: sampling witness groups
+// from synthetic neighborhoods with controlled overlap and malicious rates,
+// the benign-majority probability crosses 1/2 near the analytic threshold.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "accountnet/analysis/bounds.hpp"
+#include "accountnet/util/rng.hpp"
+
+namespace accountnet::analysis {
+namespace {
+
+/// One synthetic trial: two neighborhoods of size lambda sharing `overlap`
+/// nodes, nodes malicious i.i.d. with pm EXCEPT the common nodes, which are
+/// forced benign (the Lemma-2 worst case). Returns true if a witness group
+/// of size w (α-split, common excluded) has a strict benign majority.
+bool trial_benign_majority(Rng& rng, std::size_t lambda, std::size_t overlap,
+                           double pm, std::size_t w) {
+  // Candidate pools after exclusion.
+  const std::size_t avail = lambda - overlap;
+  auto draw_side = [&](std::size_t quota) {
+    std::size_t malicious = 0;
+    for (std::size_t i = 0; i < quota; ++i) {
+      // Without-replacement effects are negligible for avail >> quota; the
+      // worst case inflates the malicious rate to lambda/(lambda-y) * pm.
+      const double effective = pm * static_cast<double>(lambda) / static_cast<double>(avail);
+      if (rng.chance(effective)) ++malicious;
+    }
+    return malicious;
+  };
+  const std::size_t quota_each = w / 2;  // symmetric λs -> even split
+  const std::size_t malicious =
+      draw_side(quota_each) + draw_side(w - quota_each);
+  return malicious * 2 < w;
+}
+
+double majority_rate(std::size_t lambda, std::size_t overlap, double pm,
+                     std::size_t w, int trials, std::uint64_t seed) {
+  Rng rng(seed);
+  int good = 0;
+  for (int t = 0; t < trials; ++t) {
+    if (trial_benign_majority(rng, lambda, overlap, pm, w)) ++good;
+  }
+  return static_cast<double>(good) / trials;
+}
+
+TEST(WitnessMajority, BelowThresholdBenignMajorityDominates) {
+  const std::size_t lambda = 30, overlap = 3;
+  const double threshold = pm_bound_pair(lambda, lambda, overlap);
+  const double pm = threshold * 0.6;  // comfortably below
+  const double rate = majority_rate(lambda, overlap, pm, 9, 20000, 1);
+  EXPECT_GT(rate, 0.85);
+}
+
+TEST(WitnessMajority, AboveThresholdMajorityErodes) {
+  const std::size_t lambda = 30, overlap = 3;
+  const double threshold = pm_bound_pair(lambda, lambda, overlap);
+  const double pm = std::min(0.95, threshold * 1.6);
+  const double rate = majority_rate(lambda, overlap, pm, 9, 20000, 2);
+  EXPECT_LT(rate, 0.5);
+}
+
+TEST(WitnessMajority, AtThresholdRateIsNearHalfInExpectation) {
+  // At p_m == threshold the EXPECTED malicious count equals w/2; for odd w
+  // the strict-majority rate sits in a band around 0.5.
+  const std::size_t lambda = 40, overlap = 4;
+  const double threshold = pm_bound_pair(lambda, lambda, overlap);
+  const double rate = majority_rate(lambda, overlap, threshold, 9, 40000, 3);
+  EXPECT_GT(rate, 0.35);
+  EXPECT_LT(rate, 0.75);
+}
+
+TEST(WitnessMajority, LargerGroupsConcentrate) {
+  // Same pm below threshold: bigger witness groups amplify the majority
+  // probability (law of large numbers) — the reason to pay for more relays.
+  const std::size_t lambda = 50, overlap = 5;
+  const double threshold = pm_bound_pair(lambda, lambda, overlap);
+  const double pm = threshold * 0.7;
+  const double small = majority_rate(lambda, overlap, pm, 3, 30000, 4);
+  const double large = majority_rate(lambda, overlap, pm, 15, 30000, 5);
+  EXPECT_GT(large, small);
+}
+
+TEST(WitnessMajority, OverlapErodesTolerance) {
+  // Fixed pm: increasing the (benign-forced) overlap consumes benign
+  // candidates and lowers the benign-majority rate — Lemma 2's mechanism.
+  const std::size_t lambda = 30;
+  const double pm = 0.30;
+  const double little = majority_rate(lambda, 1, pm, 9, 30000, 6);
+  const double lots = majority_rate(lambda, 20, pm, 9, 30000, 7);
+  EXPECT_GT(little, lots + 0.05);
+}
+
+TEST(WitnessMajority, SeparateOverlayCaseNeedsBiggerNeighborhood) {
+  // Case (ii): all of the coalition's candidates are malicious. Benign
+  // majority needs α_benign > 1/2, i.e. λ_benign > λ_coalition.
+  Rng rng(8);
+  auto rate_with = [&](std::size_t benign_lambda, std::size_t coalition) {
+    int good = 0;
+    const int trials = 20000;
+    const std::size_t w = 9;
+    for (int t = 0; t < trials; ++t) {
+      const double alpha_b = static_cast<double>(benign_lambda) /
+                             static_cast<double>(benign_lambda + coalition);
+      // α-proportional integer split with probabilistic rounding.
+      std::size_t benign_quota = static_cast<std::size_t>(alpha_b * w);
+      if (rng.uniform01() < alpha_b * w - static_cast<double>(benign_quota)) {
+        ++benign_quota;
+      }
+      if (benign_quota * 2 > w) ++good;  // every coalition witness is malicious
+    }
+    return static_cast<double>(good) / trials;
+  };
+  EXPECT_GT(rate_with(300, 100), 0.95);  // benign side 3x bigger: safe
+  EXPECT_LT(rate_with(80, 100), 0.5);    // coalition outnumbers: unsafe
+}
+
+}  // namespace
+}  // namespace accountnet::analysis

@@ -1,0 +1,80 @@
+// Channel-setup robustness: the producer's on_ready must always fire, even
+// when the consumer is dead or a witness never acks.
+#include <gtest/gtest.h>
+
+#include "accountnet/core/node.hpp"
+#include "accountnet/util/rng.hpp"
+
+namespace accountnet::core {
+namespace {
+
+struct TimeoutNet {
+  TimeoutNet() : net(sim, sim::netem_latency(), 777) {
+    config.protocol.max_peerset = 3;
+    config.protocol.shuffle_length = 2;
+    config.shuffle_period = sim::seconds(2);
+    config.witness_count = 4;
+    config.depth = 2;
+  }
+
+  std::vector<Node*> build(std::size_t n) {
+    std::vector<Node*> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      Bytes seed(32);
+      Rng rng(9000 + i);
+      for (auto& b : seed) b = static_cast<std::uint8_t>(rng.next_u64());
+      nodes.push_back(std::make_unique<Node>(net, "t" + std::to_string(100 + i),
+                                             *provider, seed, config, rng.next_u64()));
+      out.push_back(nodes.back().get());
+    }
+    out[0]->start_as_seed();
+    for (std::size_t i = 1; i < n; ++i) {
+      sim.schedule(sim::milliseconds(static_cast<std::int64_t>(40 * i)),
+                   [=] { out[i]->start_join(out[i - 1]->id().addr); });
+    }
+    sim.run_until(sim.now() + sim::seconds(50));
+    return out;
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<crypto::CryptoProvider> provider = crypto::make_fast_crypto();
+  sim::SimNetwork net;
+  Node::Config config;
+  std::vector<std::unique_ptr<Node>> nodes;
+};
+
+TEST(ChannelTimeout, DeadConsumerFailsTheChannel) {
+  TimeoutNet tn;
+  auto nodes = tn.build(30);
+  nodes[20]->stop();  // the consumer is gone
+  std::optional<bool> result;
+  nodes[2]->open_channel(nodes[20]->id().addr,
+                         [&](std::uint64_t, bool ok) { result = ok; });
+  tn.sim.run_until(tn.sim.now() + sim::seconds(30));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(*result);
+}
+
+TEST(ChannelTimeout, NonexistentConsumerFailsTheChannel) {
+  TimeoutNet tn;
+  auto nodes = tn.build(30);
+  std::optional<bool> result;
+  nodes[2]->open_channel("no-such-node", [&](std::uint64_t, bool ok) { result = ok; });
+  tn.sim.run_until(tn.sim.now() + sim::seconds(30));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(*result);
+}
+
+TEST(ChannelTimeout, SuccessfulSetupStillCompletes) {
+  TimeoutNet tn;
+  auto nodes = tn.build(30);
+  std::optional<bool> result;
+  nodes[2]->open_channel(nodes[20]->id().addr,
+                         [&](std::uint64_t, bool ok) { result = ok; });
+  tn.sim.run_until(tn.sim.now() + sim::seconds(30));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(*result);
+}
+
+}  // namespace
+}  // namespace accountnet::core

@@ -1,0 +1,197 @@
+// Evidence logging and third-party dispute resolution (the Fig. 1/2 story).
+#include <gtest/gtest.h>
+
+#include "accountnet/core/evidence.hpp"
+#include "test_util.hpp"
+
+namespace accountnet::core {
+namespace {
+
+class EvidenceFixture : public ::testing::Test {
+ protected:
+  std::unique_ptr<crypto::CryptoProvider> provider_ = crypto::make_fast_crypto();
+
+  struct Witness {
+    std::unique_ptr<crypto::Signer> signer;
+    PeerId id;
+    EvidenceLog log;
+    Witness(const crypto::CryptoProvider& p, int n)
+        : signer(p.make_signer(Bytes(32, static_cast<std::uint8_t>(n)))),
+          id{"w" + std::to_string(n), signer->public_key()},
+          log(id) {}
+  };
+
+  std::vector<std::unique_ptr<Witness>> make_witnesses(int n) {
+    std::vector<std::unique_ptr<Witness>> out;
+    for (int i = 1; i <= n; ++i) out.push_back(std::make_unique<Witness>(*provider_, i));
+    return out;
+  }
+
+  Claim claim_of(const std::string& addr, BytesView payload) {
+    return Claim{PeerId{addr, {}}, digest_of(payload)};
+  }
+};
+
+TEST_F(EvidenceFixture, RecordAndLookup) {
+  Witness w(*provider_, 1);
+  const Bytes payload = bytes_of("image-frame-1");
+  const Testimony t = w.log.record(*w.signer, 7, 1, payload);
+  EXPECT_EQ(t.digest, digest_of(payload));
+  EXPECT_TRUE(verify_testimony(t, *provider_));
+  const auto found = w.log.lookup(7, 1);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->digest, t.digest);
+  EXPECT_FALSE(w.log.lookup(7, 2).has_value());
+  EXPECT_FALSE(w.log.lookup(8, 1).has_value());
+}
+
+TEST_F(EvidenceFixture, TamperedTestimonyFailsVerification) {
+  Witness w(*provider_, 1);
+  Testimony t = w.log.record(*w.signer, 7, 1, bytes_of("data"));
+  t.digest[0] ^= 1;
+  EXPECT_FALSE(verify_testimony(t, *provider_));
+}
+
+TEST_F(EvidenceFixture, AgreementWhenBothHonest) {
+  auto ws = make_witnesses(5);
+  const Bytes payload = bytes_of("d1");
+  std::vector<Testimony> ts;
+  for (auto& w : ws) ts.push_back(w->log.record(*w->signer, 1, 1, payload));
+  const auto res = resolve_dispute(1, 1, claim_of("P", payload), claim_of("C", payload),
+                                   ts, ws.size(), *provider_);
+  EXPECT_EQ(res.verdict, Verdict::kClaimsAgree);
+  EXPECT_EQ(res.majority_count, 5u);
+}
+
+TEST_F(EvidenceFixture, LyingConsumerExposed) {
+  // Fig. 1: consumer claims it received d2 when the network carried d1.
+  auto ws = make_witnesses(5);
+  const Bytes d1 = bytes_of("d1"), d2 = bytes_of("d2");
+  std::vector<Testimony> ts;
+  for (auto& w : ws) ts.push_back(w->log.record(*w->signer, 1, 1, d1));
+  const auto res =
+      resolve_dispute(1, 1, claim_of("P", d1), claim_of("C", d2), ts, ws.size(), *provider_);
+  EXPECT_EQ(res.verdict, Verdict::kConsumerDishonest);
+}
+
+TEST_F(EvidenceFixture, LyingProducerExposed) {
+  auto ws = make_witnesses(5);
+  const Bytes d1 = bytes_of("d1"), d2 = bytes_of("d2");
+  std::vector<Testimony> ts;
+  for (auto& w : ws) ts.push_back(w->log.record(*w->signer, 1, 1, d2));
+  const auto res =
+      resolve_dispute(1, 1, claim_of("P", d1), claim_of("C", d2), ts, ws.size(), *provider_);
+  EXPECT_EQ(res.verdict, Verdict::kProducerDishonest);
+}
+
+TEST_F(EvidenceFixture, DenialOfTransferExposed) {
+  // Consumer claims "no transfer happened" (nullopt digest).
+  auto ws = make_witnesses(5);
+  const Bytes d1 = bytes_of("d1");
+  std::vector<Testimony> ts;
+  for (auto& w : ws) ts.push_back(w->log.record(*w->signer, 1, 1, d1));
+  const Claim denial{PeerId{"C", {}}, std::nullopt};
+  const auto res =
+      resolve_dispute(1, 1, claim_of("P", d1), denial, ts, ws.size(), *provider_);
+  EXPECT_EQ(res.verdict, Verdict::kConsumerDishonest);
+}
+
+TEST_F(EvidenceFixture, MinorityMaliciousWitnessesOutvoted) {
+  // 3 honest + 2 colluding witnesses backing the consumer's fake digest.
+  auto ws = make_witnesses(5);
+  const Bytes d1 = bytes_of("d1"), fake = bytes_of("fake");
+  std::vector<Testimony> ts;
+  for (int i = 0; i < 3; ++i) ts.push_back(ws[static_cast<std::size_t>(i)]->log.record(
+      *ws[static_cast<std::size_t>(i)]->signer, 1, 1, d1));
+  for (int i = 3; i < 5; ++i) ts.push_back(ws[static_cast<std::size_t>(i)]->log.record(
+      *ws[static_cast<std::size_t>(i)]->signer, 1, 1, fake));
+  const auto res =
+      resolve_dispute(1, 1, claim_of("P", d1), claim_of("C", fake), ts, ws.size(), *provider_);
+  EXPECT_EQ(res.verdict, Verdict::kConsumerDishonest);
+  EXPECT_EQ(res.majority_count, 3u);
+}
+
+TEST_F(EvidenceFixture, MajorityMaliciousWitnessesFlipTheVerdict) {
+  // The guarantee is only probabilistic: if colluders take the majority, the
+  // resolver is fooled — which is exactly why witness selection matters.
+  auto ws = make_witnesses(5);
+  const Bytes d1 = bytes_of("d1"), fake = bytes_of("fake");
+  std::vector<Testimony> ts;
+  for (int i = 0; i < 2; ++i) ts.push_back(ws[static_cast<std::size_t>(i)]->log.record(
+      *ws[static_cast<std::size_t>(i)]->signer, 1, 1, d1));
+  for (int i = 2; i < 5; ++i) ts.push_back(ws[static_cast<std::size_t>(i)]->log.record(
+      *ws[static_cast<std::size_t>(i)]->signer, 1, 1, fake));
+  const auto res =
+      resolve_dispute(1, 1, claim_of("P", d1), claim_of("C", fake), ts, ws.size(), *provider_);
+  EXPECT_EQ(res.verdict, Verdict::kProducerDishonest);
+}
+
+TEST_F(EvidenceFixture, SilentWitnessesCannotManufactureMajority) {
+  // 2 of 5 witnesses testify for a fake digest, 3 stay silent: no digest has
+  // a strict majority of the group -> inconclusive, not a win for the liars.
+  auto ws = make_witnesses(5);
+  const Bytes fake = bytes_of("fake");
+  std::vector<Testimony> ts;
+  for (int i = 0; i < 2; ++i) ts.push_back(ws[static_cast<std::size_t>(i)]->log.record(
+      *ws[static_cast<std::size_t>(i)]->signer, 1, 1, fake));
+  const auto res = resolve_dispute(1, 1, claim_of("P", bytes_of("d1")),
+                                   claim_of("C", fake), ts, 5, *provider_);
+  EXPECT_EQ(res.verdict, Verdict::kInconclusive);
+}
+
+TEST_F(EvidenceFixture, ForgedTestimoniesIgnored) {
+  auto ws = make_witnesses(5);
+  const Bytes d1 = bytes_of("d1");
+  std::vector<Testimony> ts;
+  for (auto& w : ws) ts.push_back(w->log.record(*w->signer, 1, 1, d1));
+  // Forge three extra testimonies with bad signatures for a fake digest.
+  for (int i = 0; i < 3; ++i) {
+    Testimony forged = ts[0];
+    forged.digest = digest_of(bytes_of("fake"));
+    ts.push_back(forged);  // signature no longer matches digest
+  }
+  const auto res = resolve_dispute(1, 1, claim_of("P", d1), claim_of("C", bytes_of("fake")),
+                                   ts, 5, *provider_);
+  EXPECT_EQ(res.verdict, Verdict::kConsumerDishonest);
+  EXPECT_EQ(res.invalid_testimonies, 3u);
+}
+
+TEST_F(EvidenceFixture, WrongChannelTestimoniesIgnored) {
+  auto ws = make_witnesses(3);
+  const Bytes d1 = bytes_of("d1");
+  std::vector<Testimony> ts;
+  ts.push_back(ws[0]->log.record(*ws[0]->signer, 1, 1, d1));
+  ts.push_back(ws[1]->log.record(*ws[1]->signer, 2, 1, d1));  // other channel
+  ts.push_back(ws[2]->log.record(*ws[2]->signer, 1, 9, d1));  // other sequence
+  const auto res =
+      resolve_dispute(1, 1, claim_of("P", d1), claim_of("C", d1), ts, 3, *provider_);
+  EXPECT_EQ(res.valid_testimonies, 1u);
+  EXPECT_EQ(res.invalid_testimonies, 2u);
+  EXPECT_EQ(res.verdict, Verdict::kInconclusive);  // 1 < 3/2+1
+}
+
+TEST_F(EvidenceFixture, BothPartiesLying) {
+  auto ws = make_witnesses(3);
+  const Bytes truth = bytes_of("truth");
+  std::vector<Testimony> ts;
+  for (auto& w : ws) ts.push_back(w->log.record(*w->signer, 1, 1, truth));
+  const auto res = resolve_dispute(1, 1, claim_of("P", bytes_of("p-lie")),
+                                   claim_of("C", bytes_of("c-lie")), ts, 3, *provider_);
+  EXPECT_EQ(res.verdict, Verdict::kBothDishonest);
+}
+
+TEST_F(EvidenceFixture, MajorityOptThresholdMatchesResolveThreshold) {
+  // |W|/2 + 1 testimonies suffice (the "with opt." delivery rule, Sec. VI-B).
+  auto ws = make_witnesses(4);
+  const Bytes d1 = bytes_of("d1");
+  std::vector<Testimony> ts;
+  for (int i = 0; i < 3; ++i) ts.push_back(ws[static_cast<std::size_t>(i)]->log.record(
+      *ws[static_cast<std::size_t>(i)]->signer, 1, 1, d1));
+  const auto res =
+      resolve_dispute(1, 1, claim_of("P", d1), claim_of("C", d1), ts, 4, *provider_);
+  EXPECT_EQ(res.verdict, Verdict::kClaimsAgree);
+  EXPECT_EQ(res.majority_count, 3u);  // 4/2+1 = 3
+}
+
+}  // namespace
+}  // namespace accountnet::core

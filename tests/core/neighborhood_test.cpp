@@ -1,0 +1,117 @@
+#include "accountnet/core/neighborhood.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace accountnet::core {
+namespace {
+
+PeerId pid(const std::string& addr) {
+  PeerId p;
+  p.addr = addr;
+  return p;
+}
+
+class GraphOracle final : public PeersetOracle {
+ public:
+  void link(const std::string& from, std::vector<std::string> to) {
+    Peerset s;
+    for (auto& t : to) s.insert(pid(t));
+    graph_[from] = std::move(s);
+  }
+  std::optional<Peerset> peerset_of(const PeerId& node) const override {
+    const auto it = graph_.find(node.addr);
+    if (it == graph_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, Peerset> graph_;
+};
+
+std::vector<std::string> addrs(const std::vector<PeerId>& peers) {
+  std::vector<std::string> out;
+  for (const auto& p : peers) out.push_back(p.addr);
+  return out;
+}
+
+TEST(Neighborhood, DepthOneIsPeerset) {
+  GraphOracle g;
+  g.link("r", {"a", "b"});
+  g.link("a", {"c"});
+  EXPECT_EQ(addrs(neighborhood(g, pid("r"), 1)), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Neighborhood, DepthTwoExpandsFrontier) {
+  // The Fig. 7 shape: root -> {a, b}; a -> {c, d}; b -> {d, e}.
+  GraphOracle g;
+  g.link("r", {"a", "b"});
+  g.link("a", {"c", "d"});
+  g.link("b", {"d", "e"});
+  EXPECT_EQ(addrs(neighborhood(g, pid("r"), 2)),
+            (std::vector<std::string>{"a", "b", "c", "d", "e"}));
+}
+
+TEST(Neighborhood, ExcludesRootEvenOnCycles) {
+  GraphOracle g;
+  g.link("r", {"a"});
+  g.link("a", {"r", "b"});
+  g.link("b", {"r"});
+  EXPECT_EQ(addrs(neighborhood(g, pid("r"), 3)), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Neighborhood, DepthZeroIsEmpty) {
+  GraphOracle g;
+  g.link("r", {"a"});
+  EXPECT_TRUE(neighborhood(g, pid("r"), 0).empty());
+}
+
+TEST(Neighborhood, UnreachableNodesTreatedAsLeaves) {
+  GraphOracle g;
+  g.link("r", {"gone"});
+  // "gone" has no oracle entry (left the network): still counts as a
+  // neighbor but contributes no expansion.
+  EXPECT_EQ(addrs(neighborhood(g, pid("r"), 3)), (std::vector<std::string>{"gone"}));
+}
+
+TEST(Neighborhood, PerfectFaryTreeSizeMatchesFormula) {
+  // |N^d|* = (f^{d+1} - f) / (f - 1) when no peers are shared (Sec. V-A).
+  GraphOracle g;
+  const std::size_t f = 3;
+  int counter = 0;
+  // Build a perfect 3-ary tree of depth 3 rooted at "r".
+  std::function<void(const std::string&, std::size_t)> build =
+      [&](const std::string& node, std::size_t depth) {
+        if (depth == 0) return;
+        std::vector<std::string> children;
+        for (std::size_t i = 0; i < f; ++i) {
+          children.push_back("n" + std::to_string(counter++));
+        }
+        g.link(node, children);
+        for (auto& c : children) build(c, depth - 1);
+      };
+  build("r", 3);
+  const auto n = neighborhood(g, pid("r"), 3);
+  EXPECT_EQ(n.size(), (81u - 3u) / 2u);  // (3^4 - 3) / (3 - 1) = 39
+}
+
+TEST(Neighborhood, SortedSetHelpers) {
+  const std::vector<PeerId> a = {pid("a"), pid("b"), pid("c")};
+  const std::vector<PeerId> b = {pid("b"), pid("d")};
+  EXPECT_EQ(addrs(sorted_intersection(a, b)), (std::vector<std::string>{"b"}));
+  EXPECT_EQ(addrs(sorted_difference(a, b)), (std::vector<std::string>{"a", "c"}));
+  EXPECT_TRUE(sorted_intersection(a, {}).empty());
+  EXPECT_EQ(sorted_difference(a, {}).size(), 3u);
+}
+
+TEST(Neighborhood, FnOracleAdapter) {
+  FnPeersetOracle oracle([](const PeerId& p) -> std::optional<Peerset> {
+    if (p.addr == "r") return Peerset({pid("x")});
+    return std::nullopt;
+  });
+  EXPECT_EQ(addrs(neighborhood(oracle, pid("r"), 2)), (std::vector<std::string>{"x"}));
+}
+
+}  // namespace
+}  // namespace accountnet::core

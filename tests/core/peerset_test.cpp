@@ -1,0 +1,82 @@
+#include "accountnet/core/peerset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "accountnet/util/ensure.hpp"
+
+namespace accountnet::core {
+namespace {
+
+PeerId pid(const std::string& addr) {
+  PeerId p;
+  p.addr = addr;
+  return p;
+}
+
+TEST(Peerset, InsertKeepsSortedUnique) {
+  Peerset s;
+  EXPECT_TRUE(s.insert(pid("c")));
+  EXPECT_TRUE(s.insert(pid("a")));
+  EXPECT_TRUE(s.insert(pid("b")));
+  EXPECT_FALSE(s.insert(pid("b")));
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.at(0).addr, "a");
+  EXPECT_EQ(s.at(1).addr, "b");
+  EXPECT_EQ(s.at(2).addr, "c");
+}
+
+TEST(Peerset, ConstructorDeduplicates) {
+  Peerset s({pid("b"), pid("a"), pid("b"), pid("a")});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.at(0).addr, "a");
+}
+
+TEST(Peerset, EraseAndContains) {
+  Peerset s({pid("a"), pid("b")});
+  EXPECT_TRUE(s.contains(pid("a")));
+  EXPECT_TRUE(s.erase(pid("a")));
+  EXPECT_FALSE(s.contains(pid("a")));
+  EXPECT_FALSE(s.erase(pid("a")));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(Peerset, MinusDifference) {
+  Peerset s({pid("a"), pid("b"), pid("c")});
+  const Peerset d = s.minus({pid("b"), pid("z")});
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_TRUE(d.contains(pid("a")));
+  EXPECT_TRUE(d.contains(pid("c")));
+  EXPECT_EQ(s.size(), 3u);  // original untouched
+}
+
+TEST(Peerset, InsertAll) {
+  Peerset s({pid("a")});
+  s.insert_all({pid("b"), pid("a"), pid("c")});
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(Peerset, AtOutOfRangeThrows) {
+  Peerset s;
+  EXPECT_THROW(s.at(0), EnsureError);
+}
+
+TEST(Peerset, KeyDistinguishesSameAddr) {
+  PeerId a1 = pid("a");
+  PeerId a2 = pid("a");
+  a2.key[0] = 1;
+  Peerset s;
+  EXPECT_TRUE(s.insert(a1));
+  EXPECT_TRUE(s.insert(a2));  // different key -> different identity
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Peerset, EqualityIsValueBased) {
+  Peerset a({pid("x"), pid("y")});
+  Peerset b({pid("y"), pid("x")});
+  EXPECT_EQ(a, b);
+  b.insert(pid("z"));
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace accountnet::core

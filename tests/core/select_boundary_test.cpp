@@ -1,0 +1,53 @@
+// Algorithm 2 boundary sweep: for every list size around powers of two,
+// the index distribution and Null rate follow Q = ceil(log2 |X|) exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "accountnet/core/select.hpp"
+#include "accountnet/util/rng.hpp"
+
+namespace accountnet::core {
+namespace {
+
+class SelectBoundary : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SelectBoundary, NullRateMatchesMask) {
+  const std::size_t n = GetParam();
+  std::size_t q = 0;
+  while ((std::size_t{1} << q) < n) ++q;
+  const double expected_null =
+      1.0 - static_cast<double>(n) / static_cast<double>(std::size_t{1} << q);
+
+  Rng rng(n * 31 + 7);
+  int nulls = 0;
+  std::map<std::size_t, int> hits;
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    Bytes h(64);
+    for (auto& b : h) b = static_cast<std::uint8_t>(rng.next_u64());
+    const auto idx = select_index(n, h);
+    if (!idx) {
+      ++nulls;
+    } else {
+      ASSERT_LT(*idx, n);
+      ++hits[*idx];
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(nulls) / trials, expected_null, 0.02);
+  // Non-null draws are uniform over the list.
+  const double per = static_cast<double>(trials - nulls) / static_cast<double>(n);
+  for (const auto& [idx, count] : hits) {
+    EXPECT_NEAR(static_cast<double>(count), per, per * 0.25 + 10) << idx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SelectBoundary,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33,
+                                           63, 100, 127, 255),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace accountnet::core

@@ -1,0 +1,257 @@
+// Algorithm 2 and the verifiable draw loops.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "accountnet/core/select.hpp"
+#include "accountnet/util/ensure.hpp"
+#include "accountnet/util/rng.hpp"
+
+namespace accountnet::core {
+namespace {
+
+PeerId pid(const std::string& addr) {
+  PeerId p;
+  p.addr = addr;
+  return p;
+}
+
+Bytes hash_with_low64(std::uint64_t v) {
+  Bytes h(64, 0);
+  for (int i = 0; i < 8; ++i) h[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+  return h;
+}
+
+TEST(SelectIndex, MasksLowBits) {
+  // |X| = 5 -> Q = 3, mask = 7.
+  EXPECT_EQ(select_index(5, hash_with_low64(0)), 0u);
+  EXPECT_EQ(select_index(5, hash_with_low64(4)), 4u);
+  EXPECT_EQ(select_index(5, hash_with_low64(8)), 0u);   // 8 & 7 = 0
+  EXPECT_EQ(select_index(5, hash_with_low64(12)), 4u);  // 12 & 7 = 4
+}
+
+TEST(SelectIndex, NullWhenIndexBeyondList) {
+  // 5 & 7 = 5 >= |X| = 5 -> Null.
+  EXPECT_FALSE(select_index(5, hash_with_low64(5)).has_value());
+  EXPECT_FALSE(select_index(5, hash_with_low64(7)).has_value());
+}
+
+TEST(SelectIndex, PowerOfTwoNeverNull) {
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_TRUE(select_index(8, hash_with_low64(v)).has_value());
+  }
+}
+
+TEST(SelectIndex, SingletonListAlwaysIndexZero) {
+  // |X| = 1 -> Q = 0, mask = 0.
+  EXPECT_EQ(select_index(1, hash_with_low64(0xdeadbeef)), 0u);
+}
+
+TEST(SelectIndex, RejectsEmptyListAndShortHash) {
+  EXPECT_THROW(select_index(0, hash_with_low64(0)), EnsureError);
+  EXPECT_THROW(select_index(4, Bytes(7, 0)), EnsureError);
+}
+
+TEST(SelectIndex, RoughlyUniformOverList) {
+  // Feed a counter stream through and check each index is hit ~ evenly.
+  std::map<std::size_t, int> hits;
+  const std::size_t n = 5;
+  int non_null = 0;
+  for (std::uint64_t v = 0; v < 8000; ++v) {
+    // scramble v so low bits vary like a hash
+    std::uint64_t s = v;
+    const std::uint64_t h = splitmix64(s);
+    if (const auto idx = select_index(n, hash_with_low64(h))) {
+      ++hits[*idx];
+      ++non_null;
+    }
+  }
+  // Null rate should be 3/8 for |X|=5.
+  EXPECT_NEAR(static_cast<double>(non_null) / 8000.0, 5.0 / 8.0, 0.03);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(static_cast<double>(hits[i]) / non_null, 1.0 / 5.0, 0.03);
+  }
+}
+
+class DrawFixture : public ::testing::Test {
+ protected:
+  std::unique_ptr<crypto::CryptoProvider> provider_ = crypto::make_fast_crypto();
+  std::unique_ptr<crypto::Signer> signer_ = provider_->make_signer(Bytes(32, 7));
+
+  Peerset candidates(std::size_t n) {
+    Peerset s;
+    for (std::size_t i = 0; i < n; ++i) s.insert(pid("peer" + std::to_string(100 + i)));
+    return s;
+  }
+};
+
+TEST_F(DrawFixture, DrawSampleDistinctAndFromCandidates) {
+  const Peerset c = candidates(10);
+  const Draw d = draw_sample(*signer_, c, 4, "test", bytes_of("nonce"));
+  EXPECT_EQ(d.sample.size(), 4u);
+  std::set<std::string> uniq;
+  for (const auto& p : d.sample) {
+    EXPECT_TRUE(c.contains(p));
+    uniq.insert(p.addr);
+  }
+  EXPECT_EQ(uniq.size(), 4u);
+  EXPECT_GE(d.proofs.size(), d.sample.size());
+}
+
+TEST_F(DrawFixture, DrawSampleCappedByCandidates) {
+  const Peerset c = candidates(3);
+  const Draw d = draw_sample(*signer_, c, 10, "test", bytes_of("n"));
+  EXPECT_EQ(d.sample.size(), 3u);
+}
+
+TEST_F(DrawFixture, DrawSampleEmptyCandidates) {
+  const Draw d = draw_sample(*signer_, Peerset{}, 5, "test", bytes_of("n"));
+  EXPECT_TRUE(d.sample.empty());
+  EXPECT_TRUE(d.proofs.empty());
+}
+
+TEST_F(DrawFixture, DrawIsDeterministic) {
+  const Peerset c = candidates(8);
+  const Draw a = draw_sample(*signer_, c, 3, "test", bytes_of("n"));
+  const Draw b = draw_sample(*signer_, c, 3, "test", bytes_of("n"));
+  EXPECT_EQ(a.sample, b.sample);
+  EXPECT_EQ(a.proofs, b.proofs);
+}
+
+TEST_F(DrawFixture, NonceChangesSample) {
+  const Peerset c = candidates(16);
+  const Draw a = draw_sample(*signer_, c, 5, "test", bytes_of("n1"));
+  const Draw b = draw_sample(*signer_, c, 5, "test", bytes_of("n2"));
+  EXPECT_NE(a.sample, b.sample);  // astronomically unlikely to collide
+}
+
+TEST_F(DrawFixture, DomainChangesSample) {
+  const Peerset c = candidates(16);
+  const Draw a = draw_sample(*signer_, c, 5, "d1", bytes_of("n"));
+  const Draw b = draw_sample(*signer_, c, 5, "d2", bytes_of("n"));
+  EXPECT_NE(a.sample, b.sample);
+}
+
+TEST_F(DrawFixture, VerifyAcceptsHonestDraw) {
+  const Peerset c = candidates(10);
+  const Draw d = draw_sample(*signer_, c, 4, "test", bytes_of("n"));
+  EXPECT_TRUE(verify_sample(*provider_, signer_->public_key(), c, 4, "test",
+                            bytes_of("n"), d.proofs, d.sample));
+}
+
+TEST_F(DrawFixture, VerifyRejectsSwappedSample) {
+  const Peerset c = candidates(10);
+  Draw d = draw_sample(*signer_, c, 4, "test", bytes_of("n"));
+  // Replace one sampled peer with a different candidate (a biased sample).
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const auto& alt = c.at(i);
+    if (std::find(d.sample.begin(), d.sample.end(), alt) == d.sample.end()) {
+      d.sample[0] = alt;
+      break;
+    }
+  }
+  const auto r = verify_sample(*provider_, signer_->public_key(), c, 4, "test",
+                               bytes_of("n"), d.proofs, d.sample);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.reason.find("deviates"), std::string::npos);
+}
+
+TEST_F(DrawFixture, VerifyRejectsTamperedProof) {
+  const Peerset c = candidates(10);
+  Draw d = draw_sample(*signer_, c, 4, "test", bytes_of("n"));
+  d.proofs[0][0] ^= 1;
+  EXPECT_FALSE(verify_sample(*provider_, signer_->public_key(), c, 4, "test",
+                             bytes_of("n"), d.proofs, d.sample));
+}
+
+TEST_F(DrawFixture, VerifyRejectsTruncatedDraw) {
+  const Peerset c = candidates(10);
+  Draw d = draw_sample(*signer_, c, 4, "test", bytes_of("n"));
+  // Drop the last proof and the last sampled peer: a prover trying to stop
+  // early once it liked the prefix of its draw.
+  d.proofs.pop_back();
+  d.sample.pop_back();
+  const auto r = verify_sample(*provider_, signer_->public_key(), c, 4, "test",
+                               bytes_of("n"), d.proofs, d.sample);
+  EXPECT_FALSE(r);
+}
+
+TEST_F(DrawFixture, VerifyRejectsExtraProofs) {
+  const Peerset c = candidates(10);
+  Draw d = draw_sample(*signer_, c, 4, "test", bytes_of("n"));
+  d.proofs.push_back(d.proofs.back());
+  EXPECT_FALSE(verify_sample(*provider_, signer_->public_key(), c, 4, "test",
+                             bytes_of("n"), d.proofs, d.sample));
+}
+
+TEST_F(DrawFixture, VerifyRejectsWrongCandidateSet) {
+  const Peerset c = candidates(10);
+  const Draw d = draw_sample(*signer_, c, 4, "test", bytes_of("n"));
+  // Verifier believes the candidate set differs (e.g. forged peerset claim).
+  Peerset other = c;
+  other.insert(pid("intruder"));
+  EXPECT_FALSE(verify_sample(*provider_, signer_->public_key(), other, 4, "test",
+                             bytes_of("n"), d.proofs, d.sample));
+}
+
+TEST_F(DrawFixture, VerifyEmptyDraw) {
+  EXPECT_TRUE(verify_sample(*provider_, signer_->public_key(), Peerset{}, 5, "test",
+                            bytes_of("n"), {}, {}));
+  EXPECT_FALSE(verify_sample(*provider_, signer_->public_key(), Peerset{}, 5, "test",
+                             bytes_of("n"), {}, {pid("ghost")}));
+}
+
+TEST_F(DrawFixture, DrawOneAndVerify) {
+  const Peerset c = candidates(7);
+  const auto d = draw_one(*signer_, c, "partner", bytes_of("r5"));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->sample.size(), 1u);
+  EXPECT_TRUE(verify_one(*provider_, signer_->public_key(), c, "partner",
+                         bytes_of("r5"), d->proofs, d->sample.front()));
+  // Claiming a different partner fails.
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (!(c.at(i) == d->sample.front())) {
+      EXPECT_FALSE(verify_one(*provider_, signer_->public_key(), c, "partner",
+                              bytes_of("r5"), d->proofs, c.at(i)));
+      break;
+    }
+  }
+}
+
+TEST_F(DrawFixture, DrawOneEmptySet) {
+  EXPECT_FALSE(draw_one(*signer_, Peerset{}, "partner", bytes_of("r")).has_value());
+}
+
+TEST_F(DrawFixture, RealBackendAgreesWithContract) {
+  // Spot-check the draw/verify pair under the real Ed25519+ECVRF backend.
+  const auto real = crypto::make_real_crypto();
+  const auto signer = real->make_signer(Bytes(32, 9));
+  const Peerset c = candidates(6);
+  const Draw d = draw_sample(*signer, c, 3, "test", bytes_of("n"));
+  EXPECT_EQ(d.sample.size(), 3u);
+  EXPECT_TRUE(verify_sample(*real, signer->public_key(), c, 3, "test", bytes_of("n"),
+                            d.proofs, d.sample));
+  auto tampered = d.proofs;
+  tampered[0][0] ^= 1;
+  EXPECT_FALSE(verify_sample(*real, signer->public_key(), c, 3, "test", bytes_of("n"),
+                             tampered, d.sample));
+}
+
+TEST_F(DrawFixture, SamplingIsUnbiasedAcrossNonces) {
+  // Frequency of each candidate over many nonces should be ~ want/|C|.
+  const Peerset c = candidates(10);
+  std::map<std::string, int> hits;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    const Draw d = draw_sample(*signer_, c, 3, "test", bytes_of("n" + std::to_string(t)));
+    for (const auto& p : d.sample) ++hits[p.addr];
+  }
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const double freq = static_cast<double>(hits[c.at(i).addr]) / trials;
+    EXPECT_NEAR(freq, 0.3, 0.04) << c.at(i).addr;
+  }
+}
+
+}  // namespace
+}  // namespace accountnet::core

@@ -1,0 +1,192 @@
+// Witness group formation: exclusion rule, α-proportional quotas, and
+// verifiable sampling from both sides.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "accountnet/core/witness.hpp"
+#include "test_util.hpp"
+
+namespace accountnet::core {
+namespace {
+
+PeerId pid(const std::string& addr) {
+  PeerId p;
+  p.addr = addr;
+  return p;
+}
+
+std::vector<PeerId> make_peers(const std::string& prefix, std::size_t n) {
+  std::vector<PeerId> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(pid(prefix + std::to_string(100 + i)));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(WitnessPlan, ExcludesCommonNodesBothSides) {
+  auto ni = make_peers("i", 10);
+  auto nj = make_peers("j", 10);
+  // Make three nodes common.
+  nj[0] = ni[0];
+  nj[1] = ni[1];
+  nj[2] = ni[2];
+  std::sort(nj.begin(), nj.end());
+  const auto plan = plan_witness_group(ni, nj, pid("P"), pid("C"), 6);
+  EXPECT_EQ(plan.common.size(), 3u);
+  for (const auto& c : plan.common) {
+    EXPECT_EQ(std::find(plan.candidates_producer.begin(), plan.candidates_producer.end(),
+                        c) == plan.candidates_producer.end(),
+              true);
+    EXPECT_EQ(std::find(plan.candidates_consumer.begin(), plan.candidates_consumer.end(),
+                        c) == plan.candidates_consumer.end(),
+              true);
+  }
+}
+
+TEST(WitnessPlan, ExcludesEndpoints) {
+  auto ni = make_peers("i", 5);
+  ni.push_back(pid("C"));  // consumer appears in producer's neighborhood
+  std::sort(ni.begin(), ni.end());
+  auto nj = make_peers("j", 5);
+  nj.push_back(pid("P"));
+  std::sort(nj.begin(), nj.end());
+  const auto plan = plan_witness_group(ni, nj, pid("P"), pid("C"), 4);
+  for (const auto& c : plan.candidates_producer) {
+    EXPECT_NE(c.addr, "P");
+    EXPECT_NE(c.addr, "C");
+  }
+  for (const auto& c : plan.candidates_consumer) {
+    EXPECT_NE(c.addr, "P");
+    EXPECT_NE(c.addr, "C");
+  }
+}
+
+TEST(WitnessPlan, AlphaProportionalSplit) {
+  const auto plan =
+      plan_witness_group(make_peers("i", 30), make_peers("j", 10), pid("P"), pid("C"), 8);
+  EXPECT_NEAR(plan.alpha_producer, 0.75, 1e-9);
+  EXPECT_NEAR(plan.alpha_consumer, 0.25, 1e-9);
+  EXPECT_EQ(plan.quota_producer, 6u);
+  EXPECT_EQ(plan.quota_consumer, 2u);
+  EXPECT_EQ(plan.quota_producer + plan.quota_consumer, 8u);
+}
+
+TEST(WitnessPlan, EqualSidesSplitEvenly) {
+  const auto plan =
+      plan_witness_group(make_peers("i", 20), make_peers("j", 20), pid("P"), pid("C"), 7);
+  EXPECT_EQ(plan.quota_producer + plan.quota_consumer, 7u);
+  EXPECT_NEAR(static_cast<double>(plan.quota_producer), 3.5, 0.51);
+}
+
+TEST(WitnessPlan, SpillsQuotaWhenOneSideShort) {
+  // Producer side has only 2 candidates; its unused quota moves to consumer.
+  const auto plan =
+      plan_witness_group(make_peers("i", 2), make_peers("j", 40), pid("P"), pid("C"), 10);
+  EXPECT_LE(plan.quota_producer, 2u);
+  EXPECT_EQ(plan.quota_producer + plan.quota_consumer, 10u);
+}
+
+TEST(WitnessPlan, TotalCappedByAvailability) {
+  const auto plan =
+      plan_witness_group(make_peers("i", 2), make_peers("j", 3), pid("P"), pid("C"), 10);
+  EXPECT_EQ(plan.quota_producer, 2u);
+  EXPECT_EQ(plan.quota_consumer, 3u);
+}
+
+TEST(WitnessPlan, DisjointNeighborhoodsNoCommon) {
+  const auto plan =
+      plan_witness_group(make_peers("i", 5), make_peers("j", 5), pid("P"), pid("C"), 4);
+  EXPECT_TRUE(plan.common.empty());
+  EXPECT_EQ(plan.candidates_producer.size(), 5u);
+  EXPECT_EQ(plan.candidates_consumer.size(), 5u);
+}
+
+TEST(WitnessPlan, EmptyNeighborhoods) {
+  const auto plan = plan_witness_group({}, {}, pid("P"), pid("C"), 4);
+  EXPECT_EQ(plan.quota_producer, 0u);
+  EXPECT_EQ(plan.quota_consumer, 0u);
+  EXPECT_EQ(plan.alpha_producer, 0.0);
+}
+
+class WitnessDrawFixture : public ::testing::Test {
+ protected:
+  std::unique_ptr<crypto::CryptoProvider> provider_ = crypto::make_fast_crypto();
+  std::unique_ptr<crypto::Signer> producer_ = provider_->make_signer(Bytes(32, 1));
+  std::unique_ptr<crypto::Signer> consumer_ = provider_->make_signer(Bytes(32, 2));
+};
+
+TEST_F(WitnessDrawFixture, BothSidesDrawAndCrossVerify) {
+  const auto ni = make_peers("i", 20);
+  const auto nj = make_peers("j", 20);
+  const PeerId p = pid("P"), c = pid("C");
+  const auto plan = plan_witness_group(ni, nj, p, c, 8);
+  const Bytes nonce = channel_nonce(p, 5, c, 9);
+
+  const Draw dp = draw_witnesses(*producer_, plan.candidates_producer,
+                                 plan.quota_producer, nonce);
+  const Draw dc = draw_witnesses(*consumer_, plan.candidates_consumer,
+                                 plan.quota_consumer, nonce);
+  EXPECT_EQ(dp.sample.size(), plan.quota_producer);
+  EXPECT_EQ(dc.sample.size(), plan.quota_consumer);
+
+  EXPECT_TRUE(verify_witnesses(*provider_, producer_->public_key(),
+                               plan.candidates_producer, plan.quota_producer, nonce,
+                               dp.proofs, dp.sample));
+  EXPECT_TRUE(verify_witnesses(*provider_, consumer_->public_key(),
+                               plan.candidates_consumer, plan.quota_consumer, nonce,
+                               dc.proofs, dc.sample));
+
+  const auto group = merge_witnesses(dp.sample, dc.sample);
+  EXPECT_EQ(group.size(), 8u);  // disjoint candidate sets -> no dedup loss
+}
+
+TEST_F(WitnessDrawFixture, HandPickedWitnessesRejected) {
+  const auto ni = make_peers("i", 20);
+  const auto plan = plan_witness_group(ni, make_peers("j", 20), pid("P"), pid("C"), 8);
+  const Bytes nonce = channel_nonce(pid("P"), 5, pid("C"), 9);
+  Draw d = draw_witnesses(*producer_, plan.candidates_producer, plan.quota_producer, nonce);
+  // Swap in a candidate the VRF did not choose.
+  for (const auto& alt : plan.candidates_producer) {
+    if (std::find(d.sample.begin(), d.sample.end(), alt) == d.sample.end()) {
+      d.sample[0] = alt;
+      break;
+    }
+  }
+  EXPECT_FALSE(verify_witnesses(*provider_, producer_->public_key(),
+                                plan.candidates_producer, plan.quota_producer, nonce,
+                                d.proofs, d.sample));
+}
+
+TEST_F(WitnessDrawFixture, NonceBindsBothEndpointsAndRounds) {
+  const Bytes a = channel_nonce(pid("P"), 5, pid("C"), 9);
+  EXPECT_NE(a, channel_nonce(pid("P"), 6, pid("C"), 9));
+  EXPECT_NE(a, channel_nonce(pid("P"), 5, pid("C"), 10));
+  EXPECT_NE(a, channel_nonce(pid("X"), 5, pid("C"), 9));
+  EXPECT_NE(a, channel_nonce(pid("C"), 9, pid("P"), 5));  // order matters
+}
+
+TEST_F(WitnessDrawFixture, MergeDeduplicatesAndSorts) {
+  const auto merged = merge_witnesses({pid("b"), pid("a")}, {pid("c"), pid("a")});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].addr, "a");
+  EXPECT_EQ(merged[2].addr, "c");
+}
+
+TEST_F(WitnessDrawFixture, WitnessSamplingUnbiasedOverChannels) {
+  // Over many channels, each candidate should be selected ~ uniformly.
+  const auto candidates = make_peers("w", 12);
+  std::map<std::string, int> hits;
+  const int trials = 1500;
+  for (int t = 0; t < trials; ++t) {
+    const Bytes nonce = channel_nonce(pid("P"), static_cast<Round>(t), pid("C"), 1);
+    const Draw d = draw_witnesses(*producer_, candidates, 4, nonce);
+    for (const auto& w : d.sample) ++hits[w.addr];
+  }
+  for (const auto& cand : candidates) {
+    const double freq = static_cast<double>(hits[cand.addr]) / trials;
+    EXPECT_NEAR(freq, 4.0 / 12.0, 0.05) << cand.addr;
+  }
+}
+
+}  // namespace
+}  // namespace accountnet::core

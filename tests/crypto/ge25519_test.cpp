@@ -1,0 +1,149 @@
+// Group-law property tests for edwards25519 points.
+#include <gtest/gtest.h>
+
+#include "accountnet/crypto/ge25519.hpp"
+#include "accountnet/util/rng.hpp"
+
+namespace accountnet::crypto {
+namespace {
+
+std::array<std::uint8_t, 32> scalar_of(std::uint64_t v) {
+  std::array<std::uint8_t, 32> s{};
+  for (int i = 0; i < 8; ++i) s[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+  return s;
+}
+
+std::array<std::uint8_t, 32> random_scalar(Rng& rng) {
+  std::array<std::uint8_t, 32> s{};
+  for (auto& b : s) b = static_cast<std::uint8_t>(rng.next_u64());
+  s[31] &= 0x0f;  // keep < 2^252 so no reduction questions arise
+  return s;
+}
+
+TEST(Ge25519, IdentityEncoding) {
+  EXPECT_EQ(to_hex(Ge25519::identity().to_bytes()),
+            "0100000000000000000000000000000000000000000000000000000000000000");
+  EXPECT_TRUE(Ge25519::identity().is_identity());
+}
+
+TEST(Ge25519, BasePointRoundTrip) {
+  const auto enc = Ge25519::base_point().to_bytes();
+  EXPECT_EQ(to_hex(enc),
+            "5866666666666666666666666666666666666666666666666666666666666666");
+  const auto decoded = Ge25519::from_bytes(enc);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, Ge25519::base_point());
+}
+
+TEST(Ge25519, AddIdentity) {
+  const auto& b = Ge25519::base_point();
+  EXPECT_EQ(b.add(Ge25519::identity()), b);
+  EXPECT_EQ(Ge25519::identity().add(b), b);
+}
+
+TEST(Ge25519, DoubleMatchesAdd) {
+  const auto& b = Ge25519::base_point();
+  EXPECT_EQ(b.dbl(), b.add(b));
+  const auto b2 = b.dbl();
+  EXPECT_EQ(b2.dbl(), b2.add(b2));
+}
+
+TEST(Ge25519, NegatePlusSelfIsIdentity) {
+  const auto& b = Ge25519::base_point();
+  EXPECT_TRUE(b.add(b.negate()).is_identity());
+  const auto p = b.scalar_mul(scalar_of(12345));
+  EXPECT_TRUE(p.sub(p).is_identity());
+}
+
+TEST(Ge25519, AdditionCommutesAndAssociates) {
+  const auto& b = Ge25519::base_point();
+  const auto p = b.scalar_mul(scalar_of(7));
+  const auto q = b.scalar_mul(scalar_of(11));
+  const auto r = b.scalar_mul(scalar_of(13));
+  EXPECT_EQ(p.add(q), q.add(p));
+  EXPECT_EQ(p.add(q).add(r), p.add(q.add(r)));
+}
+
+TEST(Ge25519, ScalarMulMatchesRepeatedAdd) {
+  const auto& b = Ge25519::base_point();
+  Ge25519 acc = Ge25519::identity();
+  for (std::uint64_t k = 0; k <= 40; ++k) {
+    EXPECT_EQ(b.scalar_mul(scalar_of(k)), acc) << "k=" << k;
+    acc = acc.add(b);
+  }
+}
+
+TEST(Ge25519, ScalarMulDistributes) {
+  Rng rng(201);
+  const auto& b = Ge25519::base_point();
+  for (int i = 0; i < 10; ++i) {
+    const std::uint64_t m = rng.uniform(1 << 20);
+    const std::uint64_t n = rng.uniform(1 << 20);
+    const auto lhs = b.scalar_mul(scalar_of(m + n));
+    const auto rhs = b.scalar_mul(scalar_of(m)).add(b.scalar_mul(scalar_of(n)));
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(Ge25519, OrderTimesBaseIsIdentity) {
+  // L = 2^252 + 27742317777372353535851937790883648493 (little-endian bytes).
+  const auto order =
+      from_hex("edd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010");
+  std::array<std::uint8_t, 32> l{};
+  std::copy(order.begin(), order.end(), l.begin());
+  EXPECT_TRUE(Ge25519::base_point().scalar_mul(l).is_identity());
+}
+
+TEST(Ge25519, CompressDecompressRandomPoints) {
+  Rng rng(202);
+  for (int i = 0; i < 25; ++i) {
+    const auto p = Ge25519::base_point().scalar_mul(random_scalar(rng));
+    const auto enc = p.to_bytes();
+    const auto dec = Ge25519::from_bytes(enc);
+    ASSERT_TRUE(dec.has_value());
+    EXPECT_EQ(*dec, p);
+    EXPECT_EQ(dec->to_bytes(), enc);
+  }
+}
+
+TEST(Ge25519, RejectsNonCurveEncoding) {
+  // y = 2 gives x^2 = 3/(4d+1), which is not a quadratic residue for this d.
+  int rejected = 0;
+  for (std::uint8_t y = 2; y < 12; ++y) {
+    Bytes enc(32, 0);
+    enc[0] = y;
+    if (!Ge25519::from_bytes(enc)) ++rejected;
+  }
+  EXPECT_GT(rejected, 0);  // roughly half of all y values are off-curve
+}
+
+TEST(Ge25519, RejectsWrongLength) {
+  EXPECT_FALSE(Ge25519::from_bytes(Bytes(31, 0)).has_value());
+  EXPECT_FALSE(Ge25519::from_bytes(Bytes(33, 0)).has_value());
+}
+
+TEST(Ge25519, RejectsNegativeZeroX) {
+  // y = 1 implies x = 0; the sign bit must then be 0.
+  Bytes enc(32, 0);
+  enc[0] = 1;
+  enc[31] = 0x80;
+  EXPECT_FALSE(Ge25519::from_bytes(enc).has_value());
+  enc[31] = 0x00;
+  const auto p = Ge25519::from_bytes(enc);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->is_identity());
+}
+
+TEST(Ge25519, CofactorMulIsThreeDoublings) {
+  const auto p = Ge25519::base_point().scalar_mul(scalar_of(999));
+  EXPECT_EQ(p.mul_by_cofactor(), p.scalar_mul(scalar_of(8)));
+}
+
+TEST(Ge25519, ScalarMulByZeroAndOne) {
+  const auto& b = Ge25519::base_point();
+  EXPECT_TRUE(b.scalar_mul(scalar_of(0)).is_identity());
+  EXPECT_EQ(b.scalar_mul(scalar_of(1)), b);
+}
+
+}  // namespace
+}  // namespace accountnet::crypto

@@ -1,0 +1,114 @@
+// FIPS 180-4 known-answer tests plus streaming-interface checks.
+#include <gtest/gtest.h>
+
+#include "accountnet/crypto/sha256.hpp"
+#include "accountnet/crypto/sha512.hpp"
+#include "accountnet/util/bytes.hpp"
+
+namespace accountnet::crypto {
+namespace {
+
+Bytes digest_bytes(const Sha256::Digest& d) { return Bytes(d.begin(), d.end()); }
+Bytes digest_bytes(const Sha512::Digest& d) { return Bytes(d.begin(), d.end()); }
+
+TEST(Sha256, EmptyVector) {
+  EXPECT_EQ(to_hex(digest_bytes(Sha256::hash(Bytes{}))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, AbcVector) {
+  EXPECT_EQ(to_hex(digest_bytes(Sha256::hash(bytes_of("abc")))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockVector) {
+  EXPECT_EQ(to_hex(digest_bytes(Sha256::hash(
+                bytes_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAVector) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(digest_bytes(h.finish())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const Bytes msg = bytes_of("The quick brown fox jumps over the lazy dog");
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(BytesView(msg.data(), split));
+    h.update(BytesView(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(h.finish(), Sha256::hash(msg)) << "split=" << split;
+  }
+}
+
+// Exercise every padding boundary around the block size.
+class Sha256Lengths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256Lengths, ChunkedEqualsOneShot) {
+  const std::size_t n = GetParam();
+  Bytes msg(n);
+  for (std::size_t i = 0; i < n; ++i) msg[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  Sha256 chunked;
+  for (std::size_t i = 0; i < n; i += 7) {
+    chunked.update(BytesView(msg.data() + i, std::min<std::size_t>(7, n - i)));
+  }
+  EXPECT_EQ(chunked.finish(), Sha256::hash(msg));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaddingBoundaries, Sha256Lengths,
+                         ::testing::Values(0, 1, 54, 55, 56, 57, 63, 64, 65, 119, 127,
+                                           128, 129, 1000));
+
+TEST(Sha512, EmptyVector) {
+  EXPECT_EQ(to_hex(digest_bytes(Sha512::hash(Bytes{}))),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, AbcVector) {
+  EXPECT_EQ(to_hex(digest_bytes(Sha512::hash(bytes_of("abc")))),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, TwoBlockVector) {
+  EXPECT_EQ(
+      to_hex(digest_bytes(Sha512::hash(bytes_of(
+          "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+          "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")))),
+      "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+      "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512, MillionAVector) {
+  Sha512 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(digest_bytes(h.finish())),
+            "e718483d0ce769644e2e42c7bc15b4638e1f98b13b2044285632a803afa973eb"
+            "de0ff244877ea60a4cb0432ce577c31beb009c5c2c49aa2e4eadb217ad8cc09b");
+}
+
+class Sha512Lengths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha512Lengths, ChunkedEqualsOneShot) {
+  const std::size_t n = GetParam();
+  Bytes msg(n);
+  for (std::size_t i = 0; i < n; ++i) msg[i] = static_cast<std::uint8_t>(i * 13 + 3);
+  Sha512 chunked;
+  for (std::size_t i = 0; i < n; i += 11) {
+    chunked.update(BytesView(msg.data() + i, std::min<std::size_t>(11, n - i)));
+  }
+  EXPECT_EQ(chunked.finish(), Sha512::hash(msg));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaddingBoundaries, Sha512Lengths,
+                         ::testing::Values(0, 1, 110, 111, 112, 113, 127, 128, 129, 239,
+                                           255, 256, 257, 2000));
+
+}  // namespace
+}  // namespace accountnet::crypto

@@ -1,0 +1,63 @@
+// Whole-experiment determinism: identical configs + seeds produce identical
+// networks, metrics, and stats — the property every bench relies on.
+#include <gtest/gtest.h>
+
+#include "accountnet/harness/network_sim.hpp"
+
+namespace accountnet::harness {
+namespace {
+
+ExperimentConfig config_for(std::uint64_t seed) {
+  ExperimentConfig c;
+  c.network_size = 150;
+  c.f = 5;
+  c.l = 3;
+  c.d = 2;
+  c.pm = 0.15;
+  c.lane_size = 50;
+  c.verify_fraction = 0.2;
+  c.seed = seed;
+  return c;
+}
+
+struct Fingerprint {
+  std::uint64_t shuffles;
+  std::uint64_t leave_reports;
+  analysis::Adjacency adjacency;
+  std::vector<bool> malicious;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint run(std::uint64_t seed, bool with_churn) {
+  NetworkSim sim(config_for(seed));
+  if (with_churn) sim.schedule_churn(15, sim::seconds(150), sim::seconds(60));
+  sim.run(40, nullptr);
+  Fingerprint fp;
+  fp.shuffles = sim.stats().shuffles_completed;
+  fp.leave_reports = sim.stats().leave_reports;
+  fp.adjacency = sim.snapshot_adjacency();
+  for (std::size_t i = 0; i < sim.size(); ++i) fp.malicious.push_back(sim.is_malicious(i));
+  return fp;
+}
+
+TEST(Determinism, IdenticalSeedsIdenticalNetworks) {
+  EXPECT_EQ(run(7, false), run(7, false));
+}
+
+TEST(Determinism, IdenticalSeedsIdenticalChurn) {
+  EXPECT_EQ(run(7, true), run(7, true));
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  const auto a = run(7, false);
+  const auto b = run(8, false);
+  EXPECT_NE(a.adjacency, b.adjacency);
+}
+
+TEST(Determinism, ChurnChangesTheRun) {
+  EXPECT_NE(run(7, false), run(7, true));
+}
+
+}  // namespace
+}  // namespace accountnet::harness

@@ -1,0 +1,94 @@
+#include "accountnet/mlsim/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace accountnet::mlsim {
+namespace {
+
+TEST(Detector, DeterministicForSameImage) {
+  ObjectDetectionService svc;
+  const Bytes img = synthetic_scene_image(2010, 1125, 1);
+  const auto a = svc.detect(img);
+  const auto b = svc.detect(img);
+  EXPECT_EQ(a.encode(), b.encode());
+  EXPECT_GE(a.objects.size(), 1u);
+}
+
+TEST(Detector, DifferentImagesDiffer) {
+  ObjectDetectionService svc;
+  const auto a = svc.detect(synthetic_scene_image(2010, 1125, 1));
+  const auto b = svc.detect(synthetic_scene_image(2010, 1125, 2));
+  EXPECT_NE(a.encode(), b.encode());
+}
+
+TEST(Detector, ResultsAreWellFormed) {
+  ObjectDetectionService svc;
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    const auto r = svc.detect(synthetic_scene_image(640, 480, s));
+    EXPECT_LE(r.objects.size(), 8u);
+    for (const auto& o : r.objects) {
+      EXPECT_FALSE(o.label.empty());
+      EXPECT_GE(o.confidence, 0.5);
+      EXPECT_LE(o.confidence, 1.0);
+      EXPECT_GE(o.x, 0.0);
+      EXPECT_LE(o.x + o.w, 1.0001);
+      EXPECT_GE(o.y, 0.0);
+      EXPECT_LE(o.y + o.h, 1.0001);
+    }
+  }
+}
+
+TEST(Detector, ResultWireRoundTrip) {
+  ObjectDetectionService svc;
+  const auto r = svc.detect(synthetic_scene_image(800, 600, 3));
+  const auto decoded = DetectionResult::decode(r.encode());
+  ASSERT_EQ(decoded.objects.size(), r.objects.size());
+  for (std::size_t i = 0; i < r.objects.size(); ++i) {
+    EXPECT_EQ(decoded.objects[i].label, r.objects[i].label);
+    EXPECT_NEAR(decoded.objects[i].confidence, r.objects[i].confidence, 1e-4);
+    EXPECT_NEAR(decoded.objects[i].x, r.objects[i].x, 1e-4);
+  }
+}
+
+TEST(Detector, LatencyMatchesPaperDistribution) {
+  // Sec. VI-B: "about 809 ms on average ... sigma = 191 ms".
+  ObjectDetectionService svc;
+  double sum = 0, sumsq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double ms = sim::to_milliseconds(svc.sample_latency());
+    sum += ms;
+    sumsq += ms * ms;
+  }
+  const double mean = sum / n;
+  const double stddev = std::sqrt(sumsq / n - mean * mean);
+  EXPECT_NEAR(mean, 809.0, 10.0);
+  EXPECT_NEAR(stddev, 191.0, 10.0);
+}
+
+TEST(Detector, LatencyRespectsFloor) {
+  DetectorConfig config;
+  config.latency_mean = sim::milliseconds(50);
+  config.latency_stddev = sim::milliseconds(200);
+  config.latency_min = sim::milliseconds(40);
+  ObjectDetectionService svc(config);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(svc.sample_latency(), sim::milliseconds(40));
+  }
+}
+
+TEST(Detector, SyntheticImageSizeTracksResolution) {
+  const auto small = synthetic_scene_image(640, 480, 1);
+  const auto big = synthetic_scene_image(2010, 1125, 1);
+  EXPECT_GT(big.size(), small.size());
+  EXPECT_NEAR(static_cast<double>(big.size()),
+              2010.0 * 1125.0 * 3.0 / 20.0, 64.0);
+  // Deterministic for the same (w, h, seed).
+  EXPECT_EQ(big, synthetic_scene_image(2010, 1125, 1));
+  EXPECT_NE(big, synthetic_scene_image(2010, 1125, 2));
+}
+
+}  // namespace
+}  // namespace accountnet::mlsim

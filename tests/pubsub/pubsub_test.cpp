@@ -1,0 +1,205 @@
+// Broker-less pub/sub over witnessed channels.
+#include <gtest/gtest.h>
+
+#include "accountnet/pubsub/pubsub.hpp"
+#include "accountnet/util/rng.hpp"
+
+namespace accountnet::pubsub {
+namespace {
+
+class PubSubNet {
+ public:
+  PubSubNet() : net_(sim_, sim::netem_latency(), 99) {
+    config_.protocol.max_peerset = 3;
+    config_.protocol.shuffle_length = 2;
+    config_.shuffle_period = sim::seconds(2);
+    config_.witness_count = 3;
+    config_.majority_opt = true;
+    config_.depth = 2;
+  }
+
+  void build(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Bytes seed(32);
+      Rng rng(4000 + i);
+      for (auto& b : seed) b = static_cast<std::uint8_t>(rng.next_u64());
+      nodes_.push_back(std::make_unique<core::Node>(net_, "p" + std::to_string(100 + i),
+                                                    *provider_, seed, config_,
+                                                    rng.next_u64()));
+      pubsub_.push_back(std::make_unique<PubSubNode>(*nodes_.back(), directory_));
+    }
+    nodes_[0]->start_as_seed();
+    for (std::size_t i = 1; i < n; ++i) {
+      sim_.schedule(sim::milliseconds(static_cast<std::int64_t>(40 * i)),
+                    [this, i] { nodes_[i]->start_join(nodes_[i - 1]->id().addr); });
+    }
+    sim_.run_until(sim_.now() + sim::seconds(50));
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<crypto::CryptoProvider> provider_ = crypto::make_fast_crypto();
+  sim::SimNetwork net_;
+  core::Node::Config config_;
+  TopicDirectory directory_;
+  std::vector<std::unique_ptr<core::Node>> nodes_;
+  std::vector<std::unique_ptr<PubSubNode>> pubsub_;
+};
+
+TEST(TopicDirectory, AnnounceRetractList) {
+  TopicDirectory d;
+  EXPECT_TRUE(d.subscribers("t").empty());
+  d.announce("t", "a");
+  d.announce("t", "b");
+  d.announce("t", "a");  // idempotent
+  EXPECT_EQ(d.subscribers("t").size(), 2u);
+  d.retract("t", "a");
+  EXPECT_EQ(d.subscribers("t"), std::vector<std::string>{"b"});
+  d.retract("ghost-topic", "x");  // no-op
+}
+
+TEST(Envelope, WireRoundTrip) {
+  const Envelope e{"scene_image", bytes_of("payload-bytes")};
+  const Envelope d = Envelope::decode(e.encode());
+  EXPECT_EQ(d.topic, e.topic);
+  EXPECT_EQ(d.data, e.data);
+}
+
+TEST(Envelope, RejectsTruncated) {
+  const Envelope e{"topic", bytes_of("data")};
+  Bytes enc = e.encode();
+  enc.pop_back();
+  EXPECT_THROW(Envelope::decode(enc), wire::DecodeError);
+}
+
+TEST(PubSub, PublishReachesSubscriber) {
+  PubSubNet pn;
+  pn.build(25);
+  std::vector<Bytes> received;
+  pn.pubsub_[20]->subscribe("scene_image",
+                            [&](const std::string& topic, const Bytes& data,
+                                const core::PeerId& from) {
+                              EXPECT_EQ(topic, "scene_image");
+                              EXPECT_EQ(from.addr, pn.nodes_[2]->id().addr);
+                              received.push_back(data);
+                            });
+  pn.pubsub_[2]->publish("scene_image", bytes_of("frame-1"));
+  pn.sim_.run_until(pn.sim_.now() + sim::seconds(15));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], bytes_of("frame-1"));
+}
+
+TEST(PubSub, QueuedPayloadsFlushOnChannelReady) {
+  PubSubNet pn;
+  pn.build(25);
+  std::vector<Bytes> received;
+  pn.pubsub_[18]->subscribe("t", [&](const std::string&, const Bytes& data,
+                                     const core::PeerId&) { received.push_back(data); });
+  // Publish twice back-to-back: the first creates the channel; both must
+  // arrive once it is ready.
+  pn.pubsub_[3]->publish("t", bytes_of("m1"));
+  pn.pubsub_[3]->publish("t", bytes_of("m2"));
+  EXPECT_GT(pn.pubsub_[3]->stats().queued, 0u);
+  pn.sim_.run_until(pn.sim_.now() + sim::seconds(15));
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], bytes_of("m1"));
+  EXPECT_EQ(received[1], bytes_of("m2"));
+}
+
+TEST(PubSub, MultipleSubscribersEachGetACopy) {
+  PubSubNet pn;
+  pn.build(30);
+  int hits_a = 0, hits_b = 0;
+  pn.pubsub_[10]->subscribe("t", [&](const std::string&, const Bytes&,
+                                     const core::PeerId&) { ++hits_a; });
+  pn.pubsub_[22]->subscribe("t", [&](const std::string&, const Bytes&,
+                                     const core::PeerId&) { ++hits_b; });
+  pn.pubsub_[4]->publish("t", bytes_of("x"));
+  pn.sim_.run_until(pn.sim_.now() + sim::seconds(15));
+  EXPECT_EQ(hits_a, 1);
+  EXPECT_EQ(hits_b, 1);
+}
+
+TEST(PubSub, TopicsAreIsolated) {
+  PubSubNet pn;
+  pn.build(25);
+  int wrong = 0, right = 0;
+  pn.pubsub_[15]->subscribe("topic_a", [&](const std::string&, const Bytes&,
+                                           const core::PeerId&) { ++right; });
+  pn.pubsub_[16]->subscribe("topic_b", [&](const std::string&, const Bytes&,
+                                           const core::PeerId&) { ++wrong; });
+  pn.pubsub_[5]->publish("topic_a", bytes_of("x"));
+  pn.sim_.run_until(pn.sim_.now() + sim::seconds(15));
+  EXPECT_EQ(right, 1);
+  EXPECT_EQ(wrong, 0);
+}
+
+TEST(PubSub, RequestResponseAcrossTopics) {
+  // The Fig. 19 shape: vehicle publishes scene_image; service replies on
+  // detected_objects.
+  PubSubNet pn;
+  pn.build(30);
+  PubSubNode& vehicle = *pn.pubsub_[2];
+  PubSubNode& service = *pn.pubsub_[21];
+
+  Bytes answer;
+  service.subscribe("scene_image", [&](const std::string&, const Bytes& img,
+                                       const core::PeerId&) {
+    service.publish("detected_objects", concat(bytes_of("seen:"), img));
+  });
+  vehicle.subscribe("detected_objects", [&](const std::string&, const Bytes& result,
+                                            const core::PeerId&) { answer = result; });
+  vehicle.publish("scene_image", bytes_of("img9"));
+  pn.sim_.run_until(pn.sim_.now() + sim::seconds(25));
+  EXPECT_EQ(answer, bytes_of("seen:img9"));
+}
+
+TEST(PubSub, PublishWithNoSubscribersIsANoop) {
+  PubSubNet pn;
+  pn.build(20);
+  pn.pubsub_[3]->publish("lonely_topic", bytes_of("anyone?"));
+  pn.sim_.run_until(pn.sim_.now() + sim::seconds(10));
+  EXPECT_EQ(pn.pubsub_[3]->stats().published, 1u);
+  EXPECT_EQ(pn.pubsub_[3]->stats().queued, 0u);
+}
+
+TEST(PubSub, RetractStopsFutureDeliveries) {
+  PubSubNet pn;
+  pn.build(25);
+  int hits = 0;
+  pn.pubsub_[12]->subscribe("t", [&](const std::string&, const Bytes&,
+                                     const core::PeerId&) { ++hits; });
+  pn.pubsub_[4]->publish("t", bytes_of("first"));
+  pn.sim_.run_until(pn.sim_.now() + sim::seconds(15));
+  EXPECT_EQ(hits, 1);
+  // The subscriber withdraws; subsequent publishes no longer reach it.
+  pn.directory_.retract("t", pn.nodes_[12]->id().addr);
+  pn.pubsub_[4]->publish("t", bytes_of("second"));
+  pn.sim_.run_until(pn.sim_.now() + sim::seconds(15));
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(PubSub, StatsCountDeliveries) {
+  PubSubNet pn;
+  pn.build(25);
+  pn.pubsub_[10]->subscribe("t", [](const std::string&, const Bytes&,
+                                    const core::PeerId&) {});
+  pn.pubsub_[5]->publish("t", bytes_of("a"));
+  pn.pubsub_[5]->publish("t", bytes_of("b"));
+  pn.sim_.run_until(pn.sim_.now() + sim::seconds(15));
+  EXPECT_EQ(pn.pubsub_[5]->stats().published, 2u);
+  EXPECT_EQ(pn.pubsub_[10]->stats().delivered, 2u);
+}
+
+TEST(PubSub, NoSelfDelivery) {
+  PubSubNet pn;
+  pn.build(25);
+  int hits = 0;
+  pn.pubsub_[7]->subscribe("t", [&](const std::string&, const Bytes&,
+                                    const core::PeerId&) { ++hits; });
+  pn.pubsub_[7]->publish("t", bytes_of("echo?"));
+  pn.sim_.run_until(pn.sim_.now() + sim::seconds(10));
+  EXPECT_EQ(hits, 0);
+}
+
+}  // namespace
+}  // namespace accountnet::pubsub

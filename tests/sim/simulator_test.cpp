@@ -1,0 +1,99 @@
+#include "accountnet/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "accountnet/util/ensure.hpp"
+
+namespace accountnet::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(milliseconds(30), [&] { order.push_back(3); });
+  s.schedule(milliseconds(10), [&] { order.push_back(1); });
+  s.schedule(milliseconds(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), milliseconds(30));
+}
+
+TEST(Simulator, TiesBreakInScheduleOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator s;
+  std::vector<TimePoint> fired;
+  s.schedule(milliseconds(1), [&] {
+    fired.push_back(s.now());
+    s.schedule(milliseconds(2), [&] { fired.push_back(s.now()); });
+  });
+  s.run();
+  EXPECT_EQ(fired, (std::vector<TimePoint>{milliseconds(1), milliseconds(3)}));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int count = 0;
+  s.schedule(milliseconds(10), [&] { ++count; });
+  s.schedule(milliseconds(20), [&] { ++count; });
+  s.schedule(milliseconds(30), [&] { ++count; });
+  s.run_until(milliseconds(20));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now(), milliseconds(20));
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesIdleClock) {
+  Simulator s;
+  s.run_until(seconds(5));
+  EXPECT_EQ(s.now(), seconds(5));
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator s;
+  EXPECT_FALSE(s.step());
+  s.schedule(0, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator s;
+  s.schedule(milliseconds(10), [] {});
+  s.run();
+  EXPECT_THROW(s.schedule(-1, [] {}), EnsureError);
+  EXPECT_THROW(s.schedule_at(milliseconds(5), [] {}), EnsureError);
+}
+
+TEST(Simulator, CountsProcessedEvents) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule(i, [] {});
+  s.run();
+  EXPECT_EQ(s.events_processed(), 7u);
+}
+
+TEST(Simulator, TimeUnitConversions) {
+  EXPECT_EQ(milliseconds(1), microseconds(1000));
+  EXPECT_EQ(seconds(1), milliseconds(1000));
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(7)), 7.0);
+}
+
+}  // namespace
+}  // namespace accountnet::sim

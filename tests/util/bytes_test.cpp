@@ -1,0 +1,65 @@
+#include "accountnet/util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace accountnet {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0001ABFF7F"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(Bytes, BytesOf) {
+  EXPECT_EQ(bytes_of("ab"), (Bytes{'a', 'b'}));
+  EXPECT_TRUE(bytes_of("").empty());
+}
+
+TEST(Bytes, Append) {
+  Bytes dst = {1, 2};
+  const Bytes src = {3, 4};
+  append(dst, src);
+  EXPECT_EQ(dst, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(Bytes, AppendU64Le) {
+  Bytes dst;
+  append_u64le(dst, 0x0102030405060708ULL);
+  EXPECT_EQ(dst, (Bytes{8, 7, 6, 5, 4, 3, 2, 1}));
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = {1};
+  const Bytes b = {2, 3};
+  EXPECT_EQ(concat(a, b, a), (Bytes{1, 2, 3, 1}));
+}
+
+TEST(Bytes, CtEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+}  // namespace
+}  // namespace accountnet

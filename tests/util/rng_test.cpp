@@ -1,0 +1,161 @@
+#include "accountnet/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace accountnet {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformWithinBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformRejectsZeroBound) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.uniform(100));
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 49.5, 0.5);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, ChanceEdges) {
+  Rng rng(23);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SampleIndicesDistinctAndBounded) {
+  Rng rng(31);
+  for (std::size_t n : {5u, 50u, 500u}) {
+    for (std::size_t k : {0u, 1u, 3u, 5u}) {
+      if (k > n) continue;
+      const auto idx = rng.sample_indices(n, k);
+      EXPECT_EQ(idx.size(), k);
+      std::set<std::size_t> uniq(idx.begin(), idx.end());
+      EXPECT_EQ(uniq.size(), k);
+      for (auto i : idx) EXPECT_LT(i, n);
+    }
+  }
+}
+
+TEST(Rng, SampleIndicesFullRange) {
+  Rng rng(37);
+  const auto idx = rng.sample_indices(6, 6);
+  std::set<std::size_t> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 6u);
+}
+
+TEST(Rng, SampleIndicesRejectsOverdraw) {
+  Rng rng(41);
+  EXPECT_THROW(rng.sample_indices(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a(43);
+  Rng child = a.fork();
+  // The fork consumed one draw; parent and child streams should not collide.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SplitMix64KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  // Regression pin: deterministic across platforms/runs.
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), a);
+  EXPECT_EQ(splitmix64(s2), b);
+}
+
+}  // namespace
+}  // namespace accountnet

@@ -1,0 +1,119 @@
+#include "accountnet/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace accountnet {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 3.0);
+}
+
+TEST(Samples, PercentileInterpolation) {
+  Samples s;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 17.5);
+}
+
+TEST(Samples, SingleElement) {
+  Samples s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.0);
+  EXPECT_DOUBLE_EQ(s.min(), 7.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Samples, RejectsBadPercentile) {
+  Samples s;
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-1), std::invalid_argument);
+  EXPECT_THROW(s.percentile(101), std::invalid_argument);
+}
+
+TEST(Samples, MeanStddev) {
+  Samples s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(Histogram, BucketsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);    // bucket 0
+  h.add(1.99);   // bucket 0
+  h.add(2.0);    // bucket 1
+  h.add(9.99);   // bucket 4
+  h.add(10.0);   // overflow
+  h.add(-0.01);  // underflow
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(1), 4.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const auto text = h.render(10);
+  EXPECT_NE(text.find(" 1\n"), std::string::npos);
+  EXPECT_NE(text.find(" 2\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace accountnet

@@ -1,0 +1,31 @@
+#include "accountnet/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace accountnet {
+namespace {
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2.50"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 2.50  |"), std::string::npos);
+}
+
+TEST(Table, MissingCellsRenderEmpty) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::num(static_cast<std::size_t>(42)), "42");
+}
+
+}  // namespace
+}  // namespace accountnet

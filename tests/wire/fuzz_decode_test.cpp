@@ -1,0 +1,109 @@
+// Decoder robustness: random and truncated byte strings must never crash or
+// corrupt state — they either decode or throw wire::DecodeError.
+#include <gtest/gtest.h>
+
+#include "accountnet/core/shuffle.hpp"
+#include "accountnet/mlsim/detector.hpp"
+#include "accountnet/pubsub/pubsub.hpp"
+#include "accountnet/util/rng.hpp"
+
+namespace accountnet {
+namespace {
+
+Bytes random_bytes(Rng& rng, std::size_t n) {
+  Bytes b(n);
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng.next_u64());
+  return b;
+}
+
+template <typename Fn>
+void expect_no_crash(Fn&& decode, const Bytes& data) {
+  try {
+    decode(data);
+  } catch (const wire::DecodeError&) {
+    // expected for garbage
+  }
+}
+
+TEST(FuzzDecode, RandomBytesIntoEveryDecoder) {
+  Rng rng(20240701);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto len = static_cast<std::size_t>(rng.uniform(300));
+    const Bytes data = random_bytes(rng, len);
+    expect_no_crash([](const Bytes& d) { core::ShuffleOffer::decode(d); }, data);
+    expect_no_crash([](const Bytes& d) { core::ShuffleResponse::decode(d); }, data);
+    expect_no_crash([](const Bytes& d) { pubsub::Envelope::decode(d); }, data);
+    expect_no_crash([](const Bytes& d) { mlsim::DetectionResult::decode(d); }, data);
+    expect_no_crash(
+        [](const Bytes& d) {
+          wire::Reader r(d);
+          core::decode_entry(r);
+        },
+        data);
+  }
+}
+
+TEST(FuzzDecode, TruncationsOfValidMessages) {
+  // Build one valid offer and try every prefix: all must throw, none crash.
+  const auto provider = crypto::make_fast_crypto();
+  core::NodeConfig config;
+  config.max_peerset = 4;
+  config.shuffle_length = 2;
+  auto signer = provider->make_signer(Bytes(32, 1));
+  core::PeerId self{"self", signer->public_key()};
+  core::NodeState node(self, provider->make_signer(Bytes(32, 1)), config);
+  auto bn_signer = provider->make_signer(Bytes(32, 2));
+  core::PeerId bn{"bn", bn_signer->public_key()};
+  std::vector<core::PeerId> peers;
+  for (int i = 0; i < 4; ++i) {
+    auto s = provider->make_signer(Bytes(32, static_cast<std::uint8_t>(10 + i)));
+    peers.push_back(core::PeerId{"peer" + std::to_string(i), s->public_key()});
+  }
+  node.apply_join(bn, bn_signer->sign(core::join_stamp_payload("self")), peers);
+  const auto choice = core::choose_partner(node);
+  ASSERT_TRUE(choice.has_value());
+  const Bytes full = core::make_offer(node, *choice, 7).encode();
+
+  // A valid encoding decodes.
+  EXPECT_NO_THROW(core::ShuffleOffer::decode(full));
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const Bytes prefix(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(core::ShuffleOffer::decode(prefix), wire::DecodeError) << cut;
+  }
+  // Trailing garbage is also rejected (expect_done).
+  Bytes padded = full;
+  padded.push_back(0);
+  EXPECT_THROW(core::ShuffleOffer::decode(padded), wire::DecodeError);
+}
+
+TEST(FuzzDecode, BitflipsOfValidMessagesEitherDecodeOrThrow) {
+  const auto provider = crypto::make_fast_crypto();
+  core::NodeConfig config;
+  config.max_peerset = 4;
+  config.shuffle_length = 2;
+  auto signer = provider->make_signer(Bytes(32, 1));
+  core::PeerId self{"self", signer->public_key()};
+  core::NodeState node(self, provider->make_signer(Bytes(32, 1)), config);
+  auto bn_signer = provider->make_signer(Bytes(32, 2));
+  core::PeerId bn{"bn", bn_signer->public_key()};
+  std::vector<core::PeerId> peers;
+  for (int i = 0; i < 4; ++i) {
+    auto s = provider->make_signer(Bytes(32, static_cast<std::uint8_t>(10 + i)));
+    peers.push_back(core::PeerId{"peer" + std::to_string(i), s->public_key()});
+  }
+  node.apply_join(bn, bn_signer->sign(core::join_stamp_payload("self")), peers);
+  const auto choice = core::choose_partner(node);
+  ASSERT_TRUE(choice.has_value());
+  const Bytes full = core::make_offer(node, *choice, 7).encode();
+
+  Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    Bytes mutated = full;
+    const auto pos = static_cast<std::size_t>(rng.uniform(mutated.size()));
+    mutated[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform(8));
+    expect_no_crash([](const Bytes& d) { core::ShuffleOffer::decode(d); }, mutated);
+  }
+}
+
+}  // namespace
+}  // namespace accountnet
