@@ -1,5 +1,6 @@
 // Fig. 11: network size, number of malicious nodes (p_m = 0.1), and shuffle
 // rate over analysis rounds, for several network sizes.
+#include "accountnet/obs/sink.hpp"
 #include "bench_sim.hpp"
 
 int main(int argc, char** argv) {
@@ -13,6 +14,7 @@ int main(int argc, char** argv) {
       args.full ? std::vector<std::size_t>{500, 1000, 5000, 10000}
                 : std::vector<std::size_t>{500, 1000, 5000};
 
+  obs::JsonLinesSink sink("BENCH_fig11_network_growth.json");
   for (const auto v : sizes) {
     auto config = bench::paper_config(v, 5, 2, args.seed);
     config.pm = 0.10;
@@ -30,6 +32,10 @@ int main(int argc, char** argv) {
     });
     std::printf("\n|V| = %zu (expect full size ~round 70-75, rate ~0.1|V|/s)\n%s", v,
                 t.to_string().c_str());
+    sink.raw_line("{\"bench\":\"fig11_network_growth\",\"network_size\":" +
+                  std::to_string(v) + "}");
+    sim.scrape_metrics(sink);
   }
+  std::printf("\nwrote BENCH_fig11_network_growth.json\n");
   return 0;
 }

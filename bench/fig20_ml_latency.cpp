@@ -53,8 +53,11 @@ struct CaseStudyNet {
 Samples measure(CaseStudyNet& cs, core::Node& vehicle, core::Node& service,
                 mlsim::ObjectDetectionService* ml, std::size_t witness_count,
                 bool majority_opt, int trials, std::uint64_t topic_salt) {
-  vehicle.set_witness_policy(witness_count, majority_opt);
-  service.set_witness_policy(witness_count, majority_opt);
+  core::Node::ConfigDelta policy;
+  policy.witness_count = witness_count;
+  policy.majority_opt = majority_opt;
+  vehicle.update_config(policy);
+  service.update_config(policy);
 
   pubsub::TopicDirectory directory;
   pubsub::PubSubNode veh(vehicle, directory);

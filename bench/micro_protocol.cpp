@@ -1,10 +1,19 @@
 // Micro-benchmarks for protocol operations (google-benchmark): verifiable
 // draws, the full shuffle exchange, history reconstruction, offer
-// verification, and witness planning — under both crypto backends.
+// verification, and witness planning — under both crypto backends — plus the
+// obs hot path (counter add, disabled timer, timed-provider passthrough).
+// After the benchmark run, main() dumps per-primitive crypto timer
+// distributions to BENCH_micro_protocol.json (JSON-lines, one row per
+// metric; see docs/OBSERVABILITY.md).
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "accountnet/core/shuffle.hpp"
 #include "accountnet/core/witness.hpp"
+#include "accountnet/crypto/timed.hpp"
+#include "accountnet/obs/metrics.hpp"
+#include "accountnet/obs/sink.hpp"
 #include "accountnet/util/rng.hpp"
 
 namespace {
@@ -181,6 +190,75 @@ void BM_WitnessPlanAndDraw(benchmark::State& state) {
 }
 BENCHMARK(BM_WitnessPlanAndDraw)->Arg(30)->Arg(300)->Arg(1000);
 
+// --- Observability overhead ------------------------------------------------
+
+// The obs hot path: one relaxed atomic add.
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  const auto id = registry.counter("bench.counter");
+  for (auto _ : state) {
+    registry.add(id);
+  }
+  benchmark::DoNotOptimize(registry.counter_value(id));
+}
+BENCHMARK(BM_MetricsCounterAdd);
+
+// A ScopedTimer with timing disabled (the default) must cost a null check.
+void BM_ScopedTimerDisabled(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  const auto id = registry.timer("bench.timer");
+  for (auto _ : state) {
+    obs::ScopedTimer t(&registry, id);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ScopedTimerDisabled);
+
+// verify_offer through the timed crypto decorator with timing off — compare
+// against BM_VerifyOffer to confirm disabled instrumentation is unmeasurable.
+void BM_VerifyOfferTimedProvider(benchmark::State& state) {
+  Pair p(state.range(0) != 0, 10);
+  obs::MetricsRegistry registry;
+  const auto timed = crypto::make_timed_crypto(std::move(p.provider), registry);
+  const auto choice = choose_partner(*p.a);
+  const auto offer = make_offer(*p.a, *choice, p.b->round());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify_offer(offer, *p.b, p.b->round(), *timed));
+  }
+}
+BENCHMARK(BM_VerifyOfferTimedProvider)->Arg(0)->Arg(1);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Post-run metrics dump: drive each backend's primitives through the timed
+  // decorator (timing enabled) and scrape the distributions.
+  using namespace accountnet;
+  obs::JsonLinesSink sink("BENCH_micro_protocol.json");
+  for (const bool real : {false, true}) {
+    obs::MetricsRegistry registry;
+    registry.set_timing_enabled(true);
+    const auto provider = crypto::make_timed_crypto(
+        real ? crypto::make_real_crypto() : crypto::make_fast_crypto(), registry);
+    const auto signer = provider->make_signer(seed_for(7));
+    const Bytes msg = bytes_of("accountnet micro_protocol metrics probe");
+    for (int i = 0; i < 32; ++i) {
+      const Bytes sig = signer->sign(msg);
+      provider->verify(signer->public_key(), msg, sig);
+      const Bytes proof = signer->vrf_prove(msg);
+      signer->vrf_output(msg);
+      provider->vrf_verify(signer->public_key(), msg, proof);
+    }
+    sink.raw_line(std::string("{\"bench\":\"micro_protocol\",\"backend\":\"") +
+                  provider->name() + "\"}");
+    registry.scrape_to(sink, /*sim_time_us=*/0);
+  }
+  sink.flush();
+  std::printf("wrote BENCH_micro_protocol.json\n");
+  return 0;
+}

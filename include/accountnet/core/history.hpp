@@ -23,6 +23,7 @@
 
 #include "accountnet/core/peerset.hpp"
 #include "accountnet/core/types.hpp"
+#include "accountnet/core/verify.hpp"
 #include "accountnet/wire/codec.hpp"
 
 namespace accountnet::core {
@@ -57,16 +58,6 @@ void encode_peer(wire::Writer& w, const PeerId& p);
 PeerId decode_peer(wire::Reader& r);
 void encode_entry(wire::Writer& w, const HistoryEntry& e);
 HistoryEntry decode_entry(wire::Reader& r);
-
-/// Outcome of a verification step; `reason` names the first failed check.
-struct VerifyResult {
-  bool ok = true;
-  std::string reason;
-
-  static VerifyResult pass() { return {}; }
-  static VerifyResult fail(std::string why) { return {false, std::move(why)}; }
-  explicit operator bool() const { return ok; }
-};
 
 class UpdateHistory {
  public:

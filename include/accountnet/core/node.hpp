@@ -15,6 +15,7 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
@@ -23,7 +24,9 @@
 #include "accountnet/core/neighborhood.hpp"
 #include "accountnet/core/shuffle.hpp"
 #include "accountnet/core/witness.hpp"
+#include "accountnet/obs/metrics.hpp"
 #include "accountnet/sim/network.hpp"
+#include "accountnet/util/bounded.hpp"
 #include "accountnet/util/rng.hpp"
 
 namespace accountnet::core {
@@ -55,6 +58,11 @@ enum class MsgType : std::uint32_t {
   kEntryReply = 23,
 };
 
+/// Stable snake_case name for a message type ("shuffle_offer", ...); used as
+/// the per-type metric-name fragment by SimNetwork::set_metrics. Exhaustive
+/// switch — a new MsgType without a name is a compile warning under -Wall.
+const char* msg_type_name(MsgType type);
+
 class Node {
  public:
   struct Config {
@@ -67,6 +75,25 @@ class Node {
     sim::Duration rpc_timeout = sim::seconds(2);
     sim::Duration neighborhood_wait = sim::milliseconds(400);
     int failures_before_leave_check = 2;
+
+    // Caps on per-peer bookkeeping (duplicate-query suppression, failure
+    // counts, replay floors, recorded leavers). FIFO eviction past the cap;
+    // see util/bounded.hpp for the forgetting semantics.
+    std::size_t max_seen_queries = 4096;
+    std::size_t max_tracked_partners = 1024;
+    std::size_t max_reported_leavers = 4096;
+  };
+
+  /// Partial runtime reconfiguration: only fields holding a value change.
+  /// Applies to *future* activity — established channels keep their witness
+  /// group, an in-flight shuffle keeps its timeout.
+  struct ConfigDelta {
+    std::optional<std::size_t> witness_count;     ///< must be >= 1
+    std::optional<bool> majority_opt;
+    std::optional<sim::Duration> shuffle_period;  ///< must be > 0
+    std::optional<double> shuffle_jitter_frac;    ///< must be in [0, 1]
+    std::optional<std::size_t> depth;             ///< must be >= 1
+    std::optional<sim::Duration> rpc_timeout;     ///< must be > 0
   };
 
   /// Behaviour knobs for modelling malicious/misbehaving nodes.
@@ -77,6 +104,9 @@ class Node {
     bool lie_in_testimony = false;  ///< witness: log/report a fake digest
   };
 
+  /// Point-in-time snapshot of the node's protocol counters. Backed by the
+  /// metrics registry (the "node.*" counters); stats() materializes it so
+  /// existing `node.stats().field` call sites keep working unchanged.
   struct Stats {
     std::uint64_t shuffles_initiated = 0;
     std::uint64_t shuffles_completed = 0;    ///< as initiator
@@ -120,9 +150,16 @@ class Node {
   bool joined() const { return joined_; }
   const PeerId& id() const { return state_.self(); }
   const NodeState& state() const { return state_; }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
   const EvidenceLog& evidence() const { return evidence_; }
   Behavior& behavior() { return behavior_; }
+
+  /// Per-node metrics: the "node.*" counters behind stats(), rejection
+  /// counters keyed by VerifyError tag ("node.reject.<tag>"), and the
+  /// protocol timers ("node.verify_offer", "node.make_response", ...).
+  /// Timers are inert until set_timing_enabled(true) on this registry.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   /// Opens a witnessed data channel to `consumer_addr`; `on_ready` fires when
   /// the witness group is agreed and invited (or on failure).
@@ -134,12 +171,18 @@ class Node {
   /// Consumer-side delivery hook.
   void set_delivery_callback(DeliveryCallback cb) { on_delivery_ = std::move(cb); }
 
-  /// Adjusts the witness policy for channels opened AFTER this call
-  /// (established channels keep their group). Used by the latency benches to
-  /// sweep |W| and the majority-delivery optimization on a live network.
+  /// Applies a validated partial reconfiguration (see ConfigDelta for the
+  /// per-field constraints); out-of-range values throw EnsureError and
+  /// leave the config untouched. Used by the latency benches to sweep |W|
+  /// and the majority-delivery optimization on a live network.
+  void update_config(const ConfigDelta& delta);
+
+  [[deprecated("use update_config(ConfigDelta) instead")]]
   void set_witness_policy(std::size_t witness_count, bool majority_opt) {
-    config_.witness_count = witness_count;
-    config_.majority_opt = majority_opt;
+    ConfigDelta delta;
+    delta.witness_count = witness_count;
+    delta.majority_opt = majority_opt;
+    update_config(delta);
   }
 
   /// The witness group of an established channel (either side).
@@ -257,13 +300,24 @@ class Node {
   void on_entry_query(const sim::NetMessage& msg);
   void on_entry_reply(const sim::NetMessage& msg);
 
+  /// Registration-order ids of the per-node metrics (interned once).
+  struct MetricIds {
+    explicit MetricIds(obs::MetricsRegistry& r);
+    obs::MetricId shuffles_initiated, shuffles_completed, shuffles_responded,
+        shuffles_rejected, shuffle_failures, verification_failures,
+        history_suffix_bytes, leaves_reported, relays_forwarded;
+    // Protocol-step timers (shuffle verification/construction hot spots).
+    obs::MetricId t_make_offer, t_verify_offer, t_make_response, t_verify_response;
+  };
+
   sim::SimNetwork& net_;
   const crypto::CryptoProvider& provider_;
   NodeState state_;
   Config config_;
   Behavior behavior_;
   Rng rng_;
-  Stats stats_;
+  obs::MetricsRegistry metrics_;
+  MetricIds ids_{metrics_};
   EvidenceLog evidence_;
 
   bool running_ = false;
@@ -272,9 +326,9 @@ class Node {
   // Shuffle state.
   std::optional<PendingShuffle> pending_;
   std::uint64_t shuffle_epoch_ = 0;  ///< invalidates stale timeout events
-  std::unordered_map<std::string, int> partner_failures_;
-  std::unordered_map<std::string, Round> last_seen_initiator_round_;
-  std::unordered_set<std::string> reported_leavers_;
+  BoundedMap<std::string, int> partner_failures_{config_.max_tracked_partners};
+  BoundedMap<std::string, Round> last_seen_initiator_round_{config_.max_tracked_partners};
+  BoundedSet<std::string> reported_leavers_{config_.max_reported_leavers};
 
   /// In-flight liveness probe: ours (suspect) or triggered by a LeaveNotice,
   /// in which case the received report is applied on timeout.
@@ -289,7 +343,7 @@ class Node {
 
   // Neighborhood state.
   std::uint64_t next_query_id_ = 1;
-  std::unordered_set<std::uint64_t> seen_queries_;
+  BoundedSet<std::uint64_t> seen_queries_{config_.max_seen_queries};
   std::optional<NeighborhoodProbe> probe_;
   /// Discovery requests arriving while a probe is in flight wait here.
   std::vector<std::function<void(std::vector<PeerId>)>> probe_queue_;

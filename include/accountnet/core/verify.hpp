@@ -1,0 +1,102 @@
+// Machine-readable verification outcomes.
+//
+// Every expected protocol failure is tagged with a VerifyError code so
+// audits, tests and metrics can classify rejections without string-matching;
+// reason_string() supplies the canonical human text and VerifyResult::reason
+// keeps the bool+reason shape documented in docs/API.md (the code's text,
+// plus an optional site-specific detail suffix).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace accountnet::core {
+
+enum class VerifyError : std::uint8_t {
+  kNone = 0,
+
+  // Verifiable random selection (core/select.cpp).
+  kSampleFromEmptyCandidates,
+  kTooManyDrawProofs,
+  kExtraDrawProofs,
+  kInvalidVrfProof,
+  kSampleIncomplete,
+  kSampleMismatch,
+
+  // History suffix verification (core/history.cpp).
+  kRoundsNotAscending,
+  kJoinAfterRoundZero,
+  kInvalidJoinStamp,
+  kJoinRemovesPeers,
+  kInvalidShuffleSignature,
+  kSelfShuffleEntry,
+  kMalformedLeaveEntry,
+  kInvalidLeaveSignature,
+  kOwnerInsertedIntoOwnPeerset,
+  kOwnerFilledIntoOwnPeerset,
+  kReconstructionMismatch,
+
+  // Shuffle exchange verification (core/shuffle.cpp).
+  kStaleRoundNonce,
+  kSelfShuffle,
+  kInvalidInitiatorRoundSignature,
+  kInvalidResponderRoundSignature,
+  kDuplicatePeersetClaim,
+  kPeersetTooLarge,
+  kHistoryBeyondOfferedRound,
+  kHistoryBeyondResponderRound,
+  kResponderNotInPeerset,
+  kPartnerSelectionMismatch,
+  kOfferSampleMismatch,
+  kResponderRoundChanged,
+  kResponseSampleMismatch,
+
+  // Offline audits (core/audit.cpp).
+  kAuditNotShuffleEntries,
+  kAuditEntriesUnlinked,
+  kAuditNonceMismatch,
+  kAuditInitiatorFlagMismatch,
+  kAuditInPeerNeverOffered,
+  kAuditCounterpartInPeerNeverOffered,
+  kAuditRefillNotFromOut,
+  kAuditCounterpartRefillNotFromOut,
+  kAuditInitiatedWithNonPeer,
+  kAuditRemovedNonMember,
+  kNeighborhoodGhostNode,
+  kNeighborhoodHiddenNode,
+  kNeighborhoodUnderReported,
+};
+
+/// Last enumerator; keeps enumeration loops (tests, metric tagging) in sync
+/// with the enum without a sentinel that would break exhaustive switches.
+inline constexpr VerifyError kLastVerifyError = VerifyError::kNeighborhoodUnderReported;
+
+/// Canonical human-readable text for a code (exhaustive switch — adding an
+/// enumerator without text is a compile error under -Wall).
+const char* reason_string(VerifyError code);
+
+/// Short machine tag for a code ("sample_mismatch", ...), usable as a metric
+/// name suffix. Exhaustive like reason_string().
+const char* error_tag(VerifyError code);
+
+/// Outcome of a verification step. `code` names the first failed check;
+/// `reason` is reason_string(code), plus a site-specific detail suffix when
+/// one was supplied (e.g. the offending peer address).
+struct VerifyResult {
+  bool ok = true;
+  VerifyError code = VerifyError::kNone;
+  std::string reason;
+
+  static VerifyResult pass() { return {}; }
+  static VerifyResult fail(VerifyError code, const std::string& detail = {}) {
+    VerifyResult r;
+    r.ok = false;
+    r.code = code;
+    r.reason = detail.empty() ? std::string(reason_string(code))
+                              : std::string(reason_string(code)) + ": " + detail;
+    return r;
+  }
+  explicit operator bool() const { return ok; }
+};
+
+}  // namespace accountnet::core

@@ -24,6 +24,8 @@
 
 #include "accountnet/analysis/graph_metrics.hpp"
 #include "accountnet/core/shuffle.hpp"
+#include "accountnet/obs/metrics.hpp"
+#include "accountnet/obs/sink.hpp"
 #include "accountnet/sim/simulator.hpp"
 #include "accountnet/util/rng.hpp"
 #include "accountnet/util/stats.hpp"
@@ -97,6 +99,22 @@ class NetworkSim {
   const HarnessStats& stats() const { return stats_; }
   sim::TimePoint now() const;
 
+  // --- Observability -------------------------------------------------------
+
+  /// Network-wide metrics registry. Holds the "harness.*" series (synced
+  /// from HarnessStats at scrape time) plus anything the owning bench
+  /// registers; callers may enable timing on it for wall-clock sections.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Scrapes every metric into `sink`, stamped with the current simulated
+  /// time. Syncs the harness counters/gauges first, so a scrape is always a
+  /// complete picture without per-event instrumentation cost in the hot loop.
+  void scrape_metrics(obs::Sink& sink);
+
+  /// Appends a JSON-lines scrape to `path` (the BENCH_*.json convention).
+  void write_metrics_json(const std::string& path);
+
   bool is_alive(std::size_t idx) const;
   bool is_malicious(std::size_t idx) const;
   bool is_joined(std::size_t idx) const;
@@ -149,6 +167,7 @@ class NetworkSim {
   void purge_zombies(HarnessNode& node);
   void update_coverage(HarnessNode& node);
   std::size_t index_of(const core::PeerId& peer) const;
+  void sync_metrics();
 
   ExperimentConfig config_;
   std::unique_ptr<crypto::CryptoProvider> provider_;
@@ -161,6 +180,7 @@ class NetworkSim {
   std::size_t rounds_completed_ = 0;
   bool run_started_ = false;
   HarnessStats stats_;
+  obs::MetricsRegistry metrics_;
   Samples history_samples_;
   std::uint64_t shuffle_delta_ = 0;
   std::vector<std::vector<std::uint8_t>> shuffle_pairs_;  // optional heatmap

@@ -1,0 +1,153 @@
+// Unified metrics registry: named counters, gauges and histogram-backed
+// timers behind string-interned ids.
+//
+// Design constraints, in order:
+//   * Zero overhead when idle. Counter updates are one relaxed atomic add;
+//     timers read the wall clock only while `timing_enabled()` is true
+//     (default false), so instrumented call sites cost a branch when off.
+//   * Lock-free-friendly. Counters and gauges are relaxed atomics in
+//     deque-backed cells (stable addresses, no rehash invalidation), so
+//     concurrent writers never block. Timer distributions and the intern
+//     table are written from the owning (simulation) thread only.
+//   * Deterministic simulations stay deterministic: metrics are write-only
+//     from protocol code — nothing reads them back into control flow — and
+//     wall-clock reads happen only in opt-in timers.
+//
+// Scraping: snapshot() materializes every metric as a MetricSample;
+// scrape_to() forwards them to a Sink (see obs/sink.hpp) stamped with the
+// caller-provided simulated time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "accountnet/util/stats.hpp"
+
+namespace accountnet::obs {
+
+class Sink;
+
+/// Interned handle; indexes into the registry's per-kind storage.
+using MetricId = std::uint32_t;
+
+enum class MetricKind : std::uint8_t {
+  kCounter = 0,  ///< monotonically increasing u64
+  kGauge = 1,    ///< last-written double
+  kTimer = 2,    ///< duration distribution (ns), histogram-backed
+};
+
+/// One scraped metric. Timers report their distribution in nanoseconds;
+/// `p50`/`p95`/`p99` are histogram estimates (log-spaced buckets).
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;  ///< counter value / timer observation count
+  double value = 0.0;       ///< counter value / gauge value / timer mean (ns)
+  double sum = 0.0;         ///< timers: total ns
+  double min = 0.0;         ///< timers: fastest observation (ns)
+  double max = 0.0;         ///< timers: slowest observation (ns)
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Intern `name` as a metric of the given kind; returns the existing id on
+  /// repeat calls. Re-registering a name under a different kind throws.
+  MetricId counter(std::string_view name);
+  MetricId gauge(std::string_view name);
+  MetricId timer(std::string_view name);
+
+  /// Lookup without creating; nullopt if the name was never registered.
+  std::optional<MetricId> find(std::string_view name) const;
+
+  // --- Hot-path updates ----------------------------------------------------
+
+  void add(MetricId id, std::uint64_t delta = 1) {
+    counters_[id].fetch_add(delta, std::memory_order_relaxed);
+  }
+  void set(MetricId id, double value) {
+    gauges_[id].store(value, std::memory_order_relaxed);
+  }
+  /// Records one timer observation (owning thread only).
+  void observe_ns(MetricId id, std::uint64_t ns);
+
+  /// Master switch for wall-clock timer sections (ScopedTimer). Off by
+  /// default so instrumented code paths stay branch-only.
+  bool timing_enabled() const { return timing_enabled_; }
+  void set_timing_enabled(bool on) { timing_enabled_ = on; }
+
+  // --- Reads / scraping ----------------------------------------------------
+
+  std::uint64_t counter_value(MetricId id) const {
+    return counters_[id].load(std::memory_order_relaxed);
+  }
+  double gauge_value(MetricId id) const {
+    return gauges_[id].load(std::memory_order_relaxed);
+  }
+  std::uint64_t timer_count(MetricId id) const;
+  /// Histogram-estimated percentile of a timer, in ns (p in [0,100]).
+  double timer_percentile_ns(MetricId id, double p) const;
+
+  std::size_t size() const { return names_.size(); }
+
+  /// Materializes every registered metric, in registration order.
+  std::vector<MetricSample> snapshot() const;
+
+  /// Writes every metric to `sink`, stamped with `sim_time_us`.
+  void scrape_to(Sink& sink, std::int64_t sim_time_us) const;
+
+  /// Zeroes all values; registrations (names/ids) survive.
+  void reset();
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricKind kind;
+    std::uint32_t slot;  ///< index into the kind-specific storage
+  };
+  struct TimerCell {
+    RunningStats stats;
+    // log10(ns) over [0, 11) — sub-ns to ~100 s — 8 buckets per decade.
+    Histogram hist{0.0, 11.0, 88};
+  };
+
+  MetricId intern(std::string_view name, MetricKind kind);
+
+  std::vector<Entry> names_;
+  std::unordered_map<std::string, MetricId> by_name_;
+  std::deque<std::atomic<std::uint64_t>> counters_;
+  std::deque<std::atomic<double>> gauges_;
+  std::deque<TimerCell> timers_;
+  bool timing_enabled_ = false;
+};
+
+/// RAII wall-clock section feeding a timer metric. Reads the clock only when
+/// the registry exists and has timing enabled; otherwise both constructor
+/// and destructor are a null check.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, MetricId id);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry* registry_;
+  MetricId id_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace accountnet::obs

@@ -1,0 +1,53 @@
+// Structured trace events in a fixed-capacity ring buffer.
+//
+// Events are stamped with *simulated* time by the producer (obs never reads
+// a clock for traces, preserving determinism). When the ring is full the
+// oldest event is overwritten and `dropped()` counts the loss — tracing is
+// best-effort observability, never backpressure. A capacity of 0 turns the
+// ring into a no-op, which is the default wiring everywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace accountnet::obs {
+
+struct TraceEvent {
+  std::int64_t t_us = 0;     ///< simulated time (sim::TimePoint)
+  std::uint32_t code = 0;    ///< producer-defined discriminator (e.g. MsgType)
+  std::uint64_t a = 0;       ///< first operand (e.g. payload bytes)
+  std::uint64_t b = 0;       ///< second operand (e.g. channel/sequence id)
+  std::string label;         ///< short human tag ("shuffle_offer", ...)
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+class TraceRing {
+ public:
+  /// capacity == 0 makes every push a no-op.
+  explicit TraceRing(std::size_t capacity) : capacity_(capacity) {
+    events_.reserve(capacity);
+  }
+
+  void push(TraceEvent e);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return events_.size(); }
+  bool enabled() const { return capacity_ > 0; }
+  /// Events lost to overwrite since construction/clear.
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::size_t head_ = 0;  ///< next write position once the ring is full
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace accountnet::obs

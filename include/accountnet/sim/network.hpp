@@ -12,6 +12,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "accountnet/obs/metrics.hpp"
+#include "accountnet/obs/trace.hpp"
 #include "accountnet/sim/simulator.hpp"
 #include "accountnet/util/bytes.hpp"
 #include "accountnet/util/rng.hpp"
@@ -76,12 +78,39 @@ class SimNetwork {
   const NetworkStats& stats() const { return stats_; }
   Simulator& simulator() { return sim_; }
 
+  /// Maps a wire type tag to a stable metric-name fragment; tags the namer
+  /// does not recognize should map to a stable fallback (e.g. "type_17").
+  using TypeNamer = std::function<std::string(std::uint32_t)>;
+
+  /// Attaches a metrics registry: every subsequent send/delivery/drop bumps
+  /// per-type counters ("net.sent.<type>", "net.recv.<type>",
+  /// "net.drop.<type>", "net.bytes.<type>"). Pass nullptr to detach. The
+  /// registry must outlive the network (or the next set_metrics call).
+  void set_metrics(obs::MetricsRegistry* registry, TypeNamer namer = {});
+
+  /// Attaches a trace ring: each send records a TraceEvent{t, type,
+  /// payload_size, "from->to"} stamped with the simulated send time. Pass
+  /// nullptr to detach.
+  void set_trace(obs::TraceRing* ring) { trace_ = ring; }
+
  private:
+  struct TypeMetrics {
+    obs::MetricId sent;
+    obs::MetricId received;
+    obs::MetricId dropped;
+    obs::MetricId bytes;
+  };
+  const TypeMetrics& type_metrics(std::uint32_t type);
+
   Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
   Rng rng_;
   std::unordered_map<std::string, Handler> endpoints_;
   NetworkStats stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  TypeNamer namer_;
+  obs::TraceRing* trace_ = nullptr;
+  std::unordered_map<std::uint32_t, TypeMetrics> per_type_;
 };
 
 }  // namespace accountnet::sim

@@ -16,43 +16,42 @@ bool contains(const std::vector<PeerId>& v, const PeerId& p) {
 VerifyResult audit_entry_pair(const HistoryEntry& mine, const PeerId& me,
                               const HistoryEntry& theirs, const PeerId& them) {
   if (mine.kind != EntryKind::kShuffle || theirs.kind != EntryKind::kShuffle) {
-    return VerifyResult::fail("cross audit applies to shuffle entries");
+    return VerifyResult::fail(VerifyError::kAuditNotShuffleEntries);
   }
   if (!(mine.counterpart == them) || !(theirs.counterpart == me)) {
-    return VerifyResult::fail("entries do not reference each other");
+    return VerifyResult::fail(VerifyError::kAuditEntriesUnlinked);
   }
   // The nonces must cross-reference the rounds: my entry's nonce is their
   // round and vice versa.
   if (mine.nonce != theirs.self_round || theirs.nonce != mine.self_round) {
-    return VerifyResult::fail("round nonces do not cross-match");
+    return VerifyResult::fail(VerifyError::kAuditNonceMismatch);
   }
   // Exactly one side initiated.
   if (mine.initiated == theirs.initiated) {
-    return VerifyResult::fail("initiator flag inconsistent across the pair");
+    return VerifyResult::fail(VerifyError::kAuditInitiatorFlagMismatch);
   }
   // What I added must have been offered by them: their out-set, themselves
   // (the initiator inserts itself on the responder's side), or one of my own
   // refills (which by construction live in MY out-set, not in `in`).
   for (const auto& p : mine.in) {
     if (!contains(theirs.out, p) && !(p == them)) {
-      return VerifyResult::fail("in-peer " + p.addr + " was never offered");
+      return VerifyResult::fail(VerifyError::kAuditInPeerNeverOffered, p.addr);
     }
   }
   for (const auto& p : theirs.in) {
     if (!contains(mine.out, p) && !(p == me)) {
-      return VerifyResult::fail("counterpart in-peer " + p.addr + " was never offered");
+      return VerifyResult::fail(VerifyError::kAuditCounterpartInPeerNeverOffered, p.addr);
     }
   }
   // Refills come back from the node's own outgoing set.
   for (const auto& p : mine.fill) {
     if (!contains(mine.out, p)) {
-      return VerifyResult::fail("refill " + p.addr + " not drawn from the out-set");
+      return VerifyResult::fail(VerifyError::kAuditRefillNotFromOut, p.addr);
     }
   }
   for (const auto& p : theirs.fill) {
     if (!contains(theirs.out, p)) {
-      return VerifyResult::fail("counterpart refill " + p.addr +
-                                " not drawn from the out-set");
+      return VerifyResult::fail(VerifyError::kAuditCounterpartRefillNotFromOut, p.addr);
     }
   }
   return VerifyResult::pass();
@@ -69,24 +68,25 @@ VerifyResult audit_history_invariants(const std::vector<HistoryEntry>& suffix,
   Peerset reconstructed;
   for (const auto& e : suffix) {
     if (e.kind == EntryKind::kShuffle) {
-      if (e.counterpart == owner) return VerifyResult::fail("self-shuffle entry");
+      if (e.counterpart == owner) return VerifyResult::fail(VerifyError::kSelfShuffleEntry);
       for (const auto& p : e.fill) {
         if (!contains(e.out, p)) {
-          return VerifyResult::fail("refill " + p.addr + " not drawn from the out-set");
+          return VerifyResult::fail(VerifyError::kAuditRefillNotFromOut, p.addr);
         }
       }
       if (complete) {
         // Invariant: the counterpart was a known peer when the owner
         // initiated (responders meet unknown initiators legitimately).
         if (e.initiated && !reconstructed.contains(e.counterpart)) {
-          return VerifyResult::fail("initiated shuffle with a non-peer at round " +
-                                    std::to_string(e.self_round));
+          return VerifyResult::fail(VerifyError::kAuditInitiatedWithNonPeer,
+                                    "round " + std::to_string(e.self_round));
         }
         // Invariant: out ⊆ N̂[r].
         for (const auto& p : e.out) {
           if (!reconstructed.contains(p)) {
-            return VerifyResult::fail("removed non-member " + p.addr + " at round " +
-                                      std::to_string(e.self_round));
+            return VerifyResult::fail(
+                VerifyError::kAuditRemovedNonMember,
+                p.addr + " at round " + std::to_string(e.self_round));
           }
         }
       }
@@ -125,12 +125,11 @@ VerifyResult audit_neighborhood_full(const PeersetOracle& oracle, const PeerId& 
   // Diagnose the direction of the lie for a useful reason string.
   const auto ghosts = sorted_difference(claimed, actual);
   if (!ghosts.empty()) {
-    return VerifyResult::fail("claimed neighborhood contains unreachable node " +
-                              ghosts.front().addr);
+    return VerifyResult::fail(VerifyError::kNeighborhoodGhostNode, ghosts.front().addr);
   }
   const auto hidden = sorted_difference(actual, claimed);
-  return VerifyResult::fail("claimed neighborhood hides reachable node " +
-                            (hidden.empty() ? "?" : hidden.front().addr));
+  return VerifyResult::fail(VerifyError::kNeighborhoodHiddenNode,
+                            hidden.empty() ? "?" : hidden.front().addr);
 }
 
 VerifyResult audit_neighborhood_spot(const PeersetOracle& oracle, const PeerId& root,
@@ -146,8 +145,7 @@ VerifyResult audit_neighborhood_spot(const PeersetOracle& oracle, const PeerId& 
       cursor = ps->at(static_cast<std::size_t>(rng.uniform(ps->size())));
       if (cursor == root) continue;  // walked back home
       if (!claimed_set.contains(cursor)) {
-        return VerifyResult::fail("random walk reached undeclared node " + cursor.addr +
-                                  " (claimed neighborhood under-reports)");
+        return VerifyResult::fail(VerifyError::kNeighborhoodUnderReported, cursor.addr);
       }
     }
   }

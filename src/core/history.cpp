@@ -167,36 +167,36 @@ VerifyResult verify_history_suffix(const std::vector<HistoryEntry>& suffix,
   bool first = true;
   for (const auto& e : suffix) {
     if (!first && e.self_round <= prev_round) {
-      return VerifyResult::fail("history rounds not strictly ascending");
+      return VerifyResult::fail(VerifyError::kRoundsNotAscending);
     }
     prev_round = e.self_round;
     first = false;
 
     switch (e.kind) {
       case EntryKind::kJoin: {
-        if (e.self_round != 0) return VerifyResult::fail("join entry after round 0");
+        if (e.self_round != 0) return VerifyResult::fail(VerifyError::kJoinAfterRoundZero);
         const Bytes payload = join_stamp_payload(owner.addr);
         if (!provider.verify(e.counterpart.key, payload, e.signature)) {
-          return VerifyResult::fail("invalid bootstrap entry stamp");
+          return VerifyResult::fail(VerifyError::kInvalidJoinStamp);
         }
-        if (!e.out.empty()) return VerifyResult::fail("join entry must not remove peers");
+        if (!e.out.empty()) return VerifyResult::fail(VerifyError::kJoinRemovesPeers);
         break;
       }
       case EntryKind::kShuffle: {
         const Bytes payload = shuffle_nonce_payload(e.nonce);
         if (!provider.verify(e.counterpart.key, payload, e.signature)) {
-          return VerifyResult::fail("invalid shuffle counterpart signature");
+          return VerifyResult::fail(VerifyError::kInvalidShuffleSignature);
         }
-        if (e.counterpart == owner) return VerifyResult::fail("self-shuffle entry");
+        if (e.counterpart == owner) return VerifyResult::fail(VerifyError::kSelfShuffleEntry);
         break;
       }
       case EntryKind::kLeave: {
         if (e.out.size() != 1 || !e.in.empty() || !e.fill.empty()) {
-          return VerifyResult::fail("malformed leave entry");
+          return VerifyResult::fail(VerifyError::kMalformedLeaveEntry);
         }
         const Bytes payload = leave_payload(e.nonce, e.out.front().addr);
         if (!provider.verify(e.counterpart.key, payload, e.signature)) {
-          return VerifyResult::fail("invalid leave-report signature");
+          return VerifyResult::fail(VerifyError::kInvalidLeaveSignature);
         }
         break;
       }
@@ -204,15 +204,15 @@ VerifyResult verify_history_suffix(const std::vector<HistoryEntry>& suffix,
 
     // A node never holds itself in its peerset.
     for (const auto& p : e.in) {
-      if (p == owner) return VerifyResult::fail("history inserts owner into own peerset");
+      if (p == owner) return VerifyResult::fail(VerifyError::kOwnerInsertedIntoOwnPeerset);
     }
     for (const auto& p : e.fill) {
-      if (p == owner) return VerifyResult::fail("history fills owner into own peerset");
+      if (p == owner) return VerifyResult::fail(VerifyError::kOwnerFilledIntoOwnPeerset);
     }
   }
 
   if (!(UpdateHistory::reconstruct(suffix) == claimed)) {
-    return VerifyResult::fail("reconstructed peerset does not match claim");
+    return VerifyResult::fail(VerifyError::kReconstructionMismatch);
   }
   return VerifyResult::pass();
 }

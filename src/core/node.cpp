@@ -48,6 +48,91 @@ std::uint64_t fnv1a(const std::string& s) {
 
 }  // namespace
 
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kJoinRequest: return "join_request";
+    case MsgType::kJoinReply: return "join_reply";
+    case MsgType::kRoundQuery: return "round_query";
+    case MsgType::kRoundReply: return "round_reply";
+    case MsgType::kShuffleOffer: return "shuffle_offer";
+    case MsgType::kShuffleResponse: return "shuffle_response";
+    case MsgType::kShuffleReject: return "shuffle_reject";
+    case MsgType::kPing: return "ping";
+    case MsgType::kPong: return "pong";
+    case MsgType::kLeaveNotice: return "leave_notice";
+    case MsgType::kNeighborhoodQuery: return "neighborhood_query";
+    case MsgType::kNeighborhoodReply: return "neighborhood_reply";
+    case MsgType::kChannelRequest: return "channel_request";
+    case MsgType::kChannelAccept: return "channel_accept";
+    case MsgType::kChannelFinalize: return "channel_finalize";
+    case MsgType::kWitnessInvite: return "witness_invite";
+    case MsgType::kWitnessAck: return "witness_ack";
+    case MsgType::kDataRelay: return "data_relay";
+    case MsgType::kDataForward: return "data_forward";
+    case MsgType::kTestimonyQuery: return "testimony_query";
+    case MsgType::kTestimonyReply: return "testimony_reply";
+    case MsgType::kEntryQuery: return "entry_query";
+    case MsgType::kEntryReply: return "entry_reply";
+  }
+  return "unknown";
+}
+
+Node::MetricIds::MetricIds(obs::MetricsRegistry& r)
+    : shuffles_initiated(r.counter("node.shuffles_initiated")),
+      shuffles_completed(r.counter("node.shuffles_completed")),
+      shuffles_responded(r.counter("node.shuffles_responded")),
+      shuffles_rejected(r.counter("node.shuffles_rejected")),
+      shuffle_failures(r.counter("node.shuffle_failures")),
+      verification_failures(r.counter("node.verification_failures")),
+      history_suffix_bytes(r.counter("node.history_suffix_bytes")),
+      leaves_reported(r.counter("node.leaves_reported")),
+      relays_forwarded(r.counter("node.relays_forwarded")),
+      t_make_offer(r.timer("node.make_offer")),
+      t_verify_offer(r.timer("node.verify_offer")),
+      t_make_response(r.timer("node.make_response")),
+      t_verify_response(r.timer("node.verify_response")) {}
+
+Node::Stats Node::stats() const {
+  Stats s;
+  s.shuffles_initiated = metrics_.counter_value(ids_.shuffles_initiated);
+  s.shuffles_completed = metrics_.counter_value(ids_.shuffles_completed);
+  s.shuffles_responded = metrics_.counter_value(ids_.shuffles_responded);
+  s.shuffles_rejected = metrics_.counter_value(ids_.shuffles_rejected);
+  s.shuffle_failures = metrics_.counter_value(ids_.shuffle_failures);
+  s.verification_failures = metrics_.counter_value(ids_.verification_failures);
+  s.history_suffix_bytes = metrics_.counter_value(ids_.history_suffix_bytes);
+  s.leaves_reported = metrics_.counter_value(ids_.leaves_reported);
+  s.relays_forwarded = metrics_.counter_value(ids_.relays_forwarded);
+  return s;
+}
+
+void Node::update_config(const ConfigDelta& delta) {
+  // Validate the whole delta before touching anything, so a failed update
+  // leaves the config exactly as it was.
+  if (delta.witness_count) {
+    AN_ENSURE_MSG(*delta.witness_count >= 1, "witness_count must be >= 1");
+  }
+  if (delta.shuffle_period) {
+    AN_ENSURE_MSG(*delta.shuffle_period > 0, "shuffle_period must be positive");
+  }
+  if (delta.shuffle_jitter_frac) {
+    AN_ENSURE_MSG(*delta.shuffle_jitter_frac >= 0.0 && *delta.shuffle_jitter_frac <= 1.0,
+                  "shuffle_jitter_frac must be in [0, 1]");
+  }
+  if (delta.depth) {
+    AN_ENSURE_MSG(*delta.depth >= 1, "depth must be >= 1");
+  }
+  if (delta.rpc_timeout) {
+    AN_ENSURE_MSG(*delta.rpc_timeout > 0, "rpc_timeout must be positive");
+  }
+  if (delta.witness_count) config_.witness_count = *delta.witness_count;
+  if (delta.majority_opt) config_.majority_opt = *delta.majority_opt;
+  if (delta.shuffle_period) config_.shuffle_period = *delta.shuffle_period;
+  if (delta.shuffle_jitter_frac) config_.shuffle_jitter_frac = *delta.shuffle_jitter_frac;
+  if (delta.depth) config_.depth = *delta.depth;
+  if (delta.rpc_timeout) config_.rpc_timeout = *delta.rpc_timeout;
+}
+
 Node::Node(sim::SimNetwork& net, const std::string& addr,
            const crypto::CryptoProvider& provider, BytesView seed32, Config config,
            std::uint64_t rng_seed)
@@ -147,7 +232,7 @@ void Node::handle(const sim::NetMessage& msg) {
     }
   } catch (const wire::DecodeError&) {
     // Malformed traffic from a buggy/malicious peer: drop it.
-    ++stats_.verification_failures;
+    metrics_.add(ids_.verification_failures);
   }
 }
 
@@ -182,7 +267,7 @@ void Node::on_join_reply(const sim::NetMessage& msg) {
   r.expect_done();
   if (bootstrap.addr != msg.from) return;
   if (!provider_.verify(bootstrap.key, join_stamp_payload(state_.self().addr), stamp)) {
-    ++stats_.verification_failures;
+    metrics_.add(ids_.verification_failures);
     return;
   }
 
@@ -217,7 +302,7 @@ void Node::begin_shuffle() {
   if (!joined_ || pending_.has_value() || behavior_.refuse_shuffles) return;
   const auto choice = choose_partner(state_);
   if (!choice) return;  // empty peerset
-  ++stats_.shuffles_initiated;
+  metrics_.add(ids_.shuffles_initiated);
   PendingShuffle p;
   p.partner = choice->partner;
   p.choice = *choice;
@@ -239,14 +324,14 @@ void Node::begin_shuffle() {
 
 void Node::abort_shuffle(bool partner_suspect) {
   if (!pending_) return;
-  ++stats_.shuffle_failures;
+  metrics_.add(ids_.shuffle_failures);
   const PeerId partner = pending_->partner;
   pending_.reset();
   ++shuffle_epoch_;
   // Burn the round so the next initiation draws a fresh partner.
   state_.skip_round();
   if (partner_suspect) {
-    const int fails = ++partner_failures_[partner.addr];
+    const int fails = ++partner_failures_.at_or_insert(partner.addr);
     if (fails >= config_.failures_before_leave_check) {
       partner_failures_.erase(partner.addr);
       suspect_peer(partner);
@@ -281,10 +366,13 @@ void Node::on_round_reply(const sim::NetMessage& msg) {
     return;
   }
 
-  pending_->offer = make_offer(state_, pending_->choice, responder_round);
+  {
+    obs::ScopedTimer t(&metrics_, ids_.t_make_offer);
+    pending_->offer = make_offer(state_, pending_->choice, responder_round);
+  }
   pending_->offer_sent = true;
   const Bytes payload = pending_->offer.encode();
-  stats_.history_suffix_bytes += payload.size();
+  metrics_.add(ids_.history_suffix_bytes, payload.size());
   send(msg.from, MsgType::kShuffleOffer, payload);
 }
 
@@ -310,41 +398,57 @@ void Node::on_shuffle_offer(const sim::NetMessage& msg) {
   }
 
   // Replay defense: an initiator's offered round must move forward.
-  const auto it = last_seen_initiator_round_.find(offer.initiator.addr);
-  if (it != last_seen_initiator_round_.end() && offer.initiator_round <= it->second) {
-    ++stats_.shuffles_rejected;
+  const Round* floor = last_seen_initiator_round_.find(offer.initiator.addr);
+  if (floor != nullptr && offer.initiator_round <= *floor) {
+    metrics_.add(ids_.shuffles_rejected);
     reject(2);
     return;
   }
 
-  if (const auto v = verify_offer(offer, state_, state_.round(), provider_); !v) {
-    ++stats_.shuffles_rejected;
-    ++stats_.verification_failures;
+  VerifyResult v;
+  {
+    obs::ScopedTimer t(&metrics_, ids_.t_verify_offer);
+    v = verify_offer(offer, state_, state_.round(), provider_);
+  }
+  if (!v) {
+    metrics_.add(ids_.shuffles_rejected);
+    metrics_.add(ids_.verification_failures);
+    metrics_.add(metrics_.counter(std::string("node.reject.") + error_tag(v.code)));
     reject(2);
     return;
   }
-  last_seen_initiator_round_[offer.initiator.addr] = offer.initiator_round;
+  last_seen_initiator_round_.put(offer.initiator.addr, offer.initiator_round);
   partner_failures_.erase(offer.initiator.addr);
 
-  const ShuffleResponse resp = make_response_and_commit(state_, offer);
+  ShuffleResponse resp;
+  {
+    obs::ScopedTimer t(&metrics_, ids_.t_make_response);
+    resp = make_response_and_commit(state_, offer);
+  }
   purge_reported_leavers();
-  ++stats_.shuffles_responded;
+  metrics_.add(ids_.shuffles_responded);
   const Bytes payload = resp.encode();
-  stats_.history_suffix_bytes += payload.size();
+  metrics_.add(ids_.history_suffix_bytes, payload.size());
   send(msg.from, MsgType::kShuffleResponse, payload);
 }
 
 void Node::on_shuffle_response(const sim::NetMessage& msg) {
   if (!pending_ || !pending_->offer_sent || msg.from != pending_->partner.addr) return;
   const ShuffleResponse resp = ShuffleResponse::decode(msg.payload);
-  if (const auto v = verify_response(resp, state_, pending_->offer, provider_); !v) {
-    ++stats_.verification_failures;
+  VerifyResult v;
+  {
+    obs::ScopedTimer t(&metrics_, ids_.t_verify_response);
+    v = verify_response(resp, state_, pending_->offer, provider_);
+  }
+  if (!v) {
+    metrics_.add(ids_.verification_failures);
+    metrics_.add(metrics_.counter(std::string("node.reject.") + error_tag(v.code)));
     abort_shuffle(/*partner_suspect=*/true);
     return;
   }
   apply_offer_outcome(state_, pending_->offer, resp);
   purge_reported_leavers();
-  ++stats_.shuffles_completed;
+  metrics_.add(ids_.shuffles_completed);
   partner_failures_.erase(msg.from);
   pending_.reset();
   ++shuffle_epoch_;
@@ -398,7 +502,7 @@ void Node::suspect_peer(const PeerId& peer) {
       return;
     }
     // We are the reporter: log, then inform our peers (Sec. IV-A, Leaving).
-    ++stats_.leaves_reported;
+    metrics_.add(ids_.leaves_reported);
     const auto [round, sig] = state_.make_leave_report(probe.target);
     wire::Writer w;
     encode_peer(w, probe.target);
@@ -423,7 +527,7 @@ void Node::on_leave_notice(const sim::NetMessage& msg) {
   if (leaver == state_.self()) return;
   if (reported_leavers_.contains(leaver.addr) || ping_probes_.contains(leaver.addr)) return;
   if (!provider_.verify(reporter.key, leave_payload(reporter_round, leaver.addr), sig)) {
-    ++stats_.verification_failures;
+    metrics_.add(ids_.verification_failures);
     return;
   }
   // Independent liveness check before trusting the report.
@@ -508,7 +612,7 @@ void Node::on_neighborhood_query(const sim::NetMessage& msg) {
   const std::uint64_t ttl = r.varint();
   r.expect_done();
   if (origin == state_.self()) return;
-  if (!seen_queries_.insert(query_id).second) return;  // already served
+  if (!seen_queries_.insert(query_id)) return;  // already served
 
   wire::Writer reply;
   reply.u64(query_id);
@@ -642,7 +746,7 @@ void Node::on_channel_accept(const sim::NetMessage& msg) {
                                       plan.quota_consumer, nonce, consumer_proofs,
                                       consumer_draw);
       !v) {
-    ++stats_.verification_failures;
+    metrics_.add(ids_.verification_failures);
     if (ch.on_ready) ch.on_ready(id, false);
     producer_channels_.erase(it);
     return;
@@ -691,7 +795,7 @@ void Node::on_channel_finalize(const sim::NetMessage& msg) {
   // The producer's neighborhood must match what it sent at request time
   // (otherwise it could shop for a candidate set after seeing our draw).
   if (producer_nbh != ch.producer_neighborhood || producer_round != ch.producer_round) {
-    ++stats_.verification_failures;
+    metrics_.add(ids_.verification_failures);
     consumer_channels_.erase(it);
     return;
   }
@@ -703,7 +807,7 @@ void Node::on_channel_finalize(const sim::NetMessage& msg) {
                                       plan.quota_producer, nonce, producer_proofs,
                                       producer_draw);
       !v) {
-    ++stats_.verification_failures;
+    metrics_.add(ids_.verification_failures);
     consumer_channels_.erase(it);
     return;
   }
@@ -775,7 +879,7 @@ void Node::on_data_relay(const sim::NetMessage& msg) {
   if (behavior_.corrupt_relays) {
     payload = bytes_of("corrupted-payload");
   }
-  ++stats_.relays_forwarded;
+  metrics_.add(ids_.relays_forwarded);
   wire::Writer w;
   w.u64(id);
   w.u64(seq);

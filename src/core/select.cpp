@@ -65,21 +65,21 @@ VerifyResult verify_sample(const crypto::CryptoProvider& provider,
   const std::size_t target = std::min(want, candidates.size());
   if (target == 0) {
     if (!proofs.empty() || !claimed.empty()) {
-      return VerifyResult::fail("sample claimed from empty candidate set");
+      return VerifyResult::fail(VerifyError::kSampleFromEmptyCandidates);
     }
     return VerifyResult::pass();
   }
   if (proofs.size() > kMaxDrawAttempts) {
-    return VerifyResult::fail("too many draw proofs");
+    return VerifyResult::fail(VerifyError::kTooManyDrawProofs);
   }
   std::vector<PeerId> derived;
   for (std::size_t i = 0; i < proofs.size(); ++i) {
     if (derived.size() == target) {
-      return VerifyResult::fail("extra proofs after sample completion");
+      return VerifyResult::fail(VerifyError::kExtraDrawProofs);
     }
     const Bytes alpha = draw_alpha(domain, nonce, static_cast<std::uint64_t>(i) + 1);
     const auto beta = provider.vrf_verify(prover_key, alpha, proofs[i]);
-    if (!beta) return VerifyResult::fail("invalid VRF proof in sample draw");
+    if (!beta) return VerifyResult::fail(VerifyError::kInvalidVrfProof);
     const auto idx = select_index(candidates.size(), BytesView(beta->data(), beta->size()));
     if (!idx) continue;
     const PeerId& picked = candidates.at(*idx);
@@ -87,9 +87,9 @@ VerifyResult verify_sample(const crypto::CryptoProvider& provider,
     derived.push_back(picked);
   }
   if (derived.size() != target && proofs.size() != kMaxDrawAttempts) {
-    return VerifyResult::fail("sample stopped before completion");
+    return VerifyResult::fail(VerifyError::kSampleIncomplete);
   }
-  if (derived != claimed) return VerifyResult::fail("claimed sample deviates from VRF");
+  if (derived != claimed) return VerifyResult::fail(VerifyError::kSampleMismatch);
   return VerifyResult::pass();
 }
 

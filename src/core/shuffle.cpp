@@ -140,22 +140,22 @@ ShuffleOffer make_offer(const NodeState& state, const PartnerChoice& partner,
 VerifyResult verify_offer(const ShuffleOffer& offer, const NodeState& state,
                           Round expected_round, const crypto::CryptoProvider& provider) {
   if (offer.responder_round != expected_round) {
-    return VerifyResult::fail("offer echoes a stale round nonce");
+    return VerifyResult::fail(VerifyError::kStaleRoundNonce);
   }
   if (offer.initiator == state.self()) {
-    return VerifyResult::fail("node cannot shuffle with itself");
+    return VerifyResult::fail(VerifyError::kSelfShuffle);
   }
   // σ_i(r_i): the acknowledgement we will embed in our history entry.
   if (!provider.verify(offer.initiator.key, shuffle_nonce_payload(offer.initiator_round),
                        offer.initiator_round_sig)) {
-    return VerifyResult::fail("invalid initiator round signature");
+    return VerifyResult::fail(VerifyError::kInvalidInitiatorRoundSignature);
   }
   // Reconstruct and check the initiator's claimed peerset.
   const Peerset claimed(offer.claimed_peerset);
   if (claimed.size() != offer.claimed_peerset.size()) {
-    return VerifyResult::fail("claimed peerset contains duplicates");
+    return VerifyResult::fail(VerifyError::kDuplicatePeersetClaim);
   }
-  if (claimed.size() > 100000) return VerifyResult::fail("claimed peerset too large");
+  if (claimed.size() > 100000) return VerifyResult::fail(VerifyError::kPeersetTooLarge);
   if (const auto h = verify_history_suffix(offer.history_suffix, offer.initiator, claimed,
                                            provider);
       !h) {
@@ -165,17 +165,17 @@ VerifyResult verify_offer(const ShuffleOffer& offer, const NodeState& state,
   // need not end exactly at r_i - 1, but it can never reach r_i.
   if (!offer.history_suffix.empty() &&
       offer.history_suffix.back().self_round >= offer.initiator_round) {
-    return VerifyResult::fail("history suffix extends past the offered round");
+    return VerifyResult::fail(VerifyError::kHistoryBeyondOfferedRound);
   }
   // We must be the VRF-dictated partner for the initiator's current round.
   if (!claimed.contains(state.self())) {
-    return VerifyResult::fail("responder not in initiator peerset");
+    return VerifyResult::fail(VerifyError::kResponderNotInPeerset);
   }
   if (const auto p = verify_one(provider, offer.initiator.key, claimed, kPartnerDomain,
                                 round_nonce(offer.initiator_round), offer.partner_proofs,
                                 state.self());
       !p) {
-    return VerifyResult::fail("partner selection not dictated by VRF: " + p.reason);
+    return VerifyResult::fail(VerifyError::kPartnerSelectionMismatch, p.reason);
   }
   // The sample A must be the VRF draw over N_i - {v_j} seeded by OUR round.
   const Peerset candidates = claimed.minus({state.self()});
@@ -184,7 +184,7 @@ VerifyResult verify_offer(const ShuffleOffer& offer, const NodeState& state,
                                    kSampleDomain, round_nonce(offer.responder_round),
                                    offer.sample_proofs, offer.sample);
       !s) {
-    return VerifyResult::fail("offer sample not dictated by VRF: " + s.reason);
+    return VerifyResult::fail(VerifyError::kOfferSampleMismatch, s.reason);
   }
   return VerifyResult::pass();
 }
@@ -258,19 +258,19 @@ VerifyResult verify_response(const ShuffleResponse& response, const NodeState& s
                              const ShuffleOffer& sent_offer,
                              const crypto::CryptoProvider& provider) {
   if (response.responder_round != sent_offer.responder_round) {
-    return VerifyResult::fail("responder round changed mid-shuffle");
+    return VerifyResult::fail(VerifyError::kResponderRoundChanged);
   }
   if (response.responder == state.self()) {
-    return VerifyResult::fail("node cannot shuffle with itself");
+    return VerifyResult::fail(VerifyError::kSelfShuffle);
   }
   if (!provider.verify(response.responder.key,
                        shuffle_nonce_payload(response.responder_round),
                        response.responder_round_sig)) {
-    return VerifyResult::fail("invalid responder round signature");
+    return VerifyResult::fail(VerifyError::kInvalidResponderRoundSignature);
   }
   const Peerset claimed(response.claimed_peerset);
   if (claimed.size() != response.claimed_peerset.size()) {
-    return VerifyResult::fail("claimed peerset contains duplicates");
+    return VerifyResult::fail(VerifyError::kDuplicatePeersetClaim);
   }
   if (const auto h = verify_history_suffix(response.history_suffix, response.responder,
                                            claimed, provider);
@@ -279,7 +279,7 @@ VerifyResult verify_response(const ShuffleResponse& response, const NodeState& s
   }
   if (!response.history_suffix.empty() &&
       response.history_suffix.back().self_round >= response.responder_round) {
-    return VerifyResult::fail("history suffix extends past the responder round");
+    return VerifyResult::fail(VerifyError::kHistoryBeyondResponderRound);
   }
   const Peerset candidates = claimed.minus({state.self()});
   if (const auto s = verify_sample(provider, response.responder.key, candidates,
@@ -287,7 +287,7 @@ VerifyResult verify_response(const ShuffleResponse& response, const NodeState& s
                                    round_nonce(sent_offer.initiator_round),
                                    response.sample_proofs, response.sample);
       !s) {
-    return VerifyResult::fail("response sample not dictated by VRF: " + s.reason);
+    return VerifyResult::fail(VerifyError::kResponseSampleMismatch, s.reason);
   }
   return VerifyResult::pass();
 }

@@ -1,0 +1,136 @@
+#include "accountnet/core/verify.hpp"
+
+namespace accountnet::core {
+
+const char* reason_string(VerifyError code) {
+  switch (code) {
+    case VerifyError::kNone: return "ok";
+
+    case VerifyError::kSampleFromEmptyCandidates:
+      return "sample claimed from empty candidate set";
+    case VerifyError::kTooManyDrawProofs: return "too many draw proofs";
+    case VerifyError::kExtraDrawProofs: return "extra proofs after sample completion";
+    case VerifyError::kInvalidVrfProof: return "invalid VRF proof in sample draw";
+    case VerifyError::kSampleIncomplete: return "sample stopped before completion";
+    case VerifyError::kSampleMismatch: return "claimed sample deviates from VRF";
+
+    case VerifyError::kRoundsNotAscending:
+      return "history rounds not strictly ascending";
+    case VerifyError::kJoinAfterRoundZero: return "join entry after round 0";
+    case VerifyError::kInvalidJoinStamp: return "invalid bootstrap entry stamp";
+    case VerifyError::kJoinRemovesPeers: return "join entry must not remove peers";
+    case VerifyError::kInvalidShuffleSignature:
+      return "invalid shuffle counterpart signature";
+    case VerifyError::kSelfShuffleEntry: return "self-shuffle entry";
+    case VerifyError::kMalformedLeaveEntry: return "malformed leave entry";
+    case VerifyError::kInvalidLeaveSignature: return "invalid leave-report signature";
+    case VerifyError::kOwnerInsertedIntoOwnPeerset:
+      return "history inserts owner into own peerset";
+    case VerifyError::kOwnerFilledIntoOwnPeerset:
+      return "history fills owner into own peerset";
+    case VerifyError::kReconstructionMismatch:
+      return "reconstructed peerset does not match claim";
+
+    case VerifyError::kStaleRoundNonce: return "offer echoes a stale round nonce";
+    case VerifyError::kSelfShuffle: return "node cannot shuffle with itself";
+    case VerifyError::kInvalidInitiatorRoundSignature:
+      return "invalid initiator round signature";
+    case VerifyError::kInvalidResponderRoundSignature:
+      return "invalid responder round signature";
+    case VerifyError::kDuplicatePeersetClaim:
+      return "claimed peerset contains duplicates";
+    case VerifyError::kPeersetTooLarge: return "claimed peerset too large";
+    case VerifyError::kHistoryBeyondOfferedRound:
+      return "history suffix extends past the offered round";
+    case VerifyError::kHistoryBeyondResponderRound:
+      return "history suffix extends past the responder round";
+    case VerifyError::kResponderNotInPeerset:
+      return "responder not in initiator peerset";
+    case VerifyError::kPartnerSelectionMismatch:
+      return "partner selection not dictated by VRF";
+    case VerifyError::kOfferSampleMismatch: return "offer sample not dictated by VRF";
+    case VerifyError::kResponderRoundChanged:
+      return "responder round changed mid-shuffle";
+    case VerifyError::kResponseSampleMismatch:
+      return "response sample not dictated by VRF";
+
+    case VerifyError::kAuditNotShuffleEntries:
+      return "cross audit applies to shuffle entries";
+    case VerifyError::kAuditEntriesUnlinked: return "entries do not reference each other";
+    case VerifyError::kAuditNonceMismatch: return "round nonces do not cross-match";
+    case VerifyError::kAuditInitiatorFlagMismatch:
+      return "initiator flag inconsistent across the pair";
+    case VerifyError::kAuditInPeerNeverOffered: return "in-peer was never offered";
+    case VerifyError::kAuditCounterpartInPeerNeverOffered:
+      return "counterpart in-peer was never offered";
+    case VerifyError::kAuditRefillNotFromOut:
+      return "refill not drawn from the out-set";
+    case VerifyError::kAuditCounterpartRefillNotFromOut:
+      return "counterpart refill not drawn from the out-set";
+    case VerifyError::kAuditInitiatedWithNonPeer:
+      return "initiated shuffle with a non-peer";
+    case VerifyError::kAuditRemovedNonMember: return "removed non-member peer";
+    case VerifyError::kNeighborhoodGhostNode:
+      return "claimed neighborhood contains unreachable node";
+    case VerifyError::kNeighborhoodHiddenNode:
+      return "claimed neighborhood hides reachable node";
+    case VerifyError::kNeighborhoodUnderReported:
+      return "random walk reached undeclared node (claimed neighborhood under-reports)";
+  }
+  return "unknown verify error";
+}
+
+const char* error_tag(VerifyError code) {
+  switch (code) {
+    case VerifyError::kNone: return "ok";
+    case VerifyError::kSampleFromEmptyCandidates: return "sample_empty_candidates";
+    case VerifyError::kTooManyDrawProofs: return "too_many_draw_proofs";
+    case VerifyError::kExtraDrawProofs: return "extra_draw_proofs";
+    case VerifyError::kInvalidVrfProof: return "invalid_vrf_proof";
+    case VerifyError::kSampleIncomplete: return "sample_incomplete";
+    case VerifyError::kSampleMismatch: return "sample_mismatch";
+    case VerifyError::kRoundsNotAscending: return "rounds_not_ascending";
+    case VerifyError::kJoinAfterRoundZero: return "join_after_round_zero";
+    case VerifyError::kInvalidJoinStamp: return "invalid_join_stamp";
+    case VerifyError::kJoinRemovesPeers: return "join_removes_peers";
+    case VerifyError::kInvalidShuffleSignature: return "invalid_shuffle_signature";
+    case VerifyError::kSelfShuffleEntry: return "self_shuffle_entry";
+    case VerifyError::kMalformedLeaveEntry: return "malformed_leave_entry";
+    case VerifyError::kInvalidLeaveSignature: return "invalid_leave_signature";
+    case VerifyError::kOwnerInsertedIntoOwnPeerset: return "owner_inserted";
+    case VerifyError::kOwnerFilledIntoOwnPeerset: return "owner_filled";
+    case VerifyError::kReconstructionMismatch: return "reconstruction_mismatch";
+    case VerifyError::kStaleRoundNonce: return "stale_round_nonce";
+    case VerifyError::kSelfShuffle: return "self_shuffle";
+    case VerifyError::kInvalidInitiatorRoundSignature: return "invalid_initiator_sig";
+    case VerifyError::kInvalidResponderRoundSignature: return "invalid_responder_sig";
+    case VerifyError::kDuplicatePeersetClaim: return "duplicate_peerset_claim";
+    case VerifyError::kPeersetTooLarge: return "peerset_too_large";
+    case VerifyError::kHistoryBeyondOfferedRound: return "history_beyond_offered_round";
+    case VerifyError::kHistoryBeyondResponderRound:
+      return "history_beyond_responder_round";
+    case VerifyError::kResponderNotInPeerset: return "responder_not_in_peerset";
+    case VerifyError::kPartnerSelectionMismatch: return "partner_selection_mismatch";
+    case VerifyError::kOfferSampleMismatch: return "offer_sample_mismatch";
+    case VerifyError::kResponderRoundChanged: return "responder_round_changed";
+    case VerifyError::kResponseSampleMismatch: return "response_sample_mismatch";
+    case VerifyError::kAuditNotShuffleEntries: return "audit_not_shuffle_entries";
+    case VerifyError::kAuditEntriesUnlinked: return "audit_entries_unlinked";
+    case VerifyError::kAuditNonceMismatch: return "audit_nonce_mismatch";
+    case VerifyError::kAuditInitiatorFlagMismatch: return "audit_initiator_flag";
+    case VerifyError::kAuditInPeerNeverOffered: return "audit_in_peer_unoffered";
+    case VerifyError::kAuditCounterpartInPeerNeverOffered:
+      return "audit_counterpart_in_peer_unoffered";
+    case VerifyError::kAuditRefillNotFromOut: return "audit_refill_not_from_out";
+    case VerifyError::kAuditCounterpartRefillNotFromOut:
+      return "audit_counterpart_refill_not_from_out";
+    case VerifyError::kAuditInitiatedWithNonPeer: return "audit_initiated_with_non_peer";
+    case VerifyError::kAuditRemovedNonMember: return "audit_removed_non_member";
+    case VerifyError::kNeighborhoodGhostNode: return "neighborhood_ghost_node";
+    case VerifyError::kNeighborhoodHiddenNode: return "neighborhood_hidden_node";
+    case VerifyError::kNeighborhoodUnderReported: return "neighborhood_under_reported";
+  }
+  return "unknown";
+}
+
+}  // namespace accountnet::core

@@ -97,6 +97,7 @@ void Sha512::process_block(const std::uint8_t* block) {
 
 void Sha512::update(BytesView data) {
   AN_ENSURE_MSG(!finished_, "Sha512 reused after finish()");
+  if (data.empty()) return;  // empty spans may carry a null data() pointer
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

@@ -85,6 +85,40 @@ NetworkSim::~NetworkSim() = default;
 
 sim::TimePoint NetworkSim::now() const { return sim_.now(); }
 
+void NetworkSim::sync_metrics() {
+  // Counters are monotonic adds; bring each up to the struct's value so the
+  // hot shuffle loop keeps its plain-integer bookkeeping.
+  const auto sync_counter = [this](const char* name, std::uint64_t value) {
+    const obs::MetricId id = metrics_.counter(name);
+    const std::uint64_t have = metrics_.counter_value(id);
+    if (value > have) metrics_.add(id, value - have);
+  };
+  sync_counter("harness.shuffles_attempted", stats_.shuffles_attempted);
+  sync_counter("harness.shuffles_completed", stats_.shuffles_completed);
+  sync_counter("harness.shuffles_verified", stats_.shuffles_verified);
+  sync_counter("harness.verification_failures", stats_.verification_failures);
+  sync_counter("harness.dead_partner_hits", stats_.dead_partner_hits);
+  sync_counter("harness.refused_cross_group", stats_.refused_cross_group);
+  sync_counter("harness.leave_reports", stats_.leave_reports);
+  metrics_.set(metrics_.gauge("harness.network_size"),
+               static_cast<double>(nodes_.size()));
+  metrics_.set(metrics_.gauge("harness.alive"), static_cast<double>(alive_count_));
+  metrics_.set(metrics_.gauge("harness.joined"), static_cast<double>(joined_count_));
+  metrics_.set(metrics_.gauge("harness.rounds_completed"),
+               static_cast<double>(rounds_completed_));
+}
+
+void NetworkSim::scrape_metrics(obs::Sink& sink) {
+  sync_metrics();
+  metrics_.scrape_to(sink, sim_.now());
+  sink.flush();
+}
+
+void NetworkSim::write_metrics_json(const std::string& path) {
+  obs::JsonLinesSink sink(path);
+  scrape_metrics(sink);
+}
+
 void NetworkSim::launch_node(std::size_t idx) {
   HarnessNode& hn = *nodes_[idx];
   hn.alive = true;

@@ -1,0 +1,156 @@
+#include "accountnet/obs/metrics.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "accountnet/obs/sink.hpp"
+#include "accountnet/util/ensure.hpp"
+
+namespace accountnet::obs {
+
+namespace {
+
+std::uint64_t wall_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double log10_ns(std::uint64_t ns) {
+  return ns == 0 ? 0.0 : std::log10(static_cast<double>(ns));
+}
+
+}  // namespace
+
+MetricId MetricsRegistry::intern(std::string_view name, MetricKind kind) {
+  AN_ENSURE_MSG(!name.empty(), "metric name must be non-empty");
+  const auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    AN_ENSURE_MSG(names_[it->second].kind == kind,
+                  "metric re-registered under a different kind: " + std::string(name));
+    return it->second;
+  }
+  const auto id = static_cast<MetricId>(names_.size());
+  Entry e;
+  e.name = std::string(name);
+  e.kind = kind;
+  e.slot = 0;
+  if (kind == MetricKind::kTimer) {
+    e.slot = static_cast<std::uint32_t>(timers_.size());
+    timers_.emplace_back();
+  }
+  names_.push_back(std::move(e));
+  // Every id owns a counter and a gauge cell so hot-path updates index by id
+  // without a per-kind translation.
+  counters_.emplace_back(0);
+  gauges_.emplace_back(0.0);
+  by_name_.emplace(names_.back().name, id);
+  return id;
+}
+
+MetricId MetricsRegistry::counter(std::string_view name) {
+  return intern(name, MetricKind::kCounter);
+}
+
+MetricId MetricsRegistry::gauge(std::string_view name) {
+  return intern(name, MetricKind::kGauge);
+}
+
+MetricId MetricsRegistry::timer(std::string_view name) {
+  return intern(name, MetricKind::kTimer);
+}
+
+std::optional<MetricId> MetricsRegistry::find(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MetricsRegistry::observe_ns(MetricId id, std::uint64_t ns) {
+  AN_ENSURE_MSG(names_[id].kind == MetricKind::kTimer, "observe_ns on a non-timer");
+  TimerCell& cell = timers_[names_[id].slot];
+  cell.stats.add(static_cast<double>(ns));
+  cell.hist.add(log10_ns(ns));
+}
+
+std::uint64_t MetricsRegistry::timer_count(MetricId id) const {
+  AN_ENSURE_MSG(names_[id].kind == MetricKind::kTimer, "timer_count on a non-timer");
+  return timers_[names_[id].slot].stats.count();
+}
+
+double MetricsRegistry::timer_percentile_ns(MetricId id, double p) const {
+  AN_ENSURE_MSG(names_[id].kind == MetricKind::kTimer, "percentile on a non-timer");
+  const TimerCell& cell = timers_[names_[id].slot];
+  const std::size_t total = cell.hist.total();
+  if (total == 0) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(total);
+  std::size_t seen = cell.hist.underflow();
+  if (static_cast<double>(seen) >= rank && seen > 0) return cell.stats.min();
+  for (std::size_t i = 0; i < cell.hist.bucket_count(); ++i) {
+    seen += cell.hist.bucket(i);
+    if (static_cast<double>(seen) >= rank) {
+      const double mid = (cell.hist.bucket_lo(i) + cell.hist.bucket_hi(i)) / 2.0;
+      return std::pow(10.0, mid);
+    }
+  }
+  return cell.stats.max();
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::vector<MetricSample> out;
+  out.reserve(names_.size());
+  for (MetricId id = 0; id < names_.size(); ++id) {
+    const Entry& e = names_[id];
+    MetricSample s;
+    s.name = e.name;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.count = counter_value(id);
+        s.value = static_cast<double>(s.count);
+        break;
+      case MetricKind::kGauge:
+        s.value = gauge_value(id);
+        break;
+      case MetricKind::kTimer: {
+        const TimerCell& cell = timers_[e.slot];
+        s.count = cell.stats.count();
+        s.value = cell.stats.mean();
+        s.sum = cell.stats.sum();
+        s.min = cell.stats.min();
+        s.max = cell.stats.max();
+        s.p50 = timer_percentile_ns(id, 50.0);
+        s.p95 = timer_percentile_ns(id, 95.0);
+        s.p99 = timer_percentile_ns(id, 99.0);
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::scrape_to(Sink& sink, std::int64_t sim_time_us) const {
+  for (auto& sample : snapshot()) {
+    sink.write(sample, sim_time_us);
+  }
+  sink.flush();
+}
+
+void MetricsRegistry::reset() {
+  for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
+  for (auto& g : gauges_) g.store(0.0, std::memory_order_relaxed);
+  for (auto& t : timers_) t = TimerCell{};
+}
+
+ScopedTimer::ScopedTimer(MetricsRegistry* registry, MetricId id)
+    : registry_(registry && registry->timing_enabled() ? registry : nullptr), id_(id) {
+  if (registry_) start_ns_ = wall_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (registry_) registry_->observe_ns(id_, wall_ns() - start_ns_);
+}
+
+}  // namespace accountnet::obs

@@ -1,0 +1,31 @@
+#include "accountnet/obs/trace.hpp"
+
+namespace accountnet::obs {
+
+void TraceRing::push(TraceEvent e) {
+  if (capacity_ == 0) return;
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(e));
+    return;
+  }
+  events_[head_] = std::move(e);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(head_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+void TraceRing::clear() {
+  events_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace accountnet::obs

@@ -82,17 +82,46 @@ bool SimNetwork::is_attached(const std::string& address) const {
   return endpoints_.contains(address);
 }
 
+void SimNetwork::set_metrics(obs::MetricsRegistry* registry, TypeNamer namer) {
+  metrics_ = registry;
+  namer_ = std::move(namer);
+  per_type_.clear();  // ids belong to the previous registry
+}
+
+const SimNetwork::TypeMetrics& SimNetwork::type_metrics(std::uint32_t type) {
+  const auto it = per_type_.find(type);
+  if (it != per_type_.end()) return it->second;
+  const std::string name = namer_ ? namer_(type) : "type_" + std::to_string(type);
+  TypeMetrics m;
+  m.sent = metrics_->counter("net.sent." + name);
+  m.received = metrics_->counter("net.recv." + name);
+  m.dropped = metrics_->counter("net.drop." + name);
+  m.bytes = metrics_->counter("net.bytes." + name);
+  return per_type_.emplace(type, m).first->second;
+}
+
 void SimNetwork::send(NetMessage msg) {
   ++stats_.messages_sent;
   stats_.bytes_sent += msg.payload.size();
+  if (metrics_ != nullptr) {
+    const TypeMetrics& tm = type_metrics(msg.type);
+    metrics_->add(tm.sent);
+    metrics_->add(tm.bytes, msg.payload.size());
+  }
+  if (trace_ != nullptr) {
+    trace_->push({sim_.now(), msg.type, msg.payload.size(), 0,
+                  msg.from + "->" + msg.to});
+  }
   const Duration delay = latency_->sample(rng_);
   sim_.schedule(delay, [this, m = std::move(msg)]() {
     const auto it = endpoints_.find(m.to);
     if (it == endpoints_.end()) {
       ++stats_.messages_dropped;
+      if (metrics_ != nullptr) metrics_->add(type_metrics(m.type).dropped);
       return;
     }
     ++stats_.messages_delivered;
+    if (metrics_ != nullptr) metrics_->add(type_metrics(m.type).received);
     it->second(m);
   });
 }

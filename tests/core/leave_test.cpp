@@ -132,5 +132,48 @@ TEST(GracefulLeave, BadSignatureNoticeIgnoredWithoutPing) {
   EXPECT_GT(nodes[1]->stats().verification_failures, failures_before);
 }
 
+TEST(GracefulLeave, LeaveShowsUpInMetrics) {
+  LeaveNet ln;
+  obs::MetricsRegistry fabric;
+  ln.net.set_metrics(&fabric, [](std::uint32_t t) {
+    return std::string(msg_type_name(static_cast<MsgType>(t)));
+  });
+  auto nodes = ln.build(10);
+  Node* leaver = nodes[4];
+
+  leaver->stop_gracefully();
+  ln.sim.run_until(ln.sim.now() + sim::seconds(30));
+
+  // The notice crossed the fabric (one per current peer), and receivers
+  // ping-confirmed before recording (the leaver is detached, so the pings
+  // go unanswered and the self-report is accepted).
+  const auto count_of = [&](const char* name) {
+    const auto id = fabric.find(name);
+    return id ? fabric.counter_value(*id) : std::uint64_t{0};
+  };
+  EXPECT_GE(count_of("net.sent.leave_notice"), 1u);
+  EXPECT_GE(count_of("net.recv.leave_notice"), 1u);
+  EXPECT_GE(count_of("net.sent.ping"), 1u);
+  EXPECT_GE(count_of("net.drop.ping"), 1u);  // leaver detached: pings dropped
+
+  // Some peer recorded the departure; nobody *originated* a report
+  // (leaves_reported counts the suspect-timeout path, not accepted
+  // self-reports), and each node's stats() snapshot matches its registry.
+  std::size_t recorded = 0;
+  for (auto* n : nodes) {
+    if (n == leaver) continue;
+    const auto id = n->metrics().find("node.leaves_reported");
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(n->stats().leaves_reported, n->metrics().counter_value(*id));
+    for (const auto& e : n->state().history().entries()) {
+      if (e.kind == EntryKind::kLeave && e.out.size() == 1 &&
+          e.out.front() == leaver->id()) {
+        ++recorded;
+      }
+    }
+  }
+  EXPECT_GE(recorded, 1u);
+}
+
 }  // namespace
 }  // namespace accountnet::core

@@ -1,0 +1,74 @@
+// VerifyError: every code has distinct text and a distinct machine tag, and
+// the VerifyResult helpers keep the documented bool+reason shape.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "accountnet/core/audit.hpp"
+#include "accountnet/core/verify.hpp"
+
+namespace accountnet::core {
+namespace {
+
+TEST(VerifyError, EveryCodeHasUniqueNonEmptyReasonAndTag) {
+  std::set<std::string> reasons;
+  std::set<std::string> tags;
+  const auto last = static_cast<unsigned>(kLastVerifyError);
+  for (unsigned i = 0; i <= last; ++i) {
+    const auto code = static_cast<VerifyError>(i);
+    const std::string reason = reason_string(code);
+    const std::string tag = error_tag(code);
+    EXPECT_FALSE(reason.empty()) << "code " << i;
+    EXPECT_FALSE(tag.empty()) << "code " << i;
+    EXPECT_TRUE(reasons.insert(reason).second) << "duplicate reason: " << reason;
+    EXPECT_TRUE(tags.insert(tag).second) << "duplicate tag: " << tag;
+    // Tags are metric-name suffixes: lowercase snake_case only.
+    for (const char c : tag) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')
+          << "tag '" << tag << "' has invalid char '" << c << "'";
+    }
+  }
+  EXPECT_EQ(reasons.size(), last + 1);
+}
+
+TEST(VerifyError, PassAndFailShapes) {
+  const VerifyResult ok = VerifyResult::pass();
+  EXPECT_TRUE(ok.ok);
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(ok.code, VerifyError::kNone);
+  EXPECT_TRUE(ok.reason.empty());
+
+  const VerifyResult bare = VerifyResult::fail(VerifyError::kSampleMismatch);
+  EXPECT_FALSE(bare.ok);
+  EXPECT_FALSE(static_cast<bool>(bare));
+  EXPECT_EQ(bare.code, VerifyError::kSampleMismatch);
+  EXPECT_EQ(bare.reason, reason_string(VerifyError::kSampleMismatch));
+
+  const VerifyResult detailed =
+      VerifyResult::fail(VerifyError::kAuditRemovedNonMember, "nodeX at round 7");
+  EXPECT_EQ(detailed.code, VerifyError::kAuditRemovedNonMember);
+  EXPECT_EQ(detailed.reason, std::string(reason_string(VerifyError::kAuditRemovedNonMember)) +
+                                 ": nodeX at round 7");
+}
+
+// A real verification path reports through the enum: auditing two non-shuffle
+// entries as a shuffle pair must yield kAuditNotShuffleEntries.
+TEST(VerifyError, AuditPathReportsTypedCode) {
+  HistoryEntry a;
+  a.kind = EntryKind::kJoin;
+  HistoryEntry b;
+  b.kind = EntryKind::kJoin;
+  PeerId me;
+  me.addr = "me";
+  PeerId them;
+  them.addr = "them";
+  const VerifyResult v = audit_entry_pair(a, me, b, them);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.code, VerifyError::kAuditNotShuffleEntries);
+  EXPECT_EQ(v.reason, reason_string(VerifyError::kAuditNotShuffleEntries));
+  EXPECT_STREQ(error_tag(v.code), "audit_not_shuffle_entries");
+}
+
+}  // namespace
+}  // namespace accountnet::core

@@ -1,0 +1,60 @@
+// TraceRing: ordering, wraparound accounting, and the capacity-0 no-op mode.
+#include <gtest/gtest.h>
+
+#include "accountnet/obs/trace.hpp"
+
+namespace accountnet::obs {
+namespace {
+
+TraceEvent ev(std::int64_t t) {
+  TraceEvent e;
+  e.t_us = t;
+  e.code = static_cast<std::uint32_t>(t);
+  return e;
+}
+
+TEST(TraceRing, KeepsEventsInOrderBelowCapacity) {
+  TraceRing ring(4);
+  ring.push(ev(1));
+  ring.push(ev(2));
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].t_us, 1);
+  EXPECT_EQ(snap[1].t_us, 2);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRing, OverwritesOldestWhenFull) {
+  TraceRing ring(3);
+  for (std::int64_t t = 1; t <= 5; ++t) ring.push(ev(t));
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].t_us, 3);  // 1 and 2 were overwritten
+  EXPECT_EQ(snap[1].t_us, 4);
+  EXPECT_EQ(snap[2].t_us, 5);
+  EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(TraceRing, ZeroCapacityIsNoOp) {
+  TraceRing ring(0);
+  EXPECT_FALSE(ring.enabled());
+  ring.push(ev(1));
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(TraceRing, ClearResetsContentAndDropCount) {
+  TraceRing ring(2);
+  for (std::int64_t t = 1; t <= 4; ++t) ring.push(ev(t));
+  EXPECT_EQ(ring.dropped(), 2u);
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  ring.push(ev(9));
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].t_us, 9);
+}
+
+}  // namespace
+}  // namespace accountnet::obs
