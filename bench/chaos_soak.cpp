@@ -1,0 +1,290 @@
+// Chaos soak: resilience of the event-driven core::Node stack (bounded RPC
+// retries, blind-send redundancy, witness repair) and of the harness overlay
+// under injected faults (sim/fault.hpp).
+//
+// Part A drives a settled core::Node overlay with witnessed data channels
+// through loss / healed-partition / crash-restart scenarios and reports
+//   - shuffle liveness: completed / (initiated - benign busy rejects),
+//   - channel delivery rate: delivered / sent payloads,
+//   - the retry/repair/fault counters behind them.
+// Part B sweeps uniform loss over the synchronous harness at larger |V|
+// (no retries there: a faulted leg burns the round, bounding the damage).
+//
+// Emits BENCH_chaos_soak.json (JSON-lines, one row per scenario).
+#include <set>
+#include <utility>
+
+#include "accountnet/core/node.hpp"
+#include "accountnet/obs/sink.hpp"
+#include "accountnet/sim/fault.hpp"
+#include "bench_sim.hpp"
+
+namespace {
+
+using namespace accountnet;
+
+// ---------------------------------------------------------------------------
+// Part A: core::Node soak.
+// ---------------------------------------------------------------------------
+
+struct SoakOutcome {
+  double shuffle_liveness = 0.0;
+  double delivery_rate = 0.0;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t exhausted = 0;
+  std::uint64_t repairs = 0;
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_duplicated = 0;
+  std::uint64_t faults_delayed = 0;
+};
+
+struct ShuffleCounts {
+  std::uint64_t initiated = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t benign = 0;
+};
+
+class NodeSoak {
+ public:
+  NodeSoak(std::size_t n, std::uint64_t seed)
+      : net_(sim_, sim::netem_latency(), seed) {
+    core::Node::Config config;
+    config.protocol.max_peerset = 5;
+    config.protocol.shuffle_length = 3;
+    config.shuffle_period = sim::seconds(10);
+    config.depth = 3;
+    config.witness_count = 4;
+    config.majority_opt = true;
+    // Chaos posture: retries on acked RPCs, redundant copies on blind sends,
+    // periodic witness health checks. These are the knobs the defaults keep
+    // at one-shot for byte-identical clean runs. Spacing is chosen so all
+    // attempts land inside rpc_timeout (2 s): 0, 0.3, 0.75, 1.43 s.
+    config.query_retry = {4, sim::milliseconds(300), 1.5, 0.1};
+    config.channel_retry = {4, sim::milliseconds(300), 1.5, 0.1};
+    config.blind_retry = {3, sim::milliseconds(300), 1.5, 0.1};
+    config.witness_ping_period = sim::seconds(15);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      Bytes node_seed(32);
+      Rng rng(seed * 1000 + i);
+      for (auto& b : node_seed) b = static_cast<std::uint8_t>(rng.next_u64());
+      nodes_.push_back(std::make_unique<core::Node>(net_, "c" + std::to_string(100 + i),
+                                                    *provider_, node_seed, config,
+                                                    rng.next_u64()));
+    }
+    nodes_[0]->start_as_seed();
+    for (std::size_t i = 1; i < n; ++i) {
+      sim_.schedule(sim::milliseconds(static_cast<std::int64_t>(20 * i)),
+                    [this, i] { nodes_[i]->start_join(nodes_[i - 1]->id().addr); });
+    }
+    sim_.run_until(sim_.now() + sim::seconds(120));  // settle the overlay
+  }
+
+  /// Opens `pairs` producer->consumer channels across the overlay and waits
+  /// for the witness groups to come up. Returns the ready channel ids.
+  void open_channels(std::size_t pairs) {
+    const std::size_t n = nodes_.size();
+    for (std::size_t p = 0; p < pairs; ++p) {
+      const std::size_t prod = p;
+      const std::size_t cons = n - 1 - p;
+      nodes_[cons]->set_delivery_callback(
+          [this](std::uint64_t ch, std::uint64_t seq, const Bytes&, const core::PeerId&) {
+            delivered_.insert({ch, seq});
+          });
+      nodes_[prod]->open_channel(nodes_[cons]->id().addr,
+                                 [this, prod](std::uint64_t ch, bool ok) {
+                                   if (ok) ready_.push_back({prod, ch});
+                                 });
+    }
+    sim_.run_until(sim_.now() + sim::seconds(30));
+  }
+
+  ShuffleCounts shuffle_counts() const {
+    ShuffleCounts c;
+    for (const auto& node : nodes_) {
+      const auto s = node->stats();
+      c.initiated += s.shuffles_initiated;
+      c.completed += s.shuffles_completed;
+      const auto& m = node->metrics();
+      if (const auto id = m.find("node.shuffles_rejected_benign")) {
+        c.benign += m.counter_value(*id);
+      }
+    }
+    return c;
+  }
+
+  /// Runs the soak window under `plan`, publishing one payload per channel
+  /// every `cadence` for `duration`, then heals and drains.
+  SoakOutcome soak(const sim::FaultPlan& plan, sim::Duration duration,
+                   sim::Duration cadence) {
+    const ShuffleCounts before = shuffle_counts();
+    const auto net_before = net_.stats();
+    delivered_.clear();
+    std::uint64_t sent = 0;
+    std::uint64_t seq_salt = 0;
+
+    net_.set_fault_plan(plan);
+    const sim::TimePoint stop = sim_.now() + duration;
+    while (sim_.now() < stop) {
+      for (const auto& [prod, ch] : ready_) {
+        Bytes payload{0xCA, static_cast<std::uint8_t>(seq_salt++)};
+        nodes_[prod]->send_data(ch, std::move(payload));
+        ++sent;
+      }
+      sim_.run_until(sim_.now() + cadence);
+    }
+    net_.clear_fault_plan();
+    sim_.run_until(sim_.now() + sim::seconds(30));  // drain retries/repairs
+
+    const ShuffleCounts after = shuffle_counts();
+    const auto net_after = net_.stats();
+    SoakOutcome out;
+    out.sent = sent;
+    out.delivered = delivered_.size();
+    out.delivery_rate = sent ? static_cast<double>(out.delivered) / sent : 1.0;
+    const std::uint64_t attempted =
+        (after.initiated - before.initiated) - (after.benign - before.benign);
+    out.shuffle_liveness =
+        attempted ? static_cast<double>(after.completed - before.completed) / attempted
+                  : 1.0;
+    for (const auto& node : nodes_) {
+      const auto s = node->stats();
+      out.retries += s.rpc_retries;
+      out.exhausted += s.rpc_exhausted;
+      out.repairs += s.witness_repairs;
+    }
+    out.faults_dropped = net_after.faults_dropped - net_before.faults_dropped;
+    out.faults_duplicated = net_after.faults_duplicated - net_before.faults_duplicated;
+    out.faults_delayed = net_after.faults_delayed - net_before.faults_delayed;
+    return out;
+  }
+
+  sim::TimePoint now() const { return sim_.now(); }
+  std::string addr(std::size_t i) const { return nodes_[i]->id().addr; }
+  std::size_t size() const { return nodes_.size(); }
+
+ private:
+  sim::Simulator sim_;
+  std::unique_ptr<crypto::CryptoProvider> provider_ = crypto::make_fast_crypto();
+  sim::SimNetwork net_;
+  std::vector<std::unique_ptr<core::Node>> nodes_;
+  std::vector<std::pair<std::size_t, std::uint64_t>> ready_;  // (producer, channel)
+  std::set<std::pair<std::uint64_t, std::uint64_t>> delivered_;
+};
+
+struct Scenario {
+  std::string label;
+  std::function<sim::FaultPlan(const NodeSoak&)> make_plan;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace accountnet;
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_header("chaos_soak",
+                      "resilience soak — loss / partitions / crash-restart churn",
+                      args.full);
+  obs::JsonLinesSink sink("BENCH_chaos_soak.json");
+
+  // --- Part A: core::Node stack --------------------------------------------
+  const std::size_t n = args.full ? 96 : 64;
+  const std::size_t pairs = 8;
+  const sim::Duration window = args.full ? sim::seconds(600) : sim::seconds(240);
+  const sim::Duration cadence = sim::seconds(2);
+
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"baseline", [](const NodeSoak&) { return sim::FaultPlan{}; }});
+  for (const double p : args.full ? std::vector<double>{0.05, 0.10, 0.20}
+                                  : std::vector<double>{0.05, 0.10}) {
+    scenarios.push_back({"loss " + Table::num(p * 100, 0) + "%",
+                         [p](const NodeSoak&) { return sim::FaultPlan::uniform_loss(p, 7); }});
+  }
+  scenarios.push_back(
+      {"loss 10% + healed partition", [](const NodeSoak& s) {
+         auto plan = sim::FaultPlan::uniform_loss(0.10, 7);
+         sim::Partition part;
+         for (std::size_t i = 0; i < s.size() / 8; ++i) part.side_a.push_back(s.addr(i));
+         part.start = s.now() + sim::seconds(60);
+         part.heal = part.start + sim::seconds(20);
+         plan.partitions.push_back(part);
+         return plan;
+       }});
+  scenarios.push_back(
+      {"crash-restart churn", [](const NodeSoak& s) {
+         sim::FaultPlan plan;
+         plan.seed = 7;
+         for (std::size_t k = 1; k <= 3; ++k) {
+           sim::CrashWindow w;
+           w.addr = s.addr(5 * k);
+           w.crash = s.now() + sim::seconds(static_cast<std::int64_t>(30 * k));
+           w.restart = w.crash + sim::seconds(30);
+           plan.crashes.push_back(w);
+         }
+         return plan;
+       }});
+
+  std::printf("\n--- core::Node soak: |V| = %zu, %zu channels, %s window ---\n", n,
+              pairs, args.full ? "600 s" : "240 s");
+  std::printf("building and settling the overlay...\n");
+  Table t({"scenario", "shuffle liveness", "delivery", "retries", "exhausted",
+           "repairs", "dropped"});
+  for (const auto& sc : scenarios) {
+    NodeSoak soak(n, args.seed);
+    soak.open_channels(pairs);
+    const auto out = soak.soak(sc.make_plan(soak), window, cadence);
+    t.add_row({sc.label, Table::num(out.shuffle_liveness, 4),
+               Table::num(out.delivery_rate, 4), std::to_string(out.retries),
+               std::to_string(out.exhausted), std::to_string(out.repairs),
+               std::to_string(out.faults_dropped)});
+    sink.raw_line("{\"bench\":\"chaos_soak\",\"part\":\"node\",\"scenario\":\"" +
+                  sc.label + "\",\"shuffle_liveness\":" +
+                  Table::num(out.shuffle_liveness, 6) + ",\"delivery_rate\":" +
+                  Table::num(out.delivery_rate, 6) + ",\"sent\":" +
+                  std::to_string(out.sent) + ",\"delivered\":" +
+                  std::to_string(out.delivered) + ",\"rpc_retries\":" +
+                  std::to_string(out.retries) + ",\"rpc_exhausted\":" +
+                  std::to_string(out.exhausted) + ",\"witness_repairs\":" +
+                  std::to_string(out.repairs) + ",\"faults_dropped\":" +
+                  std::to_string(out.faults_dropped) + ",\"faults_duplicated\":" +
+                  std::to_string(out.faults_duplicated) + ",\"faults_delayed\":" +
+                  std::to_string(out.faults_delayed) + "}");
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n%s", t.to_string().c_str());
+
+  // --- Part B: harness overlay under uniform loss --------------------------
+  const std::size_t v = args.full ? 2000 : 500;
+  std::printf("\n--- harness overlay: |V| = %zu, uniform loss sweep ---\n", v);
+  Table h({"loss", "attempted", "completed", "fault failures", "liveness"});
+  for (const double p : {0.0, 0.05, 0.10, 0.20}) {
+    auto config = bench::paper_config(v, 5, 2, args.seed);
+    if (p > 0.0) config.fault_plan = sim::FaultPlan::uniform_loss(p, 7);
+    harness::NetworkSim hsim(config);
+    hsim.run(bench::steady_rounds(config, 20), [](std::size_t) {});
+    const auto& s = hsim.stats();
+    const double liveness =
+        s.shuffles_attempted
+            ? static_cast<double>(s.shuffles_completed) / s.shuffles_attempted
+            : 1.0;
+    h.add_row({Table::num(p * 100, 0) + "%", std::to_string(s.shuffles_attempted),
+               std::to_string(s.shuffles_completed), std::to_string(s.fault_failures),
+               Table::num(liveness, 4)});
+    sink.raw_line("{\"bench\":\"chaos_soak\",\"part\":\"harness\",\"loss\":" +
+                  Table::num(p, 3) + ",\"network_size\":" + std::to_string(v) + "}");
+    hsim.scrape_metrics(sink);
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n%s", h.to_string().c_str());
+  std::printf(
+      "\nShape checks: node-stack liveness and delivery stay near 1.0 through\n"
+      "10%% loss (retries + blind redundancy absorb it); the healed partition\n"
+      "dents but does not sink delivery; harness liveness degrades as\n"
+      "(1-p)^4 per shuffle since that layer deliberately has no retries.\n");
+  std::printf("wrote BENCH_chaos_soak.json\n");
+  return 0;
+}

@@ -56,12 +56,27 @@ enum class MsgType : std::uint32_t {
   kTestimonyReply = 21,
   kEntryQuery = 22,
   kEntryReply = 23,
+  kWitnessUpdate = 24,
+  kWitnessUpdateAck = 25,
 };
 
 /// Stable snake_case name for a message type ("shuffle_offer", ...); used as
 /// the per-type metric-name fragment by SimNetwork::set_metrics. Exhaustive
 /// switch — a new MsgType without a name is a compile warning under -Wall.
 const char* msg_type_name(MsgType type);
+
+/// Bounded-retry policy for one class of RPC (see docs/RESILIENCE.md for the
+/// per-RPC table). `attempts` counts total transmissions, so 1 means a
+/// single shot with no retry. The wait before retry k is
+/// `base_delay * backoff^(k-1)`, jittered by +-`jitter_frac`. Retries only
+/// ever fire after `base_delay` of silence, so on a clean network (replies
+/// within ~2 RTT) a policy with attempts > 1 behaves exactly like one shot.
+struct RetryPolicy {
+  int attempts = 1;
+  sim::Duration base_delay = sim::milliseconds(600);
+  double backoff = 2.0;
+  double jitter_frac = 0.1;
+};
 
 class Node {
  public:
@@ -82,6 +97,27 @@ class Node {
     std::size_t max_seen_queries = 4096;
     std::size_t max_tracked_partners = 1024;
     std::size_t max_reported_leavers = 4096;
+
+    // Retry policies (docs/RESILIENCE.md). Acked request/reply RPCs retry
+    // until the reply lands or attempts run out; "blind" sends (no ack on
+    // the wire: finalize, witness update, data relay/forward) transmit
+    // `attempts` copies spaced by the backoff schedule and rely on the
+    // receiver's duplicate suppression.
+    //
+    // Defaults reproduce the pre-retry wire behavior bit-for-bit: a single
+    // transmission everywhere (a silent peer — e.g. one that has not joined
+    // yet — must not attract retransmissions in a clean run), and the one
+    // historical join retransmission at 8 s. Chaos/soak configs raise the
+    // attempt counts; see bench/chaos_soak.
+    RetryPolicy join_retry{2, sim::seconds(8), 1.0, 0.0};       ///< bootstrap join
+    RetryPolicy query_retry{1, sim::milliseconds(600), 2.0, 0.1};   ///< round/shuffle/testimony/entry
+    RetryPolicy channel_retry{1, sim::milliseconds(600), 2.0, 0.1}; ///< request + invites
+    RetryPolicy blind_retry{1, sim::milliseconds(400), 2.0, 0.1};   ///< unacked sends
+
+    /// Producer-side witness health checks: every period, ping-probe the
+    /// witnesses of ready channels; a silent witness is reported as left and
+    /// repaired (replaced via a fresh verifiable draw). 0 disables.
+    sim::Duration witness_ping_period = 0;
   };
 
   /// Partial runtime reconfiguration: only fields holding a value change.
@@ -117,6 +153,9 @@ class Node {
     std::uint64_t history_suffix_bytes = 0;  ///< cumulative proof sizes sent
     std::uint64_t leaves_reported = 0;
     std::uint64_t relays_forwarded = 0;
+    std::uint64_t rpc_retries = 0;           ///< retransmissions by the RPC table
+    std::uint64_t rpc_exhausted = 0;         ///< RPCs abandoned after max attempts
+    std::uint64_t witness_repairs = 0;       ///< witnesses replaced on live channels
   };
 
   using DeliveryCallback = std::function<void(
@@ -148,6 +187,11 @@ class Node {
 
   bool running() const { return running_; }
   bool joined() const { return joined_; }
+  /// Terminal join failure: the bootstrap never answered within
+  /// `join_retry.attempts` transmissions. The node stays attached (it can
+  /// be contacted) but never starts shuffling; also counted as
+  /// "node.join_failed" in metrics().
+  bool join_failed() const { return join_failed_; }
   const PeerId& id() const { return state_.self(); }
   const NodeState& state() const { return state_; }
   Stats stats() const;
@@ -212,6 +256,9 @@ class Node {
     ShuffleOffer offer;
     bool offer_sent = false;
     std::uint64_t epoch = 0;
+    std::uint64_t timeout_token = 0;  ///< identifies the live abort timer
+    std::uint64_t query_rpc = 0;      ///< outstanding kRoundQuery (0 = none)
+    std::uint64_t offer_rpc = 0;      ///< outstanding kShuffleOffer (0 = none)
   };
 
   struct ProducerChannel {
@@ -219,10 +266,22 @@ class Node {
     PeerId consumer;
     std::vector<PeerId> my_neighborhood;
     Round my_round = 0;
+    Round consumer_round = 0;
     std::vector<PeerId> witnesses;
-    std::size_t acks = 0;
+    std::set<std::string> acked;     ///< witnesses that acked their invite
+    bool accepted = false;           ///< kChannelAccept processed (dedup)
     bool ready = false;
     std::uint64_t next_seq = 1;
+    std::uint64_t repair_epoch = 0;  ///< completed witness repairs
+    /// Repair announcements the consumer has not acked yet, in epoch order.
+    /// Re-sent on every witness-health tick, so a repair performed while the
+    /// consumer was unreachable (partition, crash window) is replayed
+    /// in-order after the network heals instead of desyncing the two
+    /// witness views forever.
+    std::vector<std::pair<std::uint64_t, Bytes>> unacked_updates;
+    Bytes finalize_payload;          ///< cached for duplicate-accept resend
+    std::uint64_t request_rpc = 0;   ///< outstanding kChannelRequest
+    std::map<std::string, std::uint64_t> invite_rpcs;  ///< per-witness invites
     ChannelReadyCallback on_ready;
   };
 
@@ -235,9 +294,12 @@ class Node {
     Round my_round = 0;
     std::vector<PeerId> witnesses;
     bool ready = false;
+    std::uint64_t repair_epoch = 0;  ///< applied witness repairs
+    Bytes accept_payload;            ///< cached for duplicate-request resend
     // Per-sequence digest tallies for delivery decisions.
     struct Tally {
       std::map<Bytes, std::pair<std::size_t, Bytes>> digests;  // digest -> (count, payload)
+      std::set<std::string> seen;  ///< witnesses already tallied (dedup)
       std::size_t total = 0;
       bool delivered = false;
     };
@@ -258,8 +320,25 @@ class Node {
   void handle(const sim::NetMessage& msg);
   void send(const std::string& to, MsgType type, Bytes payload);
 
+  // Outstanding-RPC table: every retried transmission lives here until its
+  // reply is observed (finish_rpc), its context dies, or its attempts are
+  // exhausted (then `give_up` fires). Retry delays are jittered from a
+  // dedicated Rng so the protocol rng stream is untouched.
+  std::uint64_t send_rpc(const std::string& to, MsgType type, Bytes payload,
+                         const RetryPolicy& policy,
+                         std::function<void()> give_up = {});
+  void finish_rpc(std::uint64_t rpc_id);
+  void schedule_rpc_retry(std::uint64_t rpc_id, sim::Duration delay);
+  sim::Duration jittered(sim::Duration base, double jitter_frac);
+  /// Fire-and-forget redundancy for sends with no ack on the wire: transmits
+  /// `policy.attempts` copies on the backoff schedule, unconditionally (the
+  /// receiver dedups). One copy when attempts <= 1, i.e. a plain send.
+  void send_blind(const std::string& to, MsgType type, Bytes payload,
+                  const RetryPolicy& policy);
+
   // Shuffling.
   void schedule_next_shuffle();
+  void schedule_shuffle_timeout();
   void begin_shuffle();
   void abort_shuffle(bool partner_suspect);
   void on_round_query(const sim::NetMessage& msg);
@@ -293,6 +372,16 @@ class Node {
   void on_data_relay(const sim::NetMessage& msg);
   void on_data_forward(const sim::NetMessage& msg);
   void maybe_deliver(ConsumerChannel& ch, std::uint64_t seq);
+  void finish_channel_rpcs(ProducerChannel& ch);
+
+  // Witness repair (docs/RESILIENCE.md): when a channel witness is recorded
+  // as left, the producer replaces it via a fresh verifiable draw over the
+  // surviving candidates and notifies the consumer (kWitnessUpdate); both
+  // sides degrade their delivery threshold while the group is short.
+  void trigger_witness_repair(const std::string& dead_addr);
+  void on_witness_update(const sim::NetMessage& msg);
+  void on_witness_update_ack(const sim::NetMessage& msg);
+  void schedule_witness_health();
 
   // Evidence / history query service.
   void on_testimony_query(const sim::NetMessage& msg);
@@ -306,6 +395,9 @@ class Node {
     obs::MetricId shuffles_initiated, shuffles_completed, shuffles_responded,
         shuffles_rejected, shuffle_failures, verification_failures,
         history_suffix_bytes, leaves_reported, relays_forwarded;
+    // Robustness counters (retry engine, bounded join, witness repair).
+    obs::MetricId rpc_retries, rpc_exhausted, join_failed, witness_repairs;
+    obs::MetricId blind_copies;
     // Protocol-step timers (shuffle verification/construction hot spots).
     obs::MetricId t_make_offer, t_verify_offer, t_make_response, t_verify_response;
   };
@@ -322,13 +414,37 @@ class Node {
 
   bool running_ = false;
   bool joined_ = false;
+  bool join_failed_ = false;
+
+  // Outstanding-RPC table.
+  struct OutstandingRpc {
+    std::string to;
+    MsgType type = MsgType::kPing;
+    Bytes payload;
+    int sends_done = 1;
+    RetryPolicy policy;
+    std::function<void()> give_up;
+  };
+  std::uint64_t next_rpc_ = 1;
+  std::unordered_map<std::uint64_t, OutstandingRpc> rpc_table_;
+  /// Jitters retry delays only; protocol draws stay on rng_, so attaching
+  /// retries never perturbs a fault-free run.
+  Rng retry_rng_;
+  std::uint64_t join_rpc_ = 0;
 
   // Shuffle state.
   std::optional<PendingShuffle> pending_;
   std::uint64_t shuffle_epoch_ = 0;  ///< invalidates stale timeout events
+  std::uint64_t timeout_seq_ = 0;    ///< feeds PendingShuffle::timeout_token
   BoundedMap<std::string, int> partner_failures_{config_.max_tracked_partners};
   BoundedMap<std::string, Round> last_seen_initiator_round_{config_.max_tracked_partners};
+  /// Last committed response per initiator, for duplicate-offer retransmit
+  /// (an at-least-once initiator may never have seen our first response).
+  BoundedMap<std::string, std::pair<Round, Bytes>> response_cache_{
+      config_.max_tracked_partners};
   BoundedSet<std::string> reported_leavers_{config_.max_reported_leavers};
+  /// (channel:seq) relays already logged + forwarded (witness-side dedup).
+  BoundedSet<std::string> relayed_keys_{config_.max_seen_queries};
 
   /// In-flight liveness probe: ours (suspect) or triggered by a LeaveNotice,
   /// in which case the received report is applied on timeout.
@@ -349,16 +465,20 @@ class Node {
   std::vector<std::function<void(std::vector<PeerId>)>> probe_queue_;
 
   // Channel state.
+  bool health_timer_armed_ = false;  ///< one witness-health loop at a time
+  sim::TimePoint last_rx_ = -1;      ///< last receive from anyone (-1: never);
+                                     ///< gates the repair self-quarantine
   std::uint64_t next_channel_id_ = 1;
   std::map<std::uint64_t, ProducerChannel> producer_channels_;
   std::map<std::uint64_t, ConsumerChannel> consumer_channels_;
   std::map<std::uint64_t, RelayDuty> relay_duties_;
   DeliveryCallback on_delivery_;
 
-  // Outstanding evidence / history queries keyed by a request id.
+  // Outstanding evidence / history queries keyed by a request id; each also
+  // remembers its RPC-table entry so the reply cancels pending retries.
   std::uint64_t next_request_id_ = 1;
-  std::map<std::uint64_t, TestimonyCallback> testimony_waiters_;
-  std::map<std::uint64_t, EntryCallback> entry_waiters_;
+  std::map<std::uint64_t, std::pair<TestimonyCallback, std::uint64_t>> testimony_waiters_;
+  std::map<std::uint64_t, std::pair<EntryCallback, std::uint64_t>> entry_waiters_;
 
   /// Guards timer callbacks against a destroyed node (events may outlive us).
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

@@ -26,6 +26,7 @@
 #include "accountnet/core/shuffle.hpp"
 #include "accountnet/obs/metrics.hpp"
 #include "accountnet/obs/sink.hpp"
+#include "accountnet/sim/fault.hpp"
 #include "accountnet/sim/simulator.hpp"
 #include "accountnet/util/rng.hpp"
 #include "accountnet/util/stats.hpp"
@@ -61,6 +62,13 @@ struct ExperimentConfig {
   bool track_shuffle_pairs = false;  ///< Fig. 5 heatmap (small |V| only)
   bool use_real_crypto = false;      ///< Ed25519+ECVRF instead of FastCrypto
   std::uint64_t seed = 1;
+
+  /// Optional fault schedule (sim/fault.hpp). The harness exchanges shuffle
+  /// messages synchronously, so a drop on any of the four logical legs
+  /// (round query/reply, offer, response) — or a crashed endpoint — fails
+  /// the whole shuffle; there are no retries at this layer (core::Node has
+  /// them). When unset, behavior is bit-identical to the pre-fault harness.
+  std::optional<sim::FaultPlan> fault_plan;
 };
 
 struct HarnessStats {
@@ -71,6 +79,7 @@ struct HarnessStats {
   std::uint64_t dead_partner_hits = 0;
   std::uint64_t refused_cross_group = 0;    ///< kSeparateOverlay refusals
   std::uint64_t leave_reports = 0;
+  std::uint64_t fault_failures = 0;         ///< shuffles lost to injected faults
 };
 
 class NetworkSim {
@@ -173,6 +182,7 @@ class NetworkSim {
   std::unique_ptr<crypto::CryptoProvider> provider_;
   sim::Simulator sim_;
   Rng rng_;
+  std::optional<sim::FaultInjector> faults_;
   std::vector<std::unique_ptr<HarnessNode>> nodes_;
   std::unordered_map<std::string, std::size_t> addr_to_index_;
   std::size_t alive_count_ = 0;

@@ -1,0 +1,125 @@
+// Deterministic fault injection for the simulated message fabric.
+//
+// A FaultPlan is a declarative, seeded schedule of the unclean things a real
+// network does that the clean NetEM model of sim/network.hpp does not:
+// probabilistic loss, duplication and reordering (delay spikes) per link and
+// per message type, bidirectional partitions with scheduled heal times, and
+// node crash/restart windows. The plan is interpreted by a FaultInjector that
+// owns its own Rng, so attaching a plan never perturbs the latency stream of
+// the underlying network — a run with an all-zero plan is byte-identical to a
+// run with no plan at all as far as the rest of the simulation can observe.
+//
+// Crash semantics at this layer are *silence*, not state loss: a crashed
+// address neither receives nor emits messages for the window. That is exactly
+// how a crashed process appears to its peers; restoring state after restart
+// is the node owner's concern (core::Node keeps its state, matching a process
+// that persisted its history).
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accountnet/sim/simulator.hpp"
+#include "accountnet/util/rng.hpp"
+
+namespace accountnet::sim {
+
+/// Injected fault taxonomy; `fault_kind_name` gives the stable metric-name
+/// fragment used for the "net.fault.<kind>.<type>" counters.
+enum class FaultKind : std::uint8_t {
+  kLoss = 0,       ///< message silently dropped
+  kDup = 1,        ///< message delivered twice
+  kReorder = 2,    ///< message held back by an extra delay spike
+  kPartition = 3,  ///< dropped by an active partition
+  kCrash = 4,      ///< dropped because an endpoint is in a crash window
+};
+const char* fault_kind_name(FaultKind kind);
+
+/// One probabilistic per-link rule. Empty `from`/`to` are wildcards; a
+/// nullopt `type` matches every message type. Multiple matching rules
+/// compose: loss is tried per rule (first hit wins), duplication and
+/// reordering accumulate the strongest matching probability.
+struct LinkFault {
+  std::string from;                       ///< exact sender address or "" (any)
+  std::string to;                         ///< exact receiver address or "" (any)
+  std::optional<std::uint32_t> type;      ///< wire type tag or nullopt (any)
+  double loss = 0.0;                      ///< P(drop)
+  double duplicate = 0.0;                 ///< P(deliver a second copy)
+  double reorder = 0.0;                   ///< P(extra delay spike)
+  Duration reorder_min = milliseconds(50);   ///< spike bounds (uniform)
+  Duration reorder_max = milliseconds(500);
+};
+
+/// Bidirectional partition between two address sets, active on [start, heal).
+/// An empty side means "every address not listed on the other side", so a
+/// single-sided plan isolates a group from the rest of the world.
+struct Partition {
+  std::vector<std::string> side_a;
+  std::vector<std::string> side_b;
+  TimePoint start = 0;
+  TimePoint heal = std::numeric_limits<TimePoint>::max();
+};
+
+/// Crash window: `addr` is silenced on [crash, restart) — traffic to and
+/// from it is dropped at the fabric.
+struct CrashWindow {
+  std::string addr;
+  TimePoint crash = 0;
+  TimePoint restart = std::numeric_limits<TimePoint>::max();
+};
+
+/// Declarative, seeded fault schedule. Default-constructed plans are empty
+/// (inject nothing); the same plan + seed always injects the same faults for
+/// the same message sequence.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<LinkFault> links;
+  std::vector<Partition> partitions;
+  std::vector<CrashWindow> crashes;
+
+  bool empty() const {
+    return links.empty() && partitions.empty() && crashes.empty();
+  }
+
+  /// Convenience: uniform symmetric loss on every link and type.
+  static FaultPlan uniform_loss(double p, std::uint64_t seed);
+};
+
+/// Verdict for one message offered to the injector.
+struct FaultDecision {
+  bool drop = false;
+  FaultKind drop_kind = FaultKind::kLoss;  ///< valid when drop
+  bool duplicate = false;                  ///< deliver a second copy
+  Duration extra_delay = 0;                ///< reorder spike on the original
+  Duration dup_extra_delay = 0;            ///< reorder spike on the duplicate
+};
+
+/// Interprets a FaultPlan deterministically. The injector owns its Rng
+/// (seeded from the plan), so it can be bolted onto an existing seeded
+/// simulation without disturbing any other random stream.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Rolls the dice for one message sent now. Consumes randomness only for
+  /// probabilistic rules that match the (from, to, type) triple.
+  FaultDecision decide(const std::string& from, const std::string& to,
+                       std::uint32_t type, TimePoint now);
+
+  /// True while a partition separates the two addresses.
+  bool partitioned(const std::string& from, const std::string& to,
+                   TimePoint now) const;
+
+  /// True while `addr` is inside a crash window.
+  bool crashed(const std::string& addr, TimePoint now) const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+};
+
+}  // namespace accountnet::sim

@@ -14,6 +14,7 @@
 
 #include "accountnet/obs/metrics.hpp"
 #include "accountnet/obs/trace.hpp"
+#include "accountnet/sim/fault.hpp"
 #include "accountnet/sim/simulator.hpp"
 #include "accountnet/util/bytes.hpp"
 #include "accountnet/util/rng.hpp"
@@ -47,8 +48,12 @@ struct NetMessage {
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
-  std::uint64_t messages_dropped = 0;  ///< destination not registered
+  std::uint64_t messages_dropped = 0;    ///< destination not registered
   std::uint64_t bytes_sent = 0;
+  // Injected-fault tallies (all zero unless a FaultPlan is attached).
+  std::uint64_t faults_dropped = 0;      ///< loss + partition + crash drops
+  std::uint64_t faults_duplicated = 0;   ///< extra copies delivered
+  std::uint64_t faults_delayed = 0;      ///< reorder delay spikes applied
 };
 
 /// Endpoint registry + latency-delayed delivery.
@@ -93,6 +98,15 @@ class SimNetwork {
   /// nullptr to detach.
   void set_trace(obs::TraceRing* ring) { trace_ = ring; }
 
+  /// Attaches a fault schedule (see sim/fault.hpp). The injector owns its
+  /// own Rng, so the latency stream is unchanged — a run with no plan and a
+  /// run with an all-zero plan are indistinguishable. Every injected fault
+  /// bumps a "net.fault.<kind>.<type>" counter when metrics are attached.
+  void set_fault_plan(FaultPlan plan);
+  void clear_fault_plan() { faults_.reset(); }
+  /// The active injector, or nullptr (e.g. for crash-window queries).
+  const FaultInjector* faults() const { return faults_ ? &*faults_ : nullptr; }
+
  private:
   struct TypeMetrics {
     obs::MetricId sent;
@@ -101,6 +115,8 @@ class SimNetwork {
     obs::MetricId bytes;
   };
   const TypeMetrics& type_metrics(std::uint32_t type);
+  void count_fault(FaultKind kind, std::uint32_t type);
+  void deliver_after(Duration delay, NetMessage msg);
 
   Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
@@ -111,6 +127,8 @@ class SimNetwork {
   TypeNamer namer_;
   obs::TraceRing* trace_ = nullptr;
   std::unordered_map<std::uint32_t, TypeMetrics> per_type_;
+  std::optional<FaultInjector> faults_;
+  std::unordered_map<std::uint64_t, obs::MetricId> fault_metrics_;
 };
 
 }  // namespace accountnet::sim

@@ -1,6 +1,7 @@
 #include "accountnet/core/node.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "accountnet/util/ensure.hpp"
 #include "accountnet/wire/codec.hpp"
@@ -73,6 +74,8 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kTestimonyReply: return "testimony_reply";
     case MsgType::kEntryQuery: return "entry_query";
     case MsgType::kEntryReply: return "entry_reply";
+    case MsgType::kWitnessUpdate: return "witness_update";
+    case MsgType::kWitnessUpdateAck: return "witness_update_ack";
   }
   return "unknown";
 }
@@ -87,6 +90,11 @@ Node::MetricIds::MetricIds(obs::MetricsRegistry& r)
       history_suffix_bytes(r.counter("node.history_suffix_bytes")),
       leaves_reported(r.counter("node.leaves_reported")),
       relays_forwarded(r.counter("node.relays_forwarded")),
+      rpc_retries(r.counter("node.rpc_retries")),
+      rpc_exhausted(r.counter("node.rpc_exhausted")),
+      join_failed(r.counter("node.join_failed")),
+      witness_repairs(r.counter("node.witness_repairs")),
+      blind_copies(r.counter("node.blind_copies")),
       t_make_offer(r.timer("node.make_offer")),
       t_verify_offer(r.timer("node.verify_offer")),
       t_make_response(r.timer("node.make_response")),
@@ -103,6 +111,9 @@ Node::Stats Node::stats() const {
   s.history_suffix_bytes = metrics_.counter_value(ids_.history_suffix_bytes);
   s.leaves_reported = metrics_.counter_value(ids_.leaves_reported);
   s.relays_forwarded = metrics_.counter_value(ids_.relays_forwarded);
+  s.rpc_retries = metrics_.counter_value(ids_.rpc_retries);
+  s.rpc_exhausted = metrics_.counter_value(ids_.rpc_exhausted);
+  s.witness_repairs = metrics_.counter_value(ids_.witness_repairs);
   return s;
 }
 
@@ -142,7 +153,8 @@ Node::Node(sim::SimNetwork& net, const std::string& addr,
              provider.make_signer(seed32), config.protocol),
       config_(config),
       rng_(rng_seed),
-      evidence_(PeerId{addr, provider.make_signer(seed32)->public_key()}) {}
+      evidence_(PeerId{addr, provider.make_signer(seed32)->public_key()}),
+      retry_rng_(rng_seed ^ 0x5eedbacc0ffeeULL) {}
 
 Node::~Node() {
   *alive_ = false;
@@ -151,6 +163,87 @@ Node::~Node() {
 void Node::send(const std::string& to, MsgType type, Bytes payload) {
   net_.send({state_.self().addr, to, static_cast<std::uint32_t>(type),
              std::move(payload)});
+}
+
+// ---------------------------------------------------------------------------
+// Outstanding-RPC table (bounded retries, docs/RESILIENCE.md).
+// ---------------------------------------------------------------------------
+
+sim::Duration Node::jittered(sim::Duration base, double jitter_frac) {
+  if (jitter_frac <= 0.0) return std::max<sim::Duration>(base, 1);
+  const double j = (retry_rng_.uniform01() * 2.0 - 1.0) * jitter_frac;
+  return std::max<sim::Duration>(
+      static_cast<sim::Duration>(static_cast<double>(base) * (1.0 + j)), 1);
+}
+
+std::uint64_t Node::send_rpc(const std::string& to, MsgType type, Bytes payload,
+                             const RetryPolicy& policy,
+                             std::function<void()> give_up) {
+  send(to, type, payload);
+  // Single-shot with nothing to do on failure: no table entry needed. (A
+  // single-shot *with* a give_up is still tracked so the failure fires.)
+  if (policy.attempts <= 1 && !give_up) return 0;
+  const std::uint64_t id = next_rpc_++;
+  OutstandingRpc rpc;
+  rpc.to = to;
+  rpc.type = type;
+  rpc.payload = std::move(payload);
+  rpc.policy = policy;
+  rpc.give_up = std::move(give_up);
+  rpc_table_[id] = std::move(rpc);
+  schedule_rpc_retry(id, jittered(policy.base_delay, policy.jitter_frac));
+  return id;
+}
+
+void Node::finish_rpc(std::uint64_t rpc_id) {
+  if (rpc_id != 0) rpc_table_.erase(rpc_id);
+}
+
+void Node::schedule_rpc_retry(std::uint64_t rpc_id, sim::Duration delay) {
+  auto alive = alive_;
+  net_.simulator().schedule(delay, [this, alive, rpc_id] {
+    if (!*alive || !running_) return;
+    const auto it = rpc_table_.find(rpc_id);
+    if (it == rpc_table_.end()) return;  // reply arrived; nothing to do
+    OutstandingRpc& rpc = it->second;
+    if (rpc.sends_done >= rpc.policy.attempts) {
+      auto give_up = std::move(rpc.give_up);
+      rpc_table_.erase(it);
+      metrics_.add(ids_.rpc_exhausted);
+      if (give_up) give_up();
+      return;
+    }
+    ++rpc.sends_done;
+    metrics_.add(ids_.rpc_retries);
+    metrics_.add(metrics_.counter(std::string("node.retry.") + msg_type_name(rpc.type)));
+    send(rpc.to, rpc.type, rpc.payload);
+    const double factor = std::pow(rpc.policy.backoff, rpc.sends_done - 1);
+    const auto next = static_cast<sim::Duration>(
+        static_cast<double>(rpc.policy.base_delay) * factor);
+    schedule_rpc_retry(rpc_id, jittered(next, rpc.policy.jitter_frac));
+  });
+}
+
+void Node::send_blind(const std::string& to, MsgType type, Bytes payload,
+                      const RetryPolicy& policy) {
+  if (policy.attempts <= 1) {
+    send(to, type, std::move(payload));
+    return;
+  }
+  send(to, type, payload);
+  auto alive = alive_;
+  sim::Duration when = 0;
+  for (int k = 1; k < policy.attempts; ++k) {
+    const double factor = std::pow(policy.backoff, k - 1);
+    when += jittered(
+        static_cast<sim::Duration>(static_cast<double>(policy.base_delay) * factor),
+        policy.jitter_frac);
+    net_.simulator().schedule(when, [this, alive, to, type, payload] {
+      if (!*alive || !running_) return;
+      metrics_.add(ids_.blind_copies);
+      send(to, type, payload);
+    });
+  }
 }
 
 void Node::start_as_seed() {
@@ -168,15 +261,15 @@ void Node::start_join(const std::string& bootstrap_addr) {
   net_.attach(state_.self().addr, [this](const sim::NetMessage& m) { handle(m); });
   wire::Writer w;
   encode_peer(w, state_.self());
-  send(bootstrap_addr, MsgType::kJoinRequest, std::move(w).take());
-  // Retry join if the bootstrap never answers.
-  auto alive = alive_;
-  net_.simulator().schedule(config_.rpc_timeout * 4, [this, alive, bootstrap_addr] {
-    if (!*alive || joined_ || !running_) return;
-    wire::Writer retry;
-    encode_peer(retry, state_.self());
-    send(bootstrap_addr, MsgType::kJoinRequest, std::move(retry).take());
-  });
+  // Bounded bootstrap: join_retry.attempts transmissions, then give up for
+  // good. The node stays attached (peers can still reach it) but never
+  // starts shuffling — a half-joined zombie is worse than a visible failure.
+  join_rpc_ = send_rpc(bootstrap_addr, MsgType::kJoinRequest, std::move(w).take(),
+                       config_.join_retry, [this] {
+                         if (joined_) return;
+                         join_failed_ = true;
+                         metrics_.add(ids_.join_failed);
+                       });
 }
 
 void Node::stop() {
@@ -204,6 +297,7 @@ void Node::stop_gracefully() {
 
 void Node::handle(const sim::NetMessage& msg) {
   if (!running_) return;
+  last_rx_ = net_.simulator().now();
   try {
     switch (static_cast<MsgType>(msg.type)) {
       case MsgType::kJoinRequest: on_join_request(msg); break;
@@ -229,6 +323,8 @@ void Node::handle(const sim::NetMessage& msg) {
       case MsgType::kTestimonyReply: on_testimony_reply(msg); break;
       case MsgType::kEntryQuery: on_entry_query(msg); break;
       case MsgType::kEntryReply: on_entry_reply(msg); break;
+      case MsgType::kWitnessUpdate: on_witness_update(msg); break;
+      case MsgType::kWitnessUpdateAck: on_witness_update_ack(msg); break;
     }
   } catch (const wire::DecodeError&) {
     // Malformed traffic from a buggy/malicious peer: drop it.
@@ -259,7 +355,9 @@ void Node::on_join_request(const sim::NetMessage& msg) {
 }
 
 void Node::on_join_reply(const sim::NetMessage& msg) {
-  if (joined_) return;
+  // join_failed_ is terminal: a reply that limps in after we gave up no
+  // longer changes the node's fate (tests and operators already saw it).
+  if (joined_ || join_failed_) return;
   wire::Reader r(msg.payload);
   const PeerId bootstrap = decode_peer(r);
   const Bytes stamp = r.bytes();
@@ -279,6 +377,8 @@ void Node::on_join_reply(const sim::NetMessage& msg) {
                                 "an.join.sample", stamp);
   state_.apply_join(bootstrap, stamp, draw.sample);
   joined_ = true;
+  finish_rpc(join_rpc_);
+  join_rpc_ = 0;
   schedule_next_shuffle();
 }
 
@@ -312,18 +412,32 @@ void Node::begin_shuffle() {
 
   wire::Writer w;
   encode_peer(w, state_.self());
-  send(choice->partner.addr, MsgType::kRoundQuery, std::move(w).take());
+  pending_->query_rpc = send_rpc(choice->partner.addr, MsgType::kRoundQuery,
+                                 std::move(w).take(), config_.query_retry);
+  schedule_shuffle_timeout();
+}
 
+void Node::schedule_shuffle_timeout() {
+  // (Re)arms the abort deadline for the current exchange leg. Each leg gets
+  // a fresh token, so an earlier timer that fires after progress was made is
+  // a no-op instead of a spurious abort.
+  if (!pending_) return;
+  pending_->timeout_token = ++timeout_seq_;
+  const auto token = pending_->timeout_token;
   const auto epoch = pending_->epoch;
   auto alive = alive_;
-  net_.simulator().schedule(config_.rpc_timeout, [this, alive, epoch] {
+  net_.simulator().schedule(config_.rpc_timeout, [this, alive, epoch, token] {
     if (!*alive || !running_) return;
-    if (pending_ && pending_->epoch == epoch) abort_shuffle(/*partner_suspect=*/true);
+    if (pending_ && pending_->epoch == epoch && pending_->timeout_token == token) {
+      abort_shuffle(/*partner_suspect=*/true);
+    }
   });
 }
 
 void Node::abort_shuffle(bool partner_suspect) {
   if (!pending_) return;
+  finish_rpc(pending_->query_rpc);
+  finish_rpc(pending_->offer_rpc);
   metrics_.add(ids_.shuffle_failures);
   const PeerId partner = pending_->partner;
   pending_.reset();
@@ -358,6 +472,8 @@ void Node::on_round_reply(const sim::NetMessage& msg) {
   const Round responder_round = r.u64();
   r.expect_done();
   if (!(responder == pending_->partner)) return;
+  finish_rpc(pending_->query_rpc);
+  pending_->query_rpc = 0;
   if (state_.round() != pending_->round_at_start) {
     // A leave report advanced our round since the partner draw; the proofs
     // no longer match the round we would offer. Quietly retry next period.
@@ -373,7 +489,9 @@ void Node::on_round_reply(const sim::NetMessage& msg) {
   pending_->offer_sent = true;
   const Bytes payload = pending_->offer.encode();
   metrics_.add(ids_.history_suffix_bytes, payload.size());
-  send(msg.from, MsgType::kShuffleOffer, payload);
+  pending_->offer_rpc =
+      send_rpc(msg.from, MsgType::kShuffleOffer, payload, config_.query_retry);
+  schedule_shuffle_timeout();
 }
 
 void Node::on_shuffle_offer(const sim::NetMessage& msg) {
@@ -383,25 +501,36 @@ void Node::on_shuffle_offer(const sim::NetMessage& msg) {
     send(msg.from, MsgType::kShuffleReject, std::move(w).take());
   };
   if (!joined_ || behavior_.refuse_shuffles) return;
+  const ShuffleOffer offer = ShuffleOffer::decode(msg.payload);
+  if (offer.initiator.addr != msg.from) return;
+
+  // Replay defense: an initiator's offered round must move forward. The one
+  // exception is a retransmission of the exact offer we already committed —
+  // an at-least-once initiator may have missed our response, so we resend
+  // the cached one instead of branding it a replay (which would make the
+  // initiator abort and suspect us).
+  const Round* floor = last_seen_initiator_round_.find(offer.initiator.addr);
+  if (floor != nullptr && offer.initiator_round <= *floor) {
+    if (offer.initiator_round == *floor) {
+      if (const auto* cached = response_cache_.find(offer.initiator.addr);
+          cached != nullptr && cached->first == offer.initiator_round) {
+        send(msg.from, MsgType::kShuffleResponse, cached->second);
+        return;
+      }
+    }
+    metrics_.add(ids_.shuffles_rejected);
+    reject(2);
+    return;
+  }
   if (pending_.has_value()) {
     reject(1);
     return;
   }
-  const ShuffleOffer offer = ShuffleOffer::decode(msg.payload);
-  if (offer.initiator.addr != msg.from) return;
 
   // Benign race: our round advanced after we handed out the nonce (we
   // shuffled or recorded a leave in between). Not a protocol violation.
   if (offer.responder_round != state_.round()) {
     reject(1);
-    return;
-  }
-
-  // Replay defense: an initiator's offered round must move forward.
-  const Round* floor = last_seen_initiator_round_.find(offer.initiator.addr);
-  if (floor != nullptr && offer.initiator_round <= *floor) {
-    metrics_.add(ids_.shuffles_rejected);
-    reject(2);
     return;
   }
 
@@ -429,11 +558,14 @@ void Node::on_shuffle_offer(const sim::NetMessage& msg) {
   metrics_.add(ids_.shuffles_responded);
   const Bytes payload = resp.encode();
   metrics_.add(ids_.history_suffix_bytes, payload.size());
+  response_cache_.put(offer.initiator.addr, {offer.initiator_round, payload});
   send(msg.from, MsgType::kShuffleResponse, payload);
 }
 
 void Node::on_shuffle_response(const sim::NetMessage& msg) {
   if (!pending_ || !pending_->offer_sent || msg.from != pending_->partner.addr) return;
+  finish_rpc(pending_->offer_rpc);
+  pending_->offer_rpc = 0;
   const ShuffleResponse resp = ShuffleResponse::decode(msg.payload);
   VerifyResult v;
   {
@@ -458,6 +590,9 @@ void Node::on_shuffle_reject(const sim::NetMessage& msg) {
   if (!pending_ || msg.from != pending_->partner.addr) return;
   wire::Reader r(msg.payload);
   const std::uint8_t code = r.u8();
+  // Code 1 is the benign busy/round-mismatch refusal; it is protocol
+  // behavior, not a liveness failure, so liveness metrics can subtract it.
+  if (code != 2) metrics_.add(metrics_.counter("node.shuffles_rejected_benign"));
   abort_shuffle(/*partner_suspect=*/code == 2);
 }
 
@@ -484,7 +619,9 @@ void Node::suspect_peer(const PeerId& peer) {
   PingProbe probe;
   probe.target = peer;
   ping_probes_[peer.addr] = std::move(probe);
-  send(peer.addr, MsgType::kPing, {});
+  // Blind redundancy: under loss a single lost ping (or pong) would evict a
+  // live peer; extra copies make the probe see through the noise.
+  send_blind(peer.addr, MsgType::kPing, {}, config_.blind_retry);
 
   auto alive = alive_;
   const std::string addr = peer.addr;
@@ -499,6 +636,7 @@ void Node::suspect_peer(const PeerId& peer) {
       // Confirmed someone else's report: record it as received.
       state_.apply_leave_report(probe.reporter, probe.reporter_round, probe.report_sig,
                                 probe.target);
+      trigger_witness_repair(addr);
       return;
     }
     // We are the reporter: log, then inform our peers (Sec. IV-A, Leaving).
@@ -514,6 +652,7 @@ void Node::suspect_peer(const PeerId& peer) {
       if (!(p == probe.target)) send(p.addr, MsgType::kLeaveNotice, payload);
     }
     state_.apply_leave_report(state_.self(), round, sig, probe.target);
+    trigger_witness_repair(addr);
   });
 }
 
@@ -538,7 +677,7 @@ void Node::on_leave_notice(const sim::NetMessage& msg) {
   probe.reporter_round = reporter_round;
   probe.report_sig = sig;
   ping_probes_[leaver.addr] = std::move(probe);
-  send(leaver.addr, MsgType::kPing, {});
+  send_blind(leaver.addr, MsgType::kPing, {}, config_.blind_retry);
 
   auto alive = alive_;
   const std::string addr = leaver.addr;
@@ -551,6 +690,7 @@ void Node::on_leave_notice(const sim::NetMessage& msg) {
     reported_leavers_.insert(addr);
     state_.apply_leave_report(probe.reporter, probe.reporter_round, probe.report_sig,
                               probe.target);
+    trigger_witness_repair(addr);
   });
 }
 
@@ -665,6 +805,7 @@ void Node::open_channel(const std::string& consumer_addr, ChannelReadyCallback o
         if (!*alive || !running_) return;
         const auto it = producer_channels_.find(id);
         if (it == producer_channels_.end() || it->second.ready) return;
+        finish_channel_rpcs(it->second);
         auto cb = std::move(it->second.on_ready);
         producer_channels_.erase(it);
         if (cb) cb(id, false);
@@ -680,8 +821,16 @@ void Node::open_channel(const std::string& consumer_addr, ChannelReadyCallback o
     encode_peer(w, state_.self());
     w.u64(it->second.my_round);
     encode_peer_list(w, it->second.my_neighborhood);
-    send(consumer_addr, MsgType::kChannelRequest, std::move(w).take());
+    it->second.request_rpc = send_rpc(consumer_addr, MsgType::kChannelRequest,
+                                      std::move(w).take(), config_.channel_retry);
   });
+}
+
+void Node::finish_channel_rpcs(ProducerChannel& ch) {
+  finish_rpc(ch.request_rpc);
+  ch.request_rpc = 0;
+  for (const auto& [addr, rpc] : ch.invite_rpcs) finish_rpc(rpc);
+  ch.invite_rpcs.clear();
 }
 
 void Node::on_channel_request(const sim::NetMessage& msg) {
@@ -692,6 +841,15 @@ void Node::on_channel_request(const sim::NetMessage& msg) {
   std::vector<PeerId> producer_nbh = decode_peer_list(r);
   r.expect_done();
   if (producer.addr != msg.from || !joined_) return;
+
+  if (const auto dup = consumer_channels_.find(id); dup != consumer_channels_.end()) {
+    // Retransmitted request (the producer may have missed our accept): the
+    // draw is already committed, so resend it verbatim rather than redraw.
+    if (dup->second.producer.addr == msg.from && !dup->second.accept_payload.empty()) {
+      send(msg.from, MsgType::kChannelAccept, dup->second.accept_payload);
+    }
+    return;
+  }
 
   ConsumerChannel ch;
   ch.id = id;
@@ -720,7 +878,8 @@ void Node::on_channel_request(const sim::NetMessage& msg) {
     encode_peer_list(w, ch.my_neighborhood);
     encode_peer_list(w, draw.sample);
     encode_bytes_list(w, draw.proofs);
-    send(producer.addr, MsgType::kChannelAccept, std::move(w).take());
+    ch.accept_payload = std::move(w).take();
+    send(producer.addr, MsgType::kChannelAccept, ch.accept_payload);
   });
 }
 
@@ -737,7 +896,18 @@ void Node::on_channel_accept(const sim::NetMessage& msg) {
   const auto it = producer_channels_.find(id);
   if (it == producer_channels_.end() || consumer.addr != msg.from) return;
   ProducerChannel& ch = it->second;
+  if (ch.accepted) {
+    // Duplicate accept: our finalize may have been lost — resend it. The
+    // draw must not be redone (the witnesses are already committed).
+    if (!ch.finalize_payload.empty()) {
+      send(msg.from, MsgType::kChannelFinalize, ch.finalize_payload);
+    }
+    return;
+  }
+  finish_rpc(ch.request_rpc);
+  ch.request_rpc = 0;
   ch.consumer = consumer;
+  ch.consumer_round = consumer_round;
 
   const auto plan = plan_witness_group(ch.my_neighborhood, consumer_nbh, state_.self(),
                                        consumer, config_.witness_count);
@@ -751,6 +921,7 @@ void Node::on_channel_accept(const sim::NetMessage& msg) {
     producer_channels_.erase(it);
     return;
   }
+  ch.accepted = true;
   const Draw my_draw = draw_witnesses(state_.signer(), plan.candidates_producer,
                                       plan.quota_producer, nonce);
   ch.witnesses = merge_witnesses(my_draw.sample, consumer_draw);
@@ -762,7 +933,9 @@ void Node::on_channel_accept(const sim::NetMessage& msg) {
   encode_bytes_list(w, my_draw.proofs);
   encode_peer_list(w, ch.my_neighborhood);
   w.u64(ch.my_round);
-  send(consumer.addr, MsgType::kChannelFinalize, std::move(w).take());
+  ch.finalize_payload = std::move(w).take();
+  send_blind(consumer.addr, MsgType::kChannelFinalize, ch.finalize_payload,
+             config_.blind_retry);
 
   // Invite every witness.
   wire::Writer inv;
@@ -771,7 +944,8 @@ void Node::on_channel_accept(const sim::NetMessage& msg) {
   encode_peer(inv, consumer);
   const Bytes invite = std::move(inv).take();
   for (const auto& w_id : ch.witnesses) {
-    send(w_id.addr, MsgType::kWitnessInvite, invite);
+    ch.invite_rpcs[w_id.addr] =
+        send_rpc(w_id.addr, MsgType::kWitnessInvite, invite, config_.channel_retry);
   }
   if (ch.witnesses.empty() && ch.on_ready) {
     ch.on_ready(id, false);
@@ -791,6 +965,7 @@ void Node::on_channel_finalize(const sim::NetMessage& msg) {
   const auto it = consumer_channels_.find(id);
   if (it == consumer_channels_.end() || it->second.producer.addr != msg.from) return;
   ConsumerChannel& ch = it->second;
+  if (ch.ready) return;  // duplicate finalize: the merge already happened
 
   // The producer's neighborhood must match what it sent at request time
   // (otherwise it could shop for a candidate set after seeing our draw).
@@ -835,10 +1010,21 @@ void Node::on_witness_ack(const sim::NetMessage& msg) {
   const auto it = producer_channels_.find(id);
   if (it == producer_channels_.end()) return;
   ProducerChannel& ch = it->second;
+  if (const auto rit = ch.invite_rpcs.find(msg.from); rit != ch.invite_rpcs.end()) {
+    finish_rpc(rit->second);
+    ch.invite_rpcs.erase(rit);
+  }
   if (ch.ready) return;
-  ++ch.acks;
-  if (ch.acks >= ch.witnesses.size()) {
+  // Count each witness at most once, and only actual witnesses — a
+  // duplicated (or forged) ack must not push the channel to ready early.
+  const bool is_witness =
+      std::any_of(ch.witnesses.begin(), ch.witnesses.end(),
+                  [&](const PeerId& w) { return w.addr == msg.from; });
+  if (!is_witness) return;
+  if (!ch.acked.insert(msg.from).second) return;
+  if (ch.acked.size() >= ch.witnesses.size()) {
     ch.ready = true;
+    schedule_witness_health();
     if (ch.on_ready) ch.on_ready(id, true);
   }
 }
@@ -855,7 +1041,7 @@ void Node::send_data(std::uint64_t channel_id, Bytes payload) {
   w.bytes(payload);
   const Bytes msg = std::move(w).take();
   for (const auto& witness : ch.witnesses) {
-    send(witness.addr, MsgType::kDataRelay, msg);
+    send_blind(witness.addr, MsgType::kDataRelay, msg, config_.blind_retry);
   }
 }
 
@@ -867,6 +1053,11 @@ void Node::on_data_relay(const sim::NetMessage& msg) {
   r.expect_done();
   const auto it = relay_duties_.find(id);
   if (it == relay_duties_.end() || it->second.producer.addr != msg.from) return;
+
+  // A duplicated relay (network dup or producer redundancy) must not log a
+  // second evidence record or double-forward: one relay per (channel, seq).
+  const std::string dedup_key = std::to_string(id) + ":" + std::to_string(seq);
+  if (!relayed_keys_.insert(dedup_key)) return;
 
   // Witness duty: log evidence, then relay 1 hop to the consumer.
   Bytes logged = payload;
@@ -884,7 +1075,8 @@ void Node::on_data_relay(const sim::NetMessage& msg) {
   w.u64(id);
   w.u64(seq);
   w.bytes(payload);
-  send(it->second.consumer.addr, MsgType::kDataForward, std::move(w).take());
+  send_blind(it->second.consumer.addr, MsgType::kDataForward, std::move(w).take(),
+             config_.blind_retry);
 }
 
 void Node::on_data_forward(const sim::NetMessage& msg) {
@@ -904,6 +1096,10 @@ void Node::on_data_forward(const sim::NetMessage& msg) {
 
   auto& tally = ch.pending[seq];
   if (tally.delivered) return;
+  // Each witness gets exactly one vote per sequence number: a duplicated
+  // kDataForward must not double-count its digest (it could otherwise fake
+  // a majority all by itself).
+  if (!tally.seen.insert(msg.from).second) return;
   const auto digest = digest_of(payload);
   const Bytes key(digest.begin(), digest.end());
   auto& slot = tally.digests[key];
@@ -933,6 +1129,236 @@ void Node::maybe_deliver(ConsumerChannel& ch, std::uint64_t seq) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Witness repair (docs/RESILIENCE.md).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Nonce binding a repair draw to the channel, the witness being replaced,
+/// and the repair epoch — so each repair is a fresh, non-replayable draw.
+Bytes repair_nonce(const PeerId& producer, Round producer_round, const PeerId& consumer,
+                   Round consumer_round, const std::string& dead_addr,
+                   std::uint64_t epoch) {
+  wire::Writer w;
+  w.bytes(channel_nonce(producer, producer_round, consumer, consumer_round));
+  w.bytes(bytes_of(dead_addr));
+  w.u64(epoch);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+void Node::trigger_witness_repair(const std::string& dead_addr) {
+  // Self-quarantine: if we have heard nothing from *anyone* for a full RPC
+  // timeout, mass witness silence is indistinguishable from our own
+  // isolation (partition, crash window). Repairing now would tear down a
+  // group the consumer still trusts and the kWitnessUpdate announcing the
+  // replacement could not get through anyway — a lost update desyncs the
+  // two witness views permanently. Skip; if the peer is genuinely dead the
+  // next health check re-suspects it once we are reachable again.
+  const sim::TimePoint now = net_.simulator().now();
+  if (last_rx_ >= 0 && now - last_rx_ >= config_.rpc_timeout) {
+    metrics_.add(metrics_.counter("node.repair_quarantined"));
+    return;
+  }
+
+  // Consumer side: drop the dead witness immediately so the delivery
+  // threshold tracks the surviving group (graceful degradation); the
+  // producer's replacement arrives later via kWitnessUpdate.
+  for (auto& [id, ch] : consumer_channels_) {
+    const auto w = std::find_if(ch.witnesses.begin(), ch.witnesses.end(),
+                                [&](const PeerId& p) { return p.addr == dead_addr; });
+    if (w == ch.witnesses.end()) continue;
+    ch.witnesses.erase(w);
+    // A shrunk group may already satisfy the (new) threshold for queued seqs.
+    std::vector<std::uint64_t> seqs;
+    for (const auto& [seq, tally] : ch.pending) {
+      if (!tally.delivered) seqs.push_back(seq);
+    }
+    for (const auto seq : seqs) maybe_deliver(ch, seq);
+  }
+
+  // Producer side: replace the witness via a fresh verifiable draw over the
+  // surviving candidates of the neighborhood committed at setup, and tell
+  // the consumer (which re-verifies the draw before adopting it).
+  for (auto& [id, ch] : producer_channels_) {
+    if (!ch.ready) continue;
+    const auto w = std::find_if(ch.witnesses.begin(), ch.witnesses.end(),
+                                [&](const PeerId& p) { return p.addr == dead_addr; });
+    if (w == ch.witnesses.end()) continue;
+    ch.witnesses.erase(w);
+    ch.acked.erase(dead_addr);
+    if (const auto rit = ch.invite_rpcs.find(dead_addr); rit != ch.invite_rpcs.end()) {
+      finish_rpc(rit->second);
+      ch.invite_rpcs.erase(rit);
+    }
+    ++ch.repair_epoch;
+    metrics_.add(ids_.witness_repairs);
+
+    std::vector<PeerId> candidates;
+    for (const auto& p : ch.my_neighborhood) {
+      if (p.addr == dead_addr || p == ch.consumer || p == state_.self()) continue;
+      if (reported_leavers_.contains(p.addr)) continue;
+      const bool already =
+          std::any_of(ch.witnesses.begin(), ch.witnesses.end(),
+                      [&](const PeerId& q) { return q.addr == p.addr; });
+      if (!already) candidates.push_back(p);
+    }
+    const std::size_t quota = candidates.empty() ? 0 : 1;
+    const Bytes nonce = repair_nonce(state_.self(), ch.my_round, ch.consumer,
+                                     ch.consumer_round, dead_addr, ch.repair_epoch);
+    const Draw draw = draw_witnesses(state_.signer(), candidates, quota, nonce);
+
+    wire::Writer inv;
+    inv.u64(ch.id);
+    encode_peer(inv, state_.self());
+    encode_peer(inv, ch.consumer);
+    const Bytes invite = std::move(inv).take();
+    for (const auto& repl : draw.sample) {
+      ch.witnesses.push_back(repl);
+      ch.invite_rpcs[repl.addr] =
+          send_rpc(repl.addr, MsgType::kWitnessInvite, invite, config_.channel_retry);
+    }
+
+    // Even an empty draw is announced: the consumer must lower its
+    // threshold to the shrunk group rather than wait forever.
+    wire::Writer upd;
+    upd.u64(ch.id);
+    upd.u64(ch.repair_epoch);
+    upd.bytes(bytes_of(dead_addr));
+    encode_peer_list(upd, candidates);
+    encode_peer_list(upd, draw.sample);
+    encode_bytes_list(upd, draw.proofs);
+    Bytes update = std::move(upd).take();
+    ch.unacked_updates.emplace_back(ch.repair_epoch, update);
+    send_blind(ch.consumer.addr, MsgType::kWitnessUpdate, std::move(update),
+               config_.blind_retry);
+  }
+}
+
+void Node::on_witness_update(const sim::NetMessage& msg) {
+  wire::Reader r(msg.payload);
+  const std::uint64_t id = r.u64();
+  const std::uint64_t epoch = r.u64();
+  const Bytes dead_bytes = r.bytes();
+  const std::string dead_addr(dead_bytes.begin(), dead_bytes.end());
+  const std::vector<PeerId> candidates = decode_peer_list(r);
+  const std::vector<PeerId> sample = decode_peer_list(r);
+  const std::vector<Bytes> proofs = decode_bytes_list(r);
+  r.expect_done();
+
+  const auto it = consumer_channels_.find(id);
+  if (it == consumer_channels_.end() || it->second.producer.addr != msg.from) return;
+  ConsumerChannel& ch = it->second;
+  // Epochs apply strictly in order. <= current is a duplicate (blind
+  // redundancy or a producer resend): re-ack so the producer stops
+  // replaying it. A gap means we missed one — stay silent and wait for the
+  // in-order replay from the producer's health tick.
+  if (epoch <= ch.repair_epoch) {
+    wire::Writer ack;
+    ack.u64(id);
+    ack.u64(ch.repair_epoch);
+    send(msg.from, MsgType::kWitnessUpdateAck, std::move(ack).take());
+    return;
+  }
+  if (epoch != ch.repair_epoch + 1) return;
+
+  // The candidate pool must come from the neighborhood the producer
+  // committed at setup — it cannot mint fresh candidates after seeing who
+  // it would like to draw.
+  for (const auto& c : candidates) {
+    const bool in_nbh =
+        std::any_of(ch.producer_neighborhood.begin(), ch.producer_neighborhood.end(),
+                    [&](const PeerId& p) { return p.addr == c.addr; });
+    if (!in_nbh || c == ch.producer || c == state_.self() || c.addr == dead_addr) {
+      metrics_.add(ids_.verification_failures);
+      return;
+    }
+  }
+  const std::size_t quota = candidates.empty() ? 0 : 1;
+  const Bytes nonce = repair_nonce(ch.producer, ch.producer_round, state_.self(),
+                                   ch.my_round, dead_addr, epoch);
+  if (const auto v = verify_witnesses(provider_, ch.producer.key, candidates, quota,
+                                      nonce, proofs, sample);
+      !v) {
+    metrics_.add(ids_.verification_failures);
+    return;
+  }
+
+  ch.repair_epoch = epoch;
+  ch.witnesses.erase(std::remove_if(ch.witnesses.begin(), ch.witnesses.end(),
+                                    [&](const PeerId& p) { return p.addr == dead_addr; }),
+                     ch.witnesses.end());
+  for (const auto& repl : sample) {
+    const bool already =
+        std::any_of(ch.witnesses.begin(), ch.witnesses.end(),
+                    [&](const PeerId& p) { return p.addr == repl.addr; });
+    if (!already) ch.witnesses.push_back(repl);
+  }
+  metrics_.add(ids_.witness_repairs);
+
+  std::vector<std::uint64_t> seqs;
+  for (const auto& [seq, tally] : ch.pending) {
+    if (!tally.delivered) seqs.push_back(seq);
+  }
+  for (const auto seq : seqs) maybe_deliver(ch, seq);
+
+  wire::Writer ack;
+  ack.u64(id);
+  ack.u64(ch.repair_epoch);
+  send(msg.from, MsgType::kWitnessUpdateAck, std::move(ack).take());
+}
+
+void Node::on_witness_update_ack(const sim::NetMessage& msg) {
+  wire::Reader r(msg.payload);
+  const std::uint64_t id = r.u64();
+  const std::uint64_t epoch = r.u64();
+  r.expect_done();
+  const auto it = producer_channels_.find(id);
+  if (it == producer_channels_.end() || it->second.consumer.addr != msg.from) return;
+  auto& pending = it->second.unacked_updates;
+  pending.erase(std::remove_if(pending.begin(), pending.end(),
+                               [&](const auto& u) { return u.first <= epoch; }),
+                pending.end());
+}
+
+void Node::schedule_witness_health() {
+  if (config_.witness_ping_period <= 0 || health_timer_armed_) return;
+  health_timer_armed_ = true;
+  auto alive = alive_;
+  net_.simulator().schedule(config_.witness_ping_period, [this, alive] {
+    if (!*alive) return;
+    health_timer_armed_ = false;
+    if (!running_) return;
+    bool any_ready = false;
+    std::vector<PeerId> probe;
+    std::vector<std::string> rerepair;
+    for (const auto& [id, ch] : producer_channels_) {
+      if (!ch.ready) continue;
+      any_ready = true;
+      for (const auto& w : ch.witnesses) {
+        if (reported_leavers_.contains(w.addr)) {
+          // Already known dead but still in the group: an earlier repair was
+          // quarantined (we looked isolated at the time). Retry now.
+          rerepair.push_back(w.addr);
+        } else {
+          probe.push_back(w);
+        }
+      }
+      // Replay un-acked repair announcements in epoch order; the consumer
+      // acks what it applies, so this converges once the path heals.
+      for (const auto& [epoch, payload] : ch.unacked_updates) {
+        send_blind(ch.consumer.addr, MsgType::kWitnessUpdate, payload,
+                   config_.blind_retry);
+      }
+    }
+    for (const auto& w : probe) suspect_peer(w);
+    for (const auto& addr : rerepair) trigger_witness_repair(addr);
+    if (any_ready) schedule_witness_health();
+  });
+}
+
 std::vector<std::uint64_t> Node::producer_channel_ids() const {
   std::vector<std::uint64_t> ids;
   ids.reserve(producer_channels_.size());
@@ -948,18 +1374,20 @@ std::vector<std::uint64_t> Node::producer_channel_ids() const {
 void Node::request_testimony(const std::string& witness_addr, std::uint64_t channel_id,
                              std::uint64_t sequence, TestimonyCallback cb) {
   const std::uint64_t request = next_request_id_++;
-  testimony_waiters_[request] = std::move(cb);
   wire::Writer w;
   w.u64(request);
   w.u64(channel_id);
   w.u64(sequence);
-  send(witness_addr, MsgType::kTestimonyQuery, std::move(w).take());
+  const std::uint64_t rpc = send_rpc(witness_addr, MsgType::kTestimonyQuery,
+                                     std::move(w).take(), config_.query_retry);
+  testimony_waiters_[request] = {std::move(cb), rpc};
   auto alive = alive_;
   net_.simulator().schedule(config_.rpc_timeout, [this, alive, request] {
     if (!*alive) return;
     const auto it = testimony_waiters_.find(request);
     if (it == testimony_waiters_.end()) return;  // answered
-    auto waiter = std::move(it->second);
+    finish_rpc(it->second.second);
+    auto waiter = std::move(it->second.first);
     testimony_waiters_.erase(it);
     waiter(std::nullopt);
   });
@@ -1005,7 +1433,8 @@ void Node::on_testimony_reply(const sim::NetMessage& msg) {
   r.expect_done();
   const auto it = testimony_waiters_.find(request);
   if (it == testimony_waiters_.end()) return;  // timed out already
-  auto waiter = std::move(it->second);
+  finish_rpc(it->second.second);
+  auto waiter = std::move(it->second.first);
   testimony_waiters_.erase(it);
   waiter(std::move(t));
 }
@@ -1013,17 +1442,19 @@ void Node::on_testimony_reply(const sim::NetMessage& msg) {
 void Node::request_history_entry(const std::string& peer_addr, Round round,
                                  EntryCallback cb) {
   const std::uint64_t request = next_request_id_++;
-  entry_waiters_[request] = std::move(cb);
   wire::Writer w;
   w.u64(request);
   w.u64(round);
-  send(peer_addr, MsgType::kEntryQuery, std::move(w).take());
+  const std::uint64_t rpc = send_rpc(peer_addr, MsgType::kEntryQuery,
+                                     std::move(w).take(), config_.query_retry);
+  entry_waiters_[request] = {std::move(cb), rpc};
   auto alive = alive_;
   net_.simulator().schedule(config_.rpc_timeout, [this, alive, request] {
     if (!*alive) return;
     const auto it = entry_waiters_.find(request);
     if (it == entry_waiters_.end()) return;
-    auto waiter = std::move(it->second);
+    finish_rpc(it->second.second);
+    auto waiter = std::move(it->second.first);
     entry_waiters_.erase(it);
     waiter(std::nullopt);
   });
@@ -1057,7 +1488,8 @@ void Node::on_entry_reply(const sim::NetMessage& msg) {
   r.expect_done();
   const auto it = entry_waiters_.find(request);
   if (it == entry_waiters_.end()) return;
-  auto waiter = std::move(it->second);
+  finish_rpc(it->second.second);
+  auto waiter = std::move(it->second.first);
   entry_waiters_.erase(it);
   waiter(std::move(entry));
 }

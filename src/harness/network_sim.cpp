@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "accountnet/core/neighborhood.hpp"
+#include "accountnet/core/node.hpp"
 #include "accountnet/core/witness.hpp"
 #include "accountnet/util/ensure.hpp"
 
@@ -40,6 +41,7 @@ NetworkSim::NetworkSim(ExperimentConfig config)
       rng_(config_.seed) {
   AN_ENSURE(config_.network_size >= 2);
   AN_ENSURE(config_.f >= config_.l && config_.l >= 1);
+  if (config_.fault_plan) faults_.emplace(*config_.fault_plan);
 
   core::NodeConfig node_config;
   node_config.max_peerset = config_.f;
@@ -100,6 +102,7 @@ void NetworkSim::sync_metrics() {
   sync_counter("harness.dead_partner_hits", stats_.dead_partner_hits);
   sync_counter("harness.refused_cross_group", stats_.refused_cross_group);
   sync_counter("harness.leave_reports", stats_.leave_reports);
+  sync_counter("harness.fault_failures", stats_.fault_failures);
   metrics_.set(metrics_.gauge("harness.network_size"),
                static_cast<double>(nodes_.size()));
   metrics_.set(metrics_.gauge("harness.alive"), static_cast<double>(alive_count_));
@@ -203,6 +206,27 @@ void NetworkSim::do_shuffle(std::size_t idx) {
     ++stats_.refused_cross_group;
     hn.state->skip_round();
     return;
+  }
+  if (faults_) {
+    // Synchronous exchange: a drop on any of the four logical legs (or a
+    // crashed endpoint) fails the whole shuffle and the initiator burns the
+    // round. No retries here — core::Node models those.
+    const std::string& a = hn.state->self().addr;
+    const std::string& b = partner.state->self().addr;
+    const sim::TimePoint t = sim_.now();
+    const auto leg = [&](const std::string& from, const std::string& to,
+                         core::MsgType type) {
+      return faults_->decide(from, to, static_cast<std::uint32_t>(type), t).drop;
+    };
+    if (faults_->crashed(a, t) || faults_->crashed(b, t) ||
+        leg(a, b, core::MsgType::kRoundQuery) ||
+        leg(b, a, core::MsgType::kRoundReply) ||
+        leg(a, b, core::MsgType::kShuffleOffer) ||
+        leg(b, a, core::MsgType::kShuffleResponse)) {
+      ++stats_.fault_failures;
+      hn.state->skip_round();
+      return;
+    }
   }
 
   const core::Round rj = partner.state->round();

@@ -1,0 +1,104 @@
+#include "accountnet/sim/fault.hpp"
+
+#include <algorithm>
+
+namespace accountnet::sim {
+
+namespace {
+
+bool addr_matches(const std::string& pattern, const std::string& addr) {
+  return pattern.empty() || pattern == addr;
+}
+
+bool in_side(const std::vector<std::string>& side, const std::string& addr) {
+  return std::find(side.begin(), side.end(), addr) != side.end();
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLoss: return "loss";
+    case FaultKind::kDup: return "dup";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kCrash: return "crash";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::uniform_loss(double p, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  LinkFault all;
+  all.loss = p;
+  plan.links.push_back(all);
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed ^ 0xfa017f1a57ULL) {}
+
+bool FaultInjector::partitioned(const std::string& from, const std::string& to,
+                                TimePoint now) const {
+  for (const auto& p : plan_.partitions) {
+    if (now < p.start || now >= p.heal) continue;
+    // An empty side matches everything outside the other side.
+    const bool from_a = p.side_a.empty() ? !in_side(p.side_b, from)
+                                         : in_side(p.side_a, from);
+    const bool from_b = p.side_b.empty() ? !in_side(p.side_a, from)
+                                         : in_side(p.side_b, from);
+    const bool to_a = p.side_a.empty() ? !in_side(p.side_b, to)
+                                       : in_side(p.side_a, to);
+    const bool to_b = p.side_b.empty() ? !in_side(p.side_a, to)
+                                       : in_side(p.side_b, to);
+    if ((from_a && to_b) || (from_b && to_a)) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::crashed(const std::string& addr, TimePoint now) const {
+  for (const auto& c : plan_.crashes) {
+    if (c.addr == addr && now >= c.crash && now < c.restart) return true;
+  }
+  return false;
+}
+
+FaultDecision FaultInjector::decide(const std::string& from, const std::string& to,
+                                    std::uint32_t type, TimePoint now) {
+  FaultDecision d;
+  // Deterministic (rng-free) checks first, so crash/partition drops never
+  // consume randomness and probabilistic streams stay aligned across runs
+  // that differ only in partition membership.
+  if (crashed(from, now) || crashed(to, now)) {
+    d.drop = true;
+    d.drop_kind = FaultKind::kCrash;
+    return d;
+  }
+  if (partitioned(from, to, now)) {
+    d.drop = true;
+    d.drop_kind = FaultKind::kPartition;
+    return d;
+  }
+  for (const auto& rule : plan_.links) {
+    if (!addr_matches(rule.from, from) || !addr_matches(rule.to, to)) continue;
+    if (rule.type.has_value() && *rule.type != type) continue;
+    if (rule.loss > 0.0 && rng_.chance(rule.loss)) {
+      d.drop = true;
+      d.drop_kind = FaultKind::kLoss;
+      return d;
+    }
+    if (rule.duplicate > 0.0 && !d.duplicate && rng_.chance(rule.duplicate)) {
+      d.duplicate = true;
+    }
+    if (rule.reorder > 0.0 && d.extra_delay == 0 && rng_.chance(rule.reorder)) {
+      d.extra_delay = rng_.uniform_range(rule.reorder_min, rule.reorder_max);
+      if (d.duplicate) {
+        d.dup_extra_delay = rng_.uniform_range(rule.reorder_min, rule.reorder_max);
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace accountnet::sim

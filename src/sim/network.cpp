@@ -100,6 +100,45 @@ const SimNetwork::TypeMetrics& SimNetwork::type_metrics(std::uint32_t type) {
   return per_type_.emplace(type, m).first->second;
 }
 
+void SimNetwork::set_fault_plan(FaultPlan plan) {
+  faults_.emplace(std::move(plan));
+}
+
+void SimNetwork::count_fault(FaultKind kind, std::uint32_t type) {
+  if (metrics_ == nullptr) return;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(kind) << 32) | static_cast<std::uint64_t>(type);
+  auto it = fault_metrics_.find(key);
+  if (it == fault_metrics_.end()) {
+    const std::string name = namer_ ? namer_(type) : "type_" + std::to_string(type);
+    const obs::MetricId id = metrics_->counter(
+        std::string("net.fault.") + fault_kind_name(kind) + "." + name);
+    it = fault_metrics_.emplace(key, id).first;
+  }
+  metrics_->add(it->second);
+}
+
+void SimNetwork::deliver_after(Duration delay, NetMessage msg) {
+  sim_.schedule(delay, [this, m = std::move(msg)]() {
+    // A crash window that opened while the message was in flight still
+    // swallows it: delivery requires the destination to be up *now*.
+    if (faults_ && faults_->crashed(m.to, sim_.now())) {
+      ++stats_.faults_dropped;
+      count_fault(FaultKind::kCrash, m.type);
+      return;
+    }
+    const auto it = endpoints_.find(m.to);
+    if (it == endpoints_.end()) {
+      ++stats_.messages_dropped;
+      if (metrics_ != nullptr) metrics_->add(type_metrics(m.type).dropped);
+      return;
+    }
+    ++stats_.messages_delivered;
+    if (metrics_ != nullptr) metrics_->add(type_metrics(m.type).received);
+    it->second(m);
+  });
+}
+
 void SimNetwork::send(NetMessage msg) {
   ++stats_.messages_sent;
   stats_.bytes_sent += msg.payload.size();
@@ -112,18 +151,24 @@ void SimNetwork::send(NetMessage msg) {
     trace_->push({sim_.now(), msg.type, msg.payload.size(), 0,
                   msg.from + "->" + msg.to});
   }
-  const Duration delay = latency_->sample(rng_);
-  sim_.schedule(delay, [this, m = std::move(msg)]() {
-    const auto it = endpoints_.find(m.to);
-    if (it == endpoints_.end()) {
-      ++stats_.messages_dropped;
-      if (metrics_ != nullptr) metrics_->add(type_metrics(m.type).dropped);
-      return;
-    }
-    ++stats_.messages_delivered;
-    if (metrics_ != nullptr) metrics_->add(type_metrics(m.type).received);
-    it->second(m);
-  });
+  FaultDecision fault;
+  if (faults_) fault = faults_->decide(msg.from, msg.to, msg.type, sim_.now());
+  if (fault.drop) {
+    ++stats_.faults_dropped;
+    count_fault(fault.drop_kind, msg.type);
+    return;
+  }
+  if (fault.extra_delay > 0) {
+    ++stats_.faults_delayed;
+    count_fault(FaultKind::kReorder, msg.type);
+  }
+  if (fault.duplicate) {
+    ++stats_.faults_duplicated;
+    count_fault(FaultKind::kDup, msg.type);
+    // The copy samples its own latency, so it races the original.
+    deliver_after(latency_->sample(rng_) + fault.dup_extra_delay, msg);
+  }
+  deliver_after(latency_->sample(rng_) + fault.extra_delay, std::move(msg));
 }
 
 Duration SimNetwork::sample_delay() {

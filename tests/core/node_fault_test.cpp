@@ -1,0 +1,373 @@
+// Robustness of the event-driven node under injected faults: bounded RPC
+// retries and their exhaustion, stale/duplicate message handling, the
+// leave-notice ping-confirmation path, terminal join failure, duplicate
+// suppression on the data plane, witness repair, and the chaos-soak
+// availability floor from the PR acceptance criteria.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "accountnet/core/node.hpp"
+#include "accountnet/sim/fault.hpp"
+#include "accountnet/util/rng.hpp"
+
+namespace accountnet::core {
+namespace {
+
+/// Retry posture used by the chaos scenarios: all attempts of an acked RPC
+/// land inside rpc_timeout (2 s) at 0, 0.3, 0.75, 1.43 s.
+Node::Config chaos_config() {
+  Node::Config config;
+  config.protocol.max_peerset = 5;
+  config.protocol.shuffle_length = 3;
+  config.shuffle_period = sim::seconds(10);
+  config.depth = 3;
+  config.witness_count = 4;
+  config.majority_opt = true;
+  config.query_retry = {4, sim::milliseconds(300), 1.5, 0.1};
+  config.channel_retry = {4, sim::milliseconds(300), 1.5, 0.1};
+  config.blind_retry = {3, sim::milliseconds(300), 1.5, 0.1};
+  config.witness_ping_period = sim::seconds(15);
+  return config;
+}
+
+struct ChaosNet {
+  explicit ChaosNet(std::uint64_t seed = 1, Node::Config config = chaos_config())
+      : net(sim, sim::netem_latency(), seed), config(config), seed(seed) {}
+
+  std::vector<Node*> build(std::size_t n, sim::Duration settle = sim::seconds(60)) {
+    std::vector<Node*> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      Bytes node_seed(32);
+      Rng rng(seed * 1000 + i);
+      for (auto& b : node_seed) b = static_cast<std::uint8_t>(rng.next_u64());
+      nodes.push_back(std::make_unique<Node>(net, "f" + std::to_string(100 + i),
+                                             *provider, node_seed, config,
+                                             rng.next_u64()));
+      out.push_back(nodes.back().get());
+    }
+    out[0]->start_as_seed();
+    for (std::size_t i = 1; i < n; ++i) {
+      sim.schedule(sim::milliseconds(static_cast<std::int64_t>(20 * i)),
+                   [=] { out[i]->start_join(out[i - 1]->id().addr); });
+    }
+    sim.run_until(sim.now() + settle);
+    return out;
+  }
+
+  std::uint64_t counter(const Node& n, const std::string& name) const {
+    const auto id = n.metrics().find(name);
+    return id ? n.metrics().counter_value(*id) : 0;
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<crypto::CryptoProvider> provider = crypto::make_fast_crypto();
+  sim::SimNetwork net;
+  Node::Config config;
+  std::uint64_t seed;
+  std::vector<std::unique_ptr<Node>> nodes;
+};
+
+// A partner that never answers kRoundQuery: the initiator retries within the
+// shuffle timeout, then aborts cleanly and stays able to shuffle later.
+TEST(NodeFault, PartnerNeverAnswersRoundQuery) {
+  ChaosNet cn;
+  auto nodes = cn.build(4);
+  ASSERT_TRUE(nodes[1]->joined());
+
+  // Swallow every round query in the network: all initiations now face a
+  // silent partner.
+  sim::FaultPlan plan;
+  plan.seed = 2;
+  sim::LinkFault mute;
+  mute.type = static_cast<std::uint32_t>(MsgType::kRoundQuery);
+  mute.loss = 1.0;
+  plan.links.push_back(mute);
+  cn.net.set_fault_plan(plan);
+  cn.sim.run_until(cn.sim.now() + sim::seconds(40));
+
+  std::uint64_t retries = 0, failures = 0, completed_during = 0;
+  for (const auto& n : cn.nodes) {
+    const auto s = n->stats();
+    retries += s.rpc_retries;
+    failures += s.shuffle_failures;
+    EXPECT_TRUE(n->running());
+  }
+  EXPECT_GT(retries, 0u) << "silent partner must attract retransmissions";
+  EXPECT_GT(failures, 0u) << "exhausted exchanges must abort, not hang";
+  (void)completed_during;
+
+  // Heal: the overlay recovers without restart.
+  cn.net.clear_fault_plan();
+  const auto before = cn.nodes[0]->stats().shuffles_completed;
+  cn.sim.run_until(cn.sim.now() + sim::seconds(40));
+  std::uint64_t after = 0;
+  for (const auto& n : cn.nodes) after += n->stats().shuffles_completed;
+  EXPECT_GT(after, before);
+}
+
+// A kShuffleResponse that arrives after the initiator already aborted the
+// exchange (timeout) must be ignored: no crash, no bogus verification
+// failure, and the overlay keeps shuffling.
+TEST(NodeFault, StaleShuffleResponseAfterAbortIsIgnored) {
+  ChaosNet cn;
+  auto nodes = cn.build(4);
+
+  // Delay every shuffle response past the 2 s shuffle timeout: the
+  // initiator aborts first, then the (committed) response lands stale.
+  sim::FaultPlan plan;
+  plan.seed = 3;
+  sim::LinkFault late;
+  late.type = static_cast<std::uint32_t>(MsgType::kShuffleResponse);
+  late.reorder = 1.0;
+  late.reorder_min = sim::seconds(3);
+  late.reorder_max = sim::seconds(4);
+  plan.links.push_back(late);
+  cn.net.set_fault_plan(plan);
+  cn.sim.run_until(cn.sim.now() + sim::seconds(40));
+
+  std::uint64_t failures = 0;
+  for (const auto& n : cn.nodes) {
+    failures += n->stats().shuffle_failures;
+    EXPECT_EQ(n->stats().verification_failures, 0u);
+    EXPECT_TRUE(n->running());
+  }
+  EXPECT_GT(failures, 0u) << "delayed responses must trip the abort path";
+
+  cn.net.clear_fault_plan();
+  cn.sim.run_until(cn.sim.now() + sim::seconds(40));
+  std::uint64_t completed = 0;
+  for (const auto& n : cn.nodes) completed += n->stats().shuffles_completed;
+  EXPECT_GT(completed, 0u);
+}
+
+// A leave notice is not trusted immediately: the receiver queues it behind
+// an independent ping probe and applies it only when the probe expires.
+TEST(NodeFault, PingProbeExpiryAppliesQueuedLeaveNotice) {
+  ChaosNet cn;
+  auto nodes = cn.build(8);
+  Node* leaver = nodes[4];
+  const PeerId gone = leaver->id();
+
+  std::vector<Node*> holders;
+  for (auto* n : nodes) {
+    if (n != leaver && n->state().peerset().contains(gone)) holders.push_back(n);
+  }
+  ASSERT_FALSE(holders.empty());
+
+  leaver->stop_gracefully();
+  // Notices arrive within a few RTTs, but the leave must NOT be applied
+  // before the ping probe has had rpc_timeout to expire.
+  cn.sim.run_until(cn.sim.now() + sim::milliseconds(500));
+  for (auto* h : holders) {
+    EXPECT_TRUE(h->state().peerset().contains(gone))
+        << h->id().addr << " applied a leave notice without ping confirmation";
+  }
+  // Direct notice recipients apply after one probe timeout; holders the
+  // leaver did not know about learn via the recipients' forwarded notices,
+  // which takes another notice + probe round.
+  cn.sim.run_until(cn.sim.now() + sim::seconds(20));
+  for (auto* h : holders) {
+    EXPECT_FALSE(h->state().peerset().contains(gone))
+        << h->id().addr << " never applied the queued leave notice";
+  }
+}
+
+// Bootstrap join against a silent address is terminal after the configured
+// attempts: join_failed() flips, the metric fires, and the node never
+// starts shuffling on its own.
+TEST(NodeFault, JoinFailureIsBoundedAndTerminal) {
+  ChaosNet cn;
+  Bytes seed(32, 7);
+  auto joiner = std::make_unique<Node>(cn.net, "lonely", *cn.provider, seed,
+                                       chaos_config(), 99);
+  joiner->start_join("no_such_node");
+  // Default join policy: 2 transmissions 8 s apart, so failure is declared
+  // shortly after the second one times out.
+  cn.sim.run_until(cn.sim.now() + sim::seconds(30));
+
+  EXPECT_FALSE(joiner->joined());
+  EXPECT_TRUE(joiner->join_failed());
+  EXPECT_TRUE(joiner->running()) << "failed joiner stays attached";
+  EXPECT_EQ(joiner->stats().shuffles_initiated, 0u);
+  EXPECT_EQ(cn.counter(*joiner, "node.join_failed"), 1u);
+}
+
+/// Opens one producer -> consumer channel on a settled overlay and returns
+/// (channel id, producer, consumer). Fails the test if it never comes up.
+std::tuple<std::uint64_t, Node*, Node*> open_one_channel(ChaosNet& cn,
+                                                         std::vector<Node*>& nodes) {
+  Node* producer = nodes[1];
+  Node* consumer = nodes[nodes.size() - 2];
+  std::uint64_t channel = 0;
+  bool ok = false, done = false;
+  producer->open_channel(consumer->id().addr, [&](std::uint64_t id, bool k) {
+    channel = id;
+    ok = k;
+    done = true;
+  });
+  cn.sim.run_until(cn.sim.now() + sim::seconds(20));
+  EXPECT_TRUE(done && ok) << "channel never became ready";
+  if (!(done && ok)) channel = 0;
+  return {channel, producer, consumer};
+}
+
+// With every message duplicated, all handlers must be idempotent: each
+// sequence is delivered exactly once and the duplicate relay/forward
+// tallies collapse.
+TEST(NodeFault, DuplicatedDataPathDeliversExactlyOnce) {
+  ChaosNet cn;
+  auto nodes = cn.build(32);
+  auto [channel, producer, consumer] = open_one_channel(cn, nodes);
+  ASSERT_NE(channel, 0u);
+
+  std::map<std::uint64_t, int> deliveries;  // seq -> times delivered
+  consumer->set_delivery_callback(
+      [&](std::uint64_t, std::uint64_t seq, const Bytes&, const PeerId&) {
+        ++deliveries[seq];
+      });
+
+  sim::FaultPlan plan;
+  plan.seed = 5;
+  sim::LinkFault dup;
+  dup.duplicate = 1.0;  // every message, every type, delivered twice
+  plan.links.push_back(dup);
+  cn.net.set_fault_plan(plan);
+
+  for (int i = 0; i < 10; ++i) {
+    producer->send_data(channel, Bytes{0xAB, static_cast<std::uint8_t>(i)});
+    cn.sim.run_until(cn.sim.now() + sim::seconds(2));
+  }
+  cn.sim.run_until(cn.sim.now() + sim::seconds(10));
+
+  EXPECT_EQ(deliveries.size(), 10u) << "every sequence must be delivered";
+  for (const auto& [seq, times] : deliveries) {
+    EXPECT_EQ(times, 1) << "sequence " << seq << " delivered " << times << " times";
+  }
+  for (const auto& n : cn.nodes) {
+    EXPECT_EQ(n->stats().verification_failures, 0u);
+    EXPECT_TRUE(n->running());
+  }
+}
+
+// Killing a witness of a ready channel triggers producer-side repair: a
+// verifiable replacement draw, a kWitnessUpdate the consumer adopts, and
+// continued delivery afterwards.
+TEST(NodeFault, WitnessRepairSurvivesWitnessCrash) {
+  ChaosNet cn;
+  auto nodes = cn.build(32);
+  auto [channel, producer, consumer] = open_one_channel(cn, nodes);
+  ASSERT_NE(channel, 0u);
+
+  std::set<std::uint64_t> delivered;
+  consumer->set_delivery_callback(
+      [&](std::uint64_t, std::uint64_t seq, const Bytes&, const PeerId&) {
+        delivered.insert(seq);
+      });
+  producer->send_data(channel, Bytes{1});
+  cn.sim.run_until(cn.sim.now() + sim::seconds(5));
+  ASSERT_EQ(delivered.size(), 1u);
+
+  // Kill one witness ungracefully: any node that is neither endpoint and
+  // forwarded the first payload must be in the witness group.
+  Node* witness = nullptr;
+  for (auto* n : nodes) {
+    if (n != producer && n != consumer && n->stats().relays_forwarded > 0) {
+      witness = n;
+      break;
+    }
+  }
+  ASSERT_NE(witness, nullptr) << "no witness forwarded the first payload";
+  witness->stop();
+
+  // Health pings (15 s period) must notice, repair, and announce; then data
+  // keeps flowing through the repaired group.
+  cn.sim.run_until(cn.sim.now() + sim::seconds(40));
+  EXPECT_GE(producer->stats().witness_repairs, 1u);
+  EXPECT_GE(consumer->stats().witness_repairs, 1u);
+
+  producer->send_data(channel, Bytes{2});
+  cn.sim.run_until(cn.sim.now() + sim::seconds(5));
+  EXPECT_EQ(delivered.size(), 2u) << "delivery must survive the repair";
+}
+
+// PR acceptance criterion: a 64-node soak with 10% uniform loss plus one
+// healed partition completes >= 99% of attempted shuffles and >= 95% of
+// channel deliveries, at fixed seeds.
+TEST(NodeFault, ChaosSoakMeetsAvailabilityFloor) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 13ULL}) {
+    ChaosNet cn(seed);
+    auto nodes = cn.build(64, sim::seconds(120));
+
+    // Eight producer->consumer channels between partition-free endpoints.
+    std::set<std::pair<std::uint64_t, std::uint64_t>> delivered;
+    std::vector<std::pair<Node*, std::uint64_t>> channels;
+    for (std::size_t p = 0; p < 8; ++p) {
+      Node* producer = nodes[p];
+      Node* consumer = nodes[63 - p];
+      consumer->set_delivery_callback(
+          [&](std::uint64_t ch, std::uint64_t seq, const Bytes&, const PeerId&) {
+            delivered.insert({ch, seq});
+          });
+      producer->open_channel(consumer->id().addr,
+                             [&channels, producer](std::uint64_t id, bool ok) {
+                               if (ok) channels.emplace_back(producer, id);
+                             });
+    }
+    cn.sim.run_until(cn.sim.now() + sim::seconds(30));
+    ASSERT_EQ(channels.size(), 8u) << "seed " << seed;
+
+    // 10% uniform loss for the whole window plus a 10 s partition that cuts
+    // four mid-overlay nodes off and heals.
+    auto plan = sim::FaultPlan::uniform_loss(0.10, seed + 100);
+    sim::Partition part;
+    for (std::size_t i = 28; i < 32; ++i) part.side_a.push_back(nodes[i]->id().addr);
+    part.start = cn.sim.now() + sim::seconds(60);
+    part.heal = part.start + sim::seconds(10);
+    plan.partitions.push_back(part);
+
+    std::uint64_t initiated0 = 0, completed0 = 0, benign0 = 0;
+    for (const auto& n : cn.nodes) {
+      initiated0 += n->stats().shuffles_initiated;
+      completed0 += n->stats().shuffles_completed;
+      benign0 += cn.counter(*n, "node.shuffles_rejected_benign");
+    }
+
+    cn.net.set_fault_plan(plan);
+    std::uint64_t sent = 0;
+    const sim::TimePoint stop = cn.sim.now() + sim::seconds(240);
+    while (cn.sim.now() < stop) {
+      for (const auto& [producer, ch] : channels) {
+        producer->send_data(ch, Bytes{0xCA, static_cast<std::uint8_t>(sent)});
+        ++sent;
+      }
+      cn.sim.run_until(cn.sim.now() + sim::seconds(2));
+    }
+    cn.net.clear_fault_plan();
+    cn.sim.run_until(cn.sim.now() + sim::seconds(30));  // drain
+
+    std::uint64_t initiated = 0, completed = 0, benign = 0;
+    for (const auto& n : cn.nodes) {
+      initiated += n->stats().shuffles_initiated;
+      completed += n->stats().shuffles_completed;
+      benign += cn.counter(*n, "node.shuffles_rejected_benign");
+    }
+    const std::uint64_t attempted = (initiated - initiated0) - (benign - benign0);
+    const double shuffle_liveness =
+        static_cast<double>(completed - completed0) / static_cast<double>(attempted);
+    const double delivery_rate =
+        static_cast<double>(delivered.size()) / static_cast<double>(sent);
+
+    EXPECT_GE(shuffle_liveness, 0.99)
+        << "seed " << seed << ": " << (completed - completed0) << "/" << attempted;
+    EXPECT_GE(delivery_rate, 0.95)
+        << "seed " << seed << ": " << delivered.size() << "/" << sent;
+    EXPECT_GT(cn.net.stats().faults_dropped, 0u) << "faults must actually fire";
+  }
+}
+
+}  // namespace
+}  // namespace accountnet::core

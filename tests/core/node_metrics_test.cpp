@@ -14,7 +14,8 @@ namespace accountnet::core {
 namespace {
 
 constexpr std::uint32_t kFirstMsgType = static_cast<std::uint32_t>(MsgType::kJoinRequest);
-constexpr std::uint32_t kLastMsgType = static_cast<std::uint32_t>(MsgType::kEntryReply);
+constexpr std::uint32_t kLastMsgType =
+    static_cast<std::uint32_t>(MsgType::kWitnessUpdateAck);
 
 TEST(MsgTypeName, UniqueSnakeCaseForEveryType) {
   std::set<std::string> names;

@@ -1,0 +1,86 @@
+// Harness-level fault injection: an attached FaultPlan fails shuffles at the
+// synchronous message legs, an empty plan is behaviorally invisible, and
+// the fault counter surfaces through stats and metrics.
+#include <gtest/gtest.h>
+
+#include "accountnet/harness/network_sim.hpp"
+#include "accountnet/sim/fault.hpp"
+
+namespace accountnet::harness {
+namespace {
+
+ExperimentConfig base_config() {
+  ExperimentConfig c;
+  c.network_size = 120;
+  c.f = 5;
+  c.l = 3;
+  c.d = 2;
+  c.lane_size = 30;
+  c.verify_fraction = 1.0;
+  c.seed = 11;
+  return c;
+}
+
+TEST(HarnessFaults, EmptyPlanIsBehaviorallyInvisible) {
+  NetworkSim clean(base_config());
+  auto with_plan = base_config();
+  with_plan.fault_plan = sim::FaultPlan{};  // attached but injects nothing
+  NetworkSim faulty(with_plan);
+
+  clean.run(30, nullptr);
+  faulty.run(30, nullptr);
+
+  EXPECT_EQ(clean.stats().shuffles_attempted, faulty.stats().shuffles_attempted);
+  EXPECT_EQ(clean.stats().shuffles_completed, faulty.stats().shuffles_completed);
+  EXPECT_EQ(faulty.stats().fault_failures, 0u);
+}
+
+TEST(HarnessFaults, UniformLossFailsShufflesProportionally) {
+  auto config = base_config();
+  config.fault_plan = sim::FaultPlan::uniform_loss(0.10, 5);
+  NetworkSim sim(config);
+  sim.run(30, nullptr);
+
+  const auto& s = sim.stats();
+  EXPECT_GT(s.fault_failures, 0u);
+  EXPECT_EQ(s.verification_failures, 0u) << "faults are not protocol violations";
+  // Four legs, each surviving with P = 0.9: expect roughly 1 - 0.9^4 = 34%
+  // of shuffles to fail; allow generous slack for the finite sample.
+  const double fail_rate =
+      static_cast<double>(s.fault_failures) / static_cast<double>(s.shuffles_attempted);
+  EXPECT_NEAR(fail_rate, 0.344, 0.08);
+
+  // The counter is scraped as "harness.fault_failures".
+  obs::NullSink sink;
+  sim.scrape_metrics(sink);
+  obs::MetricsRegistry& m = sim.metrics();
+  const auto id = m.find("harness.fault_failures");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(m.counter_value(*id), s.fault_failures);
+}
+
+TEST(HarnessFaults, PartitionHealsAndOverlayRecovers) {
+  auto config = base_config();
+  sim::FaultPlan plan;
+  plan.seed = 9;
+  sim::Partition part;
+  part.side_a = {"n000000", "n000001", "n000002", "n000003", "n000004"};
+  part.start = sim::seconds(100);
+  part.heal = sim::seconds(200);
+  plan.partitions.push_back(part);
+  config.fault_plan = plan;
+
+  NetworkSim sim(config);
+  std::uint64_t faults_at_heal = 0;
+  sim.run(40, [&](std::size_t round) {
+    if (round == 20) faults_at_heal = sim.stats().fault_failures;
+  });
+  const auto& s = sim.stats();
+  EXPECT_GT(faults_at_heal, 0u) << "partition must fail cross-side shuffles";
+  EXPECT_EQ(s.fault_failures, faults_at_heal)
+      << "no new fault failures after the partition heals";
+  EXPECT_EQ(s.verification_failures, 0u);
+}
+
+}  // namespace
+}  // namespace accountnet::harness
