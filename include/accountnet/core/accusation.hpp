@@ -1,0 +1,114 @@
+// Self-contained, third-party-verifiable misbehavior evidence (the
+// detection→consequence half of the paper's accountability claim, Sec. IV/V).
+//
+// When an inline verification, a cross-entry audit, or a relay-digest check
+// fails against a *body-signed* message, the detector packages the offending
+// signed material into an Accusation and gossips it. The design invariant is
+// that every accusation is checkable by any third party from its own bytes
+// (plus the shared protocol config) via verify_accusation():
+//
+//   - the evidence must be attributable to the accused (its own signatures
+//     over the offending messages — kAccusationEvidenceInvalid otherwise);
+//   - the attributed evidence must actually demonstrate a protocol violation
+//     an honest node can never commit (kAccusationNotProven otherwise).
+//
+// Because honest nodes only ever sign protocol-conforming messages, a forged
+// accusation against an honest node must fail one of the two steps; tests
+// drive every forgery construction against the real crypto backend.
+//
+// kRelayOmission is the one kind whose evidence shows duty + data but not
+// the violation itself (silence is unprovable offline); recipients convict
+// only through a live challenge of the accused (core/node.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accountnet/core/evidence.hpp"
+#include "accountnet/core/node_state.hpp"
+#include "accountnet/core/shuffle.hpp"
+
+namespace accountnet::core {
+
+enum class AccusationKind : std::uint8_t {
+  kInvalidOffer = 1,          ///< body-signed offer fails verify_offer_static()
+  kInvalidResponse = 2,       ///< body-signed response fails verify_response_static()
+  kHistoryEquivocation = 3,   ///< two signed exchanges, conflicting entries at `round`
+  kTestimonyEquivocation = 4, ///< two testimonies, same (channel, seq), digests differ
+  kRelayTamper = 5,           ///< forward signed for a payload the producer never sent
+  kTestimonyMismatch = 6,     ///< witness's forward and testimony digests conflict
+  kRelayOmission = 7,         ///< duty + relayed data shown; convicted via challenge
+};
+
+/// Metric suffix for a kind ("invalid_offer", ...).
+const char* accusation_kind_tag(AccusationKind kind);
+
+/// One body-signed exchange attributable to the accused. shape 1 carries an
+/// offer the accused initiated (addressed to `counterpart`); shape 2 carries
+/// a response the accused gave to `offer` (the response signature binds the
+/// offer bytes, so the pair verifies as a unit).
+struct ExchangeItem {
+  std::uint8_t shape = 0;  ///< 1 = offer, 2 = offer + response
+  Bytes offer;             ///< offer wire bytes
+  Bytes response;          ///< response wire bytes (shape 2)
+  PeerId counterpart;      ///< shape 1: the responder the offer addressed
+};
+
+struct Accusation {
+  AccusationKind kind{};
+  PeerId accused;
+  PeerId accuser;
+  std::uint64_t channel_id = 0;  ///< witness kinds
+  std::uint64_t sequence = 0;    ///< witness kinds
+  Round round = 0;               ///< kHistoryEquivocation: the conflicting round
+  std::vector<ExchangeItem> items;  ///< shuffle kinds (1 item; equivocation: 2)
+  PeerId producer;               ///< witness kinds: channel producer
+  std::string consumer_addr;     ///< witness kinds: duty binding
+  Bytes duty_sig;                ///< witness kinds: σ_w over wduty_payload(...)
+  Bytes header_sig;              ///< producer's relay-header signature
+  Bytes digest_a;                ///< payload digest (forward / first testimony)
+  Bytes digest_b;                ///< payload digest (testimony / second testimony)
+  Bytes sig_a;                   ///< forward sig / first testimony sig
+  Bytes sig_b;                   ///< testimony sig / second testimony sig
+  Bytes accuser_sig;             ///< σ_accuser over signing_payload()
+
+  Bytes encode() const;        ///< full wire form (includes accuser_sig)
+  Bytes encode_core() const;   ///< without accuser_sig (the signed portion)
+  static Accusation decode(BytesView data);  ///< throws wire::DecodeError
+
+  /// What the accuser signs: "an.accuse" + SHA-256(encode_core()).
+  Bytes signing_payload() const;
+
+  /// Content digest of the full wire form (gossip dedup key).
+  DataDigest digest() const;
+};
+
+// Witness-channel signing payloads (accountability mode). Declared here so
+// node.cpp (signing/verifying live traffic) and verify_accusation() (checking
+// packaged evidence) agree on the exact bytes.
+
+/// Witness duty acknowledgement: binds (channel, producer identity, consumer
+/// address, witness address). Anchors relay evidence to a concrete producer.
+Bytes wduty_payload(std::uint64_t channel_id, const PeerId& producer,
+                    const std::string& consumer_addr, const std::string& witness_addr);
+
+/// Producer's per-message relay header: binds (channel, seq, payload digest).
+Bytes relay_header_payload(std::uint64_t channel_id, std::uint64_t sequence,
+                           const DataDigest& digest);
+
+/// Witness's forward endorsement: binds the payload digest *as forwarded* to
+/// the producer header it claims to relay (via SHA-256 of the header sig).
+Bytes forward_payload(std::uint64_t channel_id, std::uint64_t sequence,
+                      const DataDigest& digest, BytesView header_sig);
+
+/// Third-party verification of an accusation: checks the accuser signature,
+/// attributes the evidence to the accused, and re-derives the violation.
+/// `protocol` supplies the shared parameters (shuffle length L) the static
+/// shuffle checks need. For kRelayOmission a pass means "duty and data are
+/// genuine" — conviction still requires the live challenge.
+VerifyResult verify_accusation(const Accusation& acc,
+                               const crypto::CryptoProvider& provider,
+                               const NodeConfig& protocol);
+
+}  // namespace accountnet::core

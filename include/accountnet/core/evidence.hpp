@@ -76,6 +76,11 @@ struct Resolution {
   std::size_t majority_count = 0;
   std::size_t valid_testimonies = 0;
   std::size_t invalid_testimonies = 0;  ///< bad signatures / wrong channel-seq
+  /// Witnesses that signed *conflicting* testimonies for this (channel, seq).
+  /// Their testimonies are excluded from the tally, and each conflicting
+  /// pair is automatic accusation material (core/accusation.hpp,
+  /// AccusationKind::kTestimonyEquivocation).
+  std::vector<PeerId> equivocators;
 };
 
 /// Third-party resolution: majority vote over verified testimonies.

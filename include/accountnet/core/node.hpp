@@ -10,7 +10,13 @@
 // forging cryptography (which verification would reject anyway — that is the
 // point of the protocol); the knobs realize the two rational strategies the
 // analysis identifies: follow-the-protocol-but-lie-as-witness, or
-// refuse-and-separate.
+// refuse-and-separate. An AdversaryPolicy (core/adversary.hpp) goes further:
+// it mounts *active* attacks (biased samples, forged/truncated/equivocating
+// histories, relay tamper/drop, testimony lies), and the accountability mode
+// (Config::accountability) is the machinery that catches them — body-signed
+// messages, signed relay headers/forwards, and a gossiped accuse → quarantine
+// → evict pipeline whose Accusations any third party can re-verify
+// (core/accusation.hpp).
 #pragma once
 
 #include <functional>
@@ -20,6 +26,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "accountnet/core/accusation.hpp"
+#include "accountnet/core/adversary.hpp"
 #include "accountnet/core/evidence.hpp"
 #include "accountnet/core/neighborhood.hpp"
 #include "accountnet/core/shuffle.hpp"
@@ -58,6 +66,8 @@ enum class MsgType : std::uint32_t {
   kEntryReply = 23,
   kWitnessUpdate = 24,
   kWitnessUpdateAck = 25,
+  kAccusation = 26,
+  kAccusationAck = 27,
 };
 
 /// Stable snake_case name for a message type ("shuffle_offer", ...); used as
@@ -118,6 +128,32 @@ class Node {
     /// witnesses of ready channels; a silent witness is reported as left and
     /// repaired (replaced via a fresh verifiable draw). 0 disables.
     sim::Duration witness_ping_period = 0;
+
+    /// Accountability mode (disabled by default — defaults reproduce the
+    /// pre-accountability wire format bit-for-bit). When enabled, shuffle
+    /// offers/responses carry body signatures, relays carry producer header
+    /// signatures and witness forward signatures, and every detected
+    /// violation is packaged as a gossiped, third-party-verifiable
+    /// Accusation driving local quarantine and threshold eviction.
+    struct Accountability {
+      bool enabled = false;
+      /// Distinct accusers required before a quarantined peer counts as
+      /// evicted (one valid accusation already quarantines locally; the
+      /// threshold guards the stronger, permanent verdict).
+      std::size_t evict_threshold = 2;
+      /// Every `audit_period`-th sequence the consumer also spot-checks the
+      /// forwarding witnesses' testimonies against their forwards.
+      std::uint64_t audit_period = 4;
+      /// Consumer audit runs this long after delivery, so straggling
+      /// forwards are not mistaken for omissions.
+      sim::Duration audit_delay = sim::seconds(2);
+      std::size_t max_seen_entries = 4096;  ///< equivocation cross-check cache
+      std::size_t max_accusations = 4096;   ///< gossip dedup cache
+    };
+    Accountability accountability;
+
+    /// Active-adversary policy for this node (all-off by default).
+    AdversaryPolicy adversary;
   };
 
   /// Partial runtime reconfiguration: only fields holding a value change.
@@ -197,6 +233,23 @@ class Node {
   Stats stats() const;
   const EvidenceLog& evidence() const { return evidence_; }
   Behavior& behavior() { return behavior_; }
+  AdversaryPolicy& adversary() { return adversary_; }
+
+  /// The simulator driving this node's timers (resolver deadlines etc.).
+  sim::Simulator& simulator() { return net_.simulator(); }
+
+  /// True once this node has accepted at least one valid accusation against
+  /// `addr` (the peer is excluded from partner/witness selection and its
+  /// traffic is dropped).
+  bool is_quarantined(const std::string& addr) const {
+    return quarantined_.contains(addr);
+  }
+  /// True once `evict_threshold` distinct accusers have been counted.
+  bool is_evicted(const std::string& addr) const {
+    const auto it = accused_.find(addr);
+    return it != accused_.end() && it->second.evicted;
+  }
+  std::size_t quarantined_count() const { return quarantined_.size(); }
 
   /// Per-node metrics: the "node.*" counters behind stats(), rejection
   /// counters keyed by VerifyError tag ("node.reject.<tag>"), and the
@@ -259,6 +312,18 @@ class Node {
     std::uint64_t timeout_token = 0;  ///< identifies the live abort timer
     std::uint64_t query_rpc = 0;      ///< outstanding kRoundQuery (0 = none)
     std::uint64_t offer_rpc = 0;      ///< outstanding kShuffleOffer (0 = none)
+
+    /// Adversary equivocation: when set, the offer is assembled over this
+    /// internally consistent but doctored history instead of the node's real
+    /// state (core/adversary.hpp). The doctored suffix reuses the real
+    /// counterpart signatures (entry signatures cover only the nonce), so it
+    /// passes inline verification and is only caught by cross-comparing
+    /// signed exchanges.
+    struct Doctored {
+      std::vector<HistoryEntry> suffix;
+      std::vector<PeerId> claimed;  ///< reconstruct(suffix), sorted
+    };
+    std::optional<Doctored> doctored;
   };
 
   struct ProducerChannel {
@@ -296,12 +361,26 @@ class Node {
     bool ready = false;
     std::uint64_t repair_epoch = 0;  ///< applied witness repairs
     Bytes accept_payload;            ///< cached for duplicate-request resend
+    /// Witness duty signatures (accountability mode): witness addr → σ_w over
+    /// wduty_payload(...), copied to us alongside the producer's invite ack.
+    /// Verified lazily when packaged into an accusation.
+    std::map<std::string, Bytes> duty_sigs;
     // Per-sequence digest tallies for delivery decisions.
     struct Tally {
       std::map<Bytes, std::pair<std::size_t, Bytes>> digests;  // digest -> (count, payload)
       std::set<std::string> seen;  ///< witnesses already tallied (dedup)
       std::size_t total = 0;
       bool delivered = false;
+      /// Accountability mode: the signed material each forward carried, kept
+      /// for tamper/testimony-mismatch accusations and omission challenges.
+      struct ForwardRec {
+        Bytes digest;       ///< digest of the payload as forwarded
+        Bytes forward_sig;  ///< σ_w over forward_payload(...)
+        Bytes header_sig;   ///< producer header sig the forward was bound to
+        bool header_ok = false;  ///< header verified for `digest`
+      };
+      std::map<std::string, ForwardRec> forwards;  ///< by witness addr
+      bool audited = false;  ///< post-delivery audit already scheduled
     };
     std::map<std::uint64_t, Tally> pending;
   };
@@ -388,6 +467,43 @@ class Node {
   void on_testimony_reply(const sim::NetMessage& msg);
   void on_entry_query(const sim::NetMessage& msg);
   void on_entry_reply(const sim::NetMessage& msg);
+
+  /// Internal testimony query that distinguishes "witness answered with no
+  /// record" (replied, nullopt) from full silence (not replied, nullopt) —
+  /// the omission challenge convicts only on silence.
+  using TestimonyReplyCallback =
+      std::function<void(bool replied, std::optional<Testimony>)>;
+  void request_testimony_internal(const std::string& witness_addr,
+                                  std::uint64_t channel_id, std::uint64_t sequence,
+                                  TestimonyReplyCallback cb);
+
+  // Accountability pipeline (accuse → quarantine → evict).
+  bool acct() const { return config_.accountability.enabled; }
+  /// Cross-checks the suffix a body-signed exchange carried against entries
+  /// previously seen from `peer`; a conflicting entry at the same round
+  /// raises a kHistoryEquivocation accusation built from the two exchanges.
+  void note_exchange_entries(const PeerId& peer,
+                             const std::vector<HistoryEntry>& suffix,
+                             ExchangeItem item);
+  /// Finalizes (signs), self-verifies, applies locally and gossips an
+  /// accusation this node constructed.
+  void raise_accusation(Accusation acc);
+  /// Applies a verified accusation: records the accuser, quarantines the
+  /// accused, and flips to evicted at the accuser threshold.
+  void accept_accusation(const Accusation& acc);
+  void gossip_accusation(const Accusation& acc, const std::string& skip_addr);
+  /// Quarantine = local leave-record (no notice fanout; peers convict via
+  /// the gossiped accusation themselves) + witness repair + traffic drop.
+  void quarantine_peer(const PeerId& peer, const char* kind_tag);
+  /// Live omission challenge: query the accused witness for its testimony of
+  /// (channel, seq); convict `acc` only if it stays silent.
+  void start_omission_challenge(Accusation acc);
+  /// Post-delivery consumer audit: challenge witnesses that never forwarded,
+  /// and on audit-period sequences spot-check forwarders' testimonies.
+  void schedule_consumer_audit(std::uint64_t channel_id, std::uint64_t seq);
+  void run_consumer_audit(std::uint64_t channel_id, std::uint64_t seq);
+  void on_accusation(const sim::NetMessage& msg);
+  void on_accusation_ack(const sim::NetMessage& msg);
 
   /// Registration-order ids of the per-node metrics (interned once).
   struct MetricIds {
@@ -477,8 +593,37 @@ class Node {
   // Outstanding evidence / history queries keyed by a request id; each also
   // remembers its RPC-table entry so the reply cancels pending retries.
   std::uint64_t next_request_id_ = 1;
-  std::map<std::uint64_t, std::pair<TestimonyCallback, std::uint64_t>> testimony_waiters_;
+  std::map<std::uint64_t, std::pair<TestimonyReplyCallback, std::uint64_t>>
+      testimony_waiters_;
   std::map<std::uint64_t, std::pair<EntryCallback, std::uint64_t>> entry_waiters_;
+
+  // Accountability state.
+  AdversaryPolicy adversary_ = config_.adversary;
+  /// Adversary attack-rate rolls only; protocol draws stay on rng_, so an
+  /// all-off policy never perturbs an honest run.
+  Rng adv_rng_;
+  std::uint64_t adv_initiations_ = 0;  ///< equivocators alternate per initiation
+  std::unordered_set<std::string> quarantined_;
+  struct AccusedRecord {
+    std::set<std::string> accusers;  ///< distinct accuser addresses counted
+    bool evicted = false;
+  };
+  std::unordered_map<std::string, AccusedRecord> accused_;
+  /// Accusation digests already processed (gossip dedup / replay floor).
+  BoundedSet<std::string> accusations_seen_{config_.accountability.max_accusations};
+  /// "addr#round" → the entry bytes (+ originating signed exchange) first
+  /// seen from that peer at that round; conflicts are equivocation proof.
+  struct SeenEntry {
+    Bytes entry_bytes;
+    std::shared_ptr<const ExchangeItem> item;
+  };
+  BoundedMap<std::string, SeenEntry> seen_entries_{
+      config_.accountability.max_seen_entries};
+  /// Outstanding accusation-gossip RPCs, keyed "digesthex#peer" so the ack
+  /// (which echoes the digest) can cancel the matching retry.
+  std::map<std::string, std::uint64_t> accusation_rpcs_;
+  /// Omission challenges in flight, keyed "addr#channel#seq" (dedup).
+  std::set<std::string> active_challenges_;
 
   /// Guards timer callbacks against a destroyed node (events may outlive us).
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

@@ -31,12 +31,21 @@ class DisputeResolver {
   using DoneCallback = std::function<void(Outcome)>;
 
   /// `node` provides the resolver's network identity and query plumbing.
-  explicit DisputeResolver(Node& node, const crypto::CryptoProvider& provider)
-      : node_(node), provider_(provider) {}
+  /// `deadline` hard-bounds each resolution: whatever testimonies have
+  /// arrived by then are resolved as-is, so a stonewalling witness set (or a
+  /// retry policy slower than the per-query timeout) can never pin Pending
+  /// entries in flight indefinitely. 0 disables the deadline.
+  explicit DisputeResolver(Node& node, const crypto::CryptoProvider& provider,
+                           sim::Duration deadline = sim::seconds(30))
+      : node_(node), provider_(provider), deadline_(deadline) {}
 
   /// Collects testimonies from all witnesses, then resolves. The callback
-  /// fires once every witness has answered or timed out.
+  /// fires once every witness has answered or timed out, or at the deadline,
+  /// whichever comes first. Answers arriving after the deadline are dropped.
   void resolve(Request request, DoneCallback done);
+
+  /// Resolutions currently awaiting witnesses (leak check / introspection).
+  std::size_t in_flight() const { return in_flight_.size(); }
 
  private:
   struct Pending {
@@ -45,10 +54,12 @@ class DisputeResolver {
     std::size_t outstanding = 0;
     std::vector<Testimony> testimonies;
     std::size_t responded = 0;
+    bool finished = false;  ///< set by completion OR deadline; later one no-ops
   };
 
   Node& node_;
   const crypto::CryptoProvider& provider_;
+  sim::Duration deadline_;
   std::vector<std::shared_ptr<Pending>> in_flight_;
 };
 

@@ -41,8 +41,10 @@ struct ShuffleOffer {
   std::vector<Bytes> sample_proofs;  ///< VRF attempts drawing A
   std::vector<PeerId> claimed_peerset;     ///< N_i[r_i]
   std::vector<HistoryEntry> history_suffix;  ///< proves claimed_peerset
+  Bytes body_sig;  ///< accountability mode: σ_i over offer_body_payload(...)
 
-  Bytes encode() const;
+  Bytes encode() const;        ///< core fields + body_sig iff non-empty
+  Bytes encode_core() const;   ///< core fields only (the signed portion)
   static ShuffleOffer decode(BytesView data);
 };
 
@@ -54,8 +56,10 @@ struct ShuffleResponse {
   std::vector<Bytes> sample_proofs;
   std::vector<PeerId> claimed_peerset;       ///< N_j[r_j]
   std::vector<HistoryEntry> history_suffix;  ///< proves claimed_peerset
+  Bytes body_sig;  ///< accountability mode: σ_j over response_body_payload(...)
 
-  Bytes encode() const;
+  Bytes encode() const;        ///< core fields + body_sig iff non-empty
+  Bytes encode_core() const;   ///< core fields only (the signed portion)
   static ShuffleResponse decode(BytesView data);
 };
 
@@ -88,6 +92,47 @@ VerifyResult verify_response(const ShuffleResponse& response, const NodeState& s
 /// Step 6 (initiator): commit the initiator-side update (Algorithm 3).
 void apply_offer_outcome(NodeState& state, const ShuffleOffer& sent_offer,
                          const ShuffleResponse& response);
+
+// Accountability-mode message binding. In accountability mode each side also
+// signs the full message body, bound to the counterpart it addressed: the
+// message then doubles as transferable evidence — any third party can check
+// "node X sent exactly these bytes to node Y" without trusting the reporter.
+
+/// Signed by the initiator over its offer: binds the addressed responder's
+/// full identity (address AND key), so an offer cannot be re-targeted or
+/// replayed against a forged keypair at the same address.
+Bytes offer_body_payload(BytesView offer_core, const PeerId& responder);
+
+/// Signed by the responder over its response: binds the exact offer wire
+/// bytes it is answering, so the (offer, response) pair verifies as a unit.
+Bytes response_body_payload(BytesView offer_wire, BytesView response_core);
+
+// Stateless halves of offer/response verification: every check that depends
+// only on message contents plus the verifier's identity and L. Separated
+// from the stateful wrappers so verify_accusation() can re-run them — an
+// honest node's messages always pass, so a *body-signed* message failing a
+// static check is transferable proof of cheating.
+
+/// All verify_offer() checks except the stale-round-nonce comparison.
+/// `responder` is the node the offer addressed.
+VerifyResult verify_offer_static(const ShuffleOffer& offer, const PeerId& responder,
+                                 std::size_t shuffle_length,
+                                 const crypto::CryptoProvider& provider);
+
+/// All verify_response() checks; `initiator` is the node that sent the offer.
+VerifyResult verify_response_static(const ShuffleResponse& response,
+                                    const ShuffleOffer& sent_offer,
+                                    const PeerId& initiator, std::size_t shuffle_length,
+                                    const crypto::CryptoProvider& provider);
+
+/// Checks `body_sig` (offer addressed to `responder`). kNone on success.
+VerifyError check_offer_body_sig(const ShuffleOffer& offer, const PeerId& responder,
+                                 const crypto::CryptoProvider& provider);
+
+/// Checks `body_sig` (response answering exactly `offer_wire`).
+VerifyError check_response_body_sig(const ShuffleResponse& response,
+                                    BytesView offer_wire,
+                                    const crypto::CryptoProvider& provider);
 
 /// Algorithm 3 core, shared by both sides: removes `removed`, adds `received`
 /// (capacity- and self-aware), refills from `removed` if space remains, and

@@ -65,11 +65,22 @@ enum class VerifyError : std::uint8_t {
   kNeighborhoodGhostNode,
   kNeighborhoodHiddenNode,
   kNeighborhoodUnderReported,
+
+  // Accountability-mode message binding (core/shuffle.cpp, core/node.cpp).
+  kMissingBodySignature,
+  kInvalidBodySignature,
+
+  // Accusation verification (core/accusation.cpp).
+  kAccusationMalformed,
+  kAccusationBadSignature,
+  kAccusationSelfAccusation,
+  kAccusationEvidenceInvalid,
+  kAccusationNotProven,
 };
 
 /// Last enumerator; keeps enumeration loops (tests, metric tagging) in sync
 /// with the enum without a sentinel that would break exhaustive switches.
-inline constexpr VerifyError kLastVerifyError = VerifyError::kNeighborhoodUnderReported;
+inline constexpr VerifyError kLastVerifyError = VerifyError::kAccusationNotProven;
 
 /// Canonical human-readable text for a code (exhaustive switch — adding an
 /// enumerator without text is a compile error under -Wall).

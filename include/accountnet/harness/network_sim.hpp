@@ -23,6 +23,7 @@
 #include <unordered_set>
 
 #include "accountnet/analysis/graph_metrics.hpp"
+#include "accountnet/core/adversary.hpp"
 #include "accountnet/core/shuffle.hpp"
 #include "accountnet/obs/metrics.hpp"
 #include "accountnet/obs/sink.hpp"
@@ -69,6 +70,15 @@ struct ExperimentConfig {
   /// the whole shuffle; there are no retries at this layer (core::Node has
   /// them). When unset, behavior is bit-identical to the pre-fault harness.
   std::optional<sim::FaultPlan> fault_plan;
+
+  /// Active-adversary policy applied by flagged-malicious nodes (the same
+  /// core::AdversaryPolicy that plugs into core::Node). At this layer only
+  /// the shuffle-facing attacks are meaningful (bias_sample, forge_history,
+  /// truncate_history, equivocate); relay/witness attacks need the
+  /// event-driven stack. Detection happens through the responder's verify
+  /// path, so experiments that study detection set verify_fraction = 1.0.
+  /// Default-constructed (all attacks off) keeps the harness bit-identical.
+  core::AdversaryPolicy adversary;
 };
 
 struct HarnessStats {
@@ -80,6 +90,10 @@ struct HarnessStats {
   std::uint64_t refused_cross_group = 0;    ///< kSeparateOverlay refusals
   std::uint64_t leave_reports = 0;
   std::uint64_t fault_failures = 0;         ///< shuffles lost to injected faults
+  std::uint64_t byz_attacks = 0;            ///< adversarial offer mutations sent
+  std::uint64_t byz_detections = 0;         ///< mutations caught by verification
+  std::uint64_t byz_quarantines = 0;        ///< (observer, accused) pairs added
+  std::uint64_t byz_refused_quarantined = 0;///< rounds refused due to quarantine
 };
 
 class NetworkSim {
@@ -165,12 +179,22 @@ class NetworkSim {
   /// Fig. 5: whether nodes i and j ever shuffled together.
   bool ever_shuffled(std::size_t i, std::size_t j) const;
 
+  /// How many alive honest nodes have locally quarantined node `accused`
+  /// (detection-coverage numerator for adversary experiments).
+  std::size_t quarantined_by_count(std::size_t accused) const;
+
+  /// Total (observer, accused) quarantine pairs across all alive nodes.
+  std::size_t quarantine_edges() const;
+
  private:
   struct HarnessNode;
 
   void launch_node(std::size_t idx);
   void schedule_shuffle(std::size_t idx);
   void do_shuffle(std::size_t idx);
+  bool apply_adversary(HarnessNode& hn, core::ShuffleOffer& offer,
+                       const core::PeerId& partner);
+  void quarantine(HarnessNode& observer, const core::PeerId& accused);
   void handle_dead_partner(std::size_t idx, std::size_t partner_idx);
   void record_leave(HarnessNode& reporter_node, const core::PeerId& leaver);
   void purge_zombies(HarnessNode& node);

@@ -1,0 +1,386 @@
+#include "accountnet/core/accusation.hpp"
+
+#include <optional>
+
+#include "accountnet/core/history.hpp"
+#include "accountnet/wire/codec.hpp"
+
+namespace accountnet::core {
+
+namespace {
+
+constexpr std::size_t kMaxItems = 4;
+
+void encode_item(wire::Writer& w, const ExchangeItem& item) {
+  w.u8(item.shape);
+  w.bytes(item.offer);
+  w.bytes(item.response);
+  encode_peer(w, item.counterpart);
+}
+
+ExchangeItem decode_item(wire::Reader& r) {
+  ExchangeItem item;
+  item.shape = r.u8();
+  if (item.shape != 1 && item.shape != 2) {
+    throw wire::DecodeError("bad exchange item shape");
+  }
+  item.offer = r.bytes();
+  item.response = r.bytes();
+  item.counterpart = decode_peer(r);
+  return item;
+}
+
+/// Bytes -> fixed digest; nullopt when the length is wrong (fail closed).
+std::optional<DataDigest> as_digest(const Bytes& b) {
+  DataDigest d{};
+  if (b.size() != d.size()) return std::nullopt;
+  std::copy(b.begin(), b.end(), d.begin());
+  return d;
+}
+
+using VR = VerifyResult;
+using VE = VerifyError;
+
+/// Attributes one exchange item to `accused` and returns the history suffix
+/// the accused presented in it. Fails with kAccusationEvidenceInvalid unless
+/// the accused's body signature covers the item.
+VR attribute_item(const ExchangeItem& item, const PeerId& accused,
+                  const crypto::CryptoProvider& provider,
+                  std::vector<HistoryEntry>& suffix_out) {
+  try {
+    if (item.shape == 1) {
+      const ShuffleOffer offer = ShuffleOffer::decode(item.offer);
+      if (offer.initiator != accused) {
+        return VR::fail(VE::kAccusationEvidenceInvalid, "offer not from accused");
+      }
+      if (check_offer_body_sig(offer, item.counterpart, provider) != VE::kNone) {
+        return VR::fail(VE::kAccusationEvidenceInvalid, "offer body signature");
+      }
+      suffix_out = offer.history_suffix;
+      return VR::pass();
+    }
+    const ShuffleResponse response = ShuffleResponse::decode(item.response);
+    if (response.responder != accused) {
+      return VR::fail(VE::kAccusationEvidenceInvalid, "response not from accused");
+    }
+    if (check_response_body_sig(response, item.offer, provider) != VE::kNone) {
+      return VR::fail(VE::kAccusationEvidenceInvalid, "response body signature");
+    }
+    suffix_out = response.history_suffix;
+    return VR::pass();
+  } catch (const wire::DecodeError&) {
+    return VR::fail(VE::kAccusationMalformed, "exchange item undecodable");
+  }
+}
+
+VR verify_invalid_offer(const Accusation& acc, const crypto::CryptoProvider& provider,
+                        const NodeConfig& protocol) {
+  if (acc.items.size() != 1 || acc.items[0].shape != 1) {
+    return VR::fail(VE::kAccusationMalformed, "expects one offer item");
+  }
+  try {
+    const ShuffleOffer offer = ShuffleOffer::decode(acc.items[0].offer);
+    if (offer.initiator != acc.accused) {
+      return VR::fail(VE::kAccusationEvidenceInvalid, "offer not from accused");
+    }
+    if (check_offer_body_sig(offer, acc.items[0].counterpart, provider) != VE::kNone) {
+      return VR::fail(VE::kAccusationEvidenceInvalid, "offer body signature");
+    }
+    // An honest initiator's offer always passes the static checks; a signed
+    // offer that fails them is transferable proof.
+    if (verify_offer_static(offer, acc.items[0].counterpart, protocol.shuffle_length,
+                            provider)) {
+      return VR::fail(VE::kAccusationNotProven, "offer verifies");
+    }
+    return VR::pass();
+  } catch (const wire::DecodeError&) {
+    return VR::fail(VE::kAccusationMalformed, "offer undecodable");
+  }
+}
+
+VR verify_invalid_response(const Accusation& acc, const crypto::CryptoProvider& provider,
+                           const NodeConfig& protocol) {
+  if (acc.items.size() != 1 || acc.items[0].shape != 2) {
+    return VR::fail(VE::kAccusationMalformed, "expects one offer+response item");
+  }
+  try {
+    const ShuffleOffer offer = ShuffleOffer::decode(acc.items[0].offer);
+    const ShuffleResponse response = ShuffleResponse::decode(acc.items[0].response);
+    if (response.responder != acc.accused) {
+      return VR::fail(VE::kAccusationEvidenceInvalid, "response not from accused");
+    }
+    // The response signature binds the offer bytes, so the offer contents
+    // (initiator round, responder round echo) are fixed by the accused
+    // itself — the reporter cannot doctor the context to fake a failure.
+    if (check_response_body_sig(response, acc.items[0].offer, provider) != VE::kNone) {
+      return VR::fail(VE::kAccusationEvidenceInvalid, "response body signature");
+    }
+    if (verify_response_static(response, offer, offer.initiator,
+                               protocol.shuffle_length, provider)) {
+      return VR::fail(VE::kAccusationNotProven, "response verifies");
+    }
+    return VR::pass();
+  } catch (const wire::DecodeError&) {
+    return VR::fail(VE::kAccusationMalformed, "exchange undecodable");
+  }
+}
+
+VR verify_history_equivocation(const Accusation& acc,
+                               const crypto::CryptoProvider& provider) {
+  if (acc.items.size() != 2) {
+    return VR::fail(VE::kAccusationMalformed, "expects two exchange items");
+  }
+  Bytes encoded[2];
+  for (int i = 0; i < 2; ++i) {
+    std::vector<HistoryEntry> suffix;
+    if (const auto a = attribute_item(acc.items[static_cast<std::size_t>(i)],
+                                      acc.accused, provider, suffix);
+        !a) {
+      return a;
+    }
+    const HistoryEntry* at_round = nullptr;
+    for (const auto& e : suffix) {
+      if (e.self_round == acc.round) at_round = &e;
+    }
+    if (!at_round) {
+      return VR::fail(VE::kAccusationNotProven, "no entry at the claimed round");
+    }
+    wire::Writer w;
+    encode_entry(w, *at_round);
+    encoded[i] = std::move(w).take();
+  }
+  // Honest histories are append-only with strictly ascending rounds, so a
+  // node can only ever have ONE entry per round; two signed messages showing
+  // different round-`round` entries prove a forked history.
+  if (encoded[0] == encoded[1]) {
+    return VR::fail(VE::kAccusationNotProven, "entries agree");
+  }
+  return VR::pass();
+}
+
+VR verify_testimony_equivocation(const Accusation& acc,
+                                 const crypto::CryptoProvider& provider) {
+  const auto da = as_digest(acc.digest_a);
+  const auto db = as_digest(acc.digest_b);
+  if (!da || !db) return VR::fail(VE::kAccusationMalformed, "bad digest length");
+  if (*da == *db) return VR::fail(VE::kAccusationNotProven, "digests agree");
+  Testimony a{acc.accused, acc.channel_id, acc.sequence, *da, acc.sig_a};
+  Testimony b{acc.accused, acc.channel_id, acc.sequence, *db, acc.sig_b};
+  if (!verify_testimony(a, provider) || !verify_testimony(b, provider)) {
+    return VR::fail(VE::kAccusationEvidenceInvalid, "testimony signature");
+  }
+  return VR::pass();
+}
+
+VR check_duty(const Accusation& acc, const crypto::CryptoProvider& provider) {
+  if (!provider.verify(acc.accused.key,
+                       wduty_payload(acc.channel_id, acc.producer, acc.consumer_addr,
+                                     acc.accused.addr),
+                       acc.duty_sig)) {
+    return VR::fail(VE::kAccusationEvidenceInvalid, "witness duty signature");
+  }
+  return VR::pass();
+}
+
+VR verify_relay_tamper(const Accusation& acc, const crypto::CryptoProvider& provider) {
+  const auto da = as_digest(acc.digest_a);
+  if (!da) return VR::fail(VE::kAccusationMalformed, "bad digest length");
+  if (const auto d = check_duty(acc, provider); !d) return d;
+  if (!provider.verify(acc.accused.key,
+                       forward_payload(acc.channel_id, acc.sequence, *da,
+                                       acc.header_sig),
+                       acc.sig_a)) {
+    return VR::fail(VE::kAccusationEvidenceInvalid, "forward signature");
+  }
+  // The witness endorsed (digest_a, header_sig) as a faithful relay; if the
+  // producer never signed digest_a under that header, the witness invented
+  // the payload. An honest witness checks this exact binding before
+  // forwarding, so it can never sign a mismatched pair.
+  if (provider.verify(acc.producer.key,
+                      relay_header_payload(acc.channel_id, acc.sequence, *da),
+                      acc.header_sig)) {
+    return VR::fail(VE::kAccusationNotProven, "header matches the forward");
+  }
+  return VR::pass();
+}
+
+VR verify_testimony_mismatch(const Accusation& acc,
+                             const crypto::CryptoProvider& provider) {
+  const auto da = as_digest(acc.digest_a);
+  const auto db = as_digest(acc.digest_b);
+  if (!da || !db) return VR::fail(VE::kAccusationMalformed, "bad digest length");
+  if (*da == *db) return VR::fail(VE::kAccusationNotProven, "digests agree");
+  if (!provider.verify(acc.accused.key,
+                       forward_payload(acc.channel_id, acc.sequence, *da,
+                                       acc.header_sig),
+                       acc.sig_a)) {
+    return VR::fail(VE::kAccusationEvidenceInvalid, "forward signature");
+  }
+  Testimony t{acc.accused, acc.channel_id, acc.sequence, *db, acc.sig_b};
+  if (!verify_testimony(t, provider)) {
+    return VR::fail(VE::kAccusationEvidenceInvalid, "testimony signature");
+  }
+  // The witness swore to two different payloads for the same (channel, seq):
+  // the forward it sent the consumer and the testimony it keeps for
+  // resolution. Honest witnesses derive both from the same recorded payload
+  // (and never re-record a sequence), so the pair is self-contradiction.
+  return VR::pass();
+}
+
+VR verify_relay_omission(const Accusation& acc, const crypto::CryptoProvider& provider) {
+  const auto da = as_digest(acc.digest_a);
+  if (!da) return VR::fail(VE::kAccusationMalformed, "bad digest length");
+  if (const auto d = check_duty(acc, provider); !d) return d;
+  // The producer's header proves the message existed on the accused's duty;
+  // whether the accused stayed silent about it is decided by the live
+  // challenge, not here.
+  if (!provider.verify(acc.producer.key,
+                       relay_header_payload(acc.channel_id, acc.sequence, *da),
+                       acc.header_sig)) {
+    return VR::fail(VE::kAccusationEvidenceInvalid, "relay header signature");
+  }
+  return VR::pass();
+}
+
+}  // namespace
+
+const char* accusation_kind_tag(AccusationKind kind) {
+  switch (kind) {
+    case AccusationKind::kInvalidOffer: return "invalid_offer";
+    case AccusationKind::kInvalidResponse: return "invalid_response";
+    case AccusationKind::kHistoryEquivocation: return "history_equivocation";
+    case AccusationKind::kTestimonyEquivocation: return "testimony_equivocation";
+    case AccusationKind::kRelayTamper: return "relay_tamper";
+    case AccusationKind::kTestimonyMismatch: return "testimony_mismatch";
+    case AccusationKind::kRelayOmission: return "relay_omission";
+  }
+  return "unknown";
+}
+
+Bytes Accusation::encode_core() const {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  encode_peer(w, accused);
+  encode_peer(w, accuser);
+  w.u64(channel_id);
+  w.u64(sequence);
+  w.u64(round);
+  w.varint(items.size());
+  for (const auto& item : items) encode_item(w, item);
+  encode_peer(w, producer);
+  w.str(consumer_addr);
+  w.bytes(duty_sig);
+  w.bytes(header_sig);
+  w.bytes(digest_a);
+  w.bytes(digest_b);
+  w.bytes(sig_a);
+  w.bytes(sig_b);
+  return std::move(w).take();
+}
+
+Bytes Accusation::encode() const {
+  wire::Writer w;
+  w.raw(encode_core());
+  w.bytes(accuser_sig);
+  return std::move(w).take();
+}
+
+Accusation Accusation::decode(BytesView data) {
+  wire::Reader r(data);
+  Accusation acc;
+  const auto kind_raw = r.u8();
+  if (kind_raw < 1 || kind_raw > 7) throw wire::DecodeError("bad accusation kind");
+  acc.kind = static_cast<AccusationKind>(kind_raw);
+  acc.accused = decode_peer(r);
+  acc.accuser = decode_peer(r);
+  acc.channel_id = r.u64();
+  acc.sequence = r.u64();
+  acc.round = r.u64();
+  const auto n = r.varint();
+  if (n > kMaxItems) throw wire::DecodeError("too many exchange items");
+  for (std::uint64_t i = 0; i < n; ++i) acc.items.push_back(decode_item(r));
+  acc.producer = decode_peer(r);
+  acc.consumer_addr = r.str();
+  acc.duty_sig = r.bytes();
+  acc.header_sig = r.bytes();
+  acc.digest_a = r.bytes();
+  acc.digest_b = r.bytes();
+  acc.sig_a = r.bytes();
+  acc.sig_b = r.bytes();
+  acc.accuser_sig = r.bytes();
+  r.expect_done();
+  return acc;
+}
+
+Bytes Accusation::signing_payload() const {
+  const auto digest = crypto::Sha256::hash(encode_core());
+  wire::Writer w;
+  w.str("an.accuse");
+  w.raw(BytesView(digest.data(), digest.size()));
+  return std::move(w).take();
+}
+
+DataDigest Accusation::digest() const { return crypto::Sha256::hash(encode()); }
+
+Bytes wduty_payload(std::uint64_t channel_id, const PeerId& producer,
+                    const std::string& consumer_addr, const std::string& witness_addr) {
+  wire::Writer w;
+  w.str("an.wduty");
+  w.u64(channel_id);
+  encode_peer(w, producer);
+  w.str(consumer_addr);
+  w.str(witness_addr);
+  return std::move(w).take();
+}
+
+Bytes relay_header_payload(std::uint64_t channel_id, std::uint64_t sequence,
+                           const DataDigest& digest) {
+  wire::Writer w;
+  w.str("an.relay");
+  w.u64(channel_id);
+  w.u64(sequence);
+  w.raw(BytesView(digest.data(), digest.size()));
+  return std::move(w).take();
+}
+
+Bytes forward_payload(std::uint64_t channel_id, std::uint64_t sequence,
+                      const DataDigest& digest, BytesView header_sig) {
+  const auto header_digest = crypto::Sha256::hash(header_sig);
+  wire::Writer w;
+  w.str("an.forward");
+  w.u64(channel_id);
+  w.u64(sequence);
+  w.raw(BytesView(digest.data(), digest.size()));
+  w.raw(BytesView(header_digest.data(), header_digest.size()));
+  return std::move(w).take();
+}
+
+VerifyResult verify_accusation(const Accusation& acc,
+                               const crypto::CryptoProvider& provider,
+                               const NodeConfig& protocol) {
+  // Attribute the accusation itself first: any bit flip anywhere in the
+  // wire form breaks this signature, so corrupted accusations fail closed.
+  if (!provider.verify(acc.accuser.key, acc.signing_payload(), acc.accuser_sig)) {
+    return VR::fail(VE::kAccusationBadSignature);
+  }
+  if (acc.accused == acc.accuser || acc.accused.addr == acc.accuser.addr) {
+    return VR::fail(VE::kAccusationSelfAccusation);
+  }
+  switch (acc.kind) {
+    case AccusationKind::kInvalidOffer:
+      return verify_invalid_offer(acc, provider, protocol);
+    case AccusationKind::kInvalidResponse:
+      return verify_invalid_response(acc, provider, protocol);
+    case AccusationKind::kHistoryEquivocation:
+      return verify_history_equivocation(acc, provider);
+    case AccusationKind::kTestimonyEquivocation:
+      return verify_testimony_equivocation(acc, provider);
+    case AccusationKind::kRelayTamper: return verify_relay_tamper(acc, provider);
+    case AccusationKind::kTestimonyMismatch:
+      return verify_testimony_mismatch(acc, provider);
+    case AccusationKind::kRelayOmission: return verify_relay_omission(acc, provider);
+  }
+  return VR::fail(VE::kAccusationMalformed, "unknown kind");
+}
+
+}  // namespace accountnet::core

@@ -52,11 +52,37 @@ Resolution resolve_dispute(std::uint64_t channel_id, std::uint64_t sequence,
                            const crypto::CryptoProvider& provider) {
   Resolution res;
 
+  // A witness that validly signed two *different* digests for this
+  // (channel, seq) has equivocated: exclude everything it said from the
+  // tally (it is lying at least once) and expose it — the conflicting pair
+  // is automatic accusation material.
+  std::vector<std::pair<PeerId, DataDigest>> first_digest;
+  for (const auto& t : testimonies) {
+    if (t.channel_id != channel_id || t.sequence != sequence ||
+        !verify_testimony(t, provider)) {
+      continue;
+    }
+    const auto seen = std::find_if(first_digest.begin(), first_digest.end(),
+                                   [&](const auto& e) { return e.first == t.witness; });
+    if (seen == first_digest.end()) {
+      first_digest.emplace_back(t.witness, t.digest);
+    } else if (seen->second != t.digest &&
+               std::find(res.equivocators.begin(), res.equivocators.end(), t.witness) ==
+                   res.equivocators.end()) {
+      res.equivocators.push_back(t.witness);
+    }
+  }
+
+  const auto equivocated = [&](const PeerId& w) {
+    return std::find(res.equivocators.begin(), res.equivocators.end(), w) !=
+           res.equivocators.end();
+  };
+
   // Tally verified testimonies for this (channel, seq).
   std::vector<std::pair<DataDigest, std::size_t>> tally;
   for (const auto& t : testimonies) {
     if (t.channel_id != channel_id || t.sequence != sequence ||
-        !verify_testimony(t, provider)) {
+        !verify_testimony(t, provider) || equivocated(t.witness)) {
       ++res.invalid_testimonies;
       continue;
     }

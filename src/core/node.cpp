@@ -47,6 +47,31 @@ std::uint64_t fnv1a(const std::string& s) {
   return h;
 }
 
+std::string hex_of(const std::uint8_t* data, std::size_t n) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0x0f]);
+  }
+  return out;
+}
+
+std::string hex_of(const DataDigest& d) { return hex_of(d.data(), d.size()); }
+
+/// A peer identity that exists only in the adversary's doctored history: the
+/// address sorts last ("zz-" prefix keeps real draws mostly unaffected) and
+/// the key is a hash nobody holds the secret for — it can never answer, sign,
+/// or be framed.
+PeerId fabricated_peer(const std::string& owner_addr) {
+  PeerId p;
+  p.addr = "zz-fab-" + owner_addr;
+  const auto digest = crypto::Sha256::hash(bytes_of(p.addr));
+  std::copy(digest.begin(), digest.end(), p.key.begin());
+  return p;
+}
+
 }  // namespace
 
 const char* msg_type_name(MsgType type) {
@@ -76,6 +101,8 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kEntryReply: return "entry_reply";
     case MsgType::kWitnessUpdate: return "witness_update";
     case MsgType::kWitnessUpdateAck: return "witness_update_ack";
+    case MsgType::kAccusation: return "accusation";
+    case MsgType::kAccusationAck: return "accusation_ack";
   }
   return "unknown";
 }
@@ -154,7 +181,8 @@ Node::Node(sim::SimNetwork& net, const std::string& addr,
       config_(config),
       rng_(rng_seed),
       evidence_(PeerId{addr, provider.make_signer(seed32)->public_key()}),
-      retry_rng_(rng_seed ^ 0x5eedbacc0ffeeULL) {}
+      retry_rng_(rng_seed ^ 0x5eedbacc0ffeeULL),
+      adv_rng_(rng_seed ^ 0xbadf00dc0de5ULL) {}
 
 Node::~Node() {
   *alive_ = false;
@@ -297,6 +325,14 @@ void Node::stop_gracefully() {
 
 void Node::handle(const sim::NetMessage& msg) {
   if (!running_) return;
+  // Quarantined peers are cut off entirely; whatever they have to say, a
+  // convicted cheater saying it is not evidence. (Their traffic must not
+  // refresh last_rx_ either — the self-quarantine gate measures contact with
+  // the honest network.)
+  if (acct() && quarantined_.contains(msg.from)) {
+    metrics_.add(metrics_.counter("acc.drop.quarantined"));
+    return;
+  }
   last_rx_ = net_.simulator().now();
   try {
     switch (static_cast<MsgType>(msg.type)) {
@@ -325,6 +361,8 @@ void Node::handle(const sim::NetMessage& msg) {
       case MsgType::kEntryReply: on_entry_reply(msg); break;
       case MsgType::kWitnessUpdate: on_witness_update(msg); break;
       case MsgType::kWitnessUpdateAck: on_witness_update_ack(msg); break;
+      case MsgType::kAccusation: on_accusation(msg); break;
+      case MsgType::kAccusationAck: on_accusation_ack(msg); break;
     }
   } catch (const wire::DecodeError&) {
     // Malformed traffic from a buggy/malicious peer: drop it.
@@ -400,14 +438,54 @@ void Node::schedule_next_shuffle() {
 
 void Node::begin_shuffle() {
   if (!joined_ || pending_.has_value() || behavior_.refuse_shuffles) return;
-  const auto choice = choose_partner(state_);
+
+  // Adversary equivocation: on alternating initiations, present a doctored
+  // history — a copy of the real proof suffix whose last shuffle entry admits
+  // a fabricated peer. Entry signatures cover only the nonce, so the doctored
+  // suffix passes inline verification; it is caught when two body-signed
+  // exchanges show conflicting entries for the same round.
+  std::optional<PendingShuffle::Doctored> doctored;
+  if (adversary_.equivocate && (adv_initiations_++ % 2 == 1) &&
+      adv_rng_.uniform01() < adversary_.attack_rate) {
+    PendingShuffle::Doctored d;
+    d.suffix = state_.history().proof_suffix(state_.peerset());
+    if (!d.suffix.empty() && d.suffix.back().kind != EntryKind::kLeave) {
+      d.suffix.back().in.push_back(fabricated_peer(state_.self().addr));
+      d.claimed = UpdateHistory::reconstruct(d.suffix).sorted();
+      doctored = std::move(d);
+    }
+  }
+
+  std::optional<PartnerChoice> choice;
+  if (doctored) {
+    // The partner draw must replay over the *claimed* set or the proofs give
+    // the lie away immediately. If the VRF lands on the fabricated peer
+    // (nobody answers there), fall back to an honest round.
+    const auto draw = draw_one(state_.signer(), Peerset(doctored->claimed),
+                               kPartnerDomain, round_nonce(state_.round()));
+    if (draw && !draw->sample.empty() &&
+        state_.peerset().contains(draw->sample.front())) {
+      choice = PartnerChoice{draw->sample.front(), draw->proofs};
+    } else {
+      doctored.reset();
+    }
+  }
+  if (!choice) choice = choose_partner(state_);
   if (!choice) return;  // empty peerset
+  if (acct() && quarantined_.contains(choice->partner.addr)) {
+    // Belt-and-braces (quarantine already removed the peer from the
+    // peerset): never court a convicted cheater. Burn the round for a fresh
+    // draw next period.
+    state_.skip_round();
+    return;
+  }
   metrics_.add(ids_.shuffles_initiated);
   PendingShuffle p;
   p.partner = choice->partner;
   p.choice = *choice;
   p.round_at_start = state_.round();
   p.epoch = ++shuffle_epoch_;
+  p.doctored = std::move(doctored);
   pending_ = std::move(p);
 
   wire::Writer w;
@@ -486,6 +564,65 @@ void Node::on_round_reply(const sim::NetMessage& msg) {
     obs::ScopedTimer t(&metrics_, ids_.t_make_offer);
     pending_->offer = make_offer(state_, pending_->choice, responder_round);
   }
+  if (pending_->doctored) {
+    // Re-dress the offer with the doctored history: identity and round
+    // signature stay real, but claim, suffix, and sample all derive from the
+    // forged set (internally consistent, so it verifies inline).
+    ShuffleOffer& o = pending_->offer;
+    o.claimed_peerset = pending_->doctored->claimed;
+    o.history_suffix = pending_->doctored->suffix;
+    const Peerset claimed(pending_->doctored->claimed);
+    const Draw draw = draw_sample(state_.signer(), claimed.minus({pending_->partner}),
+                                  config_.protocol.shuffle_length - 1, kSampleDomain,
+                                  round_nonce(responder_round));
+    o.sample = draw.sample;
+    o.sample_proofs = draw.proofs;
+    metrics_.add(metrics_.counter("adv.attack.equivocate"));
+  }
+  if (adversary_.bias_sample && adv_rng_.uniform01() < adversary_.attack_rate) {
+    // Biased (non-VRF) sample: swap a hand-picked member (a colluder if one
+    // is in reach) into the sample while keeping the original proofs. The
+    // responder's proof replay sees a different draw than the one claimed.
+    ShuffleOffer& o = pending_->offer;
+    std::optional<PeerId> sub;
+    for (const auto& p : o.claimed_peerset) {
+      const bool in_sample =
+          std::any_of(o.sample.begin(), o.sample.end(),
+                      [&](const PeerId& s) { return s.addr == p.addr; });
+      if (in_sample || p.addr == pending_->partner.addr ||
+          p.addr == state_.self().addr) {
+        continue;
+      }
+      if (adversary_.colludes_with(p.addr)) {
+        sub = p;
+        break;
+      }
+      if (!sub) sub = p;
+    }
+    if (sub && !o.sample.empty()) {
+      o.sample.front() = *sub;
+      metrics_.add(metrics_.counter("adv.attack.bias_sample"));
+    }
+  }
+  if (adversary_.forge_history && !pending_->offer.history_suffix.empty() &&
+      !pending_->offer.history_suffix.back().signature.empty() &&
+      adv_rng_.uniform01() < adversary_.attack_rate) {
+    // Forged entry: the counterpart signature no longer verifies.
+    pending_->offer.history_suffix.back().signature.front() ^= 0x01;
+    metrics_.add(metrics_.counter("adv.attack.forge_history"));
+  }
+  if (adversary_.truncate_history && !pending_->offer.history_suffix.empty() &&
+      adv_rng_.uniform01() < adversary_.attack_rate) {
+    // Truncated suffix: reconstruction no longer matches the claimed set.
+    pending_->offer.history_suffix.erase(pending_->offer.history_suffix.begin());
+    metrics_.add(metrics_.counter("adv.attack.truncate_history"));
+  }
+  if (acct()) {
+    // Body signature comes last: the adversary signs what it actually sends,
+    // which is exactly what turns its cheating into transferable evidence.
+    pending_->offer.body_sig = state_.signer().sign(
+        offer_body_payload(pending_->offer.encode_core(), pending_->partner));
+  }
   pending_->offer_sent = true;
   const Bytes payload = pending_->offer.encode();
   metrics_.add(ids_.history_suffix_bytes, payload.size());
@@ -534,6 +671,19 @@ void Node::on_shuffle_offer(const sim::NetMessage& msg) {
     return;
   }
 
+  if (acct()) {
+    // Unsigned or mis-signed offers carry no accountability and are refused
+    // outright — everything past this point is attributable to the sender.
+    if (const VerifyError be = check_offer_body_sig(offer, state_.self(), provider_);
+        be != VerifyError::kNone) {
+      metrics_.add(ids_.shuffles_rejected);
+      metrics_.add(ids_.verification_failures);
+      metrics_.add(metrics_.counter(std::string("node.reject.") + error_tag(be)));
+      reject(2);
+      return;
+    }
+  }
+
   VerifyResult v;
   {
     obs::ScopedTimer t(&metrics_, ids_.t_verify_offer);
@@ -543,8 +693,35 @@ void Node::on_shuffle_offer(const sim::NetMessage& msg) {
     metrics_.add(ids_.shuffles_rejected);
     metrics_.add(ids_.verification_failures);
     metrics_.add(metrics_.counter(std::string("node.reject.") + error_tag(v.code)));
+    if (acct()) {
+      // The offer is body-signed yet fails a check an honest node can never
+      // fail (the only stateful check — the round-nonce echo — was handled
+      // above as benign). Package it as transferable evidence.
+      Accusation acc;
+      acc.kind = AccusationKind::kInvalidOffer;
+      acc.accused = offer.initiator;
+      ExchangeItem item;
+      item.shape = 1;
+      item.offer = msg.payload;
+      item.counterpart = state_.self();
+      acc.items.push_back(std::move(item));
+      raise_accusation(std::move(acc));
+    }
     reject(2);
     return;
+  }
+  if (acct()) {
+    ExchangeItem item;
+    item.shape = 1;
+    item.offer = msg.payload;
+    item.counterpart = state_.self();
+    note_exchange_entries(offer.initiator, offer.history_suffix, std::move(item));
+    if (quarantined_.contains(msg.from)) {
+      // The cross-check just convicted the initiator (history equivocation):
+      // do not commit a shuffle against the forked history.
+      reject(2);
+      return;
+    }
   }
   last_seen_initiator_round_.put(offer.initiator.addr, offer.initiator_round);
   partner_failures_.erase(offer.initiator.addr);
@@ -553,6 +730,10 @@ void Node::on_shuffle_offer(const sim::NetMessage& msg) {
   {
     obs::ScopedTimer t(&metrics_, ids_.t_make_response);
     resp = make_response_and_commit(state_, offer);
+  }
+  if (acct()) {
+    resp.body_sig = state_.signer().sign(
+        response_body_payload(msg.payload, resp.encode_core()));
   }
   purge_reported_leavers();
   metrics_.add(ids_.shuffles_responded);
@@ -567,6 +748,19 @@ void Node::on_shuffle_response(const sim::NetMessage& msg) {
   finish_rpc(pending_->offer_rpc);
   pending_->offer_rpc = 0;
   const ShuffleResponse resp = ShuffleResponse::decode(msg.payload);
+  Bytes offer_wire;
+  if (acct()) {
+    // Exact bytes we sent (including our body signature) — the responder's
+    // body signature binds them, making the pair verify as a unit.
+    offer_wire = pending_->offer.encode();
+    if (const VerifyError be = check_response_body_sig(resp, offer_wire, provider_);
+        be != VerifyError::kNone) {
+      metrics_.add(ids_.verification_failures);
+      metrics_.add(metrics_.counter(std::string("node.reject.") + error_tag(be)));
+      abort_shuffle(/*partner_suspect=*/true);
+      return;
+    }
+  }
   VerifyResult v;
   {
     obs::ScopedTimer t(&metrics_, ids_.t_verify_response);
@@ -575,8 +769,35 @@ void Node::on_shuffle_response(const sim::NetMessage& msg) {
   if (!v) {
     metrics_.add(ids_.verification_failures);
     metrics_.add(metrics_.counter(std::string("node.reject.") + error_tag(v.code)));
+    if (acct()) {
+      // Body-signed response failing a static check: transferable evidence
+      // (the signature binds it to our exact offer, so replaying the checks
+      // needs no trust in us).
+      Accusation acc;
+      acc.kind = AccusationKind::kInvalidResponse;
+      acc.accused = resp.responder;
+      ExchangeItem item;
+      item.shape = 2;
+      item.offer = offer_wire;
+      item.response = msg.payload;
+      acc.items.push_back(std::move(item));
+      raise_accusation(std::move(acc));
+    }
     abort_shuffle(/*partner_suspect=*/true);
     return;
+  }
+  if (acct()) {
+    ExchangeItem item;
+    item.shape = 2;
+    item.offer = offer_wire;
+    item.response = msg.payload;
+    note_exchange_entries(resp.responder, resp.history_suffix, std::move(item));
+    if (!pending_ || quarantined_.contains(msg.from)) {
+      // The cross-check convicted the responder (and already aborted the
+      // exchange): do not commit against the forked history.
+      abort_shuffle(/*partner_suspect=*/false);
+      return;
+    }
   }
   apply_offer_outcome(state_, pending_->offer, resp);
   purge_reported_leavers();
@@ -733,7 +954,12 @@ void Node::discover_neighborhood(std::function<void(std::vector<PeerId>)> done) 
       config_.neighborhood_wait * static_cast<sim::Duration>(std::max<std::size_t>(config_.depth, 1));
   net_.simulator().schedule(wait, [this, alive] {
     if (!*alive || !running_ || !probe_) return;
-    std::vector<PeerId> found(probe_->found.begin(), probe_->found.end());
+    std::vector<PeerId> found;
+    found.reserve(probe_->found.size());
+    for (const auto& p : probe_->found) {
+      // Quarantined peers must not surface as witness candidates.
+      if (!acct() || !quarantined_.contains(p.addr)) found.push_back(p);
+    }
     auto done = std::move(probe_->done);
     probe_.reset();
     done(std::move(found));
@@ -1000,15 +1226,38 @@ void Node::on_witness_invite(const sim::NetMessage& msg) {
   relay_duties_[id] = RelayDuty{producer, consumer};
   wire::Writer w;
   w.u64(id);
+  if (acct()) {
+    // Signed acceptance of the duty, binding channel, producer, consumer and
+    // ourselves. The consumer gets a copy too: it is the party that packages
+    // witness accusations, and the duty signature is their anchor.
+    w.bytes(state_.signer().sign(
+        wduty_payload(id, producer, consumer.addr, state_.self().addr)));
+    const Bytes payload = std::move(w).take();
+    send(msg.from, MsgType::kWitnessAck, payload);
+    send(consumer.addr, MsgType::kWitnessAck, payload);
+    return;
+  }
   send(msg.from, MsgType::kWitnessAck, std::move(w).take());
 }
 
 void Node::on_witness_ack(const sim::NetMessage& msg) {
   wire::Reader r(msg.payload);
   const std::uint64_t id = r.u64();
+  Bytes duty_sig;
+  if (!r.done()) duty_sig = r.bytes();
   r.expect_done();
   const auto it = producer_channels_.find(id);
-  if (it == producer_channels_.end()) return;
+  if (it == producer_channels_.end()) {
+    // Consumer-side copy (accountability mode): file the duty signature for
+    // later accusation packaging. Verified lazily — a bogus one just makes
+    // the eventual accusation unprovable, which self-verification catches.
+    if (acct() && !duty_sig.empty()) {
+      if (const auto cit = consumer_channels_.find(id); cit != consumer_channels_.end()) {
+        cit->second.duty_sigs.emplace(msg.from, std::move(duty_sig));
+      }
+    }
+    return;
+  }
   ProducerChannel& ch = it->second;
   if (const auto rit = ch.invite_rpcs.find(msg.from); rit != ch.invite_rpcs.end()) {
     finish_rpc(rit->second);
@@ -1039,6 +1288,13 @@ void Node::send_data(std::uint64_t channel_id, Bytes payload) {
   w.u64(channel_id);
   w.u64(seq);
   w.bytes(payload);
+  if (acct()) {
+    // Relay header: binds (channel, seq, digest) under the producer's key,
+    // so witnesses can only relay what we actually sent — and we can only
+    // disown what we actually never sent.
+    w.bytes(state_.signer().sign(
+        relay_header_payload(channel_id, seq, digest_of(payload))));
+  }
   const Bytes msg = std::move(w).take();
   for (const auto& witness : ch.witnesses) {
     send_blind(witness.addr, MsgType::kDataRelay, msg, config_.blind_retry);
@@ -1050,31 +1306,69 @@ void Node::on_data_relay(const sim::NetMessage& msg) {
   const std::uint64_t id = r.u64();
   const std::uint64_t seq = r.u64();
   Bytes payload = r.bytes();
+  Bytes header_sig;
+  if (!r.done()) header_sig = r.bytes();
   r.expect_done();
   const auto it = relay_duties_.find(id);
   if (it == relay_duties_.end() || it->second.producer.addr != msg.from) return;
+
+  if (acct()) {
+    // An unattributable relay (no valid producer header) never enters the
+    // evidence log: it is exactly the hook a framing producer would use to
+    // make an honest witness testify to bytes the producer later disowns.
+    if (header_sig.empty() ||
+        !provider_.verify(it->second.producer.key,
+                          relay_header_payload(id, seq, digest_of(payload)),
+                          header_sig)) {
+      metrics_.add(metrics_.counter("acc.relay.bad_header"));
+      return;
+    }
+  }
 
   // A duplicated relay (network dup or producer redundancy) must not log a
   // second evidence record or double-forward: one relay per (channel, seq).
   const std::string dedup_key = std::to_string(id) + ":" + std::to_string(seq);
   if (!relayed_keys_.insert(dedup_key)) return;
 
+  // In accountability mode the first record is final even if the bounded
+  // dedup set has forgotten the sequence — re-recording would let a
+  // double-sending producer manufacture a "self-contradicting" witness.
+  if (acct() && evidence_.lookup(id, seq)) return;
+
   // Witness duty: log evidence, then relay 1 hop to the consumer.
   Bytes logged = payload;
-  if (behavior_.lie_in_testimony) {
+  if (behavior_.lie_in_testimony || adversary_.lie_in_testimony) {
     logged = bytes_of("fabricated-evidence");
+    if (adversary_.lie_in_testimony) {
+      metrics_.add(metrics_.counter("adv.attack.lie_testimony"));
+    }
   }
   evidence_.record(state_.signer(), id, seq, logged);
 
   if (behavior_.drop_relays) return;
+  if (adversary_.drop_relays && adv_rng_.uniform01() < adversary_.attack_rate) {
+    metrics_.add(metrics_.counter("adv.attack.drop_relay"));
+    return;
+  }
   if (behavior_.corrupt_relays) {
     payload = bytes_of("corrupted-payload");
+  }
+  if (adversary_.tamper_relays && adv_rng_.uniform01() < adversary_.attack_rate) {
+    payload = bytes_of("tampered-payload");
+    metrics_.add(metrics_.counter("adv.attack.tamper_relay"));
   }
   metrics_.add(ids_.relays_forwarded);
   wire::Writer w;
   w.u64(id);
   w.u64(seq);
   w.bytes(payload);
+  if (acct()) {
+    // Forward endorsement: "I relay exactly these bytes under exactly this
+    // producer header". A tampering witness signs its own conviction here.
+    w.bytes(header_sig);
+    w.bytes(state_.signer().sign(
+        forward_payload(id, seq, digest_of(payload), header_sig)));
+  }
   send_blind(it->second.consumer.addr, MsgType::kDataForward, std::move(w).take(),
              config_.blind_retry);
 }
@@ -1084,15 +1378,18 @@ void Node::on_data_forward(const sim::NetMessage& msg) {
   const std::uint64_t id = r.u64();
   const std::uint64_t seq = r.u64();
   const Bytes payload = r.bytes();
+  Bytes header_sig;
+  Bytes forward_sig;
+  if (!r.done()) header_sig = r.bytes();
+  if (!r.done()) forward_sig = r.bytes();
   r.expect_done();
   const auto it = consumer_channels_.find(id);
   if (it == consumer_channels_.end()) return;
   ConsumerChannel& ch = it->second;
   // Only accept forwards from the channel's witnesses.
-  const bool from_witness =
-      std::any_of(ch.witnesses.begin(), ch.witnesses.end(),
-                  [&](const PeerId& w) { return w.addr == msg.from; });
-  if (!from_witness) return;
+  const auto wit = std::find_if(ch.witnesses.begin(), ch.witnesses.end(),
+                                [&](const PeerId& w) { return w.addr == msg.from; });
+  if (wit == ch.witnesses.end()) return;
 
   auto& tally = ch.pending[seq];
   if (tally.delivered) return;
@@ -1101,6 +1398,46 @@ void Node::on_data_forward(const sim::NetMessage& msg) {
   // a majority all by itself).
   if (!tally.seen.insert(msg.from).second) return;
   const auto digest = digest_of(payload);
+
+  if (acct()) {
+    // The forward must carry the witness's endorsement of exactly this
+    // payload under exactly this producer header — an unendorsed forward is
+    // unattributable, so it cannot be tallied (or accused over).
+    if (forward_sig.empty() ||
+        !provider_.verify(wit->key, forward_payload(id, seq, digest, header_sig),
+                          forward_sig)) {
+      metrics_.add(metrics_.counter("acc.forward.bad_sig"));
+      return;
+    }
+    auto& rec = tally.forwards[msg.from];
+    rec.digest = Bytes(digest.begin(), digest.end());
+    rec.forward_sig = forward_sig;
+    rec.header_sig = header_sig;
+    rec.header_ok = provider_.verify(
+        ch.producer.key, relay_header_payload(id, seq, digest), header_sig);
+    if (!rec.header_ok) {
+      // Valid forward endorsement of a payload the producer never signed:
+      // the witness tampered, and its own signature proves it. Needs the
+      // duty signature to attribute the relay duty; without it (ack lost)
+      // the vote is still discarded, just not prosecuted.
+      if (const auto duty = ch.duty_sigs.find(msg.from); duty != ch.duty_sigs.end()) {
+        Accusation acc;
+        acc.kind = AccusationKind::kRelayTamper;
+        acc.accused = *wit;
+        acc.channel_id = id;
+        acc.sequence = seq;
+        acc.producer = ch.producer;
+        acc.consumer_addr = state_.self().addr;
+        acc.duty_sig = duty->second;
+        acc.header_sig = header_sig;
+        acc.digest_a = rec.digest;
+        acc.sig_a = forward_sig;
+        raise_accusation(std::move(acc));
+      }
+      return;  // a tampered payload never counts toward delivery
+    }
+  }
+
   const Bytes key(digest.begin(), digest.end());
   auto& slot = tally.digests[key];
   if (slot.first == 0) slot.second = payload;
@@ -1126,6 +1463,10 @@ void Node::maybe_deliver(ConsumerChannel& ch, std::uint64_t seq) {
   tally.delivered = true;
   if (on_delivery_) {
     on_delivery_(ch.id, seq, best->second.second, ch.producer);
+  }
+  if (acct() && !tally.audited) {
+    tally.audited = true;
+    schedule_consumer_audit(ch.id, seq);
   }
 }
 
@@ -1367,12 +1708,289 @@ std::vector<std::uint64_t> Node::producer_channel_ids() const {
 }
 
 // ---------------------------------------------------------------------------
+// Accountability pipeline: accuse → quarantine → evict (docs/RESILIENCE.md).
+// ---------------------------------------------------------------------------
+
+void Node::note_exchange_entries(const PeerId& peer,
+                                 const std::vector<HistoryEntry>& suffix,
+                                 ExchangeItem item) {
+  const auto shared = std::make_shared<const ExchangeItem>(std::move(item));
+  for (const auto& e : suffix) {
+    const std::string key = peer.addr + "#" + std::to_string(e.self_round);
+    wire::Writer w;
+    encode_entry(w, e);
+    Bytes bytes = std::move(w).take();
+    const SeenEntry* prev = seen_entries_.find(key);
+    if (prev == nullptr) {
+      seen_entries_.put(key, SeenEntry{std::move(bytes), shared});
+      continue;
+    }
+    if (prev->entry_bytes == bytes) continue;
+    // Two body-signed exchanges show different entries for the same round of
+    // the same node: a forked history. Both exchanges together are the
+    // third-party-checkable proof. (History is append-only, so an honest
+    // node re-serves every round byte-identically forever.)
+    Accusation acc;
+    acc.kind = AccusationKind::kHistoryEquivocation;
+    acc.accused = peer;
+    acc.round = e.self_round;
+    acc.items.push_back(*prev->item);
+    acc.items.push_back(*shared);
+    raise_accusation(std::move(acc));
+    return;
+  }
+}
+
+void Node::raise_accusation(Accusation acc) {
+  acc.accuser = state_.self();
+  acc.accuser_sig = state_.signer().sign(acc.signing_payload());
+  // Self-check before gossip: shipping an unprovable accusation would only
+  // burn our own credibility at every recipient.
+  if (const auto v = verify_accusation(acc, provider_, config_.protocol); !v) {
+    metrics_.add(metrics_.counter("acc.accuse.unprovable"));
+    return;
+  }
+  const std::string key = hex_of(acc.digest());
+  if (!accusations_seen_.insert(key)) return;  // already raised
+  metrics_.add(metrics_.counter(std::string("acc.accuse.created.") +
+                                accusation_kind_tag(acc.kind)));
+  accept_accusation(acc);
+  gossip_accusation(acc, /*skip_addr=*/"");
+}
+
+void Node::accept_accusation(const Accusation& acc) {
+  auto& rec = accused_[acc.accused.addr];
+  rec.accusers.insert(acc.accuser.addr);
+  quarantine_peer(acc.accused, accusation_kind_tag(acc.kind));
+  if (!rec.evicted && rec.accusers.size() >= config_.accountability.evict_threshold) {
+    rec.evicted = true;
+    metrics_.add(metrics_.counter("acc.evict.peers"));
+    metrics_.add(metrics_.counter(std::string("acc.evict.") +
+                                  accusation_kind_tag(acc.kind)));
+  }
+}
+
+void Node::gossip_accusation(const Accusation& acc, const std::string& skip_addr) {
+  const Bytes payload = acc.encode();
+  const std::string dig = hex_of(acc.digest());
+  for (const auto& p : state_.peerset().sorted()) {
+    if (p.addr == skip_addr || p.addr == acc.accused.addr) continue;
+    if (quarantined_.contains(p.addr)) continue;
+    const std::uint64_t rpc =
+        send_rpc(p.addr, MsgType::kAccusation, payload, config_.query_retry);
+    if (rpc != 0) accusation_rpcs_[dig + "#" + p.addr] = rpc;
+    metrics_.add(metrics_.counter("acc.accuse.sent"));
+  }
+}
+
+void Node::quarantine_peer(const PeerId& peer, const char* kind_tag) {
+  if (peer == state_.self()) return;
+  if (!quarantined_.insert(peer.addr).second) return;
+  metrics_.add(metrics_.counter("acc.quarantine.peers"));
+  metrics_.add(metrics_.counter(std::string("acc.quarantine.") + kind_tag));
+  if (pending_ && pending_->partner.addr == peer.addr) {
+    abort_shuffle(/*partner_suspect=*/false);
+  }
+  // Local leave-record: removes the peer from the peerset (partner and
+  // witness draws can never select it again) while keeping reconstruction
+  // exact. Deliberately NO kLeaveNotice fanout — the peer is alive and would
+  // ping-clear itself; peers convict independently from the gossiped
+  // accusation instead.
+  reported_leavers_.insert(peer.addr);
+  if (state_.peerset().contains(peer)) {
+    const auto [round, sig] = state_.make_leave_report(peer);
+    state_.apply_leave_report(state_.self(), round, sig, peer);
+  }
+  // If it serves as witness on one of our channels, repair around it.
+  trigger_witness_repair(peer.addr);
+}
+
+void Node::start_omission_challenge(Accusation acc) {
+  const std::string key = acc.accused.addr + "#" + std::to_string(acc.channel_id) +
+                          "#" + std::to_string(acc.sequence);
+  if (!active_challenges_.insert(key).second) return;
+  metrics_.add(metrics_.counter("acc.challenge.started"));
+  const auto shared = std::make_shared<Accusation>(std::move(acc));
+  request_testimony_internal(
+      shared->accused.addr, shared->channel_id, shared->sequence,
+      [this, key, shared](bool replied, std::optional<Testimony>) {
+        active_challenges_.erase(key);
+        if (replied) {
+          // Any answer — even "no record" — clears the omission charge: the
+          // witness is alive and accountable, and the missed relay may be
+          // the network's fault, not malice. (A witness that answers with a
+          // *lying* record is caught by the testimony spot-check instead.)
+          metrics_.add(metrics_.counter("acc.challenge.cleared"));
+          return;
+        }
+        metrics_.add(metrics_.counter("acc.challenge.convicted"));
+        if (shared->accuser_sig.empty()) {
+          raise_accusation(*shared);  // we built this accusation ourselves
+        } else {
+          // Gossiped accusation, independently re-verified by our own live
+          // challenge: adopt and keep spreading it.
+          accept_accusation(*shared);
+          gossip_accusation(*shared, /*skip_addr=*/"");
+        }
+      });
+}
+
+void Node::schedule_consumer_audit(std::uint64_t channel_id, std::uint64_t seq) {
+  auto alive = alive_;
+  net_.simulator().schedule(config_.accountability.audit_delay,
+                            [this, alive, channel_id, seq] {
+                              if (!*alive || !running_) return;
+                              run_consumer_audit(channel_id, seq);
+                            });
+}
+
+void Node::run_consumer_audit(std::uint64_t channel_id, std::uint64_t seq) {
+  const auto it = consumer_channels_.find(channel_id);
+  if (it == consumer_channels_.end()) return;
+  ConsumerChannel& ch = it->second;
+  const auto tit = ch.pending.find(seq);
+  if (tit == ch.pending.end()) return;
+  auto& tally = tit->second;
+
+  // The delivered majority fixes the authoritative digest for this sequence;
+  // a header-verified forward that carried it anchors the omission proofs.
+  Bytes majority;
+  std::size_t best = 0;
+  for (const auto& [digest, slot] : tally.digests) {
+    if (slot.first > best) {
+      best = slot.first;
+      majority = digest;
+    }
+  }
+  const ConsumerChannel::Tally::ForwardRec* anchor = nullptr;
+  for (const auto& [addr, rec] : tally.forwards) {
+    if (rec.header_ok && rec.digest == majority) {
+      anchor = &rec;
+      break;
+    }
+  }
+
+  // (a) Omission: every witness that never forwarded gets a live challenge;
+  // only full silence convicts. Needs the duty signature (attributes the
+  // duty) and an anchor forward (proves the message existed on it).
+  for (const auto& w : ch.witnesses) {
+    if (tally.seen.contains(w.addr)) continue;
+    if (quarantined_.contains(w.addr)) continue;
+    const auto duty = ch.duty_sigs.find(w.addr);
+    if (duty == ch.duty_sigs.end() || anchor == nullptr) continue;
+    Accusation acc;
+    acc.kind = AccusationKind::kRelayOmission;
+    acc.accused = w;
+    acc.channel_id = channel_id;
+    acc.sequence = seq;
+    acc.producer = ch.producer;
+    acc.consumer_addr = state_.self().addr;
+    acc.duty_sig = duty->second;
+    acc.header_sig = anchor->header_sig;
+    acc.digest_a = anchor->digest;
+    start_omission_challenge(std::move(acc));
+  }
+
+  // (b) Every audit_period-th sequence: spot-check the forwarders' sworn
+  // testimonies against what they actually forwarded us (catches the witness
+  // that relays faithfully but logs a lie for later disputes).
+  if (config_.accountability.audit_period == 0 ||
+      seq % config_.accountability.audit_period != 0) {
+    return;
+  }
+  for (const auto& w : ch.witnesses) {
+    const auto fit = tally.forwards.find(w.addr);
+    if (fit == tally.forwards.end() || !fit->second.header_ok) continue;
+    if (quarantined_.contains(w.addr)) continue;
+    const PeerId witness = w;
+    const ConsumerChannel::Tally::ForwardRec rec = fit->second;
+    request_testimony_internal(
+        w.addr, channel_id, seq,
+        [this, witness, channel_id, seq, rec](bool replied,
+                                              std::optional<Testimony> t) {
+          if (!replied || !t) return;  // silence is the omission path's job
+          if (!(t->witness == witness) || !verify_testimony(*t, provider_)) return;
+          const Bytes tdig(t->digest.begin(), t->digest.end());
+          if (tdig == rec.digest) return;  // books match
+          Accusation acc;
+          acc.kind = AccusationKind::kTestimonyMismatch;
+          acc.accused = witness;
+          acc.channel_id = channel_id;
+          acc.sequence = seq;
+          acc.header_sig = rec.header_sig;
+          acc.digest_a = rec.digest;
+          acc.sig_a = rec.forward_sig;
+          acc.digest_b = tdig;
+          acc.sig_b = t->signature;
+          raise_accusation(std::move(acc));
+        });
+  }
+}
+
+void Node::on_accusation(const sim::NetMessage& msg) {
+  const Accusation acc = Accusation::decode(msg.payload);
+  const DataDigest dig = acc.digest();
+  {
+    // Ack first (even duplicates) so the sender's gossip retry stops.
+    wire::Writer w;
+    w.bytes(Bytes(dig.begin(), dig.end()));
+    send(msg.from, MsgType::kAccusationAck, std::move(w).take());
+  }
+  if (!acct()) return;
+  if (!accusations_seen_.insert(hex_of(dig))) return;
+  metrics_.add(metrics_.counter("acc.accuse.received"));
+  if (acc.accused == state_.self()) {
+    // An indictment of ourselves: nothing to apply locally (honest nodes
+    // never see one that verifies; the counter feeds the framing tests).
+    metrics_.add(metrics_.counter("acc.accuse.self"));
+    return;
+  }
+  // Independent re-verification — recipients NEVER take the accuser's word.
+  if (const auto v = verify_accusation(acc, provider_, config_.protocol); !v) {
+    metrics_.add(ids_.verification_failures);
+    metrics_.add(metrics_.counter("acc.accuse.rejected"));
+    metrics_.add(metrics_.counter(std::string("node.reject.") + error_tag(v.code)));
+    return;
+  }
+  metrics_.add(metrics_.counter("acc.accuse.verified"));
+  if (acc.kind == AccusationKind::kRelayOmission) {
+    // Omission is never convicted on paper evidence alone — the proof only
+    // shows the duty and the message. Challenge the accused ourselves and
+    // convict on silence.
+    start_omission_challenge(acc);
+    return;
+  }
+  accept_accusation(acc);
+  gossip_accusation(acc, /*skip_addr=*/msg.from);
+}
+
+void Node::on_accusation_ack(const sim::NetMessage& msg) {
+  wire::Reader r(msg.payload);
+  const Bytes dig = r.bytes();
+  r.expect_done();
+  const std::string key = hex_of(dig.data(), dig.size()) + "#" + msg.from;
+  const auto it = accusation_rpcs_.find(key);
+  if (it == accusation_rpcs_.end()) return;
+  finish_rpc(it->second);
+  accusation_rpcs_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
 // Evidence & history query service (third-party resolver support and the
 // Sec. IV-A old-entry lookup).
 // ---------------------------------------------------------------------------
 
 void Node::request_testimony(const std::string& witness_addr, std::uint64_t channel_id,
                              std::uint64_t sequence, TestimonyCallback cb) {
+  request_testimony_internal(witness_addr, channel_id, sequence,
+                             [cb = std::move(cb)](bool, std::optional<Testimony> t) {
+                               cb(std::move(t));
+                             });
+}
+
+void Node::request_testimony_internal(const std::string& witness_addr,
+                                      std::uint64_t channel_id, std::uint64_t sequence,
+                                      TestimonyReplyCallback cb) {
   const std::uint64_t request = next_request_id_++;
   wire::Writer w;
   w.u64(request);
@@ -1389,7 +2007,7 @@ void Node::request_testimony(const std::string& witness_addr, std::uint64_t chan
     finish_rpc(it->second.second);
     auto waiter = std::move(it->second.first);
     testimony_waiters_.erase(it);
-    waiter(std::nullopt);
+    waiter(/*replied=*/false, std::nullopt);
   });
 }
 
@@ -1399,6 +2017,12 @@ void Node::on_testimony_query(const sim::NetMessage& msg) {
   const std::uint64_t channel_id = r.u64();
   const std::uint64_t sequence = r.u64();
   r.expect_done();
+  if (adversary_.withhold_testimony) {
+    // Stonewalling witness: never answers. Answering parties can always be
+    // cross-checked; silence is what the live omission challenge convicts.
+    metrics_.add(metrics_.counter("adv.attack.withhold_testimony"));
+    return;
+  }
   wire::Writer w;
   w.u64(request);
   const auto t = evidence_.lookup(channel_id, sequence);
@@ -1436,7 +2060,7 @@ void Node::on_testimony_reply(const sim::NetMessage& msg) {
   finish_rpc(it->second.second);
   auto waiter = std::move(it->second.first);
   testimony_waiters_.erase(it);
-  waiter(std::move(t));
+  waiter(/*replied=*/true, std::move(t));
 }
 
 void Node::request_history_entry(const std::string& peer_addr, Round round,

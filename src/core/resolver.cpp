@@ -14,8 +14,9 @@ void DisputeResolver::resolve(Request request, DoneCallback done) {
   pending->outstanding = pending->request.witnesses.size();
   in_flight_.push_back(pending);
 
-  auto finish_if_done = [this, pending] {
-    if (pending->outstanding != 0) return;
+  auto finalize = [this, pending] {
+    if (pending->finished) return;
+    pending->finished = true;
     Outcome outcome;
     outcome.responded = pending->responded;
     outcome.testimonies = pending->testimonies;
@@ -28,13 +29,19 @@ void DisputeResolver::resolve(Request request, DoneCallback done) {
   };
 
   if (pending->outstanding == 0) {
-    finish_if_done();
+    finalize();
     return;
+  }
+  // Resolver-side deadline: finalize with whatever arrived, even if some
+  // queries are still outstanding (their late answers then no-op).
+  if (deadline_ > 0) {
+    node_.simulator().schedule(deadline_, finalize);
   }
   for (const auto& witness : pending->request.witnesses) {
     node_.request_testimony(
         witness.addr, pending->request.channel_id, pending->request.sequence,
-        [pending, finish_if_done, witness](std::optional<Testimony> t) {
+        [pending, finalize, witness](std::optional<Testimony> t) {
+          if (pending->finished) return;  // deadline already resolved this
           --pending->outstanding;
           if (t) {
             ++pending->responded;
@@ -43,7 +50,7 @@ void DisputeResolver::resolve(Request request, DoneCallback done) {
             // the identity must be the queried one).
             if (t->witness == witness) pending->testimonies.push_back(*t);
           }
-          finish_if_done();
+          if (pending->outstanding == 0) finalize();
         });
   }
 }

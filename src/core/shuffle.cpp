@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "accountnet/crypto/sha256.hpp"
 #include "accountnet/util/ensure.hpp"
 #include "accountnet/wire/codec.hpp"
 
@@ -53,7 +54,7 @@ std::vector<HistoryEntry> decode_entries(wire::Reader& r) {
 
 }  // namespace
 
-Bytes ShuffleOffer::encode() const {
+Bytes ShuffleOffer::encode_core() const {
   wire::Writer w;
   encode_peer(w, initiator);
   w.u64(initiator_round);
@@ -65,6 +66,17 @@ Bytes ShuffleOffer::encode() const {
   encode_peer_list(w, claimed_peerset);
   encode_entries(w, history_suffix);
   return std::move(w).take();
+}
+
+Bytes ShuffleOffer::encode() const {
+  Bytes out = encode_core();
+  if (!body_sig.empty()) {
+    wire::Writer w;
+    w.raw(out);
+    w.bytes(body_sig);
+    out = std::move(w).take();
+  }
+  return out;
 }
 
 ShuffleOffer ShuffleOffer::decode(BytesView data) {
@@ -79,11 +91,17 @@ ShuffleOffer ShuffleOffer::decode(BytesView data) {
   o.sample_proofs = decode_bytes_list(r);
   o.claimed_peerset = decode_peer_list(r);
   o.history_suffix = decode_entries(r);
+  if (!r.done()) {
+    // Optional trailing field; an encoder never emits an empty one, so a
+    // zero-length signature here is padding, not a message — fail closed.
+    o.body_sig = r.bytes();
+    if (o.body_sig.empty()) throw wire::DecodeError("empty offer body_sig");
+  }
   r.expect_done();
   return o;
 }
 
-Bytes ShuffleResponse::encode() const {
+Bytes ShuffleResponse::encode_core() const {
   wire::Writer w;
   encode_peer(w, responder);
   w.u64(responder_round);
@@ -93,6 +111,17 @@ Bytes ShuffleResponse::encode() const {
   encode_peer_list(w, claimed_peerset);
   encode_entries(w, history_suffix);
   return std::move(w).take();
+}
+
+Bytes ShuffleResponse::encode() const {
+  Bytes out = encode_core();
+  if (!body_sig.empty()) {
+    wire::Writer w;
+    w.raw(out);
+    w.bytes(body_sig);
+    out = std::move(w).take();
+  }
+  return out;
 }
 
 ShuffleResponse ShuffleResponse::decode(BytesView data) {
@@ -105,6 +134,10 @@ ShuffleResponse ShuffleResponse::decode(BytesView data) {
   resp.sample_proofs = decode_bytes_list(r);
   resp.claimed_peerset = decode_peer_list(r);
   resp.history_suffix = decode_entries(r);
+  if (!r.done()) {
+    resp.body_sig = r.bytes();
+    if (resp.body_sig.empty()) throw wire::DecodeError("empty response body_sig");
+  }
   r.expect_done();
   return resp;
 }
@@ -137,15 +170,13 @@ ShuffleOffer make_offer(const NodeState& state, const PartnerChoice& partner,
   return offer;
 }
 
-VerifyResult verify_offer(const ShuffleOffer& offer, const NodeState& state,
-                          Round expected_round, const crypto::CryptoProvider& provider) {
-  if (offer.responder_round != expected_round) {
-    return VerifyResult::fail(VerifyError::kStaleRoundNonce);
-  }
-  if (offer.initiator == state.self()) {
+VerifyResult verify_offer_static(const ShuffleOffer& offer, const PeerId& responder,
+                                 std::size_t shuffle_length,
+                                 const crypto::CryptoProvider& provider) {
+  if (offer.initiator == responder) {
     return VerifyResult::fail(VerifyError::kSelfShuffle);
   }
-  // σ_i(r_i): the acknowledgement we will embed in our history entry.
+  // σ_i(r_i): the acknowledgement the responder will embed in its entry.
   if (!provider.verify(offer.initiator.key, shuffle_nonce_payload(offer.initiator_round),
                        offer.initiator_round_sig)) {
     return VerifyResult::fail(VerifyError::kInvalidInitiatorRoundSignature);
@@ -167,19 +198,20 @@ VerifyResult verify_offer(const ShuffleOffer& offer, const NodeState& state,
       offer.history_suffix.back().self_round >= offer.initiator_round) {
     return VerifyResult::fail(VerifyError::kHistoryBeyondOfferedRound);
   }
-  // We must be the VRF-dictated partner for the initiator's current round.
-  if (!claimed.contains(state.self())) {
+  // The responder must be the VRF-dictated partner for the initiator's round.
+  if (!claimed.contains(responder)) {
     return VerifyResult::fail(VerifyError::kResponderNotInPeerset);
   }
   if (const auto p = verify_one(provider, offer.initiator.key, claimed, kPartnerDomain,
                                 round_nonce(offer.initiator_round), offer.partner_proofs,
-                                state.self());
+                                responder);
       !p) {
     return VerifyResult::fail(VerifyError::kPartnerSelectionMismatch, p.reason);
   }
-  // The sample A must be the VRF draw over N_i - {v_j} seeded by OUR round.
-  const Peerset candidates = claimed.minus({state.self()});
-  const std::size_t want = state.config().shuffle_length - 1;
+  // The sample A must be the VRF draw over N_i - {v_j} seeded by the
+  // responder's round (echoed in the offer).
+  const Peerset candidates = claimed.minus({responder});
+  const std::size_t want = shuffle_length - 1;
   if (const auto s = verify_sample(provider, offer.initiator.key, candidates, want,
                                    kSampleDomain, round_nonce(offer.responder_round),
                                    offer.sample_proofs, offer.sample);
@@ -187,6 +219,15 @@ VerifyResult verify_offer(const ShuffleOffer& offer, const NodeState& state,
     return VerifyResult::fail(VerifyError::kOfferSampleMismatch, s.reason);
   }
   return VerifyResult::pass();
+}
+
+VerifyResult verify_offer(const ShuffleOffer& offer, const NodeState& state,
+                          Round expected_round, const crypto::CryptoProvider& provider) {
+  if (offer.responder_round != expected_round) {
+    return VerifyResult::fail(VerifyError::kStaleRoundNonce);
+  }
+  return verify_offer_static(offer, state.self(), state.config().shuffle_length,
+                             provider);
 }
 
 HistoryEntry apply_update(NodeState& state, const PeerId& counterpart,
@@ -254,13 +295,14 @@ ShuffleResponse make_response_and_commit(NodeState& state, const ShuffleOffer& o
   return resp;
 }
 
-VerifyResult verify_response(const ShuffleResponse& response, const NodeState& state,
-                             const ShuffleOffer& sent_offer,
-                             const crypto::CryptoProvider& provider) {
+VerifyResult verify_response_static(const ShuffleResponse& response,
+                                    const ShuffleOffer& sent_offer,
+                                    const PeerId& initiator, std::size_t shuffle_length,
+                                    const crypto::CryptoProvider& provider) {
   if (response.responder_round != sent_offer.responder_round) {
     return VerifyResult::fail(VerifyError::kResponderRoundChanged);
   }
-  if (response.responder == state.self()) {
+  if (response.responder == initiator) {
     return VerifyResult::fail(VerifyError::kSelfShuffle);
   }
   if (!provider.verify(response.responder.key,
@@ -281,15 +323,65 @@ VerifyResult verify_response(const ShuffleResponse& response, const NodeState& s
       response.history_suffix.back().self_round >= response.responder_round) {
     return VerifyResult::fail(VerifyError::kHistoryBeyondResponderRound);
   }
-  const Peerset candidates = claimed.minus({state.self()});
+  const Peerset candidates = claimed.minus({initiator});
   if (const auto s = verify_sample(provider, response.responder.key, candidates,
-                                   state.config().shuffle_length, kSampleDomain,
+                                   shuffle_length, kSampleDomain,
                                    round_nonce(sent_offer.initiator_round),
                                    response.sample_proofs, response.sample);
       !s) {
     return VerifyResult::fail(VerifyError::kResponseSampleMismatch, s.reason);
   }
   return VerifyResult::pass();
+}
+
+VerifyResult verify_response(const ShuffleResponse& response, const NodeState& state,
+                             const ShuffleOffer& sent_offer,
+                             const crypto::CryptoProvider& provider) {
+  return verify_response_static(response, sent_offer, state.self(),
+                                state.config().shuffle_length, provider);
+}
+
+Bytes offer_body_payload(BytesView offer_core, const PeerId& responder) {
+  const auto digest = crypto::Sha256::hash(offer_core);
+  wire::Writer w;
+  w.str("an.offer");
+  w.str(responder.addr);
+  w.raw(BytesView(responder.key.data(), responder.key.size()));
+  w.raw(BytesView(digest.data(), digest.size()));
+  return std::move(w).take();
+}
+
+Bytes response_body_payload(BytesView offer_wire, BytesView response_core) {
+  const auto offer_digest = crypto::Sha256::hash(offer_wire);
+  const auto resp_digest = crypto::Sha256::hash(response_core);
+  wire::Writer w;
+  w.str("an.response");
+  w.raw(BytesView(offer_digest.data(), offer_digest.size()));
+  w.raw(BytesView(resp_digest.data(), resp_digest.size()));
+  return std::move(w).take();
+}
+
+VerifyError check_offer_body_sig(const ShuffleOffer& offer, const PeerId& responder,
+                                 const crypto::CryptoProvider& provider) {
+  if (offer.body_sig.empty()) return VerifyError::kMissingBodySignature;
+  if (!provider.verify(offer.initiator.key,
+                       offer_body_payload(offer.encode_core(), responder),
+                       offer.body_sig)) {
+    return VerifyError::kInvalidBodySignature;
+  }
+  return VerifyError::kNone;
+}
+
+VerifyError check_response_body_sig(const ShuffleResponse& response,
+                                    BytesView offer_wire,
+                                    const crypto::CryptoProvider& provider) {
+  if (response.body_sig.empty()) return VerifyError::kMissingBodySignature;
+  if (!provider.verify(response.responder.key,
+                       response_body_payload(offer_wire, response.encode_core()),
+                       response.body_sig)) {
+    return VerifyError::kInvalidBodySignature;
+  }
+  return VerifyError::kNone;
 }
 
 void apply_offer_outcome(NodeState& state, const ShuffleOffer& sent_offer,

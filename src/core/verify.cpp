@@ -76,6 +76,18 @@ const char* reason_string(VerifyError code) {
       return "claimed neighborhood hides reachable node";
     case VerifyError::kNeighborhoodUnderReported:
       return "random walk reached undeclared node (claimed neighborhood under-reports)";
+
+    case VerifyError::kMissingBodySignature:
+      return "accountability mode requires a message body signature";
+    case VerifyError::kInvalidBodySignature: return "invalid message body signature";
+
+    case VerifyError::kAccusationMalformed: return "malformed accusation";
+    case VerifyError::kAccusationBadSignature: return "invalid accuser signature";
+    case VerifyError::kAccusationSelfAccusation: return "self-accusation";
+    case VerifyError::kAccusationEvidenceInvalid:
+      return "accusation evidence not attributable to the accused";
+    case VerifyError::kAccusationNotProven:
+      return "accusation evidence does not demonstrate misbehavior";
   }
   return "unknown verify error";
 }
@@ -129,6 +141,13 @@ const char* error_tag(VerifyError code) {
     case VerifyError::kNeighborhoodGhostNode: return "neighborhood_ghost_node";
     case VerifyError::kNeighborhoodHiddenNode: return "neighborhood_hidden_node";
     case VerifyError::kNeighborhoodUnderReported: return "neighborhood_under_reported";
+    case VerifyError::kMissingBodySignature: return "missing_body_sig";
+    case VerifyError::kInvalidBodySignature: return "invalid_body_sig";
+    case VerifyError::kAccusationMalformed: return "accusation_malformed";
+    case VerifyError::kAccusationBadSignature: return "accusation_bad_sig";
+    case VerifyError::kAccusationSelfAccusation: return "accusation_self";
+    case VerifyError::kAccusationEvidenceInvalid: return "accusation_evidence_invalid";
+    case VerifyError::kAccusationNotProven: return "accusation_not_proven";
   }
   return "unknown";
 }

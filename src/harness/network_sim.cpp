@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <queue>
 
+#include "accountnet/core/history.hpp"
 #include "accountnet/core/neighborhood.hpp"
 #include "accountnet/core/node.hpp"
 #include "accountnet/core/witness.hpp"
+#include "accountnet/crypto/sha256.hpp"
+#include "accountnet/util/bytes.hpp"
 #include "accountnet/util/ensure.hpp"
 
 namespace accountnet::harness {
@@ -16,6 +19,16 @@ std::string addr_of(std::size_t idx) {
   char buf[16];
   std::snprintf(buf, sizeof(buf), "n%06zu", idx);
   return buf;
+}
+
+// Same fabrication scheme as the event-driven adversary: an address that
+// sorts past every real node and a key nobody holds the secret for.
+core::PeerId fabricated_peer(const std::string& owner_addr) {
+  core::PeerId p;
+  p.addr = "zz-fab-" + owner_addr;
+  const auto digest = crypto::Sha256::hash(bytes_of(p.addr));
+  std::copy(digest.begin(), digest.end(), p.key.begin());
+  return p;
 }
 
 }  // namespace
@@ -29,6 +42,8 @@ struct NetworkSim::HarnessNode {
   std::unique_ptr<core::NodeState> state;
   Rng rng{0};
   std::unordered_set<std::string> reported_leavers;
+  std::unordered_set<std::string> quarantined;  ///< addrs this node refuses
+  std::size_t adv_initiations = 0;  ///< equivocators alternate per initiation
   // Coverage bitset (distinct peers ever held), built lazily.
   std::vector<std::uint64_t> coverage_bits;
   std::size_t coverage_count = 0;
@@ -103,6 +118,14 @@ void NetworkSim::sync_metrics() {
   sync_counter("harness.refused_cross_group", stats_.refused_cross_group);
   sync_counter("harness.leave_reports", stats_.leave_reports);
   sync_counter("harness.fault_failures", stats_.fault_failures);
+  if (config_.adversary.any()) {
+    // Only materialized under an active adversary, so scrapes from every
+    // pre-existing bench stay byte-identical.
+    sync_counter("harness.byz.attacks", stats_.byz_attacks);
+    sync_counter("harness.byz.detections", stats_.byz_detections);
+    sync_counter("harness.byz.quarantines", stats_.byz_quarantines);
+    sync_counter("harness.byz.refused_quarantined", stats_.byz_refused_quarantined);
+  }
   metrics_.set(metrics_.gauge("harness.network_size"),
                static_cast<double>(nodes_.size()));
   metrics_.set(metrics_.gauge("harness.alive"), static_cast<double>(alive_count_));
@@ -200,6 +223,14 @@ void NetworkSim::do_shuffle(std::size_t idx) {
     handle_dead_partner(idx, pidx);
     return;
   }
+  if (partner.quarantined.contains(hn.state->self().addr) ||
+      hn.quarantined.contains(partner.state->self().addr)) {
+    // A quarantined pair refuses contact in either direction (mirrors
+    // core::Node's inbound drop); the initiator burns the round.
+    ++stats_.byz_refused_quarantined;
+    hn.state->skip_round();
+    return;
+  }
   if (config_.malicious_mode == MaliciousMode::kSeparateOverlay &&
       partner.malicious != hn.malicious) {
     // Cross-coalition contact is refused; the initiator burns the round.
@@ -230,14 +261,25 @@ void NetworkSim::do_shuffle(std::size_t idx) {
   }
 
   const core::Round rj = partner.state->round();
-  const auto offer = core::make_offer(*hn.state, *choice, rj);
+  core::ShuffleOffer offer = core::make_offer(*hn.state, *choice, rj);
+  const bool attacked = hn.malicious && config_.adversary.any() &&
+                        apply_adversary(hn, offer, choice->partner);
+  if (attacked) ++stats_.byz_attacks;
   history_samples_.add(static_cast<double>(offer.history_suffix.size()));
 
   const bool verify = rng_.chance(config_.verify_fraction);
   if (verify) {
     ++stats_.shuffles_verified;
     if (const auto v = core::verify_offer(offer, *partner.state, rj, *provider_); !v) {
-      ++stats_.verification_failures;
+      if (attacked) {
+        // Detection: the responder caught the mutation and quarantines the
+        // initiator. Honest failures stay in verification_failures so the
+        // "MUST stay 0 with honest nodes" invariant keeps its teeth.
+        ++stats_.byz_detections;
+        quarantine(partner, hn.state->self());
+      } else {
+        ++stats_.verification_failures;
+      }
       hn.state->skip_round();
       return;
     }
@@ -262,6 +304,67 @@ void NetworkSim::do_shuffle(std::size_t idx) {
     shuffle_pairs_[idx][pidx] = 1;
     shuffle_pairs_[pidx][idx] = 1;
   }
+}
+
+bool NetworkSim::apply_adversary(HarnessNode& hn, core::ShuffleOffer& offer,
+                                 const core::PeerId& partner) {
+  // Mirrors the attack block in core::Node::on_round_reply, adapted to the
+  // synchronous exchange: there is no cross-exchange gossip here, so the
+  // equivocating claim is left inconsistent with the (honestly drawn) VRF
+  // proofs and detection runs entirely through the responder's verify path.
+  const core::AdversaryPolicy& adv = config_.adversary;
+  bool mutated = false;
+  if (adv.equivocate && (hn.adv_initiations++ % 2 == 1) &&
+      !offer.history_suffix.empty() &&
+      offer.history_suffix.back().kind != core::EntryKind::kLeave &&
+      hn.rng.uniform01() < adv.attack_rate) {
+    offer.history_suffix.back().in.push_back(fabricated_peer(hn.state->self().addr));
+    offer.claimed_peerset =
+        core::UpdateHistory::reconstruct(offer.history_suffix).sorted();
+    mutated = true;
+  }
+  if (adv.bias_sample && hn.rng.uniform01() < adv.attack_rate) {
+    // Swap a hand-picked member (a colluder if one is in reach) into the
+    // sample while keeping the original proofs.
+    std::optional<core::PeerId> sub;
+    for (const auto& p : offer.claimed_peerset) {
+      const bool in_sample =
+          std::any_of(offer.sample.begin(), offer.sample.end(),
+                      [&](const core::PeerId& s) { return s.addr == p.addr; });
+      if (in_sample || p.addr == partner.addr || p.addr == hn.state->self().addr) {
+        continue;
+      }
+      if (adv.colludes_with(p.addr)) {
+        sub = p;
+        break;
+      }
+      if (!sub) sub = p;
+    }
+    if (sub && !offer.sample.empty()) {
+      offer.sample.front() = *sub;
+      mutated = true;
+    }
+  }
+  if (adv.forge_history && !offer.history_suffix.empty() &&
+      !offer.history_suffix.back().signature.empty() &&
+      hn.rng.uniform01() < adv.attack_rate) {
+    offer.history_suffix.back().signature.front() ^= 0x01;
+    mutated = true;
+  }
+  if (adv.truncate_history && !offer.history_suffix.empty() &&
+      hn.rng.uniform01() < adv.attack_rate) {
+    offer.history_suffix.erase(offer.history_suffix.begin());
+    mutated = true;
+  }
+  return mutated;
+}
+
+void NetworkSim::quarantine(HarnessNode& observer, const core::PeerId& accused) {
+  if (!observer.quarantined.insert(accused.addr).second) return;
+  ++stats_.byz_quarantines;
+  // Quarantine doubles as a local leave record so the accused drains from
+  // the observer's peerset and the zombie purge keeps it out.
+  record_leave(observer, accused);
 }
 
 void NetworkSim::handle_dead_partner(std::size_t idx, std::size_t partner_idx) {
@@ -562,6 +665,23 @@ Samples NetworkSim::coverage_counts() const {
 bool NetworkSim::ever_shuffled(std::size_t i, std::size_t j) const {
   AN_ENSURE_MSG(config_.track_shuffle_pairs, "pair tracking disabled");
   return shuffle_pairs_[i][j] != 0;
+}
+
+std::size_t NetworkSim::quarantined_by_count(std::size_t accused) const {
+  const std::string& addr = nodes_[accused]->state->self().addr;
+  std::size_t c = 0;
+  for (const auto& n : nodes_) {
+    if (n->alive && !n->malicious && n->quarantined.contains(addr)) ++c;
+  }
+  return c;
+}
+
+std::size_t NetworkSim::quarantine_edges() const {
+  std::size_t c = 0;
+  for (const auto& n : nodes_) {
+    if (n->alive) c += n->quarantined.size();
+  }
+  return c;
 }
 
 }  // namespace accountnet::harness

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "accountnet/core/resolver.hpp"
+#include "accountnet/sim/fault.hpp"
 #include "accountnet/util/rng.hpp"
 
 namespace accountnet::core {
@@ -184,6 +185,89 @@ TEST_F(ResolverFixture, HistoryEntryLookupService) {
   rn_.sim.run_until(rn_.sim.now() + sim::seconds(5));
   ASSERT_TRUE(answered);
   EXPECT_FALSE(got.has_value());
+}
+
+TEST_F(ResolverFixture, EquivocatingWitnessExcludedAndExposed) {
+  // A witness that signs two conflicting testimonies for the same
+  // (channel, seq) is majority-outvoted AND surfaced as an equivocator —
+  // its conflicting pair is kTestimonyEquivocation accusation material.
+  Node* w0 = rn_.find(witnesses_[0]);
+  ASSERT_NE(w0, nullptr);
+  const DataDigest truth = digest_of(payload_);
+  const DataDigest lie = digest_of(bytes_of("second-story"));
+
+  std::vector<Testimony> testimonies;
+  for (const auto& w : witnesses_) {
+    Node* wn = rn_.find(w);
+    ASSERT_NE(wn, nullptr);
+    const auto t = wn->evidence().lookup(channel_, 1);
+    ASSERT_TRUE(t.has_value());
+    testimonies.push_back(*t);
+  }
+  // w0 additionally signs the conflicting version.
+  Testimony forked = testimonies[0];
+  forked.digest = lie;
+  forked.signature = w0->state().signer().sign(evidence_payload(channel_, 1, lie));
+  testimonies.push_back(forked);
+
+  const auto res = resolve_dispute(channel_, 1, Claim{producer_->id(), truth},
+                                   Claim{consumer_->id(), lie}, testimonies,
+                                   witnesses_.size(), *rn_.provider);
+  // The honest majority (every witness but w0) still convicts the liar.
+  EXPECT_EQ(res.verdict, Verdict::kConsumerDishonest);
+  ASSERT_EQ(res.equivocators.size(), 1u);
+  EXPECT_EQ(res.equivocators[0].addr, w0->id().addr);
+  // Both of w0's testimonies are discounted, not just the second.
+  EXPECT_EQ(res.valid_testimonies, witnesses_.size() - 1);
+}
+
+TEST_F(ResolverFixture, DeadlineBoundsStonewalledResolution) {
+  // Blackhole every witness: queries neither answer nor error, so only the
+  // resolver-side deadline can finish the resolution. It must fire, resolve
+  // from zero testimonies, and leave nothing pinned in flight.
+  sim::FaultPlan plan;
+  plan.seed = 99;
+  for (const auto& w : witnesses_) {
+    sim::LinkFault f;
+    f.to = w.addr;
+    f.loss = 1.0;
+    plan.links.push_back(f);
+    sim::LinkFault back;
+    back.from = w.addr;
+    back.loss = 1.0;
+    plan.links.push_back(back);
+  }
+  rn_.net.set_fault_plan(plan);
+
+  Node& arbiter = *rn_.nodes[30];
+  const sim::Duration deadline = sim::milliseconds(900);
+  DisputeResolver resolver(arbiter, *rn_.provider, deadline);
+  std::size_t fired = 0;
+  std::optional<DisputeResolver::Outcome> outcome;
+  DisputeResolver::Request req;
+  req.channel_id = channel_;
+  req.sequence = 1;
+  req.witnesses = witnesses_;
+  req.producer_claim = Claim{producer_->id(), digest_of(payload_)};
+  req.consumer_claim = Claim{consumer_->id(), digest_of(bytes_of("fake"))};
+  resolver.resolve(req, [&](DisputeResolver::Outcome o) {
+    ++fired;
+    outcome = std::move(o);
+  });
+
+  // Just past the deadline (well inside the 2 s per-query RPC timeout) the
+  // outcome is already in and the in-flight table is empty.
+  rn_.sim.run_until(rn_.sim.now() + deadline + sim::milliseconds(200));
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->responded, 0u);
+  EXPECT_EQ(outcome->resolution.verdict, Verdict::kInconclusive);
+  EXPECT_EQ(resolver.in_flight(), 0u);
+
+  // Late per-query timeouts and retries must not re-fire the callback.
+  rn_.sim.run_until(rn_.sim.now() + sim::seconds(30));
+  EXPECT_EQ(fired, 1u);
+  EXPECT_EQ(resolver.in_flight(), 0u);
+  rn_.net.clear_fault_plan();
 }
 
 }  // namespace
