@@ -2,10 +2,43 @@
 // configurations (Table I) and steady-state runs.
 #pragma once
 
+#include <map>
+
 #include "accountnet/harness/network_sim.hpp"
 #include "bench_common.hpp"
 
 namespace accountnet::bench {
+
+/// Sums counter/gauge scrapes across many registries (the per-node
+/// registries of the soak benches) and re-emits one combined scrape.
+/// Timers are skipped: their percentiles do not merge, and the soaks run
+/// with timing disabled anyway.
+class CounterAggregator final : public obs::Sink {
+ public:
+  void write(const obs::MetricSample& s, std::int64_t) override {
+    if (s.kind == obs::MetricKind::kTimer) return;
+    auto& slot = totals_[s.name];
+    slot.first = s.kind;
+    slot.second += s.kind == obs::MetricKind::kCounter
+                       ? static_cast<double>(s.count)
+                       : s.value;
+  }
+
+  /// Writes the summed rows into `out` (sorted by name, so deterministic).
+  void emit(obs::Sink& out, std::int64_t t_us) const {
+    for (const auto& [name, slot] : totals_) {
+      obs::MetricSample s;
+      s.name = name;
+      s.kind = slot.first;
+      s.count = static_cast<std::uint64_t>(slot.second);
+      s.value = slot.second;
+      out.write(s, t_us);
+    }
+  }
+
+ private:
+  std::map<std::string, std::pair<obs::MetricKind, double>> totals_;
+};
 
 /// Table I defaults: shuffle period ~10 s, L = ceil(f/2), 125 nodes/VM lane.
 inline harness::ExperimentConfig paper_config(std::size_t v, std::size_t f,

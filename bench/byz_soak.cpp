@@ -18,12 +18,14 @@
 //     (both MUST stay 0 on a no-fault network).
 //
 // Emits BENCH_byz_soak.json (JSON-lines, one row per attack config).
+#include <cstring>
 #include <set>
 #include <utility>
 
 #include "accountnet/core/adversary.hpp"
 #include "accountnet/core/node.hpp"
 #include "accountnet/obs/sink.hpp"
+#include "accountnet/obs/span.hpp"
 #include "bench_sim.hpp"
 
 namespace {
@@ -97,8 +99,10 @@ struct SoakRow {
 
 class ByzSoak {
  public:
-  ByzSoak(std::size_t n, double adv_frac, std::uint64_t seed)
+  ByzSoak(std::size_t n, double adv_frac, std::uint64_t seed,
+          obs::Tracer* tracer = nullptr)
       : net_(sim_, sim::netem_latency(), seed) {
+    net_.set_tracer(tracer);
     core::Node::Config config;
     config.protocol.max_peerset = 5;
     config.protocol.shuffle_length = 3;
@@ -128,6 +132,7 @@ class ByzSoak {
       std::snprintf(buf, sizeof(buf), "b%03zu", i);
       nodes_.push_back(std::make_unique<core::Node>(net_, buf, *provider_, node_seed,
                                                     config, rng.next_u64()));
+      nodes_.back()->set_tracer(tracer);
       if (i % stride == stride / 2 && adversaries_.size() < n_adv) {
         adversaries_.push_back(i);
       }
@@ -274,6 +279,13 @@ class ByzSoak {
     return c;
   }
 
+  /// Full metrics epilogue: every node's registry, summed, in one scrape.
+  void scrape_metrics(obs::Sink& sink) const {
+    bench::CounterAggregator agg;
+    for (const auto& nd : nodes_) nd->metrics().scrape_to(agg, sim_.now());
+    agg.emit(sink, sim_.now());
+  }
+
  private:
   sim::Simulator sim_;
   std::unique_ptr<crypto::CryptoProvider> provider_ = crypto::make_fast_crypto();
@@ -285,8 +297,9 @@ class ByzSoak {
 };
 
 SoakRow run_attack(const AttackSpec& spec, std::size_t n, double adv_frac,
-                   std::size_t pairs, std::size_t max_periods, std::uint64_t seed) {
-  ByzSoak soak(n, adv_frac, seed);
+                   std::size_t pairs, std::size_t max_periods, std::uint64_t seed,
+                   obs::Sink& sink, obs::Tracer* tracer = nullptr) {
+  ByzSoak soak(n, adv_frac, seed, tracer);
   soak.open_channels(pairs);
 
   SoakRow row;
@@ -319,6 +332,7 @@ SoakRow run_attack(const AttackSpec& spec, std::size_t n, double adv_frac,
   row.rejected = soak.total_counter("acc.accuse.rejected");
   row.convicted = soak.total_counter("acc.challenge.convicted");
   row.quarantine_edges = soak.quarantine_edges();
+  soak.scrape_metrics(sink);
   return row;
 }
 
@@ -327,6 +341,14 @@ SoakRow run_attack(const AttackSpec& spec, std::size_t n, double adv_frac,
 int main(int argc, char** argv) {
   using namespace accountnet;
   const auto args = bench::parse_args(argc, argv);
+  // --trace <path>: re-run the tamper_relay attack with causal tracing on
+  // and export the spans as Perfetto JSON (plus <path>.spans.jsonl for
+  // accountnet-trace). Kept out of the grid runs so BENCH rows are identical
+  // with and without the flag.
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) trace_out = argv[i + 1];
+  }
   bench::print_header("byz_soak",
                       "Byzantine soak — active adversaries vs the "
                       "accuse/quarantine/evict pipeline (cf. Figs. 14/18)",
@@ -346,7 +368,7 @@ int main(int argc, char** argv) {
     Table t({"attack", "detected", "coverage", "latency (periods)", "fp pairs",
              "honest evict", "resid mal frac", "accusations"});
     for (const auto& spec : attack_grid()) {
-      const auto row = run_attack(spec, n, adv_frac, pairs, max_periods, args.seed);
+      const auto row = run_attack(spec, n, adv_frac, pairs, max_periods, args.seed, sink);
       t.add_row({row.attack, std::to_string(row.detected), Table::num(row.coverage, 3),
                  std::to_string(row.latency_periods), std::to_string(row.fp_pairs),
                  std::to_string(row.honest_evictions),
@@ -380,5 +402,24 @@ int main(int argc, char** argv) {
       "residual malicious neighborhood fraction drops toward 0 once\n"
       "quarantine drains cheaters from honest peersets (cf. fig14/fig18).\n");
   std::printf("wrote BENCH_byz_soak.json\n");
+
+  if (!trace_out.empty()) {
+    // Forensics sample: tamper_relay exercises the full dispute pipeline
+    // (relay -> tampered forward -> accuse -> gossip -> quarantine/evict),
+    // so its trace shows a dispute timeline end to end.
+    std::printf("\ntracing tamper_relay run for %s...\n", trace_out.c_str());
+    obs::Tracer tracer(args.seed);
+    obs::NullSink null;
+    core::AdversaryPolicy tamper;
+    tamper.tamper_relays = true;
+    run_attack({"tamper_relay", tamper}, n, 0.10, pairs, 10, args.seed, null, &tracer);
+    obs::PerfettoSink perfetto(trace_out);
+    perfetto.add_all(tracer.spans());
+    perfetto.flush();
+    obs::write_spans_jsonl(tracer.spans(), trace_out + ".spans.jsonl");
+    std::printf("wrote %s (%zu spans; load via ui.perfetto.dev) and "
+                "%s.spans.jsonl (accountnet-trace input)\n",
+                trace_out.c_str(), tracer.spans().size(), trace_out.c_str());
+  }
   return 0;
 }

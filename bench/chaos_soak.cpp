@@ -165,6 +165,13 @@ class NodeSoak {
   std::string addr(std::size_t i) const { return nodes_[i]->id().addr; }
   std::size_t size() const { return nodes_.size(); }
 
+  /// Full metrics epilogue: every node's registry, summed, in one scrape.
+  void scrape_metrics(obs::Sink& sink) const {
+    bench::CounterAggregator agg;
+    for (const auto& node : nodes_) node->metrics().scrape_to(agg, sim_.now());
+    agg.emit(sink, sim_.now());
+  }
+
  private:
   sim::Simulator sim_;
   std::unique_ptr<crypto::CryptoProvider> provider_ = crypto::make_fast_crypto();
@@ -251,6 +258,7 @@ int main(int argc, char** argv) {
                   std::to_string(out.faults_dropped) + ",\"faults_duplicated\":" +
                   std::to_string(out.faults_duplicated) + ",\"faults_delayed\":" +
                   std::to_string(out.faults_delayed) + "}");
+    soak.scrape_metrics(sink);
     std::printf(".");
     std::fflush(stdout);
   }

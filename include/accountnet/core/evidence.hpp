@@ -70,6 +70,18 @@ enum class Verdict {
   kInconclusive,         ///< No digest reaches a strict majority.
 };
 
+/// Stable machine-readable tag (metric labels, span attributes).
+inline const char* verdict_tag(Verdict v) {
+  switch (v) {
+    case Verdict::kClaimsAgree: return "claims_agree";
+    case Verdict::kProducerDishonest: return "producer_dishonest";
+    case Verdict::kConsumerDishonest: return "consumer_dishonest";
+    case Verdict::kBothDishonest: return "both_dishonest";
+    case Verdict::kInconclusive: return "inconclusive";
+  }
+  return "unknown";
+}
+
 struct Resolution {
   Verdict verdict = Verdict::kInconclusive;
   std::optional<DataDigest> majority_digest;

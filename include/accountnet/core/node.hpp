@@ -33,6 +33,7 @@
 #include "accountnet/core/shuffle.hpp"
 #include "accountnet/core/witness.hpp"
 #include "accountnet/obs/metrics.hpp"
+#include "accountnet/obs/span.hpp"
 #include "accountnet/sim/network.hpp"
 #include "accountnet/util/bounded.hpp"
 #include "accountnet/util/rng.hpp"
@@ -258,6 +259,20 @@ class Node {
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Attaches the simulation-wide span tracer (obs/span.hpp); nullptr — the
+  /// default — keeps every trace call a null-check, and an attached tracer
+  /// never perturbs a seeded run (ids come from the tracer's own stream,
+  /// never from a protocol Rng). Attach the same tracer to the SimNetwork
+  /// for fabric hop spans. The tracer must outlive the node.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
+  /// The causal context currently stamped on outgoing messages. Exposed so
+  /// DisputeResolver can parent its testimony queries under a dispute span;
+  /// protocol code manages it internally via RAII scopes.
+  obs::TraceContext trace_context() const { return trace_ctx_; }
+  void set_trace_context(obs::TraceContext ctx) { trace_ctx_ = ctx; }
+
   /// Opens a witnessed data channel to `consumer_addr`; `on_ready` fires when
   /// the witness group is agreed and invited (or on failure).
   void open_channel(const std::string& consumer_addr, ChannelReadyCallback on_ready);
@@ -312,6 +327,7 @@ class Node {
     std::uint64_t timeout_token = 0;  ///< identifies the live abort timer
     std::uint64_t query_rpc = 0;      ///< outstanding kRoundQuery (0 = none)
     std::uint64_t offer_rpc = 0;      ///< outstanding kShuffleOffer (0 = none)
+    std::uint64_t span = 0;           ///< root "shuffle" span (0 = untraced)
 
     /// Adversary equivocation: when set, the offer is assembled over this
     /// internally consistent but doctored history instead of the node's real
@@ -345,6 +361,7 @@ class Node {
     /// witness views forever.
     std::vector<std::pair<std::uint64_t, Bytes>> unacked_updates;
     Bytes finalize_payload;          ///< cached for duplicate-accept resend
+    std::uint64_t span = 0;          ///< root "channel" span (0 = untraced)
     std::uint64_t request_rpc = 0;   ///< outstanding kChannelRequest
     std::map<std::string, std::uint64_t> invite_rpcs;  ///< per-witness invites
     ChannelReadyCallback on_ready;
@@ -398,6 +415,48 @@ class Node {
 
   void handle(const sim::NetMessage& msg);
   void send(const std::string& to, MsgType type, Bytes payload);
+
+  // --- Causal tracing (every call a null-check when tracer_ is unset). ---
+  /// Opens a span at the current simulated time; 0 when untraced. With the
+  /// zero parent the span roots a new trace.
+  std::uint64_t trace_begin(std::string name, obs::TraceContext parent);
+  void trace_attr(std::uint64_t span, const char* key, std::string value);
+  void trace_end(std::uint64_t span);
+  void trace_end_outcome(std::uint64_t span, const char* outcome);
+  /// RAII: routes sends through `ctx` for the scope (operation-span legs).
+  class CtxScope {
+   public:
+    CtxScope(Node& node, obs::TraceContext ctx) : node_(node), saved_(node.trace_ctx_) {
+      node.trace_ctx_ = ctx;
+    }
+    CtxScope(Node& node, std::uint64_t span);
+    ~CtxScope() { node_.trace_ctx_ = saved_; }
+    CtxScope(const CtxScope&) = delete;
+    CtxScope& operator=(const CtxScope&) = delete;
+
+   private:
+    Node& node_;
+    obs::TraceContext saved_;
+  };
+  /// RAII: opens a span as a child of `parent`, routes sends through it for
+  /// the scope, and ends it on exit (handler-leg spans).
+  class SpanScope {
+   public:
+    SpanScope(Node& node, const char* name, obs::TraceContext parent);
+    ~SpanScope();
+    SpanScope(const SpanScope&) = delete;
+    SpanScope& operator=(const SpanScope&) = delete;
+
+    std::uint64_t id() const { return span_; }
+    void attr(const char* key, std::string value) {
+      node_.trace_attr(span_, key, std::move(value));
+    }
+
+   private:
+    Node& node_;
+    std::uint64_t span_ = 0;
+    obs::TraceContext saved_;
+  };
 
   // Outstanding-RPC table: every retried transmission lives here until its
   // reply is observed (finish_rpc), its context dies, or its attempts are
@@ -527,6 +586,11 @@ class Node {
   obs::MetricsRegistry metrics_;
   MetricIds ids_{metrics_};
   EvidenceLog evidence_;
+
+  // Causal tracing (null/zero = off, the default).
+  obs::Tracer* tracer_ = nullptr;
+  obs::TraceContext trace_ctx_{};
+  std::uint64_t join_span_ = 0;  ///< root "join" span while joining
 
   bool running_ = false;
   bool joined_ = false;

@@ -20,6 +20,11 @@ class DisputeResolver {
     std::vector<PeerId> witnesses;  ///< the channel's agreed witness group
     Claim producer_claim;
     Claim consumer_claim;
+    /// Forensics: context of the operation being disputed (e.g. taken from
+    /// the accusation's originating trace). The "dispute.resolve" span and
+    /// every testimony query then join that trace, so the dispute's complete
+    /// timeline is one trace-id query. Zero roots a standalone trace.
+    obs::TraceContext trace;
   };
 
   struct Outcome {
@@ -55,6 +60,7 @@ class DisputeResolver {
     std::vector<Testimony> testimonies;
     std::size_t responded = 0;
     bool finished = false;  ///< set by completion OR deadline; later one no-ops
+    std::uint64_t span = 0;  ///< "dispute.resolve" span (0 = untraced)
   };
 
   Node& node_;

@@ -27,6 +27,7 @@
 #include "accountnet/core/shuffle.hpp"
 #include "accountnet/obs/metrics.hpp"
 #include "accountnet/obs/sink.hpp"
+#include "accountnet/obs/span.hpp"
 #include "accountnet/sim/fault.hpp"
 #include "accountnet/sim/simulator.hpp"
 #include "accountnet/util/rng.hpp"
@@ -138,6 +139,15 @@ class NetworkSim {
   /// Appends a JSON-lines scrape to `path` (the BENCH_*.json convention).
   void write_metrics_json(const std::string& path);
 
+  /// Attaches a span tracer (obs/span.hpp): each synchronous shuffle emits a
+  /// root "shuffle" span on the initiator with a "shuffle.respond" child on
+  /// the partner, and adversary detections emit "accuse.quarantine" spans on
+  /// the observer — the same span vocabulary core::Node uses, so traces from
+  /// either engine feed the same tooling. nullptr (default) = tracing off;
+  /// attaching a tracer never perturbs a seeded run.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
   bool is_alive(std::size_t idx) const;
   bool is_malicious(std::size_t idx) const;
   bool is_joined(std::size_t idx) const;
@@ -194,7 +204,8 @@ class NetworkSim {
   void do_shuffle(std::size_t idx);
   bool apply_adversary(HarnessNode& hn, core::ShuffleOffer& offer,
                        const core::PeerId& partner);
-  void quarantine(HarnessNode& observer, const core::PeerId& accused);
+  void quarantine(HarnessNode& observer, const core::PeerId& accused,
+                  obs::TraceContext ctx = {});
   void handle_dead_partner(std::size_t idx, std::size_t partner_idx);
   void record_leave(HarnessNode& reporter_node, const core::PeerId& leaver);
   void purge_zombies(HarnessNode& node);
@@ -215,6 +226,7 @@ class NetworkSim {
   bool run_started_ = false;
   HarnessStats stats_;
   obs::MetricsRegistry metrics_;
+  obs::Tracer* tracer_ = nullptr;
   Samples history_samples_;
   std::uint64_t shuffle_delta_ = 0;
   std::vector<std::vector<std::uint8_t>> shuffle_pairs_;  // optional heatmap

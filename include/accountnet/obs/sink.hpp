@@ -75,6 +75,11 @@ std::string json_escape(std::string_view s);
 /// Serializes one sample as a single JSON-lines row (no trailing newline).
 std::string to_json_line(const MetricSample& sample, std::int64_t t_us);
 
+/// Serializes one trace event as a single JSON-lines row (no trailing
+/// newline); the label is escaped, so hostile labels cannot break the stream:
+///   {"t_us":N,"kind":"trace","code":N,"a":N,"b":N,"label":"..."}
+std::string to_json_line(const TraceEvent& e);
+
 /// Appends one JSON object per sample to a file (the `BENCH_*.json`
 /// convention). Opens in append mode so successive scrapes of a run — or
 /// successive bench configurations — form one time series.
@@ -90,6 +95,8 @@ class JsonLinesSink final : public Sink {
   JsonLinesSink& operator=(const JsonLinesSink&) = delete;
 
   void write(const MetricSample& sample, std::int64_t t_us) override;
+  /// Drained TraceEvents become "kind":"trace" rows with escaped labels.
+  void event(const TraceEvent& e) override;
   /// Emits a caller-composed JSON object line (bench context rows).
   void raw_line(const std::string& json_object);
   void flush() override;

@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "accountnet/obs/metrics.hpp"
+#include "accountnet/obs/span.hpp"
 #include "accountnet/obs/trace.hpp"
 #include "accountnet/sim/fault.hpp"
 #include "accountnet/sim/simulator.hpp"
@@ -43,6 +44,9 @@ struct NetMessage {
   std::string to;
   std::uint32_t type = 0;
   Bytes payload;
+  /// Causal trace context of the sending span (zero = untraced, the default;
+  /// see obs/span.hpp). Serialized captures carry it via wire::Envelope v2.
+  obs::TraceContext trace;
 };
 
 struct NetworkStats {
@@ -95,8 +99,18 @@ class SimNetwork {
 
   /// Attaches a trace ring: each send records a TraceEvent{t, type,
   /// payload_size, "from->to"} stamped with the simulated send time. Pass
-  /// nullptr to detach.
+  /// nullptr to detach. When a metrics registry is also attached, ring
+  /// occupancy and overflow surface as the "obs.trace.size" /
+  /// "obs.trace.dropped" gauges on every send.
   void set_trace(obs::TraceRing* ring) { trace_ = ring; }
+
+  /// Attaches a span tracer: every traced message (valid NetMessage::trace)
+  /// gets a "net.<type>" hop span — child of the sending span, closed at
+  /// delivery or drop — so cross-node span trees include fabric latency.
+  /// Pass nullptr to detach. The tracer draws from no protocol Rng stream,
+  /// so attaching it never perturbs a seeded run.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
 
   /// Attaches a fault schedule (see sim/fault.hpp). The injector owns its
   /// own Rng, so the latency stream is unchanged — a run with no plan and a
@@ -116,7 +130,9 @@ class SimNetwork {
   };
   const TypeMetrics& type_metrics(std::uint32_t type);
   void count_fault(FaultKind kind, std::uint32_t type);
-  void deliver_after(Duration delay, NetMessage msg);
+  void deliver_after(Duration delay, NetMessage msg, std::uint64_t hop_span);
+  std::uint64_t begin_hop_span(const NetMessage& msg);
+  void end_hop_span(std::uint64_t hop_span, const char* outcome);
 
   Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
@@ -126,6 +142,10 @@ class SimNetwork {
   obs::MetricsRegistry* metrics_ = nullptr;
   TypeNamer namer_;
   obs::TraceRing* trace_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  bool ring_gauges_ready_ = false;
+  obs::MetricId ring_size_id_ = 0;
+  obs::MetricId ring_dropped_id_ = 0;
   std::unordered_map<std::uint32_t, TypeMetrics> per_type_;
   std::optional<FaultInjector> faults_;
   std::unordered_map<std::uint64_t, obs::MetricId> fault_metrics_;

@@ -1,0 +1,47 @@
+// Versioned serialization of a message envelope (addressing + type + causal
+// trace context + payload) — the capture/transport form of sim::NetMessage.
+//
+// net::MessageSocket frames carry only [type][payload]; an Envelope is the
+// richer form used when a message must be stored or replayed with its
+// context intact (message captures, cross-process trace propagation).
+//
+// Versioning: byte 0 is the format version.
+//   v1: from, to, type, payload                     (pre-tracing captures)
+//   v2: from, to, type, trace_id, parent_span, payload
+// decode_envelope() accepts both, so old captures still decode; v1 input
+// yields the zero trace context. Unknown versions throw DecodeError.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "accountnet/util/bytes.hpp"
+#include "accountnet/wire/codec.hpp"
+
+namespace accountnet::wire {
+
+inline constexpr std::uint8_t kEnvelopeV1 = 1;
+inline constexpr std::uint8_t kEnvelopeV2 = 2;
+inline constexpr std::uint8_t kEnvelopeVersion = kEnvelopeV2;
+
+struct Envelope {
+  std::string from;
+  std::string to;
+  std::uint32_t type = 0;
+  std::uint64_t trace_id = 0;     ///< v2+; 0 = untraced
+  std::uint64_t parent_span = 0;  ///< v2+
+  Bytes payload;
+
+  friend bool operator==(const Envelope&, const Envelope&) = default;
+};
+
+/// Encodes at the current version (v2).
+Bytes encode_envelope(const Envelope& e);
+/// Encodes the pre-tracing v1 layout (compat captures; drops the context).
+Bytes encode_envelope_v1(const Envelope& e);
+
+/// Decodes any supported version; throws DecodeError on truncation, trailing
+/// garbage, or an unknown version byte.
+Envelope decode_envelope(BytesView data);
+
+}  // namespace accountnet::wire

@@ -190,7 +190,52 @@ Node::~Node() {
 
 void Node::send(const std::string& to, MsgType type, Bytes payload) {
   net_.send({state_.self().addr, to, static_cast<std::uint32_t>(type),
-             std::move(payload)});
+             std::move(payload), trace_ctx_});
+}
+
+// ---------------------------------------------------------------------------
+// Causal tracing (obs/span.hpp). All helpers collapse to a null-check when
+// no tracer is attached; span ids come from the tracer's own id stream, so
+// attaching one never touches a protocol Rng.
+// ---------------------------------------------------------------------------
+
+std::uint64_t Node::trace_begin(std::string name, obs::TraceContext parent) {
+  if (tracer_ == nullptr) return 0;
+  return tracer_->begin_span(std::move(name), state_.self().addr,
+                             net_.simulator().now(), parent);
+}
+
+void Node::trace_attr(std::uint64_t span, const char* key, std::string value) {
+  if (tracer_ != nullptr && span != 0) tracer_->attr(span, key, std::move(value));
+}
+
+void Node::trace_end(std::uint64_t span) {
+  if (tracer_ != nullptr && span != 0) tracer_->end_span(span, net_.simulator().now());
+}
+
+void Node::trace_end_outcome(std::uint64_t span, const char* outcome) {
+  if (tracer_ != nullptr && span != 0) {
+    tracer_->attr(span, "outcome", outcome);
+    tracer_->end_span(span, net_.simulator().now());
+  }
+}
+
+Node::CtxScope::CtxScope(Node& node, std::uint64_t span)
+    : node_(node), saved_(node.trace_ctx_) {
+  if (node.tracer_ != nullptr && span != 0) {
+    node.trace_ctx_ = node.tracer_->context(span);
+  }
+}
+
+Node::SpanScope::SpanScope(Node& node, const char* name, obs::TraceContext parent)
+    : node_(node), saved_(node.trace_ctx_) {
+  span_ = node.trace_begin(name, parent);
+  if (span_ != 0) node.trace_ctx_ = node.tracer_->context(span_);
+}
+
+Node::SpanScope::~SpanScope() {
+  node_.trace_end(span_);
+  node_.trace_ctx_ = saved_;
 }
 
 // ---------------------------------------------------------------------------
@@ -289,6 +334,9 @@ void Node::start_join(const std::string& bootstrap_addr) {
   net_.attach(state_.self().addr, [this](const sim::NetMessage& m) { handle(m); });
   wire::Writer w;
   encode_peer(w, state_.self());
+  join_span_ = trace_begin("join", {});
+  trace_attr(join_span_, "bootstrap", bootstrap_addr);
+  CtxScope trace(*this, join_span_);
   // Bounded bootstrap: join_retry.attempts transmissions, then give up for
   // good. The node stays attached (peers can still reach it) but never
   // starts shuffling — a half-joined zombie is worse than a visible failure.
@@ -297,6 +345,8 @@ void Node::start_join(const std::string& bootstrap_addr) {
                          if (joined_) return;
                          join_failed_ = true;
                          metrics_.add(ids_.join_failed);
+                         trace_end_outcome(join_span_, "failed");
+                         join_span_ = 0;
                        });
 }
 
@@ -379,6 +429,7 @@ void Node::on_join_request(const sim::NetMessage& msg) {
   const PeerId joiner = decode_peer(r);
   r.expect_done();
   if (joiner.addr != msg.from) return;
+  SpanScope span(*this, "join.serve", msg.trace);
 
   // Entry stamp σ_bn(addr_i) plus a neighbor list the joiner samples from.
   const Bytes stamp = state_.signer().sign(join_stamp_payload(joiner.addr));
@@ -413,11 +464,17 @@ void Node::on_join_reply(const sim::NetMessage& msg) {
   candidates.erase(state_.self());
   const Draw draw = draw_sample(state_.signer(), candidates, config_.protocol.max_peerset,
                                 "an.join.sample", stamp);
-  state_.apply_join(bootstrap, stamp, draw.sample);
-  joined_ = true;
-  finish_rpc(join_rpc_);
-  join_rpc_ = 0;
-  schedule_next_shuffle();
+  {
+    SpanScope span(*this, "join.apply", msg.trace);
+    span.attr("sampled", std::to_string(draw.sample.size()));
+    state_.apply_join(bootstrap, stamp, draw.sample);
+    joined_ = true;
+    finish_rpc(join_rpc_);
+    join_rpc_ = 0;
+    schedule_next_shuffle();
+  }
+  trace_end_outcome(join_span_, "joined");
+  join_span_ = 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -486,10 +543,14 @@ void Node::begin_shuffle() {
   p.round_at_start = state_.round();
   p.epoch = ++shuffle_epoch_;
   p.doctored = std::move(doctored);
+  p.span = trace_begin("shuffle", {});
+  trace_attr(p.span, "partner", choice->partner.addr);
+  trace_attr(p.span, "round", std::to_string(state_.round()));
   pending_ = std::move(p);
 
   wire::Writer w;
   encode_peer(w, state_.self());
+  CtxScope trace(*this, pending_->span);
   pending_->query_rpc = send_rpc(choice->partner.addr, MsgType::kRoundQuery,
                                  std::move(w).take(), config_.query_retry);
   schedule_shuffle_timeout();
@@ -516,6 +577,7 @@ void Node::abort_shuffle(bool partner_suspect) {
   if (!pending_) return;
   finish_rpc(pending_->query_rpc);
   finish_rpc(pending_->offer_rpc);
+  trace_end_outcome(pending_->span, "aborted");
   metrics_.add(ids_.shuffle_failures);
   const PeerId partner = pending_->partner;
   pending_.reset();
@@ -537,6 +599,7 @@ void Node::on_round_query(const sim::NetMessage& msg) {
   const PeerId initiator = decode_peer(r);
   r.expect_done();
   if (initiator.addr != msg.from) return;
+  SpanScope span(*this, "shuffle.round_query", msg.trace);
   wire::Writer w;
   encode_peer(w, state_.self());
   w.u64(state_.round());
@@ -555,10 +618,12 @@ void Node::on_round_reply(const sim::NetMessage& msg) {
   if (state_.round() != pending_->round_at_start) {
     // A leave report advanced our round since the partner draw; the proofs
     // no longer match the round we would offer. Quietly retry next period.
+    trace_end_outcome(pending_->span, "stale_round");
     pending_.reset();
     ++shuffle_epoch_;
     return;
   }
+  CtxScope trace(*this, pending_->span);
 
   {
     obs::ScopedTimer t(&metrics_, ids_.t_make_offer);
@@ -640,6 +705,7 @@ void Node::on_shuffle_offer(const sim::NetMessage& msg) {
   if (!joined_ || behavior_.refuse_shuffles) return;
   const ShuffleOffer offer = ShuffleOffer::decode(msg.payload);
   if (offer.initiator.addr != msg.from) return;
+  SpanScope span(*this, "shuffle.respond", msg.trace);
 
   // Replay defense: an initiator's offered round must move forward. The one
   // exception is a retransmission of the exact offer we already committed —
@@ -651,15 +717,18 @@ void Node::on_shuffle_offer(const sim::NetMessage& msg) {
     if (offer.initiator_round == *floor) {
       if (const auto* cached = response_cache_.find(offer.initiator.addr);
           cached != nullptr && cached->first == offer.initiator_round) {
+        span.attr("outcome", "resend_cached");
         send(msg.from, MsgType::kShuffleResponse, cached->second);
         return;
       }
     }
     metrics_.add(ids_.shuffles_rejected);
+    span.attr("outcome", "rejected_replay");
     reject(2);
     return;
   }
   if (pending_.has_value()) {
+    span.attr("outcome", "busy");
     reject(1);
     return;
   }
@@ -667,6 +736,7 @@ void Node::on_shuffle_offer(const sim::NetMessage& msg) {
   // Benign race: our round advanced after we handed out the nonce (we
   // shuffled or recorded a leave in between). Not a protocol violation.
   if (offer.responder_round != state_.round()) {
+    span.attr("outcome", "stale_round");
     reject(1);
     return;
   }
@@ -679,6 +749,7 @@ void Node::on_shuffle_offer(const sim::NetMessage& msg) {
       metrics_.add(ids_.shuffles_rejected);
       metrics_.add(ids_.verification_failures);
       metrics_.add(metrics_.counter(std::string("node.reject.") + error_tag(be)));
+      span.attr("outcome", "bad_body_sig");
       reject(2);
       return;
     }
@@ -693,6 +764,8 @@ void Node::on_shuffle_offer(const sim::NetMessage& msg) {
     metrics_.add(ids_.shuffles_rejected);
     metrics_.add(ids_.verification_failures);
     metrics_.add(metrics_.counter(std::string("node.reject.") + error_tag(v.code)));
+    span.attr("outcome", "verify_failed");
+    span.attr("reject", error_tag(v.code));
     if (acct()) {
       // The offer is body-signed yet fails a check an honest node can never
       // fail (the only stateful check — the round-nonce echo — was handled
@@ -719,6 +792,7 @@ void Node::on_shuffle_offer(const sim::NetMessage& msg) {
     if (quarantined_.contains(msg.from)) {
       // The cross-check just convicted the initiator (history equivocation):
       // do not commit a shuffle against the forked history.
+      span.attr("outcome", "equivocation");
       reject(2);
       return;
     }
@@ -740,6 +814,7 @@ void Node::on_shuffle_offer(const sim::NetMessage& msg) {
   const Bytes payload = resp.encode();
   metrics_.add(ids_.history_suffix_bytes, payload.size());
   response_cache_.put(offer.initiator.addr, {offer.initiator_round, payload});
+  span.attr("outcome", "committed");
   send(msg.from, MsgType::kShuffleResponse, payload);
 }
 
@@ -747,6 +822,7 @@ void Node::on_shuffle_response(const sim::NetMessage& msg) {
   if (!pending_ || !pending_->offer_sent || msg.from != pending_->partner.addr) return;
   finish_rpc(pending_->offer_rpc);
   pending_->offer_rpc = 0;
+  CtxScope trace(*this, pending_->span);
   const ShuffleResponse resp = ShuffleResponse::decode(msg.payload);
   Bytes offer_wire;
   if (acct()) {
@@ -803,6 +879,7 @@ void Node::on_shuffle_response(const sim::NetMessage& msg) {
   purge_reported_leavers();
   metrics_.add(ids_.shuffles_completed);
   partner_failures_.erase(msg.from);
+  trace_end_outcome(pending_->span, "completed");
   pending_.reset();
   ++shuffle_epoch_;
 }
@@ -1021,6 +1098,9 @@ void Node::open_channel(const std::string& consumer_addr, ChannelReadyCallback o
   ch.id = id;
   ch.consumer.addr = consumer_addr;
   ch.on_ready = std::move(on_ready);
+  ch.span = trace_begin("channel", {});
+  trace_attr(ch.span, "consumer", consumer_addr);
+  trace_attr(ch.span, "channel", std::to_string(id));
   producer_channels_[id] = std::move(ch);
 
   // Setup deadline: discovery + exchange + invites must complete within a
@@ -1032,6 +1112,7 @@ void Node::open_channel(const std::string& consumer_addr, ChannelReadyCallback o
         const auto it = producer_channels_.find(id);
         if (it == producer_channels_.end() || it->second.ready) return;
         finish_channel_rpcs(it->second);
+        trace_end_outcome(it->second.span, "timed_out");
         auto cb = std::move(it->second.on_ready);
         producer_channels_.erase(it);
         if (cb) cb(id, false);
@@ -1047,6 +1128,7 @@ void Node::open_channel(const std::string& consumer_addr, ChannelReadyCallback o
     encode_peer(w, state_.self());
     w.u64(it->second.my_round);
     encode_peer_list(w, it->second.my_neighborhood);
+    CtxScope trace(*this, it->second.span);
     it->second.request_rpc = send_rpc(consumer_addr, MsgType::kChannelRequest,
                                       std::move(w).take(), config_.channel_retry);
   });
@@ -1084,7 +1166,10 @@ void Node::on_channel_request(const sim::NetMessage& msg) {
   ch.producer_neighborhood = std::move(producer_nbh);
   consumer_channels_[id] = std::move(ch);
 
-  discover_neighborhood([this, id, producer](std::vector<PeerId> mine) {
+  // Discovery is asynchronous; carry the request's causal context into the
+  // callback so the accept leg stays on the producer's channel trace.
+  const obs::TraceContext req_ctx = msg.trace;
+  discover_neighborhood([this, id, producer, req_ctx](std::vector<PeerId> mine) {
     auto it = consumer_channels_.find(id);
     if (it == consumer_channels_.end()) return;
     ConsumerChannel& ch = it->second;
@@ -1105,6 +1190,8 @@ void Node::on_channel_request(const sim::NetMessage& msg) {
     encode_peer_list(w, draw.sample);
     encode_bytes_list(w, draw.proofs);
     ch.accept_payload = std::move(w).take();
+    SpanScope span(*this, "channel.accept", req_ctx);
+    span.attr("witness_draw", std::to_string(ch.witnesses.size()));
     send(producer.addr, MsgType::kChannelAccept, ch.accept_payload);
   });
 }
@@ -1134,6 +1221,7 @@ void Node::on_channel_accept(const sim::NetMessage& msg) {
   ch.request_rpc = 0;
   ch.consumer = consumer;
   ch.consumer_round = consumer_round;
+  SpanScope span(*this, "channel.finalize", msg.trace);
 
   const auto plan = plan_witness_group(ch.my_neighborhood, consumer_nbh, state_.self(),
                                        consumer, config_.witness_count);
@@ -1143,6 +1231,8 @@ void Node::on_channel_accept(const sim::NetMessage& msg) {
                                       consumer_draw);
       !v) {
     metrics_.add(ids_.verification_failures);
+    span.attr("outcome", "verify_failed");
+    trace_end_outcome(ch.span, "failed");
     if (ch.on_ready) ch.on_ready(id, false);
     producer_channels_.erase(it);
     return;
@@ -1174,6 +1264,7 @@ void Node::on_channel_accept(const sim::NetMessage& msg) {
         send_rpc(w_id.addr, MsgType::kWitnessInvite, invite, config_.channel_retry);
   }
   if (ch.witnesses.empty() && ch.on_ready) {
+    trace_end_outcome(ch.span, "no_witnesses");
     ch.on_ready(id, false);
     producer_channels_.erase(it);
   }
@@ -1192,6 +1283,7 @@ void Node::on_channel_finalize(const sim::NetMessage& msg) {
   if (it == consumer_channels_.end() || it->second.producer.addr != msg.from) return;
   ConsumerChannel& ch = it->second;
   if (ch.ready) return;  // duplicate finalize: the merge already happened
+  SpanScope span(*this, "channel.apply", msg.trace);
 
   // The producer's neighborhood must match what it sent at request time
   // (otherwise it could shop for a candidate set after seeing our draw).
@@ -1214,6 +1306,7 @@ void Node::on_channel_finalize(const sim::NetMessage& msg) {
   }
   ch.witnesses = merge_witnesses(producer_draw, ch.witnesses);
   ch.ready = true;
+  span.attr("witnesses", std::to_string(ch.witnesses.size()));
 }
 
 void Node::on_witness_invite(const sim::NetMessage& msg) {
@@ -1223,6 +1316,7 @@ void Node::on_witness_invite(const sim::NetMessage& msg) {
   const PeerId consumer = decode_peer(r);
   r.expect_done();
   if (producer.addr != msg.from) return;
+  SpanScope span(*this, "channel.witness_ack", msg.trace);
   relay_duties_[id] = RelayDuty{producer, consumer};
   wire::Writer w;
   w.u64(id);
@@ -1273,6 +1367,7 @@ void Node::on_witness_ack(const sim::NetMessage& msg) {
   if (!ch.acked.insert(msg.from).second) return;
   if (ch.acked.size() >= ch.witnesses.size()) {
     ch.ready = true;
+    trace_end_outcome(ch.span, "ready");
     schedule_witness_health();
     if (ch.on_ready) ch.on_ready(id, true);
   }
@@ -1284,6 +1379,10 @@ void Node::send_data(std::uint64_t channel_id, Bytes payload) {
   AN_ENSURE_MSG(it->second.ready, "channel not ready");
   ProducerChannel& ch = it->second;
   const std::uint64_t seq = ch.next_seq++;
+  const std::uint64_t relay_span = trace_begin("relay", {});
+  trace_attr(relay_span, "channel", std::to_string(channel_id));
+  trace_attr(relay_span, "seq", std::to_string(seq));
+  CtxScope trace(*this, relay_span);
   wire::Writer w;
   w.u64(channel_id);
   w.u64(seq);
@@ -1299,6 +1398,8 @@ void Node::send_data(std::uint64_t channel_id, Bytes payload) {
   for (const auto& witness : ch.witnesses) {
     send_blind(witness.addr, MsgType::kDataRelay, msg, config_.blind_retry);
   }
+  // The produce leg ends here; witness/consumer legs extend the same trace.
+  trace_end(relay_span);
 }
 
 void Node::on_data_relay(const sim::NetMessage& msg) {
@@ -1311,6 +1412,8 @@ void Node::on_data_relay(const sim::NetMessage& msg) {
   r.expect_done();
   const auto it = relay_duties_.find(id);
   if (it == relay_duties_.end() || it->second.producer.addr != msg.from) return;
+  SpanScope span(*this, "relay.forward", msg.trace);
+  span.attr("seq", std::to_string(seq));
 
   if (acct()) {
     // An unattributable relay (no valid producer header) never enters the
@@ -1321,6 +1424,7 @@ void Node::on_data_relay(const sim::NetMessage& msg) {
                           relay_header_payload(id, seq, digest_of(payload)),
                           header_sig)) {
       metrics_.add(metrics_.counter("acc.relay.bad_header"));
+      span.attr("outcome", "bad_header");
       return;
     }
   }
@@ -1345,9 +1449,13 @@ void Node::on_data_relay(const sim::NetMessage& msg) {
   }
   evidence_.record(state_.signer(), id, seq, logged);
 
-  if (behavior_.drop_relays) return;
+  if (behavior_.drop_relays) {
+    span.attr("outcome", "dropped");
+    return;
+  }
   if (adversary_.drop_relays && adv_rng_.uniform01() < adversary_.attack_rate) {
     metrics_.add(metrics_.counter("adv.attack.drop_relay"));
+    span.attr("outcome", "dropped");
     return;
   }
   if (behavior_.corrupt_relays) {
@@ -1390,6 +1498,9 @@ void Node::on_data_forward(const sim::NetMessage& msg) {
   const auto wit = std::find_if(ch.witnesses.begin(), ch.witnesses.end(),
                                 [&](const PeerId& w) { return w.addr == msg.from; });
   if (wit == ch.witnesses.end()) return;
+  SpanScope span(*this, "relay.deliver", msg.trace);
+  span.attr("seq", std::to_string(seq));
+  span.attr("witness", msg.from);
 
   auto& tally = ch.pending[seq];
   if (tally.delivered) return;
@@ -1434,6 +1545,7 @@ void Node::on_data_forward(const sim::NetMessage& msg) {
         acc.sig_a = forward_sig;
         raise_accusation(std::move(acc));
       }
+      span.attr("outcome", "tampered");
       return;  // a tampered payload never counts toward delivery
     }
   }
@@ -1461,6 +1573,12 @@ void Node::maybe_deliver(ConsumerChannel& ch, std::uint64_t seq) {
                                                 : tally.total >= group;
   if (!deliver_now) return;
   tally.delivered = true;
+  if (tracer_ != nullptr) {
+    // Instant marker on whichever forward tipped the tally over.
+    const std::uint64_t s = trace_begin("relay.delivered", trace_ctx_);
+    trace_attr(s, "votes", std::to_string(best->second.first));
+    trace_end(s);
+  }
   if (on_delivery_) {
     on_delivery_(ch.id, seq, best->second.second, ch.producer);
   }
@@ -1754,6 +1872,12 @@ void Node::raise_accusation(Accusation acc) {
   if (!accusations_seen_.insert(key)) return;  // already raised
   metrics_.add(metrics_.counter(std::string("acc.accuse.created.") +
                                 accusation_kind_tag(acc.kind)));
+  // Forensics: the accusation span is a child of whatever operation exposed
+  // the misbehaviour (the relay/shuffle trace), so the whole dispute — accuse,
+  // gossip, every peer's quarantine and evict — shares that trace id.
+  SpanScope span(*this, "accuse.raise", trace_ctx_);
+  span.attr("kind", accusation_kind_tag(acc.kind));
+  span.attr("accused", acc.accused.addr);
   accept_accusation(acc);
   gossip_accusation(acc, /*skip_addr=*/"");
 }
@@ -1767,6 +1891,12 @@ void Node::accept_accusation(const Accusation& acc) {
     metrics_.add(metrics_.counter("acc.evict.peers"));
     metrics_.add(metrics_.counter(std::string("acc.evict.") +
                                   accusation_kind_tag(acc.kind)));
+    if (tracer_ != nullptr) {
+      const std::uint64_t s = trace_begin("accuse.evict", trace_ctx_);
+      trace_attr(s, "peer", acc.accused.addr);
+      trace_attr(s, "accusers", std::to_string(rec.accusers.size()));
+      trace_end(s);
+    }
   }
 }
 
@@ -1788,6 +1918,12 @@ void Node::quarantine_peer(const PeerId& peer, const char* kind_tag) {
   if (!quarantined_.insert(peer.addr).second) return;
   metrics_.add(metrics_.counter("acc.quarantine.peers"));
   metrics_.add(metrics_.counter(std::string("acc.quarantine.") + kind_tag));
+  if (tracer_ != nullptr) {
+    const std::uint64_t s = trace_begin("accuse.quarantine", trace_ctx_);
+    trace_attr(s, "peer", peer.addr);
+    trace_attr(s, "kind", kind_tag);
+    trace_end(s);
+  }
   if (pending_ && pending_->partner.addr == peer.addr) {
     abort_shuffle(/*partner_suspect=*/false);
   }
@@ -1811,9 +1947,12 @@ void Node::start_omission_challenge(Accusation acc) {
   if (!active_challenges_.insert(key).second) return;
   metrics_.add(metrics_.counter("acc.challenge.started"));
   const auto shared = std::make_shared<Accusation>(std::move(acc));
+  // The verdict lands asynchronously; keep it on the challenge's trace.
+  const obs::TraceContext challenge_ctx = trace_ctx_;
   request_testimony_internal(
       shared->accused.addr, shared->channel_id, shared->sequence,
-      [this, key, shared](bool replied, std::optional<Testimony>) {
+      [this, key, shared, challenge_ctx](bool replied, std::optional<Testimony>) {
+        CtxScope trace(*this, challenge_ctx);
         active_challenges_.erase(key);
         if (replied) {
           // Any answer — even "no record" — clears the omission charge: the
@@ -1851,6 +1990,11 @@ void Node::run_consumer_audit(std::uint64_t channel_id, std::uint64_t seq) {
   const auto tit = ch.pending.find(seq);
   if (tit == ch.pending.end()) return;
   auto& tally = tit->second;
+  // Audits run from a timer, so they root a fresh trace; accusations raised
+  // below (and their gossip fan-out) all hang off it.
+  SpanScope span(*this, "audit", {});
+  span.attr("channel", std::to_string(channel_id));
+  span.attr("seq", std::to_string(seq));
 
   // The delivered majority fixes the authoritative digest for this sequence;
   // a header-verified forward that carried it anchors the omission proofs.
@@ -1904,10 +2048,12 @@ void Node::run_consumer_audit(std::uint64_t channel_id, std::uint64_t seq) {
     if (quarantined_.contains(w.addr)) continue;
     const PeerId witness = w;
     const ConsumerChannel::Tally::ForwardRec rec = fit->second;
+    const obs::TraceContext audit_ctx = trace_ctx_;
     request_testimony_internal(
         w.addr, channel_id, seq,
-        [this, witness, channel_id, seq, rec](bool replied,
-                                              std::optional<Testimony> t) {
+        [this, witness, channel_id, seq, rec, audit_ctx](bool replied,
+                                                         std::optional<Testimony> t) {
+          CtxScope trace(*this, audit_ctx);
           if (!replied || !t) return;  // silence is the omission path's job
           if (!(t->witness == witness) || !verify_testimony(*t, provider_)) return;
           const Bytes tdig(t->digest.begin(), t->digest.end());
@@ -1939,6 +2085,9 @@ void Node::on_accusation(const sim::NetMessage& msg) {
   if (!acct()) return;
   if (!accusations_seen_.insert(hex_of(dig))) return;
   metrics_.add(metrics_.counter("acc.accuse.received"));
+  SpanScope span(*this, "accuse.receive", msg.trace);
+  span.attr("kind", accusation_kind_tag(acc.kind));
+  span.attr("accused", acc.accused.addr);
   if (acc.accused == state_.self()) {
     // An indictment of ourselves: nothing to apply locally (honest nodes
     // never see one that verifies; the counter feeds the framing tests).
@@ -2023,9 +2172,11 @@ void Node::on_testimony_query(const sim::NetMessage& msg) {
     metrics_.add(metrics_.counter("adv.attack.withhold_testimony"));
     return;
   }
+  SpanScope span(*this, "testimony.serve", msg.trace);
   wire::Writer w;
   w.u64(request);
   const auto t = evidence_.lookup(channel_id, sequence);
+  span.attr("has_record", t.has_value() ? "1" : "0");
   // A lying witness presents its (fabricated) log faithfully — the lie
   // happened at record time; the query service itself is honest bookkeeping.
   w.u8(t.has_value() ? 1 : 0);

@@ -14,6 +14,18 @@ void DisputeResolver::resolve(Request request, DoneCallback done) {
   pending->outstanding = pending->request.witnesses.size();
   in_flight_.push_back(pending);
 
+  if (obs::Tracer* tracer = node_.tracer(); tracer != nullptr) {
+    pending->span = tracer->begin_span("dispute.resolve", node_.id().addr,
+                                       node_.simulator().now(),
+                                       pending->request.trace);
+    tracer->attr(pending->span, "channel",
+                 std::to_string(pending->request.channel_id));
+    tracer->attr(pending->span, "seq",
+                 std::to_string(pending->request.sequence));
+    tracer->attr(pending->span, "witnesses",
+                 std::to_string(pending->request.witnesses.size()));
+  }
+
   auto finalize = [this, pending] {
     if (pending->finished) return;
     pending->finished = true;
@@ -24,6 +36,12 @@ void DisputeResolver::resolve(Request request, DoneCallback done) {
         pending->request.channel_id, pending->request.sequence,
         pending->request.producer_claim, pending->request.consumer_claim,
         pending->testimonies, pending->request.witnesses.size(), provider_);
+    if (obs::Tracer* tracer = node_.tracer();
+        tracer != nullptr && pending->span != 0) {
+      tracer->attr(pending->span, "verdict", verdict_tag(outcome.resolution.verdict));
+      tracer->attr(pending->span, "responded", std::to_string(outcome.responded));
+      tracer->end_span(pending->span, node_.simulator().now());
+    }
     std::erase(in_flight_, pending);
     pending->done(std::move(outcome));
   };
@@ -36,6 +54,12 @@ void DisputeResolver::resolve(Request request, DoneCallback done) {
   // queries are still outstanding (their late answers then no-op).
   if (deadline_ > 0) {
     node_.simulator().schedule(deadline_, finalize);
+  }
+  // Route the testimony queries through the dispute span so each witness's
+  // testimony.serve leg lands on the dispute's trace.
+  const obs::TraceContext saved = node_.trace_context();
+  if (node_.tracer() != nullptr && pending->span != 0) {
+    node_.set_trace_context(node_.tracer()->context(pending->span));
   }
   for (const auto& witness : pending->request.witnesses) {
     node_.request_testimony(
@@ -53,6 +77,7 @@ void DisputeResolver::resolve(Request request, DoneCallback done) {
           if (pending->outstanding == 0) finalize();
         });
   }
+  node_.set_trace_context(saved);
 }
 
 }  // namespace accountnet::core

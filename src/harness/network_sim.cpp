@@ -218,8 +218,24 @@ void NetworkSim::do_shuffle(std::size_t idx) {
   const std::size_t pidx = index_of(choice->partner);
   HarnessNode& partner = *nodes_[pidx];
 
+  // Root span for the synchronous exchange; ended with an outcome tag on
+  // every exit path below.
+  std::uint64_t root = 0;
+  if (tracer_ != nullptr) {
+    root = tracer_->begin_span("shuffle", hn.state->self().addr, sim_.now(), {});
+    tracer_->attr(root, "partner", choice->partner.addr);
+    tracer_->attr(root, "round", std::to_string(hn.state->round()));
+  }
+  const auto end_root = [&](const char* outcome) {
+    if (root != 0) {
+      tracer_->attr(root, "outcome", outcome);
+      tracer_->end_span(root, sim_.now());
+    }
+  };
+
   if (!partner.alive) {
     ++stats_.dead_partner_hits;
+    end_root("dead_partner");
     handle_dead_partner(idx, pidx);
     return;
   }
@@ -228,6 +244,7 @@ void NetworkSim::do_shuffle(std::size_t idx) {
     // A quarantined pair refuses contact in either direction (mirrors
     // core::Node's inbound drop); the initiator burns the round.
     ++stats_.byz_refused_quarantined;
+    end_root("refused_quarantined");
     hn.state->skip_round();
     return;
   }
@@ -235,6 +252,7 @@ void NetworkSim::do_shuffle(std::size_t idx) {
       partner.malicious != hn.malicious) {
     // Cross-coalition contact is refused; the initiator burns the round.
     ++stats_.refused_cross_group;
+    end_root("refused_cross_group");
     hn.state->skip_round();
     return;
   }
@@ -255,6 +273,7 @@ void NetworkSim::do_shuffle(std::size_t idx) {
         leg(a, b, core::MsgType::kShuffleOffer) ||
         leg(b, a, core::MsgType::kShuffleResponse)) {
       ++stats_.fault_failures;
+      end_root("fault");
       hn.state->skip_round();
       return;
     }
@@ -267,6 +286,22 @@ void NetworkSim::do_shuffle(std::size_t idx) {
   if (attacked) ++stats_.byz_attacks;
   history_samples_.add(static_cast<double>(offer.history_suffix.size()));
 
+  // Partner leg: verify + commit happen on the responder, so they get their
+  // own child span under the initiator's root.
+  std::uint64_t respond = 0;
+  obs::TraceContext root_ctx;
+  if (root != 0) {
+    root_ctx = tracer_->context(root);
+    respond = tracer_->begin_span("shuffle.respond", partner.state->self().addr,
+                                  sim_.now(), root_ctx);
+  }
+  const auto end_respond = [&](const char* outcome) {
+    if (respond != 0) {
+      tracer_->attr(respond, "outcome", outcome);
+      tracer_->end_span(respond, sim_.now());
+    }
+  };
+
   const bool verify = rng_.chance(config_.verify_fraction);
   if (verify) {
     ++stats_.shuffles_verified;
@@ -276,23 +311,29 @@ void NetworkSim::do_shuffle(std::size_t idx) {
         // initiator. Honest failures stay in verification_failures so the
         // "MUST stay 0 with honest nodes" invariant keeps its teeth.
         ++stats_.byz_detections;
-        quarantine(partner, hn.state->self());
+        quarantine(partner, hn.state->self(),
+                   respond != 0 ? tracer_->context(respond) : root_ctx);
       } else {
         ++stats_.verification_failures;
       }
+      end_respond("verify_failed");
+      end_root("rejected");
       hn.state->skip_round();
       return;
     }
   }
   const auto response = core::make_response_and_commit(*partner.state, offer);
+  end_respond("committed");
   if (verify) {
     if (const auto v = core::verify_response(response, *hn.state, offer, *provider_); !v) {
       ++stats_.verification_failures;
+      end_root("response_rejected");
       hn.state->skip_round();
       return;
     }
   }
   core::apply_offer_outcome(*hn.state, offer, response);
+  end_root("completed");
   ++stats_.shuffles_completed;
   ++shuffle_delta_;
 
@@ -359,9 +400,16 @@ bool NetworkSim::apply_adversary(HarnessNode& hn, core::ShuffleOffer& offer,
   return mutated;
 }
 
-void NetworkSim::quarantine(HarnessNode& observer, const core::PeerId& accused) {
+void NetworkSim::quarantine(HarnessNode& observer, const core::PeerId& accused,
+                            obs::TraceContext ctx) {
   if (!observer.quarantined.insert(accused.addr).second) return;
   ++stats_.byz_quarantines;
+  if (tracer_ != nullptr) {
+    const std::uint64_t s = tracer_->begin_span(
+        "accuse.quarantine", observer.state->self().addr, sim_.now(), ctx);
+    tracer_->attr(s, "peer", accused.addr);
+    tracer_->end_span(s, sim_.now());
+  }
   // Quarantine doubles as a local leave record so the accused drains from
   // the observer's peerset and the zombie purge keeps it out.
   record_leave(observer, accused);

@@ -86,6 +86,7 @@ void SimNetwork::set_metrics(obs::MetricsRegistry* registry, TypeNamer namer) {
   metrics_ = registry;
   namer_ = std::move(namer);
   per_type_.clear();  // ids belong to the previous registry
+  ring_gauges_ready_ = false;
 }
 
 const SimNetwork::TypeMetrics& SimNetwork::type_metrics(std::uint32_t type) {
@@ -118,23 +119,42 @@ void SimNetwork::count_fault(FaultKind kind, std::uint32_t type) {
   metrics_->add(it->second);
 }
 
-void SimNetwork::deliver_after(Duration delay, NetMessage msg) {
-  sim_.schedule(delay, [this, m = std::move(msg)]() {
+std::uint64_t SimNetwork::begin_hop_span(const NetMessage& msg) {
+  if (tracer_ == nullptr || !msg.trace.valid()) return 0;
+  const std::string name = namer_ ? namer_(msg.type) : "type_" + std::to_string(msg.type);
+  const std::uint64_t span = tracer_->begin_span("net." + name, "net", sim_.now(), msg.trace);
+  tracer_->attr(span, "from", msg.from);
+  tracer_->attr(span, "to", msg.to);
+  tracer_->attr_u64(span, "bytes", msg.payload.size());
+  return span;
+}
+
+void SimNetwork::end_hop_span(std::uint64_t hop_span, const char* outcome) {
+  if (tracer_ == nullptr || hop_span == 0) return;
+  if (outcome != nullptr) tracer_->attr(hop_span, "outcome", outcome);
+  tracer_->end_span(hop_span, sim_.now());
+}
+
+void SimNetwork::deliver_after(Duration delay, NetMessage msg, std::uint64_t hop_span) {
+  sim_.schedule(delay, [this, m = std::move(msg), hop_span]() {
     // A crash window that opened while the message was in flight still
     // swallows it: delivery requires the destination to be up *now*.
     if (faults_ && faults_->crashed(m.to, sim_.now())) {
       ++stats_.faults_dropped;
       count_fault(FaultKind::kCrash, m.type);
+      end_hop_span(hop_span, "crash");
       return;
     }
     const auto it = endpoints_.find(m.to);
     if (it == endpoints_.end()) {
       ++stats_.messages_dropped;
       if (metrics_ != nullptr) metrics_->add(type_metrics(m.type).dropped);
+      end_hop_span(hop_span, "unreachable");
       return;
     }
     ++stats_.messages_delivered;
     if (metrics_ != nullptr) metrics_->add(type_metrics(m.type).received);
+    end_hop_span(hop_span, nullptr);
     it->second(m);
   });
 }
@@ -150,12 +170,23 @@ void SimNetwork::send(NetMessage msg) {
   if (trace_ != nullptr) {
     trace_->push({sim_.now(), msg.type, msg.payload.size(), 0,
                   msg.from + "->" + msg.to});
+    if (metrics_ != nullptr) {
+      if (!ring_gauges_ready_) {
+        ring_size_id_ = metrics_->gauge("obs.trace.size");
+        ring_dropped_id_ = metrics_->gauge("obs.trace.dropped");
+        ring_gauges_ready_ = true;
+      }
+      metrics_->set(ring_size_id_, static_cast<double>(trace_->size()));
+      metrics_->set(ring_dropped_id_, static_cast<double>(trace_->dropped()));
+    }
   }
+  const std::uint64_t hop_span = begin_hop_span(msg);
   FaultDecision fault;
   if (faults_) fault = faults_->decide(msg.from, msg.to, msg.type, sim_.now());
   if (fault.drop) {
     ++stats_.faults_dropped;
     count_fault(fault.drop_kind, msg.type);
+    end_hop_span(hop_span, "fault_drop");
     return;
   }
   if (fault.extra_delay > 0) {
@@ -165,10 +196,11 @@ void SimNetwork::send(NetMessage msg) {
   if (fault.duplicate) {
     ++stats_.faults_duplicated;
     count_fault(FaultKind::kDup, msg.type);
-    // The copy samples its own latency, so it races the original.
-    deliver_after(latency_->sample(rng_) + fault.dup_extra_delay, msg);
+    // The copy samples its own latency, so it races the original; only the
+    // original closes the hop span.
+    deliver_after(latency_->sample(rng_) + fault.dup_extra_delay, msg, 0);
   }
-  deliver_after(latency_->sample(rng_) + fault.extra_delay, std::move(msg));
+  deliver_after(latency_->sample(rng_) + fault.extra_delay, std::move(msg), hop_span);
 }
 
 Duration SimNetwork::sample_delay() {

@@ -1,0 +1,46 @@
+#include "accountnet/wire/envelope.hpp"
+
+namespace accountnet::wire {
+
+Bytes encode_envelope(const Envelope& e) {
+  Writer w;
+  w.u8(kEnvelopeV2);
+  w.str(e.from);
+  w.str(e.to);
+  w.u32(e.type);
+  w.u64(e.trace_id);
+  w.u64(e.parent_span);
+  w.bytes(e.payload);
+  return std::move(w).take();
+}
+
+Bytes encode_envelope_v1(const Envelope& e) {
+  Writer w;
+  w.u8(kEnvelopeV1);
+  w.str(e.from);
+  w.str(e.to);
+  w.u32(e.type);
+  w.bytes(e.payload);
+  return std::move(w).take();
+}
+
+Envelope decode_envelope(BytesView data) {
+  Reader r(data);
+  const std::uint8_t version = r.u8();
+  if (version != kEnvelopeV1 && version != kEnvelopeV2) {
+    throw DecodeError("envelope: unknown version " + std::to_string(version));
+  }
+  Envelope e;
+  e.from = r.str();
+  e.to = r.str();
+  e.type = r.u32();
+  if (version >= kEnvelopeV2) {
+    e.trace_id = r.u64();
+    e.parent_span = r.u64();
+  }
+  e.payload = r.bytes();
+  r.expect_done();
+  return e;
+}
+
+}  // namespace accountnet::wire

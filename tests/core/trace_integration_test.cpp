@@ -1,0 +1,377 @@
+// Cross-node causal tracing over the event-driven stack: a shuffle round, a
+// witness-group formation, and an accuse → quarantine → evict pipeline must
+// each reconstruct as ONE connected span tree spanning several nodes, dispute
+// resolution links onto the originating trace, and an attached tracer must
+// not perturb any seeded protocol outcome.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "accountnet/core/accusation.hpp"
+#include "accountnet/core/node.hpp"
+#include "accountnet/core/resolver.hpp"
+#include "accountnet/obs/span.hpp"
+#include "accountnet/util/bytes.hpp"
+#include "accountnet/util/rng.hpp"
+#include "test_util.hpp"
+
+namespace accountnet::core {
+namespace {
+
+struct TraceNet {
+  explicit TraceNet(std::uint64_t tracer_seed = 0)
+      : net(sim, sim::netem_latency(), 77) {
+    config.protocol.max_peerset = 4;
+    config.protocol.shuffle_length = 2;
+    config.shuffle_period = sim::seconds(2);
+    config.witness_count = 4;
+    config.majority_opt = true;
+    config.depth = 2;
+    config.accountability.enabled = true;
+    for (std::size_t i = 0; i < 24; ++i) {
+      Bytes seed(32);
+      Rng rng(7000 + i);
+      for (auto& b : seed) b = static_cast<std::uint8_t>(rng.next_u64());
+      nodes.push_back(std::make_unique<Node>(net, "t" + std::to_string(100 + i),
+                                             *provider, seed, config, rng.next_u64()));
+    }
+    nodes[0]->start_as_seed();
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+      sim.schedule(sim::milliseconds(static_cast<std::int64_t>(40 * i)),
+                   [this, i] { nodes[i]->start_join(nodes[i - 1]->id().addr); });
+    }
+    sim.run_until(sim::seconds(40));  // settle before attaching the tracer
+    if (tracer_seed != 0) {
+      tracer = std::make_unique<obs::Tracer>(tracer_seed);
+      attach(tracer.get());
+    }
+  }
+
+  void attach(obs::Tracer* t) {
+    net.set_tracer(t);
+    for (auto& n : nodes) n->set_tracer(t);
+  }
+
+  std::unique_ptr<crypto::Signer> signer_for(std::size_t i) const {
+    Bytes seed(32);
+    Rng rng(7000 + i);
+    for (auto& b : seed) b = static_cast<std::uint8_t>(rng.next_u64());
+    return provider->make_signer(seed);
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<crypto::CryptoProvider> provider = crypto::make_fast_crypto();
+  sim::SimNetwork net;
+  Node::Config config;
+  std::vector<std::unique_ptr<Node>> nodes;
+  std::unique_ptr<obs::Tracer> tracer;
+};
+
+/// Every span reaches the root through parent links inside the tree.
+bool connected(const obs::TraceTree& t) {
+  if (t.root == nullptr || t.root->parent_span != 0) return false;
+  std::set<std::uint64_t> ids;
+  for (const obs::Span* s : t.spans) ids.insert(s->span_id);
+  return std::all_of(t.spans.begin(), t.spans.end(), [&](const obs::Span* s) {
+    return s == t.root || ids.contains(s->parent_span);
+  });
+}
+
+/// Distinct participant addresses, excluding the fabric's "net" hop track.
+std::set<std::string> participants(const obs::TraceTree& t) {
+  std::set<std::string> out;
+  for (const obs::Span* s : t.spans) {
+    if (s->node != "net") out.insert(s->node);
+  }
+  return out;
+}
+
+const obs::Span* find_span(const obs::TraceTree& t, const std::string& name) {
+  for (const obs::Span* s : t.spans) {
+    if (s->name == name) return s;
+  }
+  return nullptr;
+}
+
+bool has_outcome(const obs::Span& s, const std::string& want) {
+  const std::string* o = s.find_attr("outcome");
+  return o != nullptr && *o == want;
+}
+
+TEST(TraceIntegration, ShuffleRoundIsOneConnectedCrossNodeTree) {
+  TraceNet tn(101);
+  tn.sim.run_until(tn.sim.now() + sim::seconds(8));
+
+  const auto traces = obs::build_traces(tn.tracer->spans());
+  const obs::TraceTree* completed = nullptr;
+  for (const auto& t : traces) {
+    if (t.root != nullptr && t.root->name == "shuffle" &&
+        has_outcome(*t.root, "completed")) {
+      completed = &t;
+      break;
+    }
+  }
+  ASSERT_NE(completed, nullptr) << "no completed shuffle trace in 8 s";
+  EXPECT_TRUE(connected(*completed));
+  EXPECT_GE(participants(*completed).size(), 2u);
+
+  const obs::Span* respond = find_span(*completed, "shuffle.respond");
+  ASSERT_NE(respond, nullptr);
+  EXPECT_NE(respond->node, completed->root->node);  // partner, not initiator
+  EXPECT_TRUE(has_outcome(*respond, "committed"));
+  EXPECT_NE(completed->root->find_attr("partner"), nullptr);
+}
+
+TEST(TraceIntegration, WitnessGroupFormationIsOneConnectedTree) {
+  TraceNet tn(102);
+  Node& producer = *tn.nodes[1];
+  Node& consumer = *tn.nodes[20];
+  std::optional<std::uint64_t> channel;
+  producer.open_channel(consumer.id().addr, [&](std::uint64_t id, bool ok) {
+    if (ok) channel = id;
+  });
+  tn.sim.run_until(tn.sim.now() + sim::seconds(10));
+  ASSERT_TRUE(channel.has_value());
+
+  const auto traces = obs::build_traces(tn.tracer->spans());
+  const obs::TraceTree* formation = nullptr;
+  for (const auto& t : traces) {
+    if (t.root != nullptr && t.root->name == "channel" &&
+        t.root->node == producer.id().addr) {
+      formation = &t;
+      break;
+    }
+  }
+  ASSERT_NE(formation, nullptr);
+  EXPECT_TRUE(connected(*formation));
+  EXPECT_TRUE(has_outcome(*formation->root, "ready"));
+
+  // The formation touches producer, consumer, and at least one witness.
+  const auto nodes = participants(*formation);
+  EXPECT_GE(nodes.size(), 3u);
+  EXPECT_TRUE(nodes.contains(producer.id().addr));
+  EXPECT_TRUE(nodes.contains(consumer.id().addr));
+
+  const obs::Span* accept = find_span(*formation, "channel.accept");
+  ASSERT_NE(accept, nullptr);
+  EXPECT_EQ(accept->node, consumer.id().addr);
+  EXPECT_NE(find_span(*formation, "channel.finalize"), nullptr);
+  EXPECT_NE(find_span(*formation, "channel.apply"), nullptr);
+  const obs::Span* ack = find_span(*formation, "channel.witness_ack");
+  ASSERT_NE(ack, nullptr);
+  EXPECT_NE(ack->node, producer.id().addr);  // acked on the witness
+}
+
+TEST(TraceIntegration, RelayTamperAccusationStaysOnRelayTrace) {
+  TraceNet tn(103);
+  Node& producer = *tn.nodes[1];
+  Node& consumer = *tn.nodes[20];
+  std::optional<std::uint64_t> channel;
+  producer.open_channel(consumer.id().addr, [&](std::uint64_t id, bool ok) {
+    if (ok) channel = id;
+  });
+  tn.sim.run_until(tn.sim.now() + sim::seconds(10));
+  ASSERT_TRUE(channel.has_value());
+  const auto* witnesses = producer.channel_witnesses(*channel);
+  ASSERT_NE(witnesses, nullptr);
+  ASSERT_FALSE(witnesses->empty());
+
+  Node* cheat = nullptr;
+  for (auto& n : tn.nodes) {
+    if (n->id().addr == witnesses->front().addr) cheat = n.get();
+  }
+  ASSERT_NE(cheat, nullptr);
+  AdversaryPolicy p;
+  p.tamper_relays = true;
+  cheat->adversary() = p;
+
+  for (int t = 0; t < 20 && !consumer.is_quarantined(cheat->id().addr); ++t) {
+    producer.send_data(*channel, bytes_of("payload-" + std::to_string(t)));
+    tn.sim.run_until(tn.sim.now() + sim::seconds(2));
+  }
+  ASSERT_TRUE(consumer.is_quarantined(cheat->id().addr));
+
+  // Forensics: the accusation the consumer raised must sit on the SAME trace
+  // as the relay that exposed the tampering, and the quarantines it caused
+  // across the overlay join that trace through the gossip context.
+  const auto traces = obs::build_traces(tn.tracer->spans());
+  const obs::TraceTree* forensic = nullptr;
+  for (const auto& t : traces) {
+    if (t.root != nullptr && t.root->name == "relay" &&
+        find_span(t, "accuse.raise") != nullptr) {
+      forensic = &t;
+      break;
+    }
+  }
+  ASSERT_NE(forensic, nullptr) << "accuse.raise not linked to a relay trace";
+  EXPECT_TRUE(connected(*forensic));
+  EXPECT_EQ(forensic->root->node, producer.id().addr);
+
+  const obs::Span* raise = find_span(*forensic, "accuse.raise");
+  ASSERT_NE(raise, nullptr);
+  EXPECT_EQ(raise->node, consumer.id().addr);
+  ASSERT_NE(raise->find_attr("accused"), nullptr);
+  EXPECT_EQ(*raise->find_attr("accused"), cheat->id().addr);
+
+  // Gossip carried the trace: receive + quarantine spans on third parties.
+  const obs::Span* quarantine = find_span(*forensic, "accuse.quarantine");
+  ASSERT_NE(quarantine, nullptr);
+  EXPECT_NE(find_span(*forensic, "accuse.receive"), nullptr);
+  EXPECT_GE(participants(*forensic).size(), 3u);
+}
+
+TEST(TraceIntegration, EvictionPipelineReconstructsAsOneTree) {
+  // Threshold eviction needs two DISTINCT accusers, which a live run rarely
+  // produces before gossip quarantines the cheater network-wide; inject two
+  // crafted (genuinely signed) accusations carrying one shared trace context
+  // and check the whole accuse → quarantine → evict cascade lands in it.
+  TraceNet tn(104);
+  Node& cheater = *tn.nodes[7];
+  Node& observer = *tn.nodes[12];
+
+  auto crafted = [&](std::size_t accuser_idx, std::uint64_t round) {
+    Node& accuser = *tn.nodes[accuser_idx];
+    auto cheater_signer = tn.signer_for(7);
+    ShuffleOffer fake;
+    fake.initiator = cheater.id();
+    fake.initiator_round = round;
+    fake.initiator_round_sig = bytes_of("bogus");  // fails static verification
+    fake.body_sig = cheater_signer->sign(
+        offer_body_payload(fake.encode_core(), accuser.id()));
+
+    Accusation acc;
+    acc.kind = AccusationKind::kInvalidOffer;
+    acc.accused = cheater.id();
+    acc.accuser = accuser.id();
+    acc.items.push_back({1, fake.encode(), {}, accuser.id()});
+    acc.accuser_sig = tn.signer_for(accuser_idx)->sign(acc.signing_payload());
+    return acc;
+  };
+
+  const std::uint64_t attack =
+      tn.tracer->begin_span("attack", "harness", tn.sim.now());
+  const obs::TraceContext ctx = tn.tracer->context(attack);
+
+  tn.net.send({tn.nodes[3]->id().addr, observer.id().addr,
+               static_cast<std::uint32_t>(MsgType::kAccusation),
+               crafted(3, 41).encode(), ctx});
+  tn.sim.run_until(tn.sim.now() + sim::seconds(2));
+  ASSERT_TRUE(observer.is_quarantined(cheater.id().addr));
+  tn.net.send({tn.nodes[9]->id().addr, observer.id().addr,
+               static_cast<std::uint32_t>(MsgType::kAccusation),
+               crafted(9, 43).encode(), ctx});
+  tn.sim.run_until(tn.sim.now() + sim::seconds(4));
+  ASSERT_TRUE(observer.is_evicted(cheater.id().addr));
+  tn.tracer->end_span(attack, tn.sim.now());
+
+  const auto traces = obs::build_traces(tn.tracer->spans());
+  const obs::TraceTree* pipeline = nullptr;
+  for (const auto& t : traces) {
+    if (t.trace_id == attack) pipeline = &t;
+  }
+  ASSERT_NE(pipeline, nullptr);
+  EXPECT_TRUE(connected(*pipeline));
+
+  const obs::Span* receive = find_span(*pipeline, "accuse.receive");
+  ASSERT_NE(receive, nullptr);
+  EXPECT_EQ(receive->node, observer.id().addr);
+  EXPECT_NE(find_span(*pipeline, "accuse.quarantine"), nullptr);
+  const obs::Span* evict = find_span(*pipeline, "accuse.evict");
+  ASSERT_NE(evict, nullptr);
+  EXPECT_EQ(evict->node, observer.id().addr);
+  ASSERT_NE(evict->find_attr("peer"), nullptr);
+  EXPECT_EQ(*evict->find_attr("peer"), cheater.id().addr);
+  // Gossip from the observer pulled third parties into the same tree.
+  EXPECT_GE(participants(*pipeline).size(), 3u);
+}
+
+TEST(TraceIntegration, DisputeResolutionJoinsTheOriginatingTrace) {
+  TraceNet tn(105);
+  Node& producer = *tn.nodes[1];
+  Node& consumer = *tn.nodes[20];
+  std::optional<std::uint64_t> channel;
+  producer.open_channel(consumer.id().addr, [&](std::uint64_t id, bool ok) {
+    if (ok) channel = id;
+  });
+  tn.sim.run_until(tn.sim.now() + sim::seconds(10));
+  ASSERT_TRUE(channel.has_value());
+  const Bytes payload = bytes_of("the-actual-data");
+  producer.send_data(*channel, payload);
+  tn.sim.run_until(tn.sim.now() + sim::seconds(5));
+
+  Node& arbiter = *tn.nodes[12];
+  DisputeResolver resolver(arbiter, *tn.provider);
+  const std::uint64_t origin =
+      tn.tracer->begin_span("forensics", "harness", tn.sim.now());
+
+  DisputeResolver::Request req;
+  req.channel_id = *channel;
+  req.sequence = 1;
+  req.witnesses = *producer.channel_witnesses(*channel);
+  req.producer_claim = {producer.id(), digest_of(payload)};
+  req.consumer_claim = {consumer.id(), digest_of(payload)};
+  req.trace = tn.tracer->context(origin);
+  std::optional<DisputeResolver::Outcome> outcome;
+  resolver.resolve(req, [&](DisputeResolver::Outcome o) { outcome = std::move(o); });
+  tn.sim.run_until(tn.sim.now() + sim::seconds(10));
+  tn.tracer->end_span(origin, tn.sim.now());
+  ASSERT_TRUE(outcome.has_value());
+  ASSERT_EQ(outcome->resolution.verdict, Verdict::kClaimsAgree);
+
+  const auto traces = obs::build_traces(tn.tracer->spans());
+  const obs::TraceTree* forensic = nullptr;
+  for (const auto& t : traces) {
+    if (t.trace_id == origin) forensic = &t;
+  }
+  ASSERT_NE(forensic, nullptr);
+  EXPECT_TRUE(connected(*forensic));
+
+  const obs::Span* resolve = find_span(*forensic, "dispute.resolve");
+  ASSERT_NE(resolve, nullptr);
+  EXPECT_EQ(resolve->node, arbiter.id().addr);
+  EXPECT_TRUE(has_outcome(*resolve, "claims_agree") ||
+              (resolve->find_attr("verdict") != nullptr &&
+               *resolve->find_attr("verdict") == "claims_agree"));
+  // Witness testimony legs executed on the witnesses, inside the same trace.
+  const obs::Span* serve = find_span(*forensic, "testimony.serve");
+  ASSERT_NE(serve, nullptr);
+  EXPECT_NE(serve->node, arbiter.id().addr);
+}
+
+TEST(TraceIntegration, AttachedTracerDoesNotPerturbSeededOutcomes) {
+  // Same seeds, same scenario, tracing off vs on: every protocol-visible
+  // outcome (metrics and quarantine decisions) must be identical.
+  auto scenario = [](TraceNet& tn) {
+    Node& cheater = *tn.nodes[7];
+    AdversaryPolicy p;
+    p.bias_sample = true;
+    cheater.adversary() = p;
+    tn.sim.run_until(tn.sim.now() + sim::seconds(30));
+  };
+  TraceNet plain(0);
+  TraceNet traced(999);
+  scenario(plain);
+  scenario(traced);
+  EXPECT_GT(traced.tracer->size(), 0u);
+
+  for (std::size_t i = 0; i < plain.nodes.size(); ++i) {
+    const auto a = plain.nodes[i]->metrics().snapshot();
+    const auto b = traced.nodes[i]->metrics().snapshot();
+    ASSERT_EQ(a.size(), b.size()) << "node " << i;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].name, b[k].name) << "node " << i;
+      EXPECT_EQ(a[k].count, b[k].count) << "node " << i << " " << a[k].name;
+      EXPECT_DOUBLE_EQ(a[k].value, b[k].value) << "node " << i << " " << a[k].name;
+    }
+    for (std::size_t j = 0; j < plain.nodes.size(); ++j) {
+      EXPECT_EQ(plain.nodes[i]->is_quarantined(plain.nodes[j]->id().addr),
+                traced.nodes[i]->is_quarantined(traced.nodes[j]->id().addr))
+          << "node " << i << " vs " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace accountnet::core

@@ -219,5 +219,68 @@ TEST(NetworkSim, ShuffleRateScalesWithNetworkSize) {
   EXPECT_NEAR(mean, 300.0, 60.0);
 }
 
+TEST(NetworkSim, TracerBuildsCrossNodeShuffleTrees) {
+  obs::Tracer tracer(7);
+  NetworkSim sim(small_config());
+  sim.set_tracer(&tracer);
+  sim.run(10, nullptr);
+  ASSERT_GT(tracer.size(), 0u);
+
+  const auto traces = obs::build_traces(tracer.spans());
+  bool found = false;
+  for (const auto& t : traces) {
+    if (t.root == nullptr || t.root->name != "shuffle") continue;
+    const std::string* outcome = t.root->find_attr("outcome");
+    if (outcome == nullptr || *outcome != "completed") continue;
+    for (const obs::Span* s : t.spans) {
+      if (s->name == "shuffle.respond" && s->node != t.root->node &&
+          s->parent_span == t.root->span_id) {
+        found = true;
+      }
+    }
+    if (found) break;
+  }
+  EXPECT_TRUE(found) << "no completed shuffle trace with a cross-node respond leg";
+}
+
+TEST(NetworkSim, AdversaryDetectionLandsQuarantineSpanInShuffleTrace) {
+  auto config = small_config();
+  config.pm = 0.2;
+  config.adversary.bias_sample = true;
+  obs::Tracer tracer(9);
+  NetworkSim sim(config);
+  sim.set_tracer(&tracer);
+  sim.run(20, nullptr);
+  ASSERT_GT(sim.stats().byz_detections, 0u);
+
+  const auto traces = obs::build_traces(tracer.spans());
+  bool found = false;
+  for (const auto& t : traces) {
+    if (t.root == nullptr || t.root->name != "shuffle") continue;
+    for (const obs::Span* s : t.spans) {
+      // The responder (a different node than the cheating initiator)
+      // quarantines inside the shuffle's own trace.
+      if (s->name == "accuse.quarantine" && s->node != t.root->node) found = true;
+    }
+    if (found) break;
+  }
+  EXPECT_TRUE(found) << "no accuse.quarantine span linked to a shuffle trace";
+}
+
+TEST(NetworkSim, TracerDoesNotPerturbHarnessOutcomes) {
+  NetworkSim plain(small_config());
+  plain.run(20, nullptr);
+  obs::Tracer tracer(3);
+  NetworkSim traced(small_config());
+  traced.set_tracer(&tracer);
+  traced.run(20, nullptr);
+  EXPECT_GT(tracer.size(), 0u);
+  EXPECT_EQ(plain.stats().shuffles_completed, traced.stats().shuffles_completed);
+  EXPECT_EQ(plain.stats().shuffles_verified, traced.stats().shuffles_verified);
+  EXPECT_EQ(plain.stats().verification_failures,
+            traced.stats().verification_failures);
+  EXPECT_EQ(plain.joined_count(), traced.joined_count());
+}
+
 }  // namespace
 }  // namespace accountnet::harness

@@ -96,6 +96,45 @@ TEST(ScopedTimer, EnabledRecordsOneObservation) {
   EXPECT_EQ(r.timer_count(t), 1u);
 }
 
+// An in-flight ScopedTimer keeps the decision it took at construction:
+// flipping timing off mid-scope still records the observation, and flipping
+// it on mid-scope records nothing (the start stamp was never taken).
+TEST(ScopedTimer, DisablingMidScopeStillRecords) {
+  MetricsRegistry r;
+  r.set_timing_enabled(true);
+  const MetricId t = r.timer("t");
+  {
+    ScopedTimer s(&r, t);
+    r.set_timing_enabled(false);
+  }
+  EXPECT_EQ(r.timer_count(t), 1u);
+}
+
+TEST(ScopedTimer, EnablingMidScopeRecordsNothing) {
+  MetricsRegistry r;
+  const MetricId t = r.timer("t");
+  {
+    ScopedTimer s(&r, t);
+    r.set_timing_enabled(true);
+  }
+  EXPECT_EQ(r.timer_count(t), 0u);
+}
+
+TEST(MetricsRegistry, ResetClearsTimerDistribution) {
+  MetricsRegistry r;
+  const MetricId t = r.timer("t");
+  for (int i = 0; i < 50; ++i) r.observe_ns(t, 4000);
+  ASSERT_EQ(r.timer_count(t), 50u);
+  ASSERT_GT(r.timer_percentile_ns(t, 50), 0.0);
+  r.reset();
+  EXPECT_EQ(r.timer_count(t), 0u);
+  EXPECT_DOUBLE_EQ(r.timer_percentile_ns(t, 50), 0.0);
+  EXPECT_DOUBLE_EQ(r.timer_percentile_ns(t, 99), 0.0);
+  // The registration survives; the cell is reusable.
+  r.observe_ns(t, 1000);
+  EXPECT_EQ(r.timer_count(t), 1u);
+}
+
 TEST(MemorySink, CapturesScrapeRows) {
   MetricsRegistry r;
   const MetricId c = r.counter("events");
@@ -152,6 +191,45 @@ TEST(JsonLines, EscapesStrings) {
   EXPECT_EQ(json_escape("plain"), "plain");
   EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
   EXPECT_EQ(json_escape("line\nbreak\t"), "line\\nbreak\\t");
+}
+
+// Trace-event labels carry peer addresses and other peer-influenced bytes;
+// an adversarial label must not break the one-object-per-line contract.
+TEST(JsonLines, TraceEventEscapesAdversarialLabel) {
+  TraceEvent e;
+  e.t_us = 12;
+  e.code = 3;
+  e.a = 64;
+  e.b = 9;
+  e.label = "ev\"il\\node\n->\tn2";
+  const std::string line = to_json_line(e);
+  EXPECT_EQ(line,
+            "{\"t_us\":12,\"kind\":\"trace\",\"code\":3,\"a\":64,\"b\":9,"
+            "\"label\":\"ev\\\"il\\\\node\\n->\\tn2\"}");
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(JsonLinesSink, WritesEscapedTraceEvents) {
+  const std::string path = ::testing::TempDir() + "/obs_sink_event_test.json";
+  std::remove(path.c_str());
+  {
+    JsonLinesSink sink(path);
+    sink.event({5, 1, 2, 3, "plain"});
+    sink.event({6, 1, 2, 3, "with \"quotes\" and\nnewline"});
+    sink.flush();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0],
+            "{\"t_us\":5,\"kind\":\"trace\",\"code\":1,\"a\":2,\"b\":3,"
+            "\"label\":\"plain\"}");
+  EXPECT_EQ(lines[1],
+            "{\"t_us\":6,\"kind\":\"trace\",\"code\":1,\"a\":2,\"b\":3,"
+            "\"label\":\"with \\\"quotes\\\" and\\nnewline\"}");
+  std::remove(path.c_str());
 }
 
 TEST(JsonLinesSink, WritesOneObjectPerLine) {

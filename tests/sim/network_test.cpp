@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "accountnet/obs/sink.hpp"
+
 namespace accountnet::sim {
 namespace {
 
@@ -108,6 +110,66 @@ TEST(SimNetwork, PingPongConversation) {
   // 1 initial + 3 a->b + 3 b->a = 7 messages, each 20 ms.
   EXPECT_EQ(net.stats().messages_delivered, 7u);
   EXPECT_EQ(sim.now(), milliseconds(7 * 20));
+}
+
+TEST(SimNetwork, TraceRingGaugesSurfaceInScrapes) {
+  Simulator sim;
+  SimNetwork net(sim, fixed_latency(0), 1);
+  obs::TraceRing ring(2);
+  obs::MetricsRegistry reg;
+  net.set_trace(&ring);
+  net.set_metrics(&reg, nullptr);
+  net.attach("b", [](const NetMessage&) {});
+  for (int i = 0; i < 3; ++i) net.send({"a", "b", 0, Bytes{1}});
+  sim.run();
+  // Ring capacity 2, 3 events pushed: occupancy pins at 2, one overwritten.
+  obs::MemorySink sink;
+  reg.scrape_to(sink, 0);
+  const auto* size = sink.last("obs.trace.size");
+  ASSERT_NE(size, nullptr);
+  EXPECT_DOUBLE_EQ(size->sample.value, 2.0);
+  const auto* dropped = sink.last("obs.trace.dropped");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_DOUBLE_EQ(dropped->sample.value, 1.0);
+}
+
+TEST(SimNetwork, HopSpansJoinTheSenderTrace) {
+  Simulator sim;
+  SimNetwork net(sim, fixed_latency(milliseconds(5)), 1);
+  obs::Tracer tracer(3);
+  net.set_tracer(&tracer);
+  net.attach("b", [](const NetMessage&) {});
+  const std::uint64_t op = tracer.begin_span("op", "a", sim.now());
+  net.send({"a", "b", 7, Bytes{1, 2, 3}, tracer.context(op)});
+  net.send({"a", "b", 7, Bytes{}});  // untraced message: no hop span
+  sim.run();
+  tracer.end_span(op, sim.now());
+
+  ASSERT_EQ(tracer.size(), 2u);  // the op span + exactly one hop span
+  const obs::Span& hop = tracer.spans()[1];
+  EXPECT_EQ(hop.name, "net.type_7");
+  EXPECT_EQ(hop.node, "net");
+  EXPECT_EQ(hop.trace_id, op);
+  EXPECT_EQ(hop.parent_span, op);
+  EXPECT_FALSE(hop.open());
+  EXPECT_EQ(hop.end_us - hop.start_us, milliseconds(5));
+  ASSERT_NE(hop.find_attr("bytes"), nullptr);
+  EXPECT_EQ(*hop.find_attr("bytes"), "3");
+  EXPECT_EQ(hop.find_attr("outcome"), nullptr);  // delivered cleanly
+}
+
+TEST(SimNetwork, UndeliverableHopSpanGetsOutcome) {
+  Simulator sim;
+  SimNetwork net(sim, fixed_latency(0), 1);
+  obs::Tracer tracer(3);
+  net.set_tracer(&tracer);
+  const std::uint64_t op = tracer.begin_span("op", "a", sim.now());
+  net.send({"a", "ghost", 0, Bytes{}, tracer.context(op)});
+  sim.run();
+  ASSERT_EQ(tracer.size(), 2u);
+  const obs::Span& hop = tracer.spans()[1];
+  ASSERT_NE(hop.find_attr("outcome"), nullptr);
+  EXPECT_EQ(*hop.find_attr("outcome"), "unreachable");
 }
 
 TEST(SimNetwork, DeterministicAcrossRunsWithSameSeed) {

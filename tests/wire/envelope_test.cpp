@@ -1,0 +1,68 @@
+// Versioned envelope codec: v2 round-trip, v1 compat decode, and rejection
+// of unknown versions / trailing garbage.
+#include <gtest/gtest.h>
+
+#include "accountnet/wire/envelope.hpp"
+
+namespace accountnet::wire {
+namespace {
+
+Envelope sample() {
+  Envelope e;
+  e.from = "n3";
+  e.to = "n7";
+  e.type = 12;
+  e.trace_id = 0x0123456789abcdefULL;
+  e.parent_span = 0xfedcba9876543210ULL;
+  e.payload = {0xde, 0xad, 0xbe, 0xef};
+  return e;
+}
+
+TEST(Envelope, V2RoundTripPreservesTraceContext) {
+  const Envelope e = sample();
+  const Bytes wire = encode_envelope(e);
+  ASSERT_FALSE(wire.empty());
+  EXPECT_EQ(wire[0], kEnvelopeV2);
+  EXPECT_EQ(decode_envelope(wire), e);
+}
+
+TEST(Envelope, V1DecodeYieldsZeroTraceContext) {
+  const Envelope e = sample();
+  const Bytes wire = encode_envelope_v1(e);
+  EXPECT_EQ(wire[0], kEnvelopeV1);
+  const Envelope back = decode_envelope(wire);
+  EXPECT_EQ(back.from, e.from);
+  EXPECT_EQ(back.to, e.to);
+  EXPECT_EQ(back.type, e.type);
+  EXPECT_EQ(back.payload, e.payload);
+  // The pre-tracing layout has no context fields: old captures decode as
+  // untraced, which is exactly what the obs layer expects.
+  EXPECT_EQ(back.trace_id, 0u);
+  EXPECT_EQ(back.parent_span, 0u);
+}
+
+TEST(Envelope, EmptyFieldsRoundTrip) {
+  Envelope e;  // all defaults: empty addresses, zero context, no payload
+  EXPECT_EQ(decode_envelope(encode_envelope(e)), e);
+  const Envelope v1 = decode_envelope(encode_envelope_v1(e));
+  EXPECT_EQ(v1, e);
+}
+
+TEST(Envelope, UnknownVersionThrows) {
+  Bytes wire = encode_envelope(sample());
+  wire[0] = 0x7f;
+  EXPECT_THROW(decode_envelope(wire), DecodeError);
+  EXPECT_THROW(decode_envelope(BytesView{}), DecodeError);
+}
+
+TEST(Envelope, TruncationAndTrailingGarbageThrow) {
+  const Bytes wire = encode_envelope(sample());
+  EXPECT_THROW(decode_envelope(BytesView(wire.data(), wire.size() - 1)),
+               DecodeError);
+  Bytes padded = wire;
+  padded.push_back(0x00);
+  EXPECT_THROW(decode_envelope(padded), DecodeError);
+}
+
+}  // namespace
+}  // namespace accountnet::wire

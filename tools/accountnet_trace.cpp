@@ -1,0 +1,201 @@
+// accountnet-trace — offline span-dump analysis.
+//
+// Loads a span JSONL dump (obs::write_spans_jsonl, e.g. from byz_soak
+// --trace), groups spans into traces, and prints per-operation latency
+// breakdowns with critical paths:
+//
+//   accountnet-trace spans.jsonl                 # per-operation summary
+//   accountnet-trace spans.jsonl --top 3         # + slowest traces per op
+//   accountnet-trace spans.jsonl --trace <16hex> # one trace's full timeline
+//   accountnet-trace spans.jsonl --perfetto out.json   # Perfetto export
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accountnet/obs/span.hpp"
+
+using namespace accountnet;
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+std::int64_t finish_of(const obs::Span& s) {
+  return s.open() ? s.start_us : s.end_us;
+}
+
+void print_critical_path(const obs::TraceTree& t) {
+  const auto path = obs::critical_path(t);
+  std::int64_t prev = t.root != nullptr ? t.root->start_us : 0;
+  for (const auto* s : path) {
+    const std::int64_t own = finish_of(*s) - s->start_us;
+    std::printf("    +%8" PRId64 " us  %-22s %-10s (%" PRId64 " us%s)\n",
+                s->start_us - prev, s->name.c_str(), s->node.c_str(), own,
+                s->open() ? ", open" : "");
+    prev = s->start_us;
+  }
+}
+
+void print_tree(const obs::TraceTree& t) {
+  // Children by parent id, in start order (build_traces already sorted).
+  std::map<std::uint64_t, std::vector<const obs::Span*>> children;
+  for (const auto* s : t.spans) {
+    if (s != t.root) children[s->parent_span].push_back(s);
+  }
+  const auto recurse = [&](const auto& self, const obs::Span* s, int depth) -> void {
+    std::string attrs;
+    for (const auto& a : s->attrs) attrs += " " + a.key + "=" + a.value;
+    std::printf("  %8" PRId64 " us %*s%s [%s] %" PRId64 " us%s%s\n", s->start_us,
+                2 * depth, "", s->name.c_str(), s->node.c_str(),
+                finish_of(*s) - s->start_us, s->open() ? " (open)" : "",
+                attrs.c_str());
+    const auto it = children.find(s->span_id);
+    if (it == children.end()) return;
+    for (const auto* c : it->second) self(self, c, depth + 1);
+  };
+  if (t.root != nullptr) recurse(recurse, t.root, 0);
+  // Orphaned subtrees (parent span fell out of the dump window).
+  for (const auto& [parent, kids] : children) {
+    if (parent == 0 || t.root == nullptr || parent == t.root->span_id) continue;
+    const bool known = std::any_of(t.spans.begin(), t.spans.end(),
+                                   [&](const obs::Span* s) { return s->span_id == parent; });
+    if (known) continue;
+    for (const auto* c : kids) recurse(recurse, c, 1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string perfetto_out;
+  std::string only_op;
+  std::uint64_t only_trace = 0;
+  std::size_t top = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--perfetto" && i + 1 < argc) {
+      perfetto_out = argv[++i];
+    } else if (a == "--op" && i + 1 < argc) {
+      only_op = argv[++i];
+    } else if (a == "--trace" && i + 1 < argc) {
+      only_trace = std::strtoull(argv[++i], nullptr, 16);
+    } else if (a == "--top" && i + 1 < argc) {
+      top = std::strtoull(argv[++i], nullptr, 10);
+    } else if (path.empty() && a[0] != '-') {
+      path = a;
+    } else {
+      std::printf("usage: accountnet-trace <spans.jsonl> [--op NAME] "
+                  "[--trace HEX16] [--top N] [--perfetto OUT.json]\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::printf("accountnet-trace: no input file\n");
+    return 2;
+  }
+
+  const auto spans = obs::load_spans_jsonl(path);
+  if (spans.empty()) {
+    std::printf("accountnet-trace: no spans in %s\n", path.c_str());
+    return 1;
+  }
+  const auto traces = obs::build_traces(spans);
+  std::printf("%zu spans, %zu traces from %s\n\n", spans.size(), traces.size(),
+              path.c_str());
+
+  if (!perfetto_out.empty()) {
+    obs::PerfettoSink sink(perfetto_out);
+    sink.add_all(spans);
+    sink.flush();
+    std::printf("wrote Perfetto trace to %s (load via ui.perfetto.dev or "
+                "chrome://tracing)\n\n", perfetto_out.c_str());
+  }
+
+  if (only_trace != 0) {
+    for (const auto& t : traces) {
+      if (t.trace_id != only_trace) continue;
+      std::printf("trace %s: %zu spans, %" PRId64 " us\n", hex16(t.trace_id).c_str(),
+                  t.spans.size(), t.duration_us());
+      print_tree(t);
+      std::printf("  critical path:\n");
+      print_critical_path(t);
+      return 0;
+    }
+    std::printf("trace %s not found\n", hex16(only_trace).c_str());
+    return 1;
+  }
+
+  // Per-operation summary, keyed by the root span's name.
+  struct OpStats {
+    std::vector<const obs::TraceTree*> traces;
+    std::int64_t total_us = 0;
+    std::map<std::string, std::pair<std::uint64_t, std::int64_t>> leg_us;
+  };
+  std::map<std::string, OpStats> ops;
+  for (const auto& t : traces) {
+    if (t.root == nullptr) continue;
+    if (!only_op.empty() && t.root->name != only_op) continue;
+    auto& op = ops[t.root->name];
+    op.traces.push_back(&t);
+    op.total_us += t.duration_us();
+    // Latency breakdown: attribute each segment of the critical path to the
+    // span it starts in (its self time until the next critical span begins).
+    const auto path = obs::critical_path(t);
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      const std::int64_t until =
+          i + 1 < path.size() ? path[i + 1]->start_us : finish_of(*path[i]);
+      auto& leg = op.leg_us[path[i]->name];
+      ++leg.first;
+      leg.second += std::max<std::int64_t>(0, until - path[i]->start_us);
+    }
+  }
+
+  for (const auto& [name, op] : ops) {
+    std::int64_t worst = 0;
+    const obs::TraceTree* worst_trace = nullptr;
+    for (const auto* t : op.traces) {
+      if (t->duration_us() >= worst) {
+        worst = t->duration_us();
+        worst_trace = t;
+      }
+    }
+    std::printf("%-12s %6zu traces  mean %8" PRId64 " us  max %8" PRId64
+                " us  (worst: %s)\n",
+                name.c_str(), op.traces.size(),
+                op.total_us / static_cast<std::int64_t>(op.traces.size()), worst,
+                worst_trace != nullptr ? hex16(worst_trace->trace_id).c_str() : "-");
+    std::printf("  latency breakdown (critical-path self time):\n");
+    for (const auto& [leg, agg] : op.leg_us) {
+      std::printf("    %-24s %6" PRIu64 "x  mean %8" PRId64 " us\n", leg.c_str(),
+                  agg.first, agg.second / static_cast<std::int64_t>(agg.first));
+    }
+    if (worst_trace != nullptr) {
+      std::printf("  critical path of worst %s:\n", name.c_str());
+      print_critical_path(*worst_trace);
+    }
+    if (top > 0) {
+      std::vector<const obs::TraceTree*> sorted = op.traces;
+      std::sort(sorted.begin(), sorted.end(),
+                [](const obs::TraceTree* a, const obs::TraceTree* b) {
+                  return a->duration_us() > b->duration_us();
+                });
+      sorted.resize(std::min(top, sorted.size()));
+      for (const auto* t : sorted) {
+        std::printf("  %s  %8" PRId64 " us  %zu spans\n", hex16(t->trace_id).c_str(),
+                    t->duration_us(), t->spans.size());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
