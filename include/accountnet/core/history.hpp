@@ -18,7 +18,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "accountnet/core/peerset.hpp"
@@ -94,10 +96,48 @@ class UpdateHistory {
   std::uint64_t total_appended_ = 0;
 };
 
+/// One deferred counterpart-signature check produced by plan_history_checks():
+/// `payload` must verify under `pk` against `*signature` (which aliases the
+/// planned suffix entry — the suffix must outlive the plan). `seq` is the
+/// check's position in the sequential order verify_history_suffix() would
+/// run it; resolving checks by ascending `seq` and reporting the first
+/// failure reproduces the sequential verdict exactly.
+struct HistorySigCheck {
+  std::size_t seq = 0;
+  std::size_t entry_index = 0;
+  crypto::PublicKeyBytes pk{};
+  Bytes payload;
+  const Bytes* signature = nullptr;
+  VerifyError on_fail = VerifyError::kNone;
+};
+
+/// Phase 1 of suffix verification: runs every structural check and collects
+/// every signature check without touching the crypto provider, so callers
+/// can resolve signatures through a cache or CryptoProvider::verify_batch().
+struct HistoryCheckPlan {
+  std::vector<HistorySigCheck> sig_checks;
+  /// First structural failure in sequential (seq) order, if any. The scan
+  /// stops there, mirroring verify_history_suffix's early return — a
+  /// signature check at a smaller seq still takes precedence.
+  std::optional<std::pair<std::size_t, VerifyError>> structural_failure;
+};
+
+/// Plans the per-entry checks of verify_history_suffix over
+/// `suffix[begin..)`. `prev_round` is the round of the entry preceding
+/// `begin` (nullopt when planning from the start: the first planned entry
+/// then skips the ascending-rounds check). Reconstruction is NOT part of the
+/// plan — callers replay the deltas themselves.
+HistoryCheckPlan plan_history_checks(const std::vector<HistoryEntry>& suffix,
+                                     std::size_t begin, std::optional<Round> prev_round,
+                                     const PeerId& owner);
+
 /// Structural + cryptographic checks on a history suffix claimed by `owner`:
 /// rounds strictly ascending, join entries only at the owner's round 0,
 /// counterpart signatures valid for each entry kind, and the reconstruction
 /// equal to `claimed`. This is the Verify(Ω_j, N_j, ...) step of Algorithm 1.
+/// Implemented as plan_history_checks() + sequential resolution, which is
+/// what core::VerificationEngine replays through its caches — the two paths
+/// share one plan and return bit-identical verdicts.
 VerifyResult verify_history_suffix(const std::vector<HistoryEntry>& suffix,
                                    const PeerId& owner, const Peerset& claimed,
                                    const crypto::CryptoProvider& provider);

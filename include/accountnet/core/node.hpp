@@ -31,6 +31,7 @@
 #include "accountnet/core/evidence.hpp"
 #include "accountnet/core/neighborhood.hpp"
 #include "accountnet/core/shuffle.hpp"
+#include "accountnet/core/verification_engine.hpp"
 #include "accountnet/core/witness.hpp"
 #include "accountnet/obs/metrics.hpp"
 #include "accountnet/obs/span.hpp"
@@ -153,6 +154,10 @@ class Node {
     };
     Accountability accountability;
 
+    /// Verification-engine knobs (caches on by default; defaults preserve
+    /// verdicts bit-for-bit — see core/verification_engine.hpp).
+    VerificationEngine::Config verification;
+
     /// Active-adversary policy for this node (all-off by default).
     AdversaryPolicy adversary;
   };
@@ -258,6 +263,12 @@ class Node {
   /// Timers are inert until set_timing_enabled(true) on this registry.
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// This node's verification engine (history memos + verdict caches). All
+  /// shuffle/witness/accusation verification routes through it; exposed for
+  /// cache-statistics scrapes and tests.
+  VerificationEngine& verification_engine() { return engine_; }
+  const VerificationEngine& verification_engine() const { return engine_; }
 
   /// Attaches the simulation-wide span tracer (obs/span.hpp); nullptr — the
   /// default — keeps every trace call a null-check, and an attached tracer
@@ -585,6 +596,9 @@ class Node {
   Rng rng_;
   obs::MetricsRegistry metrics_;
   MetricIds ids_{metrics_};
+  /// Caching verification front-end over provider_ (declared after metrics_
+  /// so its counters register into this node's registry).
+  VerificationEngine engine_{provider_, config_.verification, &metrics_};
   EvidenceLog evidence_;
 
   // Causal tracing (null/zero = off, the default).

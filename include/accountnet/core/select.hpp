@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -55,6 +56,23 @@ VerifyResult verify_sample(const crypto::CryptoProvider& provider,
                            std::string_view domain, BytesView nonce,
                            const std::vector<Bytes>& proofs,
                            const std::vector<PeerId>& claimed);
+
+/// Pluggable VRF resolution for verify_sample_with: called with the attempt
+/// index (0-based into `proofs`) and the alpha for that attempt, it must
+/// return exactly what provider.vrf_verify(prover_key, alpha, proofs[index])
+/// would — possibly from a memo or a precomputed batch
+/// (core::VerificationEngine). Any other behaviour forfeits the
+/// bit-identical-verdicts guarantee.
+using VrfResolveFn = std::function<std::optional<std::array<std::uint8_t, 64>>(
+    std::size_t index, BytesView alpha)>;
+
+/// verify_sample with the VRF check abstracted out; the replay logic (Null
+/// retries, duplicate suppression, completeness) is shared verbatim with the
+/// provider-backed overload above.
+VerifyResult verify_sample_with(const VrfResolveFn& resolve, const Peerset& candidates,
+                                std::size_t want, std::string_view domain,
+                                BytesView nonce, const std::vector<Bytes>& proofs,
+                                const std::vector<PeerId>& claimed);
 
 /// Draws a single peer (retrying Nulls); used for shuffle-partner selection.
 std::optional<Draw> draw_one(const crypto::Signer& signer, const Peerset& candidates,

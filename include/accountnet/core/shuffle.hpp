@@ -27,6 +27,8 @@
 
 namespace accountnet::core {
 
+class VerificationEngine;
+
 /// Draw domains (bound into every VRF alpha).
 inline constexpr std::string_view kPartnerDomain = "an.partner";
 inline constexpr std::string_view kSampleDomain = "an.sample";
@@ -80,6 +82,13 @@ ShuffleOffer make_offer(const NodeState& state, const PartnerChoice& partner,
 VerifyResult verify_offer(const ShuffleOffer& offer, const NodeState& state,
                           Round expected_round, const crypto::CryptoProvider& provider);
 
+/// Engine-backed overload: same checks, same verdicts, resolved through the
+/// engine's history memos and verdict caches (core/verification_engine.hpp).
+/// Both overloads share one implementation — only signature/VRF/history
+/// resolution is swapped out.
+VerifyResult verify_offer(const ShuffleOffer& offer, const NodeState& state,
+                          Round expected_round, VerificationEngine& engine);
+
 /// Step 4 (responder): draw B, COMMIT the responder-side update (Algorithm 3)
 /// and return the response to send back.
 ShuffleResponse make_response_and_commit(NodeState& state, const ShuffleOffer& offer);
@@ -88,6 +97,10 @@ ShuffleResponse make_response_and_commit(NodeState& state, const ShuffleOffer& o
 VerifyResult verify_response(const ShuffleResponse& response, const NodeState& state,
                              const ShuffleOffer& sent_offer,
                              const crypto::CryptoProvider& provider);
+
+/// Engine-backed overload (see verify_offer above).
+VerifyResult verify_response(const ShuffleResponse& response, const NodeState& state,
+                             const ShuffleOffer& sent_offer, VerificationEngine& engine);
 
 /// Step 6 (initiator): commit the initiator-side update (Algorithm 3).
 void apply_offer_outcome(NodeState& state, const ShuffleOffer& sent_offer,
@@ -119,11 +132,21 @@ VerifyResult verify_offer_static(const ShuffleOffer& offer, const PeerId& respon
                                  std::size_t shuffle_length,
                                  const crypto::CryptoProvider& provider);
 
+/// Engine-backed overload (see verify_offer above).
+VerifyResult verify_offer_static(const ShuffleOffer& offer, const PeerId& responder,
+                                 std::size_t shuffle_length, VerificationEngine& engine);
+
 /// All verify_response() checks; `initiator` is the node that sent the offer.
 VerifyResult verify_response_static(const ShuffleResponse& response,
                                     const ShuffleOffer& sent_offer,
                                     const PeerId& initiator, std::size_t shuffle_length,
                                     const crypto::CryptoProvider& provider);
+
+/// Engine-backed overload (see verify_offer above).
+VerifyResult verify_response_static(const ShuffleResponse& response,
+                                    const ShuffleOffer& sent_offer,
+                                    const PeerId& initiator, std::size_t shuffle_length,
+                                    VerificationEngine& engine);
 
 /// Checks `body_sig` (offer addressed to `responder`). kNone on success.
 VerifyError check_offer_body_sig(const ShuffleOffer& offer, const PeerId& responder,

@@ -15,6 +15,8 @@
 
 namespace accountnet::core {
 
+class VerificationEngine;
+
 inline constexpr std::string_view kWitnessDomain = "an.witness";
 
 /// Channel nonce: binds both endpoints and their rounds.
@@ -45,6 +47,14 @@ Draw draw_witnesses(const crypto::Signer& signer, const std::vector<PeerId>& can
 
 /// Counterpart verification of a witness draw.
 VerifyResult verify_witnesses(const crypto::CryptoProvider& provider,
+                              const crypto::PublicKeyBytes& drawer_key,
+                              const std::vector<PeerId>& candidates, std::size_t quota,
+                              BytesView nonce, const std::vector<Bytes>& proofs,
+                              const std::vector<PeerId>& claimed);
+
+/// Engine-backed overload: same verdicts, VRF proofs resolved through the
+/// engine's cache/batch path (core/verification_engine.hpp).
+VerifyResult verify_witnesses(VerificationEngine& engine,
                               const crypto::PublicKeyBytes& drawer_key,
                               const std::vector<PeerId>& candidates, std::size_t quota,
                               BytesView nonce, const std::vector<Bytes>& proofs,

@@ -21,12 +21,33 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "accountnet/util/bytes.hpp"
 
 namespace accountnet::crypto {
 
 using PublicKeyBytes = std::array<std::uint8_t, 32>;
+
+/// One deferred public-key check for CryptoProvider::verify_batch(). The
+/// views alias caller-owned buffers and must stay valid for the call.
+struct VerifyJob {
+  enum class Kind : std::uint8_t {
+    kSignature = 0,  ///< msg = signed message, sig = signature
+    kVrf = 1,        ///< msg = VRF input alpha, sig = VRF proof
+  };
+  Kind kind = Kind::kSignature;
+  PublicKeyBytes pk{};
+  BytesView msg;
+  BytesView sig;
+};
+
+/// Result slot for one VerifyJob. For kVrf jobs that verify, `vrf_output`
+/// holds beta; otherwise it stays zeroed.
+struct VerifyVerdict {
+  bool ok = false;
+  std::array<std::uint8_t, 64> vrf_output{};
+};
 
 /// Per-node secret-key operations.
 class Signer {
@@ -58,6 +79,19 @@ class CryptoProvider {
   /// Verifies a VRF proof; returns beta on success.
   virtual std::optional<std::array<std::uint8_t, 64>> vrf_verify(
       const PublicKeyBytes& pk, BytesView alpha, BytesView proof) const = 0;
+
+  /// Resolves every job into the matching verdict slot
+  /// (`verdicts.size() == jobs.size()`, enforced).
+  ///
+  /// Determinism contract: verdicts are bit-identical to calling
+  /// verify()/vrf_verify() per job, for every batch size and job order.
+  /// Implementations may fan jobs across wall-clock worker threads, but jobs
+  /// are independent and each worker writes only its own verdict slots, so
+  /// scheduling can never change a result — and no implementation may touch
+  /// simulated time or any seeded RNG. The base implementation is a
+  /// sequential loop.
+  virtual void verify_batch(std::span<const VerifyJob> jobs,
+                            std::span<VerifyVerdict> verdicts) const;
 
   virtual const char* name() const = 0;
 };

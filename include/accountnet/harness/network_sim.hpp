@@ -25,6 +25,7 @@
 #include "accountnet/analysis/graph_metrics.hpp"
 #include "accountnet/core/adversary.hpp"
 #include "accountnet/core/shuffle.hpp"
+#include "accountnet/core/verification_engine.hpp"
 #include "accountnet/obs/metrics.hpp"
 #include "accountnet/obs/sink.hpp"
 #include "accountnet/obs/span.hpp"
@@ -80,6 +81,16 @@ struct ExperimentConfig {
   /// path, so experiments that study detection set verify_fraction = 1.0.
   /// Default-constructed (all attacks off) keeps the harness bit-identical.
   core::AdversaryPolicy adversary;
+
+  /// Per-node verification-engine knobs (core/verification_engine.hpp).
+  /// Caching never changes verdicts, so defaults keep every seeded run
+  /// byte-identical; capacities are smaller than core::Node's because the
+  /// harness multiplies them by |V| (10k nodes must stay cheap).
+  core::VerificationEngine::Config verification{.enable_cache = true,
+                                                .enable_batch = true,
+                                                .sig_cache_capacity = 256,
+                                                .vrf_cache_capacity = 256,
+                                                .history_memo_capacity = 64};
 };
 
 struct HarnessStats {
@@ -206,6 +217,7 @@ class NetworkSim {
                        const core::PeerId& partner);
   void quarantine(HarnessNode& observer, const core::PeerId& accused,
                   obs::TraceContext ctx = {});
+  void drop_cached_verdicts(HarnessNode& node, const core::PeerId& peer);
   void handle_dead_partner(std::size_t idx, std::size_t partner_idx);
   void record_leave(HarnessNode& reporter_node, const core::PeerId& leaver);
   void purge_zombies(HarnessNode& node);

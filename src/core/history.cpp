@@ -160,57 +160,96 @@ void UpdateHistory::trim(std::size_t max_entries) {
   }
 }
 
-VerifyResult verify_history_suffix(const std::vector<HistoryEntry>& suffix,
-                                   const PeerId& owner, const Peerset& claimed,
-                                   const crypto::CryptoProvider& provider) {
-  Round prev_round = 0;
-  bool first = true;
-  for (const auto& e : suffix) {
-    if (!first && e.self_round <= prev_round) {
-      return VerifyResult::fail(VerifyError::kRoundsNotAscending);
+HistoryCheckPlan plan_history_checks(const std::vector<HistoryEntry>& suffix,
+                                     std::size_t begin, std::optional<Round> prev_round,
+                                     const PeerId& owner) {
+  HistoryCheckPlan plan;
+  std::size_t seq = 0;
+  Round prev = prev_round.value_or(0);
+  bool first = !prev_round.has_value();
+  // Every check — structural or deferred signature — consumes one seq slot in
+  // the exact order verify_history_suffix evaluates it; the scan stops at the
+  // first structural failure just as the sequential code returns there.
+  const auto structural = [&](bool ok, VerifyError code) {
+    if (!ok) plan.structural_failure = std::pair{seq, code};
+    ++seq;
+    return ok;
+  };
+  const auto defer_sig = [&](std::size_t index, const crypto::PublicKeyBytes& pk,
+                             Bytes payload, const Bytes& sig, VerifyError code) {
+    plan.sig_checks.push_back(
+        HistorySigCheck{seq, index, pk, std::move(payload), &sig, code});
+    ++seq;
+  };
+  for (std::size_t i = begin; i < suffix.size(); ++i) {
+    const auto& e = suffix[i];
+    if (!first && !structural(e.self_round > prev, VerifyError::kRoundsNotAscending)) {
+      break;
     }
-    prev_round = e.self_round;
+    prev = e.self_round;
     first = false;
 
+    bool entry_ok = true;
     switch (e.kind) {
       case EntryKind::kJoin: {
-        if (e.self_round != 0) return VerifyResult::fail(VerifyError::kJoinAfterRoundZero);
-        const Bytes payload = join_stamp_payload(owner.addr);
-        if (!provider.verify(e.counterpart.key, payload, e.signature)) {
-          return VerifyResult::fail(VerifyError::kInvalidJoinStamp);
+        if (!structural(e.self_round == 0, VerifyError::kJoinAfterRoundZero)) {
+          entry_ok = false;
+          break;
         }
-        if (!e.out.empty()) return VerifyResult::fail(VerifyError::kJoinRemovesPeers);
+        defer_sig(i, e.counterpart.key, join_stamp_payload(owner.addr), e.signature,
+                  VerifyError::kInvalidJoinStamp);
+        if (!structural(e.out.empty(), VerifyError::kJoinRemovesPeers)) entry_ok = false;
         break;
       }
       case EntryKind::kShuffle: {
-        const Bytes payload = shuffle_nonce_payload(e.nonce);
-        if (!provider.verify(e.counterpart.key, payload, e.signature)) {
-          return VerifyResult::fail(VerifyError::kInvalidShuffleSignature);
+        defer_sig(i, e.counterpart.key, shuffle_nonce_payload(e.nonce), e.signature,
+                  VerifyError::kInvalidShuffleSignature);
+        if (!structural(!(e.counterpart == owner), VerifyError::kSelfShuffleEntry)) {
+          entry_ok = false;
         }
-        if (e.counterpart == owner) return VerifyResult::fail(VerifyError::kSelfShuffleEntry);
         break;
       }
       case EntryKind::kLeave: {
-        if (e.out.size() != 1 || !e.in.empty() || !e.fill.empty()) {
-          return VerifyResult::fail(VerifyError::kMalformedLeaveEntry);
+        if (!structural(e.out.size() == 1 && e.in.empty() && e.fill.empty(),
+                        VerifyError::kMalformedLeaveEntry)) {
+          entry_ok = false;
+          break;
         }
-        const Bytes payload = leave_payload(e.nonce, e.out.front().addr);
-        if (!provider.verify(e.counterpart.key, payload, e.signature)) {
-          return VerifyResult::fail(VerifyError::kInvalidLeaveSignature);
-        }
+        defer_sig(i, e.counterpart.key, leave_payload(e.nonce, e.out.front().addr),
+                  e.signature, VerifyError::kInvalidLeaveSignature);
         break;
       }
     }
+    if (!entry_ok) break;
 
     // A node never holds itself in its peerset.
+    bool owner_in = false;
     for (const auto& p : e.in) {
-      if (p == owner) return VerifyResult::fail(VerifyError::kOwnerInsertedIntoOwnPeerset);
+      if (p == owner) owner_in = true;
     }
+    if (!structural(!owner_in, VerifyError::kOwnerInsertedIntoOwnPeerset)) break;
+    bool owner_fill = false;
     for (const auto& p : e.fill) {
-      if (p == owner) return VerifyResult::fail(VerifyError::kOwnerFilledIntoOwnPeerset);
+      if (p == owner) owner_fill = true;
+    }
+    if (!structural(!owner_fill, VerifyError::kOwnerFilledIntoOwnPeerset)) break;
+  }
+  return plan;
+}
+
+VerifyResult verify_history_suffix(const std::vector<HistoryEntry>& suffix,
+                                   const PeerId& owner, const Peerset& claimed,
+                                   const crypto::CryptoProvider& provider) {
+  const HistoryCheckPlan plan = plan_history_checks(suffix, 0, std::nullopt, owner);
+  for (const auto& c : plan.sig_checks) {
+    if (plan.structural_failure && plan.structural_failure->first < c.seq) break;
+    if (!provider.verify(c.pk, c.payload, *c.signature)) {
+      return VerifyResult::fail(c.on_fail);
     }
   }
-
+  if (plan.structural_failure) {
+    return VerifyResult::fail(plan.structural_failure->second);
+  }
   if (!(UpdateHistory::reconstruct(suffix) == claimed)) {
     return VerifyResult::fail(VerifyError::kReconstructionMismatch);
   }

@@ -453,7 +453,7 @@ void Node::on_join_reply(const sim::NetMessage& msg) {
   const std::vector<PeerId> neighbors = decode_peer_list(r);
   r.expect_done();
   if (bootstrap.addr != msg.from) return;
-  if (!provider_.verify(bootstrap.key, join_stamp_payload(state_.self().addr), stamp)) {
+  if (!engine_.verify(bootstrap.key, join_stamp_payload(state_.self().addr), stamp)) {
     metrics_.add(ids_.verification_failures);
     return;
   }
@@ -744,7 +744,7 @@ void Node::on_shuffle_offer(const sim::NetMessage& msg) {
   if (acct()) {
     // Unsigned or mis-signed offers carry no accountability and are refused
     // outright — everything past this point is attributable to the sender.
-    if (const VerifyError be = check_offer_body_sig(offer, state_.self(), provider_);
+    if (const VerifyError be = check_offer_body_sig(offer, state_.self(), engine_);
         be != VerifyError::kNone) {
       metrics_.add(ids_.shuffles_rejected);
       metrics_.add(ids_.verification_failures);
@@ -758,7 +758,7 @@ void Node::on_shuffle_offer(const sim::NetMessage& msg) {
   VerifyResult v;
   {
     obs::ScopedTimer t(&metrics_, ids_.t_verify_offer);
-    v = verify_offer(offer, state_, state_.round(), provider_);
+    v = verify_offer(offer, state_, state_.round(), engine_);
   }
   if (!v) {
     metrics_.add(ids_.shuffles_rejected);
@@ -829,7 +829,7 @@ void Node::on_shuffle_response(const sim::NetMessage& msg) {
     // Exact bytes we sent (including our body signature) — the responder's
     // body signature binds them, making the pair verify as a unit.
     offer_wire = pending_->offer.encode();
-    if (const VerifyError be = check_response_body_sig(resp, offer_wire, provider_);
+    if (const VerifyError be = check_response_body_sig(resp, offer_wire, engine_);
         be != VerifyError::kNone) {
       metrics_.add(ids_.verification_failures);
       metrics_.add(metrics_.counter(std::string("node.reject.") + error_tag(be)));
@@ -840,7 +840,7 @@ void Node::on_shuffle_response(const sim::NetMessage& msg) {
   VerifyResult v;
   {
     obs::ScopedTimer t(&metrics_, ids_.t_verify_response);
-    v = verify_response(resp, state_, pending_->offer, provider_);
+    v = verify_response(resp, state_, pending_->offer, engine_);
   }
   if (!v) {
     metrics_.add(ids_.verification_failures);
@@ -934,6 +934,7 @@ void Node::suspect_peer(const PeerId& peer) {
       // Confirmed someone else's report: record it as received.
       state_.apply_leave_report(probe.reporter, probe.reporter_round, probe.report_sig,
                                 probe.target);
+      engine_.invalidate(probe.target);
       trigger_witness_repair(addr);
       return;
     }
@@ -950,6 +951,7 @@ void Node::suspect_peer(const PeerId& peer) {
       if (!(p == probe.target)) send(p.addr, MsgType::kLeaveNotice, payload);
     }
     state_.apply_leave_report(state_.self(), round, sig, probe.target);
+    engine_.invalidate(probe.target);
     trigger_witness_repair(addr);
   });
 }
@@ -963,7 +965,7 @@ void Node::on_leave_notice(const sim::NetMessage& msg) {
   r.expect_done();
   if (leaver == state_.self()) return;
   if (reported_leavers_.contains(leaver.addr) || ping_probes_.contains(leaver.addr)) return;
-  if (!provider_.verify(reporter.key, leave_payload(reporter_round, leaver.addr), sig)) {
+  if (!engine_.verify(reporter.key, leave_payload(reporter_round, leaver.addr), sig)) {
     metrics_.add(ids_.verification_failures);
     return;
   }
@@ -988,6 +990,7 @@ void Node::on_leave_notice(const sim::NetMessage& msg) {
     reported_leavers_.insert(addr);
     state_.apply_leave_report(probe.reporter, probe.reporter_round, probe.report_sig,
                               probe.target);
+    engine_.invalidate(probe.target);
     trigger_witness_repair(addr);
   });
 }
@@ -1226,7 +1229,7 @@ void Node::on_channel_accept(const sim::NetMessage& msg) {
   const auto plan = plan_witness_group(ch.my_neighborhood, consumer_nbh, state_.self(),
                                        consumer, config_.witness_count);
   const Bytes nonce = channel_nonce(state_.self(), ch.my_round, consumer, consumer_round);
-  if (const auto v = verify_witnesses(provider_, consumer.key, plan.candidates_consumer,
+  if (const auto v = verify_witnesses(engine_, consumer.key, plan.candidates_consumer,
                                       plan.quota_consumer, nonce, consumer_proofs,
                                       consumer_draw);
       !v) {
@@ -1296,7 +1299,7 @@ void Node::on_channel_finalize(const sim::NetMessage& msg) {
                                        ch.producer, state_.self(), config_.witness_count);
   const Bytes nonce =
       channel_nonce(ch.producer, ch.producer_round, state_.self(), ch.my_round);
-  if (const auto v = verify_witnesses(provider_, ch.producer.key, plan.candidates_producer,
+  if (const auto v = verify_witnesses(engine_, ch.producer.key, plan.candidates_producer,
                                       plan.quota_producer, nonce, producer_proofs,
                                       producer_draw);
       !v) {
@@ -1420,9 +1423,9 @@ void Node::on_data_relay(const sim::NetMessage& msg) {
     // evidence log: it is exactly the hook a framing producer would use to
     // make an honest witness testify to bytes the producer later disowns.
     if (header_sig.empty() ||
-        !provider_.verify(it->second.producer.key,
-                          relay_header_payload(id, seq, digest_of(payload)),
-                          header_sig)) {
+        !engine_.verify(it->second.producer.key,
+                        relay_header_payload(id, seq, digest_of(payload)),
+                        header_sig)) {
       metrics_.add(metrics_.counter("acc.relay.bad_header"));
       span.attr("outcome", "bad_header");
       return;
@@ -1515,8 +1518,8 @@ void Node::on_data_forward(const sim::NetMessage& msg) {
     // payload under exactly this producer header — an unendorsed forward is
     // unattributable, so it cannot be tallied (or accused over).
     if (forward_sig.empty() ||
-        !provider_.verify(wit->key, forward_payload(id, seq, digest, header_sig),
-                          forward_sig)) {
+        !engine_.verify(wit->key, forward_payload(id, seq, digest, header_sig),
+                        forward_sig)) {
       metrics_.add(metrics_.counter("acc.forward.bad_sig"));
       return;
     }
@@ -1524,7 +1527,7 @@ void Node::on_data_forward(const sim::NetMessage& msg) {
     rec.digest = Bytes(digest.begin(), digest.end());
     rec.forward_sig = forward_sig;
     rec.header_sig = header_sig;
-    rec.header_ok = provider_.verify(
+    rec.header_ok = engine_.verify(
         ch.producer.key, relay_header_payload(id, seq, digest), header_sig);
     if (!rec.header_ok) {
       // Valid forward endorsement of a payload the producer never signed:
@@ -1738,7 +1741,7 @@ void Node::on_witness_update(const sim::NetMessage& msg) {
   const std::size_t quota = candidates.empty() ? 0 : 1;
   const Bytes nonce = repair_nonce(ch.producer, ch.producer_round, state_.self(),
                                    ch.my_round, dead_addr, epoch);
-  if (const auto v = verify_witnesses(provider_, ch.producer.key, candidates, quota,
+  if (const auto v = verify_witnesses(engine_, ch.producer.key, candidates, quota,
                                       nonce, proofs, sample);
       !v) {
     metrics_.add(ids_.verification_failures);
@@ -1864,7 +1867,7 @@ void Node::raise_accusation(Accusation acc) {
   acc.accuser_sig = state_.signer().sign(acc.signing_payload());
   // Self-check before gossip: shipping an unprovable accusation would only
   // burn our own credibility at every recipient.
-  if (const auto v = verify_accusation(acc, provider_, config_.protocol); !v) {
+  if (const auto v = verify_accusation(acc, engine_, config_.protocol); !v) {
     metrics_.add(metrics_.counter("acc.accuse.unprovable"));
     return;
   }
@@ -1937,6 +1940,10 @@ void Node::quarantine_peer(const PeerId& peer, const char* kind_tag) {
     const auto [round, sig] = state_.make_leave_report(peer);
     state_.apply_leave_report(state_.self(), round, sig, peer);
   }
+  // Drop every cached verification fact about the peer: its next exchange
+  // (if any slips through) must re-prove from scratch, never ride a memo
+  // established before the conviction.
+  engine_.invalidate(peer);
   // If it serves as witness on one of our channels, repair around it.
   trigger_witness_repair(peer.addr);
 }
@@ -2055,7 +2062,7 @@ void Node::run_consumer_audit(std::uint64_t channel_id, std::uint64_t seq) {
                                                          std::optional<Testimony> t) {
           CtxScope trace(*this, audit_ctx);
           if (!replied || !t) return;  // silence is the omission path's job
-          if (!(t->witness == witness) || !verify_testimony(*t, provider_)) return;
+          if (!(t->witness == witness) || !verify_testimony(*t, engine_)) return;
           const Bytes tdig(t->digest.begin(), t->digest.end());
           if (tdig == rec.digest) return;  // books match
           Accusation acc;
@@ -2095,7 +2102,7 @@ void Node::on_accusation(const sim::NetMessage& msg) {
     return;
   }
   // Independent re-verification — recipients NEVER take the accuser's word.
-  if (const auto v = verify_accusation(acc, provider_, config_.protocol); !v) {
+  if (const auto v = verify_accusation(acc, engine_, config_.protocol); !v) {
     metrics_.add(ids_.verification_failures);
     metrics_.add(metrics_.counter("acc.accuse.rejected"));
     metrics_.add(metrics_.counter(std::string("node.reject.") + error_tag(v.code)));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "accountnet/core/verification_engine.hpp"
 #include "accountnet/crypto/sha256.hpp"
 #include "accountnet/util/ensure.hpp"
 #include "accountnet/wire/codec.hpp"
@@ -170,15 +171,65 @@ ShuffleOffer make_offer(const NodeState& state, const PartnerChoice& partner,
   return offer;
 }
 
-VerifyResult verify_offer_static(const ShuffleOffer& offer, const PeerId& responder,
-                                 std::size_t shuffle_length,
-                                 const crypto::CryptoProvider& provider) {
+namespace {
+
+// The two verification backends shared by the offer/response check templates
+// below: plain provider calls, or the VerificationEngine's memoized/batched
+// equivalents. Both resolve the same checks in the same order, so the
+// verdicts are bit-identical by construction.
+
+struct ProviderVerifier {
+  const crypto::CryptoProvider& p;
+
+  const crypto::CryptoProvider& provider() const { return p; }
+  VerifyResult history(const std::vector<HistoryEntry>& suffix, const PeerId& owner,
+                       const Peerset& claimed) const {
+    return verify_history_suffix(suffix, owner, claimed, p);
+  }
+  VerifyResult one(const crypto::PublicKeyBytes& pk, const Peerset& candidates,
+                   std::string_view domain, BytesView nonce,
+                   const std::vector<Bytes>& proofs, const PeerId& claimed) const {
+    return verify_one(p, pk, candidates, domain, nonce, proofs, claimed);
+  }
+  VerifyResult sample(const crypto::PublicKeyBytes& pk, const Peerset& candidates,
+                      std::size_t want, std::string_view domain, BytesView nonce,
+                      const std::vector<Bytes>& proofs,
+                      const std::vector<PeerId>& claimed) const {
+    return verify_sample(p, pk, candidates, want, domain, nonce, proofs, claimed);
+  }
+};
+
+struct EngineVerifier {
+  VerificationEngine& e;
+
+  const crypto::CryptoProvider& provider() const { return e; }
+  VerifyResult history(const std::vector<HistoryEntry>& suffix, const PeerId& owner,
+                       const Peerset& claimed) const {
+    return e.verify_history(suffix, owner, claimed);
+  }
+  VerifyResult one(const crypto::PublicKeyBytes& pk, const Peerset& candidates,
+                   std::string_view domain, BytesView nonce,
+                   const std::vector<Bytes>& proofs, const PeerId& claimed) const {
+    return e.verify_one(pk, candidates, domain, nonce, proofs, claimed);
+  }
+  VerifyResult sample(const crypto::PublicKeyBytes& pk, const Peerset& candidates,
+                      std::size_t want, std::string_view domain, BytesView nonce,
+                      const std::vector<Bytes>& proofs,
+                      const std::vector<PeerId>& claimed) const {
+    return e.verify_sample(pk, candidates, want, domain, nonce, proofs, claimed);
+  }
+};
+
+template <typename Verifier>
+VerifyResult verify_offer_static_impl(const ShuffleOffer& offer, const PeerId& responder,
+                                      std::size_t shuffle_length, const Verifier& v) {
   if (offer.initiator == responder) {
     return VerifyResult::fail(VerifyError::kSelfShuffle);
   }
   // σ_i(r_i): the acknowledgement the responder will embed in its entry.
-  if (!provider.verify(offer.initiator.key, shuffle_nonce_payload(offer.initiator_round),
-                       offer.initiator_round_sig)) {
+  if (!v.provider().verify(offer.initiator.key,
+                           shuffle_nonce_payload(offer.initiator_round),
+                           offer.initiator_round_sig)) {
     return VerifyResult::fail(VerifyError::kInvalidInitiatorRoundSignature);
   }
   // Reconstruct and check the initiator's claimed peerset.
@@ -187,9 +238,7 @@ VerifyResult verify_offer_static(const ShuffleOffer& offer, const PeerId& respon
     return VerifyResult::fail(VerifyError::kDuplicatePeersetClaim);
   }
   if (claimed.size() > 100000) return VerifyResult::fail(VerifyError::kPeersetTooLarge);
-  if (const auto h = verify_history_suffix(offer.history_suffix, offer.initiator, claimed,
-                                           provider);
-      !h) {
+  if (const auto h = v.history(offer.history_suffix, offer.initiator, claimed); !h) {
     return h;
   }
   // Rounds may be burned without entries (aborted shuffles), so the suffix
@@ -202,9 +251,9 @@ VerifyResult verify_offer_static(const ShuffleOffer& offer, const PeerId& respon
   if (!claimed.contains(responder)) {
     return VerifyResult::fail(VerifyError::kResponderNotInPeerset);
   }
-  if (const auto p = verify_one(provider, offer.initiator.key, claimed, kPartnerDomain,
-                                round_nonce(offer.initiator_round), offer.partner_proofs,
-                                responder);
+  if (const auto p = v.one(offer.initiator.key, claimed, kPartnerDomain,
+                           round_nonce(offer.initiator_round), offer.partner_proofs,
+                           responder);
       !p) {
     return VerifyResult::fail(VerifyError::kPartnerSelectionMismatch, p.reason);
   }
@@ -212,13 +261,28 @@ VerifyResult verify_offer_static(const ShuffleOffer& offer, const PeerId& respon
   // responder's round (echoed in the offer).
   const Peerset candidates = claimed.minus({responder});
   const std::size_t want = shuffle_length - 1;
-  if (const auto s = verify_sample(provider, offer.initiator.key, candidates, want,
-                                   kSampleDomain, round_nonce(offer.responder_round),
-                                   offer.sample_proofs, offer.sample);
+  if (const auto s = v.sample(offer.initiator.key, candidates, want, kSampleDomain,
+                              round_nonce(offer.responder_round), offer.sample_proofs,
+                              offer.sample);
       !s) {
     return VerifyResult::fail(VerifyError::kOfferSampleMismatch, s.reason);
   }
   return VerifyResult::pass();
+}
+
+}  // namespace
+
+VerifyResult verify_offer_static(const ShuffleOffer& offer, const PeerId& responder,
+                                 std::size_t shuffle_length,
+                                 const crypto::CryptoProvider& provider) {
+  return verify_offer_static_impl(offer, responder, shuffle_length,
+                                  ProviderVerifier{provider});
+}
+
+VerifyResult verify_offer_static(const ShuffleOffer& offer, const PeerId& responder,
+                                 std::size_t shuffle_length, VerificationEngine& engine) {
+  return verify_offer_static_impl(offer, responder, shuffle_length,
+                                  EngineVerifier{engine});
 }
 
 VerifyResult verify_offer(const ShuffleOffer& offer, const NodeState& state,
@@ -228,6 +292,14 @@ VerifyResult verify_offer(const ShuffleOffer& offer, const NodeState& state,
   }
   return verify_offer_static(offer, state.self(), state.config().shuffle_length,
                              provider);
+}
+
+VerifyResult verify_offer(const ShuffleOffer& offer, const NodeState& state,
+                          Round expected_round, VerificationEngine& engine) {
+  if (offer.responder_round != expected_round) {
+    return VerifyResult::fail(VerifyError::kStaleRoundNonce);
+  }
+  return verify_offer_static(offer, state.self(), state.config().shuffle_length, engine);
 }
 
 HistoryEntry apply_update(NodeState& state, const PeerId& counterpart,
@@ -295,27 +367,29 @@ ShuffleResponse make_response_and_commit(NodeState& state, const ShuffleOffer& o
   return resp;
 }
 
-VerifyResult verify_response_static(const ShuffleResponse& response,
-                                    const ShuffleOffer& sent_offer,
-                                    const PeerId& initiator, std::size_t shuffle_length,
-                                    const crypto::CryptoProvider& provider) {
+namespace {
+
+template <typename Verifier>
+VerifyResult verify_response_static_impl(const ShuffleResponse& response,
+                                         const ShuffleOffer& sent_offer,
+                                         const PeerId& initiator,
+                                         std::size_t shuffle_length, const Verifier& v) {
   if (response.responder_round != sent_offer.responder_round) {
     return VerifyResult::fail(VerifyError::kResponderRoundChanged);
   }
   if (response.responder == initiator) {
     return VerifyResult::fail(VerifyError::kSelfShuffle);
   }
-  if (!provider.verify(response.responder.key,
-                       shuffle_nonce_payload(response.responder_round),
-                       response.responder_round_sig)) {
+  if (!v.provider().verify(response.responder.key,
+                           shuffle_nonce_payload(response.responder_round),
+                           response.responder_round_sig)) {
     return VerifyResult::fail(VerifyError::kInvalidResponderRoundSignature);
   }
   const Peerset claimed(response.claimed_peerset);
   if (claimed.size() != response.claimed_peerset.size()) {
     return VerifyResult::fail(VerifyError::kDuplicatePeersetClaim);
   }
-  if (const auto h = verify_history_suffix(response.history_suffix, response.responder,
-                                           claimed, provider);
+  if (const auto h = v.history(response.history_suffix, response.responder, claimed);
       !h) {
     return h;
   }
@@ -324,14 +398,31 @@ VerifyResult verify_response_static(const ShuffleResponse& response,
     return VerifyResult::fail(VerifyError::kHistoryBeyondResponderRound);
   }
   const Peerset candidates = claimed.minus({initiator});
-  if (const auto s = verify_sample(provider, response.responder.key, candidates,
-                                   shuffle_length, kSampleDomain,
-                                   round_nonce(sent_offer.initiator_round),
-                                   response.sample_proofs, response.sample);
+  if (const auto s = v.sample(response.responder.key, candidates, shuffle_length,
+                              kSampleDomain, round_nonce(sent_offer.initiator_round),
+                              response.sample_proofs, response.sample);
       !s) {
     return VerifyResult::fail(VerifyError::kResponseSampleMismatch, s.reason);
   }
   return VerifyResult::pass();
+}
+
+}  // namespace
+
+VerifyResult verify_response_static(const ShuffleResponse& response,
+                                    const ShuffleOffer& sent_offer,
+                                    const PeerId& initiator, std::size_t shuffle_length,
+                                    const crypto::CryptoProvider& provider) {
+  return verify_response_static_impl(response, sent_offer, initiator, shuffle_length,
+                                     ProviderVerifier{provider});
+}
+
+VerifyResult verify_response_static(const ShuffleResponse& response,
+                                    const ShuffleOffer& sent_offer,
+                                    const PeerId& initiator, std::size_t shuffle_length,
+                                    VerificationEngine& engine) {
+  return verify_response_static_impl(response, sent_offer, initiator, shuffle_length,
+                                     EngineVerifier{engine});
 }
 
 VerifyResult verify_response(const ShuffleResponse& response, const NodeState& state,
@@ -339,6 +430,12 @@ VerifyResult verify_response(const ShuffleResponse& response, const NodeState& s
                              const crypto::CryptoProvider& provider) {
   return verify_response_static(response, sent_offer, state.self(),
                                 state.config().shuffle_length, provider);
+}
+
+VerifyResult verify_response(const ShuffleResponse& response, const NodeState& state,
+                             const ShuffleOffer& sent_offer, VerificationEngine& engine) {
+  return verify_response_static(response, sent_offer, state.self(),
+                                state.config().shuffle_length, engine);
 }
 
 Bytes offer_body_payload(BytesView offer_core, const PeerId& responder) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "accountnet/core/neighborhood.hpp"
+#include "accountnet/core/verification_engine.hpp"
 #include "accountnet/util/ensure.hpp"
 #include "accountnet/wire/codec.hpp"
 
@@ -78,6 +79,15 @@ VerifyResult verify_witnesses(const crypto::CryptoProvider& provider,
                               const std::vector<PeerId>& claimed) {
   return verify_sample(provider, drawer_key, Peerset(candidates), quota, kWitnessDomain,
                        nonce, proofs, claimed);
+}
+
+VerifyResult verify_witnesses(VerificationEngine& engine,
+                              const crypto::PublicKeyBytes& drawer_key,
+                              const std::vector<PeerId>& candidates, std::size_t quota,
+                              BytesView nonce, const std::vector<Bytes>& proofs,
+                              const std::vector<PeerId>& claimed) {
+  return engine.verify_sample(drawer_key, Peerset(candidates), quota, kWitnessDomain,
+                              nonce, proofs, claimed);
 }
 
 std::vector<PeerId> merge_witnesses(const std::vector<PeerId>& from_producer,

@@ -40,6 +40,10 @@ struct NetworkSim::HarnessNode {
   bool joined = false;
   sim::TimePoint launch_at = 0;
   std::unique_ptr<core::NodeState> state;
+  /// Per-node verification front-end (memos are verifier-side state). All
+  /// engines share the sim-wide registry, so cache counters aggregate
+  /// network-wide; sync_metrics() re-derives the occupancy gauges.
+  std::unique_ptr<core::VerificationEngine> engine;
   Rng rng{0};
   std::unordered_set<std::string> reported_leavers;
   std::unordered_set<std::string> quarantined;  ///< addrs this node refuses
@@ -80,6 +84,8 @@ NetworkSim::NetworkSim(ExperimentConfig config)
     core::PeerId id{addr_of(i), signer->public_key()};
     hn->state = std::make_unique<core::NodeState>(id, provider_->make_signer(seed),
                                                   node_config);
+    hn->engine = std::make_unique<core::VerificationEngine>(
+        *provider_, config_.verification, &metrics_);
 
     const std::size_t lane = i % lanes;
     lane_clock[lane] += hn->rng.uniform_range(0, config_.launch_spacing_max);
@@ -132,6 +138,22 @@ void NetworkSim::sync_metrics() {
   metrics_.set(metrics_.gauge("harness.joined"), static_cast<double>(joined_count_));
   metrics_.set(metrics_.gauge("harness.rounds_completed"),
                static_cast<double>(rounds_completed_));
+  // The per-node engines share this registry, so every engine's occupancy
+  // write clobbers the previous one; restore network-wide totals here.
+  // (Hit/miss/evict are counters, which aggregate correctly on their own.)
+  std::uint64_t occ_sig = 0, occ_vrf = 0, occ_memo = 0;
+  for (const auto& n : nodes_) {
+    if (!n->engine) continue;
+    occ_sig += n->engine->sig_cache_size();
+    occ_vrf += n->engine->vrf_cache_size();
+    occ_memo += n->engine->history_memo_size();
+  }
+  metrics_.set(metrics_.gauge("verify.cache.sig.occupancy"),
+               static_cast<double>(occ_sig));
+  metrics_.set(metrics_.gauge("verify.cache.vrf.occupancy"),
+               static_cast<double>(occ_vrf));
+  metrics_.set(metrics_.gauge("verify.cache.history.occupancy"),
+               static_cast<double>(occ_memo));
 }
 
 void NetworkSim::scrape_metrics(obs::Sink& sink) {
@@ -305,7 +327,8 @@ void NetworkSim::do_shuffle(std::size_t idx) {
   const bool verify = rng_.chance(config_.verify_fraction);
   if (verify) {
     ++stats_.shuffles_verified;
-    if (const auto v = core::verify_offer(offer, *partner.state, rj, *provider_); !v) {
+    if (const auto v = core::verify_offer(offer, *partner.state, rj, *partner.engine);
+        !v) {
       if (attacked) {
         // Detection: the responder caught the mutation and quarantines the
         // initiator. Honest failures stay in verification_failures so the
@@ -325,7 +348,8 @@ void NetworkSim::do_shuffle(std::size_t idx) {
   const auto response = core::make_response_and_commit(*partner.state, offer);
   end_respond("committed");
   if (verify) {
-    if (const auto v = core::verify_response(response, *hn.state, offer, *provider_); !v) {
+    if (const auto v = core::verify_response(response, *hn.state, offer, *hn.engine);
+        !v) {
       ++stats_.verification_failures;
       end_root("response_rejected");
       hn.state->skip_round();
@@ -415,6 +439,10 @@ void NetworkSim::quarantine(HarnessNode& observer, const core::PeerId& accused,
   record_leave(observer, accused);
 }
 
+void NetworkSim::drop_cached_verdicts(HarnessNode& node, const core::PeerId& peer) {
+  if (node.engine) node.engine->invalidate(peer);
+}
+
 void NetworkSim::handle_dead_partner(std::size_t idx, std::size_t partner_idx) {
   HarnessNode& hn = *nodes_[idx];
   const core::PeerId leaver = nodes_[partner_idx]->state->self();
@@ -430,6 +458,7 @@ void NetworkSim::handle_dead_partner(std::size_t idx, std::size_t partner_idx) {
     const auto [round, sig] = hn.state->make_leave_report(leaver);
     peer.state->apply_leave_report(hn.state->self(), round, sig, leaver);
     peer.reported_leavers.insert(leaver.addr);
+    drop_cached_verdicts(peer, leaver);
   }
 }
 
@@ -447,6 +476,9 @@ void NetworkSim::record_leave(HarnessNode& reporter_node, const core::PeerId& le
   reporter_node.reported_leavers.insert(leaver.addr);
   const auto [round, sig] = reporter_node.state->make_leave_report(leaver);
   reporter_node.state->apply_leave_report(reporter_node.state->self(), round, sig, leaver);
+  // A recorded leaver's memos must never vouch for it again (it may return
+  // under the same key after a quarantine-style record).
+  drop_cached_verdicts(reporter_node, leaver);
 }
 
 void NetworkSim::purge_zombies(HarnessNode& node) {

@@ -14,6 +14,7 @@
 
 #include "accountnet/core/accusation.hpp"
 #include "accountnet/core/history.hpp"
+#include "accountnet/core/verification_engine.hpp"
 #include "accountnet/util/bytes.hpp"
 #include "accountnet/util/rng.hpp"
 #include "accountnet/wire/codec.hpp"
@@ -461,6 +462,28 @@ TEST_F(AccusationFixture, EveryTruncationFailsClosed) {
     EXPECT_THROW(Accusation::decode(BytesView(wire.data(), len)), wire::DecodeError)
         << "prefix length " << len;
   }
+}
+
+TEST_F(AccusationFixture, EngineCachedPathMatchesProviderAndFailsForgeriesClosed) {
+  // Accusation re-verification routes through a VerificationEngine in
+  // core::Node; the cached path must convict and acquit exactly like the
+  // bare provider — warm or cold. A forgery seen after the genuine material
+  // warmed the caches must still fail (no stale-verdict bypass).
+  VerificationEngine engine(*provider_);
+  const Accusation genuine = tamper_accusation();
+  Accusation forged = genuine;
+  forged.sig_a.front() ^= 0x01;  // witness forward signature no longer checks
+
+  for (int pass = 0; pass < 2; ++pass) {  // cold, then warm
+    EXPECT_TRUE(verify_accusation(genuine, engine, config_)) << "pass " << pass;
+    const auto want = verify_accusation(forged, *provider_, config_);
+    ASSERT_FALSE(want.ok);
+    const auto got = verify_accusation(forged, engine, config_);
+    EXPECT_FALSE(got.ok) << "pass " << pass;
+    EXPECT_EQ(got.code, want.code) << "pass " << pass;
+  }
+  const auto& st = engine.stats();
+  EXPECT_GT(st.sig_hits, 0u) << "the warm pass must have exercised the cache";
 }
 
 TEST_F(AccusationFixture, SeededCorruptionsFailClosed) {
