@@ -17,329 +17,18 @@
 //   - false positives: honest-honest quarantine pairs and honest evictions
 //     (both MUST stay 0 on a no-fault network).
 //
+// The soak machinery (attack grid, ByzSoak, run_attack) lives in
+// byz_soak_common.hpp, shared with bench/sampler_compare.
+//
 // Emits BENCH_byz_soak.json (JSON-lines, one row per attack config).
 #include <cstring>
-#include <set>
-#include <utility>
 
-#include "accountnet/core/adversary.hpp"
-#include "accountnet/core/node.hpp"
-#include "accountnet/obs/sink.hpp"
-#include "accountnet/obs/span.hpp"
-#include "bench_sim.hpp"
-
-namespace {
-
-using namespace accountnet;
-
-constexpr sim::Duration kPeriod = sim::seconds(10);
-constexpr sim::Duration kCadence = sim::seconds(2);
-
-struct AttackSpec {
-  std::string label;
-  core::AdversaryPolicy policy;
-};
-
-std::vector<AttackSpec> attack_grid() {
-  std::vector<AttackSpec> grid;
-  grid.push_back({"clean", {}});
-  {
-    core::AdversaryPolicy p;
-    p.bias_sample = true;
-    grid.push_back({"bias_sample", p});
-  }
-  {
-    core::AdversaryPolicy p;
-    p.forge_history = true;
-    grid.push_back({"forge_history", p});
-  }
-  {
-    core::AdversaryPolicy p;
-    p.truncate_history = true;
-    grid.push_back({"truncate_history", p});
-  }
-  {
-    core::AdversaryPolicy p;
-    p.equivocate = true;
-    grid.push_back({"equivocate", p});
-  }
-  {
-    core::AdversaryPolicy p;
-    p.tamper_relays = true;
-    grid.push_back({"tamper_relay", p});
-  }
-  {
-    core::AdversaryPolicy p;
-    p.drop_relays = true;
-    p.withhold_testimony = true;
-    grid.push_back({"silent_witness", p});
-  }
-  {
-    core::AdversaryPolicy p;
-    p.lie_in_testimony = true;
-    grid.push_back({"lie_testimony", p});
-  }
-  return grid;
-}
-
-struct SoakRow {
-  std::string attack;
-  std::size_t detected = 0;       ///< adversaries quarantined by >= 1 honest node
-  double coverage = 0.0;          ///< min over detected of honest-quarantine frac
-  long latency_periods = -1;      ///< -1: 95% coverage never reached
-  std::size_t fp_pairs = 0;       ///< honest observer quarantining honest peer
-  std::size_t honest_evictions = 0;
-  double baseline_mal_frac = 0.0; ///< before arming
-  double residual_mal_frac = 0.0; ///< at end of window
-  std::uint64_t accusations = 0;  ///< created, all kinds
-  std::uint64_t rejected = 0;     ///< received accusations failing verification
-  std::uint64_t convicted = 0;    ///< omission challenges convicted
-  std::uint64_t quarantine_edges = 0;
-};
-
-class ByzSoak {
- public:
-  ByzSoak(std::size_t n, double adv_frac, std::uint64_t seed,
-          obs::Tracer* tracer = nullptr)
-      : net_(sim_, sim::netem_latency(), seed) {
-    net_.set_tracer(tracer);
-    core::Node::Config config;
-    config.protocol.max_peerset = 5;
-    config.protocol.shuffle_length = 3;
-    config.shuffle_period = kPeriod;
-    config.depth = 3;
-    config.witness_count = 4;
-    config.majority_opt = true;
-    config.accountability.enabled = true;
-    // Same chaos posture as bench/chaos_soak so accusation gossip and
-    // testimony challenges ride retried RPCs.
-    config.query_retry = {4, sim::milliseconds(300), 1.5, 0.1};
-    config.channel_retry = {4, sim::milliseconds(300), 1.5, 0.1};
-    config.blind_retry = {3, sim::milliseconds(300), 1.5, 0.1};
-
-    // Adversaries are a deterministic evenly-spaced contingent (never the
-    // seed node); they join honestly and are armed only after settling, so
-    // witness groups form over a mixed candidate pool exactly as they would
-    // around latent cheaters.
-    const std::size_t n_adv =
-        std::max<std::size_t>(1, static_cast<std::size_t>(n * adv_frac + 0.5));
-    const std::size_t stride = n / n_adv;
-    for (std::size_t i = 0; i < n; ++i) {
-      Bytes node_seed(32);
-      Rng rng(seed * 1000 + i);
-      for (auto& b : node_seed) b = static_cast<std::uint8_t>(rng.next_u64());
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "b%03zu", i);
-      nodes_.push_back(std::make_unique<core::Node>(net_, buf, *provider_, node_seed,
-                                                    config, rng.next_u64()));
-      nodes_.back()->set_tracer(tracer);
-      if (i % stride == stride / 2 && adversaries_.size() < n_adv) {
-        adversaries_.push_back(i);
-      }
-    }
-    nodes_[0]->start_as_seed();
-    for (std::size_t i = 1; i < n; ++i) {
-      sim_.schedule(sim::milliseconds(static_cast<std::int64_t>(20 * i)),
-                    [this, i] { nodes_[i]->start_join(nodes_[i - 1]->id().addr); });
-    }
-    sim_.run_until(sim_.now() + sim::seconds(120));  // settle honestly
-  }
-
-  /// Honest-endpoint channels; adversaries can only appear as witnesses.
-  void open_channels(std::size_t pairs) {
-    std::vector<std::size_t> honest;
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      if (!is_adversary(i)) honest.push_back(i);
-    }
-    for (std::size_t p = 0; p < pairs; ++p) {
-      const std::size_t prod = honest[p];
-      const std::size_t cons = honest[honest.size() - 1 - p];
-      nodes_[prod]->open_channel(nodes_[cons]->id().addr,
-                                 [this, prod](std::uint64_t ch, bool ok) {
-                                   if (ok) ready_.push_back({prod, ch});
-                                 });
-    }
-    sim_.run_until(sim_.now() + sim::seconds(30));
-  }
-
-  void arm(const core::AdversaryPolicy& policy) {
-    for (const std::size_t i : adversaries_) nodes_[i]->adversary() = policy;
-  }
-
-  /// One shuffle period of traffic: every channel publishes at kCadence.
-  void step() {
-    const sim::TimePoint stop = sim_.now() + kPeriod;
-    while (sim_.now() < stop) {
-      for (const auto& [prod, ch] : ready_) {
-        Bytes payload{0xB2, static_cast<std::uint8_t>(seq_salt_++)};
-        nodes_[prod]->send_data(ch, std::move(payload));
-      }
-      sim_.run_until(sim_.now() + kCadence);
-    }
-  }
-
-  bool is_adversary(std::size_t i) const {
-    return std::find(adversaries_.begin(), adversaries_.end(), i) !=
-           adversaries_.end();
-  }
-  std::size_t adversary_count() const { return adversaries_.size(); }
-  std::size_t honest_count() const { return nodes_.size() - adversaries_.size(); }
-
-  /// detected / coverage over adversaries quarantined by >= 1 honest node.
-  std::pair<std::size_t, double> detection() const {
-    std::size_t detected = 0;
-    double min_cov = 1.0;
-    for (const std::size_t a : adversaries_) {
-      const std::string& addr = nodes_[a]->id().addr;
-      std::size_t cnt = 0;
-      for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        if (is_adversary(i)) continue;
-        if (nodes_[i]->is_quarantined(addr)) ++cnt;
-      }
-      if (cnt == 0) continue;
-      ++detected;
-      min_cov = std::min(min_cov,
-                         static_cast<double>(cnt) / static_cast<double>(honest_count()));
-    }
-    if (detected == 0) return {0, 0.0};
-    return {detected, min_cov};
-  }
-
-  std::size_t false_positive_pairs() const {
-    std::size_t fp = 0;
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      if (is_adversary(i)) continue;
-      for (std::size_t j = 0; j < nodes_.size(); ++j) {
-        if (i == j || is_adversary(j)) continue;
-        if (nodes_[i]->is_quarantined(nodes_[j]->id().addr)) ++fp;
-      }
-    }
-    return fp;
-  }
-
-  std::size_t honest_evictions() const {
-    std::size_t e = 0;
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      for (std::size_t j = 0; j < nodes_.size(); ++j) {
-        if (i == j || is_adversary(j)) continue;
-        if (nodes_[i]->is_evicted(nodes_[j]->id().addr)) ++e;
-      }
-    }
-    return e;
-  }
-
-  /// Mean adversary fraction in honest nodes' direct peersets (fig14/fig18's
-  /// neighbor-malicious quantity at depth 1).
-  double malicious_neighbor_fraction() const {
-    double sum = 0.0;
-    std::size_t counted = 0;
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      if (is_adversary(i)) continue;
-      const auto peers = nodes_[i]->state().peerset().sorted();
-      if (peers.empty()) continue;
-      std::size_t bad = 0;
-      for (const auto& p : peers) {
-        for (const std::size_t a : adversaries_) {
-          if (p.addr == nodes_[a]->id().addr) {
-            ++bad;
-            break;
-          }
-        }
-      }
-      sum += static_cast<double>(bad) / static_cast<double>(peers.size());
-      ++counted;
-    }
-    return counted ? sum / static_cast<double>(counted) : 0.0;
-  }
-
-  std::uint64_t total_counter(const std::string& name) const {
-    std::uint64_t c = 0;
-    for (const auto& nd : nodes_) {
-      const auto& m = nd->metrics();
-      if (const auto id = m.find(name)) c += m.counter_value(*id);
-    }
-    return c;
-  }
-
-  std::uint64_t accusations_created() const {
-    static const char* kTags[] = {"invalid_offer",        "invalid_response",
-                                  "history_equivocation", "relay_tamper",
-                                  "testimony_mismatch",   "testimony_equivocation",
-                                  "relay_omission"};
-    std::uint64_t c = 0;
-    for (const char* tag : kTags) {
-      c += total_counter(std::string("acc.accuse.created.") + tag);
-    }
-    return c;
-  }
-
-  std::uint64_t quarantine_edges() const {
-    std::uint64_t c = 0;
-    for (const auto& nd : nodes_) c += nd->quarantined_count();
-    return c;
-  }
-
-  /// Full metrics epilogue: every node's registry, summed, in one scrape.
-  void scrape_metrics(obs::Sink& sink) const {
-    bench::CounterAggregator agg;
-    for (const auto& nd : nodes_) nd->metrics().scrape_to(agg, sim_.now());
-    agg.emit(sink, sim_.now());
-  }
-
- private:
-  sim::Simulator sim_;
-  std::unique_ptr<crypto::CryptoProvider> provider_ = crypto::make_fast_crypto();
-  sim::SimNetwork net_;
-  std::vector<std::unique_ptr<core::Node>> nodes_;
-  std::vector<std::size_t> adversaries_;
-  std::vector<std::pair<std::size_t, std::uint64_t>> ready_;  // (producer, channel)
-  std::uint64_t seq_salt_ = 0;
-};
-
-SoakRow run_attack(const AttackSpec& spec, std::size_t n, double adv_frac,
-                   std::size_t pairs, std::size_t max_periods, std::uint64_t seed,
-                   obs::Sink& sink, obs::Tracer* tracer = nullptr) {
-  ByzSoak soak(n, adv_frac, seed, tracer);
-  soak.open_channels(pairs);
-
-  SoakRow row;
-  row.attack = spec.label;
-  row.baseline_mal_frac = soak.malicious_neighbor_fraction();
-
-  soak.arm(spec.policy);
-  for (std::size_t t = 1; t <= max_periods; ++t) {
-    soak.step();
-    const auto [detected, cov] = soak.detection();
-    if (detected > 0 && cov >= 0.95 && row.latency_periods < 0) {
-      row.latency_periods = static_cast<long>(t);
-    }
-    // Keep the window open past the latency mark: slow detectors (repeat
-    // exposure for equivocation, audit cadence for witness attacks) catch
-    // further cheaters until everyone armed-and-firing is caught.
-    if (detected == soak.adversary_count() && cov >= 0.95) break;
-  }
-  // Short drain so quarantine finishes flushing cheaters from peersets
-  // before the residual-fraction reading.
-  for (std::size_t d = 0; d < 5; ++d) soak.step();
-
-  const auto [detected, cov] = soak.detection();
-  row.detected = detected;
-  row.coverage = cov;
-  row.fp_pairs = soak.false_positive_pairs();
-  row.honest_evictions = soak.honest_evictions();
-  row.residual_mal_frac = soak.malicious_neighbor_fraction();
-  row.accusations = soak.accusations_created();
-  row.rejected = soak.total_counter("acc.accuse.rejected");
-  row.convicted = soak.total_counter("acc.challenge.convicted");
-  row.quarantine_edges = soak.quarantine_edges();
-  soak.scrape_metrics(sink);
-  return row;
-}
-
-}  // namespace
+#include "byz_soak_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace accountnet;
+  using bench::attack_grid;
+  using bench::run_attack;
   const auto args = bench::parse_args(argc, argv);
   // --trace <path>: re-run the tamper_relay attack with causal tracing on
   // and export the spans as Perfetto JSON (plus <path>.spans.jsonl for

@@ -184,8 +184,9 @@ void BM_WitnessPlanAndDraw(benchmark::State& state) {
   const Bytes nonce = channel_nonce(prod, 3, cons, 4);
   for (auto _ : state) {
     const auto plan = plan_witness_group(ni, nj, prod, cons, 8);
-    benchmark::DoNotOptimize(
-        draw_witnesses(*signer, plan.candidates_producer, plan.quota_producer, nonce));
+    benchmark::DoNotOptimize(draw_witnesses(sampler_backend(SamplerKind::kVrf), *signer,
+                                            plan.candidates_producer,
+                                            plan.quota_producer, nonce));
   }
 }
 BENCHMARK(BM_WitnessPlanAndDraw)->Arg(30)->Arg(300)->Arg(1000);

@@ -1,0 +1,157 @@
+// Head-to-head sampler-backend comparison on the accountability pipeline.
+//
+// Runs the byz_soak attack grid (byz_soak_common.hpp) once per
+// SamplerBackend — kVrf (Algorithms 1/2, the default), kPeerSwap
+// (swap-based, fixed proof count) and kHoneybee (verifiable random walk) —
+// and reports, per (backend, attack):
+//   - detection latency (shuffle periods to >= 95% honest quarantine
+//     coverage of every detected cheater),
+//   - detection coverage (min honest-quarantine fraction over detected),
+//   - residual malicious neighborhood fraction after quarantine drains,
+//   - messages per completed shuffle (wire messages, all types),
+//   - ns per sample verification (per-backend micro-measurement, real and
+//     fast crypto, over a representative witness-scale draw).
+//
+// The accountability claim under test: detection works through *replay*,
+// so every backend must catch every attack the default catches — the
+// backends trade proof bandwidth and verify cost, not detection power.
+// docs/SAMPLERS.md summarizes the comparison.
+//
+// Emits BENCH_sampler_compare.json (JSON-lines, one row per
+// backend/attack, plus one micro row per backend).
+#include <chrono>
+
+#include "accountnet/core/sampler.hpp"
+#include "byz_soak_common.hpp"
+
+namespace {
+
+using namespace accountnet;
+
+constexpr core::SamplerKind kKinds[] = {
+    core::SamplerKind::kVrf, core::SamplerKind::kPeerSwap,
+    core::SamplerKind::kHoneybee};
+
+/// Wall-clock ns per backend.verify() of a witness-scale draw (4 picks from
+/// 24 candidates), the shape every channel establishment replays.
+double measure_verify_ns(const core::SamplerBackend& backend,
+                         const crypto::CryptoProvider& provider,
+                         std::size_t iters) {
+  Bytes seed(32, 0x5A);
+  const auto signer = provider.make_signer(seed);
+  std::vector<core::PeerId> peers;
+  for (std::size_t i = 0; i < 24; ++i) {
+    core::PeerId p;
+    p.addr = "m" + std::to_string(100 + i);
+    peers.push_back(p);
+  }
+  const core::Peerset candidates(std::move(peers));
+  const Bytes nonce{0x11, 0x22, 0x33, 0x44};
+  const auto d = backend.draw(*signer, candidates, 4, "an.witness", nonce);
+
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < iters / 10 + 1; ++i) {  // warm-up
+    ok += backend.verify(provider, signer->public_key(), candidates, 4, "an.witness",
+                         nonce, d.proofs, d.sample)
+              ? 1
+              : 0;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    ok += backend.verify(provider, signer->public_key(), candidates, 4, "an.witness",
+                         nonce, d.proofs, d.sample)
+              ? 1
+              : 0;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (ok == 0) return -1.0;  // keep the loop observable; never happens
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()) /
+         static_cast<double>(iters);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_header("sampler_compare",
+                      "SamplerBackend head-to-head — the byz_soak attack grid "
+                      "per verifiable-sampling backend (cf. Figs. 14/18)",
+                      args.full);
+  obs::JsonLinesSink sink("BENCH_sampler_compare.json");
+
+  const std::size_t n = 64;
+  const std::size_t pairs = 12;
+  const double adv_frac = 0.10;
+  const std::size_t max_periods = args.full ? 120 : 40;
+  obs::NullSink metrics_null;  // per-attack metric scrapes: byz_soak's job
+
+  for (const core::SamplerKind kind : kKinds) {
+    const auto& backend = core::sampler_backend(kind);
+    const auto& caps = backend.capabilities();
+
+    // Per-backend verify micro-costs, outside simulated time.
+    const auto real = crypto::make_real_crypto();
+    const auto fast = crypto::make_fast_crypto();
+    const double ns_real = measure_verify_ns(backend, *real, args.full ? 200 : 50);
+    const double ns_fast = measure_verify_ns(backend, *fast, args.full ? 20000 : 5000);
+    sink.raw_line("{\"bench\":\"sampler_compare\",\"row\":\"micro\",\"backend\":\"" +
+                  std::string(caps.name) +
+                  "\",\"max_proofs\":" + std::to_string(caps.max_proofs) +
+                  ",\"expected_proofs_per_pick\":" +
+                  Table::num(caps.expected_proofs_per_pick, 2) +
+                  ",\"proof_bytes_real\":" + std::to_string(caps.proof_bytes_real) +
+                  ",\"ns_per_verification\":" + Table::num(ns_real, 1) +
+                  ",\"ns_per_verification_fast\":" + Table::num(ns_fast, 1) + "}");
+
+    std::printf("\n--- backend %s: |V| = %zu, adversary fraction %.0f%%, seed %llu "
+                "(verify: %.0f ns real, %.0f ns fast) ---\n",
+                caps.name, n, adv_frac * 100,
+                static_cast<unsigned long long>(args.seed), ns_real, ns_fast);
+    Table t({"attack", "detected", "coverage", "latency (periods)", "fp pairs",
+             "resid mal frac", "msgs/shuffle"});
+    for (const auto& spec : bench::attack_grid()) {
+      const auto row = bench::run_attack(spec, n, adv_frac, pairs, max_periods,
+                                         args.seed, metrics_null, nullptr, kind);
+      const double msgs_per_shuffle =
+          row.shuffles ? static_cast<double>(row.messages) /
+                             static_cast<double>(row.shuffles)
+                       : 0.0;
+      t.add_row({row.attack, std::to_string(row.detected), Table::num(row.coverage, 3),
+                 std::to_string(row.latency_periods), std::to_string(row.fp_pairs),
+                 Table::num(row.residual_mal_frac, 4),
+                 Table::num(msgs_per_shuffle, 1)});
+      sink.raw_line(
+          "{\"bench\":\"sampler_compare\",\"row\":\"soak\",\"backend\":\"" +
+          std::string(caps.name) + "\",\"attack\":\"" + row.attack +
+          "\",\"n\":" + std::to_string(n) + ",\"adv_frac\":" +
+          Table::num(adv_frac, 3) + ",\"seed\":" + std::to_string(args.seed) +
+          ",\"detected\":" + std::to_string(row.detected) +
+          ",\"coverage\":" + Table::num(row.coverage, 4) +
+          ",\"detection_latency_periods\":" + std::to_string(row.latency_periods) +
+          ",\"false_positive_pairs\":" + std::to_string(row.fp_pairs) +
+          ",\"honest_evictions\":" + std::to_string(row.honest_evictions) +
+          ",\"baseline_malicious_frac\":" + Table::num(row.baseline_mal_frac, 4) +
+          ",\"residual_malicious_frac\":" + Table::num(row.residual_mal_frac, 4) +
+          ",\"accusations_created\":" + std::to_string(row.accusations) +
+          ",\"quarantine_edges\":" + std::to_string(row.quarantine_edges) +
+          ",\"messages\":" + std::to_string(row.messages) +
+          ",\"shuffles\":" + std::to_string(row.shuffles) +
+          ",\"messages_per_shuffle\":" + Table::num(msgs_per_shuffle, 2) +
+          ",\"ns_per_verification\":" + Table::num(ns_real, 1) + "}");
+      std::printf(".");
+      std::fflush(stdout);
+    }
+    std::printf("\n%s", t.to_string().c_str());
+  }
+
+  std::printf(
+      "\nShape checks: every backend's clean row stays all-zero; every attack\n"
+      "detected under the default VRF backend is detected under PeerSwap and\n"
+      "Honeybee too (detection is replay, not VRF-specific); false positives\n"
+      "stay 0 everywhere. The backends differ in proof bandwidth and verify\n"
+      "cost (PeerSwap: fixed proof count, no rejections; Honeybee: ~mixing-\n"
+      "length proofs per pick), not in what the pipeline catches.\n");
+  std::printf("wrote BENCH_sampler_compare.json\n");
+  return 0;
+}

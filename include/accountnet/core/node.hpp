@@ -172,6 +172,11 @@ class Node {
     std::optional<double> shuffle_jitter_frac;    ///< must be in [0, 1]
     std::optional<std::size_t> depth;             ///< must be >= 1
     std::optional<sim::Duration> rpc_timeout;     ///< must be > 0
+    /// Sampler backend (core/sampler.hpp). Only legal before the node has
+    /// started and committed any round: a mid-epoch swap would orphan every
+    /// proof already in histories and in flight, so update_config throws
+    /// once running() or round() > 0.
+    std::optional<SamplerKind> sampler;
   };
 
   /// Behaviour knobs for modelling malicious/misbehaving nodes.
@@ -236,6 +241,11 @@ class Node {
   bool join_failed() const { return join_failed_; }
   const PeerId& id() const { return state_.self(); }
   const NodeState& state() const { return state_; }
+  /// The configured verifiable-sampling backend (config.protocol.sampler);
+  /// every draw and proof replay this node performs goes through it.
+  const SamplerBackend& sampler() const {
+    return sampler_backend(config_.protocol.sampler);
+  }
   Stats stats() const;
   const EvidenceLog& evidence() const { return evidence_; }
   Behavior& behavior() { return behavior_; }
@@ -299,14 +309,6 @@ class Node {
   /// leave the config untouched. Used by the latency benches to sweep |W|
   /// and the majority-delivery optimization on a live network.
   void update_config(const ConfigDelta& delta);
-
-  [[deprecated("use update_config(ConfigDelta) instead")]]
-  void set_witness_policy(std::size_t witness_count, bool majority_opt) {
-    ConfigDelta delta;
-    delta.witness_count = witness_count;
-    delta.majority_opt = majority_opt;
-    update_config(delta);
-  }
 
   /// The witness group of an established channel (either side).
   const std::vector<PeerId>* channel_witnesses(std::uint64_t channel_id) const;

@@ -8,6 +8,7 @@
 
 #include "accountnet/core/history.hpp"
 #include "accountnet/core/peerset.hpp"
+#include "accountnet/core/sampler.hpp"
 #include "accountnet/core/types.hpp"
 
 namespace accountnet::core {
@@ -16,6 +17,10 @@ struct NodeConfig {
   std::size_t max_peerset = 10;    ///< f — maximum peerset size.
   std::size_t shuffle_length = 5;  ///< L — peers exchanged per shuffle.
   std::size_t history_limit = 512; ///< Retained history entries (0 = unlimited).
+  /// Verifiable-sampling backend for every draw (core/sampler.hpp). Must be
+  /// identical network-wide; proofs from one backend never verify under
+  /// another (domain separation). kVrf is the paper's algorithm.
+  SamplerKind sampler = SamplerKind::kVrf;
 };
 
 class NodeState {
@@ -51,6 +56,11 @@ class NodeState {
   /// Creates this node's own leave report for `leaver` (reporter = self).
   /// Returns the (reporter_round, signature) pair peers need to record it.
   std::pair<Round, Bytes> make_leave_report(const PeerId& leaver) const;
+
+  /// Pre-start reconfiguration only: Node::update_config() rejects sampler
+  /// swaps once the node is running, but must keep its own config copy and
+  /// this one coherent when a swap is still legal.
+  void set_sampler(SamplerKind kind) { config_.sampler = kind; }
 
   /// Low-level mutators used by the shuffle engine.
   void commit_shuffle(HistoryEntry entry, Peerset next_peerset);

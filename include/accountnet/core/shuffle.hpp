@@ -14,10 +14,10 @@
 //   apply_offer_outcome() (commits)
 //
 // Partner selection, the initiator sample A, and the responder sample B are
-// all VRF draws whose proofs travel with the messages; each side re-derives
-// the other's draws from the proofs (select.hpp) and reconstructs the
-// other's claimed peerset from its history suffix (history.hpp) before
-// committing anything.
+// all verifiable draws (sampler.hpp; the configured SamplerBackend) whose
+// proofs travel with the messages; each side re-derives the other's draws
+// from the proofs and reconstructs the other's claimed peerset from its
+// history suffix (history.hpp) before committing anything.
 #pragma once
 
 #include <optional>
@@ -121,31 +121,33 @@ Bytes offer_body_payload(BytesView offer_core, const PeerId& responder);
 Bytes response_body_payload(BytesView offer_wire, BytesView response_core);
 
 // Stateless halves of offer/response verification: every check that depends
-// only on message contents plus the verifier's identity and L. Separated
-// from the stateful wrappers so verify_accusation() can re-run them — an
-// honest node's messages always pass, so a *body-signed* message failing a
-// static check is transferable proof of cheating.
+// only on message contents plus the verifier's identity and the protocol
+// parameters (L and the sampler backend). Separated from the stateful
+// wrappers so verify_accusation() can re-run them — an honest node's
+// messages always pass, so a *body-signed* message failing a static check is
+// transferable proof of cheating.
 
 /// All verify_offer() checks except the stale-round-nonce comparison.
-/// `responder` is the node the offer addressed.
+/// `responder` is the node the offer addressed; `protocol` supplies L and
+/// the SamplerBackend the draws must replay under.
 VerifyResult verify_offer_static(const ShuffleOffer& offer, const PeerId& responder,
-                                 std::size_t shuffle_length,
+                                 const NodeConfig& protocol,
                                  const crypto::CryptoProvider& provider);
 
 /// Engine-backed overload (see verify_offer above).
 VerifyResult verify_offer_static(const ShuffleOffer& offer, const PeerId& responder,
-                                 std::size_t shuffle_length, VerificationEngine& engine);
+                                 const NodeConfig& protocol, VerificationEngine& engine);
 
 /// All verify_response() checks; `initiator` is the node that sent the offer.
 VerifyResult verify_response_static(const ShuffleResponse& response,
                                     const ShuffleOffer& sent_offer,
-                                    const PeerId& initiator, std::size_t shuffle_length,
+                                    const PeerId& initiator, const NodeConfig& protocol,
                                     const crypto::CryptoProvider& provider);
 
 /// Engine-backed overload (see verify_offer above).
 VerifyResult verify_response_static(const ShuffleResponse& response,
                                     const ShuffleOffer& sent_offer,
-                                    const PeerId& initiator, std::size_t shuffle_length,
+                                    const PeerId& initiator, const NodeConfig& protocol,
                                     VerificationEngine& engine);
 
 /// Checks `body_sig` (offer addressed to `responder`). kNone on success.

@@ -56,6 +56,8 @@
 
 namespace accountnet::core {
 
+class SamplerBackend;
+
 class VerificationEngine final : public crypto::CryptoProvider {
  public:
   struct Config {
@@ -123,6 +125,28 @@ class VerificationEngine final : public crypto::CryptoProvider {
 
   /// verify_one() through the same path.
   VerifyResult verify_one(const crypto::PublicKeyBytes& prover_key,
+                          const Peerset& candidates, std::string_view domain,
+                          BytesView nonce, const std::vector<Bytes>& proofs,
+                          const PeerId& claimed);
+
+  /// Backend-dispatching overloads (core/sampler.hpp). The default VRF
+  /// backend takes the prefetch/batch path above (bit-identical to the
+  /// pre-interface engine); any other backend replays through its own
+  /// verify() with this engine standing in as the CryptoProvider, so
+  /// primitive VRF checks still resolve through the verdict caches. A
+  /// backend without per-signer verdict semantics bypasses the caches
+  /// entirely (resolved against the inner provider) — invalidate() only
+  /// knows how to orphan per-signer state.
+  VerifyResult verify_sample(const SamplerBackend& backend,
+                             const crypto::PublicKeyBytes& prover_key,
+                             const Peerset& candidates, std::size_t want,
+                             std::string_view domain, BytesView nonce,
+                             const std::vector<Bytes>& proofs,
+                             const std::vector<PeerId>& claimed);
+
+  /// Single-pick variant of the backend-dispatching overload.
+  VerifyResult verify_one(const SamplerBackend& backend,
+                          const crypto::PublicKeyBytes& prover_key,
                           const Peerset& candidates, std::string_view domain,
                           BytesView nonce, const std::vector<Bytes>& proofs,
                           const PeerId& claimed);

@@ -11,6 +11,7 @@
 //     endpoints and their current rounds (so neither side can grind it).
 #pragma once
 
+#include "accountnet/core/sampler.hpp"
 #include "accountnet/core/select.hpp"
 
 namespace accountnet::core {
@@ -41,20 +42,22 @@ WitnessPlan plan_witness_group(const std::vector<PeerId>& neighborhood_producer,
                                const PeerId& producer, const PeerId& consumer,
                                std::size_t total);
 
-/// One side's verifiable witness draw.
-Draw draw_witnesses(const crypto::Signer& signer, const std::vector<PeerId>& candidates,
-                    std::size_t quota, BytesView nonce);
+/// One side's verifiable witness draw, through the configured sampler.
+Draw draw_witnesses(const SamplerBackend& sampler, const crypto::Signer& signer,
+                    const std::vector<PeerId>& candidates, std::size_t quota,
+                    BytesView nonce);
 
 /// Counterpart verification of a witness draw.
-VerifyResult verify_witnesses(const crypto::CryptoProvider& provider,
+VerifyResult verify_witnesses(const SamplerBackend& sampler,
+                              const crypto::CryptoProvider& provider,
                               const crypto::PublicKeyBytes& drawer_key,
                               const std::vector<PeerId>& candidates, std::size_t quota,
                               BytesView nonce, const std::vector<Bytes>& proofs,
                               const std::vector<PeerId>& claimed);
 
-/// Engine-backed overload: same verdicts, VRF proofs resolved through the
+/// Engine-backed overload: same verdicts, proofs resolved through the
 /// engine's cache/batch path (core/verification_engine.hpp).
-VerifyResult verify_witnesses(VerificationEngine& engine,
+VerifyResult verify_witnesses(const SamplerBackend& sampler, VerificationEngine& engine,
                               const crypto::PublicKeyBytes& drawer_key,
                               const std::vector<PeerId>& candidates, std::size_t quota,
                               BytesView nonce, const std::vector<Bytes>& proofs,

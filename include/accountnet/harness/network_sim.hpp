@@ -60,6 +60,10 @@ struct ExperimentConfig {
   sim::Duration launch_spacing_max = sim::seconds(10);
 
   std::size_t history_limit = 96;    ///< retained history entries per node
+  /// Verifiable-sampling backend for every node (core/sampler.hpp). The
+  /// default kVrf keeps seeded runs byte-identical to the pre-interface
+  /// harness; bench/sampler_compare sweeps the alternatives.
+  core::SamplerKind sampler = core::SamplerKind::kVrf;
   double verify_fraction = 0.05;     ///< fraction of shuffles fully verified
   bool track_coverage = false;       ///< per-node distinct-peers-seen bitsets
   bool track_shuffle_pairs = false;  ///< Fig. 5 heatmap (small |V| only)

@@ -88,8 +88,7 @@ VR verify_invalid_offer(const Accusation& acc, const crypto::CryptoProvider& pro
     }
     // An honest initiator's offer always passes the static checks; a signed
     // offer that fails them is transferable proof.
-    if (verify_offer_static(offer, acc.items[0].counterpart, protocol.shuffle_length,
-                            provider)) {
+    if (verify_offer_static(offer, acc.items[0].counterpart, protocol, provider)) {
       return VR::fail(VE::kAccusationNotProven, "offer verifies");
     }
     return VR::pass();
@@ -115,8 +114,7 @@ VR verify_invalid_response(const Accusation& acc, const crypto::CryptoProvider& 
     if (check_response_body_sig(response, acc.items[0].offer, provider) != VE::kNone) {
       return VR::fail(VE::kAccusationEvidenceInvalid, "response body signature");
     }
-    if (verify_response_static(response, offer, offer.initiator,
-                               protocol.shuffle_length, provider)) {
+    if (verify_response_static(response, offer, offer.initiator, protocol, provider)) {
       return VR::fail(VE::kAccusationNotProven, "response verifies");
     }
     return VR::pass();

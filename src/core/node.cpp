@@ -163,6 +163,14 @@ void Node::update_config(const ConfigDelta& delta) {
   if (delta.rpc_timeout) {
     AN_ENSURE_MSG(*delta.rpc_timeout > 0, "rpc_timeout must be positive");
   }
+  if (delta.sampler && *delta.sampler != config_.protocol.sampler) {
+    AN_ENSURE_MSG(!running_ && state_.round() == 0,
+                  "sampler backend cannot change mid-epoch");
+  }
+  if (delta.sampler) {
+    config_.protocol.sampler = *delta.sampler;
+    state_.set_sampler(*delta.sampler);
+  }
   if (delta.witness_count) config_.witness_count = *delta.witness_count;
   if (delta.majority_opt) config_.majority_opt = *delta.majority_opt;
   if (delta.shuffle_period) config_.shuffle_period = *delta.shuffle_period;
@@ -462,8 +470,9 @@ void Node::on_join_reply(const sim::NetMessage& msg) {
   // (the joiner cannot predict it before contacting the bootstrap).
   Peerset candidates(neighbors);
   candidates.erase(state_.self());
-  const Draw draw = draw_sample(state_.signer(), candidates, config_.protocol.max_peerset,
-                                "an.join.sample", stamp);
+  const Draw draw =
+      sampler().draw(state_.signer(), candidates, config_.protocol.max_peerset,
+                     "an.join.sample", stamp);
   {
     SpanScope span(*this, "join.apply", msg.trace);
     span.attr("sampled", std::to_string(draw.sample.size()));
@@ -518,8 +527,8 @@ void Node::begin_shuffle() {
     // The partner draw must replay over the *claimed* set or the proofs give
     // the lie away immediately. If the VRF lands on the fabricated peer
     // (nobody answers there), fall back to an honest round.
-    const auto draw = draw_one(state_.signer(), Peerset(doctored->claimed),
-                               kPartnerDomain, round_nonce(state_.round()));
+    const auto draw = sampler().draw_one(state_.signer(), Peerset(doctored->claimed),
+                                         kPartnerDomain, round_nonce(state_.round()));
     if (draw && !draw->sample.empty() &&
         state_.peerset().contains(draw->sample.front())) {
       choice = PartnerChoice{draw->sample.front(), draw->proofs};
@@ -637,9 +646,9 @@ void Node::on_round_reply(const sim::NetMessage& msg) {
     o.claimed_peerset = pending_->doctored->claimed;
     o.history_suffix = pending_->doctored->suffix;
     const Peerset claimed(pending_->doctored->claimed);
-    const Draw draw = draw_sample(state_.signer(), claimed.minus({pending_->partner}),
-                                  config_.protocol.shuffle_length - 1, kSampleDomain,
-                                  round_nonce(responder_round));
+    const Draw draw = sampler().draw(state_.signer(), claimed.minus({pending_->partner}),
+                                     config_.protocol.shuffle_length - 1, kSampleDomain,
+                                     round_nonce(responder_round));
     o.sample = draw.sample;
     o.sample_proofs = draw.proofs;
     metrics_.add(metrics_.counter("adv.attack.equivocate"));
@@ -1182,8 +1191,9 @@ void Node::on_channel_request(const sim::NetMessage& msg) {
                                          producer, state_.self(), config_.witness_count);
     const Bytes nonce =
         channel_nonce(producer, ch.producer_round, state_.self(), ch.my_round);
-    const Draw draw = draw_witnesses(state_.signer(), plan.candidates_consumer,
-                                     plan.quota_consumer, nonce);
+    const Draw draw = draw_witnesses(sampler(), state_.signer(),
+                                     plan.candidates_consumer, plan.quota_consumer,
+                                     nonce);
     ch.witnesses = draw.sample;  // producer half is merged at finalize
     wire::Writer w;
     w.u64(id);
@@ -1229,9 +1239,9 @@ void Node::on_channel_accept(const sim::NetMessage& msg) {
   const auto plan = plan_witness_group(ch.my_neighborhood, consumer_nbh, state_.self(),
                                        consumer, config_.witness_count);
   const Bytes nonce = channel_nonce(state_.self(), ch.my_round, consumer, consumer_round);
-  if (const auto v = verify_witnesses(engine_, consumer.key, plan.candidates_consumer,
-                                      plan.quota_consumer, nonce, consumer_proofs,
-                                      consumer_draw);
+  if (const auto v = verify_witnesses(sampler(), engine_, consumer.key,
+                                      plan.candidates_consumer, plan.quota_consumer,
+                                      nonce, consumer_proofs, consumer_draw);
       !v) {
     metrics_.add(ids_.verification_failures);
     span.attr("outcome", "verify_failed");
@@ -1241,8 +1251,9 @@ void Node::on_channel_accept(const sim::NetMessage& msg) {
     return;
   }
   ch.accepted = true;
-  const Draw my_draw = draw_witnesses(state_.signer(), plan.candidates_producer,
-                                      plan.quota_producer, nonce);
+  const Draw my_draw = draw_witnesses(sampler(), state_.signer(),
+                                      plan.candidates_producer, plan.quota_producer,
+                                      nonce);
   ch.witnesses = merge_witnesses(my_draw.sample, consumer_draw);
 
   // Tell the consumer our half of the draw (it re-verifies symmetrically).
@@ -1299,9 +1310,9 @@ void Node::on_channel_finalize(const sim::NetMessage& msg) {
                                        ch.producer, state_.self(), config_.witness_count);
   const Bytes nonce =
       channel_nonce(ch.producer, ch.producer_round, state_.self(), ch.my_round);
-  if (const auto v = verify_witnesses(engine_, ch.producer.key, plan.candidates_producer,
-                                      plan.quota_producer, nonce, producer_proofs,
-                                      producer_draw);
+  if (const auto v = verify_witnesses(sampler(), engine_, ch.producer.key,
+                                      plan.candidates_producer, plan.quota_producer,
+                                      nonce, producer_proofs, producer_draw);
       !v) {
     metrics_.add(ids_.verification_failures);
     consumer_channels_.erase(it);
@@ -1670,7 +1681,8 @@ void Node::trigger_witness_repair(const std::string& dead_addr) {
     const std::size_t quota = candidates.empty() ? 0 : 1;
     const Bytes nonce = repair_nonce(state_.self(), ch.my_round, ch.consumer,
                                      ch.consumer_round, dead_addr, ch.repair_epoch);
-    const Draw draw = draw_witnesses(state_.signer(), candidates, quota, nonce);
+    const Draw draw = draw_witnesses(sampler(), state_.signer(), candidates, quota,
+                                     nonce);
 
     wire::Writer inv;
     inv.u64(ch.id);
@@ -1741,8 +1753,8 @@ void Node::on_witness_update(const sim::NetMessage& msg) {
   const std::size_t quota = candidates.empty() ? 0 : 1;
   const Bytes nonce = repair_nonce(ch.producer, ch.producer_round, state_.self(),
                                    ch.my_round, dead_addr, epoch);
-  if (const auto v = verify_witnesses(engine_, ch.producer.key, candidates, quota,
-                                      nonce, proofs, sample);
+  if (const auto v = verify_witnesses(sampler(), engine_, ch.producer.key, candidates,
+                                      quota, nonce, proofs, sample);
       !v) {
     metrics_.add(ids_.verification_failures);
     return;

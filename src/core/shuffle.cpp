@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "accountnet/core/sampler.hpp"
 #include "accountnet/core/verification_engine.hpp"
 #include "accountnet/crypto/sha256.hpp"
 #include "accountnet/util/ensure.hpp"
@@ -146,7 +147,8 @@ ShuffleResponse ShuffleResponse::decode(BytesView data) {
 std::optional<PartnerChoice> choose_partner(const NodeState& state) {
   if (state.peerset().empty()) return std::nullopt;
   const Bytes nonce = round_nonce(state.round());
-  const auto draw = draw_one(state.signer(), state.peerset(), kPartnerDomain, nonce);
+  const auto& sb = sampler_backend(state.config().sampler);
+  const auto draw = sb.draw_one(state.signer(), state.peerset(), kPartnerDomain, nonce);
   if (!draw) return std::nullopt;
   return PartnerChoice{draw->sample.front(), draw->proofs};
 }
@@ -161,8 +163,9 @@ ShuffleOffer make_offer(const NodeState& state, const PartnerChoice& partner,
 
   const Peerset candidates = state.peerset().minus({partner.partner});
   const std::size_t want = state.config().shuffle_length - 1;  // L-1; v_i added implicitly
-  const Draw draw = draw_sample(state.signer(), candidates, want, kSampleDomain,
-                                round_nonce(responder_round));
+  const Draw draw = sampler_backend(state.config().sampler)
+                        .draw(state.signer(), candidates, want, kSampleDomain,
+                              round_nonce(responder_round));
   offer.sample = draw.sample;
   offer.sample_proofs = draw.proofs;
   offer.partner_proofs = partner.proofs;
@@ -180,6 +183,7 @@ namespace {
 
 struct ProviderVerifier {
   const crypto::CryptoProvider& p;
+  const SamplerBackend& sb;
 
   const crypto::CryptoProvider& provider() const { return p; }
   VerifyResult history(const std::vector<HistoryEntry>& suffix, const PeerId& owner,
@@ -189,18 +193,19 @@ struct ProviderVerifier {
   VerifyResult one(const crypto::PublicKeyBytes& pk, const Peerset& candidates,
                    std::string_view domain, BytesView nonce,
                    const std::vector<Bytes>& proofs, const PeerId& claimed) const {
-    return verify_one(p, pk, candidates, domain, nonce, proofs, claimed);
+    return sb.verify_one(p, pk, candidates, domain, nonce, proofs, claimed);
   }
   VerifyResult sample(const crypto::PublicKeyBytes& pk, const Peerset& candidates,
                       std::size_t want, std::string_view domain, BytesView nonce,
                       const std::vector<Bytes>& proofs,
                       const std::vector<PeerId>& claimed) const {
-    return verify_sample(p, pk, candidates, want, domain, nonce, proofs, claimed);
+    return sb.verify(p, pk, candidates, want, domain, nonce, proofs, claimed);
   }
 };
 
 struct EngineVerifier {
   VerificationEngine& e;
+  const SamplerBackend& sb;
 
   const crypto::CryptoProvider& provider() const { return e; }
   VerifyResult history(const std::vector<HistoryEntry>& suffix, const PeerId& owner,
@@ -210,13 +215,13 @@ struct EngineVerifier {
   VerifyResult one(const crypto::PublicKeyBytes& pk, const Peerset& candidates,
                    std::string_view domain, BytesView nonce,
                    const std::vector<Bytes>& proofs, const PeerId& claimed) const {
-    return e.verify_one(pk, candidates, domain, nonce, proofs, claimed);
+    return e.verify_one(sb, pk, candidates, domain, nonce, proofs, claimed);
   }
   VerifyResult sample(const crypto::PublicKeyBytes& pk, const Peerset& candidates,
                       std::size_t want, std::string_view domain, BytesView nonce,
                       const std::vector<Bytes>& proofs,
                       const std::vector<PeerId>& claimed) const {
-    return e.verify_sample(pk, candidates, want, domain, nonce, proofs, claimed);
+    return e.verify_sample(sb, pk, candidates, want, domain, nonce, proofs, claimed);
   }
 };
 
@@ -273,16 +278,18 @@ VerifyResult verify_offer_static_impl(const ShuffleOffer& offer, const PeerId& r
 }  // namespace
 
 VerifyResult verify_offer_static(const ShuffleOffer& offer, const PeerId& responder,
-                                 std::size_t shuffle_length,
+                                 const NodeConfig& protocol,
                                  const crypto::CryptoProvider& provider) {
-  return verify_offer_static_impl(offer, responder, shuffle_length,
-                                  ProviderVerifier{provider});
+  return verify_offer_static_impl(
+      offer, responder, protocol.shuffle_length,
+      ProviderVerifier{provider, sampler_backend(protocol.sampler)});
 }
 
 VerifyResult verify_offer_static(const ShuffleOffer& offer, const PeerId& responder,
-                                 std::size_t shuffle_length, VerificationEngine& engine) {
-  return verify_offer_static_impl(offer, responder, shuffle_length,
-                                  EngineVerifier{engine});
+                                 const NodeConfig& protocol, VerificationEngine& engine) {
+  return verify_offer_static_impl(
+      offer, responder, protocol.shuffle_length,
+      EngineVerifier{engine, sampler_backend(protocol.sampler)});
 }
 
 VerifyResult verify_offer(const ShuffleOffer& offer, const NodeState& state,
@@ -290,8 +297,7 @@ VerifyResult verify_offer(const ShuffleOffer& offer, const NodeState& state,
   if (offer.responder_round != expected_round) {
     return VerifyResult::fail(VerifyError::kStaleRoundNonce);
   }
-  return verify_offer_static(offer, state.self(), state.config().shuffle_length,
-                             provider);
+  return verify_offer_static(offer, state.self(), state.config(), provider);
 }
 
 VerifyResult verify_offer(const ShuffleOffer& offer, const NodeState& state,
@@ -299,7 +305,7 @@ VerifyResult verify_offer(const ShuffleOffer& offer, const NodeState& state,
   if (offer.responder_round != expected_round) {
     return VerifyResult::fail(VerifyError::kStaleRoundNonce);
   }
-  return verify_offer_static(offer, state.self(), state.config().shuffle_length, engine);
+  return verify_offer_static(offer, state.self(), state.config(), engine);
 }
 
 HistoryEntry apply_update(NodeState& state, const PeerId& counterpart,
@@ -354,8 +360,9 @@ ShuffleResponse make_response_and_commit(NodeState& state, const ShuffleOffer& o
 
   // B: L peers drawn from N_j - {v_i}, seeded by the initiator's round.
   const Peerset candidates = state.peerset().minus({offer.initiator});
-  const Draw draw = draw_sample(state.signer(), candidates, state.config().shuffle_length,
-                                kSampleDomain, round_nonce(offer.initiator_round));
+  const Draw draw = sampler_backend(state.config().sampler)
+                        .draw(state.signer(), candidates, state.config().shuffle_length,
+                              kSampleDomain, round_nonce(offer.initiator_round));
   resp.sample = draw.sample;
   resp.sample_proofs = draw.proofs;
 
@@ -411,31 +418,33 @@ VerifyResult verify_response_static_impl(const ShuffleResponse& response,
 
 VerifyResult verify_response_static(const ShuffleResponse& response,
                                     const ShuffleOffer& sent_offer,
-                                    const PeerId& initiator, std::size_t shuffle_length,
+                                    const PeerId& initiator, const NodeConfig& protocol,
                                     const crypto::CryptoProvider& provider) {
-  return verify_response_static_impl(response, sent_offer, initiator, shuffle_length,
-                                     ProviderVerifier{provider});
+  return verify_response_static_impl(
+      response, sent_offer, initiator, protocol.shuffle_length,
+      ProviderVerifier{provider, sampler_backend(protocol.sampler)});
 }
 
 VerifyResult verify_response_static(const ShuffleResponse& response,
                                     const ShuffleOffer& sent_offer,
-                                    const PeerId& initiator, std::size_t shuffle_length,
+                                    const PeerId& initiator, const NodeConfig& protocol,
                                     VerificationEngine& engine) {
-  return verify_response_static_impl(response, sent_offer, initiator, shuffle_length,
-                                     EngineVerifier{engine});
+  return verify_response_static_impl(
+      response, sent_offer, initiator, protocol.shuffle_length,
+      EngineVerifier{engine, sampler_backend(protocol.sampler)});
 }
 
 VerifyResult verify_response(const ShuffleResponse& response, const NodeState& state,
                              const ShuffleOffer& sent_offer,
                              const crypto::CryptoProvider& provider) {
-  return verify_response_static(response, sent_offer, state.self(),
-                                state.config().shuffle_length, provider);
+  return verify_response_static(response, sent_offer, state.self(), state.config(),
+                                provider);
 }
 
 VerifyResult verify_response(const ShuffleResponse& response, const NodeState& state,
                              const ShuffleOffer& sent_offer, VerificationEngine& engine) {
-  return verify_response_static(response, sent_offer, state.self(),
-                                state.config().shuffle_length, engine);
+  return verify_response_static(response, sent_offer, state.self(), state.config(),
+                                engine);
 }
 
 Bytes offer_body_payload(BytesView offer_core, const PeerId& responder) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "accountnet/core/sampler.hpp"
 #include "accountnet/core/select.hpp"
 #include "accountnet/crypto/sha256.hpp"
 #include "accountnet/util/ensure.hpp"
@@ -423,6 +424,39 @@ VerifyResult VerificationEngine::verify_one(const crypto::PublicKeyBytes& prover
                                             const std::vector<Bytes>& proofs,
                                             const PeerId& claimed) {
   return verify_sample(prover_key, candidates, 1, domain, nonce, proofs, {claimed});
+}
+
+VerifyResult VerificationEngine::verify_sample(const SamplerBackend& backend,
+                                               const crypto::PublicKeyBytes& prover_key,
+                                               const Peerset& candidates,
+                                               std::size_t want, std::string_view domain,
+                                               BytesView nonce,
+                                               const std::vector<Bytes>& proofs,
+                                               const std::vector<PeerId>& claimed) {
+  const auto& caps = backend.capabilities();
+  if (caps.kind == SamplerKind::kVrf) {
+    // The paper's backend keeps the dedicated prefetch/batch path so default
+    // runs stay bit-identical to the pre-interface engine.
+    return verify_sample(prover_key, candidates, want, domain, nonce, proofs, claimed);
+  }
+  // Other backends replay through their own verify(); `*this` (or the inner
+  // provider, if the backend's verdicts are not per-signer and thus outside
+  // invalidate()'s reach) resolves the primitive VRF checks.
+  const crypto::CryptoProvider& resolver =
+      caps.per_signer_verdicts ? static_cast<const crypto::CryptoProvider&>(*this)
+                               : inner_;
+  return backend.verify(resolver, prover_key, candidates, want, domain, nonce, proofs,
+                        claimed);
+}
+
+VerifyResult VerificationEngine::verify_one(const SamplerBackend& backend,
+                                            const crypto::PublicKeyBytes& prover_key,
+                                            const Peerset& candidates,
+                                            std::string_view domain, BytesView nonce,
+                                            const std::vector<Bytes>& proofs,
+                                            const PeerId& claimed) {
+  return verify_sample(backend, prover_key, candidates, 1, domain, nonce, proofs,
+                       {claimed});
 }
 
 void VerificationEngine::invalidate(const PeerId& node) {

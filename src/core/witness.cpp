@@ -67,27 +67,29 @@ WitnessPlan plan_witness_group(const std::vector<PeerId>& neighborhood_producer,
   return plan;
 }
 
-Draw draw_witnesses(const crypto::Signer& signer, const std::vector<PeerId>& candidates,
-                    std::size_t quota, BytesView nonce) {
-  return draw_sample(signer, Peerset(candidates), quota, kWitnessDomain, nonce);
+Draw draw_witnesses(const SamplerBackend& sampler, const crypto::Signer& signer,
+                    const std::vector<PeerId>& candidates, std::size_t quota,
+                    BytesView nonce) {
+  return sampler.draw(signer, Peerset(candidates), quota, kWitnessDomain, nonce);
 }
 
-VerifyResult verify_witnesses(const crypto::CryptoProvider& provider,
+VerifyResult verify_witnesses(const SamplerBackend& sampler,
+                              const crypto::CryptoProvider& provider,
                               const crypto::PublicKeyBytes& drawer_key,
                               const std::vector<PeerId>& candidates, std::size_t quota,
                               BytesView nonce, const std::vector<Bytes>& proofs,
                               const std::vector<PeerId>& claimed) {
-  return verify_sample(provider, drawer_key, Peerset(candidates), quota, kWitnessDomain,
-                       nonce, proofs, claimed);
+  return sampler.verify(provider, drawer_key, Peerset(candidates), quota, kWitnessDomain,
+                        nonce, proofs, claimed);
 }
 
-VerifyResult verify_witnesses(VerificationEngine& engine,
+VerifyResult verify_witnesses(const SamplerBackend& sampler, VerificationEngine& engine,
                               const crypto::PublicKeyBytes& drawer_key,
                               const std::vector<PeerId>& candidates, std::size_t quota,
                               BytesView nonce, const std::vector<Bytes>& proofs,
                               const std::vector<PeerId>& claimed) {
-  return engine.verify_sample(drawer_key, Peerset(candidates), quota, kWitnessDomain,
-                              nonce, proofs, claimed);
+  return engine.verify_sample(sampler, drawer_key, Peerset(candidates), quota,
+                              kWitnessDomain, nonce, proofs, claimed);
 }
 
 std::vector<PeerId> merge_witnesses(const std::vector<PeerId>& from_producer,

@@ -66,6 +66,7 @@ NetworkSim::NetworkSim(ExperimentConfig config)
   node_config.max_peerset = config_.f;
   node_config.shuffle_length = config_.l;
   node_config.history_limit = config_.history_limit;
+  node_config.sampler = config_.sampler;
 
   nodes_.reserve(config_.network_size);
   const std::size_t lanes =
@@ -198,8 +199,9 @@ void NetworkSim::launch_node(std::size_t idx) {
     const Bytes stamp =
         bn.state->signer().sign(core::join_stamp_payload(hn.state->self().addr));
     const core::Draw draw =
-        core::draw_sample(hn.state->signer(), core::Peerset(offer), config_.f,
-                          "an.join.sample", stamp);
+        core::sampler_backend(config_.sampler)
+            .draw(hn.state->signer(), core::Peerset(offer), config_.f,
+                  "an.join.sample", stamp);
     hn.state->apply_join(bn.state->self(), stamp, draw.sample);
     hn.joined = true;
   }

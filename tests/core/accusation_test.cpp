@@ -143,8 +143,7 @@ TEST_F(AccusationFixture, SignedCheatingOfferConvicts) {
   ASSERT_FALSE(offer.history_suffix.empty());
   offer.history_suffix.front().signature.front() ^= 0x01;  // forge an entry
   sign_offer(offer);  // the cheater signs what it actually sends
-  ASSERT_FALSE(verify_offer_static(offer, responder_->self(), config_.shuffle_length,
-                                   *provider_));
+  ASSERT_FALSE(verify_offer_static(offer, responder_->self(), config_, *provider_));
 
   Accusation acc = base_accusation(AccusationKind::kInvalidOffer, initiator_->self(),
                                    *responder_);
@@ -224,8 +223,8 @@ TEST_F(AccusationFixture, SignedCheatingResponseConvicts) {
   resp.history_suffix.front().signature.front() ^= 0x01;
   resp.body_sig = responder_->signer().sign(
       response_body_payload(offer_wire, resp.encode_core()));
-  ASSERT_FALSE(verify_response_static(resp, offer, initiator_->self(),
-                                      config_.shuffle_length, *provider_));
+  ASSERT_FALSE(verify_response_static(resp, offer, initiator_->self(), config_,
+                                      *provider_));
 
   Accusation acc = base_accusation(AccusationKind::kInvalidResponse,
                                    responder_->self(), *initiator_);

@@ -178,13 +178,42 @@ TEST_F(NodeMetrics, UpdateConfigValidatesBeforeApplying) {
   EXPECT_THROW(node->update_config(mixed), EnsureError);
 }
 
-TEST_F(NodeMetrics, DeprecatedSetWitnessPolicyForwards) {
+// Witness policy changes go through update_config like every other knob
+// (the set_witness_policy shim is gone; see docs/API.md).
+TEST_F(NodeMetrics, WitnessPolicyViaUpdateConfig) {
   const auto node = make("n0", 2);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_NO_THROW(node->set_witness_policy(5, true));
-  EXPECT_THROW(node->set_witness_policy(0, false), EnsureError);
-#pragma GCC diagnostic pop
+  Node::ConfigDelta ok;
+  ok.witness_count = 5;
+  ok.majority_opt = true;
+  EXPECT_NO_THROW(node->update_config(ok));
+
+  Node::ConfigDelta bad;
+  bad.witness_count = 0;
+  bad.majority_opt = false;
+  EXPECT_THROW(node->update_config(bad), EnsureError);
+}
+
+// The sampler backend is part of the protocol identity: it may be chosen
+// before the node starts, but never swapped mid-epoch.
+TEST_F(NodeMetrics, SamplerSwapOnlyBeforeStart) {
+  const auto fresh = make("n0", 3);
+  EXPECT_EQ(fresh->sampler().capabilities().kind, SamplerKind::kVrf);
+  Node::ConfigDelta pick;
+  pick.sampler = SamplerKind::kPeerSwap;
+  EXPECT_NO_THROW(fresh->update_config(pick));
+  EXPECT_EQ(fresh->sampler().capabilities().kind, SamplerKind::kPeerSwap);
+
+  const auto running = make("n1", 4);
+  running->start_as_seed();
+  Node::ConfigDelta swap;
+  swap.sampler = SamplerKind::kHoneybee;
+  EXPECT_THROW(running->update_config(swap), EnsureError);
+
+  // Re-stating the current backend is a no-op, not an error.
+  Node::ConfigDelta same;
+  same.sampler = SamplerKind::kVrf;
+  EXPECT_NO_THROW(running->update_config(same));
+  EXPECT_EQ(running->sampler().capabilities().kind, SamplerKind::kVrf);
 }
 
 }  // namespace

@@ -113,6 +113,7 @@ class WitnessDrawFixture : public ::testing::Test {
   std::unique_ptr<crypto::CryptoProvider> provider_ = crypto::make_fast_crypto();
   std::unique_ptr<crypto::Signer> producer_ = provider_->make_signer(Bytes(32, 1));
   std::unique_ptr<crypto::Signer> consumer_ = provider_->make_signer(Bytes(32, 2));
+  const SamplerBackend& sampler_ = sampler_backend(SamplerKind::kVrf);
 };
 
 TEST_F(WitnessDrawFixture, BothSidesDrawAndCrossVerify) {
@@ -122,17 +123,17 @@ TEST_F(WitnessDrawFixture, BothSidesDrawAndCrossVerify) {
   const auto plan = plan_witness_group(ni, nj, p, c, 8);
   const Bytes nonce = channel_nonce(p, 5, c, 9);
 
-  const Draw dp = draw_witnesses(*producer_, plan.candidates_producer,
+  const Draw dp = draw_witnesses(sampler_, *producer_, plan.candidates_producer,
                                  plan.quota_producer, nonce);
-  const Draw dc = draw_witnesses(*consumer_, plan.candidates_consumer,
+  const Draw dc = draw_witnesses(sampler_, *consumer_, plan.candidates_consumer,
                                  plan.quota_consumer, nonce);
   EXPECT_EQ(dp.sample.size(), plan.quota_producer);
   EXPECT_EQ(dc.sample.size(), plan.quota_consumer);
 
-  EXPECT_TRUE(verify_witnesses(*provider_, producer_->public_key(),
+  EXPECT_TRUE(verify_witnesses(sampler_, *provider_, producer_->public_key(),
                                plan.candidates_producer, plan.quota_producer, nonce,
                                dp.proofs, dp.sample));
-  EXPECT_TRUE(verify_witnesses(*provider_, consumer_->public_key(),
+  EXPECT_TRUE(verify_witnesses(sampler_, *provider_, consumer_->public_key(),
                                plan.candidates_consumer, plan.quota_consumer, nonce,
                                dc.proofs, dc.sample));
 
@@ -144,7 +145,8 @@ TEST_F(WitnessDrawFixture, HandPickedWitnessesRejected) {
   const auto ni = make_peers("i", 20);
   const auto plan = plan_witness_group(ni, make_peers("j", 20), pid("P"), pid("C"), 8);
   const Bytes nonce = channel_nonce(pid("P"), 5, pid("C"), 9);
-  Draw d = draw_witnesses(*producer_, plan.candidates_producer, plan.quota_producer, nonce);
+  Draw d = draw_witnesses(sampler_, *producer_, plan.candidates_producer,
+                          plan.quota_producer, nonce);
   // Swap in a candidate the VRF did not choose.
   for (const auto& alt : plan.candidates_producer) {
     if (std::find(d.sample.begin(), d.sample.end(), alt) == d.sample.end()) {
@@ -152,7 +154,7 @@ TEST_F(WitnessDrawFixture, HandPickedWitnessesRejected) {
       break;
     }
   }
-  EXPECT_FALSE(verify_witnesses(*provider_, producer_->public_key(),
+  EXPECT_FALSE(verify_witnesses(sampler_, *provider_, producer_->public_key(),
                                 plan.candidates_producer, plan.quota_producer, nonce,
                                 d.proofs, d.sample));
 }
@@ -179,7 +181,7 @@ TEST_F(WitnessDrawFixture, WitnessSamplingUnbiasedOverChannels) {
   const int trials = 1500;
   for (int t = 0; t < trials; ++t) {
     const Bytes nonce = channel_nonce(pid("P"), static_cast<Round>(t), pid("C"), 1);
-    const Draw d = draw_witnesses(*producer_, candidates, 4, nonce);
+    const Draw d = draw_witnesses(sampler_, *producer_, candidates, 4, nonce);
     for (const auto& w : d.sample) ++hits[w.addr];
   }
   for (const auto& cand : candidates) {
