@@ -4,7 +4,12 @@
 // update histories — but trim too hard and a node occasionally cannot prove
 // its own peerset (a peer has survived since before the retained window),
 // which surfaces as verification failures. This sweeps the retention limit
-// against two (f, L) configurations.
+// against two (f, L) configurations, first bare (the pre-checkpoint safe
+// floor), then with signed checkpoints sealing the history: anchored proofs
+// replay from the sealed peerset, so the floor disappears and every limit
+// verifies clean.
+//
+// Emits BENCH_history.json (JSON-lines, one row per (f, L, limit, interval)).
 #include "bench_sim.hpp"
 
 int main(int argc, char** argv) {
@@ -12,6 +17,7 @@ int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
   bench::print_header("abl_history_limit",
                       "ablation — history retention vs proof completeness", args.full);
+  obs::JsonLinesSink sink("BENCH_history.json");
 
   const std::size_t v = args.full ? 1000 : 400;
   struct Cfg {
@@ -19,28 +25,54 @@ int main(int argc, char** argv) {
   };
   const std::vector<Cfg> cfgs = {{5, 3}, {10, 3}};
   const std::vector<std::size_t> limits = {4, 8, 16, 32, 96};
+  // 0 = no checkpoints (the historical sweep); 16 anchors proofs at a seal
+  // cadence well below the smallest failing retention limit.
+  const std::vector<std::uint64_t> intervals = {0, 16};
 
-  for (const auto& cfg : cfgs) {
-    Table t({"history_limit", "shuffles", "verified", "proof failures",
-             "mean suffix", "p99 suffix"});
-    for (const auto limit : limits) {
-      auto config = bench::paper_config(v, cfg.f, 2, args.seed);
-      config.l = cfg.l;
-      config.history_limit = limit;
-      config.verify_fraction = 1.0;  // every proof checked
-      harness::NetworkSim sim(config);
-      sim.run(bench::steady_rounds(config, 20), nullptr);
-      const auto samples = sim.take_history_length_samples();
-      t.add_row({std::to_string(limit), std::to_string(sim.stats().shuffles_completed),
-                 std::to_string(sim.stats().shuffles_verified),
-                 std::to_string(sim.stats().verification_failures),
-                 Table::num(samples.mean()), Table::num(samples.percentile(99), 0)});
-      std::printf(".");
-      std::fflush(stdout);
+  for (const auto interval : intervals) {
+    for (const auto& cfg : cfgs) {
+      Table t({"history_limit", "shuffles", "verified", "proof failures",
+               "mean suffix", "p99 suffix"});
+      for (const auto limit : limits) {
+        auto config = bench::paper_config(v, cfg.f, 2, args.seed);
+        config.l = cfg.l;
+        config.history_limit = limit;
+        config.checkpoint_interval = interval;
+        config.verify_fraction = 1.0;  // every proof checked
+        harness::NetworkSim sim(config);
+        sim.run(bench::steady_rounds(config, 20), nullptr);
+        const auto samples = sim.take_history_length_samples();
+        t.add_row({std::to_string(limit),
+                   std::to_string(sim.stats().shuffles_completed),
+                   std::to_string(sim.stats().shuffles_verified),
+                   std::to_string(sim.stats().verification_failures),
+                   Table::num(samples.mean()), Table::num(samples.percentile(99), 0)});
+        sink.raw_line(
+            "{\"bench\":\"abl_history_limit\",\"n\":" + std::to_string(v) +
+            ",\"f\":" + std::to_string(cfg.f) + ",\"l\":" + std::to_string(cfg.l) +
+            ",\"history_limit\":" + std::to_string(limit) +
+            ",\"checkpoint_interval\":" + std::to_string(interval) +
+            ",\"seed\":" + std::to_string(args.seed) +
+            ",\"shuffles_completed\":" + std::to_string(sim.stats().shuffles_completed) +
+            ",\"shuffles_verified\":" + std::to_string(sim.stats().shuffles_verified) +
+            ",\"proof_failures\":" + std::to_string(sim.stats().verification_failures) +
+            ",\"mean_suffix\":" + Table::num(samples.mean()) +
+            ",\"p99_suffix\":" + Table::num(samples.percentile(99), 0) + "}");
+        std::printf(".");
+        std::fflush(stdout);
+      }
+      if (interval == 0) {
+        std::printf("\n(f=%zu, L=%zu, no checkpoints): failures appear once the "
+                    "limit undercuts the suffix tail\n%s",
+                    cfg.f, cfg.l, t.to_string().c_str());
+      } else {
+        std::printf("\n(f=%zu, L=%zu, checkpoint every %llu entries): anchored "
+                    "proofs verify at every limit — the safe floor is gone\n%s",
+                    cfg.f, cfg.l, static_cast<unsigned long long>(interval),
+                    t.to_string().c_str());
+      }
     }
-    std::printf("\n(f=%zu, L=%zu): failures appear once the limit undercuts the "
-                "suffix tail\n%s",
-                cfg.f, cfg.l, t.to_string().c_str());
   }
+  std::printf("wrote BENCH_history.json\n");
   return 0;
 }

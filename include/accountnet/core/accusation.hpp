@@ -39,6 +39,8 @@ enum class AccusationKind : std::uint8_t {
   kRelayTamper = 5,           ///< forward signed for a payload the producer never sent
   kTestimonyMismatch = 6,     ///< witness's forward and testimony digests conflict
   kRelayOmission = 7,         ///< duty + relayed data shown; convicted via challenge
+  kSegmentMismatch = 8,       ///< signed catch-up segment contradicts the same
+                              ///< node's signed checkpoint digest
 };
 
 /// Metric suffix for a kind ("invalid_offer", ...).
@@ -47,11 +49,13 @@ const char* accusation_kind_tag(AccusationKind kind);
 /// One body-signed exchange attributable to the accused. shape 1 carries an
 /// offer the accused initiated (addressed to `counterpart`); shape 2 carries
 /// a response the accused gave to `offer` (the response signature binds the
-/// offer bytes, so the pair verifies as a unit).
+/// offer bytes, so the pair verifies as a unit); shape 3 carries a signed
+/// checkpoint (`offer` slot) plus a signed catch-up segment (`response`
+/// slot), both from the accused (kSegmentMismatch).
 struct ExchangeItem {
-  std::uint8_t shape = 0;  ///< 1 = offer, 2 = offer + response
-  Bytes offer;             ///< offer wire bytes
-  Bytes response;          ///< response wire bytes (shape 2)
+  std::uint8_t shape = 0;  ///< 1 = offer, 2 = offer + response, 3 = ckpt + segment
+  Bytes offer;             ///< offer wire bytes (shape 3: checkpoint wire bytes)
+  Bytes response;          ///< response wire bytes (shape 3: segment wire bytes)
   PeerId counterpart;      ///< shape 1: the responder the offer addressed
 };
 

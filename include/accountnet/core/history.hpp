@@ -17,6 +17,7 @@
 //   leave   — reporter signs    "an.leave"   ‖ its round ‖ leaver address
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -61,6 +62,15 @@ PeerId decode_peer(wire::Reader& r);
 void encode_entry(wire::Writer& w, const HistoryEntry& e);
 HistoryEntry decode_entry(wire::Reader& r);
 
+/// Rolling chain digest over an entry sequence, shared by the verification
+/// engine's partner memos (verification_engine.cpp) and signed checkpoints
+/// (checkpoint.hpp): c_k = SHA256(c_{k-1} ‖ SHA256(encode_entry(e_k))),
+/// c_0 = 0^32. A chain value commits to the exact wire bytes of every entry
+/// it folded, so equal chains over equal counts mean byte-identical prefixes.
+using ChainDigest = std::array<std::uint8_t, 32>;
+ChainDigest entry_digest(const HistoryEntry& e);
+ChainDigest chain_step(const ChainDigest& prev, const ChainDigest& entry);
+
 class UpdateHistory {
  public:
   void append(HistoryEntry entry);
@@ -69,6 +79,25 @@ class UpdateHistory {
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
   const HistoryEntry& back() const;
+
+  /// Rolling chain over *every* entry ever appended (trim-independent).
+  const ChainDigest& chain() const { return chain_; }
+
+  /// Chain over the trimmed-away prefix: chain_at(first_index()).
+  const ChainDigest& base_chain() const { return base_chain_; }
+
+  /// Global index of the oldest retained entry == number of entries trimmed
+  /// away so far. entries()[i] has global index first_index() + i.
+  std::uint64_t first_index() const { return trim_count_; }
+
+  /// Chain over the first `index` entries ever appended. `index` must lie in
+  /// [first_index(), total_appended()] — older prefixes were folded into
+  /// base_chain() and cannot be re-derived.
+  ChainDigest chain_at(std::uint64_t index) const;
+
+  /// Up to `count` retained entries starting at global index `index`
+  /// (oldest first); empty if `index` precedes the retained window.
+  std::vector<HistoryEntry> entries_from(std::uint64_t index, std::size_t count) const;
 
   /// Replays entries (oldest first) from an empty set.
   static Peerset reconstruct(const std::vector<HistoryEntry>& suffix);
@@ -91,9 +120,19 @@ class UpdateHistory {
   /// Total entries ever appended (survives trimming).
   std::uint64_t total_appended() const { return total_appended_; }
 
+  /// Rebuilds a trimmed history from recovered durable state: `first_index`
+  /// entries were compacted away leaving `base` as their chain; `entries`
+  /// are the retained window, oldest first. chain() is re-derived by folding
+  /// the window onto `base`.
+  static UpdateHistory restore(const ChainDigest& base, std::uint64_t first_index,
+                               std::vector<HistoryEntry> entries);
+
  private:
   std::vector<HistoryEntry> entries_;
   std::uint64_t total_appended_ = 0;
+  std::uint64_t trim_count_ = 0;
+  ChainDigest chain_{};       ///< Over all total_appended_ entries.
+  ChainDigest base_chain_{};  ///< Over the trim_count_ trimmed entries.
 };
 
 /// One deferred counterpart-signature check produced by plan_history_checks():

@@ -70,6 +70,9 @@ enum class MsgType : std::uint32_t {
   kWitnessUpdateAck = 25,
   kAccusation = 26,
   kAccusationAck = 27,
+  kCheckpointAnnounce = 28,
+  kSegmentRequest = 29,
+  kSegmentData = 30,
 };
 
 /// Stable snake_case name for a message type ("shuffle_offer", ...); used as
@@ -154,6 +157,29 @@ class Node {
     };
     Accountability accountability;
 
+    /// Durability and catch-up sync (disabled by default — defaults reproduce
+    /// the pre-durability wire format bit-for-bit). When enabled, the node
+    /// announces each sealed checkpoint (protocol.checkpoint_interval governs
+    /// sealing), mirrors counterpart sealed histories by fetching missing
+    /// entry ranges in bounded chunks, verifies every fetched chunk
+    /// fail-closed against the announced chain digest, and convicts a server
+    /// whose signed segment contradicts its own signed checkpoint
+    /// (AccusationKind::kSegmentMismatch).
+    struct Durability {
+      bool enabled = false;
+      /// Non-owning write-ahead journal (storage/node_store.hpp). Entries,
+      /// seals, round marks and standing changes stream into it; catch-up
+      /// SegmentRequests are also served from it once the in-memory window
+      /// has been trimmed. May be null (announce/sync only, no persistence).
+      HistoryJournal* journal = nullptr;
+      /// Broadcast kCheckpointAnnounce to the current peerset on each seal
+      /// (and, with want_reply, on recovery).
+      bool announce_checkpoints = true;
+      std::size_t max_segment_entries = 64;  ///< per-SegmentData chunk cap
+      std::size_t max_synced_peers = 256;    ///< mirror-state FIFO bound
+    };
+    Durability durability;
+
     /// Verification-engine knobs (caches on by default; defaults preserve
     /// verdicts bit-for-bit — see core/verification_engine.hpp).
     VerificationEngine::Config verification;
@@ -223,6 +249,14 @@ class Node {
 
   /// Joins through `bootstrap_addr` (Sec. IV-A) and begins the shuffle timer.
   void start_join(const std::string& bootstrap_addr);
+
+  /// Crash-restart recovery: resumes from journal-replayed state (history
+  /// window + checkpoint + round high-water mark + peer standing) with the
+  /// pre-crash identity, re-attaches to the fabric, and — when durability
+  /// announcements are on — announces its latest checkpoint with want_reply
+  /// so both sides of every peering catch up on what they missed. The node
+  /// is immediately joined(); no bootstrap round-trip is needed.
+  void start_recovered(const RecoveredNode& rec);
 
   /// Ungraceful leave: detaches from the fabric; peers discover via timeouts.
   void stop();
@@ -534,6 +568,18 @@ class Node {
   void on_witness_update_ack(const sim::NetMessage& msg);
   void schedule_witness_health();
 
+  // Durability / catch-up sync (docs/RESILIENCE.md). The node mirrors each
+  // counterpart's sealed history as (entry count, accumulated chain digest);
+  // an announce with a newer seal triggers bounded segment fetches that are
+  // verified fail-closed chunk by chunk.
+  bool durable() const { return config_.durability.enabled; }
+  /// Detects a fresh seal (epoch advanced) and broadcasts the announce.
+  void maybe_announce_checkpoint();
+  void send_checkpoint_announce(const std::string& to, bool want_reply);
+  void on_checkpoint_announce(const sim::NetMessage& msg);
+  void on_segment_request(const sim::NetMessage& msg);
+  void on_segment_data(const sim::NetMessage& msg);
+
   // Evidence / history query service.
   void on_testimony_query(const sim::NetMessage& msg);
   void on_testimony_reply(const sim::NetMessage& msg);
@@ -676,6 +722,21 @@ class Node {
   std::map<std::uint64_t, std::pair<TestimonyReplyCallback, std::uint64_t>>
       testimony_waiters_;
   std::map<std::uint64_t, std::pair<EntryCallback, std::uint64_t>> entry_waiters_;
+
+  // Durability / catch-up sync state: our mirror of each peer's sealed
+  // history. `synced`/`chain` advance only over verified chunks; `target`
+  // holds the checkpoint currently being synced toward (sync in flight).
+  struct PeerSyncState {
+    std::uint64_t synced = 0;   ///< entries verified so far
+    ChainDigest chain{};        ///< accumulated chain digest at `synced`
+    std::uint64_t epoch = 0;    ///< latest fully mirrored checkpoint epoch
+    std::uint64_t rpc = 0;      ///< outstanding kSegmentRequest (0 = none)
+    std::uint64_t request_id = 0;
+    std::optional<Checkpoint> target;
+  };
+  BoundedMap<std::string, PeerSyncState> peer_sync_{config_.durability.max_synced_peers};
+  void request_next_segment(const std::string& addr, PeerSyncState& sync);
+  std::uint64_t announced_epoch_ = 0;  ///< last self-seal broadcast
 
   // Accountability state.
   AdversaryPolicy adversary_ = config_.adversary;

@@ -5,7 +5,9 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
+#include "accountnet/core/checkpoint.hpp"
 #include "accountnet/core/history.hpp"
 #include "accountnet/core/peerset.hpp"
 #include "accountnet/core/sampler.hpp"
@@ -13,10 +15,23 @@
 
 namespace accountnet::core {
 
+/// Network-wide default for retained history entries. The event-driven node
+/// and the simulation harness share this value — they previously diverged
+/// (512 vs 96), silently giving the two drivers different proof-degradation
+/// behavior. bench/abl_history_limit measures the safe floor per (f, L); 96
+/// clears it for every paper configuration, and checkpoint anchoring
+/// (checkpoint.hpp) removes the floor entirely.
+inline constexpr std::size_t kDefaultHistoryLimit = 96;
+
 struct NodeConfig {
   std::size_t max_peerset = 10;    ///< f — maximum peerset size.
   std::size_t shuffle_length = 5;  ///< L — peers exchanged per shuffle.
-  std::size_t history_limit = 512; ///< Retained history entries (0 = unlimited).
+  /// Retained history entries (0 = unlimited). With checkpointing on, unsealed
+  /// entries are always retained regardless of this bound.
+  std::size_t history_limit = kDefaultHistoryLimit;
+  /// Seal a signed checkpoint every this many appended entries (0 = never,
+  /// the default: checkpointing is opt-in and changes no wire bytes when off).
+  std::uint64_t checkpoint_interval = 0;
   /// Verifiable-sampling backend for every draw (core/sampler.hpp). Must be
   /// identical network-wide; proofs from one backend never verify under
   /// another (domain separation). kVrf is the paper's algorithm.
@@ -65,15 +80,38 @@ class NodeState {
   /// Low-level mutators used by the shuffle engine.
   void commit_shuffle(HistoryEntry entry, Peerset next_peerset);
   /// Burns a round without a peerset change (failed/aborted shuffle).
-  void skip_round() { ++round_; }
+  void skip_round();
+
+  /// Latest sealed checkpoint (nullopt until checkpoint_interval entries
+  /// accumulate, or always when checkpointing is off).
+  const std::optional<Checkpoint>& checkpoint() const { return checkpoint_; }
+
+  /// Attaches a durability journal (non-owning; may be null). Every commit
+  /// path notifies it *before* mutating in-memory state (write-ahead), so a
+  /// crash between the two leaves the journal ahead, never behind.
+  void set_journal(HistoryJournal* journal) { journal_ = journal; }
+  HistoryJournal* journal() const { return journal_; }
+
+  /// Rebuilds a freshly constructed state from recovered durable state:
+  /// replays the retained entry window (peerset from the sealed checkpoint
+  /// base when one exists, from ∅ otherwise) and resumes past the recorded
+  /// round high-water mark. The journal is NOT notified during restore.
+  void restore(const RecoveredNode& rec);
 
  private:
+  void journal_entry(const HistoryEntry& e);
+  void journal_round();
+  void maybe_seal();
+  void trim_history();
+
   PeerId self_;
   std::unique_ptr<crypto::Signer> signer_;
   NodeConfig config_;
   Round round_ = 0;
   Peerset peerset_;
   UpdateHistory history_;
+  std::optional<Checkpoint> checkpoint_;
+  HistoryJournal* journal_ = nullptr;
 };
 
 }  // namespace accountnet::core

@@ -43,6 +43,11 @@ struct ShuffleOffer {
   std::vector<Bytes> sample_proofs;  ///< VRF attempts drawing A
   std::vector<PeerId> claimed_peerset;     ///< N_i[r_i]
   std::vector<HistoryEntry> history_suffix;  ///< proves claimed_peerset
+  /// Checkpoint anchor (checkpoint.hpp): when set, history_suffix holds only
+  /// post-checkpoint entries and the verifier replays them from the sealed
+  /// peerset — used when trimming left the retained history too short for a
+  /// from-∅ proof. Part of encode_core(), so the body signature covers it.
+  std::optional<Checkpoint> anchor;
   Bytes body_sig;  ///< accountability mode: σ_i over offer_body_payload(...)
 
   Bytes encode() const;        ///< core fields + body_sig iff non-empty
@@ -58,6 +63,7 @@ struct ShuffleResponse {
   std::vector<Bytes> sample_proofs;
   std::vector<PeerId> claimed_peerset;       ///< N_j[r_j]
   std::vector<HistoryEntry> history_suffix;  ///< proves claimed_peerset
+  std::optional<Checkpoint> anchor;  ///< See ShuffleOffer::anchor.
   Bytes body_sig;  ///< accountability mode: σ_j over response_body_payload(...)
 
   Bytes encode() const;        ///< core fields + body_sig iff non-empty

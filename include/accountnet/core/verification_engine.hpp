@@ -46,6 +46,7 @@
 #include <string_view>
 #include <vector>
 
+#include "accountnet/core/checkpoint.hpp"
 #include "accountnet/core/history.hpp"
 #include "accountnet/core/peerset.hpp"
 #include "accountnet/core/types.hpp"
@@ -114,6 +115,15 @@ class VerificationEngine final : public crypto::CryptoProvider {
   /// verify_history_suffix() through the partner memo + verdict caches.
   VerifyResult verify_history(const std::vector<HistoryEntry>& suffix,
                               const PeerId& owner, const Peerset& claimed);
+
+  /// verify_history_suffix_anchored() through the verdict caches: the
+  /// checkpoint signature and the per-entry counterpart signatures resolve
+  /// through the cache/batch path, and only the post-checkpoint suffix is
+  /// replayed (base = the sealed peerset). Anchored suffixes are bounded by
+  /// the owner's checkpoint interval, so no partner memo is kept for them.
+  VerifyResult verify_history_anchored(const Checkpoint& ck,
+                                       const std::vector<HistoryEntry>& suffix,
+                                       const PeerId& owner, const Peerset& claimed);
 
   /// verify_sample() with all VRF proofs prefetched through the cache/batch
   /// path, then replayed by verify_sample_with().

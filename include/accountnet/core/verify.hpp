@@ -76,11 +76,18 @@ enum class VerifyError : std::uint8_t {
   kAccusationSelfAccusation,
   kAccusationEvidenceInvalid,
   kAccusationNotProven,
+
+  // Checkpoint-anchored verification and catch-up sync (core/checkpoint.cpp).
+  kCheckpointMalformed,
+  kCheckpointOwnerMismatch,
+  kCheckpointBadSignature,
+  kSegmentBadSignature,
+  kSegmentChainMismatch,
 };
 
 /// Last enumerator; keeps enumeration loops (tests, metric tagging) in sync
 /// with the enum without a sentinel that would break exhaustive switches.
-inline constexpr VerifyError kLastVerifyError = VerifyError::kAccusationNotProven;
+inline constexpr VerifyError kLastVerifyError = VerifyError::kSegmentChainMismatch;
 
 /// Canonical human-readable text for a code (exhaustive switch — adding an
 /// enumerator without text is a compile error under -Wall).

@@ -59,7 +59,22 @@ struct ExperimentConfig {
   std::size_t lane_size = 125;
   sim::Duration launch_spacing_max = sim::seconds(10);
 
-  std::size_t history_limit = 96;    ///< retained history entries per node
+  /// Retained history entries per node. The single source of truth is
+  /// core::kDefaultHistoryLimit so the harness and the event-driven
+  /// core::Node can never silently diverge again (they once defaulted to
+  /// 96 vs 512; see DESIGN.md).
+  std::size_t history_limit = core::kDefaultHistoryLimit;
+  /// Seal a signed checkpoint every N history entries (core/checkpoint.hpp);
+  /// 0 (the default) disables sealing and keeps every seeded run
+  /// byte-identical to the pre-checkpoint harness.
+  std::uint64_t checkpoint_interval = 0;
+  /// Attach a deterministic in-memory segment store + write-ahead journal
+  /// (storage/node_store.hpp) to every node so schedule_crash_restart() can
+  /// model process death and disk-backed recovery. Off by default:
+  /// journaling never changes protocol behavior, but the extra "harness.
+  /// recovery.*" / "harness.history.trimmed" metrics only materialize when
+  /// it is on, so default scrapes stay byte-identical.
+  bool durable_nodes = false;
   /// Verifiable-sampling backend for every node (core/sampler.hpp). The
   /// default kVrf keeps seeded runs byte-identical to the pre-interface
   /// harness; bench/sampler_compare sweeps the alternatives.
@@ -129,6 +144,15 @@ class NetworkSim {
   /// at uniformly random times within [start, start+window].
   void schedule_churn(std::size_t count, sim::TimePoint start, sim::Duration window);
 
+  /// Crash/restart fault (requires durable_nodes). At `crash_at` the node's
+  /// entire RAM state is destroyed — protocol state, verifier caches,
+  /// quarantine sets, even the journal object; only its segment store (the
+  /// simulated disk) survives. At `restart_at` the node is rebuilt from the
+  /// store via storage::NodeStore::load() + core::NodeState::restore() and
+  /// resumes shuffling under its pre-crash identity, standing intact.
+  void schedule_crash_restart(std::size_t idx, sim::TimePoint crash_at,
+                              sim::TimePoint restart_at);
+
   // --- Introspection (valid inside the analysis callback) -----------------
 
   std::size_t size() const { return nodes_.size(); }
@@ -166,6 +190,8 @@ class NetworkSim {
   bool is_alive(std::size_t idx) const;
   bool is_malicious(std::size_t idx) const;
   bool is_joined(std::size_t idx) const;
+  /// Valid only while the node is not mid-crash (between crash_at and
+  /// restart_at its RAM state does not exist).
   const core::NodeState& node_state(std::size_t idx) const;
 
   /// Directed adjacency over ALL node indices (dead nodes have no edges).
@@ -211,10 +237,22 @@ class NetworkSim {
   /// Total (observer, accused) quarantine pairs across all alive nodes.
   std::size_t quarantine_edges() const;
 
+  // --- Durability introspection (durable_nodes only) -----------------------
+
+  /// Journaled entries of node `idx` with global index in [start,
+  /// start+count), oldest first — the full prefix survives on "disk" even
+  /// after the in-memory window was trimmed.
+  std::vector<core::HistoryEntry> journal_entries(std::size_t idx, std::uint64_t start,
+                                                  std::size_t count) const;
+  std::uint64_t recovery_crashes() const { return recovery_crashes_; }
+  std::uint64_t recovery_restarts() const { return recovery_restarts_; }
+  std::uint64_t recovery_entries_replayed() const { return recovery_entries_replayed_; }
+
  private:
   struct HarnessNode;
 
   void launch_node(std::size_t idx);
+  void restart_node(std::size_t idx);
   void schedule_shuffle(std::size_t idx);
   void do_shuffle(std::size_t idx);
   bool apply_adversary(HarnessNode& hn, core::ShuffleOffer& offer,
@@ -230,6 +268,7 @@ class NetworkSim {
   void sync_metrics();
 
   ExperimentConfig config_;
+  core::NodeConfig node_config_;  ///< shared by initial launch and restart
   std::unique_ptr<crypto::CryptoProvider> provider_;
   sim::Simulator sim_;
   Rng rng_;
@@ -245,6 +284,10 @@ class NetworkSim {
   obs::Tracer* tracer_ = nullptr;
   Samples history_samples_;
   std::uint64_t shuffle_delta_ = 0;
+  // Crash/recovery bookkeeping (durable_nodes only; synced lazily).
+  std::uint64_t recovery_crashes_ = 0;
+  std::uint64_t recovery_restarts_ = 0;
+  std::uint64_t recovery_entries_replayed_ = 0;
   std::vector<std::vector<std::uint8_t>> shuffle_pairs_;  // optional heatmap
 };
 

@@ -1,0 +1,59 @@
+// NodeStore: the AccountNet journal schema over a SegmentStore.
+//
+// Implements core::HistoryJournal by framing each state change as one tagged
+// record in the underlying segment store:
+//   tag 1 — history entry (global index + wire entry)
+//   tag 2 — sealed checkpoint (wire checkpoint); also rotates the active
+//           segment and atomically replaces the metadata blob with the
+//           checkpoint, so recovery finds the latest seal without a scan
+//   tag 3 — round high-water mark (rounds burned without an entry)
+//   tag 4 — peer standing change (quarantine / eviction, with the accuser)
+//
+// load() replays the records into a core::RecoveredNode, which
+// core::NodeState::restore() / core::Node::start_recovered() resume from.
+// read_entries() serves catch-up SegmentRequests from disk even after the
+// in-memory history window was trimmed.
+#pragma once
+
+#include <memory>
+
+#include "accountnet/core/checkpoint.hpp"
+#include "accountnet/storage/segment_store.hpp"
+
+namespace accountnet::storage {
+
+class NodeStore final : public core::HistoryJournal {
+ public:
+  /// The store is shared, not owned: it models the disk, which survives the
+  /// death of the node (and of this journal object) in crash simulations.
+  /// Scans existing records once to recount entries.
+  explicit NodeStore(std::shared_ptr<SegmentStore> store);
+
+  // --- core::HistoryJournal (write-ahead; each record synced) ---------------
+  void on_entry(std::uint64_t index, const core::HistoryEntry& entry) override;
+  void on_checkpoint(const core::Checkpoint& ck) override;
+  void on_round(core::Round next_round) override;
+  void on_standing(const std::string& addr, bool evicted,
+                   const std::string& accuser) override;
+
+  /// Replays the journal into recovery state. Throws StoreError on an entry
+  /// index gap or an undecodable record (sealed-segment corruption).
+  core::RecoveredNode load() const;
+
+  /// Journaled entries with global index in [start, start+count), oldest
+  /// first; stops early at the journal's end. O(journal) — catch-up serving
+  /// is rare and segment sizes are bounded by the checkpoint interval.
+  std::vector<core::HistoryEntry> read_entries(std::uint64_t start,
+                                               std::size_t count) const override;
+
+  /// Total entries journaled so far (== the owner's history total_appended).
+  std::uint64_t entry_count() const { return entry_count_; }
+
+  SegmentStore& store() { return *store_; }
+
+ private:
+  std::shared_ptr<SegmentStore> store_;
+  std::uint64_t entry_count_ = 0;
+};
+
+}  // namespace accountnet::storage

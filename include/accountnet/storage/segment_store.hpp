@@ -1,0 +1,104 @@
+// Append-only segment storage with CRC-framed records.
+//
+// The durability layer's contract is deliberately tiny: a SegmentStore holds
+// an ordered sequence of opaque records split across segments, plus one small
+// atomically-replaced metadata blob. storage/node_store.hpp layers the
+// AccountNet journal schema (history entries, checkpoints, standing) on top.
+//
+// Two implementations:
+//   * MemorySegmentStore — deterministic in-memory store. The harness hands
+//     one to each simulated node so a crash fault can destroy the node's RAM
+//     state while the "disk" survives; also the fixture for tests.
+//   * FileSegmentStore — real files, one `segment-NNNNNN.log` per segment,
+//     each record framed as [u32 length][u32 crc32(payload)][payload].
+//     Writes go through POSIX fds with explicit fsync; the metadata blob is
+//     replaced via write-temp-then-rename. On open, a torn or corrupt tail
+//     frame in the *last* segment is truncated away (a crash mid-append);
+//     corruption in any earlier segment is unrecoverable and throws.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "accountnet/util/bytes.hpp"
+
+namespace accountnet::storage {
+
+/// Thrown on unrecoverable store corruption or I/O failure.
+class StoreError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// IEEE 802.3 CRC-32 (reflected, polynomial 0xEDB88320), the frame checksum.
+std::uint32_t crc32(BytesView data);
+
+class SegmentStore {
+ public:
+  virtual ~SegmentStore() = default;
+
+  /// Appends one record to the active segment.
+  virtual void append(BytesView record) = 0;
+  /// Makes every append so far durable (no-op for the in-memory store).
+  virtual void sync() = 0;
+  /// Seals the active segment and starts a new one (records keep their
+  /// global order across segments).
+  virtual void rotate() = 0;
+  /// Every record across every segment, oldest first, tail-repaired.
+  virtual std::vector<Bytes> load_all() const = 0;
+  virtual std::size_t segment_count() const = 0;
+  /// Atomically replaces the metadata blob.
+  virtual void put_meta(BytesView blob) = 0;
+  virtual std::optional<Bytes> get_meta() const = 0;
+};
+
+/// Deterministic in-memory store: the harness's stand-in for a disk that
+/// survives a node crash.
+class MemorySegmentStore final : public SegmentStore {
+ public:
+  void append(BytesView record) override;
+  void sync() override {}
+  void rotate() override;
+  std::vector<Bytes> load_all() const override;
+  std::size_t segment_count() const override { return segments_.size(); }
+  void put_meta(BytesView blob) override;
+  std::optional<Bytes> get_meta() const override { return meta_; }
+
+ private:
+  std::vector<std::vector<Bytes>> segments_{1};
+  std::optional<Bytes> meta_;
+};
+
+/// File-backed store rooted at a directory (created if absent).
+class FileSegmentStore final : public SegmentStore {
+ public:
+  explicit FileSegmentStore(std::string dir);
+  ~FileSegmentStore() override;
+
+  FileSegmentStore(const FileSegmentStore&) = delete;
+  FileSegmentStore& operator=(const FileSegmentStore&) = delete;
+
+  void append(BytesView record) override;
+  void sync() override;
+  void rotate() override;
+  std::vector<Bytes> load_all() const override;
+  std::size_t segment_count() const override { return segment_indices_.size(); }
+  void put_meta(BytesView blob) override;
+  std::optional<Bytes> get_meta() const override;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string segment_path(std::uint64_t index) const;
+  void open_active(std::uint64_t index);
+
+  std::string dir_;
+  std::vector<std::uint64_t> segment_indices_;  ///< sorted segment numbers
+  int active_fd_ = -1;
+};
+
+}  // namespace accountnet::storage

@@ -59,6 +59,8 @@ class Reader {
 
   std::size_t remaining() const { return data_.size() - pos_; }
   bool done() const { return remaining() == 0; }
+  /// Next byte without consuming it (for trailing-section disambiguation).
+  std::uint8_t peek_u8() const;
   /// Throws DecodeError unless the input was fully consumed.
   void expect_done() const;
 

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "accountnet/core/checkpoint.hpp"
 #include "accountnet/core/history.hpp"
 #include "accountnet/wire/codec.hpp"
 
@@ -21,7 +22,7 @@ void encode_item(wire::Writer& w, const ExchangeItem& item) {
 ExchangeItem decode_item(wire::Reader& r) {
   ExchangeItem item;
   item.shape = r.u8();
-  if (item.shape != 1 && item.shape != 2) {
+  if (item.shape < 1 || item.shape > 3) {
     throw wire::DecodeError("bad exchange item shape");
   }
   item.offer = r.bytes();
@@ -240,6 +241,36 @@ VR verify_relay_omission(const Accusation& acc, const crypto::CryptoProvider& pr
   return VR::pass();
 }
 
+VR verify_segment_mismatch(const Accusation& acc, const crypto::CryptoProvider& provider) {
+  if (acc.items.size() != 1 || acc.items[0].shape != 3) {
+    return VR::fail(VE::kAccusationMalformed, "expects one checkpoint+segment item");
+  }
+  try {
+    const Checkpoint ck = Checkpoint::decode(acc.items[0].offer);
+    const SegmentData seg = SegmentData::decode(acc.items[0].response);
+    if (!(seg.server == acc.accused)) {
+      return VR::fail(VE::kAccusationEvidenceInvalid, "segment not from accused");
+    }
+    // verify_checkpoint also pins ck.owner to the accused, so both pieces of
+    // evidence carry the accused's own signature over their exact bytes.
+    if (!verify_checkpoint(ck, acc.accused, provider)) {
+      return VR::fail(VE::kAccusationEvidenceInvalid, "checkpoint signature");
+    }
+    if (!provider.verify(seg.server.key, seg.signing_payload(), seg.server_sig)) {
+      return VR::fail(VE::kAccusationEvidenceInvalid, "segment signature");
+    }
+    // An honest server's slices always fold into its own sealed digest, so a
+    // decidable contradiction between the two signed claims is transferable
+    // proof; everything undecidable offline stays unproven.
+    if (!segment_contradicts_checkpoint(seg, ck)) {
+      return VR::fail(VE::kAccusationNotProven, "segment consistent with checkpoint");
+    }
+    return VR::pass();
+  } catch (const wire::DecodeError&) {
+    return VR::fail(VE::kAccusationMalformed, "checkpoint or segment undecodable");
+  }
+}
+
 }  // namespace
 
 const char* accusation_kind_tag(AccusationKind kind) {
@@ -251,6 +282,7 @@ const char* accusation_kind_tag(AccusationKind kind) {
     case AccusationKind::kRelayTamper: return "relay_tamper";
     case AccusationKind::kTestimonyMismatch: return "testimony_mismatch";
     case AccusationKind::kRelayOmission: return "relay_omission";
+    case AccusationKind::kSegmentMismatch: return "segment_mismatch";
   }
   return "unknown";
 }
@@ -287,7 +319,7 @@ Accusation Accusation::decode(BytesView data) {
   wire::Reader r(data);
   Accusation acc;
   const auto kind_raw = r.u8();
-  if (kind_raw < 1 || kind_raw > 7) throw wire::DecodeError("bad accusation kind");
+  if (kind_raw < 1 || kind_raw > 8) throw wire::DecodeError("bad accusation kind");
   acc.kind = static_cast<AccusationKind>(kind_raw);
   acc.accused = decode_peer(r);
   acc.accuser = decode_peer(r);
@@ -377,6 +409,8 @@ VerifyResult verify_accusation(const Accusation& acc,
     case AccusationKind::kTestimonyMismatch:
       return verify_testimony_mismatch(acc, provider);
     case AccusationKind::kRelayOmission: return verify_relay_omission(acc, provider);
+    case AccusationKind::kSegmentMismatch:
+      return verify_segment_mismatch(acc, provider);
   }
   return VR::fail(VE::kAccusationMalformed, "unknown kind");
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "accountnet/crypto/sha256.hpp"
 #include "accountnet/util/ensure.hpp"
 
 namespace accountnet::core {
@@ -87,11 +88,26 @@ HistoryEntry decode_entry(wire::Reader& r) {
   return e;
 }
 
+ChainDigest entry_digest(const HistoryEntry& e) {
+  wire::Writer w;
+  encode_entry(w, e);
+  const Bytes encoded = std::move(w).take();
+  return crypto::Sha256::hash(BytesView(encoded.data(), encoded.size()));
+}
+
+ChainDigest chain_step(const ChainDigest& prev, const ChainDigest& entry) {
+  crypto::Sha256 h;
+  h.update(BytesView(prev.data(), prev.size()));
+  h.update(BytesView(entry.data(), entry.size()));
+  return h.finish();
+}
+
 void UpdateHistory::append(HistoryEntry entry) {
   if (!entries_.empty()) {
     AN_ENSURE_MSG(entry.self_round > entries_.back().self_round,
                   "history rounds must be strictly ascending");
   }
+  chain_ = chain_step(chain_, entry_digest(entry));
   entries_.push_back(std::move(entry));
   ++total_appended_;
 }
@@ -155,9 +171,44 @@ std::vector<HistoryEntry> UpdateHistory::proof_suffix(const Peerset& current) co
 
 void UpdateHistory::trim(std::size_t max_entries) {
   if (entries_.size() > max_entries) {
-    entries_.erase(entries_.begin(),
-                   entries_.begin() + static_cast<std::ptrdiff_t>(entries_.size() - max_entries));
+    const std::size_t drop = entries_.size() - max_entries;
+    for (std::size_t i = 0; i < drop; ++i) {
+      base_chain_ = chain_step(base_chain_, entry_digest(entries_[i]));
+    }
+    entries_.erase(entries_.begin(), entries_.begin() + static_cast<std::ptrdiff_t>(drop));
+    trim_count_ += drop;
   }
+}
+
+ChainDigest UpdateHistory::chain_at(std::uint64_t index) const {
+  AN_ENSURE_MSG(index >= trim_count_ && index <= total_appended_,
+                "chain_at index outside the retained window");
+  ChainDigest c = base_chain_;
+  for (std::uint64_t i = trim_count_; i < index; ++i) {
+    c = chain_step(c, entry_digest(entries_[static_cast<std::size_t>(i - trim_count_)]));
+  }
+  return c;
+}
+
+UpdateHistory UpdateHistory::restore(const ChainDigest& base, std::uint64_t first_index,
+                                     std::vector<HistoryEntry> entries) {
+  UpdateHistory h;
+  h.base_chain_ = base;
+  h.chain_ = base;
+  h.trim_count_ = first_index;
+  h.total_appended_ = first_index;
+  for (auto& e : entries) h.append(std::move(e));
+  return h;
+}
+
+std::vector<HistoryEntry> UpdateHistory::entries_from(std::uint64_t index,
+                                                      std::size_t count) const {
+  if (index < trim_count_ || index >= total_appended_) return {};
+  const auto offset = static_cast<std::size_t>(index - trim_count_);
+  const std::size_t n = std::min(count, entries_.size() - offset);
+  return std::vector<HistoryEntry>(
+      entries_.begin() + static_cast<std::ptrdiff_t>(offset),
+      entries_.begin() + static_cast<std::ptrdiff_t>(offset + n));
 }
 
 HistoryCheckPlan plan_history_checks(const std::vector<HistoryEntry>& suffix,

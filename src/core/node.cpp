@@ -103,6 +103,9 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kWitnessUpdateAck: return "witness_update_ack";
     case MsgType::kAccusation: return "accusation";
     case MsgType::kAccusationAck: return "accusation_ack";
+    case MsgType::kCheckpointAnnounce: return "checkpoint_announce";
+    case MsgType::kSegmentRequest: return "segment_request";
+    case MsgType::kSegmentData: return "segment_data";
   }
   return "unknown";
 }
@@ -190,7 +193,11 @@ Node::Node(sim::SimNetwork& net, const std::string& addr,
       rng_(rng_seed),
       evidence_(PeerId{addr, provider.make_signer(seed32)->public_key()}),
       retry_rng_(rng_seed ^ 0x5eedbacc0ffeeULL),
-      adv_rng_(rng_seed ^ 0xbadf00dc0de5ULL) {}
+      adv_rng_(rng_seed ^ 0xbadf00dc0de5ULL) {
+  if (config_.durability.journal != nullptr) {
+    state_.set_journal(config_.durability.journal);
+  }
+}
 
 Node::~Node() {
   *alive_ = false;
@@ -358,6 +365,40 @@ void Node::start_join(const std::string& bootstrap_addr) {
                        });
 }
 
+void Node::start_recovered(const RecoveredNode& rec) {
+  AN_ENSURE_MSG(!running_, "node already started");
+  state_.restore(rec);
+  // Peer standing survives the crash: quarantines and eviction verdicts were
+  // journaled, so a convicted cheater cannot launder itself by waiting for
+  // us to reboot. (The leave entries that removed such peers from the
+  // peerset are part of the restored history already.)
+  for (const auto& s : rec.standing) {
+    if (s.addr == state_.self().addr) continue;
+    quarantined_.insert(s.addr);
+    reported_leavers_.insert(s.addr);
+    auto& record = accused_[s.addr];
+    for (const auto& a : s.accusers) record.accusers.insert(a);
+    record.evicted = record.evicted || s.evicted;
+  }
+  running_ = true;
+  joined_ = true;
+  metrics_.add(metrics_.counter("node.recovery.restarts"));
+  metrics_.add(metrics_.counter("node.recovery.entries_replayed"),
+               rec.entries.size());
+  net_.attach(state_.self().addr, [this](const sim::NetMessage& m) { handle(m); });
+  // Skip re-announcing the epoch peers already saw before the crash — but do
+  // announce with want_reply so counterparts answer with *their* latest
+  // seals and the catch-up fetches flow both ways.
+  announced_epoch_ = state_.checkpoint() ? state_.checkpoint()->epoch : 0;
+  if (durable() && config_.durability.announce_checkpoints && state_.checkpoint()) {
+    for (const auto& p : state_.peerset().sorted()) {
+      if (quarantined_.contains(p.addr)) continue;
+      send_checkpoint_announce(p.addr, /*want_reply=*/true);
+    }
+  }
+  schedule_next_shuffle();
+}
+
 void Node::stop() {
   if (!running_) return;
   running_ = false;
@@ -421,11 +462,18 @@ void Node::handle(const sim::NetMessage& msg) {
       case MsgType::kWitnessUpdateAck: on_witness_update_ack(msg); break;
       case MsgType::kAccusation: on_accusation(msg); break;
       case MsgType::kAccusationAck: on_accusation_ack(msg); break;
+      case MsgType::kCheckpointAnnounce: on_checkpoint_announce(msg); break;
+      case MsgType::kSegmentRequest: on_segment_request(msg); break;
+      case MsgType::kSegmentData: on_segment_data(msg); break;
     }
   } catch (const wire::DecodeError&) {
     // Malformed traffic from a buggy/malicious peer: drop it.
     metrics_.add(ids_.verification_failures);
   }
+  // A handler above may have committed entries and crossed the seal
+  // threshold; broadcast the fresh checkpoint while the peerset that should
+  // hear about it is still current.
+  if (durable()) maybe_announce_checkpoint();
 }
 
 // ---------------------------------------------------------------------------
@@ -1901,8 +1949,14 @@ void Node::accept_accusation(const Accusation& acc) {
   auto& rec = accused_[acc.accused.addr];
   rec.accusers.insert(acc.accuser.addr);
   quarantine_peer(acc.accused, accusation_kind_tag(acc.kind));
+  if (HistoryJournal* j = config_.durability.journal) {
+    j->on_standing(acc.accused.addr, rec.evicted, acc.accuser.addr);
+  }
   if (!rec.evicted && rec.accusers.size() >= config_.accountability.evict_threshold) {
     rec.evicted = true;
+    if (HistoryJournal* j = config_.durability.journal) {
+      j->on_standing(acc.accused.addr, /*evicted=*/true, acc.accuser.addr);
+    }
     metrics_.add(metrics_.counter("acc.evict.peers"));
     metrics_.add(metrics_.counter(std::string("acc.evict.") +
                                   accusation_kind_tag(acc.kind)));
@@ -1931,6 +1985,9 @@ void Node::gossip_accusation(const Accusation& acc, const std::string& skip_addr
 void Node::quarantine_peer(const PeerId& peer, const char* kind_tag) {
   if (peer == state_.self()) return;
   if (!quarantined_.insert(peer.addr).second) return;
+  if (HistoryJournal* j = config_.durability.journal) {
+    j->on_standing(peer.addr, /*evicted=*/false, /*accuser=*/"");
+  }
   metrics_.add(metrics_.counter("acc.quarantine.peers"));
   metrics_.add(metrics_.counter(std::string("acc.quarantine.") + kind_tag));
   if (tracer_ != nullptr) {
@@ -2141,6 +2198,210 @@ void Node::on_accusation_ack(const sim::NetMessage& msg) {
   if (it == accusation_rpcs_.end()) return;
   finish_rpc(it->second);
   accusation_rpcs_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Durability & catch-up sync (docs/RESILIENCE.md). Every peer mirrors every
+// counterpart's *sealed* history as (entry count, accumulated chain digest):
+// a checkpoint announce with a newer seal triggers bounded SegmentRequest
+// fetches, each chunk verified fail-closed before the mirror advances. The
+// mirror is what makes a later signed checkpoint or segment from the same
+// node falsifiable — and the boundary chunk is offline-decidable, so a
+// server contradicting its own seal feeds the accuse → quarantine → evict
+// pipeline like any other provable violation.
+// ---------------------------------------------------------------------------
+
+void Node::maybe_announce_checkpoint() {
+  // Surface silent proof-window loss: first_index() counts entries trimmed
+  // from RAM. Lazily interned, so non-durable nodes never emit the series.
+  const obs::MetricId trimmed = metrics_.counter("node.history.trimmed");
+  const std::uint64_t have = metrics_.counter_value(trimmed);
+  const std::uint64_t now = state_.history().first_index();
+  if (now > have) metrics_.add(trimmed, now - have);
+
+  const auto& ck = state_.checkpoint();
+  if (!ck || ck->epoch <= announced_epoch_) return;
+  announced_epoch_ = ck->epoch;
+  metrics_.add(metrics_.counter("node.ckpt.sealed"));
+  if (!config_.durability.announce_checkpoints) return;
+  for (const auto& p : state_.peerset().sorted()) {
+    if (acct() && quarantined_.contains(p.addr)) continue;
+    send_checkpoint_announce(p.addr, /*want_reply=*/false);
+  }
+}
+
+void Node::send_checkpoint_announce(const std::string& to, bool want_reply) {
+  CheckpointAnnounce ann;
+  ann.checkpoint = *state_.checkpoint();
+  ann.want_reply = want_reply;
+  metrics_.add(metrics_.counter("node.ckpt.announced"));
+  send(to, MsgType::kCheckpointAnnounce, ann.encode());
+}
+
+void Node::request_next_segment(const std::string& addr, PeerSyncState& sync) {
+  if (!sync.target || sync.rpc != 0) return;
+  SegmentRequest req;
+  req.request_id = next_request_id_++;
+  req.start = sync.synced;
+  req.end = std::min<std::uint64_t>(
+      sync.target->sealed_count,
+      sync.synced + config_.durability.max_segment_entries);
+  sync.request_id = req.request_id;
+  metrics_.add(metrics_.counter("node.sync.requests"));
+  // Bounded retries via the RPC table; a peer that never serves the range
+  // just leaves our mirror where it was (the next announce retriggers).
+  sync.rpc = send_rpc(addr, MsgType::kSegmentRequest, req.encode(),
+                      config_.query_retry, [this, addr] {
+                        metrics_.add(metrics_.counter("node.sync.give_up"));
+                        if (!peer_sync_.contains(addr)) return;
+                        auto& s = peer_sync_.at_or_insert(addr);
+                        s.rpc = 0;
+                        s.request_id = 0;
+                        s.target.reset();
+                      });
+}
+
+void Node::on_checkpoint_announce(const sim::NetMessage& msg) {
+  if (!durable() || !joined_) return;
+  const CheckpointAnnounce ann = CheckpointAnnounce::decode(msg.payload);
+  const Checkpoint& ck = ann.checkpoint;
+  if (ck.owner.addr != msg.from) return;
+  // Pin the key to the peerset identity when we hold one; a stranger's
+  // checkpoint is self-certifying (the signature check below binds it to the
+  // embedded key, which is the identity every later contradiction is
+  // attributed to).
+  for (const auto& p : state_.peerset().sorted()) {
+    if (p.addr == msg.from && !(p.key == ck.owner.key)) return;
+  }
+  if (const auto v = verify_checkpoint(ck, ck.owner, engine_); !v) {
+    metrics_.add(ids_.verification_failures);
+    metrics_.add(metrics_.counter(std::string("node.reject.") + error_tag(v.code)));
+    return;
+  }
+  SpanScope span(*this, "sync.announce", msg.trace);
+  span.attr("owner", ck.owner.addr);
+  span.attr("epoch", std::to_string(ck.epoch));
+  if (ann.want_reply && state_.checkpoint()) {
+    send_checkpoint_announce(msg.from, /*want_reply=*/false);
+  }
+  auto& sync = peer_sync_.at_or_insert(msg.from);
+  if (ck.epoch <= sync.epoch) return;  // nothing newer than our mirror
+  if (sync.target && sync.target->epoch >= ck.epoch) return;  // already fetching
+  sync.target = ck;
+  if (sync.synced >= ck.sealed_count) {
+    // Seal grew in epoch but not past our mirror (cannot happen with an
+    // honest server — epochs only advance with entries): fail closed.
+    sync.target.reset();
+    return;
+  }
+  request_next_segment(msg.from, sync);
+}
+
+void Node::on_segment_request(const sim::NetMessage& msg) {
+  if (!durable() || !joined_) return;
+  const SegmentRequest req = SegmentRequest::decode(msg.payload);
+  if (req.end <= req.start) return;
+  const std::uint64_t count = std::min<std::uint64_t>(
+      req.end - req.start, config_.durability.max_segment_entries);
+  const UpdateHistory& h = state_.history();
+  SegmentData seg;
+  seg.request_id = req.request_id;
+  seg.server = state_.self();
+  seg.start = req.start;
+  if (req.start >= h.first_index() && req.start < h.total_appended()) {
+    seg.base_chain = h.chain_at(req.start);
+    seg.entries = h.entries_from(req.start, static_cast<std::size_t>(count));
+  } else if (HistoryJournal* j = config_.durability.journal;
+             j != nullptr && req.start < h.total_appended()) {
+    // The in-memory window was trimmed past the request: serve from the
+    // journal, refolding the base digest from genesis. O(journal), but
+    // catch-up this deep only happens after long partitions.
+    const auto prefix = j->read_entries(0, static_cast<std::size_t>(req.start));
+    if (prefix.size() < req.start) return;  // journal shorter than the claim
+    seg.base_chain = fold_chain(ChainDigest{}, prefix);
+    seg.entries = j->read_entries(req.start, static_cast<std::size_t>(count));
+  } else {
+    return;  // nothing to serve; the requester's retry budget handles it
+  }
+  if (seg.entries.empty()) return;
+  seg.server_sig = state_.signer().sign(seg.signing_payload());
+  metrics_.add(metrics_.counter("node.sync.served"));
+  send(msg.from, MsgType::kSegmentData, seg.encode());
+}
+
+void Node::on_segment_data(const sim::NetMessage& msg) {
+  if (!durable() || !peer_sync_.contains(msg.from)) return;
+  const SegmentData seg = SegmentData::decode(msg.payload);
+  auto& sync = peer_sync_.at_or_insert(msg.from);
+  if (!sync.target || seg.request_id != sync.request_id) return;
+  finish_rpc(sync.rpc);
+  sync.rpc = 0;
+  sync.request_id = 0;
+  const Checkpoint ck = *sync.target;
+  const auto abandon = [&](const char* why) {
+    metrics_.add(metrics_.counter(std::string("node.sync.abort.") + why));
+    sync.target.reset();
+  };
+  SpanScope span(*this, "sync.segment", msg.trace);
+  span.attr("server", msg.from);
+  span.attr("start", std::to_string(seg.start));
+  const std::uint64_t end = seg.start + seg.entries.size();
+  if (!(seg.server == ck.owner) || seg.start != sync.synced ||
+      seg.entries.empty() || end > ck.sealed_count ||
+      seg.entries.size() > config_.durability.max_segment_entries) {
+    abandon("malformed");
+    return;
+  }
+  if (!engine_.verify(seg.server.key, seg.signing_payload(), seg.server_sig)) {
+    metrics_.add(ids_.verification_failures);
+    abandon("bad_sig");
+    return;
+  }
+  // Offline-decidable contradiction first: a signed boundary slice whose
+  // fold misses the same server's signed checkpoint convicts it no matter
+  // what we mirrored before — the pair of signatures IS the proof.
+  if (segment_contradicts_checkpoint(seg, ck)) {
+    metrics_.add(metrics_.counter("node.sync.contradiction"));
+    span.attr("outcome", "contradiction");
+    sync.target.reset();
+    if (acct()) {
+      Accusation acc;
+      acc.kind = AccusationKind::kSegmentMismatch;
+      acc.accused = ck.owner;
+      acc.round = ck.last_round;
+      ExchangeItem item;
+      item.shape = 3;
+      item.offer = ck.encode();
+      item.response = msg.payload;
+      item.counterpart = state_.self();
+      acc.items.push_back(std::move(item));
+      raise_accusation(std::move(acc));
+    } else {
+      quarantine_peer(ck.owner, "segment_mismatch");
+    }
+    return;
+  }
+  // Fail closed on everything not provable: a mid-prefix chunk must extend
+  // the mirror we already verified (the checkpoint only commits the total
+  // fold, so a lie here is detectable but not third-party-attributable).
+  if (seg.base_chain != sync.chain) {
+    abandon("discontinuity");
+    return;
+  }
+  sync.chain = fold_chain(sync.chain, seg.entries);
+  sync.synced = end;
+  metrics_.add(metrics_.counter("node.sync.segments"));
+  metrics_.add(metrics_.counter("node.sync.entries"), seg.entries.size());
+  if (sync.synced >= ck.sealed_count) {
+    // The final fold matched ck.chain (else the contradiction branch fired):
+    // the mirror now covers the whole sealed prefix.
+    sync.epoch = ck.epoch;
+    sync.target.reset();
+    span.attr("outcome", "completed");
+    metrics_.add(metrics_.counter("node.sync.completed"));
+  } else {
+    request_next_segment(msg.from, sync);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,5 +1,7 @@
 #include "accountnet/core/node_state.hpp"
 
+#include <algorithm>
+
 #include "accountnet/util/ensure.hpp"
 
 namespace accountnet::core {
@@ -37,9 +39,12 @@ void NodeState::apply_join(const PeerId& bootstrap, Bytes entry_stamp,
     if (initial.size() >= config_.max_peerset) break;
     if (initial.insert(p)) e.in.push_back(p);
   }
+  journal_entry(e);
   history_.append(std::move(e));
   peerset_ = std::move(initial);
   round_ = 1;
+  journal_round();
+  maybe_seal();
 }
 
 void NodeState::apply_leave_report(const PeerId& reporter, Round reporter_round,
@@ -51,10 +56,13 @@ void NodeState::apply_leave_report(const PeerId& reporter, Round reporter_round,
   e.nonce = reporter_round;
   e.signature = std::move(signature);
   e.out.push_back(leaver);
+  journal_entry(e);
   history_.append(std::move(e));
-  if (config_.history_limit > 0) history_.trim(config_.history_limit);
   peerset_.erase(leaver);
   ++round_;
+  journal_round();
+  maybe_seal();
+  trim_history();
 }
 
 std::pair<Round, Bytes> NodeState::make_leave_report(const PeerId& leaver) const {
@@ -64,10 +72,93 @@ std::pair<Round, Bytes> NodeState::make_leave_report(const PeerId& leaver) const
 void NodeState::commit_shuffle(HistoryEntry entry, Peerset next_peerset) {
   AN_ENSURE_MSG(entry.self_round == round_, "shuffle entry round mismatch");
   AN_ENSURE_MSG(next_peerset.size() <= config_.max_peerset, "peerset overflow");
+  journal_entry(entry);
   history_.append(std::move(entry));
-  if (config_.history_limit > 0) history_.trim(config_.history_limit);
   peerset_ = std::move(next_peerset);
   ++round_;
+  journal_round();
+  maybe_seal();
+  trim_history();
+}
+
+void NodeState::skip_round() {
+  ++round_;
+  journal_round();
+}
+
+void NodeState::journal_entry(const HistoryEntry& e) {
+  if (journal_ != nullptr) journal_->on_entry(history_.total_appended(), e);
+}
+
+void NodeState::journal_round() {
+  if (journal_ != nullptr) journal_->on_round(round_);
+}
+
+void NodeState::maybe_seal() {
+  if (config_.checkpoint_interval == 0 || history_.total_appended() == 0) return;
+  const std::uint64_t sealed = checkpoint_ ? checkpoint_->sealed_count : 0;
+  if (history_.total_appended() - sealed < config_.checkpoint_interval) return;
+  Checkpoint ck;
+  ck.owner = self_;
+  ck.epoch = checkpoint_ ? checkpoint_->epoch + 1 : 1;
+  ck.sealed_count = history_.total_appended();
+  ck.last_round = history_.back().self_round;
+  ck.chain = history_.chain();
+  ck.peerset = peerset_.sorted();
+  ck.owner_sig = signer_->sign(ck.signing_payload());
+  checkpoint_ = std::move(ck);
+  if (journal_ != nullptr) journal_->on_checkpoint(*checkpoint_);
+}
+
+void NodeState::trim_history() {
+  if (config_.history_limit == 0) return;
+  // With checkpointing on, unsealed entries are never trimmed — including
+  // before the FIRST seal, when everything is unsealed. Anchored proofs
+  // replay the unsealed tail from the checkpoint base (or, pre-seal, plain
+  // proofs still have the whole history), so the retained window is
+  // max(limit, unsealed count), bounded by max(limit, checkpoint_interval).
+  // With checkpointing off this is exactly the historical behavior.
+  std::size_t keep = config_.history_limit;
+  if (config_.checkpoint_interval > 0) {
+    const std::uint64_t sealed = checkpoint_ ? checkpoint_->sealed_count : 0;
+    keep = std::max(keep, static_cast<std::size_t>(history_.total_appended() - sealed));
+  }
+  history_.trim(keep);
+}
+
+void NodeState::restore(const RecoveredNode& rec) {
+  AN_ENSURE_MSG(round_ == 0 && history_.empty(), "restore on a used node");
+  if (rec.checkpoint) {
+    AN_ENSURE_MSG(rec.checkpoint->owner == self_, "recovered checkpoint owner mismatch");
+    AN_ENSURE_MSG(rec.first_index <= rec.checkpoint->sealed_count,
+                  "compacted past the sealed boundary");
+  } else {
+    AN_ENSURE_MSG(rec.first_index == 0, "compaction requires a checkpoint");
+  }
+  history_ = UpdateHistory::restore(rec.base_chain, rec.first_index, rec.entries);
+  checkpoint_ = rec.checkpoint;
+  if (checkpoint_) {
+    AN_ENSURE_MSG(checkpoint_->sealed_count <= history_.total_appended(),
+                  "recovered checkpoint seals entries the store does not hold");
+    AN_ENSURE_MSG(history_.chain_at(checkpoint_->sealed_count) == checkpoint_->chain,
+                  "recovered entries contradict the sealed checkpoint digest");
+    // Peerset: sealed base, then the unsealed tail's deltas.
+    Peerset n{std::vector<PeerId>(checkpoint_->peerset)};
+    for (const auto& e :
+         history_.entries_from(checkpoint_->sealed_count,
+                               static_cast<std::size_t>(history_.total_appended() -
+                                                        checkpoint_->sealed_count))) {
+      for (const auto& p : e.out) n.erase(p);
+      n.insert_all(e.in);
+      n.insert_all(e.fill);
+    }
+    peerset_ = std::move(n);
+  } else {
+    peerset_ = UpdateHistory::reconstruct(rec.entries);
+  }
+  Round next = rec.next_round;
+  if (!history_.empty()) next = std::max(next, history_.back().self_round + 1);
+  round_ = next;
 }
 
 }  // namespace accountnet::core

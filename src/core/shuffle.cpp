@@ -54,6 +54,49 @@ std::vector<HistoryEntry> decode_entries(wire::Reader& r) {
   return out;
 }
 
+// Optional checkpoint anchor, marked by a 0x01 byte so non-anchored messages
+// keep their historical bytes exactly. The marker is unambiguous against the
+// only other thing that can follow the suffix — the trailing body_sig, whose
+// varint length prefix is 0x20/0x40 for the signature sizes honest encoders
+// emit (a hostile 1-byte "signature" parses as a truncated anchor and fails
+// closed, identically for every verifier).
+constexpr std::uint8_t kAnchorMarker = 0x01;
+
+void encode_anchor(wire::Writer& w, const std::optional<Checkpoint>& anchor) {
+  if (!anchor) return;
+  w.u8(kAnchorMarker);
+  encode_checkpoint(w, *anchor);
+}
+
+std::optional<Checkpoint> decode_anchor(wire::Reader& r) {
+  if (r.done() || r.peek_u8() != kAnchorMarker) return std::nullopt;
+  r.u8();
+  return decode_checkpoint(r);
+}
+
+/// Chooses the proof form for a prover's history: the plain minimal suffix
+/// when the retained history still reconstructs the peerset from ∅ (the
+/// historical bytes), or the checkpoint-anchored form — sealed checkpoint
+/// plus only the unsealed tail — when trimming degraded the plain proof.
+struct HistoryProof {
+  std::vector<HistoryEntry> suffix;
+  std::optional<Checkpoint> anchor;
+};
+
+HistoryProof make_history_proof(const NodeState& state) {
+  HistoryProof proof;
+  const auto& h = state.history();
+  if (state.checkpoint() && state.history().minimal_suffix_length(state.peerset()) > h.size()) {
+    proof.anchor = state.checkpoint();
+    proof.suffix = h.entries_from(
+        proof.anchor->sealed_count,
+        static_cast<std::size_t>(h.total_appended() - proof.anchor->sealed_count));
+  } else {
+    proof.suffix = h.proof_suffix(state.peerset());
+  }
+  return proof;
+}
+
 }  // namespace
 
 Bytes ShuffleOffer::encode_core() const {
@@ -67,6 +110,7 @@ Bytes ShuffleOffer::encode_core() const {
   encode_bytes_list(w, sample_proofs);
   encode_peer_list(w, claimed_peerset);
   encode_entries(w, history_suffix);
+  encode_anchor(w, anchor);
   return std::move(w).take();
 }
 
@@ -93,6 +137,7 @@ ShuffleOffer ShuffleOffer::decode(BytesView data) {
   o.sample_proofs = decode_bytes_list(r);
   o.claimed_peerset = decode_peer_list(r);
   o.history_suffix = decode_entries(r);
+  o.anchor = decode_anchor(r);
   if (!r.done()) {
     // Optional trailing field; an encoder never emits an empty one, so a
     // zero-length signature here is padding, not a message — fail closed.
@@ -112,6 +157,7 @@ Bytes ShuffleResponse::encode_core() const {
   encode_bytes_list(w, sample_proofs);
   encode_peer_list(w, claimed_peerset);
   encode_entries(w, history_suffix);
+  encode_anchor(w, anchor);
   return std::move(w).take();
 }
 
@@ -136,6 +182,7 @@ ShuffleResponse ShuffleResponse::decode(BytesView data) {
   resp.sample_proofs = decode_bytes_list(r);
   resp.claimed_peerset = decode_peer_list(r);
   resp.history_suffix = decode_entries(r);
+  resp.anchor = decode_anchor(r);
   if (!r.done()) {
     resp.body_sig = r.bytes();
     if (resp.body_sig.empty()) throw wire::DecodeError("empty response body_sig");
@@ -170,7 +217,9 @@ ShuffleOffer make_offer(const NodeState& state, const PartnerChoice& partner,
   offer.sample_proofs = draw.proofs;
   offer.partner_proofs = partner.proofs;
   offer.claimed_peerset = state.peerset().sorted();
-  offer.history_suffix = state.history().proof_suffix(state.peerset());
+  HistoryProof proof = make_history_proof(state);
+  offer.history_suffix = std::move(proof.suffix);
+  offer.anchor = std::move(proof.anchor);
   return offer;
 }
 
@@ -189,6 +238,10 @@ struct ProviderVerifier {
   VerifyResult history(const std::vector<HistoryEntry>& suffix, const PeerId& owner,
                        const Peerset& claimed) const {
     return verify_history_suffix(suffix, owner, claimed, p);
+  }
+  VerifyResult anchored(const Checkpoint& ck, const std::vector<HistoryEntry>& suffix,
+                        const PeerId& owner, const Peerset& claimed) const {
+    return verify_history_suffix_anchored(ck, suffix, owner, claimed, p);
   }
   VerifyResult one(const crypto::PublicKeyBytes& pk, const Peerset& candidates,
                    std::string_view domain, BytesView nonce,
@@ -211,6 +264,10 @@ struct EngineVerifier {
   VerifyResult history(const std::vector<HistoryEntry>& suffix, const PeerId& owner,
                        const Peerset& claimed) const {
     return e.verify_history(suffix, owner, claimed);
+  }
+  VerifyResult anchored(const Checkpoint& ck, const std::vector<HistoryEntry>& suffix,
+                        const PeerId& owner, const Peerset& claimed) const {
+    return e.verify_history_anchored(ck, suffix, owner, claimed);
   }
   VerifyResult one(const crypto::PublicKeyBytes& pk, const Peerset& candidates,
                    std::string_view domain, BytesView nonce,
@@ -243,13 +300,22 @@ VerifyResult verify_offer_static_impl(const ShuffleOffer& offer, const PeerId& r
     return VerifyResult::fail(VerifyError::kDuplicatePeersetClaim);
   }
   if (claimed.size() > 100000) return VerifyResult::fail(VerifyError::kPeersetTooLarge);
-  if (const auto h = v.history(offer.history_suffix, offer.initiator, claimed); !h) {
+  if (const auto h = offer.anchor
+                         ? v.anchored(*offer.anchor, offer.history_suffix,
+                                      offer.initiator, claimed)
+                         : v.history(offer.history_suffix, offer.initiator, claimed);
+      !h) {
     return h;
   }
   // Rounds may be burned without entries (aborted shuffles), so the suffix
-  // need not end exactly at r_i - 1, but it can never reach r_i.
+  // need not end exactly at r_i - 1, but it can never reach r_i. An anchor's
+  // sealed tail round is bounded the same way (an anchored empty suffix would
+  // otherwise claim a peerset from a round at or past the offered one).
   if (!offer.history_suffix.empty() &&
       offer.history_suffix.back().self_round >= offer.initiator_round) {
+    return VerifyResult::fail(VerifyError::kHistoryBeyondOfferedRound);
+  }
+  if (offer.anchor && offer.anchor->last_round >= offer.initiator_round) {
     return VerifyResult::fail(VerifyError::kHistoryBeyondOfferedRound);
   }
   // The responder must be the VRF-dictated partner for the initiator's round.
@@ -356,7 +422,9 @@ ShuffleResponse make_response_and_commit(NodeState& state, const ShuffleOffer& o
   resp.responder_round = state.round();
   resp.responder_round_sig = state.sign_current_round();
   resp.claimed_peerset = state.peerset().sorted();
-  resp.history_suffix = state.history().proof_suffix(state.peerset());
+  HistoryProof proof = make_history_proof(state);
+  resp.history_suffix = std::move(proof.suffix);
+  resp.anchor = std::move(proof.anchor);
 
   // B: L peers drawn from N_j - {v_i}, seeded by the initiator's round.
   const Peerset candidates = state.peerset().minus({offer.initiator});
@@ -396,12 +464,18 @@ VerifyResult verify_response_static_impl(const ShuffleResponse& response,
   if (claimed.size() != response.claimed_peerset.size()) {
     return VerifyResult::fail(VerifyError::kDuplicatePeersetClaim);
   }
-  if (const auto h = v.history(response.history_suffix, response.responder, claimed);
+  if (const auto h = response.anchor
+                         ? v.anchored(*response.anchor, response.history_suffix,
+                                      response.responder, claimed)
+                         : v.history(response.history_suffix, response.responder, claimed);
       !h) {
     return h;
   }
   if (!response.history_suffix.empty() &&
       response.history_suffix.back().self_round >= response.responder_round) {
+    return VerifyResult::fail(VerifyError::kHistoryBeyondResponderRound);
+  }
+  if (response.anchor && response.anchor->last_round >= response.responder_round) {
     return VerifyResult::fail(VerifyError::kHistoryBeyondResponderRound);
   }
   const Peerset candidates = claimed.minus({initiator});

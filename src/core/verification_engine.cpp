@@ -35,21 +35,6 @@ crypto::VerifyVerdict run_job(const crypto::CryptoProvider& provider,
   return v;
 }
 
-std::array<std::uint8_t, 32> entry_digest(const HistoryEntry& e) {
-  wire::Writer w;
-  encode_entry(w, e);
-  const Bytes encoded = std::move(w).take();
-  return crypto::Sha256::hash(BytesView(encoded.data(), encoded.size()));
-}
-
-std::array<std::uint8_t, 32> chain_step(const std::array<std::uint8_t, 32>& prev,
-                                        const std::array<std::uint8_t, 32>& entry) {
-  crypto::Sha256 h;
-  h.update(BytesView(prev.data(), prev.size()));
-  h.update(BytesView(entry.data(), entry.size()));
-  return h.finish();
-}
-
 std::string memo_key(const PeerId& node) {
   std::string key = node.addr;
   key.push_back('\0');
@@ -379,6 +364,16 @@ VerifyResult VerificationEngine::verify_history(const std::vector<HistoryEntry>&
   }
   update_gauges();
   return r;
+}
+
+VerifyResult VerificationEngine::verify_history_anchored(
+    const Checkpoint& ck, const std::vector<HistoryEntry>& suffix, const PeerId& owner,
+    const Peerset& claimed) {
+  // The engine is itself a CryptoProvider, so the checkpoint signature (and
+  // every per-entry signature below) resolves through the verdict caches.
+  if (const auto r = verify_checkpoint(ck, owner, *this); !r) return r;
+  return verify_entries(suffix, 0, ck.last_round, owner,
+                        Peerset{std::vector<PeerId>(ck.peerset)}, claimed);
 }
 
 VerifyResult VerificationEngine::verify_sample(const crypto::PublicKeyBytes& prover_key,

@@ -88,6 +88,14 @@ const char* reason_string(VerifyError code) {
       return "accusation evidence not attributable to the accused";
     case VerifyError::kAccusationNotProven:
       return "accusation evidence does not demonstrate misbehavior";
+
+    case VerifyError::kCheckpointMalformed: return "malformed checkpoint";
+    case VerifyError::kCheckpointOwnerMismatch:
+      return "checkpoint owner does not match the claimed prover";
+    case VerifyError::kCheckpointBadSignature: return "invalid checkpoint signature";
+    case VerifyError::kSegmentBadSignature: return "invalid segment server signature";
+    case VerifyError::kSegmentChainMismatch:
+      return "segment contradicts the announced checkpoint digest";
   }
   return "unknown verify error";
 }
@@ -148,6 +156,11 @@ const char* error_tag(VerifyError code) {
     case VerifyError::kAccusationSelfAccusation: return "accusation_self";
     case VerifyError::kAccusationEvidenceInvalid: return "accusation_evidence_invalid";
     case VerifyError::kAccusationNotProven: return "accusation_not_proven";
+    case VerifyError::kCheckpointMalformed: return "checkpoint_malformed";
+    case VerifyError::kCheckpointOwnerMismatch: return "checkpoint_owner_mismatch";
+    case VerifyError::kCheckpointBadSignature: return "checkpoint_bad_sig";
+    case VerifyError::kSegmentBadSignature: return "segment_bad_sig";
+    case VerifyError::kSegmentChainMismatch: return "segment_chain_mismatch";
   }
   return "unknown";
 }

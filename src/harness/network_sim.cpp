@@ -8,6 +8,7 @@
 #include "accountnet/core/node.hpp"
 #include "accountnet/core/witness.hpp"
 #include "accountnet/crypto/sha256.hpp"
+#include "accountnet/storage/node_store.hpp"
 #include "accountnet/util/bytes.hpp"
 #include "accountnet/util/ensure.hpp"
 
@@ -39,6 +40,15 @@ struct NetworkSim::HarnessNode {
   bool alive = false;
   bool joined = false;
   sim::TimePoint launch_at = 0;
+  /// Identity and key material cached outside NodeState so they survive a
+  /// simulated crash (the PeerId of record; the seed rebuilds the signer).
+  core::PeerId self;
+  Bytes seed;
+  /// durable_nodes only. The store models the disk: it survives the crash
+  /// that destroys everything else, and the journal is recreated over it at
+  /// restart exactly as a restarted process would reopen its data dir.
+  std::shared_ptr<storage::MemorySegmentStore> store;
+  std::unique_ptr<storage::NodeStore> journal;
   std::unique_ptr<core::NodeState> state;
   /// Per-node verification front-end (memos are verifier-side state). All
   /// engines share the sim-wide registry, so cache counters aggregate
@@ -62,11 +72,11 @@ NetworkSim::NetworkSim(ExperimentConfig config)
   AN_ENSURE(config_.f >= config_.l && config_.l >= 1);
   if (config_.fault_plan) faults_.emplace(*config_.fault_plan);
 
-  core::NodeConfig node_config;
-  node_config.max_peerset = config_.f;
-  node_config.shuffle_length = config_.l;
-  node_config.history_limit = config_.history_limit;
-  node_config.sampler = config_.sampler;
+  node_config_.max_peerset = config_.f;
+  node_config_.shuffle_length = config_.l;
+  node_config_.history_limit = config_.history_limit;
+  node_config_.checkpoint_interval = config_.checkpoint_interval;
+  node_config_.sampler = config_.sampler;
 
   nodes_.reserve(config_.network_size);
   const std::size_t lanes =
@@ -83,8 +93,15 @@ NetworkSim::NetworkSim(ExperimentConfig config)
     for (auto& b : seed) b = static_cast<std::uint8_t>(rng_.next_u64());
     auto signer = provider_->make_signer(seed);
     core::PeerId id{addr_of(i), signer->public_key()};
+    hn->self = id;
+    hn->seed = seed;
     hn->state = std::make_unique<core::NodeState>(id, provider_->make_signer(seed),
-                                                  node_config);
+                                                  node_config_);
+    if (config_.durable_nodes) {
+      hn->store = std::make_shared<storage::MemorySegmentStore>();
+      hn->journal = std::make_unique<storage::NodeStore>(hn->store);
+      hn->state->set_journal(hn->journal.get());
+    }
     hn->engine = std::make_unique<core::VerificationEngine>(
         *provider_, config_.verification, &metrics_);
 
@@ -132,6 +149,24 @@ void NetworkSim::sync_metrics() {
     sync_counter("harness.byz.detections", stats_.byz_detections);
     sync_counter("harness.byz.quarantines", stats_.byz_quarantines);
     sync_counter("harness.byz.refused_quarantined", stats_.byz_refused_quarantined);
+  }
+  if (config_.durable_nodes) {
+    // Durability series follow the byz.* rule: they only materialize when
+    // the feature is on, so scrapes from every pre-existing bench stay
+    // byte-identical.
+    sync_counter("harness.recovery.crashes", recovery_crashes_);
+    sync_counter("harness.recovery.restarts", recovery_restarts_);
+    sync_counter("harness.recovery.entries_replayed", recovery_entries_replayed_);
+    std::uint64_t trimmed = 0, journaled = 0;
+    for (const auto& n : nodes_) {
+      // first_index() counts entries trimmed from the in-memory window —
+      // the silent proof degradation this counter makes visible.
+      if (n->state) trimmed += n->state->history().first_index();
+      if (n->journal) journaled += n->journal->entry_count();
+    }
+    sync_counter("harness.history.trimmed", trimmed);
+    metrics_.set(metrics_.gauge("harness.journal.entries"),
+                 static_cast<double>(journaled));
   }
   metrics_.set(metrics_.gauge("harness.network_size"),
                static_cast<double>(nodes_.size()));
@@ -430,6 +465,9 @@ void NetworkSim::quarantine(HarnessNode& observer, const core::PeerId& accused,
                             obs::TraceContext ctx) {
   if (!observer.quarantined.insert(accused.addr).second) return;
   ++stats_.byz_quarantines;
+  // Standing is part of the durable record: a quarantine must survive a
+  // crash, or a restarted node would re-trust a peer it already caught.
+  if (observer.journal) observer.journal->on_standing(accused.addr, false, "");
   if (tracer_ != nullptr) {
     const std::uint64_t s = tracer_->begin_span(
         "accuse.quarantine", observer.state->self().addr, sim_.now(), ctx);
@@ -447,7 +485,8 @@ void NetworkSim::drop_cached_verdicts(HarnessNode& node, const core::PeerId& pee
 
 void NetworkSim::handle_dead_partner(std::size_t idx, std::size_t partner_idx) {
   HarnessNode& hn = *nodes_[idx];
-  const core::PeerId leaver = nodes_[partner_idx]->state->self();
+  // Use the cached identity: a crashed partner has no NodeState to ask.
+  const core::PeerId& leaver = nodes_[partner_idx]->self;
   hn.state->skip_round();
   record_leave(hn, leaver);
   // Inform the reporter's peers; each confirms liveness (the dead node
@@ -546,6 +585,59 @@ void NetworkSim::schedule_churn(std::size_t count, sim::TimePoint start,
       if (hn.joined) --joined_count_;
     });
   }
+}
+
+void NetworkSim::schedule_crash_restart(std::size_t idx, sim::TimePoint crash_at,
+                                        sim::TimePoint restart_at) {
+  AN_ENSURE_MSG(config_.durable_nodes, "crash/restart recovery needs durable_nodes");
+  AN_ENSURE_MSG(restart_at > crash_at, "restart must follow the crash");
+  AN_ENSURE(idx < nodes_.size());
+  sim_.schedule_at(crash_at, [this, idx] {
+    HarnessNode& hn = *nodes_[idx];
+    if (!hn.alive) return;
+    hn.alive = false;  // also terminates the schedule_shuffle timer chain
+    --alive_count_;
+    if (hn.joined) --joined_count_;
+    hn.joined = false;
+    // Process death: every byte of RAM is gone — protocol state, verifier
+    // caches, leaver/quarantine sets, even the journal object. Only
+    // hn.store (the disk) survives to seed recovery.
+    hn.state.reset();
+    hn.engine.reset();
+    hn.journal.reset();
+    hn.reported_leavers.clear();
+    hn.quarantined.clear();
+    ++recovery_crashes_;
+  });
+  sim_.schedule_at(restart_at, [this, idx] { restart_node(idx); });
+}
+
+void NetworkSim::restart_node(std::size_t idx) {
+  HarnessNode& hn = *nodes_[idx];
+  if (hn.alive || hn.state != nullptr) return;  // the crash never fired
+  // Reopen the data dir: a fresh journal over the surviving store, replayed
+  // into recovery state exactly as a restarted process would.
+  hn.journal = std::make_unique<storage::NodeStore>(hn.store);
+  const core::RecoveredNode rec = hn.journal->load();
+  hn.state = std::make_unique<core::NodeState>(
+      hn.self, provider_->make_signer(hn.seed), node_config_);
+  hn.state->set_journal(hn.journal.get());
+  hn.state->restore(rec);
+  for (const auto& s : rec.standing) {
+    hn.quarantined.insert(s.addr);
+    hn.reported_leavers.insert(s.addr);  // keeps the zombie purge armed
+  }
+  hn.engine = std::make_unique<core::VerificationEngine>(*provider_,
+                                                         config_.verification,
+                                                         &metrics_);
+  hn.alive = true;
+  hn.joined = true;
+  ++alive_count_;
+  ++joined_count_;
+  ++recovery_restarts_;
+  recovery_entries_replayed_ += rec.entries.size();
+  update_coverage(hn);
+  schedule_shuffle(idx);
 }
 
 std::size_t NetworkSim::malicious_alive_count() const {
@@ -750,12 +842,21 @@ bool NetworkSim::ever_shuffled(std::size_t i, std::size_t j) const {
 }
 
 std::size_t NetworkSim::quarantined_by_count(std::size_t accused) const {
-  const std::string& addr = nodes_[accused]->state->self().addr;
+  const std::string& addr = nodes_[accused]->self.addr;  // valid even mid-crash
   std::size_t c = 0;
   for (const auto& n : nodes_) {
     if (n->alive && !n->malicious && n->quarantined.contains(addr)) ++c;
   }
   return c;
+}
+
+std::vector<core::HistoryEntry> NetworkSim::journal_entries(std::size_t idx,
+                                                            std::uint64_t start,
+                                                            std::size_t count) const {
+  AN_ENSURE_MSG(config_.durable_nodes, "journal introspection needs durable_nodes");
+  const HarnessNode& hn = *nodes_[idx];
+  AN_ENSURE_MSG(hn.journal != nullptr, "node is mid-crash; journal not open");
+  return hn.journal->read_entries(start, count);
 }
 
 std::size_t NetworkSim::quarantine_edges() const {

@@ -1,0 +1,232 @@
+#include "accountnet/storage/segment_store.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace accountnet::storage {
+
+namespace {
+
+constexpr std::size_t kFrameHeader = 8;  ///< u32 length + u32 crc
+constexpr std::uint32_t kMaxRecordLen = 64u << 20;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32le(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32le(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw StoreError(what + ": " + std::strerror(errno));
+}
+
+void write_fully(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("segment write");
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+Bytes read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_errno("open " + path);
+  Bytes out;
+  std::array<std::uint8_t, 65536> buf;
+  for (;;) {
+    const ssize_t r = ::read(fd, buf.data(), buf.size());
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("read " + path);
+    }
+    if (r == 0) break;
+    out.insert(out.end(), buf.data(), buf.data() + r);
+  }
+  ::close(fd);
+  return out;
+}
+
+/// Parses one segment's frames into `records`. Returns the byte offset of
+/// the first torn/corrupt frame (== file size when the segment is clean).
+std::size_t parse_segment(const Bytes& data, std::vector<Bytes>& records) {
+  std::size_t pos = 0;
+  while (data.size() - pos >= kFrameHeader) {
+    const std::uint32_t len = get_u32le(data.data() + pos);
+    const std::uint32_t crc = get_u32le(data.data() + pos + 4);
+    if (len > kMaxRecordLen || data.size() - pos - kFrameHeader < len) break;
+    const BytesView payload(data.data() + pos + kFrameHeader, len);
+    if (crc32(payload) != crc) break;
+    records.emplace_back(payload.begin(), payload.end());
+    pos += kFrameHeader + len;
+  }
+  return pos;
+}
+
+}  // namespace
+
+std::uint32_t crc32(BytesView data) {
+  static const auto table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) c = table[(c ^ b) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+// --- MemorySegmentStore -----------------------------------------------------
+
+void MemorySegmentStore::append(BytesView record) {
+  segments_.back().emplace_back(record.begin(), record.end());
+}
+
+void MemorySegmentStore::rotate() { segments_.emplace_back(); }
+
+std::vector<Bytes> MemorySegmentStore::load_all() const {
+  std::vector<Bytes> out;
+  for (const auto& seg : segments_) out.insert(out.end(), seg.begin(), seg.end());
+  return out;
+}
+
+void MemorySegmentStore::put_meta(BytesView blob) {
+  meta_ = Bytes(blob.begin(), blob.end());
+}
+
+// --- FileSegmentStore -------------------------------------------------------
+
+FileSegmentStore::FileSegmentStore(std::string dir) : dir_(std::move(dir)) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) throw StoreError("create_directories " + dir_ + ": " + ec.message());
+
+  for (const auto& de : fs::directory_iterator(dir_)) {
+    const std::string name = de.path().filename().string();
+    if (name.rfind("segment-", 0) == 0 && name.size() > 12 &&
+        name.substr(name.size() - 4) == ".log") {
+      segment_indices_.push_back(
+          std::stoull(name.substr(8, name.size() - 12)));
+    }
+  }
+  std::sort(segment_indices_.begin(), segment_indices_.end());
+  if (segment_indices_.empty()) segment_indices_.push_back(0);
+
+  // Crash repair: a process death mid-append can only tear the tail of the
+  // LAST segment. Truncate it back to its last whole frame before reopening
+  // for append; earlier segments were sealed by rotate() and must be clean
+  // (load_all() verifies them and throws otherwise).
+  const std::string last = segment_path(segment_indices_.back());
+  if (fs::exists(last)) {
+    const Bytes data = read_file(last);
+    std::vector<Bytes> scratch;
+    const std::size_t good = parse_segment(data, scratch);
+    if (good < data.size()) {
+      if (::truncate(last.c_str(), static_cast<off_t>(good)) != 0) {
+        throw_errno("truncate torn tail of " + last);
+      }
+    }
+  }
+  open_active(segment_indices_.back());
+}
+
+FileSegmentStore::~FileSegmentStore() {
+  if (active_fd_ >= 0) ::close(active_fd_);
+}
+
+std::string FileSegmentStore::segment_path(std::uint64_t index) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "segment-%06llu.log",
+                static_cast<unsigned long long>(index));
+  return dir_ + "/" + name;
+}
+
+void FileSegmentStore::open_active(std::uint64_t index) {
+  if (active_fd_ >= 0) ::close(active_fd_);
+  active_fd_ = ::open(segment_path(index).c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (active_fd_ < 0) throw_errno("open " + segment_path(index));
+}
+
+void FileSegmentStore::append(BytesView record) {
+  if (record.size() > kMaxRecordLen) throw StoreError("record too large");
+  Bytes frame;
+  frame.reserve(kFrameHeader + record.size());
+  put_u32le(frame, static_cast<std::uint32_t>(record.size()));
+  put_u32le(frame, crc32(record));
+  frame.insert(frame.end(), record.begin(), record.end());
+  write_fully(active_fd_, frame.data(), frame.size());
+}
+
+void FileSegmentStore::sync() {
+  if (::fsync(active_fd_) != 0) throw_errno("fsync active segment");
+}
+
+void FileSegmentStore::rotate() {
+  sync();
+  const std::uint64_t next = segment_indices_.back() + 1;
+  segment_indices_.push_back(next);
+  open_active(next);
+}
+
+std::vector<Bytes> FileSegmentStore::load_all() const {
+  std::vector<Bytes> out;
+  for (std::size_t i = 0; i < segment_indices_.size(); ++i) {
+    const std::string path = segment_path(segment_indices_[i]);
+    if (!std::filesystem::exists(path)) continue;
+    const Bytes data = read_file(path);
+    const std::size_t good = parse_segment(data, out);
+    if (good < data.size() && i + 1 != segment_indices_.size()) {
+      throw StoreError("corrupt frame in sealed segment " + path);
+    }
+  }
+  return out;
+}
+
+void FileSegmentStore::put_meta(BytesView blob) {
+  const std::string tmp = dir_ + "/meta.tmp";
+  const std::string final_path = dir_ + "/meta.bin";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("open " + tmp);
+  try {
+    write_fully(fd, blob.data(), blob.size());
+    if (::fsync(fd) != 0) throw_errno("fsync " + tmp);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    throw_errno("rename " + tmp);
+  }
+}
+
+std::optional<Bytes> FileSegmentStore::get_meta() const {
+  const std::string path = dir_ + "/meta.bin";
+  if (!std::filesystem::exists(path)) return std::nullopt;
+  return read_file(path);
+}
+
+}  // namespace accountnet::storage

@@ -105,6 +105,11 @@ Bytes Reader::raw(std::size_t n) {
   return out;
 }
 
+std::uint8_t Reader::peek_u8() const {
+  need(1);
+  return data_[pos_];
+}
+
 void Reader::expect_done() const {
   if (!done()) throw DecodeError("wire: trailing bytes after message");
 }

@@ -1,0 +1,354 @@
+// Catch-up sync (core/checkpoint.hpp + node.cpp durability handlers):
+// announce/request/data codec hostility, the offline contradiction decision
+// procedure, honest mirror completion over the simulated fabric, and the
+// full conviction path — a server whose signed segment contradicts its own
+// signed checkpoint is accused, quarantined, and evicted network-wide.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accountnet/core/node.hpp"
+#include "accountnet/util/rng.hpp"
+#include "test_util.hpp"
+
+namespace accountnet::core {
+namespace {
+
+HistoryEntry make_entry(Round round, const PeerId& counterpart) {
+  HistoryEntry e;
+  e.kind = EntryKind::kShuffle;
+  e.self_round = round;
+  e.counterpart = counterpart;
+  e.nonce = round + 1;
+  e.signature = Bytes{0xaa, 0xbb};
+  e.in.push_back(counterpart);
+  return e;
+}
+
+class SegmentWire : public ::testing::Test {
+ protected:
+  std::unique_ptr<crypto::CryptoProvider> provider_ = crypto::make_fast_crypto();
+  Checkpoint ck_;
+  SegmentData seg_;
+
+  void SetUp() override {
+    auto signer = provider_->make_signer(testing::seed_from_name("server"));
+    const PeerId server{"server", signer->public_key()};
+    auto peer = provider_->make_signer(testing::seed_from_name("peer"));
+    const PeerId other{"peer", peer->public_key()};
+
+    seg_.request_id = 11;
+    seg_.server = server;
+    seg_.start = 0;
+    for (Round r = 1; r <= 3; ++r) seg_.entries.push_back(make_entry(r, other));
+    seg_.server_sig = signer->sign(seg_.signing_payload());
+
+    ck_.owner = server;
+    ck_.epoch = 1;
+    ck_.sealed_count = seg_.entries.size();
+    ck_.last_round = seg_.entries.back().self_round;
+    ck_.chain = fold_chain(ChainDigest{}, seg_.entries);
+    ck_.peerset.push_back(other);
+    ck_.owner_sig = signer->sign(ck_.signing_payload());
+    ASSERT_TRUE(verify_checkpoint(ck_, server, *provider_));
+  }
+};
+
+TEST_F(SegmentWire, RoundTrip) {
+  const SegmentData back = SegmentData::decode(seg_.encode());
+  EXPECT_EQ(back.request_id, seg_.request_id);
+  EXPECT_TRUE(back.server == seg_.server);
+  EXPECT_EQ(back.start, seg_.start);
+  EXPECT_EQ(back.base_chain, seg_.base_chain);
+  EXPECT_EQ(back.entries, seg_.entries);
+  EXPECT_EQ(back.server_sig, seg_.server_sig);
+  EXPECT_TRUE(provider_->verify(back.server.key, back.signing_payload(),
+                                back.server_sig));
+}
+
+TEST_F(SegmentWire, TruncationFailsClosed) {
+  const Bytes wire = seg_.encode();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const Bytes cut(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(len));
+    bool rejected = false;
+    try {
+      const SegmentData decoded = SegmentData::decode(cut);
+      rejected = !provider_->verify(decoded.server.key, decoded.signing_payload(),
+                                    decoded.server_sig);
+    } catch (const wire::DecodeError&) {
+      rejected = true;
+    }
+    EXPECT_TRUE(rejected) << "truncation at " << len << " accepted";
+  }
+}
+
+TEST_F(SegmentWire, BitFlipFailsClosed) {
+  const Bytes wire = seg_.encode();
+  Rng rng(99);
+  for (int iter = 0; iter < 300; ++iter) {
+    Bytes corrupt = wire;
+    const std::size_t pos = rng.uniform(corrupt.size());
+    corrupt[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+    bool rejected = false;
+    try {
+      const SegmentData decoded = SegmentData::decode(corrupt);
+      rejected = !provider_->verify(decoded.server.key, decoded.signing_payload(),
+                                    decoded.server_sig);
+    } catch (const wire::DecodeError&) {
+      rejected = true;
+    }
+    EXPECT_TRUE(rejected) << "corrupted byte " << pos << " accepted";
+  }
+}
+
+TEST_F(SegmentWire, OversizedEntryCountFailsClosed) {
+  // Claim an implausible entry count; the reader must bail before looping.
+  wire::Writer w;
+  w.u64(seg_.request_id);
+  encode_peer(w, seg_.server);
+  w.u64(seg_.start);
+  w.raw(BytesView(seg_.base_chain.data(), seg_.base_chain.size()));
+  w.varint(std::uint64_t{1} << 32);
+  EXPECT_THROW(SegmentData::decode(std::move(w).take()), wire::DecodeError);
+}
+
+TEST_F(SegmentWire, ContradictionDecisionProcedure) {
+  // Consistent full slice: no contradiction.
+  EXPECT_FALSE(segment_contradicts_checkpoint(seg_, ck_));
+
+  // Tail slice reaching the sealed boundary with a fold that misses
+  // ck.chain: decidable contradiction.
+  SegmentData bad_tail = seg_;
+  bad_tail.entries.back().nonce ^= 1;
+  EXPECT_TRUE(segment_contradicts_checkpoint(bad_tail, ck_));
+
+  // Boundary-base claim: a slice starting exactly at sealed_count whose
+  // base_chain differs from the sealed chain is also decidable.
+  SegmentData boundary;
+  boundary.server = seg_.server;
+  boundary.start = ck_.sealed_count;
+  boundary.base_chain = ChainDigest{};  // != ck_.chain
+  boundary.entries.push_back(make_entry(9, ck_.peerset.front()));
+  EXPECT_TRUE(segment_contradicts_checkpoint(boundary, ck_));
+  boundary.base_chain = ck_.chain;
+  EXPECT_FALSE(segment_contradicts_checkpoint(boundary, ck_));
+
+  // Mid-prefix slice stopping short of the sealed boundary: not decidable
+  // offline (the checkpoint only commits the total fold), so never a
+  // contradiction — the continuity check handles it fail-closed instead.
+  SegmentData mid = seg_;
+  mid.entries.pop_back();  // end < sealed_count
+  mid.entries.back().nonce ^= 1;  // still garbage, but not provably so
+  EXPECT_FALSE(segment_contradicts_checkpoint(mid, ck_));
+
+  // A different server's slice can never contradict this owner's seal.
+  SegmentData foreign = seg_;
+  foreign.server = ck_.peerset.front();
+  foreign.entries.back().nonce ^= 1;
+  EXPECT_FALSE(segment_contradicts_checkpoint(foreign, ck_));
+}
+
+// --- Event-driven fixtures -------------------------------------------------
+
+class CatchupNet {
+ public:
+  CatchupNet() : net_(sim_, sim::netem_latency(), 777) {
+    config_.protocol.max_peerset = 5;
+    config_.protocol.shuffle_length = 3;
+    config_.shuffle_period = sim::seconds(2);
+    config_.depth = 2;
+  }
+
+  Node& spawn(const std::string& addr) {
+    nodes_.push_back(std::make_unique<Node>(net_, addr, *provider_,
+                                            testing::seed_from_name(addr), config_,
+                                            std::hash<std::string>{}(addr)));
+    return *nodes_.back();
+  }
+
+  std::vector<Node*> build(std::size_t n, sim::Duration settle) {
+    std::vector<Node*> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      Node& node = spawn("c" + std::to_string(100 + i));
+      out.push_back(&node);
+      if (i == 0) {
+        node.start_as_seed();
+      } else {
+        const std::string bootstrap = out[i - 1]->id().addr;
+        sim_.schedule(sim::milliseconds(static_cast<std::int64_t>(50 * i)),
+                      [&node, bootstrap] { node.start_join(bootstrap); });
+      }
+    }
+    sim_.run_until(sim_.now() + settle);
+    return out;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<crypto::CryptoProvider> provider_ = crypto::make_fast_crypto();
+  sim::SimNetwork net_;
+  Node::Config config_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+std::uint64_t counter_sum(const std::vector<Node*>& nodes, const char* name) {
+  std::uint64_t sum = 0;
+  for (Node* n : nodes) {
+    auto& m = n->metrics();
+    sum += m.counter_value(m.counter(name));
+  }
+  return sum;
+}
+
+TEST(Catchup, HonestMirrorsComplete) {
+  CatchupNet nn;
+  nn.config_.protocol.checkpoint_interval = 8;
+  nn.config_.durability.enabled = true;
+  auto nodes = nn.build(8, sim::seconds(120));
+
+  EXPECT_GT(counter_sum(nodes, "node.ckpt.sealed"), 0u);
+  EXPECT_GT(counter_sum(nodes, "node.ckpt.announced"), 0u);
+  // Peers fetched the announced prefixes and verified them to completion;
+  // nothing was abandoned for contradiction (everyone is honest).
+  EXPECT_GT(counter_sum(nodes, "node.sync.completed"), 0u);
+  EXPECT_EQ(counter_sum(nodes, "node.sync.contradiction"), 0u);
+  EXPECT_GT(counter_sum(nodes, "node.sync.entries"), 0u);
+  for (Node* n : nodes) EXPECT_EQ(n->stats().verification_failures, 0u);
+}
+
+// The accountability acceptance path: a manually driven endpoint "m" (a
+// signer the test holds — never a real Node) announces a perfectly valid
+// signed checkpoint, then serves both honest fetchers a signed full-prefix
+// slice whose fold misses its own seal. Each fetcher holds two signatures
+// from m that cannot both be true: kSegmentMismatch accusations gossip, and
+// a third node that never talked to m counts two distinct accusers — evict.
+TEST(Catchup, EquivocatingServerConvicted) {
+  CatchupNet nn;
+  nn.config_.durability.enabled = true;
+  nn.config_.accountability.enabled = true;
+  auto nodes = nn.build(6, sim::seconds(40));
+  for (std::size_t i = 1; i < nodes.size(); ++i) ASSERT_TRUE(nodes[i]->joined()) << i;
+
+  // m's identity and its two contradictory signed artifacts.
+  auto signer = nn.provider_->make_signer(testing::seed_from_name("m"));
+  const PeerId m{"m", signer->public_key()};
+  auto peer = nn.provider_->make_signer(testing::seed_from_name("mpeer"));
+  const PeerId mpeer{"mpeer", peer->public_key()};
+
+  std::vector<HistoryEntry> truth;
+  for (Round r = 1; r <= 3; ++r) truth.push_back(make_entry(r, mpeer));
+  Checkpoint ck;
+  ck.owner = m;
+  ck.epoch = 1;
+  ck.sealed_count = truth.size();
+  ck.last_round = truth.back().self_round;
+  ck.chain = fold_chain(ChainDigest{}, truth);
+  ck.peerset.push_back(mpeer);
+  ck.owner_sig = signer->sign(ck.signing_payload());
+  ASSERT_TRUE(verify_checkpoint(ck, m, *nn.provider_));
+
+  std::vector<HistoryEntry> lie = truth;
+  lie.back().nonce ^= 1;  // same boundary, different fold
+
+  // m answers every SegmentRequest with the signed lie.
+  nn.net_.attach("m", [&](const sim::NetMessage& msg) {
+    if (static_cast<MsgType>(msg.type) != MsgType::kSegmentRequest) return;
+    const SegmentRequest req = SegmentRequest::decode(msg.payload);
+    SegmentData seg;
+    seg.request_id = req.request_id;
+    seg.server = m;
+    seg.start = 0;
+    seg.entries = lie;
+    seg.server_sig = signer->sign(seg.signing_payload());
+    nn.net_.send({"m", msg.from, static_cast<std::uint32_t>(MsgType::kSegmentData),
+                  seg.encode(), {}});
+  });
+
+  // Announce to two honest nodes; they fetch independently.
+  CheckpointAnnounce ann;
+  ann.checkpoint = ck;
+  Node* a = nodes[1];
+  Node* b = nodes[2];
+  for (Node* target : {a, b}) {
+    nn.net_.send({"m", target->id().addr,
+                  static_cast<std::uint32_t>(MsgType::kCheckpointAnnounce),
+                  ann.encode(), {}});
+  }
+  nn.sim_.run_until(nn.sim_.now() + sim::seconds(30));
+
+  // Both fetchers detected the contradiction and convicted locally.
+  EXPECT_GE(counter_sum({a, b}, "node.sync.contradiction"), 2u);
+  EXPECT_TRUE(a->is_quarantined("m"));
+  EXPECT_TRUE(b->is_quarantined("m"));
+  // The gossiped accusations carry third-party-verifiable proof: every node
+  // reaches quarantine, and with two distinct accusers (a and b) the
+  // threshold verdict flips to evicted — including on nodes m never served.
+  std::size_t evicted = 0;
+  bool third_party_evicted = false;
+  for (Node* n : nodes) {
+    EXPECT_TRUE(n->is_quarantined("m")) << n->id().addr;
+    if (n->is_evicted("m")) {
+      ++evicted;
+      if (n != a && n != b) third_party_evicted = true;
+    }
+  }
+  EXPECT_GE(evicted, 3u);
+  EXPECT_TRUE(third_party_evicted)
+      << "a node m never served must still count two distinct accusers";
+}
+
+// Without accountability mode the contradiction still fails closed and
+// quarantines locally — the fetcher keeps its mirror and drops the server.
+TEST(Catchup, ContradictionQuarantinesWithoutAccountability) {
+  CatchupNet nn;
+  nn.config_.durability.enabled = true;
+  auto nodes = nn.build(4, sim::seconds(30));
+  Node* a = nodes[1];
+  ASSERT_TRUE(a->joined());
+
+  auto signer = nn.provider_->make_signer(testing::seed_from_name("m2"));
+  const PeerId m{"m2", signer->public_key()};
+  auto peer = nn.provider_->make_signer(testing::seed_from_name("m2peer"));
+  std::vector<HistoryEntry> truth;
+  for (Round r = 1; r <= 2; ++r)
+    truth.push_back(make_entry(r, PeerId{"m2peer", peer->public_key()}));
+  Checkpoint ck;
+  ck.owner = m;
+  ck.epoch = 1;
+  ck.sealed_count = truth.size();
+  ck.last_round = truth.back().self_round;
+  ck.chain = fold_chain(ChainDigest{}, truth);
+  ck.peerset.push_back(PeerId{"m2peer", peer->public_key()});
+  ck.owner_sig = signer->sign(ck.signing_payload());
+
+  std::vector<HistoryEntry> lie = truth;
+  lie.front().nonce ^= 1;
+  nn.net_.attach("m2", [&](const sim::NetMessage& msg) {
+    if (static_cast<MsgType>(msg.type) != MsgType::kSegmentRequest) return;
+    const SegmentRequest req = SegmentRequest::decode(msg.payload);
+    SegmentData seg;
+    seg.request_id = req.request_id;
+    seg.server = m;
+    seg.start = 0;
+    seg.entries = lie;
+    seg.server_sig = signer->sign(seg.signing_payload());
+    nn.net_.send({"m2", msg.from, static_cast<std::uint32_t>(MsgType::kSegmentData),
+                  seg.encode(), {}});
+  });
+  CheckpointAnnounce ann;
+  ann.checkpoint = ck;
+  nn.net_.send({"m2", a->id().addr,
+                static_cast<std::uint32_t>(MsgType::kCheckpointAnnounce),
+                ann.encode(), {}});
+  nn.sim_.run_until(nn.sim_.now() + sim::seconds(10));
+
+  auto& metrics = a->metrics();
+  EXPECT_EQ(metrics.counter_value(metrics.counter("node.sync.contradiction")), 1u);
+  EXPECT_TRUE(a->is_quarantined("m2"));
+  EXPECT_FALSE(a->is_evicted("m2"));  // no accusation machinery without acct
+}
+
+}  // namespace
+}  // namespace accountnet::core

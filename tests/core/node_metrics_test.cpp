@@ -15,7 +15,7 @@ namespace {
 
 constexpr std::uint32_t kFirstMsgType = static_cast<std::uint32_t>(MsgType::kJoinRequest);
 constexpr std::uint32_t kLastMsgType =
-    static_cast<std::uint32_t>(MsgType::kAccusationAck);
+    static_cast<std::uint32_t>(MsgType::kSegmentData);
 
 TEST(MsgTypeName, UniqueSnakeCaseForEveryType) {
   std::set<std::string> names;

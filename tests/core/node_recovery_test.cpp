@@ -1,0 +1,211 @@
+// Crash–restart recovery for the event-driven node: state changes stream
+// into a HistoryJournal write-ahead; after the process "dies" (Node destroyed,
+// RAM gone) a fresh Node resumes from the journal with the same identity,
+// history chain, checkpoint, round high-water mark, and peer standing — and
+// goes straight back to verified shuffling. Uses a test-local in-memory
+// journal so core_test stays independent of the storage module.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accountnet/core/node.hpp"
+#include "test_util.hpp"
+
+namespace accountnet::core {
+namespace {
+
+/// Minimal faithful HistoryJournal: retains everything, serves read-back.
+class MemJournal : public HistoryJournal {
+ public:
+  void on_entry(std::uint64_t index, const HistoryEntry& entry) override {
+    ASSERT_EQ(index, entries_.size()) << "journal indices must be gapless";
+    entries_.push_back(entry);
+  }
+  void on_checkpoint(const Checkpoint& ck) override { checkpoint_ = ck; }
+  void on_round(Round next_round) override {
+    next_round_ = std::max(next_round_, next_round);
+  }
+  void on_standing(const std::string& addr, bool evicted,
+                   const std::string& accuser) override {
+    auto& s = standing_[addr];
+    s.addr = addr;
+    s.evicted = s.evicted || evicted;
+    if (!accuser.empty()) s.accusers.push_back(accuser);
+  }
+  std::vector<HistoryEntry> read_entries(std::uint64_t start,
+                                         std::size_t count) const override {
+    std::vector<HistoryEntry> out;
+    for (std::uint64_t i = start; i < entries_.size() && out.size() < count; ++i) {
+      out.push_back(entries_[static_cast<std::size_t>(i)]);
+    }
+    return out;
+  }
+
+  RecoveredNode recovered() const {
+    RecoveredNode rec;
+    rec.entries = entries_;
+    rec.first_index = 0;
+    rec.checkpoint = checkpoint_;
+    rec.next_round = next_round_;
+    for (const auto& [addr, s] : standing_) rec.standing.push_back(s);
+    return rec;
+  }
+
+  std::size_t entry_count() const { return entries_.size(); }
+
+ private:
+  std::vector<HistoryEntry> entries_;
+  std::optional<Checkpoint> checkpoint_;
+  Round next_round_ = 0;
+  std::map<std::string, RecoveredNode::Standing> standing_;
+};
+
+class RecoveryNet : public ::testing::Test {
+ protected:
+  RecoveryNet() : net_(sim_, sim::netem_latency(), 4242) {
+    config_.protocol.max_peerset = 5;
+    config_.protocol.shuffle_length = 3;
+    config_.protocol.history_limit = 16;
+    config_.protocol.checkpoint_interval = 8;
+    config_.shuffle_period = sim::seconds(2);
+    config_.durability.enabled = true;
+  }
+
+  /// Spawns a durable node wired to its own journal.
+  Node& spawn(const std::string& addr) {
+    auto journal = std::make_unique<MemJournal>();
+    Node::Config cfg = config_;
+    cfg.durability.journal = journal.get();
+    journals_[addr] = std::move(journal);
+    nodes_[addr] = std::make_unique<Node>(net_, addr, *provider_,
+                                          testing::seed_from_name(addr), cfg,
+                                          std::hash<std::string>{}(addr));
+    return *nodes_[addr];
+  }
+
+  std::vector<Node*> build(std::size_t n, sim::Duration settle) {
+    std::vector<Node*> out;
+    std::vector<std::string> addrs;
+    for (std::size_t i = 0; i < n; ++i) addrs.push_back("r" + std::to_string(100 + i));
+    for (std::size_t i = 0; i < n; ++i) {
+      Node& node = spawn(addrs[i]);
+      out.push_back(&node);
+      if (i == 0) {
+        node.start_as_seed();
+      } else {
+        const std::string bootstrap = addrs[i - 1];
+        sim_.schedule(sim::milliseconds(static_cast<std::int64_t>(50 * i)),
+                      [&node, bootstrap] { node.start_join(bootstrap); });
+      }
+    }
+    sim_.run_until(sim_.now() + settle);
+    return out;
+  }
+
+  /// The crash: the node drops off the fabric ungracefully and the Node
+  /// object (all RAM state) is destroyed. Only the journal — the "disk" —
+  /// survives.
+  void crash(const std::string& addr) {
+    nodes_.at(addr)->stop();
+    nodes_.erase(addr);
+  }
+
+  /// The restart: a fresh process with the same identity and disk.
+  Node& restart(const std::string& addr) {
+    Node::Config cfg = config_;
+    cfg.durability.journal = journals_.at(addr).get();
+    nodes_[addr] = std::make_unique<Node>(net_, addr, *provider_,
+                                          testing::seed_from_name(addr), cfg,
+                                          std::hash<std::string>{}(addr));
+    nodes_[addr]->start_recovered(journals_.at(addr)->recovered());
+    return *nodes_[addr];
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<crypto::CryptoProvider> provider_ = crypto::make_fast_crypto();
+  sim::SimNetwork net_;
+  Node::Config config_;
+  std::map<std::string, std::unique_ptr<MemJournal>> journals_;
+  std::map<std::string, std::unique_ptr<Node>> nodes_;
+};
+
+TEST_F(RecoveryNet, CrashRestartResumesWithIdentityOfRecord) {
+  auto nodes = build(6, sim::seconds(60));
+  const std::string victim = "r103";
+  ASSERT_TRUE(nodes_.at(victim)->joined());
+
+  // Snapshot the pre-crash state of record.
+  const NodeState& pre = nodes_.at(victim)->state();
+  const std::uint64_t pre_appended = pre.history().total_appended();
+  const ChainDigest pre_chain = pre.history().chain();
+  const std::vector<PeerId> pre_peers = pre.peerset().sorted();
+  const Round pre_round = pre.round();
+  ASSERT_TRUE(pre.checkpoint().has_value()) << "interval 8 over 60 s must seal";
+  ASSERT_GT(pre_appended, 0u);
+
+  crash(victim);
+  sim_.run_until(sim_.now() + sim::seconds(10));
+  Node& back = restart(victim);
+
+  // Recovery restores the exact pre-crash state of record.
+  EXPECT_TRUE(back.joined());
+  EXPECT_EQ(back.state().history().total_appended(), pre_appended);
+  EXPECT_EQ(back.state().history().chain(), pre_chain);
+  EXPECT_EQ(back.state().peerset().sorted(), pre_peers);
+  EXPECT_GE(back.state().round(), pre_round);
+  auto& m = back.metrics();
+  EXPECT_EQ(m.counter_value(m.counter("node.recovery.restarts")), 1u);
+  EXPECT_EQ(m.counter_value(m.counter("node.recovery.entries_replayed")),
+            pre_appended);
+
+  // ...and the node goes straight back to verified shuffling.
+  sim_.run_until(sim_.now() + sim::seconds(40));
+  EXPECT_GT(back.state().round(), pre_round);
+  EXPECT_GT(back.state().history().total_appended(), pre_appended);
+  EXPECT_EQ(back.stats().verification_failures, 0u);
+  // Journal and RAM stayed bit-identical through the whole second life.
+  const auto full = journals_.at(victim)->read_entries(
+      0, static_cast<std::size_t>(back.state().history().total_appended()));
+  EXPECT_EQ(full.size(), back.state().history().total_appended());
+  EXPECT_EQ(fold_chain(ChainDigest{}, full), back.state().history().chain());
+}
+
+TEST_F(RecoveryNet, StandingSurvivesRestart) {
+  auto nodes = build(5, sim::seconds(40));
+  const std::string victim = "r102";
+  ASSERT_TRUE(nodes_.at(victim)->joined());
+
+  // Record a conviction in the journal as the accountability pipeline would.
+  journals_.at(victim)->on_standing("cheater", /*evicted=*/false, "r101");
+  journals_.at(victim)->on_standing("cheater", /*evicted=*/true, "r104");
+
+  crash(victim);
+  Node& back = restart(victim);
+  EXPECT_TRUE(back.is_quarantined("cheater"));
+  EXPECT_TRUE(back.is_evicted("cheater"))
+      << "a convicted cheater must not launder itself through our reboot";
+}
+
+TEST_F(RecoveryNet, RecoveredAnnounceTriggersTwoWayCatchup) {
+  auto nodes = build(6, sim::seconds(90));
+  const std::string victim = "r104";
+  ASSERT_TRUE(nodes_.at(victim)->joined());
+  ASSERT_TRUE(nodes_.at(victim)->state().checkpoint().has_value());
+
+  crash(victim);
+  sim_.run_until(sim_.now() + sim::seconds(20));
+  Node& back = restart(victim);
+  sim_.run_until(sim_.now() + sim::seconds(60));
+
+  // The want_reply announce made counterparts answer with their own seals,
+  // so the recovered node mirrored at least one peer's sealed prefix.
+  auto& m = back.metrics();
+  EXPECT_GT(m.counter_value(m.counter("node.ckpt.announced")), 0u);
+  EXPECT_GT(m.counter_value(m.counter("node.sync.completed")), 0u);
+  EXPECT_EQ(back.stats().verification_failures, 0u);
+}
+
+}  // namespace
+}  // namespace accountnet::core

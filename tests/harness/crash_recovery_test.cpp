@@ -1,0 +1,156 @@
+// Harness durability: write-ahead journals under the synchronous driver,
+// crash → restart recovery with standing intact, and the bounded-memory
+// guarantee — the in-memory window stays at the retention floor over many
+// multiples of history_limit while the journal still serves a fully
+// verifiable prefix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "accountnet/core/checkpoint.hpp"
+#include "accountnet/harness/network_sim.hpp"
+
+namespace accountnet::harness {
+namespace {
+
+ExperimentConfig durable_config(std::size_t n, std::uint64_t seed) {
+  ExperimentConfig config;
+  config.network_size = n;
+  config.f = 5;
+  config.l = 3;
+  config.history_limit = 16;
+  config.checkpoint_interval = 8;
+  config.durable_nodes = true;
+  config.verify_fraction = 1.0;
+  config.lane_size = n;
+  config.launch_spacing_max = sim::seconds(2);
+  config.seed = seed;
+  return config;
+}
+
+TEST(CrashRecovery, RestartRestoresStateOfRecord) {
+  NetworkSim sim(durable_config(24, 5));
+  sim.run(12, nullptr);
+
+  std::size_t victim = 0;
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    if (sim.is_alive(i) && sim.is_joined(i) &&
+        sim.node_state(i).history().total_appended() > 0) {
+      victim = i;
+      break;
+    }
+  }
+  const auto& pre = sim.node_state(victim);
+  const std::uint64_t pre_appended = pre.history().total_appended();
+  const core::ChainDigest pre_chain = pre.history().chain();
+  const auto pre_peers = pre.peerset().sorted();
+  const core::Round pre_round = pre.round();
+
+  const sim::TimePoint t0 = sim.now();
+  sim.schedule_crash_restart(victim, t0 + sim::seconds(3), t0 + sim::seconds(31));
+  sim.run(6, nullptr);
+
+  EXPECT_EQ(sim.recovery_crashes(), 1u);
+  EXPECT_EQ(sim.recovery_restarts(), 1u);
+  EXPECT_GE(sim.recovery_entries_replayed(), pre_appended);
+  ASSERT_TRUE(sim.is_alive(victim));
+  EXPECT_TRUE(sim.is_joined(victim));
+
+  // The journaled prefix up to the crash folds to the pre-crash chain and
+  // reconstructs the pre-crash peerset — disk and late RAM agree bit-for-bit.
+  const auto prefix = sim.journal_entries(victim, 0,
+                                          static_cast<std::size_t>(pre_appended));
+  ASSERT_EQ(prefix.size(), pre_appended);
+  EXPECT_EQ(core::fold_chain(core::ChainDigest{}, prefix), pre_chain);
+  EXPECT_EQ(core::UpdateHistory::reconstruct(prefix).sorted(), pre_peers);
+
+  // The recovered node resumed shuffling past its pre-crash round, still
+  // journaling: the full prefix folds to the live chain.
+  const auto& post = sim.node_state(victim);
+  EXPECT_GT(post.round(), pre_round);
+  const auto full = sim.journal_entries(
+      victim, 0, static_cast<std::size_t>(post.history().total_appended()));
+  ASSERT_EQ(full.size(), post.history().total_appended());
+  EXPECT_EQ(core::fold_chain(core::ChainDigest{}, full), post.history().chain());
+  EXPECT_EQ(sim.stats().verification_failures, 0u);
+}
+
+TEST(CrashRecovery, MemoryBoundedWhileJournalKeepsFullPrefix) {
+  // ≥10× history_limit appends: the RAM window must stay at the retention
+  // floor (max(history_limit, checkpoint_interval)) while the journal keeps
+  // everything, fully verifiable.
+  auto config = durable_config(16, 9);
+  NetworkSim sim(config);
+  std::size_t window_max = 0;
+  std::uint64_t appended_max = 0;
+  sim.run(120, [&](std::size_t) {
+    for (std::size_t i = 0; i < sim.size(); ++i) {
+      if (!sim.is_alive(i) || !sim.is_joined(i)) continue;
+      window_max = std::max(window_max, sim.node_state(i).history().size());
+      appended_max =
+          std::max(appended_max, sim.node_state(i).history().total_appended());
+    }
+  });
+  EXPECT_GE(appended_max, 10 * config.history_limit) << "soak too short";
+  EXPECT_LE(window_max,
+            std::max<std::size_t>(config.history_limit,
+                                  static_cast<std::size_t>(config.checkpoint_interval)));
+
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    if (!sim.is_alive(i) || !sim.is_joined(i)) continue;
+    const auto& st = sim.node_state(i);
+    const auto full = sim.journal_entries(
+        i, 0, static_cast<std::size_t>(st.history().total_appended()));
+    ASSERT_EQ(full.size(), st.history().total_appended()) << i;
+    EXPECT_EQ(core::fold_chain(core::ChainDigest{}, full), st.history().chain()) << i;
+    EXPECT_EQ(core::UpdateHistory::reconstruct(full), st.peerset()) << i;
+  }
+  EXPECT_EQ(sim.stats().verification_failures, 0u);
+}
+
+TEST(CrashRecovery, DurabilityMetricsMaterializeOnlyWhenOn) {
+  // The lazy-interning discipline behind byte-identical default bench
+  // output: a non-durable run must not even REGISTER the recovery series.
+  {
+    ExperimentConfig config;
+    config.network_size = 12;
+    config.lane_size = 12;
+    NetworkSim sim(config);
+    sim.run(4, nullptr);
+    obs::MemorySink sink;
+    sim.scrape_metrics(sink);
+    for (const auto& row : sink.rows()) {
+      const std::string& name = row.sample.name;
+      EXPECT_NE(name.rfind("harness.recovery.", 0), 0u) << name;
+      EXPECT_NE(name, "harness.history.trimmed");
+      EXPECT_NE(name, "harness.journal.entries");
+    }
+  }
+  {
+    NetworkSim sim(durable_config(12, 3));
+    sim.run(20, nullptr);
+    obs::MemorySink sink;
+    sim.scrape_metrics(sink);
+    bool trimmed = false, journal = false;
+    for (const auto& row : sink.rows()) {
+      trimmed |= row.sample.name == "harness.history.trimmed";
+      journal |= row.sample.name == "harness.journal.entries";
+    }
+    EXPECT_TRUE(trimmed);
+    EXPECT_TRUE(journal);
+  }
+}
+
+TEST(CrashRecovery, CrashWithoutDurableNodesIsRejected) {
+  ExperimentConfig config;
+  config.network_size = 8;
+  config.lane_size = 8;
+  NetworkSim sim(config);
+  sim.run(1, nullptr);
+  EXPECT_THROW(sim.schedule_crash_restart(0, sim.now() + sim::seconds(1),
+                                          sim.now() + sim::seconds(2)),
+               std::exception);
+}
+
+}  // namespace
+}  // namespace accountnet::harness

@@ -1,0 +1,178 @@
+// NodeStore journal schema: journal → load() round trip over both backends,
+// the strict index-gap check, standing accumulation/dedup, read-back for
+// catch-up serving, and checkpoint pinning through the metadata blob.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accountnet/crypto/provider.hpp"
+#include "accountnet/storage/node_store.hpp"
+
+namespace accountnet::storage {
+namespace {
+
+using core::Checkpoint;
+using core::HistoryEntry;
+
+class NodeStoreTest : public ::testing::Test {
+ protected:
+  NodeStoreTest() {
+    signer_ = provider_->make_signer(Bytes(32, 0x5a));
+    self_ = core::PeerId{"owner", signer_->public_key()};
+    auto peer = provider_->make_signer(Bytes(32, 0xa5));
+    peer_ = core::PeerId{"peer", peer->public_key()};
+  }
+
+  HistoryEntry entry(core::Round round) const {
+    HistoryEntry e;
+    e.kind = core::EntryKind::kShuffle;
+    e.self_round = round;
+    e.counterpart = peer_;
+    e.nonce = round + 1;
+    e.signature = Bytes{1, 2, 3};
+    e.in.push_back(peer_);
+    return e;
+  }
+
+  Checkpoint checkpoint(std::uint64_t sealed, const std::vector<HistoryEntry>& all) const {
+    Checkpoint ck;
+    ck.owner = self_;
+    ck.epoch = 1;
+    ck.sealed_count = sealed;
+    ck.last_round = all[sealed - 1].self_round;
+    ck.chain = core::fold_chain(core::ChainDigest{},
+                                {all.begin(), all.begin() + static_cast<long>(sealed)});
+    ck.peerset.push_back(peer_);
+    ck.owner_sig = signer_->sign(ck.signing_payload());
+    return ck;
+  }
+
+  std::unique_ptr<crypto::CryptoProvider> provider_ = crypto::make_fast_crypto();
+  std::unique_ptr<crypto::Signer> signer_;
+  core::PeerId self_;
+  core::PeerId peer_;
+};
+
+TEST_F(NodeStoreTest, JournalLoadRoundTrip) {
+  auto disk = std::make_shared<MemorySegmentStore>();
+  std::vector<HistoryEntry> all;
+  for (core::Round r = 1; r <= 5; ++r) all.push_back(entry(r));
+  const Checkpoint ck = checkpoint(3, all);
+  {
+    NodeStore journal(disk);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      journal.on_entry(i, all[i]);
+      journal.on_round(all[i].self_round + 1);
+      if (i == 2) journal.on_checkpoint(ck);
+    }
+    EXPECT_EQ(journal.entry_count(), all.size());
+  }  // journal object dies; the disk survives
+
+  NodeStore reopened(disk);
+  EXPECT_EQ(reopened.entry_count(), all.size());
+  const core::RecoveredNode rec = reopened.load();
+  EXPECT_EQ(rec.entries, all);
+  EXPECT_EQ(rec.first_index, 0u);
+  ASSERT_TRUE(rec.checkpoint.has_value());
+  EXPECT_EQ(*rec.checkpoint, ck);
+  EXPECT_EQ(rec.next_round, all.back().self_round + 1);
+  EXPECT_TRUE(rec.standing.empty());
+}
+
+TEST_F(NodeStoreTest, EntryIndexGapThrows) {
+  auto disk = std::make_shared<MemorySegmentStore>();
+  NodeStore journal(disk);
+  journal.on_entry(0, entry(1));
+  journal.on_entry(2, entry(3));  // skipped index 1
+  EXPECT_THROW(journal.load(), StoreError);
+}
+
+TEST_F(NodeStoreTest, StandingAccumulatesAndDedups) {
+  auto disk = std::make_shared<MemorySegmentStore>();
+  NodeStore journal(disk);
+  journal.on_standing("cheater", false, "a");
+  journal.on_standing("cheater", false, "a");  // duplicate accuser
+  journal.on_standing("cheater", true, "b");
+  journal.on_standing("other", false, "");
+
+  const core::RecoveredNode rec = journal.load();
+  ASSERT_EQ(rec.standing.size(), 2u);
+  const auto& cheater = rec.standing[0].addr == "cheater" ? rec.standing[0]
+                                                          : rec.standing[1];
+  const auto& other = rec.standing[0].addr == "cheater" ? rec.standing[1]
+                                                        : rec.standing[0];
+  EXPECT_EQ(cheater.addr, "cheater");
+  EXPECT_TRUE(cheater.evicted);
+  EXPECT_EQ(cheater.accusers, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(other.addr, "other");
+  EXPECT_FALSE(other.evicted);
+  EXPECT_TRUE(other.accusers.empty());
+}
+
+TEST_F(NodeStoreTest, ReadEntriesServesCatchupRanges) {
+  auto disk = std::make_shared<MemorySegmentStore>();
+  NodeStore journal(disk);
+  std::vector<HistoryEntry> all;
+  for (core::Round r = 1; r <= 7; ++r) {
+    all.push_back(entry(r));
+    journal.on_entry(all.size() - 1, all.back());
+    journal.on_round(r + 1);  // interleaved non-entry records are skipped
+  }
+  EXPECT_EQ(journal.read_entries(0, 7), all);
+  EXPECT_EQ(journal.read_entries(2, 3),
+            (std::vector<HistoryEntry>{all[2], all[3], all[4]}));
+  EXPECT_EQ(journal.read_entries(5, 100),
+            (std::vector<HistoryEntry>{all[5], all[6]}));  // stops at the end
+  EXPECT_TRUE(journal.read_entries(7, 3).empty());
+  EXPECT_TRUE(journal.read_entries(0, 0).empty());
+}
+
+TEST_F(NodeStoreTest, MetaCheckpointWinsWhenAhead) {
+  // Pathological partial-crash order: the meta blob pins a seal covering
+  // more entries than the record scan found. load() prefers the meta seal.
+  auto disk = std::make_shared<MemorySegmentStore>();
+  std::vector<HistoryEntry> all;
+  for (core::Round r = 1; r <= 4; ++r) all.push_back(entry(r));
+  NodeStore journal(disk);
+  for (std::size_t i = 0; i < all.size(); ++i) journal.on_entry(i, all[i]);
+  journal.on_checkpoint(checkpoint(2, all));
+  disk->put_meta(checkpoint(4, all).encode());
+
+  const core::RecoveredNode rec = journal.load();
+  ASSERT_TRUE(rec.checkpoint.has_value());
+  EXPECT_EQ(rec.checkpoint->sealed_count, 4u);
+}
+
+TEST_F(NodeStoreTest, FileBackedRoundTripSurvivesReopen) {
+  const std::string dir = ::testing::TempDir() + "an_nodestore_roundtrip";
+  std::filesystem::remove_all(dir);
+  std::vector<HistoryEntry> all;
+  for (core::Round r = 1; r <= 6; ++r) all.push_back(entry(r));
+  const Checkpoint ck = checkpoint(4, all);
+  {
+    NodeStore journal(std::make_shared<FileSegmentStore>(dir));
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      journal.on_entry(i, all[i]);
+      if (i == 3) journal.on_checkpoint(ck);
+    }
+    journal.on_standing("cheater", true, "a");
+  }  // process dies
+
+  NodeStore reopened(std::make_shared<FileSegmentStore>(dir));
+  EXPECT_EQ(reopened.entry_count(), all.size());
+  const core::RecoveredNode rec = reopened.load();
+  EXPECT_EQ(rec.entries, all);
+  ASSERT_TRUE(rec.checkpoint.has_value());
+  EXPECT_EQ(*rec.checkpoint, ck);
+  ASSERT_EQ(rec.standing.size(), 1u);
+  EXPECT_TRUE(rec.standing[0].evicted);
+  EXPECT_EQ(reopened.read_entries(2, 2),
+            (std::vector<HistoryEntry>{all[2], all[3]}));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace accountnet::storage

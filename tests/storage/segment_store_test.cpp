@@ -1,0 +1,182 @@
+// SegmentStore contract tests: CRC framing, rotation, metadata replacement,
+// and — for the file-backed store — crash realism in a real tmpdir: a torn
+// or corrupt tail frame in the last segment is truncated away (mid-append
+// crash), while corruption in a sealed earlier segment is unrecoverable and
+// throws StoreError.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "accountnet/storage/segment_store.hpp"
+
+namespace accountnet::storage {
+namespace {
+
+Bytes rec(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(Crc32, KnownVectors) {
+  // IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(crc32(rec("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(BytesView{}), 0x00000000u);
+}
+
+template <typename Store>
+void exercise_contract(Store& store) {
+  EXPECT_TRUE(store.load_all().empty());
+  EXPECT_EQ(store.segment_count(), 1u);
+
+  store.append(rec("alpha"));
+  store.append(rec("beta"));
+  store.rotate();
+  store.append(rec("gamma"));
+  store.sync();
+
+  const auto all = store.load_all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], rec("alpha"));
+  EXPECT_EQ(all[1], rec("beta"));
+  EXPECT_EQ(all[2], rec("gamma"));
+  EXPECT_EQ(store.segment_count(), 2u);
+
+  EXPECT_FALSE(store.get_meta().has_value());
+  store.put_meta(rec("meta-v1"));
+  EXPECT_EQ(store.get_meta(), rec("meta-v1"));
+  store.put_meta(rec("meta-v2"));
+  EXPECT_EQ(store.get_meta(), rec("meta-v2"));
+}
+
+TEST(MemorySegmentStore, Contract) {
+  MemorySegmentStore store;
+  exercise_contract(store);
+}
+
+TEST(MemorySegmentStore, SharedStoreSurvivesOwner) {
+  // The crash model: the store outlives the journal object holding it.
+  auto store = std::make_shared<MemorySegmentStore>();
+  store->append(rec("pre-crash"));
+  {
+    const std::shared_ptr<SegmentStore> owner = store;
+    owner->append(rec("more"));
+  }  // "process" dies
+  EXPECT_EQ(store->load_all().size(), 2u);
+}
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "an_segstore_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);  // stale state from a previous run
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(FileStoreTest, Contract) {
+  FileSegmentStore store(dir_);
+  exercise_contract(store);
+}
+
+TEST_F(FileStoreTest, ReopenPreservesEverything) {
+  {
+    FileSegmentStore store(dir_);
+    store.append(rec("one"));
+    store.rotate();
+    store.append(rec("two"));
+    store.put_meta(rec("m"));
+    store.sync();
+  }
+  FileSegmentStore reopened(dir_);
+  const auto all = reopened.load_all();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], rec("one"));
+  EXPECT_EQ(all[1], rec("two"));
+  EXPECT_EQ(reopened.get_meta(), rec("m"));
+  // Appends continue in order after reopen.
+  reopened.append(rec("three"));
+  EXPECT_EQ(reopened.load_all().back(), rec("three"));
+}
+
+TEST_F(FileStoreTest, TornTailFrameIsTruncatedAway) {
+  std::string last_path;
+  {
+    FileSegmentStore store(dir_);
+    store.append(rec("keep-me"));
+    store.sync();
+    last_path = dir_ + "/segment-000000.log";
+  }
+  // Simulate a crash mid-append: a partial frame at the tail.
+  {
+    std::ofstream f(last_path, std::ios::binary | std::ios::app);
+    const char partial[] = {0x40, 0x00, 0x00, 0x00, 0x12};  // length, then cut
+    f.write(partial, sizeof(partial));
+  }
+  FileSegmentStore reopened(dir_);
+  const auto all = reopened.load_all();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], rec("keep-me"));
+  // The truncated store accepts appends and the new record is durable.
+  reopened.append(rec("after-repair"));
+  EXPECT_EQ(reopened.load_all().size(), 2u);
+}
+
+TEST_F(FileStoreTest, CorruptTailCrcIsTruncatedAway) {
+  std::string path;
+  {
+    FileSegmentStore store(dir_);
+    store.append(rec("solid"));
+    store.append(rec("doomed"));
+    store.sync();
+    path = dir_ + "/segment-000000.log";
+  }
+  // Flip one payload byte of the LAST record: its CRC no longer matches, so
+  // reopen treats it as a torn tail.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-1, std::ios::end);
+    f.put('X');
+  }
+  FileSegmentStore reopened(dir_);
+  const auto all = reopened.load_all();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], rec("solid"));
+}
+
+TEST_F(FileStoreTest, SealedSegmentCorruptionThrows) {
+  std::string sealed_path;
+  {
+    FileSegmentStore store(dir_);
+    store.append(rec("sealed-record"));
+    store.rotate();  // segment 0 is now sealed
+    store.append(rec("active-record"));
+    store.sync();
+    sealed_path = dir_ + "/segment-000000.log";
+  }
+  {
+    std::fstream f(sealed_path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-1, std::ios::end);
+    f.put('X');
+  }
+  // Tail repair only applies to the last segment; silent loss in the middle
+  // of the journal would forge history, so it must be fatal.
+  FileSegmentStore reopened(dir_);
+  EXPECT_THROW(reopened.load_all(), StoreError);
+}
+
+TEST_F(FileStoreTest, MetaReplaceIsAtomicOnDisk) {
+  FileSegmentStore store(dir_);
+  store.put_meta(rec("v1"));
+  store.put_meta(rec("v2"));
+  // The temp file from write-temp-then-rename never lingers.
+  EXPECT_EQ(std::ifstream(dir_ + "/meta.tmp").good(), false);
+  FileSegmentStore reopened(dir_);
+  EXPECT_EQ(reopened.get_meta(), rec("v2"));
+}
+
+}  // namespace
+}  // namespace accountnet::storage
