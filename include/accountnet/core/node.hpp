@@ -300,6 +300,11 @@ class Node {
     return it != accused_.end() && it->second.evicted;
   }
   std::size_t quarantined_count() const { return quarantined_.size(); }
+  /// Sorted snapshots of the accountability verdicts — stable across runs,
+  /// so daemon status dumps and the sim↔real interop test can compare them
+  /// directly.
+  std::vector<std::string> quarantined_addrs() const;
+  std::vector<std::string> evicted_addrs() const;
 
   /// Per-node metrics: the "node.*" counters behind stats(), rejection
   /// counters keyed by VerifyError tag ("node.reject.<tag>"), and the

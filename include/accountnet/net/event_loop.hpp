@@ -1,0 +1,97 @@
+// Single-threaded epoll event loop with a monotonic timer wheel.
+//
+// The real-transport counterpart of sim::Simulator: file descriptors raise
+// edge callbacks, timers fire in deadline order, and time is real
+// microseconds since loop construction (so a net::RealNetHost can equate
+// "virtual microseconds" of its embedded Simulator with loop time 1:1).
+//
+// Everything runs on the caller's thread; callbacks may add/remove fds and
+// timers freely, including their own. Multiple hosts (several daemons in
+// one test process) can share one loop — there is no per-loop global state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace accountnet::net {
+
+class EventLoop {
+ public:
+  /// Bitmask of readiness causes handed to an FdCallback.
+  enum : std::uint32_t {
+    kReadable = 1u << 0,
+    kWritable = 1u << 1,
+    kError = 1u << 2,  ///< EPOLLERR / EPOLLHUP — the fd is dead or half-dead
+  };
+  using FdCallback = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  bool valid() const { return epoll_fd_ >= 0; }
+
+  /// Microseconds of real time since construction (monotonic clock).
+  std::int64_t now_us() const;
+
+  /// Registers `fd` for the given interest mask (kReadable/kWritable).
+  /// The callback stays attached until del_fd.
+  void add_fd(int fd, std::uint32_t interest, FdCallback cb);
+  /// Changes the interest mask of a registered fd.
+  void mod_fd(int fd, std::uint32_t interest);
+  /// Unregisters; safe on an fd that was never added. Does not close it.
+  void del_fd(int fd);
+
+  /// Schedules `fn` at an absolute loop time (past deadlines fire on the
+  /// next poll). Returns a token for cancel().
+  std::uint64_t schedule_at(std::int64_t when_us, std::function<void()> fn);
+  std::uint64_t schedule_after(std::int64_t delay_us, std::function<void()> fn) {
+    return schedule_at(now_us() + delay_us, fn);
+  }
+  /// Cancels a pending timer; a fired or unknown token is a no-op.
+  void cancel(std::uint64_t token);
+
+  /// One iteration: waits for fd readiness or the next timer (bounded by
+  /// `max_wait_us`), then dispatches everything due. Returns the number of
+  /// callbacks dispatched.
+  std::size_t poll(std::int64_t max_wait_us);
+
+  /// Polls repeatedly until `duration_us` of real time has elapsed.
+  void run_for(std::int64_t duration_us);
+
+  /// Polls until stop() is called (from a callback or timer).
+  void run();
+  void stop() { stopped_ = true; }
+
+  std::size_t tracked_fds() const { return fds_.size(); }
+
+ private:
+  void dispatch_due_timers();
+
+  struct Timer {
+    std::int64_t when;
+    std::uint64_t token;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Timer& a, const Timer& b) const {
+      return a.when != b.when ? a.when > b.when : a.token > b.token;
+    }
+  };
+
+  int epoll_fd_ = -1;
+  std::int64_t epoch_ns_ = 0;
+  bool stopped_ = false;
+  std::uint64_t next_token_ = 1;
+  std::unordered_map<int, FdCallback> fds_;
+  std::priority_queue<Timer, std::vector<Timer>, Later> timers_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace accountnet::net

@@ -1,0 +1,88 @@
+// In-process TCP fault shim for transport robustness tests and soaks.
+//
+// ChaosProxy accepts on its own port, dials the real upstream for every
+// accepted connection, and forwards bytes both ways — until a seeded
+// per-session byte budget runs out, at which point it hard-closes both sides
+// mid-stream (the moral equivalent of yanking a cable mid-frame). Pointing a
+// ConnectionManager at the proxy instead of the peer exercises truncated
+// frames, peer-crash-mid-RPC, and reconnect-with-backoff on demand, with a
+// deterministic seed.
+//
+// A budget of 0 disables killing (plain pass-through proxy).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "accountnet/net/event_loop.hpp"
+#include "accountnet/util/bytes.hpp"
+#include "accountnet/util/rng.hpp"
+
+namespace accountnet::net {
+
+struct ChaosProxyConfig {
+  std::string listen_host = "127.0.0.1";
+  std::uint16_t listen_port = 0;  ///< 0 = ephemeral
+  std::string upstream_host = "127.0.0.1";
+  std::uint16_t upstream_port = 0;
+
+  /// Per-session kill budget: uniform in [min_bytes, max_bytes] forwarded
+  /// (summed over both directions) before the session is severed. 0/0 = never.
+  std::uint64_t min_kill_bytes = 0;
+  std::uint64_t max_kill_bytes = 0;
+};
+
+class ChaosProxy {
+ public:
+  ChaosProxy(EventLoop& loop, ChaosProxyConfig config, std::uint64_t rng_seed);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  bool ok() const { return listen_fd_ >= 0; }
+  std::uint16_t listen_port() const { return listen_port_; }
+
+  std::uint64_t sessions_opened() const { return sessions_opened_; }
+  std::uint64_t sessions_killed() const { return sessions_killed_; }
+  std::uint64_t bytes_forwarded() const { return bytes_forwarded_; }
+
+  void close_all();
+
+ private:
+  // One proxied connection pair. Bytes flow client<->upstream through small
+  // relay buffers; when a side stalls (EAGAIN) the other side's reads pause
+  // via interest masks, which gives natural end-to-end backpressure.
+  struct Session {
+    int client_fd = -1;
+    int upstream_fd = -1;
+    bool upstream_connecting = true;
+    Bytes to_upstream;   ///< bytes read from client, not yet written upstream
+    Bytes to_client;
+    std::uint64_t budget = 0;  ///< remaining bytes before the kill; 0 = off
+    std::uint64_t forwarded = 0;
+  };
+
+  void on_acceptable();
+  void on_side_event(int fd, std::uint32_t events);
+  /// Pumps one direction: read from `from_fd` into `buf`, write to `to_fd`.
+  /// Returns false if the session died.
+  bool relay(Session& s, int from_fd, int to_fd, Bytes& buf);
+  void update_interest(Session& s);
+  void kill_session(Session& s);
+  Session* find(int fd);
+
+  EventLoop& loop_;
+  ChaosProxyConfig config_;
+  Rng rng_;
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+  std::unordered_map<int, std::shared_ptr<Session>> by_fd_;  // both fds map to the session
+  std::uint64_t sessions_opened_ = 0;
+  std::uint64_t sessions_killed_ = 0;
+  std::uint64_t bytes_forwarded_ = 0;
+};
+
+}  // namespace accountnet::net

@@ -1,0 +1,68 @@
+// Incremental [u32 length][u32 type][payload] framing for non-blocking
+// sockets.
+//
+// net::MessageSocket reads one frame with blocking read() calls; an event
+// loop cannot. FrameReader accumulates whatever bytes the socket produced
+// and extracts zero or more complete frames per drain, rolling back to the
+// frame boundary when only part of a frame has arrived (the btdht
+// rollback-on-partial-read buffer style): a partial header or partial body
+// stays buffered untouched until more bytes land.
+//
+// Fail-closed on hostile input: a length header above `max_frame` poisons
+// the reader permanently (the stream offset can never be trusted again) —
+// the owning connection must be torn down.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "accountnet/util/bytes.hpp"
+
+namespace accountnet::net {
+
+/// Wire frame cap shared by every framed-TCP path (MessageSocket and the
+/// event-loop transport): bounds allocation from untrusted peers.
+inline constexpr std::size_t kMaxFrameSize = 16 * 1024 * 1024;
+inline constexpr std::size_t kFrameHeaderSize = 8;
+
+struct Frame {
+  std::uint32_t type = 0;
+  Bytes payload;
+};
+
+/// Serializes one frame (header + payload) for the wire.
+Bytes encode_frame(std::uint32_t type, BytesView payload);
+
+void put_u32le(std::uint8_t* out, std::uint32_t v);
+std::uint32_t get_u32le(const std::uint8_t* in);
+
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame = kMaxFrameSize) : max_frame_(max_frame) {}
+
+  /// Appends raw socket bytes. No parsing happens here; cheap to call from
+  /// the read loop. Appending to a poisoned reader is a no-op.
+  void append(const std::uint8_t* data, std::size_t len);
+
+  /// Extracts the next complete frame, or nullopt when the buffered bytes
+  /// end mid-frame (call again after the next append) or the reader is
+  /// poisoned (check poisoned()).
+  std::optional<Frame> next();
+
+  /// A length header exceeded max_frame: the stream is unrecoverable.
+  bool poisoned() const { return poisoned_; }
+
+  /// Bytes buffered beyond the last extracted frame (a partially received
+  /// frame, or zero at a clean boundary). Drives the half-open/slowloris
+  /// deadline: a nonzero partial that never completes is a dead or hostile
+  /// peer.
+  std::size_t partial_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_frame_;
+  Bytes buf_;
+  std::size_t pos_ = 0;  ///< start of the first unconsumed byte
+  bool poisoned_ = false;
+};
+
+}  // namespace accountnet::net

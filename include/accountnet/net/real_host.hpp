@@ -1,0 +1,91 @@
+// Real-network host for an unmodified core::Node.
+//
+// core::Node speaks only to sim::SimNetwork, and all of its timers live on a
+// sim::Simulator. RealNetHost makes that pair real: it embeds a private
+// Simulator plus a zero-latency SimNetwork for exactly one node, equates the
+// simulator's virtual microseconds with EventLoop::now_us() 1:1, and bridges
+// traffic both ways:
+//
+//   outbound  Node → SimNetwork::send → gateway (off-fabric destination)
+//             → wire::Envelope → ConnectionManager::send → real TCP frame
+//   inbound   TCP frame → Envelope → fabric_.send → zero-latency delivery
+//             into the node's handler at the current virtual time
+//
+// pump() advances the simulator to "now" and re-arms a loop timer for the
+// next virtual deadline, so node timers (shuffle period, RPC retries, sync)
+// fire at the right real times without busy-polling. The Node object itself
+// is byte-identical to the one the pure simulation runs — that is the whole
+// point: the sim↔real interop test replays captured real traffic through the
+// simulator and demands identical verdicts.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "accountnet/core/node.hpp"
+#include "accountnet/net/connection.hpp"
+#include "accountnet/net/event_loop.hpp"
+#include "accountnet/sim/network.hpp"
+#include "accountnet/sim/simulator.hpp"
+
+namespace accountnet::net {
+
+class RealNetHost {
+ public:
+  /// Observes every envelope crossing the real-network boundary, both
+  /// directions (`inbound` true for frames received off the wire). Drives
+  /// message captures for the interop replay test and daemon journals.
+  using CaptureFn = std::function<void(const wire::Envelope& env, bool inbound)>;
+
+  /// Binds a listener per `transport` (port 0 = ephemeral). The node's
+  /// canonical address is self_addr() — construct the Node *after* listen
+  /// succeeds, via make_node(), so the address exists first.
+  RealNetHost(EventLoop& loop, TransportConfig transport,
+              obs::MetricsRegistry& metrics, std::uint64_t rng_seed);
+  ~RealNetHost();
+
+  RealNetHost(const RealNetHost&) = delete;
+  RealNetHost& operator=(const RealNetHost&) = delete;
+
+  bool ok() const { return ok_; }
+  const std::string& self_addr() const { return conns_.self_addr(); }
+  std::uint16_t listen_port() const { return conns_.listen_port(); }
+
+  /// Constructs the hosted node on the embedded fabric at this host's
+  /// canonical address. Call exactly once; the host owns the node.
+  core::Node& make_node(const crypto::CryptoProvider& provider, BytesView seed32,
+                        core::Node::Config config, std::uint64_t node_rng_seed);
+  core::Node& node() { return *node_; }
+  bool has_node() const { return node_ != nullptr; }
+
+  /// Drains virtual time up to the loop's current instant and schedules the
+  /// wakeup for the next node deadline. Called automatically after every
+  /// inbound delivery; call it once after start_*() to arm the first timers.
+  void pump();
+
+  void set_capture(CaptureFn capture) { capture_ = std::move(capture); }
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::SimNetwork& fabric() { return fabric_; }
+  ConnectionManager& connections() { return conns_; }
+
+  /// Stops the node (if any) and closes every connection. Safe to repeat.
+  void shutdown();
+
+ private:
+  void on_wire_envelope(wire::Envelope env);
+  void arm_wakeup();
+
+  EventLoop& loop_;
+  sim::Simulator sim_;
+  sim::SimNetwork fabric_;
+  ConnectionManager conns_;
+  std::unique_ptr<core::Node> node_;
+  CaptureFn capture_;
+  std::uint64_t wakeup_timer_ = 0;
+  bool ok_ = false;
+  bool pumping_ = false;
+};
+
+}  // namespace accountnet::net

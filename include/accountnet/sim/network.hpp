@@ -81,6 +81,16 @@ class SimNetwork {
   /// drops at delivery time (the sender cannot tell — like a silent peer).
   void send(NetMessage msg);
 
+  /// Gateway for destinations not attached to this fabric: when set, a send
+  /// to an unknown address is handed to the gateway *synchronously* (no
+  /// latency sample, no scheduling) instead of becoming an in-fabric drop.
+  /// This is the host-adapter seam net::RealNetHost uses to route a node's
+  /// outbound traffic onto real sockets while local delivery (and every
+  /// simulation run, where no gateway is ever set) is untouched. Pass
+  /// nullptr to detach.
+  void set_gateway(Handler gateway) { gateway_ = std::move(gateway); }
+  bool has_gateway() const { return gateway_ != nullptr; }
+
   /// Samples the one-way delay without sending (for latency accounting).
   Duration sample_delay();
 
@@ -138,6 +148,7 @@ class SimNetwork {
   std::unique_ptr<LatencyModel> latency_;
   Rng rng_;
   std::unordered_map<std::string, Handler> endpoints_;
+  Handler gateway_;
   NetworkStats stats_;
   obs::MetricsRegistry* metrics_ = nullptr;
   TypeNamer namer_;

@@ -47,6 +47,11 @@ class Simulator {
   std::size_t pending() const { return queue_.size(); }
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Timestamp of the earliest pending event, or -1 when the queue is empty.
+  /// Lets a real-time host (net::RealNetHost) sleep exactly until the next
+  /// virtual deadline instead of polling.
+  TimePoint next_event_time() const { return queue_.empty() ? -1 : queue_.top().when; }
+
  private:
   struct Event {
     TimePoint when;

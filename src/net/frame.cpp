@@ -1,0 +1,53 @@
+#include "accountnet/net/frame.hpp"
+
+#include <cstring>
+
+namespace accountnet::net {
+
+void put_u32le(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32le(const std::uint8_t* in) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | in[i];
+  return v;
+}
+
+Bytes encode_frame(std::uint32_t type, BytesView payload) {
+  Bytes out(kFrameHeaderSize + payload.size());
+  put_u32le(out.data(), static_cast<std::uint32_t>(payload.size()));
+  put_u32le(out.data() + 4, type);
+  if (!payload.empty()) std::memcpy(out.data() + kFrameHeaderSize, payload.data(), payload.size());
+  return out;
+}
+
+void FrameReader::append(const std::uint8_t* data, std::size_t len) {
+  if (poisoned_ || len == 0) return;
+  // Compact before growing: everything before pos_ is already consumed.
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= 64 * 1024)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (poisoned_) return std::nullopt;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderSize) return std::nullopt;  // rollback: partial header
+  const std::uint32_t len = get_u32le(buf_.data() + pos_);
+  if (len > max_frame_) {
+    poisoned_ = true;  // untrusted length: the stream can never resync
+    return std::nullopt;
+  }
+  if (avail < kFrameHeaderSize + len) return std::nullopt;  // rollback: partial body
+  Frame frame;
+  frame.type = get_u32le(buf_.data() + pos_ + 4);
+  frame.payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + kFrameHeaderSize),
+                       buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + kFrameHeaderSize + len));
+  pos_ += kFrameHeaderSize + len;
+  return frame;
+}
+
+}  // namespace accountnet::net

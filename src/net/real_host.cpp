@@ -1,0 +1,84 @@
+#include "accountnet/net/real_host.hpp"
+
+namespace accountnet::net {
+
+RealNetHost::RealNetHost(EventLoop& loop, TransportConfig transport,
+                         obs::MetricsRegistry& metrics, std::uint64_t rng_seed)
+    : loop_(loop),
+      fabric_(sim_, sim::fixed_latency(0), rng_seed),
+      conns_(loop, std::move(transport), metrics, rng_seed ^ 0x9e3779b97f4a7c15ULL) {
+  ok_ = conns_.listen();
+  if (!ok_) return;
+  // Outbound seam: the node's sends target off-fabric addresses (its real
+  // peers), which the fabric hands here synchronously.
+  fabric_.set_gateway([this](const sim::NetMessage& msg) {
+    wire::Envelope env;
+    env.from = msg.from;
+    env.to = msg.to;
+    env.type = msg.type;
+    env.trace_id = msg.trace.trace_id;
+    env.parent_span = msg.trace.parent_span;
+    env.payload = msg.payload;
+    if (capture_) capture_(env, false);
+    conns_.send(env);
+  });
+  conns_.set_deliver([this](wire::Envelope env) { on_wire_envelope(std::move(env)); });
+}
+
+RealNetHost::~RealNetHost() { shutdown(); }
+
+core::Node& RealNetHost::make_node(const crypto::CryptoProvider& provider,
+                                   BytesView seed32, core::Node::Config config,
+                                   std::uint64_t node_rng_seed) {
+  node_ = std::make_unique<core::Node>(fabric_, self_addr(), provider, seed32,
+                                       std::move(config), node_rng_seed);
+  return *node_;
+}
+
+void RealNetHost::on_wire_envelope(wire::Envelope env) {
+  if (capture_) capture_(env, true);
+  // Catch virtual time up first so the zero-latency delivery lands at the
+  // current instant, then run that delivery plus anything it triggers.
+  sim_.run_until(loop_.now_us());
+  sim::NetMessage msg;
+  msg.from = std::move(env.from);
+  msg.to = std::move(env.to);
+  msg.type = env.type;
+  msg.payload = std::move(env.payload);
+  msg.trace = obs::TraceContext{env.trace_id, env.parent_span};
+  fabric_.send(std::move(msg));
+  pump();
+}
+
+void RealNetHost::pump() {
+  if (pumping_) return;  // a node callback re-entered via the gateway path
+  pumping_ = true;
+  sim_.run_until(loop_.now_us());
+  pumping_ = false;
+  arm_wakeup();
+}
+
+void RealNetHost::arm_wakeup() {
+  if (wakeup_timer_ != 0) {
+    loop_.cancel(wakeup_timer_);
+    wakeup_timer_ = 0;
+  }
+  const sim::TimePoint next = sim_.next_event_time();
+  if (next < 0) return;
+  wakeup_timer_ = loop_.schedule_at(next, [this] {
+    wakeup_timer_ = 0;
+    pump();
+  });
+}
+
+void RealNetHost::shutdown() {
+  if (wakeup_timer_ != 0) {
+    loop_.cancel(wakeup_timer_);
+    wakeup_timer_ = 0;
+  }
+  if (node_) node_->stop();
+  fabric_.set_gateway(nullptr);
+  conns_.close_all();
+}
+
+}  // namespace accountnet::net

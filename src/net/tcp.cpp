@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -13,11 +14,19 @@ namespace accountnet::net {
 namespace {
 
 bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  // MSG_NOSIGNAL: a peer that closed mid-send must surface as EPIPE, not
+  // terminate the process with SIGPIPE. EAGAIN (fd switched to non-blocking)
+  // waits for writability instead of spinning or failing a short write.
   std::size_t written = 0;
   while (written < len) {
-    const ssize_t n = ::write(fd, data + written, len - written);
+    const ssize_t n = ::send(fd, data + written, len - written, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        pollfd pfd{fd, POLLOUT, 0};
+        if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) return false;
+        continue;
+      }
       return false;
     }
     written += static_cast<std::size_t>(n);

@@ -167,6 +167,13 @@ void SimNetwork::send(NetMessage msg) {
     metrics_->add(tm.sent);
     metrics_->add(tm.bytes, msg.payload.size());
   }
+  if (gateway_ != nullptr && !endpoints_.contains(msg.to)) {
+    // Off-fabric destination with a gateway attached (real-transport host):
+    // hand over synchronously. No latency sample is drawn, so attaching a
+    // gateway never perturbs the rng stream seen by in-fabric traffic.
+    gateway_(msg);
+    return;
+  }
   if (trace_ != nullptr) {
     trace_->push({sim_.now(), msg.type, msg.payload.size(), 0,
                   msg.from + "->" + msg.to});

@@ -362,5 +362,26 @@ TEST(Node, RealCryptoSmallNetworkEndToEnd) {
   EXPECT_EQ(failures, 0u);
 }
 
+
+TEST(Node, DestructionDetachesFromFabric) {
+  // A node destroyed without an explicit stop() must detach itself: traffic
+  // addressed to it afterwards is dropped by the fabric, never dispatched
+  // into freed state, and its pending timers must not fire.
+  NodeNet nn;
+  auto nodes = nn.build(4, sim::seconds(10));
+  const std::string gone = nodes[3]->id().addr;
+  ASSERT_TRUE(nn.net_.is_attached(gone));
+  nn.nodes_.pop_back();  // destructor runs; no stop() was called
+  EXPECT_FALSE(nn.net_.is_attached(gone));
+
+  // The survivors keep shuffling toward the dead address; every such send
+  // must resolve as a drop, not a use-after-free.
+  nn.net_.send({nodes[0]->id().addr, gone, 0, bytes_of("stale")});
+  nn.sim_.run_until(nn.sim_.now() + sim::seconds(20));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(nodes[i]->joined()) << i;
+  }
+}
+
 }  // namespace
 }  // namespace accountnet::core

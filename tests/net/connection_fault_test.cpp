@@ -1,0 +1,266 @@
+// ConnectionManager fault matrix: connect timeout, write-stall deadline,
+// peer crash mid-RPC, send-queue overflow, reconnect with backoff. Every
+// failure mode must surface through net.conn.* counters and resolve as a
+// counted loss — never a hang of the loop.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "accountnet/net/connection.hpp"
+#include "accountnet/wire/envelope.hpp"
+
+namespace accountnet::net {
+namespace {
+
+struct Peer {
+  EventLoop loop;  // shared by design: both managers may ride one loop
+  obs::MetricsRegistry metrics_a, metrics_b;
+};
+
+std::unique_ptr<ConnectionManager> make_cm(EventLoop& loop,
+                                           obs::MetricsRegistry& metrics,
+                                           TransportConfig cfg = {}) {
+  auto cm = std::make_unique<ConnectionManager>(loop, cfg, metrics, 7);
+  EXPECT_TRUE(cm->listen());
+  return cm;
+}
+
+wire::Envelope make_env(const std::string& from, const std::string& to,
+                        Bytes payload = bytes_of("ping")) {
+  wire::Envelope env;
+  env.from = from;
+  env.to = to;
+  env.type = 11;
+  env.payload = std::move(payload);
+  return env;
+}
+
+void run_while(EventLoop& loop, std::int64_t max_us,
+               const std::function<bool()>& keep_going) {
+  const auto deadline = loop.now_us() + max_us;
+  while (keep_going() && loop.now_us() < deadline) loop.poll(20000);
+}
+
+TEST(ConnectionFault, RoundTripAndInboundAdoption) {
+  EventLoop loop;
+  obs::MetricsRegistry ma, mb;
+  auto a = make_cm(loop, ma);
+  auto b = make_cm(loop, mb);
+  std::size_t got_a = 0, got_b = 0;
+  b->set_deliver([&](wire::Envelope env) {
+    ++got_b;
+    // Reply: must reuse the inbound connection (adoption), not dial back.
+    b->send(make_env(b->self_addr(), env.from, bytes_of("pong")));
+  });
+  a->set_deliver([&](wire::Envelope) { ++got_a; });
+
+  a->send(make_env(a->self_addr(), b->self_addr()));
+  run_while(loop, 2000000, [&] { return got_a == 0; });
+  EXPECT_EQ(got_b, 1u);
+  EXPECT_EQ(got_a, 1u);
+  // One socket on each side: the reply rode the adopted inbound conn.
+  EXPECT_EQ(a->open_connections(), 1u);
+  EXPECT_EQ(b->open_connections(), 1u);
+  EXPECT_EQ(b->counter("dials"), 0u);
+}
+
+TEST(ConnectionFault, ConnectTimeoutOnSaturatedBacklog) {
+  // A listener that never accepts, with a minimal backlog pre-filled by raw
+  // connects: further SYNs get no answer, so the dial can neither complete
+  // nor fail — exactly what the connect deadline is for.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  ::inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
+  ASSERT_EQ(::listen(lfd, 0), 0);
+  socklen_t slen = sizeof(sa);
+  ::getsockname(lfd, reinterpret_cast<sockaddr*>(&sa), &slen);
+  const std::uint16_t port = ntohs(sa.sin_port);
+
+  std::vector<int> fillers;
+  for (int i = 0; i < 4; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+    fillers.push_back(fd);
+  }
+
+  EventLoop loop;
+  obs::MetricsRegistry m;
+  TransportConfig cfg;
+  cfg.connect_timeout_us = 250000;
+  cfg.max_dial_attempts = 1;  // one timed-out dial, then surface the loss
+  auto cm = make_cm(loop, m, cfg);
+  cm->send(make_env(cm->self_addr(), "127.0.0.1:" + std::to_string(port)));
+  run_while(loop, 3000000, [&] { return cm->counter("undeliverable_frames") == 0; });
+  EXPECT_GE(cm->counter("connect_timeout"), 1u);
+  EXPECT_EQ(cm->counter("undeliverable_frames"), 1u);
+  EXPECT_EQ(cm->queued_frames(), 0u);
+
+  for (const int fd : fillers) ::close(fd);
+  ::close(lfd);
+}
+
+TEST(ConnectionFault, PeerCrashMidRpcSurfacesAsLossNotHang) {
+  // The peer accepts, reads nothing, and dies (RST via SO_LINGER 0) while
+  // frames are still queued. The manager must burn its reconnect budget and
+  // then count the queue as undeliverable.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  ::inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
+  ASSERT_EQ(::listen(lfd, 8), 0);
+  socklen_t slen = sizeof(sa);
+  ::getsockname(lfd, reinterpret_cast<sockaddr*>(&sa), &slen);
+  const std::uint16_t port = ntohs(sa.sin_port);
+
+  EventLoop loop;
+  obs::MetricsRegistry m;
+  TransportConfig cfg;
+  cfg.reconnect_base_us = 30000;
+  cfg.reconnect_max_us = 60000;
+  cfg.max_dial_attempts = 3;
+  auto cm = make_cm(loop, m, cfg);
+  cm->send(make_env(cm->self_addr(), "127.0.0.1:" + std::to_string(port),
+                    Bytes(512 * 1024, std::uint8_t{7})));
+
+  // Serve the crash-loop: accept each dial, reset it immediately.
+  run_while(loop, 5000000, [&] {
+    const int c = ::accept4(lfd, nullptr, nullptr, SOCK_NONBLOCK);
+    if (c >= 0) {
+      const linger lg{1, 0};
+      ::setsockopt(c, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+      ::close(c);
+    }
+    return cm->counter("undeliverable_frames") == 0;
+  });
+  EXPECT_EQ(cm->counter("undeliverable_frames"), 1u);
+  EXPECT_GE(cm->counter("reconnects"), 1u);
+  EXPECT_EQ(cm->queued_frames(), 0u);
+  EXPECT_EQ(cm->open_connections(), 0u);
+  ::close(lfd);
+}
+
+TEST(ConnectionFault, SendQueueOverflowDropsOldestAndWriteStallKills) {
+  // The peer accepts but never reads. The kernel buffers fill, the queue
+  // caps out (drop-oldest), and the write-stall deadline eventually tears
+  // the connection down.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  ::inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+  const int small = 4096;
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
+  ASSERT_EQ(::listen(lfd, 8), 0);
+  socklen_t slen = sizeof(sa);
+  ::getsockname(lfd, reinterpret_cast<sockaddr*>(&sa), &slen);
+  const std::uint16_t port = ntohs(sa.sin_port);
+
+  EventLoop loop;
+  obs::MetricsRegistry m;
+  TransportConfig cfg;
+  cfg.max_send_queue = 4;
+  cfg.write_stall_timeout_us = 250000;
+  cfg.max_dial_attempts = 1;
+  auto cm = make_cm(loop, m, cfg);
+
+  int afd = -1;
+  const std::string to = "127.0.0.1:" + std::to_string(port);
+  // 1 MB frames against a tiny receive buffer: EAGAIN within a few frames.
+  for (int i = 0; i < 12; ++i) {
+    cm->send(make_env(cm->self_addr(), to, Bytes(1024 * 1024, std::uint8_t(i))));
+  }
+  run_while(loop, 8000000, [&] {
+    if (afd < 0) {
+      afd = ::accept4(lfd, nullptr, nullptr, SOCK_NONBLOCK);
+      if (afd >= 0) ::setsockopt(afd, SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+    }
+    // Frames that slip into kernel buffers count as progress and extend the
+    // reconnect budget, so wait for the queue to fully resolve — every frame
+    // either reaches the kernel or is surfaced as loss. Never a hang.
+    return cm->counter("write_timeout") == 0 || cm->queued_frames() > 0;
+  });
+  EXPECT_GE(cm->counter("backpressure.dropped_frames"), 1u);
+  EXPECT_GE(cm->counter("backpressure.dropped_bytes"), 1024u * 1024u);
+  EXPECT_GE(cm->counter("write_timeout"), 1u);
+  EXPECT_EQ(cm->queued_frames(), 0u);
+  if (afd >= 0) ::close(afd);
+  ::close(lfd);
+}
+
+TEST(ConnectionFault, ReconnectWithBackoffDeliversWhenPeerReturns) {
+  // First dial lands on a dead port (instant refusal); the listener appears
+  // before the backoff retry, which must then deliver the queued frame.
+  EventLoop loop;
+  obs::MetricsRegistry ma, mb;
+  TransportConfig cfg_a;
+  cfg_a.reconnect_base_us = 150000;
+  cfg_a.max_dial_attempts = 4;
+  auto a = make_cm(loop, ma, cfg_a);
+
+  // Reserve a port by binding and closing (racy in theory, fine on loopback).
+  TransportConfig probe;
+  std::uint16_t port = 0;
+  {
+    auto tmp = make_cm(loop, mb, probe);
+    port = tmp->listen_port();
+    tmp->close_all();
+  }
+  const std::string target = "127.0.0.1:" + std::to_string(port);
+  a->send(make_env(a->self_addr(), target));
+  run_while(loop, 500000, [&] { return a->counter("reconnects") == 0; });
+  ASSERT_GE(a->counter("reconnects"), 1u);
+
+  obs::MetricsRegistry mb2;
+  TransportConfig cfg_b;
+  cfg_b.port = port;
+  auto b = std::make_unique<ConnectionManager>(loop, cfg_b, mb2, 9);
+  ASSERT_TRUE(b->listen());
+  std::size_t got = 0;
+  b->set_deliver([&](wire::Envelope) { ++got; });
+  run_while(loop, 4000000, [&] { return got == 0; });
+  EXPECT_EQ(got, 1u);
+  EXPECT_EQ(a->queued_frames(), 0u);
+}
+
+TEST(ConnectionFault, PeerVanishWithEmptyQueueIsForgottenAndRedialed) {
+  EventLoop loop;
+  obs::MetricsRegistry ma, mb;
+  auto a = make_cm(loop, ma);
+  std::uint16_t port = 0;
+  std::size_t got = 0;
+  auto b = make_cm(loop, mb);
+  port = b->listen_port();
+  b->set_deliver([&](wire::Envelope) { ++got; });
+  const std::string target = b->self_addr();
+
+  a->send(make_env(a->self_addr(), target));
+  run_while(loop, 2000000, [&] { return got == 0; });
+  ASSERT_EQ(got, 1u);
+
+  // Peer dies cleanly with nothing queued toward it: the link is forgotten,
+  // no reconnect loop spins.
+  b->close_all();
+  run_while(loop, 500000, [&] { return a->open_connections() > 0; });
+  EXPECT_EQ(a->open_connections(), 0u);
+  EXPECT_EQ(a->counter("reconnects"), 0u);
+
+  // Peer returns on the same port; the next send dials fresh.
+  obs::MetricsRegistry mb2;
+  TransportConfig cfg_b;
+  cfg_b.port = port;
+  auto b2 = std::make_unique<ConnectionManager>(loop, cfg_b, mb2, 11);
+  ASSERT_TRUE(b2->listen());
+  b2->set_deliver([&](wire::Envelope) { ++got; });
+  a->send(make_env(a->self_addr(), target));
+  run_while(loop, 2000000, [&] { return got < 2; });
+  EXPECT_EQ(got, 2u);
+}
+
+}  // namespace
+}  // namespace accountnet::net

@@ -1,0 +1,104 @@
+// EventLoop: fd readiness dispatch, timer ordering/cancellation, and safe
+// self-removal from callbacks.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <vector>
+
+#include "accountnet/net/event_loop.hpp"
+#include "accountnet/util/bytes.hpp"
+
+namespace accountnet::net {
+namespace {
+
+TEST(EventLoop, TimersFireInDeadlineOrder) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.valid());
+  std::vector<int> order;
+  loop.schedule_after(20000, [&] { order.push_back(2); });
+  loop.schedule_after(5000, [&] { order.push_back(1); });
+  loop.schedule_after(40000, [&] { order.push_back(3); });
+  loop.run_for(80000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, CancelledTimerNeverFires) {
+  EventLoop loop;
+  bool fired = false;
+  const auto token = loop.schedule_after(5000, [&] { fired = true; });
+  loop.cancel(token);
+  loop.run_for(20000);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, TimerMayScheduleAndCancelOthers) {
+  EventLoop loop;
+  bool victim_fired = false;
+  bool chained_fired = false;
+  const auto victim = loop.schedule_after(10000, [&] { victim_fired = true; });
+  loop.schedule_after(1000, [&] {
+    loop.cancel(victim);
+    loop.schedule_after(1000, [&] { chained_fired = true; });
+  });
+  loop.run_for(40000);
+  EXPECT_FALSE(victim_fired);
+  EXPECT_TRUE(chained_fired);
+}
+
+TEST(EventLoop, FdReadableDispatch) {
+  EventLoop loop;
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  Bytes got;
+  loop.add_fd(sv[0], EventLoop::kReadable, [&](std::uint32_t events) {
+    EXPECT_TRUE(events & EventLoop::kReadable);
+    std::uint8_t buf[16];
+    const ssize_t n = ::read(sv[0], buf, sizeof(buf));
+    if (n > 0) got.insert(got.end(), buf, buf + n);
+  });
+  ASSERT_EQ(::write(sv[1], "ping", 4), 4);
+  loop.run_for(50000);
+  EXPECT_EQ(got, bytes_of("ping"));
+  loop.del_fd(sv[0]);
+  EXPECT_EQ(loop.tracked_fds(), 0u);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(EventLoop, CallbackMayRemoveItsOwnFd) {
+  EventLoop loop;
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  int calls = 0;
+  loop.add_fd(sv[0], EventLoop::kReadable, [&](std::uint32_t) {
+    ++calls;
+    loop.del_fd(sv[0]);  // must not corrupt the dispatch in progress
+  });
+  ASSERT_EQ(::write(sv[1], "x", 1), 1);
+  loop.run_for(30000);
+  ASSERT_EQ(::write(sv[1], "y", 1), 1);
+  loop.run_for(30000);
+  EXPECT_EQ(calls, 1);  // second write lands after removal
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(EventLoop, StopEndsRun) {
+  EventLoop loop;
+  loop.schedule_after(2000, [&] { loop.stop(); });
+  loop.run();  // must return, not spin forever
+  SUCCEED();
+}
+
+TEST(EventLoop, NowAdvancesMonotonically) {
+  EventLoop loop;
+  const auto a = loop.now_us();
+  loop.run_for(5000);
+  const auto b = loop.now_us();
+  EXPECT_GE(b - a, 4000);
+}
+
+}  // namespace
+}  // namespace accountnet::net

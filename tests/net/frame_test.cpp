@@ -1,0 +1,122 @@
+// Incremental framing: rollback-on-partial-read, multi-frame drains, and
+// fail-closed poisoning on hostile length headers.
+#include <gtest/gtest.h>
+
+#include "accountnet/net/frame.hpp"
+
+namespace accountnet::net {
+namespace {
+
+Bytes frame_bytes(std::uint32_t type, const std::string& payload) {
+  return encode_frame(type, bytes_of(payload));
+}
+
+TEST(FrameReader, ExtractsAfterSingleAppend) {
+  FrameReader r;
+  const Bytes wire = frame_bytes(7, "hello");
+  r.append(wire.data(), wire.size());
+  const auto f = r.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, 7u);
+  EXPECT_EQ(f->payload, bytes_of("hello"));
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_EQ(r.partial_bytes(), 0u);
+}
+
+TEST(FrameReader, ByteAtATimeDelivery) {
+  // The hard case for rollback: every append lands mid-header or mid-body.
+  FrameReader r;
+  const Bytes wire = frame_bytes(42, "partial delivery");
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    EXPECT_FALSE(r.next().has_value()) << "frame completed early at byte " << i;
+    r.append(&wire[i], 1);
+  }
+  const auto f = r.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, 42u);
+  EXPECT_EQ(f->payload, bytes_of("partial delivery"));
+}
+
+TEST(FrameReader, MultipleFramesPerAppend) {
+  FrameReader r;
+  Bytes wire = frame_bytes(1, "a");
+  const Bytes second = frame_bytes(2, "bb");
+  const Bytes third = frame_bytes(3, "");
+  wire.insert(wire.end(), second.begin(), second.end());
+  wire.insert(wire.end(), third.begin(), third.end());
+  r.append(wire.data(), wire.size());
+  const auto f1 = r.next();
+  const auto f2 = r.next();
+  const auto f3 = r.next();
+  ASSERT_TRUE(f1 && f2 && f3);
+  EXPECT_EQ(f1->type, 1u);
+  EXPECT_EQ(f2->payload, bytes_of("bb"));
+  EXPECT_EQ(f3->type, 3u);
+  EXPECT_TRUE(f3->payload.empty());
+  EXPECT_FALSE(r.next().has_value());
+}
+
+TEST(FrameReader, SplitAcrossFrameBoundary) {
+  FrameReader r;
+  Bytes wire = frame_bytes(5, "first");
+  const Bytes second = frame_bytes(6, "second");
+  wire.insert(wire.end(), second.begin(), second.end());
+  // Split inside the second frame's header.
+  const std::size_t cut = frame_bytes(5, "first").size() + 3;
+  r.append(wire.data(), cut);
+  ASSERT_TRUE(r.next().has_value());
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_GT(r.partial_bytes(), 0u);
+  r.append(wire.data() + cut, wire.size() - cut);
+  const auto f = r.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, 6u);
+  EXPECT_EQ(r.partial_bytes(), 0u);
+}
+
+TEST(FrameReader, OversizedLengthHeaderPoisons) {
+  FrameReader r(1024);
+  std::uint8_t header[kFrameHeaderSize];
+  put_u32le(header, 1025);  // one past the cap
+  put_u32le(header + 4, 1);
+  r.append(header, sizeof(header));
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_TRUE(r.poisoned());
+  // Poisoned is permanent: further valid bytes change nothing.
+  const Bytes wire = frame_bytes(1, "x");
+  r.append(wire.data(), wire.size());
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_TRUE(r.poisoned());
+}
+
+TEST(FrameReader, FrameExactlyAtCapIsAccepted) {
+  FrameReader r(64);
+  const Bytes payload(64, std::uint8_t{0xab});
+  const Bytes wire = encode_frame(9, payload);
+  r.append(wire.data(), wire.size());
+  const auto f = r.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->payload.size(), 64u);
+  EXPECT_FALSE(r.poisoned());
+}
+
+TEST(FrameReader, CompactionPreservesPendingBytes) {
+  // Drive enough consumed traffic through to trigger internal compaction,
+  // with a partial frame pending behind it.
+  FrameReader r;
+  const Bytes big = encode_frame(1, Bytes(40 * 1024, std::uint8_t{1}));
+  r.append(big.data(), big.size());
+  ASSERT_TRUE(r.next().has_value());
+  r.append(big.data(), big.size());
+  ASSERT_TRUE(r.next().has_value());
+  const Bytes tail = frame_bytes(2, "tail");
+  r.append(tail.data(), tail.size() - 1);  // partial
+  r.append(tail.data() + tail.size() - 1, 1);
+  const auto f = r.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, 2u);
+  EXPECT_EQ(f->payload, bytes_of("tail"));
+}
+
+}  // namespace
+}  // namespace accountnet::net

@@ -1,0 +1,123 @@
+// sim↔real interop: a real-TCP run's accountability traffic, captured at the
+// wire, replays through the discrete-event simulator and produces identical
+// verdicts.
+//
+// This is the payoff of hosting the *unmodified* core::Node on the real
+// transport: an Accusation is third-party verifiable, so a simulated
+// observer fed exactly the accusation envelopes that crossed a real socket
+// must quarantine and evict exactly the same peers the real node did. Real
+// Ed25519+ECVRF throughout — replay must re-verify genuine signatures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "accountnet/net/real_host.hpp"
+#include "accountnet/util/rng.hpp"
+
+namespace accountnet::net {
+namespace {
+
+Bytes seed32_for(std::uint64_t n) {
+  Bytes seed(32);
+  Rng rng(n);
+  for (auto& b : seed) b = static_cast<std::uint8_t>(rng.next_u64());
+  return seed;
+}
+
+TEST(SimRealInterop, CapturedAccusationsReplayToIdenticalVerdicts) {
+  const auto provider = crypto::make_real_crypto();
+
+  core::Node::Config config;
+  // L < peerset size so the biased substitution has a member to inject; one
+  // accuser convicts (gossip beats a second independent detection in a small
+  // network — see scripts/daemon_demo.sh).
+  config.protocol.max_peerset = 8;
+  config.protocol.shuffle_length = 2;
+  config.shuffle_period = sim::milliseconds(150);
+  config.rpc_timeout = sim::milliseconds(500);
+  config.accountability.enabled = true;
+  config.accountability.evict_threshold = 1;
+
+  // --- Real phase: five daemons-in-one-process on loopback TCP ------------
+  // Five, not three: the biased substitution needs the adversary's peerset
+  // to hold a member absent from its L-1 sample, which takes >= 4 peers.
+  EventLoop loop;
+  obs::MetricsRegistry metrics;
+  RealNetHost seed_host(loop, {}, metrics, 1);
+  RealNetHost honest_host(loop, {}, metrics, 2);
+  RealNetHost h2(loop, {}, metrics, 3);
+  RealNetHost h3(loop, {}, metrics, 4);
+  RealNetHost adv_host(loop, {}, metrics, 5);
+  ASSERT_TRUE(seed_host.ok() && honest_host.ok() && h2.ok() && h3.ok() &&
+              adv_host.ok());
+
+  seed_host.make_node(*provider, seed32_for(1), config, 1);
+  honest_host.make_node(*provider, seed32_for(2), config, 2);
+  h2.make_node(*provider, seed32_for(3), config, 3);
+  h3.make_node(*provider, seed32_for(4), config, 4);
+  core::Node::Config adv_config = config;
+  adv_config.adversary.bias_sample = true;
+  adv_host.make_node(*provider, seed32_for(5), adv_config, 5);
+
+  // Capture every kAccusation that crosses the honest node's real socket,
+  // either direction, in wire order: inbound gossip it verified, plus its
+  // own outbound accusations (those carry any verdict it reached by inline
+  // detection rather than by gossip).
+  std::vector<wire::Envelope> accusations;
+  honest_host.set_capture([&](const wire::Envelope& env, bool /*inbound*/) {
+    if (env.type == static_cast<std::uint32_t>(core::MsgType::kAccusation)) {
+      accusations.push_back(env);
+    }
+  });
+
+  seed_host.node().start_as_seed();
+  honest_host.node().start_join(seed_host.self_addr());
+  h2.node().start_join(seed_host.self_addr());
+  h3.node().start_join(seed_host.self_addr());
+  adv_host.node().start_join(seed_host.self_addr());
+  seed_host.pump();
+  honest_host.pump();
+  h2.pump();
+  h3.pump();
+  adv_host.pump();
+
+  const std::string adv_addr = adv_host.self_addr();
+  const auto deadline = loop.now_us() + 60 * 1000 * 1000;
+  while (!honest_host.node().is_evicted(adv_addr) && loop.now_us() < deadline) {
+    loop.poll(20000);
+  }
+  ASSERT_TRUE(honest_host.node().is_evicted(adv_addr))
+      << "real run never convicted the biased sampler";
+  ASSERT_FALSE(accusations.empty());
+
+  const auto real_quarantined = honest_host.node().quarantined_addrs();
+  const auto real_evicted = honest_host.node().evicted_addrs();
+
+  seed_host.shutdown();
+  honest_host.shutdown();
+  h2.shutdown();
+  h3.shutdown();
+  adv_host.shutdown();
+
+  // --- Replay phase: same envelopes, simulated fabric, fresh observer -----
+  sim::Simulator sim;
+  sim::SimNetwork simnet(sim, sim::fixed_latency(sim::milliseconds(1)), 99);
+  core::Node observer(simnet, "observer:1", *provider, seed32_for(42), config, 42);
+  observer.start_as_seed();
+
+  for (const wire::Envelope& env : accusations) {
+    // Replay as-captured: original sender address, original payload bytes.
+    simnet.send({env.from, observer.id().addr, env.type, env.payload});
+    sim.run_until(sim.now() + sim::milliseconds(10));
+  }
+  sim.run_until(sim.now() + sim::seconds(2));
+
+  // Verdict identity: the simulated observer, knowing nothing but the bytes
+  // that crossed the real wire, reaches exactly the real node's verdicts.
+  EXPECT_EQ(observer.quarantined_addrs(), real_quarantined);
+  EXPECT_EQ(observer.evicted_addrs(), real_evicted);
+  EXPECT_TRUE(observer.is_evicted(adv_addr));
+}
+
+}  // namespace
+}  // namespace accountnet::net

@@ -207,5 +207,31 @@ TEST(Tcp, VerifiedShuffleOverRealSockets) {
             alice->peerset());
 }
 
+TEST(Tcp, SendToClosedPeerFailsWithoutSigpipe) {
+  // Regression: MessageSocket::send must use MSG_NOSIGNAL — a peer that
+  // closed mid-conversation surfaces as a false return, not a SIGPIPE that
+  // kills the process (which is exactly what a crashed daemon's counterpart
+  // would otherwise suffer).
+  Acceptor acceptor(0);
+  ASSERT_TRUE(acceptor.valid());
+  std::optional<MessageSocket> server;
+  std::thread accept_thread([&] { server = acceptor.accept_one(); });
+  auto client = connect_to("127.0.0.1", acceptor.port());
+  accept_thread.join();
+  ASSERT_TRUE(client.has_value());
+  ASSERT_TRUE(server.has_value());
+
+  server->close();
+  // First send may land in kernel buffers before the RST is processed; keep
+  // pushing until the failure surfaces. If SIGPIPE were raised, the test
+  // binary would die here.
+  bool failed = false;
+  const Bytes chunk(64 * 1024, std::uint8_t{0x5a});
+  for (int i = 0; i < 256 && !failed; ++i) {
+    failed = !client->send(1, chunk);
+  }
+  EXPECT_TRUE(failed);
+}
+
 }  // namespace
 }  // namespace accountnet::net

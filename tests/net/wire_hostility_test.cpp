@@ -1,0 +1,191 @@
+// Wire-hostility: a ConnectionManager fed truncated frames, oversized
+// length headers, garbage type tags, and bit-flipped payloads must fail
+// closed — connection torn down, the right net.conn.* counter bumped, no fd
+// leaked, and no envelope delivered.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "accountnet/net/connection.hpp"
+#include "accountnet/net/frame.hpp"
+#include "accountnet/wire/envelope.hpp"
+
+namespace accountnet::net {
+namespace {
+
+// Raw blocking client socket aimed at a ConnectionManager's listener.
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void send_all(int fd, const Bytes& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+struct Victim {
+  EventLoop loop;
+  obs::MetricsRegistry metrics;
+  TransportConfig cfg;
+  std::unique_ptr<ConnectionManager> cm;
+  std::size_t delivered = 0;
+
+  Victim() {
+    cfg.partial_frame_timeout_us = 200000;  // fast deadlines for test time
+    cfg.max_frame_size = 64 * 1024;
+    cm = std::make_unique<ConnectionManager>(loop, cfg, metrics, 42);
+    EXPECT_TRUE(cm->listen());
+    cm->set_deliver([this](wire::Envelope) { ++delivered; });
+  }
+
+  /// Runs the loop until `done()` (typically "the right counter bumped") or
+  /// 2 s pass, then drains once more so the teardown settles.
+  void run_until(const std::function<bool()>& done) {
+    const auto deadline = loop.now_us() + 2000000;
+    while (!done() && loop.now_us() < deadline) loop.poll(20000);
+    loop.poll(0);
+  }
+
+  void run_until_counter(const char* name) {
+    run_until([&] { return cm->counter(name) > 0; });
+  }
+};
+
+wire::Envelope envelope_to(const Victim& v, std::uint32_t type) {
+  wire::Envelope env;
+  env.from = "127.0.0.1:1";
+  env.to = v.cm->self_addr();
+  env.type = type;
+  env.payload = bytes_of("payload");
+  return env;
+}
+
+TEST(WireHostility, TruncatedFrameThenFinFailsClosed) {
+  Victim v;
+  const int fd = raw_connect(v.cm->listen_port());
+  ASSERT_GE(fd, 0);
+  const wire::Envelope env = envelope_to(v, 3);
+  Bytes wire = encode_frame(env.type, wire::encode_envelope(env));
+  wire.resize(wire.size() / 2);  // cut mid-body
+  send_all(fd, wire);
+  ::close(fd);
+  v.run_until_counter("truncated_frame");
+  EXPECT_EQ(v.cm->open_connections(), 0u);
+  EXPECT_EQ(v.delivered, 0u);
+  EXPECT_EQ(v.cm->counter("truncated_frame"), 1u);
+  EXPECT_EQ(v.loop.tracked_fds(), 1u);  // only the listener remains
+}
+
+TEST(WireHostility, PartialFrameHeldOpenHitsReadDeadline) {
+  // Slowloris: send half a frame and go silent without FIN.
+  Victim v;
+  const int fd = raw_connect(v.cm->listen_port());
+  ASSERT_GE(fd, 0);
+  const wire::Envelope env = envelope_to(v, 3);
+  Bytes wire = encode_frame(env.type, wire::encode_envelope(env));
+  wire.resize(wire.size() - 4);
+  send_all(fd, wire);
+  v.run_until_counter("read_timeout");
+  EXPECT_EQ(v.cm->open_connections(), 0u);
+  EXPECT_EQ(v.cm->counter("read_timeout"), 1u);
+  EXPECT_EQ(v.delivered, 0u);
+  ::close(fd);
+}
+
+TEST(WireHostility, OversizedLengthHeaderFailsClosed) {
+  Victim v;
+  const int fd = raw_connect(v.cm->listen_port());
+  ASSERT_GE(fd, 0);
+  Bytes header(kFrameHeaderSize);
+  put_u32le(header.data(), 0x7fffffff);  // way past max_frame_size
+  put_u32le(header.data() + 4, 3);
+  send_all(fd, header);
+  v.run_until_counter("oversized_frame");
+  EXPECT_EQ(v.cm->open_connections(), 0u);
+  EXPECT_EQ(v.cm->counter("oversized_frame"), 1u);
+  EXPECT_EQ(v.cm->counter("protocol_errors"), 1u);
+  EXPECT_EQ(v.delivered, 0u);
+  ::close(fd);
+}
+
+TEST(WireHostility, GarbageTypeTagFailsClosed) {
+  // Frame type disagrees with the (valid) envelope inside.
+  Victim v;
+  const int fd = raw_connect(v.cm->listen_port());
+  ASSERT_GE(fd, 0);
+  const wire::Envelope env = envelope_to(v, 3);
+  send_all(fd, encode_frame(9999, wire::encode_envelope(env)));
+  v.run_until_counter("type_mismatch");
+  EXPECT_EQ(v.cm->open_connections(), 0u);
+  EXPECT_EQ(v.cm->counter("type_mismatch"), 1u);
+  EXPECT_EQ(v.delivered, 0u);
+  ::close(fd);
+}
+
+TEST(WireHostility, BitFlippedPayloadFailsClosed) {
+  Victim v;
+  const int fd = raw_connect(v.cm->listen_port());
+  ASSERT_GE(fd, 0);
+  const wire::Envelope env = envelope_to(v, 3);
+  Bytes body = wire::encode_envelope(env);
+  body[0] ^= 0xff;  // corrupt the version byte
+  send_all(fd, encode_frame(env.type, body));
+  v.run_until_counter("decode_error");
+  EXPECT_EQ(v.cm->open_connections(), 0u);
+  EXPECT_EQ(v.cm->counter("decode_error"), 1u);
+  EXPECT_EQ(v.delivered, 0u);
+  ::close(fd);
+}
+
+TEST(WireHostility, MisaddressedEnvelopeFailsClosed) {
+  Victim v;
+  const int fd = raw_connect(v.cm->listen_port());
+  ASSERT_GE(fd, 0);
+  wire::Envelope env = envelope_to(v, 3);
+  env.to = "127.0.0.1:65500";  // not the victim
+  send_all(fd, encode_frame(env.type, wire::encode_envelope(env)));
+  v.run_until_counter("misaddressed");
+  EXPECT_EQ(v.cm->open_connections(), 0u);
+  EXPECT_EQ(v.cm->counter("misaddressed"), 1u);
+  EXPECT_EQ(v.delivered, 0u);
+  ::close(fd);
+}
+
+TEST(WireHostility, ValidFrameAfterGarbageConnectionStillDelivers) {
+  // Hostile connections must not poison the manager itself: a clean second
+  // connection delivers normally.
+  Victim v;
+  const int bad = raw_connect(v.cm->listen_port());
+  ASSERT_GE(bad, 0);
+  send_all(bad, bytes_of("complete garbage that is not even a header"));
+  v.run_until_counter("protocol_errors");
+
+  const int good = raw_connect(v.cm->listen_port());
+  ASSERT_GE(good, 0);
+  const wire::Envelope env = envelope_to(v, 3);
+  send_all(good, encode_frame(env.type, wire::encode_envelope(env)));
+  const auto deadline = v.loop.now_us() + 2000000;
+  while (v.delivered == 0 && v.loop.now_us() < deadline) v.loop.poll(20000);
+  EXPECT_EQ(v.delivered, 1u);
+  ::close(bad);
+  ::close(good);
+}
+
+}  // namespace
+}  // namespace accountnet::net
