@@ -51,7 +51,9 @@ SoakResult run_soak(std::uint64_t frames, std::size_t payload_size,
                     std::uint64_t seed) {
   SoakResult r;
   EventLoop loop;
-  obs::MetricsRegistry ms, mr;
+  // Registries must outlive the ConnectionManagers below: ~ConnectionManager
+  // still bumps counters (close_all), so declare them first.
+  obs::MetricsRegistry ms, mr, mr2;
 
   const bool chaotic = kill_max > 0;
   std::unique_ptr<ChaosProxy> proxy;
@@ -80,7 +82,6 @@ SoakResult run_soak(std::uint64_t frames, std::size_t payload_size,
     rcfg.port = real_port;
     rcfg.advertise_port = proxy->listen_port();
   }
-  obs::MetricsRegistry mr2;
   receiver = std::make_unique<ConnectionManager>(loop, rcfg, mr2, seed + 1);
   if (!receiver->listen()) return r;
   recv_ptr = receiver.get();

@@ -134,9 +134,21 @@ void ConnectionManager::arm_read_deadline(Conn& conn) {
   conn.read_timer = loop_.schedule_after(config_.partial_frame_timeout_us, [this, fd] {
     const auto it = by_fd_.find(fd);
     if (it == by_fd_.end()) return;
-    it->second->read_timer = 0;
+    Conn& c = *it->second;
+    c.read_timer = 0;
     bump("read_timeout");
-    protocol_error(*it->second, "read deadline expired");
+    auto pit = peers_.find(c.peer);
+    if (!c.peer.empty() && pit != peers_.end() && pit->second.fd == fd) {
+      // A stalled frame from an identified peer means slow, not hostile:
+      // close the socket but keep its queue and reconnect with backoff.
+      // Queue-forfeit (protocol_error) is reserved for wire-format
+      // violations — oversized/garbage/misaddressed frames.
+      fail_link(pit->second, "read deadline expired");
+    } else {
+      // Anonymous first-frame deadline or a redundant identified socket:
+      // nothing queued rides on this conn, just close it.
+      close_conn(fd);
+    }
   });
 }
 
@@ -298,11 +310,12 @@ void ConnectionManager::deliver_frame(Conn& conn, Frame frame) {
     PeerLink& link = pit->second;
     if (inserted) link.addr = env.from;
     if (link.fd < 0 && link.reconnect_timer == 0) {
-      link.fd = conn.fd;
+      const int fd = conn.fd;  // flush() may fail the link and destroy conn
+      link.fd = fd;
       if (!link.queue.empty()) {
         set_link_interest(link, true);
         flush(link);
-        if (by_fd_.find(conn.fd) == by_fd_.end()) return;
+        if (by_fd_.find(fd) == by_fd_.end()) return;
       }
     }
   }
@@ -329,14 +342,21 @@ void ConnectionManager::send(const wire::Envelope& env) {
 
 void ConnectionManager::enqueue(PeerLink& link, Bytes frame) {
   while (link.queue.size() >= config_.max_send_queue) {
-    // Drop-oldest backpressure: the head is also the in-flight frame, so
-    // reset the partial-write offset with it.
-    Bytes& head = link.queue.front();
-    link.queue_bytes -= head.size();
+    // Drop-oldest backpressure — but never the in-flight head: its prefix may
+    // already be on the wire, and a replacement head restarting at byte 0
+    // would desync the peer's FrameReader. Drop the oldest frame that has
+    // not started transmitting instead.
+    const std::size_t victim = link.send_offset > 0 ? 1 : 0;
+    if (victim >= link.queue.size()) {
+      // Only the in-flight head remains; reject the new frame to stay bounded.
+      bump("backpressure.dropped_frames");
+      bump("backpressure.dropped_bytes", frame.size());
+      return;
+    }
+    link.queue_bytes -= link.queue[victim].size();
     bump("backpressure.dropped_frames");
-    bump("backpressure.dropped_bytes", head.size());
-    link.queue.pop_front();
-    link.send_offset = 0;
+    bump("backpressure.dropped_bytes", link.queue[victim].size());
+    link.queue.erase(link.queue.begin() + static_cast<std::ptrdiff_t>(victim));
   }
   link.queue_bytes += frame.size();
   link.queue.push_back(std::move(frame));

@@ -165,16 +165,20 @@ void ChaosProxy::update_interest(Session& s) {
 void ChaosProxy::kill_session(Session& s) {
   // Hard close: SO_LINGER 0 sends RST, so the victim sees an abrupt death,
   // not a graceful FIN — the interesting failure mode.
+  // The two by_fd_ entries are the only owners of the session, so erasing
+  // both destroys `s`: grab the fds and clear the fields *before* erasing,
+  // and never touch `s` afterwards.
+  const int fds[2] = {s.client_fd, s.upstream_fd};
+  s.client_fd = -1;
+  s.upstream_fd = -1;
   linger lg{1, 0};
-  for (const int fd : {s.client_fd, s.upstream_fd}) {
+  for (const int fd : fds) {
     if (fd < 0) continue;
     ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
     loop_.del_fd(fd);
     ::close(fd);
     by_fd_.erase(fd);
   }
-  s.client_fd = -1;
-  s.upstream_fd = -1;
 }
 
 void ChaosProxy::close_all() {
