@@ -19,6 +19,10 @@ namespace accountnet::bench {
 struct BenchArgs {
   bool full = false;
   std::uint64_t seed = 1;
+  /// --timeseries: soak benches attach an obs::TimeSeriesScraper and append
+  /// "kind":"timeseries" rows to their BENCH_*.json. Off by default so the
+  /// default artifacts stay byte-identical.
+  bool timeseries = false;
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -26,6 +30,8 @@ inline BenchArgs parse_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) {
       args.full = true;
+    } else if (std::strcmp(argv[i], "--timeseries") == 0) {
+      args.timeseries = true;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       args.seed = std::strtoull(argv[++i], nullptr, 10);
     }

@@ -57,7 +57,18 @@ int main(int argc, char** argv) {
     Table t({"attack", "detected", "coverage", "latency (periods)", "fp pairs",
              "honest evict", "resid mal frac", "accusations"});
     for (const auto& spec : attack_grid()) {
-      const auto row = run_attack(spec, n, adv_frac, pairs, max_periods, args.seed, sink);
+      // --timeseries: record a per-period trajectory of every metric and
+      // append it to the artifact after this attack's scrape rows.
+      std::unique_ptr<obs::TimeSeriesScraper> scraper;
+      if (args.timeseries) scraper = std::make_unique<obs::TimeSeriesScraper>();
+      const auto row = run_attack(spec, n, adv_frac, pairs, max_periods, args.seed,
+                                  sink, nullptr, core::SamplerKind::kVrf,
+                                  scraper.get());
+      if (scraper) {
+        scraper->dump_jsonl(sink, ",\"bench\":\"byz_soak\",\"attack\":\"" +
+                                      spec.label + "\",\"adv_frac\":" +
+                                      Table::num(adv_frac, 3));
+      }
       t.add_row({row.attack, std::to_string(row.detected), Table::num(row.coverage, 3),
                  std::to_string(row.latency_periods), std::to_string(row.fp_pairs),
                  std::to_string(row.honest_evictions),

@@ -17,6 +17,7 @@
 #include "accountnet/core/sampler.hpp"
 #include "accountnet/obs/sink.hpp"
 #include "accountnet/obs/span.hpp"
+#include "accountnet/obs/timeseries.hpp"
 #include "bench_sim.hpp"
 
 namespace accountnet::bench {
@@ -174,6 +175,17 @@ class ByzSoak {
       }
       sim_.run_until(sim_.now() + kSoakCadence);
     }
+    if (scraper_ != nullptr) scraper_->sample(sim_.now());
+  }
+
+  /// Opt-in telemetry trajectory: every node registry plus the wire-level
+  /// registry feed `ts`; step() samples once per shuffle period. Attaching
+  /// is pure observation — the seeded run is unperturbed.
+  void attach_scraper(obs::TimeSeriesScraper* ts) {
+    scraper_ = ts;
+    if (ts == nullptr) return;
+    for (const auto& nd : nodes_) ts->add_source(&nd->metrics());
+    ts->add_source(&net_metrics_);
   }
 
   bool is_adversary(std::size_t i) const {
@@ -309,14 +321,17 @@ class ByzSoak {
   std::vector<std::size_t> adversaries_;
   std::vector<std::pair<std::size_t, std::uint64_t>> ready_;  // (producer, channel)
   std::uint64_t seq_salt_ = 0;
+  obs::TimeSeriesScraper* scraper_ = nullptr;
 };
 
 inline SoakRow run_attack(const AttackSpec& spec, std::size_t n, double adv_frac,
                           std::size_t pairs, std::size_t max_periods,
                           std::uint64_t seed, obs::Sink& sink,
                           obs::Tracer* tracer = nullptr,
-                          core::SamplerKind sampler = core::SamplerKind::kVrf) {
+                          core::SamplerKind sampler = core::SamplerKind::kVrf,
+                          obs::TimeSeriesScraper* scraper = nullptr) {
   ByzSoak soak(n, adv_frac, seed, tracer, sampler);
+  soak.attach_scraper(scraper);
   soak.open_channels(pairs);
 
   SoakRow row;

@@ -16,6 +16,7 @@
 
 #include "accountnet/core/node.hpp"
 #include "accountnet/obs/sink.hpp"
+#include "accountnet/obs/timeseries.hpp"
 #include "accountnet/sim/fault.hpp"
 #include "bench_sim.hpp"
 
@@ -134,9 +135,11 @@ class NodeSoak {
         ++sent;
       }
       sim_.run_until(sim_.now() + cadence);
+      if (scraper_ != nullptr) scraper_->sample(sim_.now());
     }
     net_.clear_fault_plan();
     sim_.run_until(sim_.now() + sim::seconds(30));  // drain retries/repairs
+    if (scraper_ != nullptr) scraper_->sample(sim_.now());
 
     const ShuffleCounts after = shuffle_counts();
     const auto net_after = net_.stats();
@@ -165,6 +168,14 @@ class NodeSoak {
   std::string addr(std::size_t i) const { return nodes_[i]->id().addr; }
   std::size_t size() const { return nodes_.size(); }
 
+  /// Opt-in telemetry trajectory over every node registry; soak() samples
+  /// once per publish cadence and once after the drain.
+  void attach_scraper(obs::TimeSeriesScraper* ts) {
+    scraper_ = ts;
+    if (ts == nullptr) return;
+    for (const auto& node : nodes_) ts->add_source(&node->metrics());
+  }
+
   /// Full metrics epilogue: every node's registry, summed, in one scrape.
   void scrape_metrics(obs::Sink& sink) const {
     bench::CounterAggregator agg;
@@ -179,6 +190,7 @@ class NodeSoak {
   std::vector<std::unique_ptr<core::Node>> nodes_;
   std::vector<std::pair<std::size_t, std::uint64_t>> ready_;  // (producer, channel)
   std::set<std::pair<std::uint64_t, std::uint64_t>> delivered_;
+  obs::TimeSeriesScraper* scraper_ = nullptr;
 };
 
 struct Scenario {
@@ -240,6 +252,14 @@ int main(int argc, char** argv) {
            "repairs", "dropped"});
   for (const auto& sc : scenarios) {
     NodeSoak soak(n, args.seed);
+    std::unique_ptr<obs::TimeSeriesScraper> scraper;
+    if (args.timeseries) {
+      // Capacity covers the whole window at one point per cadence tick.
+      obs::TimeSeriesConfig ts_config;
+      ts_config.capacity = 1024;
+      scraper = std::make_unique<obs::TimeSeriesScraper>(ts_config);
+      soak.attach_scraper(scraper.get());
+    }
     soak.open_channels(pairs);
     const auto out = soak.soak(sc.make_plan(soak), window, cadence);
     t.add_row({sc.label, Table::num(out.shuffle_liveness, 4),
@@ -259,6 +279,10 @@ int main(int argc, char** argv) {
                   std::to_string(out.faults_duplicated) + ",\"faults_delayed\":" +
                   std::to_string(out.faults_delayed) + "}");
     soak.scrape_metrics(sink);
+    if (scraper) {
+      scraper->dump_jsonl(sink, ",\"bench\":\"chaos_soak\",\"part\":\"node\","
+                                "\"scenario\":\"" + sc.label + "\"");
+    }
     std::printf(".");
     std::fflush(stdout);
   }

@@ -18,11 +18,13 @@
 // here: this bench measures the real network stack, not simulated time.
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "accountnet/net/connection.hpp"
 #include "accountnet/net/fault_shim.hpp"
 #include "accountnet/obs/sink.hpp"
+#include "accountnet/obs/timeseries.hpp"
 #include "accountnet/util/stats.hpp"
 #include "bench_common.hpp"
 
@@ -48,12 +50,20 @@ struct SoakResult {
 /// measures per-frame send()-to-deliver latency on the shared loop clock.
 SoakResult run_soak(std::uint64_t frames, std::size_t payload_size,
                     std::uint64_t kill_min, std::uint64_t kill_max,
-                    std::uint64_t seed) {
+                    std::uint64_t seed,
+                    obs::TimeSeriesScraper* scraper = nullptr) {
   SoakResult r;
   EventLoop loop;
   // Registries must outlive the ConnectionManagers below: ~ConnectionManager
   // still bumps counters (close_all), so declare them first.
   obs::MetricsRegistry ms, mr, mr2;
+  // The scraper only holds these registries for the duration of this run;
+  // callers dump the captured points (value snapshots) after we return.
+  if (scraper != nullptr) {
+    scraper->add_source(&ms);
+    scraper->add_source(&mr);
+    scraper->add_source(&mr2);
+  }
 
   const bool chaotic = kill_max > 0;
   std::unique_ptr<ChaosProxy> proxy;
@@ -114,6 +124,7 @@ SoakResult run_soak(std::uint64_t frames, std::size_t payload_size,
   const std::int64_t start = loop.now_us();
   const std::uint64_t kMaxInFlight = 64;
   std::uint64_t next_seq = 0;
+  std::int64_t next_sample_us = start;
   while (r.frames_delivered + (chaotic ? r.dropped_frames : 0) < frames &&
          loop.now_us() - start < 60 * 1000 * 1000) {
     while (next_seq < frames && sent_at.size() < kMaxInFlight) {
@@ -131,6 +142,10 @@ SoakResult run_soak(std::uint64_t frames, std::size_t payload_size,
       r.payload_bytes += env.payload.size();
     }
     loop.poll(5000);
+    if (scraper != nullptr && loop.now_us() >= next_sample_us) {
+      scraper->sample(loop.now_us());
+      next_sample_us = loop.now_us() + 250 * 1000;
+    }
     if (chaotic) {
       // Frames that died with a killed session never arrive; their sequence
       // numbers age out of the in-flight window once the link was rebuilt
@@ -158,6 +173,7 @@ SoakResult run_soak(std::uint64_t frames, std::size_t payload_size,
       }
     }
   }
+  if (scraper != nullptr) scraper->sample(loop.now_us());
   r.elapsed_us = loop.now_us() - start;
   r.reconnects = sender.counter("reconnects");
   r.undeliverable = sender.counter("undeliverable_frames");
@@ -211,13 +227,25 @@ int main(int argc, char** argv) {
   Table t({"scenario", "payload", "delivered", "Mbit/s", "frames/s", "p50 us",
            "p99 us", "reconnects", "kills"});
 
-  report(sink, t, "clean_small", 256,
-         run_soak(small_frames, 256, 0, 0, args.seed));
-  report(sink, t, "clean_large", 64 * 1024,
-         run_soak(big_frames, 64 * 1024, 0, 0, args.seed + 1));
+  // --timeseries: one scraper per scenario, sampled every ~250 ms of loop
+  // time inside run_soak, dumped after the scenario's summary row.
+  const auto scenario = [&](const char* name, std::size_t payload,
+                            std::uint64_t frames, std::uint64_t kill_min,
+                            std::uint64_t kill_max, std::uint64_t seed) {
+    std::unique_ptr<accountnet::obs::TimeSeriesScraper> scraper;
+    if (args.timeseries)
+      scraper = std::make_unique<accountnet::obs::TimeSeriesScraper>();
+    report(sink, t, name, payload,
+           run_soak(frames, payload, kill_min, kill_max, seed, scraper.get()));
+    if (scraper) {
+      scraper->dump_jsonl(sink, ",\"bench\":\"net_soak\",\"scenario\":\"" +
+                                    std::string(name) + "\"");
+    }
+  };
+  scenario("clean_small", 256, small_frames, 0, 0, args.seed);
+  scenario("clean_large", 64 * 1024, big_frames, 0, 0, args.seed + 1);
   // Kill every ~64–256 KB forwarded: several mid-stream cable pulls per run.
-  report(sink, t, "chaos_small", 256,
-         run_soak(chaos_frames, 256, 64 << 10, 256 << 10, args.seed + 2));
+  scenario("chaos_small", 256, chaos_frames, 64 << 10, 256 << 10, args.seed + 2);
   std::cout << t.to_string();
   std::printf("wrote BENCH_net.json\n");
   return 0;

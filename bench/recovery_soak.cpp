@@ -20,6 +20,7 @@
 #include "bench_sim.hpp"
 
 #include "accountnet/core/checkpoint.hpp"
+#include "accountnet/obs/timeseries.hpp"
 
 namespace {
 
@@ -64,7 +65,21 @@ int main(int argc, char** argv) {
     config.durable_nodes = true;
     config.verify_fraction = 1.0;
     harness::NetworkSim sim(config);
+    std::unique_ptr<obs::TimeSeriesScraper> scraper;
+    if (args.timeseries) {
+      scraper = std::make_unique<obs::TimeSeriesScraper>();
+      scraper->add_source(&sim.metrics());
+    }
+    const auto sample = [&] {
+      if (!scraper) return;
+      // Harness counters sync into the registry lazily (on scrape), so force
+      // a sync into a null sink before sampling or the trajectory is stale.
+      obs::NullSink null;
+      sim.scrape_metrics(null);
+      scraper->sample(sim.now());
+    };
     sim.run(bench::steady_rounds(config, 30), nullptr);
+    sample();
 
     // Victims: deterministic picks among alive+joined nodes.
     std::vector<std::size_t> victims;
@@ -106,6 +121,7 @@ int main(int argc, char** argv) {
     }
     // Ride past the outage, then measure how long victims need to resume.
     sim.run(10, nullptr);
+    sample();
     std::size_t latency = 0;
     const auto all_recovered = [&] {
       for (std::size_t k = 0; k < victims.size(); ++k) {
@@ -116,6 +132,7 @@ int main(int argc, char** argv) {
     };
     while (!all_recovered() && latency < kMaxRecoveryPeriods) {
       sim.run(1, nullptr);
+      sample();
       ++latency;
     }
     if (!all_recovered()) ++unrecovered;
@@ -181,6 +198,10 @@ int main(int argc, char** argv) {
         ",\"ram_window_max\":" + std::to_string(ram_window_max) +
         ",\"journal_entries_max\":" + std::to_string(journal_max) + "}");
     sim.scrape_metrics(sink);
+    if (scraper) {
+      scraper->dump_jsonl(sink, ",\"bench\":\"recovery_soak\",\"seed\":" +
+                                    std::to_string(seed));
+    }
     std::printf(".");
     std::fflush(stdout);
   }

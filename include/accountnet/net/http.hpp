@@ -1,0 +1,122 @@
+// Minimal HTTP/1.0 exposition server on the epoll EventLoop, plus a
+// blocking client helper for tools and tests.
+//
+// This is a telemetry sidecar, not a web server: accountnetd serves
+// /metrics, /healthz, /timeseries and /status from it. The parsing
+// discipline is the FrameReader one — fail closed:
+//
+//   * only GET is answered; a garbage method gets 400 and the socket closes;
+//   * the request head is capped (max_request_bytes) — exceeding it closes
+//     the connection immediately (431), so an attacker cannot buffer-bloat;
+//   * a head that does not complete within request_timeout_us is dropped
+//     (slowloris guard);
+//   * at most max_connections sockets are serviced; excess accepts are
+//     closed on arrival;
+//   * every response carries Connection: close and the server half-closes
+//     after the last byte drains — one request per connection, no keep-alive
+//     state machine to get wrong.
+//
+// The server never reads a body: a HEAD/POST/PUT (or any body bytes after
+// the blank line) is answered/rejected from the head alone.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "accountnet/net/event_loop.hpp"
+
+namespace accountnet::net {
+
+struct HttpRequest {
+  std::string method;
+  std::string target;  ///< request target as sent, e.g. "/metrics"
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Returns the response for one parsed GET request.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerConfig {
+  std::uint16_t port = 0;  ///< 0 picks an ephemeral port (tests)
+  std::size_t max_request_bytes = 4096;
+  std::int64_t request_timeout_us = 5'000'000;
+  std::size_t max_connections = 32;
+};
+
+class HttpServer {
+ public:
+  /// Binds 127.0.0.1:<port> and registers with the loop; listening() is
+  /// false if the bind failed (port taken). The loop must outlive the
+  /// server.
+  HttpServer(EventLoop& loop, HttpServerConfig config = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  bool listening() const { return listen_fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Routes every well-formed GET; unset routes 404. Replaces any previous
+  /// handler.
+  void set_handler(HttpHandler handler) { handler_ = std::move(handler); }
+
+  /// Closes the listener and every open connection (idempotent; the
+  /// destructor calls it).
+  void close();
+
+  // --- Introspection (tests / metrics) -------------------------------------
+  std::size_t open_connections() const { return conns_.size(); }
+  std::uint64_t requests_served() const { return served_; }
+  /// Connections dropped for cause: oversized head, parse failure, slowloris
+  /// timeout, or the connection cap.
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  struct Conn {
+    std::string in;
+    std::string out;
+    std::size_t out_off = 0;
+    std::uint64_t deadline_token = 0;
+    bool responding = false;
+  };
+
+  void on_accept();
+  void on_event(int fd, std::uint32_t events);
+  void on_readable(int fd, Conn& c);
+  void on_writable(int fd, Conn& c);
+  /// Parses the buffered head; true when a response was queued or the
+  /// connection was dropped.
+  bool try_respond(int fd, Conn& c);
+  void respond(int fd, Conn& c, const HttpResponse& r);
+  void drop(int fd, bool counted_rejection);
+
+  EventLoop& loop_;
+  HttpServerConfig config_;
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::map<int, Conn> conns_;
+  std::uint64_t served_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+/// Blocking one-shot GET (numeric IPv4 host). Used by accountnet-top and
+/// the tests; the timeout bounds connect, send and the full read.
+struct HttpGetResult {
+  bool ok = false;        ///< transport + parse succeeded (any status code)
+  int status = 0;
+  std::string body;
+  std::string error;      ///< transport-level failure description
+};
+HttpGetResult http_get(const std::string& host, std::uint16_t port,
+                       const std::string& target, std::int64_t timeout_ms = 2000);
+
+}  // namespace accountnet::net

@@ -1,0 +1,87 @@
+// Bench-regression comparator: diffs two BENCH_*.json artifacts (JSON-lines,
+// the JsonLinesSink convention) under per-metric tolerance bands.
+//
+// Rows pair up by a *stable key*, not line position, so reordering or
+// interleaving never causes false regressions:
+//   * scrape rows ({"metric":...})  ->  "metric:<name>"
+//   * context rows (bench/scenario/...) -> every top-level string field,
+//     name-sorted, joined as "k=v,k=v"
+// plus a "#<n>" occurrence suffix when the same key repeats (periodic
+// scrapes of one metric stay aligned by position-within-key).
+//
+// Numeric leaves (including nested ones, dotted paths) compare under the
+// first matching tolerance rule; a row present in the baseline but missing
+// from the candidate is a regression, a brand-new candidate row is only a
+// note (features grow; gates should not punish new telemetry).
+//
+// Tolerance file (JSON, see baselines/tolerances.json):
+//   {"default": {"rel": 0.05, "abs": 1e-9},
+//    "rules": [{"row": "metric:net.*", "field": "value", "rel": 0.5},
+//              {"row": "*", "field": "*_us", "skip": true}]}
+// Rules apply first-match-wins; "skip" exempts wall-clock-shaped fields.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "accountnet/util/json.hpp"
+
+namespace accountnet::obs {
+
+/// One tolerance band. Globs support '*' (any run) and '?' (any byte).
+struct ToleranceRule {
+  std::string row_glob = "*";
+  std::string field_glob = "*";
+  double rel = 0.0;   ///< allowed |cand-base| / max(|base|,|cand|)
+  double abs = 0.0;   ///< allowed |cand-base|
+  bool skip = false;  ///< exempt the field entirely
+};
+
+struct BenchDiffOptions {
+  /// Checked in order; the first rule whose globs match both the row key and
+  /// the field path wins. A built-in catch-all (default_rel/default_abs)
+  /// backstops everything else.
+  std::vector<ToleranceRule> rules;
+  double default_rel = 0.0;
+  double default_abs = 1e-9;
+};
+
+struct BenchDiffIssue {
+  std::string row_key;
+  std::string field;  ///< dotted path; empty for a missing row
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double allowed = 0.0;  ///< tolerance that was exceeded (abs terms)
+  std::string what;      ///< human-readable one-liner
+};
+
+struct BenchDiffReport {
+  bool ok = false;
+  std::vector<BenchDiffIssue> regressions;
+  std::vector<std::string> notes;  ///< non-fatal: new rows, skipped fields
+  std::size_t rows_compared = 0;
+  std::size_t fields_compared = 0;
+};
+
+/// '*'/'?' glob match over the whole of `text`.
+bool glob_match(std::string_view pattern, std::string_view text);
+
+/// The stable pairing key of one parsed JSONL row (no occurrence suffix).
+std::string benchdiff_row_key(const util::JsonValue& row);
+
+/// Parses every JSON object line of a BENCH_*.json file; unparseable lines
+/// are skipped (count reported via `bad_lines` when non-null).
+std::vector<util::JsonValue> load_bench_jsonl(const std::string& path,
+                                              std::size_t* bad_lines = nullptr);
+
+/// Parses a tolerance file body into options; false on malformed input.
+bool parse_tolerances(const std::string& body, BenchDiffOptions& out);
+
+/// Compares candidate against baseline under the tolerance bands.
+BenchDiffReport benchdiff(const std::vector<util::JsonValue>& baseline,
+                          const std::vector<util::JsonValue>& candidate,
+                          const BenchDiffOptions& options);
+
+}  // namespace accountnet::obs

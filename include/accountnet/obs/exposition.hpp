@@ -1,0 +1,49 @@
+// Prometheus text exposition (format version 0.0.4) for MetricsRegistry
+// scrapes, plus a strict parser/validator used by accountnet-top and the
+// daemon demo to check that what a node serves is actually well-formed.
+//
+// Mapping:
+//   * metric names sanitize '.' and any other non-[a-zA-Z0-9_] byte to '_'
+//     and gain the "accountnet_" namespace prefix;
+//   * counters  -> `# TYPE <name>_total counter` + one sample;
+//   * gauges    -> `# TYPE <name> gauge` + one sample;
+//   * timers    -> `# TYPE <name>_ns summary`: quantile samples (0.5/0.95/
+//                  0.99 from the log-bucket histogram estimates), `_sum` and
+//                  `_count`. Units stay nanoseconds, hence the `_ns` suffix.
+//
+// Families render in the sample vector's order; snapshot() is name-sorted,
+// so exposition bodies are deterministic for a given registry state.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "accountnet/obs/metrics.hpp"
+
+namespace accountnet::obs {
+
+/// "net.conn.bytes_in" -> "accountnet_net_conn_bytes_in".
+std::string prometheus_name(std::string_view metric);
+
+/// Renders samples (e.g. MetricsRegistry::snapshot()) as an exposition body.
+std::string prometheus_text(const std::vector<MetricSample>& samples);
+
+/// Convenience: snapshot + render.
+std::string prometheus_text(const MetricsRegistry& registry);
+
+/// Result of strict-parsing an exposition body.
+struct PromValidation {
+  bool ok = false;
+  std::string error;         ///< first offence, with a line number
+  std::size_t families = 0;  ///< `# TYPE` lines seen
+  std::size_t samples = 0;   ///< value-bearing lines seen
+};
+
+/// Line-by-line strict parse: every line must be empty, a `# HELP`/`# TYPE`
+/// comment, or `name[{labels}] value [timestamp]` with a valid metric name,
+/// balanced quoted labels and a parseable value. A body with zero samples is
+/// invalid. Never throws; hostile input just fails.
+PromValidation validate_prometheus_text(std::string_view body);
+
+}  // namespace accountnet::obs

@@ -102,7 +102,19 @@ class MetricsRegistry {
 
   std::size_t size() const { return names_.size(); }
 
-  /// Materializes every registered metric, in registration order.
+  // --- Id-based introspection (scrapers) ------------------------------------
+
+  const std::string& metric_name(MetricId id) const { return names_[id].name; }
+  MetricKind metric_kind(MetricId id) const { return names_[id].kind; }
+  /// The log10(ns) bucket histogram behind a timer. Valid until the registry
+  /// is destroyed; the TimeSeriesScraper diffs its bucket counts between
+  /// scrapes to get windowed percentiles.
+  const Histogram& timer_histogram(MetricId id) const;
+
+  /// Materializes every registered metric, sorted by name. Sorted (not
+  /// registration) order keeps scrapes stable across runs whose lazy
+  /// interning happens in different orders (e.g. wall-clock-driven
+  /// transport counters), so identically-seeded dumps are byte-identical.
   std::vector<MetricSample> snapshot() const;
 
   /// Writes every metric to `sink`, stamped with `sim_time_us`.

@@ -5,6 +5,11 @@
 # is convicted by its honest peers; one honest daemon is kill -9'd
 # mid-run and recovers from its journal, catching up over real TCP.
 #
+# Every daemon also serves the HTTP telemetry plane (--http-port): the demo
+# validates /metrics as strict Prometheus exposition, renders the cluster
+# through accountnet-top (the adversary must show up flagged), and checks
+# that /healthz goes dark with the kill -9 and comes back after --recover.
+#
 # Usage: scripts/daemon_demo.sh [build-dir]   (default: build)
 # Exits 0 on success; all state lives under a temp dir that is removed on
 # exit (keep it with KEEP_DEMO_DIR=1).
@@ -12,7 +17,9 @@ set -u
 
 BUILD_DIR="${1:-build}"
 BIN="$BUILD_DIR/tools/accountnetd"
+TOP="$BUILD_DIR/tools/accountnet-top"
 [ -x "$BIN" ] || { echo "demo: $BIN not built" >&2; exit 2; }
+[ -x "$TOP" ] || { echo "demo: $TOP not built" >&2; exit 2; }
 
 DIR="$(mktemp -d /tmp/accountnet_demo.XXXXXX)"
 PIDS=()
@@ -26,11 +33,13 @@ trap cleanup EXIT
 fail() { echo "demo: FAIL: $*" >&2; for l in "$DIR"/d*.log; do echo "--- $l"; tail -5 "$l"; done >&2; exit 1; }
 
 # Ports: seed 9101; honest 9102 9103 9104; adversary 9105.
+# HTTP telemetry rides 100 above each protocol port (9201..9205).
 BASE=${DEMO_BASE_PORT:-9101}
 SEED_PORT=$BASE
 H1=$((BASE+1)); H2=$((BASE+2)); H3=$((BASE+3)); ADV_PORT=$((BASE+4))
 ADV_ADDR="127.0.0.1:$ADV_PORT"
 SHUFFLE_MS=${DEMO_SHUFFLE_MS:-400}
+http() { echo "127.0.0.1:$(($1+100))"; }
 
 # L=2 keeps the sample smaller than the peerset (a biased substitution needs
 # an absent member to inject). evict-threshold=1: in a 5-node network the
@@ -42,7 +51,7 @@ start() { # start <port> <node-seed> <extra flags...>; pid lands in LAST_PID
   local port=$1 seed=$2; shift 2
   "$BIN" --listen "127.0.0.1:$port" --node-seed "$seed" \
     --shuffle-ms "$SHUFFLE_MS" --f 8 --L 2 --checkpoint-interval 4 \
-    --evict-threshold 1 \
+    --evict-threshold 1 --http-port "$((port+100))" \
     --data-dir "$DIR/data$port" --status-file "$DIR/s$port.json" \
     --metrics-dump "$DIR/m$port.jsonl" "$@" \
     </dev/null >>"$DIR/d$port.log" 2>&1 &
@@ -78,6 +87,19 @@ wait_for 30 "all 5 daemons joined" all_joined
 shuffling() { [ "$(field "$H1" round)" -ge 3 ] 2>/dev/null; }
 wait_for 30 "network is shuffling (rounds advancing)" shuffling
 
+# --- HTTP plane: strict Prometheus validation of every /metrics -------------
+for p in "$SEED_PORT" "$H1" "$H2" "$H3" "$ADV_PORT"; do
+  "$TOP" --validate "$(http "$p")" >>"$DIR/validate.log" 2>&1 \
+    || fail "invalid /metrics exposition from $(http "$p")"
+done
+echo "demo: /metrics on all 5 daemons is valid Prometheus exposition"
+if command -v curl >/dev/null 2>&1; then
+  curl -fsS "http://$(http "$H1")/metrics" | "$TOP" --validate-stream >/dev/null \
+    || fail "curl /metrics did not validate"
+  echo "demo: curl /metrics round-trip validated"
+fi
+"$TOP" --health "$(http "$H2")" >/dev/null || fail "healthy daemon reported unhealthy"
+
 # --- Conviction: >=2 honest daemons must evict the biased sampler ----------
 convicted() {
   local n=0
@@ -88,11 +110,30 @@ convicted() {
 }
 wait_for 90 "adversary $ADV_ADDR convicted by >=2 honest daemons" convicted
 
+# --- Cluster roll-up: accountnet-top sees all five, adversary flagged -------
+TOPARGS=()
+for p in "$SEED_PORT" "$H1" "$H2" "$H3" "$ADV_PORT"; do
+  TOPARGS+=(--node "$(http "$p")")
+done
+"$TOP" --once "${TOPARGS[@]}" >"$DIR/top.out" 2>&1 || fail "accountnet-top --once failed"
+sed 's/^/demo:   /' "$DIR/top.out"
+[ "$(grep -c '127.0.0.1:' "$DIR/top.out")" -eq 5 ] || fail "accountnet-top did not render 5 nodes"
+grep -q "DOWN" "$DIR/top.out" && fail "accountnet-top reported a node DOWN"
+# The adversary's row carries the cluster verdict: state flagged with '*'
+# (>=1 peer evicted it) — the quarantined cheater is visible, not hidden.
+grep "$(http "$ADV_PORT")" "$DIR/top.out" | grep -q '\*' \
+  || fail "adversary row is not flagged as evicted by the cluster"
+echo "demo: accountnet-top renders all 5 daemons; adversary flagged by cluster"
+
 # --- Crash + journal recovery ----------------------------------------------
 PRE_ROUND=$(field "$H2" round)
 kill -9 "$H2_PID" || fail "could not kill -9 daemon on port $H2"
 echo "demo: kill -9'd daemon on port $H2 (pid $H2_PID, round $PRE_ROUND)"
 sleep 1
+# /healthz must go dark with the process (connection refused == unhealthy).
+"$TOP" --health "$(http "$H2")" >/dev/null 2>&1 \
+  && fail "killed daemon still reports healthy"
+echo "demo: /healthz on $(http "$H2") went dark with the kill -9"
 rm -f "$DIR/s$H2.json"
 start "$H2" 3 --recover
 recovered() {
@@ -100,6 +141,8 @@ recovered() {
 }
 wait_for 60 "daemon on $H2 recovered from journal and caught up past round $PRE_ROUND" recovered
 grep -q "recovered" "$DIR/d$H2.log" || fail "restart did not report journal recovery"
+healthy_again() { "$TOP" --health "$(http "$H2")" >/dev/null 2>&1; }
+wait_for 30 "/healthz on $(http "$H2") healthy again after --recover" healthy_again
 
 # Survivors (including the restarted daemon) must still agree on the verdict.
 evicted_has "$H2" "$ADV_ADDR" || echo "demo: note: restarted daemon has not (yet) re-learned the eviction locally"

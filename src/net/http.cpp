@@ -1,0 +1,356 @@
+#include "accountnet/net/http.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+namespace accountnet::net {
+
+namespace {
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+bool token_char(char c) {
+  // RFC 7230 tchar, the subset that matters for method validation.
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_';
+}
+
+}  // namespace
+
+HttpServer::HttpServer(EventLoop& loop, HttpServerConfig config)
+    : loop_(loop), config_(config) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return;
+  const int on = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  socklen_t len = sizeof(addr);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0 ||
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return;
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  loop_.add_fd(listen_fd_, EventLoop::kReadable, [this](std::uint32_t) { on_accept(); });
+}
+
+HttpServer::~HttpServer() { close(); }
+
+void HttpServer::close() {
+  if (listen_fd_ >= 0) {
+    loop_.del_fd(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  while (!conns_.empty()) drop(conns_.begin()->first, false);
+}
+
+void HttpServer::on_accept() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: wait for the next edge
+    if (conns_.size() >= config_.max_connections) {
+      ++rejected_;
+      ::close(fd);
+      continue;
+    }
+    Conn c;
+    c.deadline_token = loop_.schedule_after(config_.request_timeout_us, [this, fd] {
+      // Head never completed (slowloris or an idle probe): fail closed.
+      const auto it = conns_.find(fd);
+      if (it != conns_.end() && !it->second.responding) {
+        it->second.deadline_token = 0;
+        drop(fd, true);
+      }
+    });
+    conns_.emplace(fd, std::move(c));
+    loop_.add_fd(fd, EventLoop::kReadable,
+                 [this, fd](std::uint32_t events) { on_event(fd, events); });
+  }
+}
+
+void HttpServer::on_event(int fd, std::uint32_t events) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  if (events & EventLoop::kError) {
+    drop(fd, false);
+    return;
+  }
+  if (events & EventLoop::kReadable) on_readable(fd, it->second);
+  const auto again = conns_.find(fd);
+  if (again != conns_.end() && (events & EventLoop::kWritable)) {
+    on_writable(fd, again->second);
+  }
+}
+
+void HttpServer::on_readable(int fd, Conn& c) {
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      if (c.responding) continue;  // drain & ignore bytes after the head
+      c.in.append(buf, static_cast<std::size_t>(n));
+      if (c.in.size() > config_.max_request_bytes) {
+        ++rejected_;
+        respond(fd, c, HttpResponse{431, "text/plain; charset=utf-8",
+                                    "request head too large\n"});
+        return;
+      }
+      if (try_respond(fd, c)) return;
+      continue;
+    }
+    if (n == 0) {
+      drop(fd, false);  // EOF before a full head
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    drop(fd, false);
+    return;
+  }
+}
+
+bool HttpServer::try_respond(int fd, Conn& c) {
+  // A full head ends in CRLFCRLF (tolerate bare LFLF from hand-rolled
+  // clients); until then keep buffering — but reject obvious garbage early:
+  // the method token must terminate within the first bytes.
+  const std::size_t head_end_crlf = c.in.find("\r\n\r\n");
+  const std::size_t head_end_lf = c.in.find("\n\n");
+  const bool complete =
+      head_end_crlf != std::string::npos || head_end_lf != std::string::npos;
+
+  // Early method check: as soon as the first space (or enough bytes) is in,
+  // a non-token method is a 400 without waiting for the rest of the head.
+  const std::size_t probe = std::min<std::size_t>(c.in.size(), 16);
+  std::size_t method_len = std::string::npos;
+  for (std::size_t i = 0; i < probe; ++i) {
+    if (c.in[i] == ' ') {
+      method_len = i;
+      break;
+    }
+    if (!token_char(c.in[i])) {
+      method_len = 0;  // garbage byte inside the method
+      break;
+    }
+  }
+  if (method_len == 0 || (method_len == std::string::npos && c.in.size() >= 16)) {
+    ++rejected_;
+    respond(fd, c, HttpResponse{400, "text/plain; charset=utf-8", "bad request\n"});
+    return true;
+  }
+  if (!complete) return false;
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  const std::size_t line_end = c.in.find_first_of("\r\n");
+  const std::string line = c.in.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.find(' ', sp2 + 1) != std::string::npos ||
+      line.compare(sp2 + 1, 7, "HTTP/1.") != 0) {
+    ++rejected_;
+    respond(fd, c, HttpResponse{400, "text/plain; charset=utf-8", "bad request\n"});
+    return true;
+  }
+  HttpRequest req;
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (req.method != "GET") {
+    ++rejected_;
+    respond(fd, c, HttpResponse{405, "text/plain; charset=utf-8",
+                                "only GET is served here\n"});
+    return true;
+  }
+  if (req.target.empty() || req.target[0] != '/') {
+    ++rejected_;
+    respond(fd, c, HttpResponse{400, "text/plain; charset=utf-8", "bad request\n"});
+    return true;
+  }
+  ++served_;
+  HttpResponse resp =
+      handler_ ? handler_(req)
+               : HttpResponse{404, "text/plain; charset=utf-8", "not found\n"};
+  respond(fd, c, resp);
+  return true;
+}
+
+void HttpServer::respond(int fd, Conn& c, const HttpResponse& r) {
+  c.responding = true;
+  c.in.clear();
+  if (c.deadline_token != 0) {
+    loop_.cancel(c.deadline_token);
+    c.deadline_token = 0;
+  }
+  c.out = "HTTP/1.0 " + std::to_string(r.status) + " " + reason_phrase(r.status) +
+          "\r\nContent-Type: " + r.content_type +
+          "\r\nContent-Length: " + std::to_string(r.body.size()) +
+          "\r\nConnection: close\r\n\r\n" + r.body;
+  c.out_off = 0;
+  loop_.mod_fd(fd, EventLoop::kReadable | EventLoop::kWritable);
+  on_writable(fd, c);
+}
+
+void HttpServer::on_writable(int fd, Conn& c) {
+  if (!c.responding) return;
+  while (c.out_off < c.out.size()) {
+    const ssize_t n =
+        ::send(fd, c.out.data() + c.out_off, c.out.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    drop(fd, false);
+    return;
+  }
+  drop(fd, false);  // fully drained: one request per connection
+}
+
+void HttpServer::drop(int fd, bool counted_rejection) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  if (counted_rejection) ++rejected_;
+  if (it->second.deadline_token != 0) loop_.cancel(it->second.deadline_token);
+  loop_.del_fd(fd);
+  ::close(fd);
+  conns_.erase(it);
+}
+
+HttpGetResult http_get(const std::string& host, std::uint16_t port,
+                       const std::string& target, std::int64_t timeout_ms) {
+  HttpGetResult r;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    r.error = "socket failed";
+    return r;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    r.error = "bad host";
+    return r;
+  }
+  const auto wait_for = [&](short events) {
+    pollfd p{fd, events, 0};
+    const int rc = ::poll(&p, 1, static_cast<int>(timeout_ms));
+    return rc > 0 && (p.revents & (events | POLLHUP | POLLERR)) != 0;
+  };
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      r.error = "connect failed";
+      return r;
+    }
+    if (!wait_for(POLLOUT)) {
+      ::close(fd);
+      r.error = "connect timeout";
+      return r;
+    }
+    int soerr = 0;
+    socklen_t slen = sizeof(soerr);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &slen);
+    if (soerr != 0) {
+      ::close(fd);
+      r.error = std::string("connect failed: ") + std::strerror(soerr);
+      return r;
+    }
+  }
+  const std::string req = "GET " + target + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (wait_for(POLLOUT)) continue;
+      ::close(fd);
+      r.error = "send timeout";
+      return r;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    ::close(fd);
+    r.error = "send failed";
+    return r;
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      raw.append(buf, static_cast<std::size_t>(n));
+      if (raw.size() > 64 * 1024 * 1024) {
+        ::close(fd);
+        r.error = "response too large";
+        return r;
+      }
+      continue;
+    }
+    if (n == 0) break;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (wait_for(POLLIN)) continue;
+      ::close(fd);
+      r.error = "read timeout";
+      return r;
+    }
+    if (errno == EINTR) continue;
+    ::close(fd);
+    r.error = "read failed";
+    return r;
+  }
+  ::close(fd);
+
+  // Parse "HTTP/1.x NNN ..." + headers; body follows the blank line.
+  if (raw.compare(0, 5, "HTTP/") != 0) {
+    r.error = "not an HTTP response";
+    return r;
+  }
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) {
+    r.error = "malformed status line";
+    return r;
+  }
+  r.status = std::atoi(raw.c_str() + sp + 1);
+  std::size_t body_at = raw.find("\r\n\r\n");
+  std::size_t skip = 4;
+  if (body_at == std::string::npos) {
+    body_at = raw.find("\n\n");
+    skip = 2;
+  }
+  if (body_at == std::string::npos) {
+    r.error = "no header terminator";
+    return r;
+  }
+  r.body = raw.substr(body_at + skip);
+  r.ok = true;
+  return r;
+}
+
+}  // namespace accountnet::net

@@ -1,0 +1,224 @@
+#include "accountnet/obs/benchdiff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+namespace accountnet::obs {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Flattens numeric/bool leaves into dotted paths ("rows.0.p99" -> value).
+void flatten(const util::JsonValue& v, const std::string& path,
+             std::vector<std::pair<std::string, double>>& out) {
+  switch (v.type()) {
+    case util::JsonValue::Type::kNumber:
+      out.emplace_back(path, v.as_number());
+      break;
+    case util::JsonValue::Type::kBool:
+      out.emplace_back(path, v.as_bool() ? 1.0 : 0.0);
+      break;
+    case util::JsonValue::Type::kObject:
+      for (const auto& [k, child] : v.as_object()) {
+        flatten(child, path.empty() ? k : path + "." + k, out);
+      }
+      break;
+    case util::JsonValue::Type::kArray: {
+      const auto& arr = v.as_array();
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        flatten(arr[i], path + "." + std::to_string(i), out);
+      }
+      break;
+    }
+    default:
+      break;  // strings participate in the key, null carries no value
+  }
+}
+
+const ToleranceRule* match_rule(const BenchDiffOptions& opt,
+                                const std::string& row_key,
+                                const std::string& field) {
+  for (const ToleranceRule& r : opt.rules) {
+    if (glob_match(r.row_glob, row_key) && glob_match(r.field_glob, field)) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative '*' backtracking (classic two-pointer form).
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::string benchdiff_row_key(const util::JsonValue& row) {
+  if (!row.is_object()) return "<non-object>";
+  const util::JsonValue* metric = row.get("metric");
+  if (metric != nullptr && metric->is_string()) {
+    return "metric:" + metric->as_string();
+  }
+  // Context rows: every top-level string field, in the (sorted) object order.
+  std::string key;
+  for (const auto& [k, v] : row.as_object()) {
+    if (!v.is_string()) continue;
+    if (!key.empty()) key += ",";
+    key += k + "=" + v.as_string();
+  }
+  return key.empty() ? "<anonymous>" : key;
+}
+
+std::vector<util::JsonValue> load_bench_jsonl(const std::string& path,
+                                              std::size_t* bad_lines) {
+  std::vector<util::JsonValue> out;
+  if (bad_lines != nullptr) *bad_lines = 0;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto v = util::json_parse(line);
+    if (v && v->is_object()) {
+      out.push_back(std::move(*v));
+    } else if (bad_lines != nullptr) {
+      ++*bad_lines;
+    }
+  }
+  return out;
+}
+
+bool parse_tolerances(const std::string& body, BenchDiffOptions& out) {
+  const auto doc = util::json_parse(body);
+  if (!doc || !doc->is_object()) return false;
+  out = BenchDiffOptions{};
+  if (const util::JsonValue* def = doc->get("default"); def != nullptr) {
+    if (!def->is_object()) return false;
+    out.default_rel = def->get_number("rel", 0.0);
+    out.default_abs = def->get_number("abs", 1e-9);
+  }
+  if (const util::JsonValue* rules = doc->get("rules"); rules != nullptr) {
+    if (!rules->is_array()) return false;
+    for (const util::JsonValue& r : rules->as_array()) {
+      if (!r.is_object()) return false;
+      ToleranceRule rule;
+      rule.row_glob = r.get_string("row", "*");
+      rule.field_glob = r.get_string("field", "*");
+      rule.rel = r.get_number("rel", 0.0);
+      rule.abs = r.get_number("abs", 0.0);
+      if (const util::JsonValue* skip = r.get("skip");
+          skip != nullptr && skip->is_bool()) {
+        rule.skip = skip->as_bool();
+      }
+      out.rules.push_back(std::move(rule));
+    }
+  }
+  return true;
+}
+
+BenchDiffReport benchdiff(const std::vector<util::JsonValue>& baseline,
+                          const std::vector<util::JsonValue>& candidate,
+                          const BenchDiffOptions& options) {
+  BenchDiffReport rep;
+
+  // Index rows by key, with an occurrence suffix for repeats so periodic
+  // scrapes stay aligned by position-within-key.
+  const auto index = [](const std::vector<util::JsonValue>& rows) {
+    std::map<std::string, const util::JsonValue*> by_key;
+    std::map<std::string, std::size_t> seen;
+    for (const util::JsonValue& row : rows) {
+      const std::string base = benchdiff_row_key(row);
+      const std::size_t n = seen[base]++;
+      by_key.emplace(base + "#" + std::to_string(n), &row);
+    }
+    return by_key;
+  };
+  const auto base_rows = index(baseline);
+  const auto cand_rows = index(candidate);
+
+  for (const auto& [key, base_row] : base_rows) {
+    const auto it = cand_rows.find(key);
+    if (it == cand_rows.end()) {
+      BenchDiffIssue issue;
+      issue.row_key = key;
+      issue.what = "row missing from candidate: " + key;
+      rep.regressions.push_back(std::move(issue));
+      continue;
+    }
+    ++rep.rows_compared;
+
+    std::vector<std::pair<std::string, double>> base_fields, cand_fields;
+    flatten(*base_row, "", base_fields);
+    flatten(*it->second, "", cand_fields);
+    std::map<std::string, double> cand_by_name(cand_fields.begin(), cand_fields.end());
+
+    for (const auto& [field, bval] : base_fields) {
+      const ToleranceRule* rule = match_rule(options, key, field);
+      if (rule != nullptr && rule->skip) continue;
+      const auto cit = cand_by_name.find(field);
+      if (cit == cand_by_name.end()) {
+        BenchDiffIssue issue;
+        issue.row_key = key;
+        issue.field = field;
+        issue.baseline = bval;
+        issue.what = key + " " + field + ": field missing from candidate";
+        rep.regressions.push_back(std::move(issue));
+        continue;
+      }
+      ++rep.fields_compared;
+      const double cval = cit->second;
+      const double rel = rule != nullptr ? rule->rel : options.default_rel;
+      const double abs = rule != nullptr ? rule->abs : options.default_abs;
+      const double scale = std::max(std::fabs(bval), std::fabs(cval));
+      const double allowed = std::max(abs, rel * scale);
+      const double diff = std::fabs(cval - bval);
+      if (diff > allowed) {
+        BenchDiffIssue issue;
+        issue.row_key = key;
+        issue.field = field;
+        issue.baseline = bval;
+        issue.candidate = cval;
+        issue.allowed = allowed;
+        issue.what = key + " " + field + ": " + fmt(bval) + " -> " + fmt(cval) +
+                     " (|delta| " + fmt(diff) + " > allowed " + fmt(allowed) + ")";
+        rep.regressions.push_back(std::move(issue));
+      }
+    }
+  }
+
+  for (const auto& [key, row] : cand_rows) {
+    (void)row;
+    if (base_rows.find(key) == base_rows.end()) {
+      rep.notes.push_back("new row (not in baseline): " + key);
+    }
+  }
+
+  rep.ok = rep.regressions.empty();
+  return rep;
+}
+
+}  // namespace accountnet::obs

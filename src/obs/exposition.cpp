@@ -1,0 +1,231 @@
+#include "accountnet/obs/exposition.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace accountnet::obs {
+
+namespace {
+
+std::string fmt(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  // Integral values print without an exponent/decimal so counters stay exact
+  // (Prometheus parses either form; exactness helps the demo's greps).
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+bool name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool name_char(char c) {
+  return name_start(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view metric) {
+  std::string out = "accountnet_";
+  out.reserve(out.size() + metric.size());
+  for (const char c : metric) {
+    out += name_char(c) && c != ':' ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_text(const std::vector<MetricSample>& samples) {
+  std::string out;
+  for (const MetricSample& s : samples) {
+    const std::string base = prometheus_name(s.name);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + base + "_total counter\n";
+        out += base + "_total " + fmt(static_cast<double>(s.count)) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + base + " gauge\n";
+        out += base + " " + fmt(s.value) + "\n";
+        break;
+      case MetricKind::kTimer: {
+        const std::string fam = base + "_ns";
+        out += "# TYPE " + fam + " summary\n";
+        out += fam + "{quantile=\"0.5\"} " + fmt(s.p50) + "\n";
+        out += fam + "{quantile=\"0.95\"} " + fmt(s.p95) + "\n";
+        out += fam + "{quantile=\"0.99\"} " + fmt(s.p99) + "\n";
+        out += fam + "_sum " + fmt(s.sum) + "\n";
+        out += fam + "_count " + fmt(static_cast<double>(s.count)) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string prometheus_text(const MetricsRegistry& registry) {
+  return prometheus_text(registry.snapshot());
+}
+
+namespace {
+
+struct LineCheck {
+  bool ok = false;
+  bool is_sample = false;
+  bool is_type = false;
+  std::string error;
+};
+
+bool valid_metric_name(std::string_view n) {
+  if (n.empty() || !name_start(n[0])) return false;
+  for (const char c : n) {
+    if (!name_char(c)) return false;
+  }
+  return true;
+}
+
+bool valid_value(std::string_view v) {
+  if (v.empty()) return false;
+  if (v == "+Inf" || v == "-Inf" || v == "Inf" || v == "NaN") return true;
+  const std::string s(v);
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+LineCheck check_line(std::string_view line) {
+  LineCheck r;
+  if (line.empty()) {
+    r.ok = true;
+    return r;
+  }
+  if (line[0] == '#') {
+    // Only `# HELP <name> ...` and `# TYPE <name> <type>` comment forms.
+    if (line.rfind("# HELP ", 0) == 0) {
+      r.ok = true;
+      return r;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::string_view rest = line.substr(7);
+      const std::size_t sp = rest.find(' ');
+      if (sp == std::string_view::npos) {
+        r.error = "TYPE line missing a type";
+        return r;
+      }
+      const std::string_view name = rest.substr(0, sp);
+      const std::string_view type = rest.substr(sp + 1);
+      if (!valid_metric_name(name)) {
+        r.error = "TYPE line has an invalid metric name";
+        return r;
+      }
+      if (type != "counter" && type != "gauge" && type != "summary" &&
+          type != "histogram" && type != "untyped") {
+        r.error = "unknown metric type '" + std::string(type) + "'";
+        return r;
+      }
+      r.ok = true;
+      r.is_type = true;
+      return r;
+    }
+    r.error = "comment line is neither HELP nor TYPE";
+    return r;
+  }
+
+  // Sample line: name[{labels}] value [timestamp]
+  std::size_t i = 0;
+  while (i < line.size() && name_char(line[i])) ++i;
+  if (i == 0 || !name_start(line[0])) {
+    r.error = "sample line does not start with a metric name";
+    return r;
+  }
+  if (i < line.size() && line[i] == '{') {
+    // Labels: name="value" pairs; value bytes may include anything escaped,
+    // we only require balanced quotes and a closing brace.
+    ++i;
+    bool in_quote = false;
+    bool closed = false;
+    for (; i < line.size(); ++i) {
+      const char c = line[i];
+      if (in_quote) {
+        if (c == '\\') {
+          ++i;  // skip escaped byte
+        } else if (c == '"') {
+          in_quote = false;
+        }
+      } else if (c == '"') {
+        in_quote = true;
+      } else if (c == '}') {
+        closed = true;
+        ++i;
+        break;
+      }
+    }
+    if (!closed || in_quote) {
+      r.error = "unbalanced label block";
+      return r;
+    }
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    r.error = "sample line missing a value";
+    return r;
+  }
+  ++i;
+  std::string_view rest = line.substr(i);
+  const std::size_t sp = rest.find(' ');
+  const std::string_view value = sp == std::string_view::npos ? rest : rest.substr(0, sp);
+  if (!valid_value(value)) {
+    r.error = "unparseable sample value '" + std::string(value) + "'";
+    return r;
+  }
+  if (sp != std::string_view::npos) {
+    const std::string_view ts = rest.substr(sp + 1);
+    if (ts.empty() || ts.find(' ') != std::string_view::npos || !valid_value(ts)) {
+      r.error = "malformed timestamp";
+      return r;
+    }
+  }
+  r.ok = true;
+  r.is_sample = true;
+  return r;
+}
+
+}  // namespace
+
+PromValidation validate_prometheus_text(std::string_view body) {
+  PromValidation v;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= body.size()) {
+    const std::size_t nl = body.find('\n', pos);
+    std::string_view line = nl == std::string_view::npos
+                                ? body.substr(pos)
+                                : body.substr(pos, nl - pos);
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!(nl == std::string_view::npos && line.empty())) {
+      const LineCheck c = check_line(line);
+      if (!c.ok) {
+        v.error = "line " + std::to_string(line_no) + ": " + c.error;
+        return v;
+      }
+      if (c.is_sample) ++v.samples;
+      if (c.is_type) ++v.families;
+    }
+    if (nl == std::string_view::npos) break;
+    pos = nl + 1;
+  }
+  if (v.samples == 0) {
+    v.error = "no samples";
+    return v;
+  }
+  v.ok = true;
+  return v;
+}
+
+}  // namespace accountnet::obs

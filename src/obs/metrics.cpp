@@ -1,5 +1,6 @@
 #include "accountnet/obs/metrics.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
@@ -97,10 +98,20 @@ double MetricsRegistry::timer_percentile_ns(MetricId id, double p) const {
   return cell.stats.max();
 }
 
+const Histogram& MetricsRegistry::timer_histogram(MetricId id) const {
+  AN_ENSURE_MSG(names_[id].kind == MetricKind::kTimer, "histogram on a non-timer");
+  return timers_[names_[id].slot].hist;
+}
+
 std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::vector<MetricId> order(names_.size());
+  for (MetricId id = 0; id < names_.size(); ++id) order[id] = id;
+  std::sort(order.begin(), order.end(), [this](MetricId a, MetricId b) {
+    return names_[a].name < names_[b].name;
+  });
   std::vector<MetricSample> out;
   out.reserve(names_.size());
-  for (MetricId id = 0; id < names_.size(); ++id) {
+  for (const MetricId id : order) {
     const Entry& e = names_[id];
     MetricSample s;
     s.name = e.name;

@@ -1,0 +1,280 @@
+#include "accountnet/obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "accountnet/obs/sink.hpp"
+#include "accountnet/util/json.hpp"
+
+namespace accountnet::obs {
+
+namespace {
+
+double finite(double v) { return std::isfinite(v) ? v : 0.0; }
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", finite(v));
+  return buf;
+}
+
+std::string integer(double v) {
+  return std::to_string(static_cast<long long>(std::llround(finite(v))));
+}
+
+/// Windowed aggregate of one metric name across every source registry.
+struct Agg {
+  MetricKind kind = MetricKind::kCounter;
+  double counter = 0.0;
+  double gauge = 0.0;
+  std::uint64_t timer_count = 0;
+  // [underflow, bucket 0..n-1, overflow]
+  std::vector<std::uint64_t> buckets;
+  const Histogram* geometry = nullptr;
+};
+
+/// Percentile over a *delta* bucket vector, mirroring
+/// MetricsRegistry::timer_percentile_ns (bucket midpoints, log10 space).
+double percentile_from_deltas(const std::vector<std::uint64_t>& deltas,
+                              const Histogram& geom, double p) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t d : deltas) total += d;
+  if (total == 0) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(total);
+  std::uint64_t seen = deltas.front();  // underflow
+  if (static_cast<double>(seen) >= rank && seen > 0) {
+    return std::pow(10.0, geom.bucket_lo(0));
+  }
+  for (std::size_t i = 0; i < geom.bucket_count(); ++i) {
+    seen += deltas[i + 1];
+    if (static_cast<double>(seen) >= rank) {
+      const double mid = (geom.bucket_lo(i) + geom.bucket_hi(i)) / 2.0;
+      return std::pow(10.0, mid);
+    }
+  }
+  return std::pow(10.0, geom.bucket_hi(geom.bucket_count() - 1));
+}
+
+}  // namespace
+
+const TimeSeriesCell* TimeSeriesPoint::find(const std::string& name) const {
+  const auto it = std::lower_bound(
+      cells.begin(), cells.end(), name,
+      [](const auto& cell, const std::string& n) { return cell.first < n; });
+  return it != cells.end() && it->first == name ? &it->second : nullptr;
+}
+
+TimeSeriesScraper::TimeSeriesScraper(TimeSeriesConfig config) : config_(config) {}
+
+void TimeSeriesScraper::add_source(const MetricsRegistry* registry) {
+  if (registry != nullptr) sources_.push_back(registry);
+}
+
+void TimeSeriesScraper::sample(std::int64_t t_us) {
+  // 1. Aggregate the current cumulative state across sources, name-keyed
+  //    (std::map: the point's cell order is the sorted-scrape order).
+  std::map<std::string, Agg> cur;
+  for (const MetricsRegistry* reg : sources_) {
+    for (MetricId id = 0; id < reg->size(); ++id) {
+      const MetricKind kind = reg->metric_kind(id);
+      auto [it, fresh] = cur.try_emplace(reg->metric_name(id));
+      Agg& agg = it->second;
+      if (fresh) agg.kind = kind;
+      if (agg.kind != kind) continue;  // cross-source kind clash: first wins
+      switch (kind) {
+        case MetricKind::kCounter:
+          agg.counter += static_cast<double>(reg->counter_value(id));
+          break;
+        case MetricKind::kGauge:
+          agg.gauge += reg->gauge_value(id);
+          break;
+        case MetricKind::kTimer: {
+          const Histogram& hist = reg->timer_histogram(id);
+          if (agg.geometry == nullptr) {
+            agg.geometry = &hist;
+            agg.buckets.assign(hist.bucket_count() + 2, 0);
+          }
+          if (agg.buckets.size() == hist.bucket_count() + 2) {
+            agg.buckets.front() += hist.underflow();
+            for (std::size_t i = 0; i < hist.bucket_count(); ++i) {
+              agg.buckets[i + 1] += hist.bucket(i);
+            }
+            agg.buckets.back() += hist.overflow();
+          }
+          agg.timer_count += reg->timer_count(id);
+          break;
+        }
+      }
+    }
+  }
+
+  // 2. Diff against the previous sample into one point.
+  TimeSeriesPoint pt;
+  pt.t_us = t_us;
+  pt.window_us = have_prev_ ? t_us - last_t_us_ : 0;
+  const double window_s =
+      pt.window_us > 0 ? static_cast<double>(pt.window_us) / 1e6 : 0.0;
+  pt.cells.reserve(cur.size());
+
+  std::map<std::string, double> next_counters;
+  std::map<std::string, PrevTimer> next_timers;
+  for (const auto& [name, agg] : cur) {
+    TimeSeriesCell cell;
+    cell.kind = agg.kind;
+    switch (agg.kind) {
+      case MetricKind::kCounter: {
+        cell.value = agg.counter;
+        const auto prev = prev_counters_.find(name);
+        const double before = prev != prev_counters_.end() ? prev->second : 0.0;
+        // A registry reset() shrinks totals; clamp so the rate stays sane.
+        const double delta = std::max(0.0, agg.counter - before);
+        cell.rate_per_s = window_s > 0 ? delta / window_s : 0.0;
+        next_counters.emplace(name, agg.counter);
+        break;
+      }
+      case MetricKind::kGauge:
+        cell.value = agg.gauge;
+        break;
+      case MetricKind::kTimer: {
+        PrevTimer next;
+        next.count = agg.timer_count;
+        next.buckets = agg.buckets;
+        const auto prev = prev_timers_.find(name);
+        std::vector<std::uint64_t> deltas = agg.buckets;
+        std::uint64_t count_before = 0;
+        if (prev != prev_timers_.end() &&
+            prev->second.buckets.size() == deltas.size()) {
+          count_before = prev->second.count;
+          for (std::size_t i = 0; i < deltas.size(); ++i) {
+            deltas[i] -= std::min(deltas[i], prev->second.buckets[i]);
+          }
+        }
+        cell.count = agg.timer_count - std::min(agg.timer_count, count_before);
+        if (agg.geometry != nullptr) {
+          cell.p50_ns = percentile_from_deltas(deltas, *agg.geometry, 50.0);
+          cell.p95_ns = percentile_from_deltas(deltas, *agg.geometry, 95.0);
+          cell.p99_ns = percentile_from_deltas(deltas, *agg.geometry, 99.0);
+        }
+        next_timers.emplace(name, std::move(next));
+        break;
+      }
+    }
+    pt.cells.emplace_back(name, cell);
+  }
+
+  prev_counters_ = std::move(next_counters);
+  prev_timers_ = std::move(next_timers);
+  last_t_us_ = t_us;
+  have_prev_ = true;
+
+  points_.push_back(std::move(pt));
+  while (points_.size() > config_.capacity) {
+    points_.pop_front();
+    ++dropped_;
+  }
+}
+
+void TimeSeriesScraper::clear() {
+  points_.clear();
+  prev_counters_.clear();
+  prev_timers_.clear();
+  have_prev_ = false;
+  last_t_us_ = 0;
+  dropped_ = 0;
+}
+
+void TimeSeriesScraper::dump_jsonl(JsonLinesSink& sink,
+                                   const std::string& context_fields) const {
+  for (const TimeSeriesPoint& pt : points_) {
+    sink.raw_line(to_json_line(pt, context_fields));
+  }
+}
+
+std::string TimeSeriesScraper::to_json_array() const {
+  std::string out = "[";
+  bool first = true;
+  for (const TimeSeriesPoint& pt : points_) {
+    if (!first) out += ",";
+    first = false;
+    out += to_json_line(pt);
+  }
+  return out + "]";
+}
+
+std::string to_json_line(const TimeSeriesPoint& pt, const std::string& context_fields) {
+  std::string out = "{\"kind\":\"timeseries\"" + context_fields +
+                    ",\"t_us\":" + std::to_string(pt.t_us) +
+                    ",\"window_us\":" + std::to_string(pt.window_us) + ",\"series\":{";
+  bool first = true;
+  for (const auto& [name, cell] : pt.cells) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":{";
+    switch (cell.kind) {
+      case MetricKind::kCounter:
+        out += "\"k\":\"counter\",\"total\":" + integer(cell.value) +
+               ",\"rate\":" + num(cell.rate_per_s);
+        break;
+      case MetricKind::kGauge:
+        out += "\"k\":\"gauge\",\"value\":" + num(cell.value);
+        break;
+      case MetricKind::kTimer:
+        out += "\"k\":\"timer\",\"n\":" + std::to_string(cell.count) +
+               ",\"p50_ns\":" + num(cell.p50_ns) + ",\"p95_ns\":" + num(cell.p95_ns) +
+               ",\"p99_ns\":" + num(cell.p99_ns);
+        break;
+    }
+    out += "}";
+  }
+  return out + "}}";
+}
+
+bool parse_timeseries_json_line(const std::string& line, TimeSeriesPoint& out) {
+  const auto doc = util::json_parse(line);
+  if (!doc || !doc->is_object()) return false;
+  if (doc->get_string("kind") != "timeseries") return false;
+  const util::JsonValue* series = doc->get("series");
+  if (series == nullptr || !series->is_object()) return false;
+
+  out = TimeSeriesPoint{};
+  out.t_us = static_cast<std::int64_t>(doc->get_number("t_us"));
+  out.window_us = static_cast<std::int64_t>(doc->get_number("window_us"));
+  for (const auto& [name, v] : series->as_object()) {
+    if (!v.is_object()) return false;
+    TimeSeriesCell cell;
+    const std::string k = v.get_string("k");
+    if (k == "counter") {
+      cell.kind = MetricKind::kCounter;
+      cell.value = v.get_number("total");
+      cell.rate_per_s = v.get_number("rate");
+    } else if (k == "gauge") {
+      cell.kind = MetricKind::kGauge;
+      cell.value = v.get_number("value");
+    } else if (k == "timer") {
+      cell.kind = MetricKind::kTimer;
+      cell.count = static_cast<std::uint64_t>(v.get_number("n"));
+      cell.p50_ns = v.get_number("p50_ns");
+      cell.p95_ns = v.get_number("p95_ns");
+      cell.p99_ns = v.get_number("p99_ns");
+    } else {
+      return false;
+    }
+    out.cells.emplace_back(name, cell);  // JsonObject iterates name-sorted
+  }
+  return true;
+}
+
+std::vector<TimeSeriesPoint> load_timeseries_jsonl(const std::string& path) {
+  std::vector<TimeSeriesPoint> out;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    TimeSeriesPoint pt;
+    if (parse_timeseries_json_line(line, pt)) out.push_back(std::move(pt));
+  }
+  return out;
+}
+
+}  // namespace accountnet::obs

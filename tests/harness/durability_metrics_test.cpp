@@ -1,0 +1,137 @@
+// Durability lazy-interning contract (CLAUDE.md): durability metric series
+// (node.recovery.*, harness.recovery.*, *.journal.*) must never be interned
+// in non-durable runs, so scrapes — and the new time-series dumps — of a
+// default-configured network are byte-identical to pre-durability output.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accountnet/core/node.hpp"
+#include "accountnet/crypto/provider.hpp"
+#include "accountnet/harness/network_sim.hpp"
+#include "accountnet/obs/sink.hpp"
+#include "accountnet/obs/timeseries.hpp"
+
+namespace accountnet {
+namespace {
+
+bool is_durability_series(const std::string& name) {
+  return name.find("recovery") != std::string::npos ||
+         name.find("journal") != std::string::npos;
+}
+
+harness::ExperimentConfig small_config() {
+  harness::ExperimentConfig c;
+  c.network_size = 48;
+  c.f = 5;
+  c.l = 3;
+  c.d = 2;
+  c.lane_size = 12;
+  c.verify_fraction = 1.0;
+  c.seed = 17;
+  return c;
+}
+
+/// Scrape a registry into the exact JSONL text a BENCH artifact would hold.
+std::string scrape_text(harness::NetworkSim& sim) {
+  obs::MemorySink mem;
+  sim.scrape_metrics(mem);
+  std::string out;
+  for (const auto& row : mem.rows()) {
+    out += obs::to_json_line(row.sample, row.t_us);
+    out += '\n';
+  }
+  return out;
+}
+
+// Event-driven Node stack, no journal configured: nothing recovery- or
+// journal-flavoured may ever be interned, even after real shuffle traffic.
+TEST(DurabilityLazyInterning, NonDurableNodeRegistryHasNoDurabilitySeries) {
+  sim::Simulator sim;
+  sim::SimNetwork net(sim, sim::netem_latency(), /*rng_seed=*/7);
+  const auto provider = crypto::make_fast_crypto();
+  std::vector<std::unique_ptr<core::Node>> nodes;
+  for (int i = 0; i < 4; ++i) {
+    core::Node::Config config;
+    config.protocol.max_peerset = 3;
+    config.protocol.shuffle_length = 2;
+    config.shuffle_period = sim::seconds(2);
+    Bytes seed(32, static_cast<std::uint8_t>(0x40 + i));
+    nodes.push_back(std::make_unique<core::Node>(
+        net, "n" + std::to_string(i), *provider, seed, config, 1000 + i));
+  }
+  nodes[0]->start_as_seed();
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    nodes[i]->start_join(nodes[i - 1]->id().addr);
+  }
+  sim.run_until(sim::seconds(30));
+
+  std::uint64_t completed = 0;
+  for (const auto& n : nodes) {
+    completed += n->stats().shuffles_completed;
+    EXPECT_FALSE(n->metrics().find("node.recovery.restarts").has_value());
+    EXPECT_FALSE(n->metrics().find("node.recovery.entries_replayed").has_value());
+    for (const auto& sample : n->metrics().snapshot()) {
+      EXPECT_FALSE(is_durability_series(sample.name)) << sample.name;
+    }
+  }
+  EXPECT_GT(completed, 0u) << "overlay never shuffled; fixture broken";
+}
+
+// Harness scrape with durability off: no harness.recovery.* / journal rows,
+// and the JSONL text is byte-identical across identically-seeded runs.
+TEST(DurabilityLazyInterning, NonDurableHarnessScrapeIsCleanAndDeterministic) {
+  harness::NetworkSim a(small_config());
+  a.run(20, nullptr);
+  const std::string text_a = scrape_text(a);
+  EXPECT_FALSE(text_a.empty());
+  EXPECT_EQ(text_a.find("recovery"), std::string::npos);
+  EXPECT_EQ(text_a.find("journal"), std::string::npos);
+
+  harness::NetworkSim b(small_config());
+  b.run(20, nullptr);
+  EXPECT_EQ(text_a, scrape_text(b));
+}
+
+// Inverse sanity: the same network with durable_nodes on DOES materialize the
+// series (value may be zero — lazily interned means present-when-enabled).
+TEST(DurabilityLazyInterning, DurableHarnessScrapeExposesRecoverySeries) {
+  auto config = small_config();
+  config.durable_nodes = true;
+  config.history_limit = 32;
+  harness::NetworkSim sim(config);
+  sim.run(20, nullptr);
+  const std::string text = scrape_text(sim);
+  EXPECT_NE(text.find("harness.recovery.crashes"), std::string::npos);
+  EXPECT_NE(text.find("harness.journal.entries"), std::string::npos);
+}
+
+// The new time-series plane obeys the same contract: a scraper sampling a
+// non-durable harness never carries a durability cell, and its JSON dump is
+// free of the series names.
+TEST(DurabilityLazyInterning, NonDurableTimeseriesDumpHasNoDurabilitySeries) {
+  harness::NetworkSim sim(small_config());
+  obs::TimeSeriesScraper scraper;
+  scraper.add_source(&sim.metrics());
+  obs::NullSink null;
+  for (int i = 0; i < 3; ++i) {
+    sim.run(5, nullptr);
+    sim.scrape_metrics(null);  // force the lazy registry sync
+    scraper.sample(sim.now());
+  }
+  ASSERT_EQ(scraper.points().size(), 3u);
+  for (const auto& point : scraper.points()) {
+    EXPECT_FALSE(point.cells.empty());
+    for (const auto& [name, cell] : point.cells) {
+      EXPECT_FALSE(is_durability_series(name)) << name;
+    }
+  }
+  const std::string dump = scraper.to_json_array();
+  EXPECT_EQ(dump.find("recovery"), std::string::npos);
+  EXPECT_EQ(dump.find("journal"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace accountnet

@@ -1,0 +1,214 @@
+// HttpServer: the telemetry exposition endpoint must serve well-formed
+// responses and fail closed — with no fd leaks — under the wire-hostility
+// matrix (garbage method, oversized head, slowloris, connection floods).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "accountnet/net/event_loop.hpp"
+#include "accountnet/net/http.hpp"
+
+namespace accountnet::net {
+namespace {
+
+int connect_blocking(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Sends raw bytes from a side thread while the loop runs, then reads until
+/// the server closes. Returns everything the server sent back.
+std::string raw_exchange(EventLoop& loop, std::uint16_t port,
+                         const std::string& to_send, int loop_ms = 400) {
+  std::string got;
+  std::thread client([&] {
+    const int fd = connect_blocking(port);
+    ASSERT_GE(fd, 0);
+    timeval tv{2, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    if (!to_send.empty()) {
+      ASSERT_EQ(::send(fd, to_send.data(), to_send.size(), MSG_NOSIGNAL),
+                static_cast<ssize_t>(to_send.size()));
+    }
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n <= 0) break;
+      got.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+  });
+  loop.run_for(loop_ms * 1000);
+  client.join();
+  return got;
+}
+
+TEST(HttpServer, ServesRoutedGets) {
+  EventLoop loop;
+  HttpServer server(loop);
+  ASSERT_TRUE(server.listening());
+  server.set_handler([](const HttpRequest& req) {
+    if (req.target == "/metrics") {
+      return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                          "accountnet_up 1\n"};
+    }
+    return HttpResponse{404, "text/plain; charset=utf-8", "not found\n"};
+  });
+
+  HttpGetResult ok, missing;
+  std::thread client([&] {
+    ok = http_get("127.0.0.1", server.port(), "/metrics");
+    missing = http_get("127.0.0.1", server.port(), "/nope");
+  });
+  loop.run_for(400'000);
+  client.join();
+
+  ASSERT_TRUE(ok.ok) << ok.error;
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_EQ(ok.body, "accountnet_up 1\n");
+  ASSERT_TRUE(missing.ok) << missing.error;
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_EQ(server.requests_served(), 2u);
+  EXPECT_EQ(server.rejected(), 0u);
+  EXPECT_EQ(server.open_connections(), 0u);
+}
+
+TEST(HttpServer, UnsetHandlerIs404NotACrash) {
+  EventLoop loop;
+  HttpServer server(loop);
+  HttpGetResult r;
+  std::thread client([&] { r = http_get("127.0.0.1", server.port(), "/metrics"); });
+  loop.run_for(300'000);
+  client.join();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 404);
+}
+
+TEST(HttpServer, GarbageMethodGets400AndClose) {
+  EventLoop loop;
+  HttpServer server(loop);
+  const std::string reply =
+      raw_exchange(loop, server.port(), "\x01\x02\x7f garbage\r\n\r\n");
+  EXPECT_NE(reply.find("400"), std::string::npos);
+  EXPECT_EQ(server.rejected(), 1u);
+  EXPECT_EQ(server.open_connections(), 0u);
+  EXPECT_EQ(loop.tracked_fds(), 1u);  // just the listener: no leaked conn fds
+}
+
+TEST(HttpServer, NonGetMethodGets405) {
+  EventLoop loop;
+  HttpServer server(loop);
+  const std::string reply =
+      raw_exchange(loop, server.port(), "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(reply.find("405"), std::string::npos);
+  EXPECT_EQ(server.requests_served(), 0u);
+}
+
+TEST(HttpServer, OversizedRequestLineIsRejectedEarly) {
+  EventLoop loop;
+  HttpServer server(loop);
+  // 64 token bytes and never a space: rejected from the first chunk without
+  // waiting for a head terminator.
+  const std::string reply = raw_exchange(loop, server.port(), std::string(64, 'A'));
+  EXPECT_NE(reply.find("400"), std::string::npos);
+  EXPECT_EQ(server.rejected(), 1u);
+  EXPECT_EQ(loop.tracked_fds(), 1u);
+}
+
+TEST(HttpServer, OversizedHeadGets431) {
+  EventLoop loop;
+  HttpServerConfig cfg;
+  cfg.max_request_bytes = 512;
+  HttpServer server(loop, cfg);
+  std::string req = "GET /metrics HTTP/1.0\r\n";
+  while (req.size() <= 1024) req += "X-Pad: aaaaaaaaaaaaaaaaaaaaaaaa\r\n";
+  const std::string reply = raw_exchange(loop, server.port(), req);
+  EXPECT_NE(reply.find("431"), std::string::npos);
+  EXPECT_EQ(server.rejected(), 1u);
+  EXPECT_EQ(loop.tracked_fds(), 1u);
+}
+
+TEST(HttpServer, SlowlorisConnectionIsDropped) {
+  EventLoop loop;
+  HttpServerConfig cfg;
+  cfg.request_timeout_us = 60'000;  // 60 ms head deadline
+  HttpServer server(loop, cfg);
+  // Send a partial request line and then stall; the server must drop us.
+  const std::string reply = raw_exchange(loop, server.port(), "GET /met", 400);
+  EXPECT_TRUE(reply.empty());
+  EXPECT_EQ(server.rejected(), 1u);
+  EXPECT_EQ(server.open_connections(), 0u);
+  EXPECT_EQ(loop.tracked_fds(), 1u);
+}
+
+TEST(HttpServer, ConnectionCapClosesExcessAccepts) {
+  EventLoop loop;
+  HttpServerConfig cfg;
+  cfg.max_connections = 2;
+  cfg.request_timeout_us = 200'000;
+  HttpServer server(loop, cfg);
+
+  std::atomic<int> refused{0};
+  std::thread client([&] {
+    std::vector<int> fds;
+    for (int i = 0; i < 6; ++i) fds.push_back(connect_blocking(server.port()));
+    // Excess sockets are accepted then closed immediately; a read sees EOF.
+    for (const int fd : fds) {
+      if (fd < 0) {
+        ++refused;
+        continue;
+      }
+      timeval tv{2, 0};
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      char b;
+      if (::read(fd, &b, 1) == 0) ++refused;
+      ::close(fd);
+    }
+  });
+  loop.run_for(500'000);
+  client.join();
+  EXPECT_GE(refused.load(), 4);
+  EXPECT_EQ(server.open_connections(), 0u);  // survivors hit the head deadline
+  EXPECT_EQ(loop.tracked_fds(), 1u);
+}
+
+TEST(HttpServer, BindConflictReportsNotListening) {
+  EventLoop loop;
+  HttpServer a(loop);
+  ASSERT_TRUE(a.listening());
+  HttpServerConfig cfg;
+  cfg.port = a.port();
+  HttpServer b(loop, cfg);
+  EXPECT_FALSE(b.listening());
+}
+
+TEST(HttpGet, ConnectionRefusedFailsCleanly) {
+  EventLoop loop;
+  std::uint16_t dead_port;
+  {
+    HttpServer probe(loop);  // grab an ephemeral port, then free it
+    dead_port = probe.port();
+  }
+  const HttpGetResult r = http_get("127.0.0.1", dead_port, "/healthz", 500);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}
+
+}  // namespace
+}  // namespace accountnet::net

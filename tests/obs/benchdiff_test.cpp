@@ -1,0 +1,127 @@
+// benchdiff: the bench-regression comparator behind the CI gate. Rows pair
+// by stable key, numeric fields compare under first-match-wins tolerance
+// rules, and an inflated latency must come back as a regression while
+// within-band jitter must not.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "accountnet/obs/benchdiff.hpp"
+
+namespace accountnet::obs {
+namespace {
+
+std::vector<util::JsonValue> rows(std::initializer_list<const char*> lines) {
+  std::vector<util::JsonValue> out;
+  for (const char* l : lines) {
+    auto v = util::json_parse(l);
+    EXPECT_TRUE(v.has_value()) << l;
+    out.push_back(std::move(*v));
+  }
+  return out;
+}
+
+TEST(Glob, MatchesStarAndQuestion) {
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_TRUE(glob_match("metric:net.*", "metric:net.conn.bytes_in"));
+  EXPECT_TRUE(glob_match("*_us", "lat_p99_us"));
+  EXPECT_TRUE(glob_match("a?c", "abc"));
+  EXPECT_FALSE(glob_match("a?c", "ac"));
+  EXPECT_FALSE(glob_match("metric:net.*", "metric:core.verify"));
+  EXPECT_TRUE(glob_match("*soak*p99*", "bench=net_soak#0...lat_p99_us"));
+}
+
+TEST(BenchDiff, RowKeysAreStableAndOrderFree) {
+  const auto r = rows({R"({"metric":"net.conn.bytes_in","value":5})",
+                       R"({"bench":"net_soak","scenario":"clean","n":3})"});
+  EXPECT_EQ(benchdiff_row_key(r[0]), "metric:net.conn.bytes_in");
+  EXPECT_EQ(benchdiff_row_key(r[1]), "bench=net_soak,scenario=clean");
+}
+
+TEST(BenchDiff, IdenticalArtifactsPass) {
+  const auto base = rows({R"({"bench":"x","p99":10.0})", R"({"metric":"m","value":5})"});
+  const BenchDiffReport rep = benchdiff(base, base, BenchDiffOptions{});
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.rows_compared, 2u);
+  EXPECT_TRUE(rep.regressions.empty());
+}
+
+TEST(BenchDiff, InflatedLatencyIsARegression) {
+  const auto base = rows({R"({"bench":"net_soak","lat_p99_us":120.0})"});
+  const auto cand = rows({R"({"bench":"net_soak","lat_p99_us":360.0})"});
+  BenchDiffOptions opt;
+  opt.rules.push_back({"*", "lat_*", 0.5, 0.0, false});  // 50% band
+  const BenchDiffReport rep = benchdiff(base, cand, opt);
+  ASSERT_FALSE(rep.ok);
+  ASSERT_EQ(rep.regressions.size(), 1u);
+  EXPECT_EQ(rep.regressions[0].field, "lat_p99_us");
+  EXPECT_DOUBLE_EQ(rep.regressions[0].baseline, 120.0);
+  EXPECT_DOUBLE_EQ(rep.regressions[0].candidate, 360.0);
+}
+
+TEST(BenchDiff, WithinBandJitterPasses) {
+  const auto base = rows({R"({"bench":"net_soak","lat_p99_us":120.0})"});
+  const auto cand = rows({R"({"bench":"net_soak","lat_p99_us":150.0})"});
+  BenchDiffOptions opt;
+  opt.rules.push_back({"*", "lat_*", 0.5, 0.0, false});
+  EXPECT_TRUE(benchdiff(base, cand, opt).ok);
+}
+
+TEST(BenchDiff, FirstMatchingRuleWins) {
+  const auto base = rows({R"({"bench":"b","wall_ms":100.0,"count":10})"});
+  const auto cand = rows({R"({"bench":"b","wall_ms":9000.0,"count":10})"});
+  BenchDiffOptions opt;
+  opt.rules.push_back({"*", "wall_*", 0.0, 0.0, true});  // skip wall-clock
+  opt.rules.push_back({"*", "*", 0.0, 1e-9, false});
+  EXPECT_TRUE(benchdiff(base, cand, opt).ok);
+  // Without the skip rule the same pair regresses.
+  opt.rules.erase(opt.rules.begin());
+  EXPECT_FALSE(benchdiff(base, cand, opt).ok);
+}
+
+TEST(BenchDiff, MissingRowRegressesNewRowIsANote) {
+  const auto base = rows({R"({"metric":"a","value":1})", R"({"metric":"b","value":2})"});
+  const auto cand = rows({R"({"metric":"a","value":1})", R"({"metric":"c","value":3})"});
+  const BenchDiffReport rep = benchdiff(base, cand, BenchDiffOptions{});
+  ASSERT_EQ(rep.regressions.size(), 1u);
+  EXPECT_EQ(rep.regressions[0].row_key, "metric:b#0");
+  ASSERT_EQ(rep.notes.size(), 1u);
+  EXPECT_NE(rep.notes[0].find("metric:c#0"), std::string::npos);
+}
+
+TEST(BenchDiff, RepeatedKeysAlignByOccurrence) {
+  const auto base = rows({R"({"metric":"m","value":1})", R"({"metric":"m","value":2})"});
+  const auto cand = rows({R"({"metric":"m","value":1})", R"({"metric":"m","value":2})"});
+  EXPECT_TRUE(benchdiff(base, cand, BenchDiffOptions{}).ok);
+  const auto swapped = rows({R"({"metric":"m","value":2})", R"({"metric":"m","value":1})"});
+  EXPECT_FALSE(benchdiff(base, swapped, BenchDiffOptions{}).ok);
+}
+
+TEST(BenchDiff, NestedNumbersCompareByDottedPath) {
+  const auto base = rows({R"({"bench":"b","hist":{"p":[1,2,3]}})"});
+  const auto cand = rows({R"({"bench":"b","hist":{"p":[1,2,9]}})"});
+  const BenchDiffReport rep = benchdiff(base, cand, BenchDiffOptions{});
+  ASSERT_EQ(rep.regressions.size(), 1u);
+  EXPECT_EQ(rep.regressions[0].field, "hist.p.2");
+}
+
+TEST(BenchDiff, ParsesToleranceFile) {
+  BenchDiffOptions opt;
+  ASSERT_TRUE(parse_tolerances(
+      R"({"default":{"rel":0.05,"abs":0.5},
+          "rules":[{"row":"metric:net.*","field":"value","rel":0.5},
+                   {"row":"*","field":"*_us","skip":true}]})",
+      opt));
+  EXPECT_DOUBLE_EQ(opt.default_rel, 0.05);
+  EXPECT_DOUBLE_EQ(opt.default_abs, 0.5);
+  ASSERT_EQ(opt.rules.size(), 2u);
+  EXPECT_EQ(opt.rules[0].row_glob, "metric:net.*");
+  EXPECT_DOUBLE_EQ(opt.rules[0].rel, 0.5);
+  EXPECT_TRUE(opt.rules[1].skip);
+  EXPECT_FALSE(parse_tolerances("not json", opt));
+  EXPECT_FALSE(parse_tolerances(R"({"rules":{}})", opt));
+}
+
+}  // namespace
+}  // namespace accountnet::obs

@@ -1,0 +1,92 @@
+// Prometheus text exposition: rendering of the three metric kinds, name
+// sanitization, determinism, and the strict validator that accountnet-top
+// and the daemon demo rely on to prove a served body is well-formed.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "accountnet/obs/exposition.hpp"
+#include "accountnet/obs/metrics.hpp"
+
+namespace accountnet::obs {
+namespace {
+
+TEST(Exposition, SanitizesMetricNames) {
+  EXPECT_EQ(prometheus_name("net.conn.bytes_in"), "accountnet_net_conn_bytes_in");
+  EXPECT_EQ(prometheus_name("weird-name 1"), "accountnet_weird_name_1");
+}
+
+TEST(Exposition, RendersAllThreeKinds) {
+  MetricsRegistry r;
+  const MetricId c = r.counter("net.conn.frames_in");
+  const MetricId g = r.gauge("net.conn.open");
+  const MetricId t = r.timer("crypto.sign");
+  r.add(c, 42);
+  r.set(g, 3.0);
+  for (int i = 0; i < 8; ++i) r.observe_ns(t, 10'000);
+
+  const std::string body = prometheus_text(r);
+  EXPECT_NE(body.find("# TYPE accountnet_net_conn_frames_in_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("accountnet_net_conn_frames_in_total 42\n"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE accountnet_net_conn_open gauge\n"), std::string::npos);
+  EXPECT_NE(body.find("accountnet_net_conn_open 3\n"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE accountnet_crypto_sign_ns summary\n"), std::string::npos);
+  EXPECT_NE(body.find("accountnet_crypto_sign_ns{quantile=\"0.5\"} "), std::string::npos);
+  EXPECT_NE(body.find("accountnet_crypto_sign_ns_count 8\n"), std::string::npos);
+
+  const PromValidation v = validate_prometheus_text(body);
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.families, 3u);
+  EXPECT_EQ(v.samples, 7u);  // 1 counter + 1 gauge + 3 quantiles + sum + count
+}
+
+TEST(Exposition, BodyIsDeterministicAcrossInterningOrders) {
+  const auto build = [](bool reversed) {
+    MetricsRegistry r;
+    if (reversed) {
+      r.add(r.counter("zz"), 1);
+      r.add(r.counter("aa"), 2);
+    } else {
+      r.add(r.counter("aa"), 2);
+      r.add(r.counter("zz"), 1);
+    }
+    return prometheus_text(r);
+  };
+  EXPECT_EQ(build(false), build(true));
+}
+
+TEST(ExpositionValidator, AcceptsLabelledSamplesAndTimestamps) {
+  const PromValidation v = validate_prometheus_text(
+      "# HELP x some help text\n"
+      "# TYPE x gauge\n"
+      "x{node=\"n-0\",phase=\"run \\\"2\\\"\"} 1.5 1700000000\n"
+      "x 2\n");
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.samples, 2u);
+  EXPECT_EQ(v.families, 1u);
+}
+
+TEST(ExpositionValidator, RejectsMalformedBodies) {
+  for (const char* bad : {
+           "",                             // no samples
+           "# TYPE x banana\nx 1\n",       // unknown type
+           "# NOPE x\nx 1\n",              // unknown comment form
+           "x\n",                          // missing value
+           "x one\n",                      // unparseable value
+           "1x 2\n",                       // bad metric name
+           "x{a=\"b\" 2\n",                // unbalanced labels
+           "x{a=\"b} 2\n",                 // unterminated quote
+           "x 1 2 3\n",                    // trailing junk after timestamp
+       }) {
+    EXPECT_FALSE(validate_prometheus_text(bad).ok) << "accepted: " << bad;
+  }
+}
+
+TEST(ExpositionValidator, AcceptsRealSpecialValues) {
+  const PromValidation v = validate_prometheus_text("x +Inf\ny NaN\n");
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+}  // namespace
+}  // namespace accountnet::obs

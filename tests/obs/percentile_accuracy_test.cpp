@@ -1,0 +1,71 @@
+// Histogram-accuracy bound for timer percentiles: the log-bucket estimate
+// must sit within one bucket width of the exact sorted-sample percentile.
+//
+// The registry's timer histogram buckets log10(ns) over [0, 11) with 88
+// buckets — 8 per decade, so one bucket spans a factor of 10^0.125 ≈ 1.334.
+// An estimate that uses bucket midpoints is then at most half a bucket off
+// in log space *for the bucketing itself*; interpolation rank error can add
+// up to another half bucket, so the guaranteed envelope is one full bucket
+// width (×/÷ 1.334) around the exact value. We assert that envelope across
+// three seeded shapes: uniform, exponential (heavy right tail), bimodal
+// (fast-path/slow-path mixture, the worst case for midpoint estimates).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accountnet/obs/metrics.hpp"
+#include "accountnet/util/rng.hpp"
+#include "accountnet/util/stats.hpp"
+
+namespace accountnet::obs {
+namespace {
+
+constexpr double kBucketFactor = 1.3335;  // 10^0.125 + slack for fp rounding
+
+struct Shape {
+  std::string name;
+  std::uint64_t seed;
+};
+
+std::uint64_t draw(const std::string& shape, Rng& rng) {
+  if (shape == "uniform") {
+    // 10 µs .. 10 ms, linear.
+    return static_cast<std::uint64_t>(10'000 + rng.uniform(9'990'000));
+  }
+  if (shape == "exponential") {
+    // mean 100 µs, clamped away from zero.
+    return static_cast<std::uint64_t>(std::max(1.0, rng.exponential(100'000.0)));
+  }
+  // bimodal: 90% fast path ~2 µs, 10% slow path ~5 ms (both lognormal-ish).
+  const double base = rng.chance(0.9) ? 2'000.0 : 5'000'000.0;
+  return static_cast<std::uint64_t>(std::max(1.0, base * (0.8 + 0.4 * rng.uniform01())));
+}
+
+TEST(TimerPercentileAccuracy, WithinOneLogBucketOfExact) {
+  for (const Shape& shape : {Shape{"uniform", 11}, Shape{"exponential", 22},
+                             Shape{"bimodal", 33}}) {
+    MetricsRegistry r;
+    const MetricId t = r.timer("lat");
+    Rng rng(shape.seed);
+    Samples exact;
+    for (int i = 0; i < 20'000; ++i) {
+      const std::uint64_t ns = draw(shape.name, rng);
+      r.observe_ns(t, ns);
+      exact.add(static_cast<double>(ns));
+    }
+    for (const double p : {50.0, 95.0, 99.0}) {
+      const double est = r.timer_percentile_ns(t, p);
+      const double ref = exact.percentile(p);
+      EXPECT_GE(est, ref / kBucketFactor)
+          << shape.name << " p" << p << ": est " << est << " ref " << ref;
+      EXPECT_LE(est, ref * kBucketFactor)
+          << shape.name << " p" << p << ": est " << est << " ref " << ref;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace accountnet::obs

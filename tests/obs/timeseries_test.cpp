@@ -1,0 +1,218 @@
+// TimeSeriesScraper: windowed deltas over cumulative registries, ring
+// bounds, JSONL round-trips, and the dump-determinism contract (satellite of
+// the telemetry-plane PR: identically-valued registries dump byte-identical
+// trajectories regardless of interning order).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "accountnet/obs/metrics.hpp"
+#include "accountnet/obs/sink.hpp"
+#include "accountnet/obs/timeseries.hpp"
+
+namespace accountnet::obs {
+namespace {
+
+TEST(TimeSeries, CounterRatesAreWindowed) {
+  MetricsRegistry r;
+  const MetricId c = r.counter("msgs");
+  TimeSeriesScraper ts;
+  ts.add_source(&r);
+
+  r.add(c, 10);
+  ts.sample(0);  // first point: no window yet
+  r.add(c, 40);
+  ts.sample(2'000'000);  // +40 over 2 s -> 20/s
+
+  ASSERT_EQ(ts.points().size(), 2u);
+  const TimeSeriesCell* first = ts.points()[0].find("msgs");
+  ASSERT_NE(first, nullptr);
+  EXPECT_DOUBLE_EQ(first->value, 10.0);
+  EXPECT_DOUBLE_EQ(first->rate_per_s, 0.0);
+  EXPECT_EQ(ts.points()[0].window_us, 0);
+
+  const TimeSeriesCell* second = ts.points()[1].find("msgs");
+  ASSERT_NE(second, nullptr);
+  EXPECT_DOUBLE_EQ(second->value, 50.0);
+  EXPECT_DOUBLE_EQ(second->rate_per_s, 20.0);
+  EXPECT_EQ(ts.points()[1].window_us, 2'000'000);
+}
+
+TEST(TimeSeries, GaugesReportLastValue) {
+  MetricsRegistry r;
+  const MetricId g = r.gauge("standing");
+  TimeSeriesScraper ts;
+  ts.add_source(&r);
+  r.set(g, 0.75);
+  ts.sample(0);
+  r.set(g, 0.25);
+  ts.sample(1'000'000);
+  EXPECT_DOUBLE_EQ(ts.points()[0].find("standing")->value, 0.75);
+  EXPECT_DOUBLE_EQ(ts.points()[1].find("standing")->value, 0.25);
+}
+
+TEST(TimeSeries, TimerPercentilesAreWindowedNotLifetime) {
+  MetricsRegistry r;
+  const MetricId t = r.timer("lat");
+  TimeSeriesScraper ts;
+  ts.add_source(&r);
+
+  for (int i = 0; i < 1000; ++i) r.observe_ns(t, 1'000);  // 1 µs era
+  ts.sample(0);
+  for (int i = 0; i < 100; ++i) r.observe_ns(t, 1'000'000);  // 1 ms spike
+  ts.sample(1'000'000);
+
+  const TimeSeriesCell* before = ts.points()[0].find("lat");
+  const TimeSeriesCell* spike = ts.points()[1].find("lat");
+  ASSERT_NE(before, nullptr);
+  ASSERT_NE(spike, nullptr);
+  EXPECT_EQ(before->count, 1000u);
+  EXPECT_EQ(spike->count, 100u);
+  // The lifetime p50 is still ~1 µs (1000 of 1100 samples), but the window
+  // holds only the spike: its p50 must sit near 1 ms, within one log bucket
+  // (factor 10^0.125 ≈ 1.334).
+  EXPECT_LT(r.timer_percentile_ns(t, 50), 2'000.0);
+  EXPECT_GT(spike->p50_ns, 1'000'000.0 / 1.34);
+  EXPECT_LT(spike->p50_ns, 1'000'000.0 * 1.34);
+}
+
+TEST(TimeSeries, AggregatesAcrossSources) {
+  MetricsRegistry a, b;
+  const MetricId ca = a.counter("msgs");
+  const MetricId cb = b.counter("msgs");
+  const MetricId tb = b.timer("lat");
+  const MetricId ta = a.timer("lat");
+  TimeSeriesScraper ts;
+  ts.add_source(&a);
+  ts.add_source(&b);
+  a.add(ca, 3);
+  b.add(cb, 4);
+  for (int i = 0; i < 50; ++i) a.observe_ns(ta, 1'000);
+  for (int i = 0; i < 50; ++i) b.observe_ns(tb, 1'000);
+  ts.sample(0);
+  const TimeSeriesPoint& pt = ts.points().back();
+  EXPECT_DOUBLE_EQ(pt.find("msgs")->value, 7.0);
+  EXPECT_EQ(pt.find("lat")->count, 100u);
+}
+
+TEST(TimeSeries, RingBoundDropsOldestAndCounts) {
+  MetricsRegistry r;
+  r.counter("c");
+  TimeSeriesConfig cfg;
+  cfg.capacity = 4;
+  TimeSeriesScraper ts(cfg);
+  ts.add_source(&r);
+  for (int i = 0; i < 10; ++i) ts.sample(i * 1'000'000);
+  EXPECT_EQ(ts.points().size(), 4u);
+  EXPECT_EQ(ts.dropped(), 6u);
+  EXPECT_EQ(ts.points().front().t_us, 6'000'000);
+}
+
+TEST(TimeSeries, JsonLineRoundTrips) {
+  MetricsRegistry r;
+  const MetricId c = r.counter("net.conn.bytes_in");
+  const MetricId g = r.gauge("net.conn.open");
+  const MetricId t = r.timer("crypto.sign");
+  TimeSeriesScraper ts;
+  ts.add_source(&r);
+  r.add(c, 1234567);
+  r.set(g, 5.0);
+  for (int i = 0; i < 10; ++i) r.observe_ns(t, 50'000);
+  ts.sample(0);
+  r.add(c, 1000);
+  ts.sample(1'000'000);
+
+  const std::string line = to_json_line(ts.points().back());
+  TimeSeriesPoint back;
+  ASSERT_TRUE(parse_timeseries_json_line(line, back)) << line;
+  EXPECT_EQ(back.t_us, 1'000'000);
+  EXPECT_EQ(back.window_us, 1'000'000);
+  ASSERT_EQ(back.cells.size(), 3u);
+  EXPECT_DOUBLE_EQ(back.find("net.conn.bytes_in")->value, 1235567.0);
+  EXPECT_DOUBLE_EQ(back.find("net.conn.bytes_in")->rate_per_s, 1000.0);
+  EXPECT_DOUBLE_EQ(back.find("net.conn.open")->value, 5.0);
+  EXPECT_EQ(back.find("crypto.sign")->kind, MetricKind::kTimer);
+  // Round-trip of the serialized estimate is lossy only through %.6g.
+  EXPECT_NEAR(back.find("crypto.sign")->p50_ns,
+              ts.points().back().find("crypto.sign")->p50_ns, 1.0);
+}
+
+TEST(TimeSeries, ParserRejectsForeignRows) {
+  TimeSeriesPoint pt;
+  EXPECT_FALSE(parse_timeseries_json_line("{\"kind\":\"bench\"}", pt));
+  EXPECT_FALSE(parse_timeseries_json_line("not json", pt));
+  EXPECT_FALSE(parse_timeseries_json_line(
+      "{\"kind\":\"timeseries\",\"t_us\":0,\"window_us\":0,"
+      "\"series\":{\"x\":{\"k\":\"mystery\"}}}",
+      pt));
+}
+
+TEST(TimeSeries, DumpIsByteIdenticalAcrossInterningOrders) {
+  // The same logical state reached through different (e.g. wall-clock
+  // driven) registration orders must dump identical JSONL bytes.
+  const auto run = [](bool reversed) {
+    MetricsRegistry r;
+    MetricId a, b;
+    if (reversed) {
+      b = r.counter("zz.last");
+      a = r.counter("aa.first");
+    } else {
+      a = r.counter("aa.first");
+      b = r.counter("zz.last");
+    }
+    TimeSeriesScraper ts;
+    ts.add_source(&r);
+    r.add(a, 1);
+    r.add(b, 2);
+    ts.sample(0);
+    r.add(a, 10);
+    ts.sample(1'000'000);
+    std::string out;
+    for (const auto& pt : ts.points()) out += to_json_line(pt) + "\n";
+    return out;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(TimeSeries, DumpJsonlWritesThroughSinkAndLoadsBack) {
+  const std::string path = ::testing::TempDir() + "/an_timeseries_test.jsonl";
+  std::remove(path.c_str());
+  {
+    MetricsRegistry r;
+    const MetricId c = r.counter("c");
+    TimeSeriesScraper ts;
+    ts.add_source(&r);
+    ts.sample(0);
+    r.add(c, 5);
+    ts.sample(1'000'000);
+    JsonLinesSink sink(path);
+    sink.raw_line("{\"kind\":\"bench\",\"bench\":\"x\"}");  // interleaved row
+    ts.dump_jsonl(sink, ",\"bench\":\"x\"");
+  }
+  const auto points = load_timeseries_jsonl(path);
+  ASSERT_EQ(points.size(), 2u);  // the bench row is skipped
+  EXPECT_EQ(points[1].t_us, 1'000'000);
+  EXPECT_DOUBLE_EQ(points[1].find("c")->value, 5.0);
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeries, ClearKeepsSourcesAndResetsWindows) {
+  MetricsRegistry r;
+  const MetricId c = r.counter("c");
+  TimeSeriesScraper ts;
+  ts.add_source(&r);
+  r.add(c, 100);
+  ts.sample(0);
+  ts.clear();
+  EXPECT_TRUE(ts.points().empty());
+  EXPECT_EQ(ts.dropped(), 0u);
+  ts.sample(5'000'000);  // first sample again: no window
+  ASSERT_EQ(ts.points().size(), 1u);
+  EXPECT_EQ(ts.points()[0].window_us, 0);
+  EXPECT_DOUBLE_EQ(ts.points()[0].find("c")->value, 100.0);
+}
+
+}  // namespace
+}  // namespace accountnet::obs

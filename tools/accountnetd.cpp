@@ -29,10 +29,15 @@
 #include <memory>
 #include <string>
 
+#include <algorithm>
+
 #include "accountnet/core/node.hpp"
 #include "accountnet/crypto/provider.hpp"
+#include "accountnet/net/http.hpp"
 #include "accountnet/net/real_host.hpp"
+#include "accountnet/obs/exposition.hpp"
 #include "accountnet/obs/sink.hpp"
+#include "accountnet/obs/timeseries.hpp"
 #include "accountnet/storage/node_store.hpp"
 #include "accountnet/storage/segment_store.hpp"
 
@@ -53,6 +58,8 @@ struct Options {
   std::uint64_t node_seed = 1;
   long shuffle_ms = 1000;
   long run_for_s = 0;      // 0 = until signal
+  long http_port = -1;     // -1 = exposition off (the default); 0 = ephemeral
+  long scrape_interval_ms = 1000;
   std::size_t f = 10, L = 5;
   std::uint64_t checkpoint_interval = 8;
   std::size_t evict_threshold = 2;
@@ -65,7 +72,8 @@ int usage(const char* argv0) {
                "  [--data-dir DIR] [--status-file F] [--metrics-dump F]\n"
                "  [--node-seed N] [--shuffle-ms N] [--run-for SECONDS]\n"
                "  [--f N] [--L N] [--checkpoint-interval N]\n"
-               "  [--evict-threshold N] [--witness-count N] [--adversary]\n",
+               "  [--evict-threshold N] [--witness-count N] [--adversary]\n"
+               "  [--http-port P] [--scrape-interval-ms N]\n",
                argv0);
   return 2;
 }
@@ -97,6 +105,10 @@ bool parse(int argc, char** argv, Options& o) {
         o.evict_threshold = std::strtoul(v, nullptr, 10);
       else if (a == "--witness-count" && (v = value()))
         o.witness_count = std::strtoul(v, nullptr, 10);
+      else if (a == "--http-port" && (v = value()))
+        o.http_port = std::strtol(v, nullptr, 10);
+      else if (a == "--scrape-interval-ms" && (v = value()))
+        o.scrape_interval_ms = std::strtol(v, nullptr, 10);
       else return false;
     }
   }
@@ -122,23 +134,34 @@ std::string json_list(const std::vector<std::string>& v) {
   return out + "]";
 }
 
+/// One status object, shared by the --status-file and the /status endpoint.
+/// `seq` increments with every housekeeping tick: a poller that sees it go
+/// backwards knows the daemon restarted; one that sees it stall knows the
+/// daemon is wedged (uptime_us gives the same signal in wall time).
+std::string status_json(const accountnet::core::Node& node, std::int64_t uptime_us,
+                        std::uint64_t seq) {
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "{\"addr\":\"%s\",\"pid\":%ld,\"joined\":%s,\"round\":%llu,"
+                "\"peers\":%zu,\"uptime_us\":%lld,\"seq\":%llu,",
+                json_escape(node.id().addr).c_str(), static_cast<long>(::getpid()),
+                node.joined() ? "true" : "false",
+                static_cast<unsigned long long>(node.state().round()),
+                node.state().peerset().size(), static_cast<long long>(uptime_us),
+                static_cast<unsigned long long>(seq));
+  return std::string(head) +
+         "\"quarantined\":" + json_list(node.quarantined_addrs()) +
+         ",\"evicted\":" + json_list(node.evicted_addrs()) + "}";
+}
+
 /// Atomic replace: scripts polling the file never see a torn write.
 void write_status(const Options& o, const accountnet::core::Node& node,
-                  std::int64_t uptime_us) {
+                  std::int64_t uptime_us, std::uint64_t seq) {
   if (o.status_file.empty()) return;
   const std::string tmp = o.status_file + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (f == nullptr) return;
-  std::fprintf(f,
-               "{\"addr\":\"%s\",\"pid\":%ld,\"joined\":%s,\"round\":%llu,"
-               "\"peers\":%zu,\"uptime_us\":%lld,\"quarantined\":%s,"
-               "\"evicted\":%s}\n",
-               json_escape(node.id().addr).c_str(), static_cast<long>(::getpid()),
-               node.joined() ? "true" : "false",
-               static_cast<unsigned long long>(node.state().round()),
-               node.state().peerset().size(), static_cast<long long>(uptime_us),
-               json_list(node.quarantined_addrs()).c_str(),
-               json_list(node.evicted_addrs()).c_str());
+  std::fprintf(f, "%s\n", status_json(node, uptime_us, seq).c_str());
   std::fclose(f);
   std::rename(tmp.c_str(), o.status_file.c_str());
 }
@@ -231,13 +254,78 @@ int main(int argc, char** argv) {
   }
   host.pump();
 
+  // Telemetry plane (opt-in): a time-series scraper over both registries and
+  // an HTTP/1.0 exposition server on the same event loop.
+  const std::int64_t started = loop.now_us();
+  std::uint64_t status_seq = 0;
+  obs::TimeSeriesScraper scraper;
+  scraper.add_source(&node.metrics());
+  scraper.add_source(&transport_metrics);
+  // Function-scope like `tick` below: the recurring timer captures this
+  // std::function by reference, so it must outlive loop.run().
+  std::function<void()> scrape_tick;
+  std::unique_ptr<net::HttpServer> http;
+  if (opt.http_port >= 0) {
+    net::HttpServerConfig http_config;
+    http_config.port = static_cast<std::uint16_t>(opt.http_port);
+    http = std::make_unique<net::HttpServer>(loop, http_config);
+    if (!http->listening()) {
+      std::fprintf(stderr, "accountnetd: cannot serve http on port %ld\n",
+                   opt.http_port);
+      return 1;
+    }
+    std::fprintf(stderr, "accountnetd: http on 127.0.0.1:%u\n", http->port());
+    http->set_handler([&](const net::HttpRequest& req) {
+      net::HttpResponse r;
+      if (req.target == "/metrics") {
+        auto samples = node.metrics().snapshot();
+        auto transport_samples = transport_metrics.snapshot();
+        samples.insert(samples.end(),
+                       std::make_move_iterator(transport_samples.begin()),
+                       std::make_move_iterator(transport_samples.end()));
+        std::stable_sort(samples.begin(), samples.end(),
+                         [](const obs::MetricSample& a, const obs::MetricSample& b) {
+                           return a.name < b.name;
+                         });
+        r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        r.body = obs::prometheus_text(samples);
+      } else if (req.target == "/healthz") {
+        if (node.joined()) {
+          r.body = "ok\n";
+        } else {
+          r.status = 503;
+          r.body = "not joined\n";
+        }
+      } else if (req.target == "/timeseries") {
+        r.content_type = "application/json";
+        r.body = scraper.to_json_array();
+      } else if (req.target == "/status") {
+        r.content_type = "application/json";
+        r.body = status_json(node, loop.now_us() - started, status_seq) + "\n";
+      } else {
+        r.status = 404;
+        r.body = "not found\n";
+      }
+      return r;
+    });
+    // The scrape cadence is the exposition server's, not the protocol's:
+    // only armed when the telemetry plane is on.
+    const std::int64_t interval_us =
+        std::max<long>(opt.scrape_interval_ms, 10) * 1000;
+    scrape_tick = [&scraper, &loop, interval_us, &scrape_tick] {
+      scraper.sample(loop.now_us());
+      loop.schedule_after(interval_us, scrape_tick);
+    };
+    loop.schedule_after(0, scrape_tick);
+  }
+
   // Housekeeping tick: pump virtual time (cheap; pump() is also driven by
   // traffic and timer wakeups), publish status, honor signals and --run-for.
-  const std::int64_t started = loop.now_us();
   bool shutting_down = false;
   std::function<void()> tick = [&] {
     host.pump();
-    write_status(opt, node, loop.now_us() - started);
+    ++status_seq;
+    write_status(opt, node, loop.now_us() - started, status_seq);
     const bool expired =
         opt.run_for_s > 0 && loop.now_us() - started >= opt.run_for_s * 1000000LL;
     if ((g_signal != 0 || expired) && !shutting_down) {
@@ -255,7 +343,7 @@ int main(int argc, char** argv) {
   loop.schedule_after(0, tick);
   loop.run();
 
-  write_status(opt, node, loop.now_us() - started);
+  write_status(opt, node, loop.now_us() - started, ++status_seq);
   if (!opt.metrics_dump.empty()) {
     obs::JsonLinesSink sink(opt.metrics_dump);
     node.metrics().scrape_to(sink, host.simulator().now());

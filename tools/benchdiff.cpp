@@ -1,0 +1,108 @@
+// benchdiff — the bench-regression gate.
+//
+//   benchdiff <baseline.json> <candidate.json> [--tolerances <file>] [--quiet]
+//
+// Both inputs are BENCH_*.json artifacts (JSON-lines). Rows pair by stable
+// key, numeric fields compare under the tolerance bands (see
+// obs/benchdiff.hpp and baselines/tolerances.json).
+//
+// Exit codes: 0 within bands, 1 regression detected, 2 usage or I/O error —
+// so CI can distinguish "the numbers got worse" from "the gate is broken".
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "accountnet/obs/benchdiff.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: benchdiff <baseline.json> <candidate.json>"
+               " [--tolerances <file>] [--quiet]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace accountnet::obs;
+
+  std::string baseline_path, candidate_path, tolerance_path;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerances") {
+      if (++i >= argc) return usage();
+      tolerance_path = argv[i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (candidate_path.empty()) {
+      candidate_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (baseline_path.empty() || candidate_path.empty()) return usage();
+
+  BenchDiffOptions options;
+  if (!tolerance_path.empty()) {
+    std::ifstream in(tolerance_path);
+    if (!in) {
+      std::fprintf(stderr, "benchdiff: cannot open tolerances %s\n",
+                   tolerance_path.c_str());
+      return 2;
+    }
+    std::ostringstream body;
+    body << in.rdbuf();
+    if (!parse_tolerances(body.str(), options)) {
+      std::fprintf(stderr, "benchdiff: malformed tolerance file %s\n",
+                   tolerance_path.c_str());
+      return 2;
+    }
+  }
+
+  std::size_t bad_base = 0, bad_cand = 0;
+  const auto baseline = load_bench_jsonl(baseline_path, &bad_base);
+  const auto candidate = load_bench_jsonl(candidate_path, &bad_cand);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "benchdiff: no parseable rows in baseline %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  if (candidate.empty()) {
+    std::fprintf(stderr, "benchdiff: no parseable rows in candidate %s\n",
+                 candidate_path.c_str());
+    return 2;
+  }
+  if (bad_base + bad_cand > 0 && !quiet) {
+    std::fprintf(stderr, "benchdiff: skipped %zu unparseable line(s)\n",
+                 bad_base + bad_cand);
+  }
+
+  const BenchDiffReport report = benchdiff(baseline, candidate, options);
+
+  if (!quiet) {
+    std::printf("benchdiff: %zu row(s), %zu field(s) compared, %zu rule(s)\n",
+                report.rows_compared, report.fields_compared, options.rules.size());
+    for (const std::string& note : report.notes) {
+      std::printf("  note: %s\n", note.c_str());
+    }
+  }
+  if (!report.ok) {
+    std::printf("benchdiff: %zu regression(s) vs %s\n", report.regressions.size(),
+                baseline_path.c_str());
+    for (const BenchDiffIssue& issue : report.regressions) {
+      std::printf("  REGRESSION %s\n", issue.what.c_str());
+    }
+    return 1;
+  }
+  if (!quiet) std::printf("benchdiff: OK\n");
+  return 0;
+}
