@@ -23,6 +23,11 @@ struct BenchArgs {
   /// "kind":"timeseries" rows to their BENCH_*.json. Off by default so the
   /// default artifacts stay byte-identical.
   bool timeseries = false;
+  /// --threads N: drive harness-based benches with the wave-parallel
+  /// scheduler (harness::ExperimentConfig::threads). Results are
+  /// bit-identical at every N; only wall-clock changes. 0 (the default)
+  /// keeps the classic sequential loop and byte-identical artifacts.
+  std::size_t threads = 0;
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -34,6 +39,9 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.timeseries = true;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      args.threads = static_cast<std::size_t>(
+          std::strtoull(argv[++i], nullptr, 10));
     }
   }
   return args;

@@ -54,6 +54,31 @@ inline harness::ExperimentConfig paper_config(std::size_t v, std::size_t f,
   return c;
 }
 
+/// paper_config plus the shared command-line knobs that map onto
+/// ExperimentConfig — currently --seed and --threads (the wave-parallel
+/// drive, docs/PARALLELISM.md). Defaults leave the config byte-identical
+/// to the four-argument overload.
+inline harness::ExperimentConfig paper_config(std::size_t v, std::size_t f,
+                                              std::size_t d, const BenchArgs& args) {
+  auto c = paper_config(v, f, d, args.seed);
+  c.threads = args.threads;
+  return c;
+}
+
+/// Configuration for the 100k–1M-node scale rows (tentpole grid). FastCrypto
+/// only, and per-node verification caches / history slimmed so |V| = 1M fits
+/// in memory — the harness multiplies every capacity by |V|. Graph shape and
+/// protocol parameters match paper_config.
+inline harness::ExperimentConfig scale_config(std::size_t v, const BenchArgs& args) {
+  auto c = paper_config(v, 5, 2, args);
+  c.use_real_crypto = false;
+  c.history_limit = 32;
+  c.verification.sig_cache_capacity = 32;
+  c.verification.vrf_cache_capacity = 32;
+  c.verification.history_memo_capacity = 8;
+  return c;
+}
+
 /// Rounds needed to reach full size (the launch schedule finishes around
 /// round 70-75 for lane_size=125, as in Fig. 11) plus settle time.
 inline std::size_t steady_rounds(const harness::ExperimentConfig& c,

@@ -10,13 +10,17 @@ int main(int argc, char** argv) {
                       "Fig. 11 — network size, malicious nodes, shuffle rate",
                       args.full);
 
+  // --full adds the 100k scale row (slimmed caches, FastCrypto; drive it
+  // with --threads N for the wave-parallel scheduler — same numbers, less
+  // wall-clock).
   const std::vector<std::size_t> sizes =
-      args.full ? std::vector<std::size_t>{500, 1000, 5000, 10000}
+      args.full ? std::vector<std::size_t>{500, 1000, 5000, 10000, 100000}
                 : std::vector<std::size_t>{500, 1000, 5000};
 
   obs::JsonLinesSink sink("BENCH_fig11_network_growth.json");
   for (const auto v : sizes) {
-    auto config = bench::paper_config(v, 5, 2, args.seed);
+    auto config = v >= 100000 ? bench::scale_config(v, args)
+                              : bench::paper_config(v, 5, 2, args);
     config.pm = 0.10;
     harness::NetworkSim sim(config);
     Table t({"round", "network size", "malicious", "shuffles/sec"});

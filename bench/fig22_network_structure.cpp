@@ -9,8 +9,10 @@ int main(int argc, char** argv) {
   bench::print_header("fig22_network_structure",
                       "Fig. 22 — diameter and clustering coefficient", args.full);
 
+  // --full adds the 100k scale row (sampled graph metrics kick in well below
+  // that size; pair with --threads N for the wave-parallel drive).
   const std::vector<std::size_t> sizes =
-      args.full ? std::vector<std::size_t>{500, 1000, 5000, 10000}
+      args.full ? std::vector<std::size_t>{500, 1000, 5000, 10000, 100000}
                 : std::vector<std::size_t>{500, 1000, 2000};
   const std::vector<std::size_t> fs = {3, 5, 10};
 
@@ -24,8 +26,11 @@ int main(int argc, char** argv) {
     }());
     std::vector<std::unique_ptr<harness::NetworkSim>> sims;
     for (const auto v : sizes) {
-      sims.push_back(
-          std::make_unique<harness::NetworkSim>(bench::paper_config(v, f, 2, args.seed)));
+      auto config = v >= 100000 ? bench::scale_config(v, args)
+                                : bench::paper_config(v, f, 2, args);
+      config.f = f;
+      config.l = (f + 1) / 2;
+      sims.push_back(std::make_unique<harness::NetworkSim>(config));
     }
     for (std::size_t round = 0; round <= 150; round += 30) {
       std::vector<std::string> row = {std::to_string(round)};

@@ -34,6 +34,13 @@
 #include "accountnet/util/rng.hpp"
 #include "accountnet/util/stats.hpp"
 
+namespace accountnet::util {
+class WorkerPool;
+}
+namespace accountnet::crypto {
+class PooledProvider;
+}
+
 namespace accountnet::harness {
 
 /// How flagged-malicious nodes behave (Sec. IV-B's two rational strategies).
@@ -110,6 +117,19 @@ struct ExperimentConfig {
                                                 .sig_cache_capacity = 256,
                                                 .vrf_cache_capacity = 256,
                                                 .history_memo_capacity = 64};
+
+  /// Wave-parallel drive (docs/PARALLELISM.md). 0 (the default) keeps the
+  /// classic sequential event loop, byte-identical to every pre-parallel
+  /// run. N >= 1 plans shuffle events sequentially in event order, batches
+  /// conflict-free runs of them into waves executed on a WorkerPool of N
+  /// threads, and resolves every engine cache miss of a wave through ONE
+  /// global CryptoProvider::verify_batch — with results (digests, stats,
+  /// per-node protocol state) bit-identical to threads = 0 at every N.
+  /// threads = 1 runs the same wave machinery inline (no worker threads).
+  /// Only engine cache hit/miss/eviction *counters* may differ from the
+  /// sequential path (waves prefetch speculatively); verdicts never do.
+  /// Incompatible with set_tracer() and metrics timing (sequential-only).
+  std::size_t threads = 0;
 };
 
 struct HarnessStats {
@@ -133,12 +153,27 @@ class NetworkSim {
   ~NetworkSim();
 
   /// Advances the simulation by `rounds` analysis periods, invoking
-  /// `on_analysis(absolute_round)` after each. The very first call also
-  /// fires `on_analysis(0)` at t = 0. Subsequent calls continue where the
-  /// previous one stopped, so long experiments can interleave measurement.
+  /// `on_analysis(absolute_round)` after each.
+  ///
+  /// Incremental-continuation contract (relied on by every bench that
+  /// interleaves measurement; preserved verbatim by the wave-parallel
+  /// drive):
+  ///   1. The FIRST run() call fires `on_analysis(0)` at t = 0 before
+  ///      advancing (run_started() flips true at that point).
+  ///   2. Every subsequent call continues from exactly where the previous
+  ///      one stopped — `run(a); run(b);` is indistinguishable from
+  ///      `run(a + b);` — and the callback always receives the ABSOLUTE
+  ///      round number (`rounds_completed()`), never a per-call index.
+  ///   3. In parallel mode any in-flight wave is flushed before each
+  ///      callback, so analysis always observes a settled network.
+  /// There is deliberately no reset(): nodes accumulate history, standing
+  /// and journals that cannot be rewound — construct a fresh NetworkSim for
+  /// a fresh experiment.
   void run(std::size_t rounds, const std::function<void(std::size_t)>& on_analysis);
 
   std::size_t rounds_completed() const { return rounds_completed_; }
+  /// True once the first run() call has fired its t = 0 analysis callback.
+  bool run_started() const { return run_started_; }
 
   /// Churn: schedules `count` random alive nodes to leave (ungracefully)
   /// at uniformly random times within [start, start+window].
@@ -250,6 +285,7 @@ class NetworkSim {
 
  private:
   struct HarnessNode;
+  struct WaveEvent;
 
   void launch_node(std::size_t idx);
   void restart_node(std::size_t idx);
@@ -257,15 +293,37 @@ class NetworkSim {
   void do_shuffle(std::size_t idx);
   bool apply_adversary(HarnessNode& hn, core::ShuffleOffer& offer,
                        const core::PeerId& partner);
+  /// `stats` is where counter bumps land: `stats_` on every sequential path,
+  /// a per-event scratch struct on the parallel exec path (merged in event
+  /// order at the wave barrier — exec workers must never touch `stats_`).
   void quarantine(HarnessNode& observer, const core::PeerId& accused,
-                  obs::TraceContext ctx = {});
+                  HarnessStats& stats, obs::TraceContext ctx = {});
   void drop_cached_verdicts(HarnessNode& node, const core::PeerId& peer);
   void handle_dead_partner(std::size_t idx, std::size_t partner_idx);
-  void record_leave(HarnessNode& reporter_node, const core::PeerId& leaver);
+  void record_leave(HarnessNode& reporter_node, const core::PeerId& leaver,
+                    HarnessStats& stats);
   void purge_zombies(HarnessNode& node);
   void update_coverage(HarnessNode& node);
   std::size_t index_of(const core::PeerId& peer) const;
   void sync_metrics();
+
+  // --- Wave-parallel drive (threads >= 1; docs/PARALLELISM.md) -------------
+  bool parallel() const { return config_.threads >= 1; }
+  /// Parallel-mode replacement for the do_shuffle event body: runs the
+  /// sequential prologue (partner choice, refusal/fault legs, RNG draws) in
+  /// event order and defers the data-parallel remainder into wave_.
+  void plan_shuffle(std::size_t idx);
+  /// Executes the pending wave: build offers + gather engine cache misses
+  /// (parallel) -> one global verify_batch -> preload verdicts -> exec
+  /// verify/commit (parallel) -> merge stats/samples/re-arms (event order).
+  void flush_wave();
+  /// Parallel-mode replacement for sim_.run_until: steps events one by one
+  /// so a wave can be flushed BEFORE simulated time passes the earliest
+  /// possible re-arm of a planned event (the wave_deadline_ rule).
+  void drive_until(sim::TimePoint deadline);
+  /// Re-arm emitted at the merge barrier: same jitter draw and same absolute
+  /// timestamp the sequential path would have produced at `event_when`.
+  void rearm_shuffle_at(std::size_t idx, sim::TimePoint event_when);
 
   ExperimentConfig config_;
   core::NodeConfig node_config_;  ///< shared by initial launch and restart
@@ -289,6 +347,18 @@ class NetworkSim {
   std::uint64_t recovery_restarts_ = 0;
   std::uint64_t recovery_entries_replayed_ = 0;
   std::vector<std::vector<std::uint8_t>> shuffle_pairs_;  // optional heatmap
+
+  // Wave-parallel drive state (empty/null in sequential mode).
+  std::unique_ptr<util::WorkerPool> pool_;
+  std::unique_ptr<crypto::PooledProvider> pooled_;
+  std::vector<std::unique_ptr<WaveEvent>> wave_;
+  std::vector<std::uint8_t> in_wave_;  ///< per-node: touched by a pending event
+  sim::TimePoint wave_deadline_ = 0;   ///< latest safe event time before flush
+  sim::Duration rearm_bound_ = 0;      ///< min re-arm delay minus one
+  // verify.epoch_batch.* ids, interned lazily on the first flush so default
+  // (threads = 0) runs keep byte-identical scrapes.
+  obs::MetricId id_flushes_ = 0, id_jobs_ = 0, id_preloaded_ = 0;
+  bool wave_ids_interned_ = false;
 };
 
 }  // namespace accountnet::harness

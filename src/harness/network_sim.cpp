@@ -2,19 +2,28 @@
 
 #include <algorithm>
 #include <queue>
+#include <span>
 
 #include "accountnet/core/history.hpp"
 #include "accountnet/core/neighborhood.hpp"
 #include "accountnet/core/node.hpp"
 #include "accountnet/core/witness.hpp"
+#include "accountnet/crypto/pooled.hpp"
 #include "accountnet/crypto/sha256.hpp"
 #include "accountnet/storage/node_store.hpp"
 #include "accountnet/util/bytes.hpp"
 #include "accountnet/util/ensure.hpp"
+#include "accountnet/util/worker_pool.hpp"
 
 namespace accountnet::harness {
 
 namespace {
+
+/// Wave-size backstop. A flush is forced once this many events are pending,
+/// keeping per-flush memory bounded. The cap is a constant — NEVER derived
+/// from the thread count — so flush points (and therefore verdict-cache
+/// contents, metric deltas, everything) are identical at every thread count.
+constexpr std::size_t kMaxWave = 4096;
 
 std::string addr_of(std::size_t idx) {
   char buf[16];
@@ -63,6 +72,28 @@ struct NetworkSim::HarnessNode {
   std::size_t coverage_count = 0;
 };
 
+/// One shuffle event captured by the wave-parallel drive (docs/PARALLELISM.md).
+/// The plan phase fills the sequential-prologue fields in event order; the
+/// build/exec phases (worker threads) only touch this event's two nodes plus
+/// the event's own slots; the merge phase folds scratch back in event order.
+struct NetworkSim::WaveEvent {
+  bool skip = false;       ///< prologue finished the event; only the re-arm remains
+  std::size_t idx = 0;     ///< initiator
+  std::size_t pidx = 0;    ///< responder (full events only)
+  sim::TimePoint when = 0; ///< the event's original timestamp (re-arm base)
+  core::PartnerChoice choice;
+  core::Round rj = 0;
+  bool verify = false;
+  // Build outputs.
+  core::ShuffleOffer offer;
+  bool attacked = false;
+  double history_sample = 0.0;
+  core::GatherSink sink;   ///< views alias `offer` — stable because events are heap-allocated
+  std::size_t job_off = 0, job_count = 0, preloaded = 0;
+  // Exec outputs, merged into stats_ at the barrier in event order.
+  HarnessStats scratch;
+};
+
 NetworkSim::NetworkSim(ExperimentConfig config)
     : config_(std::move(config)),
       provider_(config_.use_real_crypto ? crypto::make_real_crypto()
@@ -71,6 +102,19 @@ NetworkSim::NetworkSim(ExperimentConfig config)
   AN_ENSURE(config_.network_size >= 2);
   AN_ENSURE(config_.f >= config_.l && config_.l >= 1);
   if (config_.fault_plan) faults_.emplace(*config_.fault_plan);
+  if (parallel()) {
+    pool_ = std::make_unique<util::WorkerPool>(config_.threads);
+    pooled_ = std::make_unique<crypto::PooledProvider>(*provider_, pool_.get());
+    in_wave_.assign(config_.network_size, 0);
+    // Smallest delay schedule_shuffle can emit, minus one: a wave started at
+    // T may batch events up to T + rearm_bound_ and still flush before any
+    // deferred re-arm's absolute time, so schedule_at never lands in the
+    // past and re-arm ordering matches the sequential drive exactly.
+    rearm_bound_ = std::max<sim::Duration>(
+        0, static_cast<sim::Duration>(static_cast<double>(config_.shuffle_period) *
+                                      (1.0 - config_.shuffle_jitter_frac)) -
+               1);
+  }
 
   node_config_.max_peerset = config_.f;
   node_config_.shuffle_length = config_.l;
@@ -204,6 +248,9 @@ void NetworkSim::write_metrics_json(const std::string& path) {
 }
 
 void NetworkSim::launch_node(std::size_t idx) {
+  // Bootstrap reads arbitrary peersets and schedules: the network must be
+  // settled first (sequential ordering — the pending events all predate us).
+  if (parallel()) flush_wave();
   HarnessNode& hn = *nodes_[idx];
   hn.alive = true;
   ++alive_count_;
@@ -250,6 +297,14 @@ void NetworkSim::schedule_shuffle(std::size_t idx) {
   const double jitter = (hn.rng.uniform01() * 2.0 - 1.0) * config_.shuffle_jitter_frac;
   const auto delay = static_cast<sim::Duration>(
       static_cast<double>(config_.shuffle_period) * (1.0 + jitter));
+  if (parallel()) {
+    // plan_shuffle defers the re-arm to the wave barrier (same jitter draw,
+    // same absolute timestamp — see rearm_shuffle_at).
+    sim_.schedule(std::max<sim::Duration>(delay, 1), [this, idx] {
+      if (nodes_[idx]->alive) plan_shuffle(idx);
+    });
+    return;
+  }
   sim_.schedule(std::max<sim::Duration>(delay, 1), [this, idx] {
     if (nodes_[idx]->alive) {
       do_shuffle(idx);
@@ -371,7 +426,7 @@ void NetworkSim::do_shuffle(std::size_t idx) {
         // initiator. Honest failures stay in verification_failures so the
         // "MUST stay 0 with honest nodes" invariant keeps its teeth.
         ++stats_.byz_detections;
-        quarantine(partner, hn.state->self(),
+        quarantine(partner, hn.state->self(), stats_,
                    respond != 0 ? tracer_->context(respond) : root_ctx);
       } else {
         ++stats_.verification_failures;
@@ -462,9 +517,9 @@ bool NetworkSim::apply_adversary(HarnessNode& hn, core::ShuffleOffer& offer,
 }
 
 void NetworkSim::quarantine(HarnessNode& observer, const core::PeerId& accused,
-                            obs::TraceContext ctx) {
+                            HarnessStats& stats, obs::TraceContext ctx) {
   if (!observer.quarantined.insert(accused.addr).second) return;
-  ++stats_.byz_quarantines;
+  ++stats.byz_quarantines;
   // Standing is part of the durable record: a quarantine must survive a
   // crash, or a restarted node would re-trust a peer it already caught.
   if (observer.journal) observer.journal->on_standing(accused.addr, false, "");
@@ -476,7 +531,7 @@ void NetworkSim::quarantine(HarnessNode& observer, const core::PeerId& accused,
   }
   // Quarantine doubles as a local leave record so the accused drains from
   // the observer's peerset and the zombie purge keeps it out.
-  record_leave(observer, accused);
+  record_leave(observer, accused, stats);
 }
 
 void NetworkSim::drop_cached_verdicts(HarnessNode& node, const core::PeerId& peer) {
@@ -488,7 +543,7 @@ void NetworkSim::handle_dead_partner(std::size_t idx, std::size_t partner_idx) {
   // Use the cached identity: a crashed partner has no NodeState to ask.
   const core::PeerId& leaver = nodes_[partner_idx]->self;
   hn.state->skip_round();
-  record_leave(hn, leaver);
+  record_leave(hn, leaver, stats_);
   // Inform the reporter's peers; each confirms liveness (the dead node
   // cannot answer a ping) and records the report.
   const auto peers = hn.state->peerset().sorted();
@@ -503,7 +558,8 @@ void NetworkSim::handle_dead_partner(std::size_t idx, std::size_t partner_idx) {
   }
 }
 
-void NetworkSim::record_leave(HarnessNode& reporter_node, const core::PeerId& leaver) {
+void NetworkSim::record_leave(HarnessNode& reporter_node, const core::PeerId& leaver,
+                              HarnessStats& stats) {
   if (reporter_node.reported_leavers.contains(leaver.addr)) {
     // Already recorded once; just drop it again if it crept back.
     if (reporter_node.state->peerset().contains(leaver)) {
@@ -513,7 +569,7 @@ void NetworkSim::record_leave(HarnessNode& reporter_node, const core::PeerId& le
     }
     return;
   }
-  ++stats_.leave_reports;
+  ++stats.leave_reports;
   reporter_node.reported_leavers.insert(leaver.addr);
   const auto [round, sig] = reporter_node.state->make_leave_report(leaver);
   reporter_node.state->apply_leave_report(reporter_node.state->self(), round, sig, leaver);
@@ -550,17 +606,305 @@ void NetworkSim::update_coverage(HarnessNode& node) {
   }
 }
 
+// --- Wave-parallel drive (threads >= 1) --------------------------------------
+//
+// plan_shuffle runs at the event's own timestamp, in event order, and performs
+// everything the sequential do_shuffle would have done up to (and including)
+// the global-RNG draw: partner selection, the refusal/fault legs, plan-time
+// stats. The expensive remainder — offer build + adversary mutation, offer
+// verification, commit — is deferred into wave_ and executed in parallel at
+// flush time over PROVABLY disjoint node pairs (any plan whose initiator or
+// partner overlaps a pending event flushes first). Cache misses gathered from
+// every planned verification resolve through ONE global verify_batch on the
+// shared worker pool. See docs/PARALLELISM.md for the bit-identity argument.
+
+void NetworkSim::plan_shuffle(std::size_t idx) {
+  if (in_wave_[idx] != 0) flush_wave();
+  HarnessNode& hn = *nodes_[idx];
+  const sim::TimePoint when = sim_.now();
+  const auto push = [&](std::unique_ptr<WaveEvent> ev) {
+    wave_.push_back(std::move(ev));
+    if (wave_.size() == 1) wave_deadline_ = when + rearm_bound_;
+  };
+  const auto push_skip = [&] {
+    auto ev = std::make_unique<WaveEvent>();
+    ev->skip = true;
+    ev->idx = idx;
+    ev->when = when;
+    // No conflict registration: the prologue already applied every state
+    // effect, so build/exec ignore the event and only the re-arm remains.
+    push(std::move(ev));
+  };
+
+  if (!hn.joined || hn.state->peerset().empty()) {
+    push_skip();
+    return;
+  }
+  ++stats_.shuffles_attempted;
+
+  const auto choice = core::choose_partner(*hn.state);
+  if (!choice) {
+    hn.state->skip_round();
+    push_skip();
+    return;
+  }
+  const std::size_t pidx = index_of(choice->partner);
+  // `choice` stays valid across this flush: no pending event touches idx
+  // (else we flushed above), so hn.state is exactly as choose_partner saw it.
+  // Partner-side state is re-read below, AFTER the flush.
+  if (in_wave_[pidx] != 0) flush_wave();
+  HarnessNode& partner = *nodes_[pidx];
+
+  if (!partner.alive) {
+    // The leave fan-out touches the initiator's whole peerset; settle the
+    // network first, then run the sequential path inline.
+    flush_wave();
+    ++stats_.dead_partner_hits;
+    handle_dead_partner(idx, pidx);
+    push_skip();
+    return;
+  }
+  if (partner.quarantined.contains(hn.state->self().addr) ||
+      hn.quarantined.contains(partner.state->self().addr)) {
+    ++stats_.byz_refused_quarantined;
+    hn.state->skip_round();
+    push_skip();
+    return;
+  }
+  if (config_.malicious_mode == MaliciousMode::kSeparateOverlay &&
+      partner.malicious != hn.malicious) {
+    ++stats_.refused_cross_group;
+    hn.state->skip_round();
+    push_skip();
+    return;
+  }
+  if (faults_) {
+    // Same legs, same FaultInjector RNG draws, same event order as the
+    // sequential path (the injector owns its stream, so plan order IS its
+    // sequential draw order).
+    const std::string& a = hn.state->self().addr;
+    const std::string& b = partner.state->self().addr;
+    const sim::TimePoint t = sim_.now();
+    const auto leg = [&](const std::string& from, const std::string& to,
+                         core::MsgType type) {
+      return faults_->decide(from, to, static_cast<std::uint32_t>(type), t).drop;
+    };
+    if (faults_->crashed(a, t) || faults_->crashed(b, t) ||
+        leg(a, b, core::MsgType::kRoundQuery) ||
+        leg(b, a, core::MsgType::kRoundReply) ||
+        leg(a, b, core::MsgType::kShuffleOffer) ||
+        leg(b, a, core::MsgType::kShuffleResponse)) {
+      ++stats_.fault_failures;
+      hn.state->skip_round();
+      push_skip();
+      return;
+    }
+  }
+
+  // Full path. The verify draw moves ahead of the offer build relative to
+  // do_shuffle, which is safe: nothing between them consumes rng_ (make_offer
+  // and apply_adversary only touch the node's own signer and rng).
+  auto ev = std::make_unique<WaveEvent>();
+  ev->idx = idx;
+  ev->pidx = pidx;
+  ev->when = when;
+  ev->choice = *choice;
+  ev->rj = partner.state->round();
+  ev->verify = rng_.chance(config_.verify_fraction);
+  if (ev->verify) ++stats_.shuffles_verified;
+  in_wave_[idx] = 1;
+  in_wave_[pidx] = 1;
+  push(std::move(ev));
+  if (wave_.size() >= kMaxWave) flush_wave();
+}
+
+void NetworkSim::flush_wave() {
+  if (wave_.empty()) return;
+
+  // Phase 1 (parallel): build offers, apply adversary mutations, gather every
+  // engine cache miss the planned verifications will need. Each item touches
+  // only its own event's two nodes (disjoint by construction).
+  const auto build = [this](std::size_t i) {
+    WaveEvent& ev = *wave_[i];
+    if (ev.skip) return;
+    HarnessNode& hn = *nodes_[ev.idx];
+    HarnessNode& partner = *nodes_[ev.pidx];
+    ev.offer = core::make_offer(*hn.state, ev.choice, ev.rj);
+    ev.attacked = hn.malicious && config_.adversary.any() &&
+                  apply_adversary(hn, ev.offer, ev.choice.partner);
+    if (ev.attacked) ++ev.scratch.byz_attacks;
+    ev.history_sample = static_cast<double>(ev.offer.history_suffix.size());
+    if (ev.verify) {
+      core::gather_offer_checks(ev.offer, *partner.state, *partner.engine, ev.sink);
+    }
+  };
+  pool_->run(wave_.size(), build);
+
+  // Phase 2 (single global batch): every cache miss of the wave, resolved in
+  // one verify_batch fanned across the persistent pool.
+  std::vector<crypto::VerifyJob> jobs;
+  for (auto& evp : wave_) {
+    evp->job_off = jobs.size();
+    evp->job_count = evp->sink.jobs.size();
+    jobs.insert(jobs.end(), evp->sink.jobs.begin(), evp->sink.jobs.end());
+  }
+  std::vector<crypto::VerifyVerdict> verdicts(jobs.size());
+  if (!jobs.empty()) pooled_->verify_batch(jobs, verdicts);
+
+  // Phase 3 (parallel): preload each responder engine with its slice of the
+  // verdicts, then replay the synchronous exchange cache-hot. Same node
+  // disjointness as phase 1; counter bumps go to the per-event scratch.
+  const auto exec = [this, &jobs, &verdicts](std::size_t i) {
+    WaveEvent& ev = *wave_[i];
+    if (ev.skip) return;
+    HarnessNode& hn = *nodes_[ev.idx];
+    HarnessNode& partner = *nodes_[ev.pidx];
+    if (ev.job_count > 0) {
+      ev.preloaded = partner.engine->preload(
+          std::span<const crypto::VerifyJob>(jobs).subspan(ev.job_off, ev.job_count),
+          std::span<const crypto::VerifyVerdict>(verdicts).subspan(ev.job_off,
+                                                                   ev.job_count));
+    }
+    if (ev.verify) {
+      if (const auto v =
+              core::verify_offer(ev.offer, *partner.state, ev.rj, *partner.engine);
+          !v) {
+        if (ev.attacked) {
+          ++ev.scratch.byz_detections;
+          quarantine(partner, hn.state->self(), ev.scratch);
+        } else {
+          ++ev.scratch.verification_failures;
+        }
+        hn.state->skip_round();
+        return;
+      }
+    }
+    const auto response = core::make_response_and_commit(*partner.state, ev.offer);
+    if (ev.verify) {
+      if (const auto v =
+              core::verify_response(response, *hn.state, ev.offer, *hn.engine);
+          !v) {
+        ++ev.scratch.verification_failures;
+        hn.state->skip_round();
+        return;
+      }
+    }
+    core::apply_offer_outcome(*hn.state, ev.offer, response);
+    ++ev.scratch.shuffles_completed;
+    purge_zombies(hn);
+    purge_zombies(partner);
+    update_coverage(hn);
+    update_coverage(partner);
+    if (config_.track_shuffle_pairs) {
+      // Rows idx and pidx belong to this event alone (node disjointness).
+      shuffle_pairs_[ev.idx][ev.pidx] = 1;
+      shuffle_pairs_[ev.pidx][ev.idx] = 1;
+    }
+  };
+  pool_->run(wave_.size(), exec);
+
+  // Phase 4 (sequential merge, event order): fold scratch stats and history
+  // samples back, then emit every deferred re-arm. Event order makes the
+  // float accumulation, the per-node jitter draws and the re-arm sequence
+  // numbers identical to the sequential drive.
+  std::uint64_t preloaded_total = 0;
+  for (auto& evp : wave_) {
+    WaveEvent& ev = *evp;
+    in_wave_[ev.idx] = 0;
+    in_wave_[ev.pidx] = 0;
+    if (!ev.skip) {
+      history_samples_.add(ev.history_sample);
+      stats_.shuffles_completed += ev.scratch.shuffles_completed;
+      shuffle_delta_ += ev.scratch.shuffles_completed;
+      stats_.shuffles_verified += ev.scratch.shuffles_verified;
+      stats_.verification_failures += ev.scratch.verification_failures;
+      stats_.leave_reports += ev.scratch.leave_reports;
+      stats_.byz_attacks += ev.scratch.byz_attacks;
+      stats_.byz_detections += ev.scratch.byz_detections;
+      stats_.byz_quarantines += ev.scratch.byz_quarantines;
+      preloaded_total += ev.preloaded;
+    }
+    rearm_shuffle_at(ev.idx, ev.when);
+  }
+  const std::uint64_t jobs_total = jobs.size();
+  wave_.clear();
+
+  // Interned on the first flush only, so sequential-mode scrapes never see
+  // the series (the byz.*/durability lazy-interning rule).
+  if (!wave_ids_interned_) {
+    wave_ids_interned_ = true;
+    id_flushes_ = metrics_.counter("verify.epoch_batch.flushes");
+    id_jobs_ = metrics_.counter("verify.epoch_batch.jobs");
+    id_preloaded_ = metrics_.counter("verify.epoch_batch.preloaded");
+  }
+  metrics_.add(id_flushes_);
+  metrics_.add(id_jobs_, jobs_total);
+  metrics_.add(id_preloaded_, preloaded_total);
+}
+
+void NetworkSim::drive_until(sim::TimePoint deadline) {
+  while (true) {
+    const std::optional<sim::TimePoint> next = sim_.next_event_time();
+    if (!next || *next > deadline) {
+      if (!wave_.empty()) {
+        // The flush may schedule re-arms inside the deadline; loop again.
+        flush_wave();
+        continue;
+      }
+      break;
+    }
+    if (!wave_.empty() && *next > wave_deadline_) {
+      // Stepping past wave_deadline_ could overtake a deferred re-arm's
+      // absolute time; flush while every re-arm is still in the future.
+      flush_wave();
+      continue;
+    }
+    sim_.step();
+  }
+  sim_.run_until(deadline);  // advances the clock; queue is already drained
+}
+
+void NetworkSim::rearm_shuffle_at(std::size_t idx, sim::TimePoint event_when) {
+  // Identical jitter draw and identical absolute timestamp to the sequential
+  // schedule_shuffle call that would have run at event_when; the
+  // wave_deadline_ rule guarantees event_when + delay is still in the future.
+  HarnessNode& hn = *nodes_[idx];
+  const double jitter = (hn.rng.uniform01() * 2.0 - 1.0) * config_.shuffle_jitter_frac;
+  const auto delay = static_cast<sim::Duration>(
+      static_cast<double>(config_.shuffle_period) * (1.0 + jitter));
+  sim_.schedule_at(event_when + std::max<sim::Duration>(delay, 1), [this, idx] {
+    if (nodes_[idx]->alive) plan_shuffle(idx);
+  });
+}
+
 void NetworkSim::run(std::size_t rounds,
                      const std::function<void(std::size_t)>& on_analysis) {
+  if (parallel()) {
+    // Tracing and metric timing are per-event instrumentation on the hot
+    // path; waves run events on worker threads, where both would race.
+    AN_ENSURE_MSG(tracer_ == nullptr,
+                  "wave-parallel drive (threads >= 1) is incompatible with tracing");
+    AN_ENSURE_MSG(!metrics_.timing_enabled(),
+                  "wave-parallel drive (threads >= 1) is incompatible with timing");
+  }
   if (!run_started_) {
     run_started_ = true;
-    sim_.run_until(0);
+    if (parallel()) {
+      drive_until(0);
+    } else {
+      sim_.run_until(0);
+    }
     if (on_analysis) on_analysis(0);
   }
   for (std::size_t i = 0; i < rounds; ++i) {
     ++rounds_completed_;
-    sim_.run_until(static_cast<sim::TimePoint>(rounds_completed_) *
-                   config_.analysis_period);
+    const auto deadline = static_cast<sim::TimePoint>(rounds_completed_) *
+                          config_.analysis_period;
+    if (parallel()) {
+      drive_until(deadline);
+    } else {
+      sim_.run_until(deadline);
+    }
     if (on_analysis) on_analysis(rounds_completed_);
   }
 }
@@ -578,6 +922,9 @@ void NetworkSim::schedule_churn(std::size_t count, sim::TimePoint start,
     const std::size_t victim = pool[k];
     const auto when = start + (window > 0 ? rng_.uniform_range(0, window) : 0);
     sim_.schedule_at(when, [this, victim] {
+      // Pending wave events may involve the victim; settle them first (they
+      // all predate this event, so this is the sequential order).
+      if (parallel()) flush_wave();
       HarnessNode& hn = *nodes_[victim];
       if (!hn.alive) return;
       hn.alive = false;
@@ -593,6 +940,7 @@ void NetworkSim::schedule_crash_restart(std::size_t idx, sim::TimePoint crash_at
   AN_ENSURE_MSG(restart_at > crash_at, "restart must follow the crash");
   AN_ENSURE(idx < nodes_.size());
   sim_.schedule_at(crash_at, [this, idx] {
+    if (parallel()) flush_wave();  // see schedule_churn
     HarnessNode& hn = *nodes_[idx];
     if (!hn.alive) return;
     hn.alive = false;  // also terminates the schedule_shuffle timer chain
@@ -613,6 +961,7 @@ void NetworkSim::schedule_crash_restart(std::size_t idx, sim::TimePoint crash_at
 }
 
 void NetworkSim::restart_node(std::size_t idx) {
+  if (parallel()) flush_wave();  // see schedule_churn
   HarnessNode& hn = *nodes_[idx];
   if (hn.alive || hn.state != nullptr) return;  // the crash never fired
   // Reopen the data dir: a fresh journal over the surviving store, replayed

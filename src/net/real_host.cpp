@@ -63,9 +63,9 @@ void RealNetHost::arm_wakeup() {
     loop_.cancel(wakeup_timer_);
     wakeup_timer_ = 0;
   }
-  const sim::TimePoint next = sim_.next_event_time();
-  if (next < 0) return;
-  wakeup_timer_ = loop_.schedule_at(next, [this] {
+  const std::optional<sim::TimePoint> next = sim_.next_event_time();
+  if (!next) return;
+  wakeup_timer_ = loop_.schedule_at(*next, [this] {
     wakeup_timer_ = 0;
     pump();
   });

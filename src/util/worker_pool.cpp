@@ -1,0 +1,90 @@
+#include "accountnet/util/worker_pool.hpp"
+
+#include "accountnet/util/ensure.hpp"
+
+namespace accountnet::util {
+
+WorkerPool::WorkerPool(std::size_t threads) : threads_(threads == 0 ? 1 : threads) {
+  // threads_ counts the calling thread too: a pool of N creates N-1 workers
+  // and run() itself drains items, so no core sits idle at a barrier.
+  workers_.reserve(threads_ - 1);
+  for (std::size_t i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void WorkerPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    AN_ENSURE_MSG(job_ == nullptr, "WorkerPool::run is not reentrant");
+    job_ = &fn;
+    job_size_ = n;
+    cursor_.store(0, std::memory_order_relaxed);
+    completed_.store(0, std::memory_order_relaxed);
+    arrivals_ = 0;
+    ++job_id_;
+  }
+  work_cv_.notify_all();
+  // The caller is worker number N: drain items alongside the pool threads.
+  while (true) {
+    const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    fn(i);
+    completed_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  // Wait until every item finished AND every worker parked for this job; the
+  // arrival barrier is what makes a stale worker claiming into the *next*
+  // job's cursor impossible (run() cannot return, so no next job can start,
+  // until all workers left their claim loop).
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this, n] {
+    return arrivals_ == workers_.size() &&
+           completed_.load(std::memory_order_acquire) == n;
+  });
+  job_ = nullptr;
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen_job = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_job] { return stop_ || job_id_ != seen_job; });
+      if (stop_) return;
+      seen_job = job_id_;
+      fn = job_;
+      n = job_size_;
+    }
+    while (true) {
+      const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      (*fn)(i);
+      completed_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    {
+      // A worker's arrival orders all its completions before the caller's
+      // wake-up, so the final arrival implies every item completed.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++arrivals_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace accountnet::util

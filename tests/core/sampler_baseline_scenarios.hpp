@@ -59,9 +59,15 @@ inline void guard_fold_node(wire::Writer& w, const core::Node& node) {
 /// Miniature bench/byz_soak: 24 nodes on the event-driven stack, witnessed
 /// channels between honest endpoints, a 3-node contingent armed with
 /// bias_sample (the attack every sampler backend must make detectable).
-inline std::string guard_byz_digest() {
+/// `custom_provider` substitutes the crypto backend (e.g. a PooledProvider
+/// wrapping FastCrypto) — the digest must not change, per the provider
+/// determinism contract.
+inline std::string guard_byz_digest(
+    const crypto::CryptoProvider* custom_provider = nullptr) {
   sim::Simulator simu;
-  const auto provider = crypto::make_fast_crypto();
+  const auto fallback = custom_provider ? nullptr : crypto::make_fast_crypto();
+  const crypto::CryptoProvider& provider =
+      custom_provider ? *custom_provider : *fallback;
   sim::SimNetwork net(simu, sim::netem_latency(), 7);
 
   core::Node::Config config;
@@ -82,7 +88,7 @@ inline std::string guard_byz_digest() {
     for (auto& b : node_seed) b = static_cast<std::uint8_t>(rng.next_u64());
     char buf[8];
     std::snprintf(buf, sizeof(buf), "g%03zu", i);
-    nodes.push_back(std::make_unique<core::Node>(net, buf, *provider, node_seed, config,
+    nodes.push_back(std::make_unique<core::Node>(net, buf, provider, node_seed, config,
                                                  rng.next_u64()));
   }
   nodes[0]->start_as_seed();
@@ -137,8 +143,10 @@ inline std::string guard_byz_digest() {
 }
 
 /// Miniature harness run with active bias_sample adversaries and full
-/// verification (the NetworkSim detection path).
-inline std::string guard_harness_digest() {
+/// verification (the NetworkSim detection path). `threads` selects the
+/// wave-parallel drive (0 = classic sequential loop); the digest must be
+/// identical for every value — that IS the parallel-determinism contract.
+inline std::string guard_harness_digest(std::size_t threads = 0) {
   harness::ExperimentConfig c;
   c.network_size = 128;
   c.f = 5;
@@ -150,6 +158,7 @@ inline std::string guard_harness_digest() {
   c.verify_fraction = 1.0;
   c.seed = 7;
   c.adversary.bias_sample = true;
+  c.threads = threads;
   harness::NetworkSim net(c);
   net.run(12, [](std::size_t) {});
 
@@ -178,9 +187,12 @@ inline std::string guard_harness_digest() {
 /// Miniature bench/fig20_ml_latency: the pubsub case study over the
 /// event-driven stack, witness policy reconfigured via update_config, four
 /// publish round-trips timed in virtual time.
-inline std::string guard_fig20_digest() {
+inline std::string guard_fig20_digest(
+    const crypto::CryptoProvider* custom_provider = nullptr) {
   sim::Simulator simu;
-  const auto provider = crypto::make_fast_crypto();
+  const auto fallback = custom_provider ? nullptr : crypto::make_fast_crypto();
+  const crypto::CryptoProvider& provider =
+      custom_provider ? *custom_provider : *fallback;
   sim::SimNetwork net(simu, sim::netem_latency(), 11);
 
   core::Node::Config config;
@@ -197,7 +209,7 @@ inline std::string guard_fig20_digest() {
     Rng rng(11 * 1000 + i);
     for (auto& b : node_seed) b = static_cast<std::uint8_t>(rng.next_u64());
     nodes.push_back(std::make_unique<core::Node>(net, "v" + std::to_string(1000 + i),
-                                                 *provider, node_seed, config,
+                                                 provider, node_seed, config,
                                                  rng.next_u64()));
   }
   nodes[0]->start_as_seed();

@@ -1,0 +1,88 @@
+// Regression guard for NetworkSim::run()'s incremental-continuation contract
+// (see the run() doc in harness/network_sim.hpp): the first call fires
+// on_analysis(0) at t = 0, later calls continue where the previous stopped,
+// the callback receives ABSOLUTE round numbers, and `run(a); run(b);` is
+// indistinguishable from `run(a + b)` — in both drive modes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "accountnet/crypto/sha256.hpp"
+#include "accountnet/harness/network_sim.hpp"
+#include "accountnet/wire/codec.hpp"
+
+namespace accountnet::harness {
+namespace {
+
+ExperimentConfig small_config(std::size_t threads) {
+  ExperimentConfig c;
+  c.network_size = 64;
+  c.f = 5;
+  c.l = 3;
+  c.lane_size = 16;
+  c.verify_fraction = 1.0;
+  c.seed = 21;
+  c.threads = threads;
+  return c;
+}
+
+std::string fold_state(const NetworkSim& net) {
+  wire::Writer w;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const auto& st = net.node_state(i);
+    w.u64(st.round());
+    for (const auto& p : st.peerset().sorted()) w.str(p.addr);
+  }
+  w.u64(net.stats().shuffles_attempted);
+  w.u64(net.stats().shuffles_completed);
+  w.u64(net.stats().verification_failures);
+  w.u64(static_cast<std::uint64_t>(net.now()));
+  const Bytes bytes = std::move(w).take();
+  const auto d = crypto::Sha256::hash(bytes);
+  return std::string(reinterpret_cast<const char*>(d.data()), d.size());
+}
+
+class RunContinuation : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RunContinuation, SplitRunsMatchOneRun) {
+  const std::size_t threads = GetParam();
+  NetworkSim split(small_config(threads));
+  NetworkSim whole(small_config(threads));
+  split.run(2, {});
+  split.run(3, {});
+  whole.run(5, {});
+  EXPECT_EQ(split.rounds_completed(), 5u);
+  EXPECT_EQ(whole.rounds_completed(), 5u);
+  EXPECT_EQ(fold_state(split), fold_state(whole));
+}
+
+TEST_P(RunContinuation, CallbackSeesAbsoluteRounds) {
+  NetworkSim net(small_config(GetParam()));
+  EXPECT_FALSE(net.run_started());
+  std::vector<std::size_t> seen;
+  net.run(2, [&](std::size_t r) { seen.push_back(r); });
+  EXPECT_TRUE(net.run_started());
+  // First call: the t = 0 snapshot plus one entry per round.
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(net.now(), static_cast<sim::TimePoint>(2) * sim::seconds(10));
+  seen.clear();
+  // Continuation: no second t = 0 callback, absolute numbering resumes.
+  net.run(2, [&](std::size_t r) { seen.push_back(r); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{3, 4}));
+  EXPECT_EQ(net.rounds_completed(), 4u);
+}
+
+TEST_P(RunContinuation, ZeroRoundFirstCallStillFiresInitialSnapshot) {
+  NetworkSim net(small_config(GetParam()));
+  std::vector<std::size_t> seen;
+  net.run(0, [&](std::size_t r) { seen.push_back(r); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(net.now(), 0);
+  EXPECT_TRUE(net.run_started());
+}
+
+INSTANTIATE_TEST_SUITE_P(Drives, RunContinuation,
+                         ::testing::Values(std::size_t{0}, std::size_t{2}));
+
+}  // namespace
+}  // namespace accountnet::harness

@@ -1,0 +1,121 @@
+// Sharded-scheduler contract tests: next_event_time()'s empty-queue optional
+// (the old API returned a -1 sentinel), and thread-count invariance of
+// run_epochs — the same shard program must produce bit-identical state with
+// no pool, a pool of 1, and pools of 2/4/8 (docs/PARALLELISM.md).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "accountnet/sim/simulator.hpp"
+#include "accountnet/util/worker_pool.hpp"
+
+namespace accountnet::sim {
+namespace {
+
+TEST(SimulatorNextEvent, EmptyQueueIsNullopt) {
+  Simulator s;
+  EXPECT_FALSE(s.next_event_time().has_value());
+  EXPECT_FALSE(s.has_next());
+  s.schedule(microseconds(5), [] {});
+  ASSERT_TRUE(s.next_event_time().has_value());
+  EXPECT_EQ(*s.next_event_time(), 5);
+  EXPECT_TRUE(s.has_next());
+  s.run();
+  EXPECT_FALSE(s.next_event_time().has_value());
+  // A zero-delay event is a valid timestamp, not a sentinel: the old -1
+  // convention could never express "next event at t = 0" unambiguously.
+  s.schedule(microseconds(0), [] {});
+  ASSERT_TRUE(s.next_event_time().has_value());
+  EXPECT_EQ(*s.next_event_time(), s.now());
+}
+
+TEST(SimulatorNextEvent, ReportsEarliestAcrossEqualTimestamps) {
+  Simulator s;
+  s.schedule(microseconds(7), [] {});
+  s.schedule(microseconds(3), [] {});
+  s.schedule(microseconds(3), [] {});
+  EXPECT_EQ(*s.next_event_time(), 3);
+}
+
+/// One shard's private state for the determinism program. Events touch only
+/// their own shard's slot (the confinement rule), so the final fold must be
+/// invariant to how many workers drained the shards.
+struct ShardProg {
+  std::uint64_t acc = 0;
+  std::vector<std::uint64_t> log;
+};
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  a ^= b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2);
+  return a * 0xd1342543de82ef95ull + 1;
+}
+
+std::uint64_t run_shard_program(std::size_t shards, util::WorkerPool* pool) {
+  Simulator s;
+  s.enable_sharding(shards);
+  std::vector<ShardProg> prog(shards);
+
+  // Each shard ticks on its own cadence, folds its virtual time into its
+  // accumulator, and every third tick posts a cross-shard message to the
+  // next shard (delivered at the barrier in deterministic order).
+  std::function<void(std::size_t, int)> tick = [&](std::size_t i, int n) {
+    ShardProg& p = prog[i];
+    p.acc = mix(p.acc, static_cast<std::uint64_t>(s.shard_now(i)) + n);
+    p.log.push_back(p.acc);
+    if (n % 3 == 0) {
+      const std::size_t to = (i + 1) % shards;
+      const std::uint64_t payload = p.acc;
+      s.post_cross(i, to, microseconds(5), [&prog, to, payload] {
+        prog[to].acc = mix(prog[to].acc, payload);
+        prog[to].log.push_back(prog[to].acc);
+      });
+    }
+    if (n < 40) {
+      s.schedule_shard(i, microseconds(7 + (i % 5) + (n % 3)),
+                       [&tick, i, n] { tick(i, n + 1); });
+    }
+  };
+  for (std::size_t i = 0; i < shards; ++i) {
+    s.schedule_shard(i, microseconds(1 + i), [&tick, i] { tick(i, 0); });
+  }
+  s.run_epochs(milliseconds(2), microseconds(50), pool);
+
+  std::uint64_t digest = mix(s.events_processed(), s.cross_posts());
+  digest = mix(digest, s.epochs_run());
+  for (const auto& p : prog) {
+    digest = mix(digest, p.acc);
+    for (const std::uint64_t v : p.log) digest = mix(digest, v);
+  }
+  return digest;
+}
+
+TEST(SimulatorSharded, BitIdenticalAtEveryPoolSize) {
+  const std::size_t shards = 8;
+  const std::uint64_t baseline = run_shard_program(shards, nullptr);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}}) {
+    util::WorkerPool pool(threads);
+    EXPECT_EQ(run_shard_program(shards, &pool), baseline) << "threads " << threads;
+  }
+}
+
+TEST(SimulatorSharded, SequentialApiUnperturbedBySharding) {
+  // The classic schedule/run_until API must keep working (and keep its event
+  // counter separate) on a simulator that also runs shards.
+  Simulator s;
+  s.enable_sharding(2);
+  int classic = 0, sharded = 0;
+  s.schedule(microseconds(3), [&] { ++classic; });
+  s.schedule_shard(0, microseconds(3), [&] { ++sharded; });
+  s.schedule_shard(1, microseconds(4), [&] { ++sharded; });
+  EXPECT_EQ(s.pending(), 3u);
+  s.run_until(microseconds(10));
+  EXPECT_EQ(classic, 1);
+  s.run_epochs(microseconds(20), microseconds(10), nullptr);
+  EXPECT_EQ(sharded, 2);
+  EXPECT_EQ(s.events_processed(), 3u);
+}
+
+}  // namespace
+}  // namespace accountnet::sim

@@ -1,0 +1,65 @@
+// WorkerPool contract tests: fn(i) runs exactly once per item, run() is a
+// full barrier (all worker writes visible to the caller), threads <= 1 stays
+// inline, and the pool survives many back-to-back runs of varying size.
+#include "accountnet/util/worker_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace accountnet::util {
+namespace {
+
+TEST(WorkerPool, RunsEveryItemExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    WorkerPool pool(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.run(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "item " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(WorkerPool, RunIsABarrier) {
+  // Every per-item write must be visible after run() returns, without any
+  // synchronization on the caller's side beyond the call itself.
+  WorkerPool pool(4);
+  std::vector<std::uint64_t> out(4096, 0);
+  pool.run(out.size(), [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], i * i);
+  }
+}
+
+TEST(WorkerPool, ReusableAcrossManyRuns) {
+  WorkerPool pool(3);
+  std::uint64_t total = 0;
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t n = static_cast<std::size_t>(round % 17);  // includes 0
+    std::vector<std::uint64_t> slot(n, 0);
+    pool.run(n, [&](std::size_t i) { slot[i] = 1; });
+    total += std::accumulate(slot.begin(), slot.end(), std::uint64_t{0});
+  }
+  std::uint64_t expect = 0;
+  for (int round = 0; round < 200; ++round) expect += round % 17;
+  EXPECT_EQ(total, expect);
+}
+
+TEST(WorkerPool, ZeroAndOneThreadStayInline) {
+  // threads <= 1 must not spawn: fn runs on the calling thread, so a
+  // thread-local written by fn is observable by the caller.
+  static thread_local int marker = 0;
+  marker = 0;
+  WorkerPool pool(1);
+  pool.run(5, [&](std::size_t) { ++marker; });
+  EXPECT_EQ(marker, 5);
+  EXPECT_EQ(pool.threads(), 1u);
+  EXPECT_EQ(WorkerPool(0).threads(), 1u);
+}
+
+}  // namespace
+}  // namespace accountnet::util
